@@ -1,0 +1,86 @@
+//! Baseline failover end-to-end: without Slingshot, a PHY crash causes
+//! RLF and a multi-second re-attach outage (paper §8.1: 6.2 s).
+
+use slingshot_baseline::BaselineDeployment;
+use slingshot_ran::{CellConfig, Fidelity, RuNode, UeConfig, UeNode, UeState};
+use slingshot_sim::Nanos;
+use slingshot_transport::{UdpCbrSource, UdpSink};
+
+fn cell() -> CellConfig {
+    CellConfig {
+        num_prbs: 51,
+        fidelity: Fidelity::Sampled,
+        ..CellConfig::default()
+    }
+}
+
+#[test]
+fn baseline_outage_is_multiple_seconds() {
+    let mut d = BaselineDeployment::build(
+        1,
+        cell(),
+        vec![UeConfig::new(100, 0, "ue100", 22.0)],
+    );
+    d.add_flow(
+        0,
+        100,
+        Box::new(UdpCbrSource::new(2_000_000, 800, Nanos::ZERO)),
+        Box::new(UdpSink::new(Nanos::ZERO, Nanos::from_millis(10))),
+    );
+    let kill_at = Nanos::from_millis(1000);
+    d.kill_primary_at(kill_at);
+    d.engine.run_until(Nanos::from_secs(10));
+
+    // The selector observed the failure and rerouted the fronthaul.
+    let sel = d
+        .engine
+        .node::<slingshot_baseline::StackSelector>(d.selector)
+        .unwrap();
+    let failed_at = sel.failed_over_at.expect("failure detected");
+    assert!((failed_at - kill_at) < Nanos::from_millis(2));
+
+    // The UE hit RLF (cell dark > 50 ms while the backup took over an
+    // empty context) and took ~6.2 s to reattach.
+    let ue = d.engine.node::<UeNode>(d.ues[0]).unwrap();
+    assert_eq!(ue.rlf_count, 1, "UE must lose the cell in the baseline");
+    assert_eq!(ue.state, UeState::Connected, "eventually reattached");
+    let reattached = *ue.reattach_times.first().expect("reattached");
+    let outage = (reattached - kill_at).as_secs();
+    assert!(
+        (5.5..8.0).contains(&outage),
+        "outage was {outage:.2} s (paper: 6.2 s)"
+    );
+
+    // Traffic blackout spans multiple seconds of 10 ms bins.
+    let sink: &UdpSink = d
+        .engine
+        .node::<slingshot_ran::AppServerNode>(d.server)
+        .unwrap()
+        .app(100, 0)
+        .unwrap();
+    let zeros = sink
+        .bins
+        .zero_bins_between(kill_at, Nanos::from_secs(9));
+    assert!(zeros > 400, "blackout bins = {zeros}");
+
+    // And traffic eventually resumes through the backup stack.
+    let mbps = sink.bins.mbps();
+    let tail = &mbps[mbps.len().saturating_sub(50)..];
+    let tail_avg: f64 = tail.iter().sum::<f64>() / tail.len() as f64;
+    assert!(tail_avg > 1.0, "post-recovery rate = {tail_avg}");
+}
+
+#[test]
+fn baseline_ru_goes_dark_between_failure_and_reroute_only() {
+    let mut d = BaselineDeployment::build(
+        2,
+        cell(),
+        vec![UeConfig::new(100, 0, "ue100", 22.0)],
+    );
+    d.kill_primary_at(Nanos::from_millis(1000));
+    d.engine.run_until(Nanos::from_secs(3));
+    // After the reroute the backup PHY feeds the RU, so dark slots are
+    // bounded (roughly the detection window).
+    let ru = d.engine.node::<RuNode>(d.ru).unwrap();
+    assert!(ru.slots_dark < 20, "dark={}", ru.slots_dark);
+}

@@ -1,0 +1,129 @@
+//! Criterion micro-benchmarks for the signal-processing substrate: the
+//! per-TB costs that determine how many cells a PHY core can carry.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use slingshot_phy_dsp::channel::AwgnChannel;
+use slingshot_phy_dsp::crc::{attach_crc24a, check_crc24a};
+use slingshot_phy_dsp::iq::{bfp_compress, bfp_decompress, Cplx, SC_PER_PRB};
+use slingshot_phy_dsp::modulation::{demodulate_llr, modulate, Modulation};
+use slingshot_phy_dsp::scramble::{descramble_llrs, scramble_bits, GoldSequence};
+use slingshot_phy_dsp::tbchain::{decode_tb, encode_tb, mother_buffer_len, TbParams};
+use slingshot_phy_dsp::LdpcCode;
+use slingshot_sim::SimRng;
+
+fn bench_crc(c: &mut Criterion) {
+    let data = vec![0xA5u8; 1500];
+    let framed = attach_crc24a(&data);
+    let mut g = c.benchmark_group("crc24a");
+    g.throughput(Throughput::Bytes(1500));
+    g.bench_function("attach_1500B", |b| b.iter(|| attach_crc24a(std::hint::black_box(&data))));
+    g.bench_function("check_1500B", |b| b.iter(|| check_crc24a(std::hint::black_box(&framed))));
+    g.finish();
+}
+
+fn bench_scrambler(c: &mut Criterion) {
+    let mut bits = vec![0u8; 8192];
+    let mut llrs = vec![1.0f32; 8192];
+    let init = GoldSequence::c_init_data(0x4601, 42);
+    let mut g = c.benchmark_group("scrambler");
+    g.throughput(Throughput::Elements(8192));
+    g.bench_function("scramble_8k_bits", |b| {
+        b.iter(|| scramble_bits(std::hint::black_box(&mut bits), init))
+    });
+    g.bench_function("descramble_8k_llrs", |b| {
+        b.iter(|| descramble_llrs(std::hint::black_box(&mut llrs), init))
+    });
+    g.finish();
+}
+
+fn bench_modulation(c: &mut Criterion) {
+    let mut rng = SimRng::new(1);
+    let mut g = c.benchmark_group("modulation");
+    for m in [Modulation::Qpsk, Modulation::Qam64, Modulation::Qam256] {
+        let bits: Vec<u8> = (0..m.bits_per_symbol() * 1024)
+            .map(|_| (rng.next_u64() & 1) as u8)
+            .collect();
+        let syms = modulate(&bits, m);
+        g.throughput(Throughput::Elements(1024));
+        g.bench_function(format!("modulate_1k_syms_{m:?}"), |b| {
+            b.iter(|| modulate(std::hint::black_box(&bits), m))
+        });
+        g.bench_function(format!("demap_llr_1k_syms_{m:?}"), |b| {
+            b.iter(|| demodulate_llr(std::hint::black_box(&syms), m, 0.05))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ldpc(c: &mut Criterion) {
+    let code = LdpcCode::new(1024);
+    let mut rng = SimRng::new(2);
+    let info: Vec<u8> = (0..1024).map(|_| (rng.next_u64() & 1) as u8).collect();
+    let cw = code.encode(&info);
+    // Noisy LLRs at a decodable SNR.
+    let mut ch = AwgnChannel::new(SimRng::new(3));
+    let syms: Vec<Cplx> = cw
+        .iter()
+        .map(|b| Cplx::new(if *b == 0 { 1.0 } else { -1.0 }, 0.0))
+        .collect();
+    let (noisy, nv) = ch.apply(&syms, 4.0);
+    let llrs: Vec<f32> = noisy.iter().map(|s| 2.0 * s.re / nv).collect();
+    let mut g = c.benchmark_group("ldpc_k1024");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("encode", |b| b.iter(|| code.encode(std::hint::black_box(&info))));
+    for iters in [2usize, 8, 16] {
+        g.bench_function(format!("decode_{iters}iters_4dB"), |b| {
+            b.iter(|| code.decode(std::hint::black_box(&llrs), iters))
+        });
+    }
+    g.finish();
+}
+
+fn bench_tb_chain(c: &mut Criterion) {
+    let payload: Vec<u8> = (0..125u32).map(|i| i as u8).collect();
+    let p = TbParams {
+        modulation: Modulation::Qam64,
+        e_bits: 1536,
+        rnti: 0x4601,
+        cell_id: 42,
+        rv: 0,
+        fec_iterations: 8,
+    };
+    let syms = encode_tb(&payload, &p);
+    let mut ch = AwgnChannel::new(SimRng::new(4));
+    let (rx, nv) = ch.apply(&syms, 25.0);
+    let mut g = c.benchmark_group("tb_chain_64qam_r067");
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("encode_tb", |b| b.iter(|| encode_tb(std::hint::black_box(&payload), &p)));
+    g.bench_function("decode_tb", |b| {
+        b.iter(|| {
+            let mut acc = vec![0.0f32; mother_buffer_len(payload.len())];
+            decode_tb(&mut acc, std::hint::black_box(&rx), nv, payload.len(), &p)
+        })
+    });
+    g.finish();
+}
+
+fn bench_bfp(c: &mut Criterion) {
+    let samples: [Cplx; SC_PER_PRB] = std::array::from_fn(|i| {
+        Cplx::new((i as f32 * 0.4).cos(), (i as f32 * 0.4).sin())
+    });
+    let prb = bfp_compress(&samples);
+    let mut g = c.benchmark_group("bfp");
+    g.throughput(Throughput::Elements(SC_PER_PRB as u64));
+    g.bench_function("compress_prb", |b| b.iter(|| bfp_compress(std::hint::black_box(&samples))));
+    g.bench_function("decompress_prb", |b| b.iter(|| bfp_decompress(std::hint::black_box(&prb))));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crc,
+    bench_scrambler,
+    bench_modulation,
+    bench_ldpc,
+    bench_tb_chain,
+    bench_bfp
+);
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! Criterion micro-benchmarks for the Slingshot middleboxes: the
+//! per-packet switch pipeline work, the failure-detector tick, and the
+//! protocol codecs on the forwarding fast paths.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use slingshot::{CtlPacket, FhMbox};
+use slingshot_fapi::{DlTtiRequest, FapiMsg, PdschPdu};
+use slingshot_fronthaul::{fh_header, CPlaneMsg, Direction, FhMessage, UPlaneMsg};
+use slingshot_netsim::{EtherType, Frame, MacAddr};
+use slingshot_phy_dsp::iq::{bfp_compress, Cplx, SC_PER_PRB};
+use slingshot_sim::{Nanos, SlotId};
+use slingshot_switch::{PktGenConfig, PortId, SwitchProgram};
+
+fn mbox_with_topology(rus: u8, phys: u8) -> FhMbox {
+    let mut m = FhMbox::new(PktGenConfig::paper_default(), MacAddr::for_l2(0));
+    for r in 0..rus {
+        m.install_ru(r, MacAddr::for_ru(r), PortId(r as u16), 0);
+    }
+    for p in 0..phys {
+        m.install_phy(p, MacAddr::for_phy(p), PortId(200 + p as u16));
+        m.enroll_failure_detection(p);
+    }
+    m.install_host(MacAddr::for_l2(0), PortId(999));
+    m
+}
+
+fn ul_frame() -> Frame {
+    let samples: [Cplx; SC_PER_PRB] = [Cplx::new(0.3, -0.2); SC_PER_PRB];
+    let msg = FhMessage::UPlane(UPlaneMsg {
+        hdr: fh_header(Direction::Uplink, SlotId::from_absolute(1234), 3, 0),
+        start_prb: 0,
+        prbs: vec![bfp_compress(&samples); 48],
+    });
+    Frame::new(
+        MacAddr::virtual_phy(0),
+        MacAddr::for_ru(0),
+        EtherType::Ecpri,
+        msg.to_bytes(),
+    )
+}
+
+fn dl_frame(phy: u8) -> Frame {
+    let msg = FhMessage::CPlane(CPlaneMsg {
+        hdr: fh_header(Direction::Downlink, SlotId::from_absolute(1234), 0, 0),
+        sections: vec![],
+    });
+    Frame::new(
+        MacAddr::for_ru(0),
+        MacAddr::for_phy(phy),
+        EtherType::Ecpri,
+        msg.to_bytes(),
+    )
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fh_mbox_pipeline");
+    g.throughput(Throughput::Elements(1));
+    {
+        let mut m = mbox_with_topology(16, 16);
+        let f = ul_frame();
+        g.bench_function("uplink_translate_fwd", |b| {
+            b.iter(|| m.process(Nanos(0), PortId(0), std::hint::black_box(f.clone())))
+        });
+    }
+    {
+        let mut m = mbox_with_topology(16, 16);
+        let f = dl_frame(0); // active PHY
+        g.bench_function("downlink_active_fwd", |b| {
+            b.iter(|| m.process(Nanos(0), PortId(200), std::hint::black_box(f.clone())))
+        });
+    }
+    {
+        let mut m = mbox_with_topology(16, 16);
+        let f = dl_frame(1); // standby: filtered
+        g.bench_function("downlink_standby_filter", |b| {
+            b.iter(|| m.process(Nanos(0), PortId(201), std::hint::black_box(f.clone())))
+        });
+    }
+    {
+        // Migration matcher armed but not yet triggered: the per-packet
+        // register compare cost.
+        let mut m = mbox_with_topology(16, 16);
+        let switch_mac = m.switch_mac;
+        let cmd = CtlPacket::MigrateOnSlot {
+            ru_id: 0,
+            dest_phy_id: 1,
+            slot_scalar: 5000,
+        };
+        m.process(
+            Nanos(0),
+            PortId(999),
+            Frame::new(switch_mac, MacAddr::ZERO, EtherType::SlingshotCtl, cmd.to_bytes()),
+        );
+        let f = ul_frame();
+        g.bench_function("uplink_with_pending_migration", |b| {
+            b.iter(|| m.process(Nanos(0), PortId(0), std::hint::black_box(f.clone())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_detector_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("failure_detector");
+    for phys in [2u8, 64, 255] {
+        let mut m = mbox_with_topology(1, phys);
+        // Arm all detectors with one heartbeat each.
+        for p in 0..phys {
+            m.process(Nanos(0), PortId(200 + p as u16), dl_frame(p));
+        }
+        g.throughput(Throughput::Elements(phys as u64));
+        g.bench_function(format!("tick_{phys}_phys"), |b| {
+            b.iter(|| m.on_generator_tick(std::hint::black_box(Nanos(0))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codecs");
+    // Fronthaul U-plane (the line-rate path).
+    let f = ul_frame();
+    g.throughput(Throughput::Bytes(f.payload.len() as u64));
+    g.bench_function("fronthaul_peek_headers", |b| {
+        b.iter(|| slingshot_fronthaul::peek_headers(std::hint::black_box(&f.payload)))
+    });
+    g.bench_function("fronthaul_full_parse", |b| {
+        b.iter(|| FhMessage::from_bytes(std::hint::black_box(&f.payload)))
+    });
+    // FAPI encode/decode (Orion's per-message work).
+    let msg = FapiMsg::DlTti(DlTtiRequest {
+        ru_id: 0,
+        slot: SlotId::from_absolute(99),
+        pdsch: vec![
+            PdschPdu {
+                rnti: 0x4601,
+                harq_id: 1,
+                ndi: true,
+                rv: 0,
+                mcs: 15,
+                start_prb: 0,
+                num_prb: 273,
+                tb_bytes: 30000,
+            };
+            4
+        ],
+    });
+    let bytes = slingshot_fapi::encode(&msg);
+    g.bench_function("fapi_encode_dl_tti", |b| {
+        b.iter(|| slingshot_fapi::encode(std::hint::black_box(&msg)))
+    });
+    g.bench_function("fapi_decode_dl_tti", |b| {
+        b.iter(|| slingshot_fapi::decode(std::hint::black_box(&bytes)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_detector_tick, bench_codecs);
+criterion_main!(benches);

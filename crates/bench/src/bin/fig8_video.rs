@@ -1,0 +1,101 @@
+//! Fig. 8 — downlink video-conferencing bitrate across a PHY failure
+//! in the third second: (1) no failure, (2) failure without Slingshot
+//! (full backup vRAN; UE re-attaches after ~6.2 s), (3) failure with
+//! Slingshot (steady bitrate).
+
+use slingshot_baseline::BaselineDeployment;
+use slingshot_bench::{banner, figure_cell, figure_deployment, print_series, ue};
+use slingshot_ran::{AppServerNode, UeNode};
+use slingshot_sim::Nanos;
+use slingshot_transport::{VideoReceiver, VideoSender};
+
+const DURATION: Nanos = Nanos::from_secs(12);
+const FAIL_AT: Nanos = Nanos::from_millis(3000);
+const BITRATE: u64 = 500_000;
+
+fn video_flow() -> (Box<VideoSender>, Box<VideoReceiver>) {
+    (
+        Box::new(VideoSender::new(BITRATE, Nanos::ZERO)),
+        Box::new(VideoReceiver::new(Nanos::ZERO)),
+    )
+}
+
+fn kbps_of(d: &slingshot::Deployment) -> Vec<f64> {
+    let ue = d.engine.node::<UeNode>(d.ues[0]).unwrap();
+    let rx: &VideoReceiver = ue.app(0).unwrap();
+    rx.kbps_series()
+}
+
+fn main() {
+    banner(
+        "Fig. 8: video bitrate across PHY failure at t≈3 s",
+        "no failure: steady ~500 kbps | w/o Slingshot: 0 for ~6.2 s | with Slingshot: steady",
+    );
+
+    // (1) No failure.
+    {
+        let mut d = figure_deployment(81, vec![ue("ue", 100, 22.0)]);
+        let (tx, rx) = video_flow();
+        d.add_flow(0, 100, rx, tx); // sender at server, receiver at UE
+        d.engine.run_until(DURATION);
+        print_series(
+            "no-failure (kbps)",
+            Nanos::ZERO,
+            Nanos::from_millis(1000),
+            &kbps_of(&d),
+        );
+    }
+
+    // (2) Failure without Slingshot: hot backup vRAN, RU rerouted, but
+    // the UE must fully re-attach.
+    {
+        let mut d = BaselineDeployment::build(82, figure_cell(), vec![ue("ue", 100, 22.0)]);
+        let (tx, rx) = video_flow();
+        d.engine
+            .node_mut::<UeNode>(d.ues[0])
+            .unwrap()
+            .add_app(rx);
+        d.engine
+            .node_mut::<AppServerNode>(d.server)
+            .unwrap()
+            .add_app(100, tx);
+        d.kill_primary_at(FAIL_AT);
+        d.engine.run_until(DURATION);
+        let ue_node = d.engine.node::<UeNode>(d.ues[0]).unwrap();
+        let rx: &VideoReceiver = ue_node.app(0).unwrap();
+        print_series(
+            "failure-without-slingshot (kbps)",
+            Nanos::ZERO,
+            Nanos::from_millis(1000),
+            &rx.kbps_series(),
+        );
+        let reattach = ue_node
+            .reattach_times
+            .first()
+            .map(|t| (*t - FAIL_AT).as_secs());
+        println!("# UE outage: {:?} s (paper: 6.2 s)", reattach);
+    }
+
+    // (3) Failure with Slingshot.
+    {
+        let mut d = figure_deployment(83, vec![ue("ue", 100, 22.0)]);
+        let (tx, rx) = video_flow();
+        d.add_flow(0, 100, rx, tx);
+        d.kill_primary_at(FAIL_AT);
+        d.engine.run_until(DURATION);
+        let series = kbps_of(&d);
+        print_series(
+            "failure-with-slingshot (kbps)",
+            Nanos::ZERO,
+            Nanos::from_millis(1000),
+            &series,
+        );
+        let ue_node = d.engine.node::<UeNode>(d.ues[0]).unwrap();
+        println!(
+            "# UE RLF count with Slingshot: {} (expected 0)",
+            ue_node.rlf_count
+        );
+        let around_failure = &series[2..6];
+        println!("# bitrate around the failure second: {around_failure:?}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Run every figure/table harness in sequence (the `cargo bench`
+//! companion for the end-to-end experiments). Each harness is also an
+//! individual binary; this runner simply chains them so one command
+//! regenerates the whole evaluation.
+
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "fig3_vm_migration",
+    "fig8_video",
+    "fig9_ping",
+    "fig10_throughput",
+    "fig11_upgrade",
+    "fig12_orion_latency",
+    "table2_stress",
+    "sec5_software_mbox",
+    "sec82_dropped_ttis",
+    "sec85_overhead",
+    "sec86_switch",
+    "ablation_detector",
+    "ablation_standby",
+    "ablation_migration_path",
+    "ablation_state_transfer",
+    "ablation_transport",
+    "ext_massive_mimo",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for bin in BINS {
+        println!("\n################ {bin} ################\n");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failures.push(*bin);
+        }
+    }
+    println!("\n################ summary ################");
+    if failures.is_empty() {
+        println!("all {} experiment harnesses completed", BINS.len());
+    } else {
+        println!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,102 @@
+//! # slingshot-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper
+//! (see DESIGN.md §4 for the index), plus Criterion micro-benchmarks.
+//! This library holds the shared scenario builders and report helpers.
+
+use slingshot::{Deployment, DeploymentConfig};
+use slingshot_phy_dsp::SnrProcessConfig;
+use slingshot_ran::{CellConfig, Fidelity, UeConfig};
+use slingshot_sim::Nanos;
+
+/// The paper's three UEs (Table 1), with SNR means chosen so their
+/// behavior matches the roles they play in the figures: the phones sit
+/// closer to the decode threshold than the Raspberry Pi.
+pub fn paper_ues() -> Vec<UeConfig> {
+    vec![
+        ue("OnePlus-N10", 100, 19.5),
+        ue("Samsung-A52s", 101, 16.5),
+        ue("Raspberry-Pi", 102, 24.0),
+    ]
+}
+
+pub fn ue(name: &str, rnti: u16, snr_db: f64) -> UeConfig {
+    UeConfig {
+        snr: SnrProcessConfig {
+            mean_db: snr_db,
+            ..Default::default()
+        },
+        ..UeConfig::new(rnti, 0, name, snr_db)
+    }
+}
+
+/// Full-size cell (273 PRBs) at Sampled fidelity — the standard
+/// configuration for the end-to-end figures.
+pub fn figure_cell() -> CellConfig {
+    CellConfig {
+        num_prbs: 273,
+        fidelity: Fidelity::Sampled,
+        ..CellConfig::default()
+    }
+}
+
+/// Fast cell for minute-long stress runs (Table 2).
+pub fn stress_cell() -> CellConfig {
+    CellConfig {
+        num_prbs: 273,
+        fidelity: Fidelity::Abstract,
+        // The stress flow is UDP: a UDP/RTP-style bearer delivers
+        // complete SDUs immediately (no in-order hold).
+        rlc_ordered: false,
+        ..CellConfig::default()
+    }
+}
+
+/// Standard single-RU Slingshot deployment for figures.
+pub fn figure_deployment(seed: u64, ues: Vec<UeConfig>) -> Deployment {
+    Deployment::build(
+        DeploymentConfig {
+            cell: figure_cell(),
+            seed,
+            ..DeploymentConfig::default()
+        },
+        ues,
+    )
+}
+
+/// Print a figure/table header in a uniform style.
+pub fn banner(title: &str, paper: &str) {
+    println!("==============================================================");
+    println!("{title}");
+    println!("paper reference: {paper}");
+    println!("==============================================================");
+}
+
+/// Render a time series as tab-separated `t value` rows.
+pub fn print_series(label: &str, t0: Nanos, bin: Nanos, values: &[f64]) {
+    println!("# series: {label} (t_seconds\tvalue)");
+    for (i, v) in values.iter().enumerate() {
+        let t = (t0.0 + i as u64 * bin.0) as f64 / 1e9;
+        println!("{t:.3}\t{v:.3}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ues_distinct() {
+        let ues = paper_ues();
+        assert_eq!(ues.len(), 3);
+        let mut rntis: Vec<u16> = ues.iter().map(|u| u.rnti).collect();
+        rntis.dedup();
+        assert_eq!(rntis.len(), 3);
+    }
+
+    #[test]
+    fn cells_use_full_bandwidth() {
+        assert_eq!(figure_cell().num_prbs, 273);
+        assert_eq!(stress_cell().fidelity, Fidelity::Abstract);
+    }
+}

@@ -1,0 +1,127 @@
+//! Slingshot control packets: the `migrate_on_slot` command (Orion →
+//! switch, §5.1) and the failure-notification packet the switch
+//! reformats a timer packet into when a PHY's heartbeat counter
+//! saturates (§5.2.2). Carried in Ethernet frames with the
+//! [`slingshot_netsim::EtherType::SlingshotCtl`] type.
+
+use bytes::{Buf, BufMut, Bytes};
+
+const TAG_MIGRATE_ON_SLOT: u8 = 1;
+const TAG_FAILURE_NOTIFY: u8 = 2;
+
+/// A Slingshot control message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtlPacket {
+    /// Command the switch to remap `ru_id` to `dest_phy_id` for all
+    /// fronthaul packets with slot ≥ `slot_scalar` (frame·20 +
+    /// subframe·2 + slot, wrapping at 5120).
+    MigrateOnSlot {
+        ru_id: u8,
+        dest_phy_id: u8,
+        slot_scalar: u16,
+    },
+    /// The switch detected that `phy_id` stopped emitting downlink
+    /// fronthaul packets.
+    FailureNotify { phy_id: u8 },
+}
+
+impl CtlPacket {
+    pub fn to_bytes(&self) -> Bytes {
+        let mut v = Vec::with_capacity(8);
+        match self {
+            CtlPacket::MigrateOnSlot {
+                ru_id,
+                dest_phy_id,
+                slot_scalar,
+            } => {
+                v.put_u8(TAG_MIGRATE_ON_SLOT);
+                v.put_u8(*ru_id);
+                v.put_u8(*dest_phy_id);
+                v.put_u16(*slot_scalar);
+            }
+            CtlPacket::FailureNotify { phy_id } => {
+                v.put_u8(TAG_FAILURE_NOTIFY);
+                v.put_u8(*phy_id);
+            }
+        }
+        Bytes::from(v)
+    }
+
+    pub fn from_bytes(payload: &[u8]) -> Option<CtlPacket> {
+        let mut buf = payload;
+        if buf.remaining() < 1 {
+            return None;
+        }
+        match buf.get_u8() {
+            TAG_MIGRATE_ON_SLOT => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                Some(CtlPacket::MigrateOnSlot {
+                    ru_id: buf.get_u8(),
+                    dest_phy_id: buf.get_u8(),
+                    slot_scalar: buf.get_u16(),
+                })
+            }
+            TAG_FAILURE_NOTIFY => {
+                if buf.remaining() < 1 {
+                    return None;
+                }
+                Some(CtlPacket::FailureNotify {
+                    phy_id: buf.get_u8(),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Wrapping comparison in the 5120-slot scalar space: is `x` at or
+/// after `boundary`? (Within half an epoch, as the paper's 8-bit frame
+/// ids imply.)
+pub fn scalar_at_or_after(x: u16, boundary: u16) -> bool {
+    const EPOCH: i32 = 256 * 20;
+    let mut d = x as i32 - boundary as i32;
+    if d > EPOCH / 2 {
+        d -= EPOCH;
+    } else if d < -(EPOCH / 2) {
+        d += EPOCH;
+    }
+    d >= 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for pkt in [
+            CtlPacket::MigrateOnSlot {
+                ru_id: 3,
+                dest_phy_id: 9,
+                slot_scalar: 4777,
+            },
+            CtlPacket::FailureNotify { phy_id: 17 },
+        ] {
+            assert_eq!(CtlPacket::from_bytes(&pkt.to_bytes()), Some(pkt));
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(CtlPacket::from_bytes(&[]).is_none());
+        assert!(CtlPacket::from_bytes(&[99]).is_none());
+        assert!(CtlPacket::from_bytes(&[1, 2]).is_none());
+    }
+
+    #[test]
+    fn scalar_comparison_wraps() {
+        assert!(scalar_at_or_after(100, 100));
+        assert!(scalar_at_or_after(101, 100));
+        assert!(!scalar_at_or_after(99, 100));
+        // Wrap: 5 is "after" 5118 (epoch = 5120).
+        assert!(scalar_at_or_after(5, 5118));
+        assert!(!scalar_at_or_after(5118, 5));
+    }
+}

@@ -1,0 +1,299 @@
+//! Full Slingshot testbed builder: the paper's Figure 4(b) topology —
+//! RU(s) and servers behind one programmable switch running the
+//! fronthaul middlebox, a primary and hot-standby PHY each paired with
+//! a PHY-side Orion, the L2 paired with the L2-side Orion, the core
+//! network stub, the app server, and UEs. All links and latencies are
+//! configurable; defaults approximate the paper's testbed (Table 1).
+
+use slingshot_netsim::MacAddr;
+use slingshot_ran::{
+    AppServerNode, CellConfig, CoreNode, CtlMsg, L2Node, Msg, PhyConfig, PhyNode, RuNode,
+    UeConfig, UeNode,
+};
+use slingshot_sim::{Engine, LinkParams, Nanos, NodeId, SimRng, SlotClock};
+use slingshot_switch::{PktGenConfig, PortId};
+use slingshot_transport::UserApp;
+
+use crate::fh_mbox::FhMbox;
+use crate::orion::{OrionL2Node, OrionPhyNode};
+use crate::switch_node::{ForwardingModel, SwitchNode};
+
+/// Deployment-wide configuration.
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    pub cell: CellConfig,
+    pub seed: u64,
+    /// Failure-detector configuration (paper: T=450 µs, n=50).
+    pub detector: PktGenConfig,
+    /// Fronthaul link: RU ↔ switch (paper: fiber, sub-100 µs budget).
+    pub fronthaul_link: LinkParams,
+    /// Server links: PHY/L2 servers ↔ switch (100 GbE).
+    pub server_link: LinkParams,
+    /// Backhaul: core ↔ L2 and core ↔ app server.
+    pub backhaul_link: LinkParams,
+    /// Middlebox forwarding model (in-switch vs software ablation).
+    pub forwarding: ForwardingModel,
+    /// FEC iterations for the secondary PHY (≠ primary models the
+    /// Fig. 11 upgraded build).
+    pub secondary_fec_iterations: Option<usize>,
+    /// Register one extra spare PHY server (replacement standby pool).
+    pub with_spare_phy: bool,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> DeploymentConfig {
+        DeploymentConfig {
+            cell: CellConfig::default(),
+            seed: 1,
+            detector: PktGenConfig::paper_default(),
+            fronthaul_link: LinkParams::with_bandwidth(Nanos(20_000), 25_000_000_000),
+            server_link: LinkParams::with_bandwidth(Nanos(2_000), 100_000_000_000),
+            backhaul_link: LinkParams::with_bandwidth(Nanos::from_millis(4), 10_000_000_000),
+            forwarding: ForwardingModel::InSwitch,
+            secondary_fec_iterations: None,
+            with_spare_phy: false,
+        }
+    }
+}
+
+/// Node ids of a built deployment.
+pub struct Deployment {
+    pub engine: Engine<Msg>,
+    pub switch: NodeId,
+    pub ru: NodeId,
+    pub primary_phy: NodeId,
+    pub secondary_phy: NodeId,
+    pub spare_phy: Option<NodeId>,
+    pub orion_primary: NodeId,
+    pub orion_secondary: NodeId,
+    pub orion_spare: Option<NodeId>,
+    pub orion_l2: NodeId,
+    pub l2: NodeId,
+    pub core: NodeId,
+    pub server: NodeId,
+    pub ues: Vec<NodeId>,
+    pub cfg: DeploymentConfig,
+}
+
+/// PHY ids used by the standard single-RU deployment.
+pub const PRIMARY_PHY_ID: u8 = 1;
+pub const SECONDARY_PHY_ID: u8 = 2;
+pub const SPARE_PHY_ID: u8 = 3;
+pub const RU_ID: u8 = 0;
+pub const L2_ID: u8 = 0;
+
+impl Deployment {
+    /// Build the standard single-RU Slingshot deployment.
+    pub fn build(cfg: DeploymentConfig, ue_cfgs: Vec<UeConfig>) -> Deployment {
+        let mut engine: Engine<Msg> = Engine::new(cfg.seed);
+        let clock = SlotClock::new(Nanos::ZERO);
+        let mut rng = SimRng::new(cfg.seed ^ 0x5113_6507);
+
+        // --- nodes ---
+        let server = engine.add_node("server", Box::new(AppServerNode::new()));
+        let core = engine.add_node("core", Box::new(CoreNode::new()));
+        let mut l2n = L2Node::new(cfg.cell.clone(), clock, RU_ID);
+        for u in &ue_cfgs {
+            if u.preattached {
+                l2n.preattach_ue(u.rnti, u.snr.mean_db);
+            }
+        }
+        let l2 = engine.add_node("l2", Box::new(l2n));
+
+        let mk_phy = |id: u8, iters: Option<usize>, rng: &mut SimRng| {
+            let mut pc = PhyConfig::new(id);
+            if let Some(it) = iters {
+                pc.fec_iterations = it;
+            } else {
+                pc.fec_iterations = cfg.cell.fec_iterations;
+            }
+            PhyNode::new(pc, cfg.cell.clone(), clock, rng.fork(&format!("phy{id}")))
+        };
+        let primary_phy = engine.add_node("phy-primary", Box::new(mk_phy(PRIMARY_PHY_ID, None, &mut rng)));
+        let secondary_phy = engine.add_node(
+            "phy-secondary",
+            Box::new(mk_phy(SECONDARY_PHY_ID, cfg.secondary_fec_iterations, &mut rng)),
+        );
+        let spare_phy = cfg.with_spare_phy.then(|| {
+            engine.add_node("phy-spare", Box::new(mk_phy(SPARE_PHY_ID, None, &mut rng)))
+        });
+
+        let orion_primary = engine.add_node(
+            "orion-phy1",
+            Box::new(OrionPhyNode::new(PRIMARY_PHY_ID, L2_ID)),
+        );
+        let orion_secondary = engine.add_node(
+            "orion-phy2",
+            Box::new(OrionPhyNode::new(SECONDARY_PHY_ID, L2_ID)),
+        );
+        let orion_spare = cfg.with_spare_phy.then(|| {
+            engine.add_node(
+                "orion-phy3",
+                Box::new(OrionPhyNode::new(SPARE_PHY_ID, L2_ID)),
+            )
+        });
+        let orion_l2 = engine.add_node("orion-l2", Box::new(OrionL2Node::new(L2_ID, clock)));
+
+        let run = RuNode::new(RU_ID, clock);
+        let ru_mac = run.mac();
+        let ru = engine.add_node("ru", Box::new(run));
+
+        let mut ues = Vec::new();
+        for u in ue_cfgs {
+            let name = u.name.clone();
+            let node = UeNode::new(u, cfg.cell.clone(), clock, rng.fork(&name));
+            ues.push(engine.add_node(&name, Box::new(node)));
+        }
+
+        // --- the switch + middlebox program ---
+        let mut mbox = FhMbox::new(
+            cfg.detector,
+            crate::orion::orion_l2_mac(L2_ID),
+        );
+        // Ports: 1=RU, 2=primary server, 3=secondary server, 4=L2
+        // server, 5=spare server.
+        mbox.install_ru(RU_ID, ru_mac, PortId(1), PRIMARY_PHY_ID);
+        mbox.install_phy(PRIMARY_PHY_ID, MacAddr::for_phy(PRIMARY_PHY_ID), PortId(2));
+        mbox.install_phy(SECONDARY_PHY_ID, MacAddr::for_phy(SECONDARY_PHY_ID), PortId(3));
+        mbox.install_host(crate::orion::orion_l2_mac(L2_ID), PortId(4));
+        if cfg.with_spare_phy {
+            mbox.install_phy(SPARE_PHY_ID, MacAddr::for_phy(SPARE_PHY_ID), PortId(5));
+            mbox.install_host(crate::orion::orion_phy_mac(SPARE_PHY_ID), PortId(5));
+        }
+        mbox.enroll_failure_detection(PRIMARY_PHY_ID);
+        mbox.enroll_failure_detection(SECONDARY_PHY_ID);
+        // The Orion processes share a physical server with their PHY
+        // but are distinct traffic endpoints; give each MAC its own
+        // (virtual) switch port so egress resolves to the right node.
+        mbox.install_host(crate::orion::orion_phy_mac(PRIMARY_PHY_ID), PortId(12));
+        mbox.install_host(crate::orion::orion_phy_mac(SECONDARY_PHY_ID), PortId(13));
+        if cfg.with_spare_phy {
+            mbox.install_host(crate::orion::orion_phy_mac(SPARE_PHY_ID), PortId(15));
+        }
+        // Re-point the orion MACs (install_host above overrode the
+        // earlier shared-port entries at ports 2/3/5).
+        let switch_mac = mbox.switch_mac;
+        let mut swn = SwitchNode::new(mbox, cfg.forwarding, rng.fork("switch"));
+        swn.attach(PortId(1), ru);
+        swn.attach(PortId(2), primary_phy);
+        swn.attach(PortId(3), secondary_phy);
+        swn.attach(PortId(4), orion_l2);
+        swn.attach(PortId(12), orion_primary);
+        swn.attach(PortId(13), orion_secondary);
+        if let Some(p) = spare_phy {
+            swn.attach(PortId(5), p);
+        }
+        if let Some(o) = orion_spare {
+            swn.attach(PortId(15), o);
+        }
+        let switch = engine.add_node("switch", Box::new(swn));
+
+        engine.node_mut::<AppServerNode>(server).unwrap().wire(core);
+        engine.node_mut::<CoreNode>(core).unwrap().wire(l2, server);
+        engine.node_mut::<L2Node>(l2).unwrap().wire(orion_l2, core);
+        engine
+            .node_mut::<PhyNode>(primary_phy)
+            .unwrap()
+            .wire(switch, orion_primary);
+        engine
+            .node_mut::<PhyNode>(secondary_phy)
+            .unwrap()
+            .wire(switch, orion_secondary);
+        if let (Some(p), Some(o)) = (spare_phy, orion_spare) {
+            engine.node_mut::<PhyNode>(p).unwrap().wire(switch, o);
+            engine.node_mut::<OrionPhyNode>(o).unwrap().wire(switch, p);
+        }
+        engine
+            .node_mut::<OrionPhyNode>(orion_primary)
+            .unwrap()
+            .wire(switch, primary_phy);
+        engine
+            .node_mut::<OrionPhyNode>(orion_secondary)
+            .unwrap()
+            .wire(switch, secondary_phy);
+        {
+            let ol2 = engine.node_mut::<OrionL2Node>(orion_l2).unwrap();
+            ol2.wire(switch, l2, switch_mac);
+            ol2.bind_ru(RU_ID, PRIMARY_PHY_ID, Some(SECONDARY_PHY_ID));
+            if cfg.with_spare_phy {
+                ol2.add_spare(SPARE_PHY_ID);
+            }
+        }
+        engine.node_mut::<RuNode>(ru).unwrap().wire(switch, ues.clone());
+        for ue in &ues {
+            engine.node_mut::<UeNode>(*ue).unwrap().wire(ru, l2);
+        }
+
+        // --- links ---
+        engine.connect_duplex(server, core, cfg.backhaul_link.clone());
+        engine.connect_duplex(core, l2, cfg.backhaul_link.clone());
+        engine.connect_duplex(l2, orion_l2, LinkParams::ideal(Nanos(500)));
+        engine.connect_duplex(ru, switch, cfg.fronthaul_link.clone());
+        for node in [primary_phy, secondary_phy, orion_primary, orion_secondary, orion_l2] {
+            engine.connect_duplex(node, switch, cfg.server_link.clone());
+        }
+        if let (Some(p), Some(o)) = (spare_phy, orion_spare) {
+            engine.connect_duplex(p, switch, cfg.server_link.clone());
+            engine.connect_duplex(o, switch, cfg.server_link.clone());
+        }
+        // PHY ↔ its Orion: same-host SHM.
+        engine.connect_duplex(primary_phy, orion_primary, LinkParams::ideal(Nanos(500)));
+        engine.connect_duplex(secondary_phy, orion_secondary, LinkParams::ideal(Nanos(500)));
+        if let (Some(p), Some(o)) = (spare_phy, orion_spare) {
+            engine.connect_duplex(p, o, LinkParams::ideal(Nanos(500)));
+        }
+
+        Deployment {
+            engine,
+            switch,
+            ru,
+            primary_phy,
+            secondary_phy,
+            spare_phy,
+            orion_primary,
+            orion_secondary,
+            orion_spare,
+            orion_l2,
+            l2,
+            core,
+            server,
+            ues,
+            cfg,
+        }
+    }
+
+    /// Attach an app to a UE (by index) and its far end at the server.
+    pub fn add_flow(
+        &mut self,
+        ue_idx: usize,
+        rnti: u16,
+        ue_app: Box<dyn UserApp>,
+        server_app: Box<dyn UserApp>,
+    ) {
+        self.engine
+            .node_mut::<UeNode>(self.ues[ue_idx])
+            .unwrap()
+            .add_app(ue_app);
+        self.engine
+            .node_mut::<AppServerNode>(self.server)
+            .unwrap()
+            .add_app(rnti, server_app);
+    }
+
+    /// SIGKILL the primary PHY at `at` (the §8 failover trigger).
+    pub fn kill_primary_at(&mut self, at: Nanos) {
+        // Killing is immediate from the engine; to do it at a future
+        // time we use a one-shot control: run to `at` first.
+        self.engine.run_until(at);
+        self.engine.kill(self.primary_phy);
+    }
+
+    /// Request a planned migration of the RU to the secondary PHY.
+    pub fn planned_migration_at(&mut self, at: Nanos) {
+        self.engine.post(
+            at,
+            self.orion_l2,
+            Msg::Ctl(CtlMsg::PlannedMigration { ru_id: RU_ID }),
+        );
+    }
+}

@@ -1,0 +1,570 @@
+//! The in-switch fronthaul middlebox (paper §5) and in-switch RAN
+//! failure detector (§5.2), written as a program against the
+//! `slingshot-switch` match-action/register primitives.
+//!
+//! Data structures, exactly as in the paper (Fig. 5):
+//!
+//! - **ID directory** (match-action table): RU MAC → 8-bit RU id.
+//! - **PHY directory** (match-action table): PHY MAC → 8-bit PHY id.
+//! - **Address directory** (match-action table): PHY id → PHY MAC.
+//! - **RU→PHY mapping** (register array, data-plane writable).
+//! - **Migration request store** (register array): per-RU pending
+//!   `migrate_on_slot` command (slot scalar + destination PHY id).
+//! - **Failure-detector counters** (register array): per-PHY counter
+//!   reset by each downlink fronthaul packet, incremented by generator
+//!   timer packets; saturation at `n` triggers a failure notification.
+//!
+//! The indirection through 8-bit ids is the paper's key trick for a
+//! data-plane-updatable mapping: a full MAC→MAC hash table cannot be
+//! updated at line rate, but a 256-entry register array indexed by RU
+//! id can (§5.1).
+
+use slingshot_fronthaul::{peek_headers, Direction};
+use slingshot_netsim::{EtherType, Frame, MacAddr};
+use slingshot_switch::{
+    ExactTable, PipelineManifest, PktGenConfig, PortId, RegisterArray, SwitchAction,
+    SwitchProgram,
+};
+use slingshot_sim::Nanos;
+
+use crate::ctl::{scalar_at_or_after, CtlPacket};
+
+/// Marker in the failure counter meaning "failure already reported";
+/// prevents repeated notifications until the PHY's packets reappear.
+const COUNTER_REPORTED: u64 = u64::MAX & 0xFF;
+
+/// The middlebox program state.
+pub struct FhMbox {
+    /// RU MAC → RU id.
+    id_directory: ExactTable,
+    /// PHY MAC → PHY id.
+    phy_directory: ExactTable,
+    /// PHY id → PHY MAC.
+    address_directory: ExactTable,
+    /// Plain L2 forwarding: MAC → egress port (RUs, PHYs, servers).
+    port_table: ExactTable,
+    /// RU id → active PHY id.
+    ru_to_phy: RegisterArray,
+    /// RU id → pending migration request, packed as
+    /// (valid << 24) | (dest_phy << 16) | slot_scalar.
+    migration_store: RegisterArray,
+    /// PHY id → missed-tick counter.
+    fail_counters: RegisterArray,
+    /// PHY id → enrolled in failure detection (1) or not (0).
+    fail_enrolled: RegisterArray,
+    /// PHY id → has emitted at least one downlink packet. The detector
+    /// arms only after the first heartbeat, so a PHY that is still
+    /// booting is not declared dead.
+    fail_seen: RegisterArray,
+    /// Failure detector config (T, n).
+    pub detector: PktGenConfig,
+    /// Where failure notifications are sent (every L2-side Orion).
+    notify_macs: Vec<MacAddr>,
+    /// The switch's own MAC for control packets addressed to it.
+    pub switch_mac: MacAddr,
+    /// Per-PHY downlink heartbeat gap statistics (simulation-side
+    /// observability, mirroring the paper's timestamp-and-mirror P4
+    /// measurement of §8.6): (last arrival, max gap seen).
+    pub dl_gap_stats: Vec<(Nanos, Nanos)>,
+    /// Counters for observability.
+    pub migrations_executed: u64,
+    pub dl_filtered: u64,
+    pub failures_reported: u64,
+    pub ctl_packets: u64,
+}
+
+impl FhMbox {
+    pub fn new(detector: PktGenConfig, notify_mac: MacAddr) -> FhMbox {
+        FhMbox::with_notify_targets(detector, vec![notify_mac])
+    }
+
+    /// A middlebox notifying several L2-side Orions (multi-L2
+    /// deployments: one notification packet per registered target).
+    pub fn with_notify_targets(detector: PktGenConfig, notify_macs: Vec<MacAddr>) -> FhMbox {
+        FhMbox {
+            id_directory: ExactTable::new("id_directory", 256, 48, 8),
+            phy_directory: ExactTable::new("phy_directory", 256, 48, 8),
+            address_directory: ExactTable::new("address_directory", 256, 8, 48),
+            port_table: ExactTable::new("port_table", 1024, 48, 16),
+            ru_to_phy: RegisterArray::new("ru_to_phy", 256, 8),
+            migration_store: RegisterArray::new("migration_store", 256, 32),
+            fail_counters: RegisterArray::new("fail_counters", 256, 8),
+            fail_enrolled: RegisterArray::new("fail_enrolled", 256, 1),
+            fail_seen: RegisterArray::new("fail_seen", 256, 1),
+            detector,
+            notify_macs,
+            switch_mac: MacAddr([0x02, 0x53, 0x57, 0, 0, 1]),
+            dl_gap_stats: vec![(Nanos::ZERO, Nanos::ZERO); 256],
+            migrations_executed: 0,
+            dl_filtered: 0,
+            failures_reported: 0,
+            ctl_packets: 0,
+        }
+    }
+
+    /// Control-plane installation of an RU (at deployment time).
+    pub fn install_ru(&mut self, ru_id: u8, mac: MacAddr, port: PortId, initial_phy: u8) {
+        self.id_directory.insert(mac.as_u64(), ru_id as u64).unwrap();
+        self.port_table.insert(mac.as_u64(), port.0 as u64).unwrap();
+        self.ru_to_phy.write(ru_id as usize, initial_phy as u64);
+    }
+
+    /// Control-plane installation of a PHY server.
+    pub fn install_phy(&mut self, phy_id: u8, mac: MacAddr, port: PortId) {
+        self.phy_directory.insert(mac.as_u64(), phy_id as u64).unwrap();
+        self.address_directory
+            .insert(phy_id as u64, mac.as_u64())
+            .unwrap();
+        self.port_table.insert(mac.as_u64(), port.0 as u64).unwrap();
+    }
+
+    /// Enroll a PHY in failure detection (a PHY that is expected to be
+    /// emitting heartbeats — both primary and hot standby).
+    pub fn enroll_failure_detection(&mut self, phy_id: u8) {
+        self.fail_enrolled.write(phy_id as usize, 1);
+        self.fail_counters.write(phy_id as usize, 0);
+    }
+
+    pub fn unenroll_failure_detection(&mut self, phy_id: u8) {
+        self.fail_enrolled.write(phy_id as usize, 0);
+        self.fail_seen.write(phy_id as usize, 0);
+    }
+
+    /// Plain (non-fronthaul) host installation: servers, Orion nodes.
+    pub fn install_host(&mut self, mac: MacAddr, port: PortId) {
+        self.port_table.insert(mac.as_u64(), port.0 as u64).unwrap();
+    }
+
+    /// Maximum observed inter-packet gap in a PHY's downlink stream.
+    pub fn max_dl_gap(&self, phy_id: u8) -> Nanos {
+        self.dl_gap_stats[phy_id as usize].1
+    }
+
+    /// Control-plane remap: write the RU→PHY mapping directly, as a
+    /// table-update RPC would — *not* aligned to any slot boundary.
+    /// Used by the migration-path ablation; the real Slingshot path is
+    /// the data-plane migration request store.
+    pub fn control_plane_remap(&mut self, ru_id: u8, phy_id: u8) {
+        self.ru_to_phy.write(ru_id as usize, phy_id as u64);
+        self.migration_store.write(ru_id as usize, 0);
+    }
+
+    /// The currently active PHY for an RU.
+    pub fn active_phy(&mut self, ru_id: u8) -> u8 {
+        self.ru_to_phy.read(ru_id as usize) as u8
+    }
+
+    fn forward_by_table(&mut self, frame: Frame) -> Vec<SwitchAction> {
+        match self.port_table.lookup(frame.dst.as_u64()) {
+            Some(port) => vec![SwitchAction::Forward {
+                port: PortId(port as u16),
+                frame,
+            }],
+            None => vec![SwitchAction::Drop],
+        }
+    }
+
+    /// Check the migration request store against a packet's slot and
+    /// execute the remap in the data plane if it matches (§5.1).
+    fn maybe_migrate(&mut self, ru_id: u8, slot_scalar: u16) {
+        let req = self.migration_store.read(ru_id as usize);
+        let valid = (req >> 24) & 1 == 1;
+        if !valid {
+            return;
+        }
+        let dest = ((req >> 16) & 0xFF) as u8;
+        let boundary = (req & 0xFFFF) as u16;
+        if scalar_at_or_after(slot_scalar, boundary) {
+            self.ru_to_phy.write(ru_id as usize, dest as u64);
+            self.migration_store.write(ru_id as usize, 0);
+            self.migrations_executed += 1;
+        }
+    }
+
+    /// The resource manifest of this pipeline, for the §8.6 estimate.
+    pub fn manifest(rus: u32, phys: u32) -> PipelineManifest {
+        PipelineManifest::default()
+            .table("id_directory", rus, 48, 8)
+            .table("phy_directory", phys, 48, 8)
+            .table("address_directory", phys, 8, 48)
+            .table("port_table", rus + phys + 8, 48, 16)
+            .register("ru_to_phy", rus, 8, 1)
+            .register("migration_store", rus, 32, 1)
+            .register("fail_counters", phys, 8, 1)
+            .register("fail_enrolled", phys, 1, 1)
+            .register("fail_seen", phys, 1, 1)
+            // Branch points: direction, ethertype, migration-match,
+            // DL-filter, counter-saturation, notify path.
+            .with_gateways(27)
+    }
+}
+
+impl SwitchProgram for FhMbox {
+    fn process(&mut self, now: Nanos, _ingress: PortId, frame: Frame) -> Vec<SwitchAction> {
+        match frame.ethertype {
+            EtherType::SlingshotCtl if frame.dst == self.switch_mac => {
+                self.ctl_packets += 1;
+                if let Some(CtlPacket::MigrateOnSlot {
+                    ru_id,
+                    dest_phy_id,
+                    slot_scalar,
+                }) = CtlPacket::from_bytes(&frame.payload)
+                {
+                    let packed =
+                        (1u64 << 24) | ((dest_phy_id as u64) << 16) | slot_scalar as u64;
+                    self.migration_store.write(ru_id as usize, packed);
+                }
+                vec![SwitchAction::Drop]
+            }
+            EtherType::Ecpri => {
+                let Some((_, hdr)) = peek_headers(&frame.payload) else {
+                    return vec![SwitchAction::Drop];
+                };
+                match hdr.direction {
+                    Direction::Uplink => {
+                        // RU → PHY: translate the virtual PHY address.
+                        let Some(ru_id) = self.id_directory.lookup(frame.src.as_u64()) else {
+                            return vec![SwitchAction::Drop];
+                        };
+                        let ru_id = ru_id as u8;
+                        self.maybe_migrate(ru_id, hdr.slot_scalar());
+                        let phy_id = self.ru_to_phy.read(ru_id as usize);
+                        let Some(mac) = self.address_directory.lookup(phy_id) else {
+                            return vec![SwitchAction::Drop];
+                        };
+                        let mut f = frame;
+                        f.dst = MacAddr::from_u64(mac);
+                        self.forward_by_table(f)
+                    }
+                    Direction::Downlink => {
+                        // PHY → RU: reset the heartbeat counter, run the
+                        // migration matcher, and filter inactive PHYs.
+                        let Some(phy_id) = self.phy_directory.lookup(frame.src.as_u64())
+                        else {
+                            return vec![SwitchAction::Drop];
+                        };
+                        self.fail_counters.write(phy_id as usize, 0);
+                        self.fail_seen.write(phy_id as usize, 1);
+                        {
+                            let (last, max_gap) = &mut self.dl_gap_stats[phy_id as usize];
+                            if last.0 > 0 {
+                                let gap = now.saturating_sub(*last);
+                                if gap > *max_gap {
+                                    *max_gap = gap;
+                                }
+                            }
+                            *last = now;
+                        }
+                        let Some(ru_id) = self.id_directory.lookup(frame.dst.as_u64())
+                        else {
+                            return vec![SwitchAction::Drop];
+                        };
+                        let ru_id = ru_id as u8;
+                        self.maybe_migrate(ru_id, hdr.slot_scalar());
+                        let active = self.ru_to_phy.read(ru_id as usize);
+                        if active != phy_id {
+                            // The hot standby's downlink never reaches
+                            // the RU (§5: "blocking downlink
+                            // control-plane packets from a hot-standby
+                            // secondary PHY").
+                            self.dl_filtered += 1;
+                            return vec![SwitchAction::Drop];
+                        }
+                        self.forward_by_table(frame)
+                    }
+                }
+            }
+            // Everything else (Orion UDP, user plane): plain forwarding.
+            _ => self.forward_by_table(frame),
+        }
+    }
+
+    fn on_generator_tick(&mut self, _now: Nanos) -> Vec<SwitchAction> {
+        let n = self.detector.ticks_per_period as u64;
+        let mut out = Vec::new();
+        for phy in 0..self.fail_counters.size() {
+            if self.fail_enrolled.read(phy) == 0 || self.fail_seen.read(phy) == 0 {
+                continue;
+            }
+            let c = self.fail_counters.read(phy);
+            if c == COUNTER_REPORTED {
+                continue;
+            }
+            let c = c + 1;
+            if c >= n.min(COUNTER_REPORTED - 1) {
+                // Saturated: the timer packet is reformatted into a
+                // failure notification (§5.2.2).
+                self.fail_counters.write(phy, COUNTER_REPORTED);
+                self.failures_reported += 1;
+                let pkt = CtlPacket::FailureNotify { phy_id: phy as u8 };
+                for mac in self.notify_macs.clone() {
+                    let frame = Frame::new(
+                        mac,
+                        self.switch_mac,
+                        EtherType::SlingshotCtl,
+                        pkt.to_bytes(),
+                    );
+                    out.extend(self.forward_by_table(frame));
+                }
+            } else {
+                self.fail_counters.write(phy, c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use slingshot_fronthaul::{fh_header, CPlaneMsg, FhMessage, UPlaneMsg};
+    use slingshot_sim::SlotId;
+    use slingshot_switch::{estimate, ResourceBudget};
+
+    fn mbox() -> FhMbox {
+        let mut m = FhMbox::new(PktGenConfig::paper_default(), MacAddr::for_l2(0));
+        m.install_ru(0, MacAddr::for_ru(0), PortId(1), 1);
+        m.install_phy(1, MacAddr::for_phy(1), PortId(2));
+        m.install_phy(2, MacAddr::for_phy(2), PortId(3));
+        m.install_host(MacAddr::for_l2(0), PortId(4));
+        m
+    }
+
+    fn ul_frame(slot: SlotId) -> Frame {
+        let msg = FhMessage::UPlane(UPlaneMsg {
+            hdr: fh_header(slingshot_fronthaul::Direction::Uplink, slot, 0, 0),
+            start_prb: 0,
+            prbs: vec![],
+        });
+        Frame::new(
+            MacAddr::virtual_phy(0),
+            MacAddr::for_ru(0),
+            EtherType::Ecpri,
+            msg.to_bytes(),
+        )
+    }
+
+    fn dl_frame(from_phy: u8, slot: SlotId) -> Frame {
+        let msg = FhMessage::CPlane(CPlaneMsg {
+            hdr: fh_header(slingshot_fronthaul::Direction::Downlink, slot, 0, 0),
+            sections: vec![],
+        });
+        Frame::new(
+            MacAddr::for_ru(0),
+            MacAddr::for_phy(from_phy),
+            EtherType::Ecpri,
+            msg.to_bytes(),
+        )
+    }
+
+    fn slot(abs: u64) -> SlotId {
+        SlotId::from_absolute(abs)
+    }
+
+    fn fwd_port(actions: &[SwitchAction]) -> Option<PortId> {
+        match actions.first() {
+            Some(SwitchAction::Forward { port, .. }) => Some(*port),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn uplink_translated_to_active_phy() {
+        let mut m = mbox();
+        let acts = m.process(Nanos(0), PortId(1), ul_frame(slot(10)));
+        assert_eq!(fwd_port(&acts), Some(PortId(2)));
+        match &acts[0] {
+            SwitchAction::Forward { frame, .. } => {
+                assert_eq!(frame.dst, MacAddr::for_phy(1), "virtual address rewritten");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn downlink_from_standby_is_filtered() {
+        let mut m = mbox();
+        let acts = m.process(Nanos(0), PortId(3), dl_frame(2, slot(10)));
+        assert_eq!(acts, vec![SwitchAction::Drop]);
+        assert_eq!(m.dl_filtered, 1);
+        // Active PHY's downlink passes.
+        let acts = m.process(Nanos(0), PortId(2), dl_frame(1, slot(10)));
+        assert_eq!(fwd_port(&acts), Some(PortId(1)));
+    }
+
+    #[test]
+    fn migration_executes_exactly_at_boundary() {
+        let mut m = mbox();
+        // Command: migrate RU 0 to PHY 2 at slot 100.
+        let cmd = CtlPacket::MigrateOnSlot {
+            ru_id: 0,
+            dest_phy_id: 2,
+            slot_scalar: 100,
+        };
+        let switch_mac = m.switch_mac;
+        m.process(
+            Nanos(0),
+            PortId(4),
+            Frame::new(switch_mac, MacAddr::for_l2(0), EtherType::SlingshotCtl, cmd.to_bytes()),
+        );
+        // Slot 99: still the old PHY.
+        let acts = m.process(Nanos(0), PortId(1), ul_frame(slot(99)));
+        match &acts[0] {
+            SwitchAction::Forward { frame, .. } => assert_eq!(frame.dst, MacAddr::for_phy(1)),
+            _ => panic!(),
+        }
+        assert_eq!(m.migrations_executed, 0);
+        // Slot 100: remapped in the data plane by this very packet.
+        let acts = m.process(Nanos(0), PortId(1), ul_frame(slot(100)));
+        match &acts[0] {
+            SwitchAction::Forward { frame, .. } => assert_eq!(frame.dst, MacAddr::for_phy(2)),
+            _ => panic!(),
+        }
+        assert_eq!(m.migrations_executed, 1);
+        assert_eq!(m.active_phy(0), 2);
+        // Old PHY's downlink now filtered; new PHY's passes.
+        assert_eq!(
+            m.process(Nanos(0), PortId(2), dl_frame(1, slot(101))),
+            vec![SwitchAction::Drop]
+        );
+        assert!(fwd_port(&m.process(Nanos(0), PortId(3), dl_frame(2, slot(101)))).is_some());
+    }
+
+    #[test]
+    fn migration_triggered_by_downlink_too() {
+        let mut m = mbox();
+        let cmd = CtlPacket::MigrateOnSlot {
+            ru_id: 0,
+            dest_phy_id: 2,
+            slot_scalar: 50,
+        };
+        let switch_mac = m.switch_mac;
+        m.process(
+            Nanos(0),
+            PortId(4),
+            Frame::new(switch_mac, MacAddr::ZERO, EtherType::SlingshotCtl, cmd.to_bytes()),
+        );
+        // A downlink packet from the *new* PHY for slot 50 executes the
+        // migration even before any uplink packet arrives.
+        let acts = m.process(Nanos(0), PortId(3), dl_frame(2, slot(50)));
+        assert!(fwd_port(&acts).is_some());
+        assert_eq!(m.active_phy(0), 2);
+    }
+
+    #[test]
+    fn migration_wraps_across_frame_epoch() {
+        let mut m = mbox();
+        let cmd = CtlPacket::MigrateOnSlot {
+            ru_id: 0,
+            dest_phy_id: 2,
+            slot_scalar: 2, // just after the 5120-scalar wrap
+        };
+        let switch_mac = m.switch_mac;
+        m.process(
+            Nanos(0),
+            PortId(4),
+            Frame::new(switch_mac, MacAddr::ZERO, EtherType::SlingshotCtl, cmd.to_bytes()),
+        );
+        // Slot scalar 5118 (= before the wrap) must NOT trigger.
+        let acts = m.process(Nanos(0), PortId(1), ul_frame(slot(5118)));
+        match &acts[0] {
+            SwitchAction::Forward { frame, .. } => assert_eq!(frame.dst, MacAddr::for_phy(1)),
+            _ => panic!(),
+        }
+        // Scalar 3 (after wrap) triggers.
+        let acts = m.process(Nanos(0), PortId(1), ul_frame(slot(5120 + 3)));
+        match &acts[0] {
+            SwitchAction::Forward { frame, .. } => assert_eq!(frame.dst, MacAddr::for_phy(2)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn failure_detector_fires_after_n_ticks() {
+        let mut m = mbox();
+        m.enroll_failure_detection(1);
+        let n = m.detector.ticks_per_period;
+        // Before the first heartbeat the detector stays disarmed (a
+        // booting PHY must not be declared dead).
+        for _ in 0..3 * n {
+            assert!(m.on_generator_tick(Nanos(0)).is_empty());
+        }
+        assert_eq!(m.failures_reported, 0);
+        // Healthy: packets keep resetting the counter.
+        for _ in 0..3 * n {
+            m.process(Nanos(0), PortId(2), dl_frame(1, slot(1)));
+            assert!(m.on_generator_tick(Nanos(0)).is_empty());
+        }
+        // PHY dies: counter saturates after n ticks.
+        let mut notified = Vec::new();
+        for _ in 0..n {
+            notified.extend(m.on_generator_tick(Nanos(0)));
+        }
+        assert_eq!(m.failures_reported, 1);
+        assert_eq!(notified.len(), 1);
+        match &notified[0] {
+            SwitchAction::Forward { frame, .. } => {
+                assert_eq!(frame.dst, MacAddr::for_l2(0));
+                assert_eq!(
+                    CtlPacket::from_bytes(&frame.payload),
+                    Some(CtlPacket::FailureNotify { phy_id: 1 })
+                );
+            }
+            _ => panic!("expected notification"),
+        }
+        // No repeated notifications while still dead.
+        for _ in 0..3 * n {
+            assert!(m.on_generator_tick(Nanos(0)).is_empty());
+        }
+        // PHY comes back: counter resets, detection re-arms.
+        m.process(Nanos(0), PortId(2), dl_frame(1, slot(2)));
+        for _ in 0..n {
+            let _ = m.on_generator_tick(Nanos(0));
+        }
+        assert_eq!(m.failures_reported, 2);
+    }
+
+    #[test]
+    fn unenrolled_phy_not_monitored() {
+        let mut m = mbox();
+        m.enroll_failure_detection(1);
+        m.unenroll_failure_detection(1);
+        for _ in 0..200 {
+            assert!(m.on_generator_tick(Nanos(0)).is_empty());
+        }
+        assert_eq!(m.failures_reported, 0);
+    }
+
+    #[test]
+    fn unknown_sources_dropped() {
+        let mut m = mbox();
+        let mut f = ul_frame(slot(1));
+        f.src = MacAddr([9; 6]);
+        assert_eq!(m.process(Nanos(0), PortId(9), f), vec![SwitchAction::Drop]);
+    }
+
+    #[test]
+    fn non_fronthaul_traffic_forwarded_plain() {
+        let mut m = mbox();
+        let f = Frame::new(
+            MacAddr::for_l2(0),
+            MacAddr::for_phy(1),
+            EtherType::Ipv4,
+            Bytes::from_static(b"orion udp"),
+        );
+        assert_eq!(fwd_port(&m.process(Nanos(0), PortId(2), f)), Some(PortId(4)));
+    }
+
+    #[test]
+    fn resources_fit_at_256_rus() {
+        let usage = estimate(&FhMbox::manifest(256, 256), &ResourceBudget::default());
+        assert!(usage.fits(), "{usage:?}");
+        // Paper §8.6 scale: each resource in single-digit to low-teens %.
+        assert!(usage.crossbar < 0.20, "crossbar={}", usage.crossbar);
+        assert!(usage.alu < 0.25, "alu={}", usage.alu);
+        assert!(usage.gateway < 0.25, "gateway={}", usage.gateway);
+        assert!(usage.sram < 0.15, "sram={}", usage.sram);
+        assert!(usage.hash_bits < 0.20, "hash={}", usage.hash_bits);
+    }
+}

@@ -1,0 +1,248 @@
+//! Multi-RU deployment with **crossed** primary/secondary placement.
+//!
+//! The paper notes that real deployments do not dedicate servers to
+//! standbys: "Slingshot will co-locate primary and secondary PHYs for
+//! different RUs within PHY processes" (§8). This builder realizes
+//! that: two cells (RU 0 and RU 1), each with its own L2 + L2-side
+//! Orion, sharing two PHY processes —
+//!
+//! ```text
+//!   RU 0: primary = PHY 1, secondary = PHY 2
+//!   RU 1: primary = PHY 2, secondary = PHY 1
+//! ```
+//!
+//! Each PHY process simultaneously runs real work for one RU and null
+//! FAPIs for the other. Killing PHY 1 fails RU 0 over onto PHY 2 while
+//! RU 1 (already on PHY 2) continues undisturbed — with both cells'
+//! processing now co-resident on the surviving server.
+
+use slingshot_netsim::MacAddr;
+use slingshot_ran::{
+    AppServerNode, CoreNode, L2Node, Msg, PhyConfig, PhyNode, RuNode, UeConfig, UeNode,
+};
+use slingshot_sim::{Engine, LinkParams, Nanos, NodeId, SimRng, SlotClock};
+use slingshot_switch::PortId;
+use slingshot_transport::UserApp;
+
+use crate::deployment::DeploymentConfig;
+use crate::fh_mbox::FhMbox;
+use crate::orion::{orion_l2_mac, orion_phy_mac, OrionL2Node, OrionPhyNode};
+use crate::switch_node::SwitchNode;
+
+/// One cell's node handles inside a [`DualRuDeployment`].
+pub struct CellNodes {
+    pub ru: NodeId,
+    pub l2: NodeId,
+    pub orion_l2: NodeId,
+    pub ues: Vec<NodeId>,
+}
+
+/// Two cells sharing two PHY servers with crossed roles.
+pub struct DualRuDeployment {
+    pub engine: Engine<Msg>,
+    pub switch: NodeId,
+    /// PHY 1 (primary for cell 0, standby for cell 1).
+    pub phy1: NodeId,
+    /// PHY 2 (primary for cell 1, standby for cell 0).
+    pub phy2: NodeId,
+    pub orion_phy1: NodeId,
+    pub orion_phy2: NodeId,
+    pub cells: [CellNodes; 2],
+    pub core: NodeId,
+    pub server: NodeId,
+}
+
+const PHY1: u8 = 1;
+const PHY2: u8 = 2;
+
+impl DualRuDeployment {
+    pub fn build(
+        cfg: DeploymentConfig,
+        ues_cell0: Vec<UeConfig>,
+        ues_cell1: Vec<UeConfig>,
+    ) -> DualRuDeployment {
+        assert!(ues_cell0.iter().all(|u| u.ru_id == 0));
+        assert!(ues_cell1.iter().all(|u| u.ru_id == 1));
+        let mut engine: Engine<Msg> = Engine::new(cfg.seed);
+        let clock = SlotClock::new(Nanos::ZERO);
+        let mut rng = SimRng::new(cfg.seed ^ 0x2CE1);
+
+        let server = engine.add_node("server", Box::new(AppServerNode::new()));
+        let core = engine.add_node("core", Box::new(CoreNode::new()));
+
+        // Two L2 processes, one per cell, with distinct cell ids.
+        let mut cell_cfgs = [cfg.cell.clone(), cfg.cell.clone()];
+        cell_cfgs[1].cell_id = cfg.cell.cell_id + 1;
+        let mut l2s = Vec::new();
+        for (ru_id, (cell, ue_cfgs)) in cell_cfgs
+            .iter()
+            .zip([&ues_cell0, &ues_cell1])
+            .enumerate()
+        {
+            let mut l2n = L2Node::new(cell.clone(), clock, ru_id as u8);
+            for u in ue_cfgs {
+                if u.preattached {
+                    l2n.preattach_ue(u.rnti, u.snr.mean_db);
+                }
+            }
+            l2s.push(engine.add_node(&format!("l2-cell{ru_id}"), Box::new(l2n)));
+        }
+
+        let mk_phy = |id: u8, rng: &mut SimRng| {
+            let mut pc = PhyConfig::new(id);
+            pc.fec_iterations = cfg.cell.fec_iterations;
+            // One PHY process serves both cells; it uses cell 0's
+            // shared parameters (identical except cell_id, which comes
+            // from each CONFIG.request).
+            PhyNode::new(pc, cfg.cell.clone(), clock, rng.fork(&format!("phy{id}")))
+        };
+        let phy1 = engine.add_node("phy1", Box::new(mk_phy(PHY1, &mut rng)));
+        let phy2 = engine.add_node("phy2", Box::new(mk_phy(PHY2, &mut rng)));
+        let orion_phy1 = engine.add_node("orion-phy1", Box::new(OrionPhyNode::new(PHY1, 0)));
+        let orion_phy2 = engine.add_node("orion-phy2", Box::new(OrionPhyNode::new(PHY2, 0)));
+
+        let orion_l2_0 = engine.add_node("orion-l2-0", Box::new(OrionL2Node::new(0, clock)));
+        let orion_l2_1 = engine.add_node("orion-l2-1", Box::new(OrionL2Node::new(1, clock)));
+
+        let mut rus = Vec::new();
+        let mut ue_ids: [Vec<NodeId>; 2] = [Vec::new(), Vec::new()];
+        for (ru_id, ue_cfgs) in [&ues_cell0, &ues_cell1].into_iter().enumerate() {
+            let run = RuNode::new(ru_id as u8, clock);
+            rus.push((engine.add_node(&format!("ru{ru_id}"), Box::new(run)), MacAddr::for_ru(ru_id as u8)));
+            for u in ue_cfgs {
+                let name = u.name.clone();
+                let node = UeNode::new(u.clone(), cell_cfgs[ru_id].clone(), clock, rng.fork(&name));
+                ue_ids[ru_id].push(engine.add_node(&name, Box::new(node)));
+            }
+        }
+
+        // Switch: notify both L2-side Orions on failures.
+        let mut mbox = FhMbox::with_notify_targets(
+            cfg.detector,
+            vec![orion_l2_mac(0), orion_l2_mac(1)],
+        );
+        mbox.install_ru(0, rus[0].1, PortId(1), PHY1);
+        mbox.install_ru(1, rus[1].1, PortId(6), PHY2);
+        mbox.install_phy(PHY1, MacAddr::for_phy(PHY1), PortId(2));
+        mbox.install_phy(PHY2, MacAddr::for_phy(PHY2), PortId(3));
+        mbox.install_host(orion_phy_mac(PHY1), PortId(12));
+        mbox.install_host(orion_phy_mac(PHY2), PortId(13));
+        mbox.install_host(orion_l2_mac(0), PortId(4));
+        mbox.install_host(orion_l2_mac(1), PortId(5));
+        mbox.enroll_failure_detection(PHY1);
+        mbox.enroll_failure_detection(PHY2);
+        let switch_mac = mbox.switch_mac;
+        let mut swn = SwitchNode::new(mbox, cfg.forwarding, rng.fork("switch"));
+        swn.attach(PortId(1), rus[0].0);
+        swn.attach(PortId(6), rus[1].0);
+        swn.attach(PortId(2), phy1);
+        swn.attach(PortId(3), phy2);
+        swn.attach(PortId(12), orion_phy1);
+        swn.attach(PortId(13), orion_phy2);
+        swn.attach(PortId(4), orion_l2_0);
+        swn.attach(PortId(5), orion_l2_1);
+        let switch = engine.add_node("switch", Box::new(swn));
+
+        // Wiring: one core, routing each UE's downlink to its gNB.
+        engine.node_mut::<AppServerNode>(server).unwrap().wire(core);
+        {
+            let c = engine.node_mut::<CoreNode>(core).unwrap();
+            c.wire(l2s[0], server);
+            for u in &ues_cell0 {
+                c.route_ue(u.rnti, l2s[0]);
+            }
+            for u in &ues_cell1 {
+                c.route_ue(u.rnti, l2s[1]);
+            }
+        }
+        engine.node_mut::<L2Node>(l2s[0]).unwrap().wire(orion_l2_0, core);
+        engine.node_mut::<L2Node>(l2s[1]).unwrap().wire(orion_l2_1, core);
+        engine.node_mut::<PhyNode>(phy1).unwrap().wire(switch, orion_phy1);
+        engine.node_mut::<PhyNode>(phy2).unwrap().wire(switch, orion_phy2);
+        for op in [orion_phy1, orion_phy2] {
+            let o = engine.node_mut::<OrionPhyNode>(op).unwrap();
+            o.wire(switch, if op == orion_phy1 { phy1 } else { phy2 });
+            o.route_ru(0, orion_l2_mac(0));
+            o.route_ru(1, orion_l2_mac(1));
+        }
+        {
+            let o = engine.node_mut::<OrionL2Node>(orion_l2_0).unwrap();
+            o.wire(switch, l2s[0], switch_mac);
+            o.bind_ru(0, PHY1, Some(PHY2));
+        }
+        {
+            let o = engine.node_mut::<OrionL2Node>(orion_l2_1).unwrap();
+            o.wire(switch, l2s[1], switch_mac);
+            o.bind_ru(1, PHY2, Some(PHY1));
+        }
+        for (ru_id, (ru, _)) in rus.iter().enumerate() {
+            engine
+                .node_mut::<RuNode>(*ru)
+                .unwrap()
+                .wire(switch, ue_ids[ru_id].clone());
+            for ue in &ue_ids[ru_id] {
+                engine.node_mut::<UeNode>(*ue).unwrap().wire(*ru, l2s[ru_id]);
+            }
+        }
+
+        // Links.
+        let backhaul = cfg.backhaul_link.clone();
+        engine.connect_duplex(server, core, backhaul.clone());
+        engine.connect_duplex(core, l2s[0], backhaul.clone());
+        engine.connect_duplex(core, l2s[1], backhaul);
+        engine.connect_duplex(l2s[0], orion_l2_0, LinkParams::ideal(Nanos(500)));
+        engine.connect_duplex(l2s[1], orion_l2_1, LinkParams::ideal(Nanos(500)));
+        for (ru, _) in &rus {
+            engine.connect_duplex(*ru, switch, cfg.fronthaul_link.clone());
+        }
+        for n in [phy1, phy2, orion_phy1, orion_phy2, orion_l2_0, orion_l2_1] {
+            engine.connect_duplex(n, switch, cfg.server_link.clone());
+        }
+        engine.connect_duplex(phy1, orion_phy1, LinkParams::ideal(Nanos(500)));
+        engine.connect_duplex(phy2, orion_phy2, LinkParams::ideal(Nanos(500)));
+
+        DualRuDeployment {
+            engine,
+            switch,
+            phy1,
+            phy2,
+            orion_phy1,
+            orion_phy2,
+            cells: [
+                CellNodes {
+                    ru: rus[0].0,
+                    l2: l2s[0],
+                    orion_l2: orion_l2_0,
+                    ues: ue_ids[0].clone(),
+                },
+                CellNodes {
+                    ru: rus[1].0,
+                    l2: l2s[1],
+                    orion_l2: orion_l2_1,
+                    ues: ue_ids[1].clone(),
+                },
+            ],
+            core,
+            server,
+        }
+    }
+
+    /// Attach a flow for a UE in a given cell.
+    pub fn add_flow(
+        &mut self,
+        cell: usize,
+        ue_idx: usize,
+        rnti: u16,
+        ue_app: Box<dyn UserApp>,
+        server_app: Box<dyn UserApp>,
+    ) {
+        self.engine
+            .node_mut::<UeNode>(self.cells[cell].ues[ue_idx])
+            .unwrap()
+            .add_app(ue_app);
+        self.engine
+            .node_mut::<AppServerNode>(self.server)
+            .unwrap()
+            .add_app(rnti, server_app);
+    }
+}

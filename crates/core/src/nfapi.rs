@@ -1,0 +1,298 @@
+//! An nFAPI-style *stateful* transport model — the design Orion
+//! deliberately rejects (§6.1).
+//!
+//! The Small Cell Forum's nFAPI decouples L2 and PHY over SCTP:
+//! a connection-oriented association with a 4-way handshake, per-stream
+//! sequencing, cumulative acknowledgments, and retransmission. That
+//! state is exactly what makes migration expensive: moving the PHY
+//! endpoint means tearing the association down and re-establishing it
+//! (or transferring kernel SCTP state), and every in-flight sequenced
+//! message is bound to the old association.
+//!
+//! Orion instead uses a lean stateless datagram protocol (the
+//! datacenter network is reliable enough, and slot-scoped FAPI messages
+//! are naturally idempotent per slot), so migrating at a TTI boundary
+//! carries **zero transport state** (§6.1). This module implements a
+//! compact but real SCTP-like state machine so the
+//! `ablation_transport` bench can put numbers on that contrast; it is
+//! deliberately not wired into the deployment.
+
+use slingshot_sim::Nanos;
+use std::collections::BTreeMap;
+
+/// Association states (a condensed SCTP handshake).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssocState {
+    Closed,
+    /// INIT sent, awaiting INIT-ACK.
+    CookieWait,
+    /// COOKIE-ECHO sent, awaiting COOKIE-ACK.
+    CookieEchoed,
+    Established,
+}
+
+/// Wire chunks of the model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Chunk {
+    Init { tag: u32 },
+    InitAck { tag: u32 },
+    CookieEcho { tag: u32 },
+    CookieAck,
+    /// Sequenced data (a FAPI message body).
+    Data { tsn: u64, payload_len: u32 },
+    /// Cumulative acknowledgment.
+    Sack { cum_tsn: u64 },
+    Abort,
+}
+
+/// One endpoint of an nFAPI-over-SCTP-like association.
+#[derive(Debug)]
+pub struct SctpLikeEndpoint {
+    pub state: AssocState,
+    local_tag: u32,
+    peer_tag: Option<u32>,
+    /// Next transmission sequence number to assign.
+    next_tsn: u64,
+    /// Unacknowledged data, keyed by TSN, with last-send time.
+    unacked: BTreeMap<u64, (u32, Nanos)>,
+    /// Highest contiguously received TSN from the peer.
+    cum_rx_tsn: Option<u64>,
+    /// Retransmission timeout.
+    pub rto: Nanos,
+    /// Counters.
+    pub retransmissions: u64,
+    pub delivered: u64,
+    pub handshakes_completed: u64,
+}
+
+impl SctpLikeEndpoint {
+    pub fn new(local_tag: u32) -> SctpLikeEndpoint {
+        SctpLikeEndpoint {
+            state: AssocState::Closed,
+            local_tag,
+            peer_tag: None,
+            next_tsn: 1,
+            unacked: BTreeMap::new(),
+            cum_rx_tsn: None,
+            rto: Nanos::from_millis(10),
+            retransmissions: 0,
+            delivered: 0,
+            handshakes_completed: 0,
+        }
+    }
+
+    /// Begin association establishment: emits INIT.
+    pub fn connect(&mut self) -> Chunk {
+        self.state = AssocState::CookieWait;
+        Chunk::Init {
+            tag: self.local_tag,
+        }
+    }
+
+    /// Bytes of association state held at this endpoint — what a
+    /// state-transferring migration would need to ship.
+    pub fn state_bytes(&self) -> usize {
+        // Tags, TSN counters, timers, per-chunk retransmission entries.
+        64 + self.unacked.len() * 24
+    }
+
+    /// Handle an incoming chunk; returns chunks to send back and
+    /// whether a sequenced message was delivered to the application.
+    pub fn on_chunk(&mut self, now: Nanos, chunk: Chunk) -> (Vec<Chunk>, Option<u32>) {
+        match (self.state, chunk) {
+            (AssocState::Closed, Chunk::Init { tag }) => {
+                self.peer_tag = Some(tag);
+                (
+                    vec![Chunk::InitAck {
+                        tag: self.local_tag,
+                    }],
+                    None,
+                )
+            }
+            (AssocState::CookieWait, Chunk::InitAck { tag }) => {
+                self.peer_tag = Some(tag);
+                self.state = AssocState::CookieEchoed;
+                (
+                    vec![Chunk::CookieEcho {
+                        tag: self.local_tag,
+                    }],
+                    None,
+                )
+            }
+            (AssocState::Closed, Chunk::CookieEcho { tag }) => {
+                self.peer_tag = Some(tag);
+                self.state = AssocState::Established;
+                self.handshakes_completed += 1;
+                (vec![Chunk::CookieAck], None)
+            }
+            (AssocState::CookieEchoed, Chunk::CookieAck) => {
+                self.state = AssocState::Established;
+                self.handshakes_completed += 1;
+                (Vec::new(), None)
+            }
+            (AssocState::Established, Chunk::Data { tsn, payload_len }) => {
+                // In-order delivery only (SCTP ordered stream).
+                let expected = self.cum_rx_tsn.map(|t| t + 1).unwrap_or(1);
+                let mut delivered = None;
+                if tsn == expected {
+                    self.cum_rx_tsn = Some(tsn);
+                    self.delivered += 1;
+                    delivered = Some(payload_len);
+                }
+                let cum = self.cum_rx_tsn.unwrap_or(0);
+                (vec![Chunk::Sack { cum_tsn: cum }], delivered)
+            }
+            (AssocState::Established, Chunk::Sack { cum_tsn }) => {
+                self.unacked.retain(|tsn, _| *tsn > cum_tsn);
+                (Vec::new(), None)
+            }
+            (_, Chunk::Abort) => {
+                self.reset();
+                (Vec::new(), None)
+            }
+            // Anything else in the wrong state is protocol noise; a
+            // full implementation aborts, we just ignore.
+            _ => {
+                let _ = now;
+                (Vec::new(), None)
+            }
+        }
+    }
+
+    /// Queue application data; only legal on an established association.
+    pub fn send_data(&mut self, now: Nanos, payload_len: u32) -> Option<Chunk> {
+        if self.state != AssocState::Established {
+            return None;
+        }
+        let tsn = self.next_tsn;
+        self.next_tsn += 1;
+        self.unacked.insert(tsn, (payload_len, now));
+        Some(Chunk::Data { tsn, payload_len })
+    }
+
+    /// Retransmit anything past its RTO.
+    pub fn poll_retransmit(&mut self, now: Nanos) -> Vec<Chunk> {
+        let mut out = Vec::new();
+        for (tsn, (len, sent)) in self.unacked.iter_mut() {
+            if now.saturating_sub(*sent) >= self.rto {
+                *sent = now;
+                self.retransmissions += 1;
+                out.push(Chunk::Data {
+                    tsn: *tsn,
+                    payload_len: *len,
+                });
+            }
+        }
+        out
+    }
+
+    /// Tear the association down (peer migrated away): all transport
+    /// state is invalidated and a fresh handshake is required before
+    /// any FAPI message can flow — the §6.1 migration cost.
+    pub fn reset(&mut self) {
+        self.state = AssocState::Closed;
+        self.peer_tag = None;
+        self.next_tsn = 1;
+        self.unacked.clear();
+        self.cum_rx_tsn = None;
+    }
+}
+
+/// Time to (re)establish an association over a network with the given
+/// one-way latency: the 4-way handshake is two round trips.
+pub fn handshake_time(one_way: Nanos) -> Nanos {
+    Nanos(4 * one_way.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn establish(a: &mut SctpLikeEndpoint, b: &mut SctpLikeEndpoint) {
+        let init = a.connect();
+        let (r1, _) = b.on_chunk(Nanos(0), init);
+        let (r2, _) = a.on_chunk(Nanos(1), r1[0].clone());
+        let (r3, _) = b.on_chunk(Nanos(2), r2[0].clone());
+        let (_, _) = a.on_chunk(Nanos(3), r3[0].clone());
+        assert_eq!(a.state, AssocState::Established);
+        assert_eq!(b.state, AssocState::Established);
+    }
+
+    #[test]
+    fn four_way_handshake_establishes() {
+        let mut a = SctpLikeEndpoint::new(11);
+        let mut b = SctpLikeEndpoint::new(22);
+        establish(&mut a, &mut b);
+        assert_eq!(a.handshakes_completed, 1);
+        assert_eq!(b.handshakes_completed, 1);
+    }
+
+    #[test]
+    fn data_refused_before_establishment() {
+        let mut a = SctpLikeEndpoint::new(1);
+        assert!(a.send_data(Nanos(0), 100).is_none());
+        let _ = a.connect();
+        assert!(a.send_data(Nanos(0), 100).is_none(), "still handshaking");
+    }
+
+    #[test]
+    fn sequenced_delivery_and_ack() {
+        let mut a = SctpLikeEndpoint::new(1);
+        let mut b = SctpLikeEndpoint::new(2);
+        establish(&mut a, &mut b);
+        let d1 = a.send_data(Nanos(10), 64).unwrap();
+        let d2 = a.send_data(Nanos(11), 64).unwrap();
+        // Out-of-order arrival: d2 first is NOT delivered (ordered
+        // stream), then d1 unblocks only itself.
+        let (sacks, delivered) = b.on_chunk(Nanos(12), d2.clone());
+        assert!(delivered.is_none());
+        assert_eq!(sacks, vec![Chunk::Sack { cum_tsn: 0 }]);
+        let (_, delivered) = b.on_chunk(Nanos(13), d1);
+        assert_eq!(delivered, Some(64));
+        // Redelivery of d2 in order now succeeds.
+        let (sacks, delivered) = b.on_chunk(Nanos(14), d2);
+        assert_eq!(delivered, Some(64));
+        assert_eq!(sacks, vec![Chunk::Sack { cum_tsn: 2 }]);
+        // The SACK clears the sender's retransmission queue.
+        let (_, _) = a.on_chunk(Nanos(15), sacks[0].clone());
+        assert_eq!(a.state_bytes(), 64, "no unacked chunks left");
+    }
+
+    #[test]
+    fn lost_data_retransmits_after_rto() {
+        let mut a = SctpLikeEndpoint::new(1);
+        let mut b = SctpLikeEndpoint::new(2);
+        establish(&mut a, &mut b);
+        let _lost = a.send_data(Nanos(0), 128).unwrap();
+        assert!(a.poll_retransmit(Nanos::from_millis(5)).is_empty());
+        let rtx = a.poll_retransmit(Nanos::from_millis(11));
+        assert_eq!(rtx.len(), 1);
+        assert_eq!(a.retransmissions, 1);
+        let (_, delivered) = b.on_chunk(Nanos::from_millis(12), rtx[0].clone());
+        assert_eq!(delivered, Some(128));
+    }
+
+    #[test]
+    fn migration_invalidates_association() {
+        let mut l2 = SctpLikeEndpoint::new(1);
+        let mut phy = SctpLikeEndpoint::new(2);
+        establish(&mut l2, &mut phy);
+        for _ in 0..5 {
+            let _ = l2.send_data(Nanos(0), 64);
+        }
+        assert!(l2.state_bytes() > 64, "in-flight transport state exists");
+        // The PHY endpoint migrates: the old association is gone.
+        l2.reset();
+        assert_eq!(l2.state, AssocState::Closed);
+        assert!(l2.send_data(Nanos(1), 64).is_none(), "no data until re-handshake");
+        // Re-establish with the new PHY endpoint.
+        let mut new_phy = SctpLikeEndpoint::new(3);
+        establish(&mut l2, &mut new_phy);
+        assert!(l2.send_data(Nanos(2), 64).is_some());
+    }
+
+    #[test]
+    fn handshake_time_is_two_rtts() {
+        assert_eq!(handshake_time(Nanos::from_micros(50)), Nanos::from_micros(200));
+    }
+}

@@ -1,0 +1,780 @@
+//! Orion, the L2↔PHY FAPI middlebox (paper §6).
+//!
+//! Two roles, each a node:
+//!
+//! - [`OrionPhyNode`] pairs with a PHY over "shared memory" and bridges
+//!   it to the datacenter network with a lean, stateless UDP transport
+//!   (§6.1) — no nFAPI/SCTP state, so nothing needs migrating.
+//! - [`OrionL2Node`] pairs with the L2. It forwards real FAPI requests
+//!   to the primary PHY and **null** requests to the hot standby
+//!   (§6.2), filters the standby's responses, duplicates initialization
+//!   (§6.3), initiates migration at a TTI boundary (`migrate_on_slot`
+//!   to the switch), and — per §7/Fig. 7 — keeps accepting the old
+//!   primary's pipelined uplink results for pre-boundary slots.
+//!
+//! Both roles model the busy-polling forwarding cost of the real C++
+//! implementation (per-message + per-byte, FIFO through one core), so
+//! the Fig. 12 latency measurements are produced by executed code.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use slingshot_fapi::{self as fapi, FapiMsg};
+use slingshot_netsim::{EtherType, Frame, MacAddr};
+use slingshot_ran::{CtlMsg, Msg};
+use slingshot_sim::{Ctx, Nanos, Node, NodeId, SlotClock, SlotId};
+
+use crate::ctl::CtlPacket;
+
+const TIMER_SLOT: u64 = 910;
+
+/// MAC address of an Orion process co-located with PHY `id`.
+pub fn orion_phy_mac(phy_id: u8) -> MacAddr {
+    MacAddr([0x02, 0x4F, 0x52, 0x00, 0x01, phy_id])
+}
+
+/// MAC address of the Orion process co-located with L2 `id`.
+pub fn orion_l2_mac(l2_id: u8) -> MacAddr {
+    MacAddr([0x02, 0x4F, 0x52, 0x00, 0x02, l2_id])
+}
+
+/// Busy-poll forwarding cost model (one core, FIFO).
+#[derive(Debug, Clone, Copy)]
+pub struct OrionCost {
+    pub per_msg: Nanos,
+    pub per_byte_ns: f64,
+}
+
+impl Default for OrionCost {
+    fn default() -> OrionCost {
+        OrionCost {
+            per_msg: Nanos(800),
+            per_byte_ns: 0.2,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CostState {
+    busy_until: Nanos,
+}
+
+impl CostState {
+    /// FIFO service: returns the completion time for a message of
+    /// `bytes` arriving at `now`.
+    fn service(&mut self, now: Nanos, bytes: usize, cost: &OrionCost) -> Nanos {
+        let start = self.busy_until.max(now);
+        let dur = cost.per_msg + Nanos((bytes as f64 * cost.per_byte_ns) as u64);
+        self.busy_until = start + dur;
+        self.busy_until
+    }
+}
+
+/// The PHY-side Orion.
+pub struct OrionPhyNode {
+    pub phy_id: u8,
+    mac: MacAddr,
+    peer_l2_orion: MacAddr,
+    /// Per-RU peer override (a PHY process can serve RUs belonging to
+    /// different L2 processes — the co-located multi-RU deployment).
+    peer_by_ru: HashMap<u8, MacAddr>,
+    switch: Option<NodeId>,
+    phy: Option<NodeId>,
+    clock: SlotClock,
+    cost: OrionCost,
+    state: CostState,
+    /// Started RUs and the latest absolute slot each has TTI requests
+    /// for — the §6.1 loss guard: if a datagram is lost, Orion injects
+    /// null requests so the PHY never starves. (BTreeMap: iterated in
+    /// an event-emitting path, so the order must be deterministic.)
+    ru_last_slot: BTreeMap<u8, (bool, u64)>,
+    /// Latency samples: (enqueue→deliver) for L2→PHY requests.
+    pub fwd_latency: slingshot_sim::Sampler,
+    pub forwarded_to_phy: u64,
+    pub forwarded_to_l2: u64,
+    /// Null requests synthesized to cover lost datagrams (§6.1).
+    pub loss_nulls_injected: u64,
+    /// Bytes received from the L2-side Orion (null-FAPI overhead
+    /// accounting, §8.5).
+    pub rx_bytes_from_l2: u64,
+}
+
+impl OrionPhyNode {
+    pub fn new(phy_id: u8, l2_id: u8) -> OrionPhyNode {
+        OrionPhyNode {
+            phy_id,
+            mac: orion_phy_mac(phy_id),
+            peer_l2_orion: orion_l2_mac(l2_id),
+            peer_by_ru: HashMap::new(),
+            switch: None,
+            phy: None,
+            clock: SlotClock::new(Nanos::ZERO),
+            cost: OrionCost::default(),
+            state: CostState::default(),
+            ru_last_slot: BTreeMap::new(),
+            fwd_latency: slingshot_sim::Sampler::new(),
+            forwarded_to_phy: 0,
+            forwarded_to_l2: 0,
+            loss_nulls_injected: 0,
+            rx_bytes_from_l2: 0,
+        }
+    }
+
+    pub fn wire(&mut self, switch: NodeId, phy: NodeId) {
+        self.switch = Some(switch);
+        self.phy = Some(phy);
+    }
+
+    pub fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    /// Route a specific RU's indications to a specific L2-side Orion.
+    pub fn route_ru(&mut self, ru_id: u8, l2_orion: MacAddr) {
+        self.peer_by_ru.insert(ru_id, l2_orion);
+    }
+
+    fn peer_for(&self, ru_id: u8) -> MacAddr {
+        self.peer_by_ru
+            .get(&ru_id)
+            .copied()
+            .unwrap_or(self.peer_l2_orion)
+    }
+}
+
+const TIMER_PHY_SIDE_SLOT: u64 = 911;
+
+impl Node<Msg> for OrionPhyNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.timer_at(self.clock.next_slot_start(ctx.now()), TIMER_PHY_SIDE_SLOT);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+        if token != TIMER_PHY_SIDE_SLOT {
+            return;
+        }
+        // §6.1 loss guard: the FAPI spec requires the PHY to receive
+        // slot requests every slot. If a datagram was lost on the
+        // datacenter network, synthesize null requests for the gap so
+        // the PHY does not starve (and crash).
+        let now = ctx.now();
+        let abs = self.clock.absolute_slot(now);
+        let expect = abs + 1; // requests normally run ≥2 slots ahead
+        let mut inject = Vec::new();
+        for (ru_id, (started, last)) in self.ru_last_slot.iter_mut() {
+            if !*started {
+                continue;
+            }
+            while *last < expect {
+                *last += 1;
+                inject.push((*ru_id, *last));
+            }
+        }
+        for (ru_id, slot_abs) in inject {
+            let slot = SlotId::from_absolute(slot_abs);
+            self.loss_nulls_injected += 2;
+            if let Some(phy) = self.phy {
+                ctx.send_in(
+                    phy,
+                    Nanos(1_000),
+                    Msg::FapiShm(FapiMsg::UlTti(fapi::UlTtiRequest::null(ru_id, slot))),
+                );
+                ctx.send_in(
+                    phy,
+                    Nanos(1_000),
+                    Msg::FapiShm(FapiMsg::DlTti(fapi::DlTtiRequest::null(ru_id, slot))),
+                );
+            }
+        }
+        ctx.timer_at(self.clock.slot_start(abs + 1), TIMER_PHY_SIDE_SLOT);
+    }
+
+    fn on_msg(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            // Network → PHY (requests from the L2-side Orion).
+            Msg::Eth(frame) => {
+                if frame.ethertype != EtherType::Ipv4 || frame.dst != self.mac {
+                    return;
+                }
+                let Some(fapi_msg) = fapi::decode(&frame.payload) else {
+                    return;
+                };
+                let now = ctx.now();
+                // Track request progress per RU for the loss guard.
+                match &fapi_msg {
+                    FapiMsg::Config(c) => {
+                        self.ru_last_slot
+                            .entry(c.ru_id)
+                            .or_insert((false, self.clock.absolute_slot(now)));
+                    }
+                    FapiMsg::Start { ru_id } => {
+                        let e = self
+                            .ru_last_slot
+                            .entry(*ru_id)
+                            .or_insert((false, self.clock.absolute_slot(now)));
+                        e.0 = true;
+                        e.1 = self.clock.absolute_slot(now) + 1;
+                    }
+                    FapiMsg::Stop { ru_id } => {
+                        if let Some(e) = self.ru_last_slot.get_mut(ru_id) {
+                            e.0 = false;
+                        }
+                    }
+                    FapiMsg::UlTti(r) => {
+                        let abs = {
+                            let now_abs = self.clock.absolute_slot(now);
+                            let now_id = SlotId::from_absolute(now_abs);
+                            now_abs.saturating_add_signed(now_id.wrapping_distance(r.slot))
+                        };
+                        // §6.1: a hole in the request stream means a
+                        // datagram was lost on the way — fill it with
+                        // nulls immediately so the PHY never misses a
+                        // slot's worth of requests.
+                        let mut holes = Vec::new();
+                        if let Some(e) = self.ru_last_slot.get_mut(&r.ru_id) {
+                            if e.0 {
+                                while e.1 + 1 < abs {
+                                    e.1 += 1;
+                                    holes.push(e.1);
+                                }
+                            }
+                            e.1 = e.1.max(abs);
+                        }
+                        for slot_abs in holes {
+                            let slot = SlotId::from_absolute(slot_abs);
+                            self.loss_nulls_injected += 2;
+                            if let Some(phy) = self.phy {
+                                ctx.send_in(
+                                    phy,
+                                    Nanos(500),
+                                    Msg::FapiShm(FapiMsg::UlTti(
+                                        fapi::UlTtiRequest::null(r.ru_id, slot),
+                                    )),
+                                );
+                                ctx.send_in(
+                                    phy,
+                                    Nanos(500),
+                                    Msg::FapiShm(FapiMsg::DlTti(
+                                        fapi::DlTtiRequest::null(r.ru_id, slot),
+                                    )),
+                                );
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                self.rx_bytes_from_l2 += frame.wire_size() as u64;
+                let done = self.state.service(now, frame.payload.len(), &self.cost);
+                self.fwd_latency.record((done - now).0);
+                self.forwarded_to_phy += 1;
+                if let Some(phy) = self.phy {
+                    ctx.send_in(phy, done - now, Msg::FapiShm(fapi_msg));
+                }
+            }
+            // PHY → network (indications toward the L2-side Orion
+            // owning this RU).
+            Msg::FapiShm(fapi_msg) => {
+                let peer = self.peer_for(fapi_msg.ru_id());
+                let payload = fapi::encode(&fapi_msg);
+                let now = ctx.now();
+                let done = self.state.service(now, payload.len(), &self.cost);
+                let frame = Frame::new(peer, self.mac, EtherType::Ipv4, payload);
+                self.forwarded_to_l2 += 1;
+                if let Some(sw) = self.switch {
+                    ctx.send_link_in(sw, done - now, Msg::Eth(frame));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Per-RU binding state at the L2-side Orion.
+#[derive(Debug)]
+struct RuBinding {
+    primary: u8,
+    secondary: Option<u8>,
+    /// Slots ≥ this boundary are served by `secondary` (a migration in
+    /// progress); `None` = no migration pending.
+    migrate_at: Option<u64>,
+    /// The in-progress migration is a failover (primary crashed), not
+    /// a planned move — the old primary cannot become the new standby.
+    failover: bool,
+    /// Stored CONFIG.request, for initializing replacement standbys.
+    config: Option<fapi::ConfigRequest>,
+    started: bool,
+}
+
+/// The L2-side Orion.
+pub struct OrionL2Node {
+    pub l2_id: u8,
+    mac: MacAddr,
+    clock: SlotClock,
+    switch: Option<NodeId>,
+    l2: Option<NodeId>,
+    switch_mac: MacAddr,
+    cost: OrionCost,
+    state: CostState,
+    bindings: BTreeMap<u8, RuBinding>,
+    /// PHY id → that server's Orion MAC (the deployment's server pool).
+    phy_pool: BTreeMap<u8, MacAddr>,
+    /// Spare (unassigned) PHY ids available as replacement standbys.
+    spares: Vec<u8>,
+    /// Ablation switch: duplicate the primary's *real* FAPI requests to
+    /// the standby instead of null ones (the naïve hot-standby design
+    /// §6.2 argues against — it doubles PHY compute).
+    pub duplicate_standby: bool,
+    /// Instrumentation.
+    pub events: Vec<(Nanos, String)>,
+    pub failovers: u64,
+    pub planned_migrations: u64,
+    pub dropped_standby_msgs: u64,
+    pub drained_late_msgs: u64,
+    pub null_fapi_sent: u64,
+    /// Time the most recent failure notification arrived (paper: "we
+    /// record the PHY failure time as the time when the L2-side Orion
+    /// receives a notification").
+    pub last_failure_notified: Option<Nanos>,
+}
+
+impl OrionL2Node {
+    pub fn new(l2_id: u8, clock: SlotClock) -> OrionL2Node {
+        OrionL2Node {
+            l2_id,
+            mac: orion_l2_mac(l2_id),
+            clock,
+            switch: None,
+            l2: None,
+            switch_mac: MacAddr::ZERO,
+            cost: OrionCost::default(),
+            state: CostState::default(),
+            bindings: BTreeMap::new(),
+            phy_pool: BTreeMap::new(),
+            spares: Vec::new(),
+            duplicate_standby: false,
+            events: Vec::new(),
+            failovers: 0,
+            planned_migrations: 0,
+            dropped_standby_msgs: 0,
+            drained_late_msgs: 0,
+            null_fapi_sent: 0,
+            last_failure_notified: None,
+        }
+    }
+
+    pub fn wire(&mut self, switch: NodeId, l2: NodeId, switch_mac: MacAddr) {
+        self.switch = Some(switch);
+        self.l2 = Some(l2);
+        self.switch_mac = switch_mac;
+    }
+
+    pub fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    /// Register a PHY server in the pool (management-plane config).
+    pub fn register_phy_server(&mut self, phy_id: u8) {
+        self.phy_pool.insert(phy_id, orion_phy_mac(phy_id));
+    }
+
+    /// Mark a registered PHY as an unassigned spare standby.
+    pub fn add_spare(&mut self, phy_id: u8) {
+        self.register_phy_server(phy_id);
+        self.spares.push(phy_id);
+    }
+
+    /// Bind an RU to its primary and (optional) secondary PHY.
+    pub fn bind_ru(&mut self, ru_id: u8, primary: u8, secondary: Option<u8>) {
+        self.register_phy_server(primary);
+        if let Some(s) = secondary {
+            self.register_phy_server(s);
+        }
+        self.bindings.insert(
+            ru_id,
+            RuBinding {
+                primary,
+                secondary,
+                migrate_at: None,
+                failover: false,
+                config: None,
+                started: false,
+            },
+        );
+    }
+
+    /// The PHY that owns slot `abs` for this RU.
+    fn owner_of(b: &RuBinding, abs: u64) -> u8 {
+        match (b.migrate_at, b.secondary) {
+            (Some(boundary), Some(sec)) if abs >= boundary => sec,
+            _ => b.primary,
+        }
+    }
+
+    fn send_udp(&mut self, ctx: &mut Ctx<'_, Msg>, dst: MacAddr, msg: &FapiMsg) {
+        let payload = fapi::encode(msg);
+        let now = ctx.now();
+        let done = self.state.service(now, payload.len(), &self.cost);
+        let frame = Frame::new(dst, self.mac, EtherType::Ipv4, payload);
+        if let Some(sw) = self.switch {
+            ctx.send_link_in(sw, done - now, Msg::Eth(frame));
+        }
+    }
+
+    fn orion_mac_of(&self, phy_id: u8) -> MacAddr {
+        self.phy_pool
+            .get(&phy_id)
+            .copied()
+            .unwrap_or_else(|| orion_phy_mac(phy_id))
+    }
+
+    fn abs_of(&self, now: Nanos, slot: SlotId) -> u64 {
+        let now_abs = self.clock.absolute_slot(now);
+        let now_id = SlotId::from_absolute(now_abs);
+        now_abs.saturating_add_signed(now_id.wrapping_distance(slot))
+    }
+
+    /// Handle a request from the L2 (over SHM): real to the owner, null
+    /// to the other PHY.
+    fn on_l2_request(&mut self, ctx: &mut Ctx<'_, Msg>, msg: FapiMsg) {
+        let ru_id = msg.ru_id();
+        let Some(binding) = self.bindings.get_mut(&ru_id) else {
+            return;
+        };
+        match &msg {
+            FapiMsg::Config(c) => {
+                binding.config = Some(c.clone());
+                let (p, s) = (binding.primary, binding.secondary);
+                self.send_udp(ctx, self.orion_mac_of(p), &msg);
+                if let Some(s) = s {
+                    self.send_udp(ctx, self.orion_mac_of(s), &msg);
+                }
+            }
+            FapiMsg::Start { .. } | FapiMsg::Stop { .. } => {
+                binding.started = matches!(msg, FapiMsg::Start { .. });
+                let (p, s) = (binding.primary, binding.secondary);
+                self.send_udp(ctx, self.orion_mac_of(p), &msg);
+                if let Some(s) = s {
+                    self.send_udp(ctx, self.orion_mac_of(s), &msg);
+                }
+            }
+            FapiMsg::UlTti(req) => {
+                let abs = self.abs_of(ctx.now(), req.slot);
+                let b = self.bindings.get(&ru_id).expect("binding");
+                let owner = Self::owner_of(b, abs);
+                let other = if owner == b.primary { b.secondary } else { Some(b.primary) };
+                self.send_udp(ctx, self.orion_mac_of(owner), &msg);
+                if let Some(o) = other {
+                    if self.duplicate_standby {
+                        self.send_udp(ctx, self.orion_mac_of(o), &msg);
+                    } else {
+                        let null = FapiMsg::UlTti(fapi::UlTtiRequest::null(ru_id, req.slot));
+                        self.null_fapi_sent += 1;
+                        self.send_udp(ctx, self.orion_mac_of(o), &null);
+                    }
+                }
+            }
+            FapiMsg::DlTti(req) => {
+                let abs = self.abs_of(ctx.now(), req.slot);
+                let b = self.bindings.get(&ru_id).expect("binding");
+                let owner = Self::owner_of(b, abs);
+                let other = if owner == b.primary { b.secondary } else { Some(b.primary) };
+                self.send_udp(ctx, self.orion_mac_of(owner), &msg);
+                if let Some(o) = other {
+                    if self.duplicate_standby {
+                        self.send_udp(ctx, self.orion_mac_of(o), &msg);
+                    } else {
+                        let null = FapiMsg::DlTti(fapi::DlTtiRequest::null(ru_id, req.slot));
+                        self.null_fapi_sent += 1;
+                        self.send_udp(ctx, self.orion_mac_of(o), &null);
+                    }
+                }
+            }
+            FapiMsg::TxData(req) => {
+                let abs = self.abs_of(ctx.now(), req.slot);
+                let b = self.bindings.get(&ru_id).expect("binding");
+                let owner = Self::owner_of(b, abs);
+                let other = if owner == b.primary { b.secondary } else { Some(b.primary) };
+                self.send_udp(ctx, self.orion_mac_of(owner), &msg);
+                if self.duplicate_standby {
+                    if let Some(o) = other {
+                        self.send_udp(ctx, self.orion_mac_of(o), &msg);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Handle an indication arriving from a PHY-side Orion: forward to
+    /// the L2 only from the PHY that owns the indication's slot —
+    /// which, during a planned migration, keeps accepting the old
+    /// primary's pipelined late results (§7, Fig. 7).
+    fn on_phy_indication(&mut self, ctx: &mut Ctx<'_, Msg>, src: MacAddr, msg: FapiMsg) {
+        let ru_id = msg.ru_id();
+        let Some(b) = self.bindings.get(&ru_id) else {
+            return;
+        };
+        let src_phy = self
+            .phy_pool
+            .iter()
+            .find(|(_, m)| **m == src)
+            .map(|(id, _)| *id);
+        let Some(src_phy) = src_phy else {
+            return;
+        };
+        let accept = match msg.slot() {
+            Some(slot) => {
+                let abs = self.abs_of(ctx.now(), slot);
+                let owner = Self::owner_of(b, abs);
+                if owner == src_phy {
+                    // Late result from the old primary for a
+                    // pre-boundary slot?
+                    if b.migrate_at.is_some_and(|m| abs < m) && src_phy == b.primary {
+                        self.drained_late_msgs += 1;
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+            None => src_phy == b.primary,
+        };
+        if accept {
+            let now = ctx.now();
+            let done = self.state.service(now, 64, &self.cost);
+            if let Some(l2) = self.l2 {
+                ctx.send_in(l2, done - now, Msg::FapiShm(msg));
+            }
+        } else {
+            self.dropped_standby_msgs += 1;
+        }
+    }
+
+    /// TDD cycle length (DDDSU): migration boundaries are aligned to
+    /// the start of a cycle so that an uplink grant's DCI (carried in
+    /// the preceding Special slot) is always emitted by the PHY that
+    /// will be active when it radiates — otherwise the switch's
+    /// downlink filter would discard the new primary's grant for the
+    /// first post-boundary uplink slot.
+    const TDD_CYCLE: u64 = 5;
+
+    fn align_boundary(abs: u64) -> u64 {
+        abs.div_ceil(Self::TDD_CYCLE) * Self::TDD_CYCLE
+    }
+
+    /// Begin migrating `ru_id`'s processing to its secondary at slot
+    /// boundary `boundary_abs` (rounded up to a TDD-cycle start).
+    /// Sends `migrate_on_slot` to the switch.
+    fn start_migration(&mut self, ctx: &mut Ctx<'_, Msg>, ru_id: u8, boundary_abs: u64) {
+        let boundary_abs = Self::align_boundary(boundary_abs);
+        let Some(b) = self.bindings.get_mut(&ru_id) else {
+            return;
+        };
+        let Some(sec) = b.secondary else {
+            self.events
+                .push((ctx.now(), format!("ru{ru_id}: no secondary available")));
+            return;
+        };
+        if b.migrate_at.is_some() {
+            return; // one migration at a time per RU
+        }
+        b.migrate_at = Some(boundary_abs);
+        let scalar = (boundary_abs % (256 * 20)) as u16;
+        let cmd = CtlPacket::MigrateOnSlot {
+            ru_id,
+            dest_phy_id: sec,
+            slot_scalar: scalar,
+        };
+        let frame = Frame::new(
+            self.switch_mac,
+            self.mac,
+            EtherType::SlingshotCtl,
+            cmd.to_bytes(),
+        );
+        if let Some(sw) = self.switch {
+            ctx.send(sw, Msg::Eth(frame));
+        }
+        self.events.push((
+            ctx.now(),
+            format!("ru{ru_id}: migrate to phy{sec} at abs slot {boundary_abs}"),
+        ));
+    }
+
+    /// Finalize role swap once the pipeline has drained past the
+    /// boundary; promote a spare to new standby if the old primary died.
+    fn finalize_migrations(&mut self, ctx: &mut Ctx<'_, Msg>, now_abs: u64) {
+        let ru_ids: Vec<u8> = self.bindings.keys().copied().collect();
+        for ru_id in ru_ids {
+            let Some(b) = self.bindings.get_mut(&ru_id) else {
+                continue;
+            };
+            let Some(m) = b.migrate_at else { continue };
+            if now_abs < m + 4 {
+                continue;
+            }
+            let old_primary = b.primary;
+            let sec = b.secondary.take().expect("migration had a secondary");
+            b.primary = sec;
+            b.migrate_at = None;
+            let failed = b.failover;
+            b.failover = false;
+            // The old primary becomes the standby if it is still alive
+            // (planned migration); on failover, promote a spare and
+            // initialize it from the stored CONFIG (§6.3).
+            let replacement = if failed {
+                self.spares.pop()
+            } else {
+                Some(old_primary)
+            };
+            if let Some(b) = self.bindings.get_mut(&ru_id) {
+                b.secondary = replacement;
+            }
+            if let (Some(new_sec), true) = (replacement, failed) {
+                let b = self.bindings.get(&ru_id).expect("binding");
+                if let Some(cfg) = b.config.clone() {
+                    let started = b.started;
+                    self.send_udp(ctx, self.orion_mac_of(new_sec), &FapiMsg::Config(cfg));
+                    if started {
+                        self.send_udp(
+                            ctx,
+                            self.orion_mac_of(new_sec),
+                            &FapiMsg::Start { ru_id },
+                        );
+                    }
+                }
+            }
+            self.events.push((
+                ctx.now(),
+                format!("ru{ru_id}: migration finalized; primary=phy{sec}"),
+            ));
+        }
+    }
+}
+
+impl Node<Msg> for OrionL2Node {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.timer_at(self.clock.next_slot_start(ctx.now()), TIMER_SLOT);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+        if token == TIMER_SLOT {
+            let abs = self.clock.absolute_slot(ctx.now());
+            self.finalize_migrations(ctx, abs);
+            ctx.timer_at(self.clock.slot_start(abs + 1), TIMER_SLOT);
+        }
+    }
+
+    fn on_msg(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            Msg::FapiShm(m) if m.is_request() => self.on_l2_request(ctx, m),
+            Msg::FapiShm(_) => {}
+            Msg::Eth(frame) => {
+                if frame.dst != self.mac {
+                    return;
+                }
+                match frame.ethertype {
+                    EtherType::Ipv4 => {
+                        if let Some(m) = fapi::decode(&frame.payload) {
+                            self.on_phy_indication(ctx, frame.src, m);
+                        }
+                    }
+                    EtherType::SlingshotCtl => {
+                        if let Some(CtlPacket::FailureNotify { phy_id }) =
+                            CtlPacket::from_bytes(&frame.payload)
+                        {
+                            let now = ctx.now();
+                            self.last_failure_notified = Some(now);
+                            self.events
+                                .push((now, format!("failure notification: phy{phy_id}")));
+                            // Failover every RU whose primary died: the
+                            // next slot boundary is the migration point.
+                            let next_abs = self.clock.absolute_slot(now) + 1;
+                            let rus: Vec<u8> = self
+                                .bindings
+                                .iter()
+                                .filter(|(_, b)| b.primary == phy_id && b.migrate_at.is_none())
+                                .map(|(id, _)| *id)
+                                .collect();
+                            for ru_id in rus {
+                                self.failovers += 1;
+                                if let Some(b) = self.bindings.get_mut(&ru_id) {
+                                    b.failover = true;
+                                }
+                                self.start_migration(ctx, ru_id, next_abs);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Msg::Ctl(CtlMsg::AttachRequest { .. })
+            | Msg::Ctl(CtlMsg::AttachAccept { .. })
+            | Msg::Ctl(CtlMsg::Detach { .. }) => {}
+            Msg::Ctl(CtlMsg::PlannedMigration { ru_id }) => {
+                // Planned migration (operator/controller initiated):
+                // pick a boundary a few slots out so the command beats
+                // the first affected packet to the switch.
+                let boundary = self.clock.absolute_slot(ctx.now()) + 3;
+                self.planned_migrations += 1;
+                self.start_migration(ctx, ru_id, boundary);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_distinct() {
+        assert_ne!(orion_phy_mac(1), orion_l2_mac(1));
+        assert_ne!(orion_phy_mac(1), orion_phy_mac(2));
+        assert_ne!(orion_phy_mac(1), MacAddr::for_phy(1));
+    }
+
+    #[test]
+    fn cost_state_fifo_queueing() {
+        let cost = OrionCost {
+            per_msg: Nanos(1_000),
+            per_byte_ns: 1.0,
+        };
+        let mut st = CostState::default();
+        // First message: 1000 + 500 ns.
+        assert_eq!(st.service(Nanos(0), 500, &cost), Nanos(1_500));
+        // Second, arriving immediately: queues behind the first.
+        assert_eq!(st.service(Nanos(0), 500, &cost), Nanos(3_000));
+        // Third, arriving after the queue drained: no wait.
+        assert_eq!(st.service(Nanos(10_000), 100, &cost), Nanos(11_100));
+    }
+
+    #[test]
+    fn boundary_aligns_to_tdd_cycle() {
+        assert_eq!(OrionL2Node::align_boundary(0), 0);
+        assert_eq!(OrionL2Node::align_boundary(1), 5);
+        assert_eq!(OrionL2Node::align_boundary(4), 5);
+        assert_eq!(OrionL2Node::align_boundary(5), 5);
+        assert_eq!(OrionL2Node::align_boundary(2003), 2005);
+    }
+
+    #[test]
+    fn owner_flips_at_boundary() {
+        let b = RuBinding {
+            primary: 1,
+            secondary: Some(2),
+            migrate_at: Some(100),
+            failover: false,
+            config: None,
+            started: true,
+        };
+        assert_eq!(OrionL2Node::owner_of(&b, 99), 1);
+        assert_eq!(OrionL2Node::owner_of(&b, 100), 2);
+        assert_eq!(OrionL2Node::owner_of(&b, 101), 2);
+        let no_mig = RuBinding {
+            migrate_at: None,
+            ..b
+        };
+        assert_eq!(OrionL2Node::owner_of(&no_mig, 1_000_000), 1);
+    }
+}

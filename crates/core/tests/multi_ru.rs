@@ -1,0 +1,120 @@
+//! Multi-RU co-location tests: two cells sharing two PHY processes
+//! with crossed primary/secondary roles (§8's deployment note).
+
+use slingshot::{DeploymentConfig, DualRuDeployment, OrionL2Node, SwitchNode};
+use slingshot_ran::{CellConfig, Fidelity, PhyNode, UeConfig, UeNode, UeState};
+use slingshot_sim::Nanos;
+use slingshot_transport::{UdpCbrSource, UdpSink};
+
+fn cfg(seed: u64) -> DeploymentConfig {
+    DeploymentConfig {
+        cell: CellConfig {
+            num_prbs: 51,
+            fidelity: Fidelity::Sampled,
+            ..CellConfig::default()
+        },
+        seed,
+        ..DeploymentConfig::default()
+    }
+}
+
+fn build(seed: u64) -> DualRuDeployment {
+    let ues0 = vec![UeConfig::new(100, 0, "cell0-ue", 22.0)];
+    let ues1 = vec![UeConfig {
+        ru_id: 1,
+        ..UeConfig::new(200, 1, "cell1-ue", 22.0)
+    }];
+    let mut d = DualRuDeployment::build(cfg(seed), ues0, ues1);
+    d.add_flow(
+        0,
+        0,
+        100,
+        Box::new(UdpCbrSource::new(3_000_000, 900, Nanos::ZERO)),
+        Box::new(UdpSink::new(Nanos::ZERO, Nanos::from_millis(10))),
+    );
+    d.add_flow(
+        1,
+        0,
+        200,
+        Box::new(UdpCbrSource::new(3_000_000, 900, Nanos::ZERO)),
+        Box::new(UdpSink::new(Nanos::ZERO, Nanos::from_millis(10))),
+    );
+    d
+}
+
+fn sink_rx(d: &DualRuDeployment, rnti: u16) -> u64 {
+    let sink: &UdpSink = d
+        .engine
+        .node::<slingshot_ran::AppServerNode>(d.server)
+        .unwrap()
+        .app(rnti, 0)
+        .unwrap();
+    sink.total_rx
+}
+
+#[test]
+fn both_cells_flow_with_crossed_standbys() {
+    let mut d = build(1);
+    d.engine.run_until(Nanos::from_millis(1500));
+    assert!(sink_rx(&d, 100) > 300, "cell0 rx={}", sink_rx(&d, 100));
+    assert!(sink_rx(&d, 200) > 300, "cell1 rx={}", sink_rx(&d, 200));
+    // Each PHY does real work (one cell) AND null slots (the other).
+    for phy in [d.phy1, d.phy2] {
+        let p = d.engine.node::<PhyNode>(phy).unwrap();
+        assert!(p.work_slots > 100, "work={}", p.work_slots);
+        assert!(p.null_slots > 1000, "null={}", p.null_slots);
+    }
+}
+
+#[test]
+fn one_phy_crash_fails_over_one_cell_without_disturbing_the_other() {
+    let mut d = build(2);
+    d.engine.run_until(Nanos::from_millis(700));
+    d.engine.kill(d.phy1); // primary of cell 0, standby of cell 1
+    d.engine.run_until(Nanos::from_millis(2000));
+
+    // Cell 0 failed over to PHY 2 and stayed connected.
+    let orion0 = d
+        .engine
+        .node::<OrionL2Node>(d.cells[0].orion_l2)
+        .unwrap();
+    assert_eq!(orion0.failovers, 1);
+    let ue0 = d.engine.node::<UeNode>(d.cells[0].ues[0]).unwrap();
+    assert_eq!(ue0.rlf_count, 0);
+    assert_eq!(ue0.state, UeState::Connected);
+
+    // Cell 1 (already on PHY 2) was never disturbed; it lost only its
+    // standby.
+    let orion1 = d
+        .engine
+        .node::<OrionL2Node>(d.cells[1].orion_l2)
+        .unwrap();
+    assert_eq!(orion1.failovers, 0, "cell1 must not fail over");
+    let ue1 = d.engine.node::<UeNode>(d.cells[1].ues[0]).unwrap();
+    assert_eq!(ue1.rlf_count, 0);
+
+    // The switch executed exactly one migration (cell 0's).
+    let sw = d.engine.node::<SwitchNode>(d.switch).unwrap();
+    assert_eq!(sw.mbox.migrations_executed, 1);
+
+    // Both cells' traffic still flows — co-resident on PHY 2.
+    let before0 = sink_rx(&d, 100);
+    let before1 = sink_rx(&d, 200);
+    d.engine.run_until(Nanos::from_millis(3000));
+    assert!(sink_rx(&d, 100) > before0 + 100, "cell0 resumed");
+    assert!(sink_rx(&d, 200) > before1 + 100, "cell1 kept flowing");
+    let survivor = d.engine.node::<PhyNode>(d.phy2).unwrap();
+    assert!(survivor.crash_time.is_none());
+}
+
+#[test]
+fn dual_ru_deterministic() {
+    let run = |seed| {
+        let mut d = build(seed);
+        d.engine.run_until(Nanos::from_millis(600));
+        d.engine.kill(d.phy1);
+        d.engine.run_until(Nanos::from_millis(1000));
+        (d.engine.trace_hash(), d.engine.dispatched())
+    };
+    assert_eq!(run(5), run(5));
+}

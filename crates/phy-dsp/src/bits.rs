@@ -1,0 +1,44 @@
+//! Bit/byte conversions (MSB-first), shared by the coding chain.
+
+/// Expand bytes into bits, MSB first.
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for i in (0..8).rev() {
+            out.push((b >> i) & 1);
+        }
+    }
+    out
+}
+
+/// Pack bits (MSB first) into bytes; the bit count must be a multiple
+/// of 8.
+pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
+    assert!(bits.len() % 8 == 0, "bit count must be a multiple of 8");
+    bits.chunks(8)
+        .map(|c| c.iter().fold(0u8, |acc, b| (acc << 1) | (b & 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(bits_to_bytes(&bytes_to_bits(&data)), data);
+    }
+
+    #[test]
+    fn msb_first_order() {
+        assert_eq!(bytes_to_bits(&[0b1000_0001]), vec![1, 0, 0, 0, 0, 0, 0, 1]);
+        assert_eq!(bits_to_bytes(&[0, 1, 0, 0, 0, 0, 0, 0]), vec![0x40]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn partial_byte_rejected() {
+        bits_to_bytes(&[1, 0, 1]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Wireless channel models.
+//!
+//! [`AwgnChannel`] perturbs actual modulated symbols with complex
+//! Gaussian noise at a given SNR, so decode success and failure *emerge*
+//! from the LLR/LDPC math rather than being asserted — this is what
+//! makes the paper's central claim ("processing impairments resemble
+//! signal impairments") demonstrable in this reproduction.
+//!
+//! [`SnrProcess`] models each UE's slowly varying link quality: a
+//! mean-reverting random walk plus occasional deep fades, calibrated to
+//! the kind of 4x variation stationary 5G UEs see in practice (§4).
+
+use crate::iq::Cplx;
+use slingshot_sim::SimRng;
+
+/// Convert dB to linear power ratio.
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Convert linear power ratio to dB.
+pub fn linear_to_db(lin: f64) -> f64 {
+    10.0 * lin.max(1e-30).log10()
+}
+
+/// Additive white Gaussian noise channel for unit-power constellations.
+#[derive(Debug, Clone)]
+pub struct AwgnChannel {
+    rng: SimRng,
+}
+
+impl AwgnChannel {
+    pub fn new(rng: SimRng) -> AwgnChannel {
+        AwgnChannel { rng }
+    }
+
+    /// Apply noise at `snr_db` to unit-average-power symbols, returning
+    /// the noisy symbols and the complex noise variance the receiver
+    /// should assume.
+    pub fn apply(&mut self, symbols: &[Cplx], snr_db: f64) -> (Vec<Cplx>, f32) {
+        let noise_var = (1.0 / db_to_linear(snr_db)) as f32;
+        let per_axis = (noise_var / 2.0).sqrt();
+        let out = symbols
+            .iter()
+            .map(|s| {
+                *s + Cplx::new(
+                    per_axis * self.rng.gaussian() as f32,
+                    per_axis * self.rng.gaussian() as f32,
+                )
+            })
+            .collect();
+        (out, noise_var)
+    }
+
+    /// Replace symbols entirely with noise — what the PHY sees when
+    /// fronthaul packets are lost and it processes garbage IQ (§4:
+    /// "indistinguishable from a noisy wireless channel").
+    pub fn garbage(&mut self, len: usize) -> (Vec<Cplx>, f32) {
+        let per_axis = (0.5f32).sqrt();
+        let out = (0..len)
+            .map(|_| {
+                Cplx::new(
+                    per_axis * self.rng.gaussian() as f32,
+                    per_axis * self.rng.gaussian() as f32,
+                )
+            })
+            .collect();
+        (out, 1.0)
+    }
+}
+
+/// Parameters of a UE's SNR evolution.
+#[derive(Debug, Clone)]
+pub struct SnrProcessConfig {
+    /// Long-run mean SNR in dB.
+    pub mean_db: f64,
+    /// Standard deviation of per-step innovation, dB.
+    pub step_std_db: f64,
+    /// Mean-reversion rate per step (0..1).
+    pub reversion: f64,
+    /// Probability per step of entering a deep fade.
+    pub fade_chance: f64,
+    /// Fade depth in dB.
+    pub fade_depth_db: f64,
+    /// Fade duration in steps.
+    pub fade_steps: u32,
+}
+
+impl Default for SnrProcessConfig {
+    fn default() -> SnrProcessConfig {
+        SnrProcessConfig {
+            mean_db: 18.0,
+            step_std_db: 0.35,
+            reversion: 0.05,
+            fade_chance: 0.0008,
+            fade_depth_db: 8.0,
+            fade_steps: 20,
+        }
+    }
+}
+
+/// A per-UE SNR process, stepped once per slot.
+#[derive(Debug, Clone)]
+pub struct SnrProcess {
+    cfg: SnrProcessConfig,
+    rng: SimRng,
+    current_db: f64,
+    fade_remaining: u32,
+}
+
+impl SnrProcess {
+    pub fn new(cfg: SnrProcessConfig, rng: SimRng) -> SnrProcess {
+        let current_db = cfg.mean_db;
+        SnrProcess {
+            cfg,
+            rng,
+            current_db,
+            fade_remaining: 0,
+        }
+    }
+
+    /// Advance one slot and return the SNR (dB) for that slot.
+    pub fn step(&mut self) -> f64 {
+        let innovation = self.rng.normal(0.0, self.cfg.step_std_db);
+        self.current_db += self.cfg.reversion * (self.cfg.mean_db - self.current_db) + innovation;
+        if self.fade_remaining > 0 {
+            self.fade_remaining -= 1;
+        } else if self.rng.chance(self.cfg.fade_chance) {
+            self.fade_remaining = self.cfg.fade_steps;
+        }
+        let fade = if self.fade_remaining > 0 {
+            self.cfg.fade_depth_db
+        } else {
+            0.0
+        };
+        self.current_db - fade
+    }
+
+    pub fn current_db(&self) -> f64 {
+        self.current_db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulation::{demodulate_llr, hard_decide, modulate, Modulation};
+
+    #[test]
+    fn db_conversions() {
+        assert!((db_to_linear(0.0) - 1.0).abs() < 1e-12);
+        assert!((db_to_linear(10.0) - 10.0).abs() < 1e-9);
+        assert!((linear_to_db(100.0) - 20.0).abs() < 1e-9);
+        assert!((linear_to_db(db_to_linear(7.3)) - 7.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn awgn_noise_power_matches_snr() {
+        let mut ch = AwgnChannel::new(SimRng::new(1));
+        let symbols = vec![Cplx::new(1.0, 0.0); 50_000];
+        let (noisy, nv) = ch.apply(&symbols, 10.0);
+        assert!((nv - 0.1).abs() < 1e-6);
+        let measured: f32 = noisy
+            .iter()
+            .zip(&symbols)
+            .map(|(a, b)| (*a - *b).norm_sq())
+            .sum::<f32>()
+            / symbols.len() as f32;
+        assert!((measured - 0.1).abs() < 0.01, "measured={measured}");
+    }
+
+    #[test]
+    fn high_snr_transparent_low_snr_destructive() {
+        let mut ch = AwgnChannel::new(SimRng::new(2));
+        let bits: Vec<u8> = (0..4000).map(|i| ((i * 13) % 2) as u8).collect();
+        let syms = modulate(&bits, Modulation::Qam16);
+        let (clean, nv) = ch.apply(&syms, 30.0);
+        let rx = hard_decide(&demodulate_llr(&clean, Modulation::Qam16, nv));
+        let errs_hi = rx.iter().zip(&bits).filter(|(a, b)| a != b).count();
+        assert_eq!(errs_hi, 0);
+        let (dirty, nv) = ch.apply(&syms, -5.0);
+        let rx = hard_decide(&demodulate_llr(&dirty, Modulation::Qam16, nv));
+        let errs_lo = rx.iter().zip(&bits).filter(|(a, b)| a != b).count();
+        assert!(errs_lo > 800, "errs_lo={errs_lo}");
+    }
+
+    #[test]
+    fn garbage_looks_like_noise() {
+        let mut ch = AwgnChannel::new(SimRng::new(3));
+        let (g, nv) = ch.garbage(10_000);
+        assert_eq!(nv, 1.0);
+        let p: f32 = g.iter().map(|s| s.norm_sq()).sum::<f32>() / g.len() as f32;
+        assert!((p - 1.0).abs() < 0.05, "power={p}");
+    }
+
+    #[test]
+    fn snr_process_reverts_to_mean() {
+        let cfg = SnrProcessConfig {
+            fade_chance: 0.0,
+            ..Default::default()
+        };
+        let mean = cfg.mean_db;
+        let mut p = SnrProcess::new(cfg, SimRng::new(4));
+        let samples: Vec<f64> = (0..20_000).map(|_| p.step()).collect();
+        let avg = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((avg - mean).abs() < 1.0, "avg={avg}");
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min > 1.0, "should vary");
+        assert!(max - min < 25.0, "should not blow up: range={}", max - min);
+    }
+
+    #[test]
+    fn fades_reduce_snr_temporarily() {
+        let cfg = SnrProcessConfig {
+            fade_chance: 0.05,
+            fade_depth_db: 10.0,
+            fade_steps: 5,
+            step_std_db: 0.01,
+            ..Default::default()
+        };
+        let mean = cfg.mean_db;
+        let mut p = SnrProcess::new(cfg, SimRng::new(5));
+        let samples: Vec<f64> = (0..5_000).map(|_| p.step()).collect();
+        let faded = samples.iter().filter(|s| **s < mean - 5.0).count();
+        assert!(faded > 100, "faded={faded}");
+        // And it recovers: last stretch not permanently faded.
+        let tail_avg = samples[4_900..].iter().sum::<f64>() / 100.0;
+        assert!(tail_avg > mean - 10.0);
+    }
+
+    #[test]
+    fn snr_process_deterministic() {
+        let mk = || SnrProcess::new(Default::default(), SimRng::new(6));
+        let a: Vec<f64> = {
+            let mut p = mk();
+            (0..100).map(|_| p.step()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut p = mk();
+            (0..100).map(|_| p.step()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

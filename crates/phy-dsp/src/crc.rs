@@ -1,0 +1,169 @@
+//! CRC codes used by the 5G NR transport-block chain (3GPP TS 38.212):
+//! CRC-24A attached to transport blocks and CRC-16 for small blocks.
+//! CRC failure at the PHY is the signal that drives HARQ retransmission —
+//! the mechanism Slingshot leans on when it discards HARQ buffers during
+//! migration ("the PHY's CRC-protected FEC decoding fails, resulting in
+//! retransmissions at the RAN's higher layers", §4.2).
+
+/// CRC-24A generator polynomial from TS 38.212 §5.1:
+/// x^24 + x^23 + x^18 + x^17 + x^14 + x^11 + x^10 + x^7 + x^6 + x^5 + x^4 + x^3 + x + 1.
+pub const CRC24A_POLY: u32 = 0x864CFB;
+
+/// CRC-16 (CCITT) generator polynomial from TS 38.212:
+/// x^16 + x^12 + x^5 + 1.
+pub const CRC16_POLY: u16 = 0x1021;
+
+/// Compute CRC-24A over a byte slice (bit order MSB-first, zero initial
+/// value, no final XOR — matching TS 38.212).
+pub fn crc24a(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0;
+    for &byte in data {
+        crc ^= (byte as u32) << 16;
+        for _ in 0..8 {
+            crc <<= 1;
+            if crc & 0x0100_0000 != 0 {
+                crc ^= CRC24A_POLY;
+            }
+        }
+    }
+    crc & 0x00FF_FFFF
+}
+
+/// Compute CRC-16 over a byte slice.
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            let msb = crc & 0x8000 != 0;
+            crc <<= 1;
+            if msb {
+                crc ^= CRC16_POLY;
+            }
+        }
+    }
+    crc
+}
+
+/// Append a CRC-24A to a payload, returning payload ‖ crc (3 bytes,
+/// big-endian).
+pub fn attach_crc24a(payload: &[u8]) -> Vec<u8> {
+    let crc = crc24a(payload);
+    let mut out = Vec::with_capacity(payload.len() + 3);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&[(crc >> 16) as u8, (crc >> 8) as u8, crc as u8]);
+    out
+}
+
+/// Check and strip a trailing CRC-24A. Returns the payload on success.
+pub fn check_crc24a(block: &[u8]) -> Option<&[u8]> {
+    if block.len() < 3 {
+        return None;
+    }
+    let (payload, tail) = block.split_at(block.len() - 3);
+    let expect = ((tail[0] as u32) << 16) | ((tail[1] as u32) << 8) | tail[2] as u32;
+    if crc24a(payload) == expect {
+        Some(payload)
+    } else {
+        None
+    }
+}
+
+/// Append a CRC-16 to a payload.
+pub fn attach_crc16(payload: &[u8]) -> Vec<u8> {
+    let crc = crc16(payload);
+    let mut out = Vec::with_capacity(payload.len() + 2);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc.to_be_bytes());
+    out
+}
+
+/// Check and strip a trailing CRC-16.
+pub fn check_crc16(block: &[u8]) -> Option<&[u8]> {
+    if block.len() < 2 {
+        return None;
+    }
+    let (payload, tail) = block.split_at(block.len() - 2);
+    let expect = u16::from_be_bytes([tail[0], tail[1]]);
+    if crc16(payload) == expect {
+        Some(payload)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc24a_known_properties() {
+        // CRC of empty data with zero init is zero.
+        assert_eq!(crc24a(&[]), 0);
+        // A message followed by its CRC has CRC zero (defining property).
+        let data = b"slingshot phy migration";
+        let framed = attach_crc24a(data);
+        assert_eq!(crc24a(&framed), 0);
+    }
+
+    #[test]
+    fn crc24a_roundtrip() {
+        let data = b"transport block payload";
+        let framed = attach_crc24a(data);
+        assert_eq!(check_crc24a(&framed), Some(&data[..]));
+    }
+
+    #[test]
+    fn crc24a_detects_single_bit_errors() {
+        let data: Vec<u8> = (0u16..64).map(|i| (i * 7) as u8).collect();
+        let framed = attach_crc24a(&data);
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut bad = framed.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(check_crc24a(&bad).is_none(), "missed error at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn crc24a_detects_burst_errors() {
+        let data: Vec<u8> = (0u16..256).map(|i| i as u8).collect();
+        let framed = attach_crc24a(&data);
+        // All burst errors up to 24 bits are detected by a degree-24 CRC.
+        for start in (0..framed.len() * 8 - 24).step_by(37) {
+            let mut bad = framed.clone();
+            for b in start..start + 24 {
+                bad[b / 8] ^= 1 << (7 - (b % 8));
+            }
+            assert!(check_crc24a(&bad).is_none(), "missed burst at {start}");
+        }
+    }
+
+    #[test]
+    fn crc16_roundtrip_and_detection() {
+        let data = b"uci payload";
+        let framed = attach_crc16(data);
+        assert_eq!(check_crc16(&framed), Some(&data[..]));
+        let mut bad = framed.clone();
+        bad[3] ^= 0x10;
+        assert!(check_crc16(&bad).is_none());
+    }
+
+    #[test]
+    fn short_blocks_rejected() {
+        assert!(check_crc24a(&[1, 2]).is_none());
+        assert!(check_crc16(&[9]).is_none());
+    }
+
+    #[test]
+    fn crc_is_linear() {
+        // CRC(a ^ b) == CRC(a) ^ CRC(b) for equal-length messages
+        // (zero-init CRC is linear over GF(2)).
+        let a: Vec<u8> = (0..32).map(|i| (i * 3) as u8).collect();
+        let b: Vec<u8> = (0..32).map(|i| (i * 5 + 1) as u8).collect();
+        let x: Vec<u8> = a.iter().zip(&b).map(|(p, q)| p ^ q).collect();
+        assert_eq!(crc24a(&x), crc24a(&a) ^ crc24a(&b));
+        assert_eq!(crc16(&x), crc16(&a) ^ crc16(&b));
+    }
+}

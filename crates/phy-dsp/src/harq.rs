@@ -1,0 +1,166 @@
+//! HARQ soft-combining buffers.
+//!
+//! The PHY retains the accumulated LLRs of transport blocks it failed to
+//! decode; retransmissions are soft-combined into the same buffer, so
+//! the effective SNR grows with every attempt. This is precisely the
+//! inter-TTI state the paper's §4.2 argues can be *discarded* during PHY
+//! migration: the post-migration decode then fails its CRC and the
+//! higher layers retransmit — indistinguishable from a bad channel.
+
+use std::collections::HashMap;
+
+/// Maximum HARQ transmissions (1 original + 3 retransmissions), as in
+/// the paper's description of 5G HARQ.
+pub const MAX_HARQ_TX: u8 = 4;
+
+/// Number of HARQ processes per UE (5G allows up to 16).
+pub const HARQ_PROCESSES: u8 = 16;
+
+/// Soft buffer for one (UE, HARQ process) pair.
+#[derive(Debug, Clone)]
+pub struct SoftBuffer {
+    /// Accumulated mother-codeword LLRs.
+    pub llrs: Vec<f32>,
+    /// New-data indicator value of the transmission series being
+    /// combined. A toggled NDI means a fresh transport block.
+    pub ndi: bool,
+    /// Number of transmissions combined so far.
+    pub tx_count: u8,
+}
+
+/// Keyed collection of soft buffers, indexed by (RNTI, HARQ process id).
+///
+/// [`HarqPool::clear`] is what PHY migration effectively does to this
+/// state — the secondary PHY starts with an empty pool.
+#[derive(Debug, Clone, Default)]
+pub struct HarqPool {
+    buffers: HashMap<(u16, u8), SoftBuffer>,
+}
+
+impl HarqPool {
+    pub fn new() -> HarqPool {
+        HarqPool::default()
+    }
+
+    /// Begin or continue a HARQ series. If `ndi` differs from the stored
+    /// buffer's (or no buffer exists), the buffer is reset for a new
+    /// transport block of `n` mother-codeword bits. Returns the buffer.
+    pub fn buffer_for(
+        &mut self,
+        rnti: u16,
+        harq_id: u8,
+        ndi: bool,
+        n: usize,
+    ) -> &mut SoftBuffer {
+        let entry = self
+            .buffers
+            .entry((rnti, harq_id))
+            .or_insert_with(|| SoftBuffer {
+                llrs: vec![0.0; n],
+                ndi,
+                tx_count: 0,
+            });
+        if entry.ndi != ndi || entry.llrs.len() != n {
+            entry.llrs.clear();
+            entry.llrs.resize(n, 0.0);
+            entry.ndi = ndi;
+            entry.tx_count = 0;
+        }
+        entry.tx_count = entry.tx_count.saturating_add(1);
+        entry
+    }
+
+    /// Drop the buffer after a successful decode.
+    pub fn release(&mut self, rnti: u16, harq_id: u8) {
+        self.buffers.remove(&(rnti, harq_id));
+    }
+
+    /// Number of in-flight (unacknowledged) soft buffers.
+    pub fn len(&self) -> usize {
+        self.buffers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+
+    /// Discard *all* soft state — what happens implicitly when PHY
+    /// processing migrates to a fresh process (paper §4.2).
+    pub fn clear(&mut self) {
+        self.buffers.clear();
+    }
+
+    /// Approximate memory held by soft buffers, in bytes. Used to show
+    /// why state transfer would be expensive.
+    pub fn memory_bytes(&self) -> usize {
+        self.buffers
+            .values()
+            .map(|b| b.llrs.len() * std::mem::size_of::<f32>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_series_on_ndi_toggle() {
+        let mut pool = HarqPool::new();
+        {
+            let b = pool.buffer_for(10, 0, false, 8);
+            b.llrs[0] = 5.0;
+            assert_eq!(b.tx_count, 1);
+        }
+        {
+            // Same NDI: buffer continues.
+            let b = pool.buffer_for(10, 0, false, 8);
+            assert_eq!(b.llrs[0], 5.0);
+            assert_eq!(b.tx_count, 2);
+        }
+        {
+            // Toggled NDI: fresh buffer.
+            let b = pool.buffer_for(10, 0, true, 8);
+            assert_eq!(b.llrs[0], 0.0);
+            assert_eq!(b.tx_count, 1);
+        }
+    }
+
+    #[test]
+    fn distinct_processes_are_independent() {
+        let mut pool = HarqPool::new();
+        pool.buffer_for(10, 0, false, 4).llrs[0] = 1.0;
+        pool.buffer_for(10, 1, false, 4).llrs[0] = 2.0;
+        pool.buffer_for(11, 0, false, 4).llrs[0] = 3.0;
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.buffer_for(10, 0, false, 4).llrs[0], 1.0);
+    }
+
+    #[test]
+    fn release_and_clear() {
+        let mut pool = HarqPool::new();
+        pool.buffer_for(1, 0, false, 4);
+        pool.buffer_for(1, 1, false, 4);
+        pool.release(1, 0);
+        assert_eq!(pool.len(), 1);
+        pool.clear();
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn resize_resets_buffer() {
+        let mut pool = HarqPool::new();
+        pool.buffer_for(1, 0, false, 4).llrs[0] = 9.0;
+        let b = pool.buffer_for(1, 0, false, 8);
+        assert_eq!(b.llrs.len(), 8);
+        assert_eq!(b.llrs[0], 0.0);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let mut pool = HarqPool::new();
+        pool.buffer_for(1, 0, false, 100);
+        pool.buffer_for(1, 1, false, 50);
+        assert_eq!(pool.memory_bytes(), 150 * 4);
+    }
+}

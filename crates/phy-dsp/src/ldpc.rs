@@ -1,0 +1,369 @@
+//! LDPC coding with iterative min-sum decoding.
+//!
+//! The code is a systematic "staircase" (IRA-style) LDPC: information
+//! columns have weight 3 and connect to randomly chosen check rows (a
+//! deterministic construction so all nodes use the same code), and the
+//! parity part of H is lower-bidiagonal, which gives linear-time
+//! encoding by forward substitution — the same structural trick as the
+//! dual-diagonal parity parts of the 5G/802.11 QC-LDPC codes.
+//!
+//! The decoder is normalized min-sum with early termination. Its
+//! iteration count is the "FEC iterations" knob that the paper's live
+//! upgrade experiment (§8.3, Fig. 11) turns: the upgraded PHY runs more
+//! iterations and therefore decodes at lower SNR.
+
+use slingshot_sim::SimRng;
+
+/// Mother code rate: 1/3 (m = 2k parity bits). Higher rates come from
+/// puncturing in the rate matcher; lower from repetition.
+pub const PARITY_FACTOR: usize = 2;
+
+/// Normalization factor for min-sum check updates (standard 0.75).
+const MIN_SUM_NORM: f32 = 0.75;
+
+/// A constructed LDPC code for a fixed information length `k`.
+#[derive(Debug, Clone)]
+pub struct LdpcCode {
+    k: usize,
+    m: usize,
+    /// For each check row, the information columns participating in it.
+    row_info: Vec<Vec<usize>>,
+}
+
+impl LdpcCode {
+    /// Construct the code for information length `k` (bits). The
+    /// construction is deterministic: every encoder and decoder in the
+    /// system builds exactly the same matrix.
+    pub fn new(k: usize) -> LdpcCode {
+        assert!(k >= 8, "ldpc blocks shorter than 8 bits are not useful");
+        let m = PARITY_FACTOR * k;
+        let mut rng = SimRng::new(0x51AC_C0DE ^ (k as u64));
+        let mut row_info: Vec<Vec<usize>> = vec![Vec::new(); m];
+        for col in 0..k {
+            // Column weight 3, distinct rows.
+            let mut rows = [0usize; 3];
+            let mut chosen = 0;
+            while chosen < 3 {
+                let r = rng.below(m as u64) as usize;
+                if !rows[..chosen].contains(&r) {
+                    rows[chosen] = r;
+                    chosen += 1;
+                }
+            }
+            for r in rows {
+                row_info[r].push(col);
+            }
+        }
+        LdpcCode { k, m, row_info }
+    }
+
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Codeword length n = k + m.
+    pub fn n(&self) -> usize {
+        self.k + self.m
+    }
+
+    /// Encode systematically: output is `info ‖ parity`.
+    pub fn encode(&self, info: &[u8]) -> Vec<u8> {
+        assert_eq!(info.len(), self.k, "info length mismatch");
+        let mut out = Vec::with_capacity(self.n());
+        out.extend_from_slice(info);
+        let mut prev = 0u8;
+        for row in &self.row_info {
+            let mut acc = prev;
+            for &col in row {
+                acc ^= info[col];
+            }
+            out.push(acc);
+            prev = acc;
+        }
+        out
+    }
+
+    /// Check whether a hard-decision word satisfies all parity checks.
+    pub fn parity_ok(&self, word: &[u8]) -> bool {
+        debug_assert_eq!(word.len(), self.n());
+        let mut prev = 0u8;
+        for (i, row) in self.row_info.iter().enumerate() {
+            let mut acc = prev ^ word[self.k + i];
+            for &col in row {
+                acc ^= word[col];
+            }
+            if acc != 0 {
+                return false;
+            }
+            prev = word[self.k + i];
+        }
+        true
+    }
+
+    /// Decode from channel LLRs (length n, positive = bit 0). Runs
+    /// normalized min-sum for up to `max_iters` iterations with early
+    /// termination. Returns the decoded info bits, whether all parity
+    /// checks were satisfied, and the number of iterations executed.
+    pub fn decode(&self, channel_llrs: &[f32], max_iters: usize) -> LdpcDecodeResult {
+        assert_eq!(channel_llrs.len(), self.n(), "llr length mismatch");
+        let m = self.m;
+
+        // Edge layout per check row: info edges then parity edges
+        // (parity var k+i, and k+i-1 when i > 0).
+        let edge_count: usize = self
+            .row_info
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r.len() + if i == 0 { 1 } else { 2 })
+            .sum();
+        let mut edge_var: Vec<u32> = Vec::with_capacity(edge_count);
+        let mut row_start: Vec<usize> = Vec::with_capacity(m + 1);
+        for (i, row) in self.row_info.iter().enumerate() {
+            row_start.push(edge_var.len());
+            for &col in row {
+                edge_var.push(col as u32);
+            }
+            edge_var.push((self.k + i) as u32);
+            if i > 0 {
+                edge_var.push((self.k + i - 1) as u32);
+            }
+        }
+        row_start.push(edge_var.len());
+
+        // Check-to-variable messages, initialized to zero.
+        let mut c2v: Vec<f32> = vec![0.0; edge_count];
+        // Posterior (total) LLR per variable.
+        let mut total: Vec<f32> = channel_llrs.to_vec();
+        let mut hard: Vec<u8> = total.iter().map(|l| (*l < 0.0) as u8).collect();
+        let mut iters = 0;
+
+        if self.parity_ok(&hard) {
+            return LdpcDecodeResult {
+                info: hard[..self.k].to_vec(),
+                parity_ok: true,
+                iterations: 0,
+            };
+        }
+
+        for it in 1..=max_iters {
+            iters = it;
+            for row in 0..m {
+                let (s, e) = (row_start[row], row_start[row + 1]);
+                // Variable-to-check messages: total minus this edge's c2v.
+                // Compute min and second-min of |v2c| and sign product.
+                let mut sign: f32 = 1.0;
+                let mut min1 = f32::INFINITY;
+                let mut min2 = f32::INFINITY;
+                let mut min_idx = s;
+                for eidx in s..e {
+                    let v = edge_var[eidx] as usize;
+                    let v2c = total[v] - c2v[eidx];
+                    let a = v2c.abs();
+                    if v2c < 0.0 {
+                        sign = -sign;
+                    }
+                    if a < min1 {
+                        min2 = min1;
+                        min1 = a;
+                        min_idx = eidx;
+                    } else if a < min2 {
+                        min2 = a;
+                    }
+                }
+                // Update c2v and totals.
+                for eidx in s..e {
+                    let v = edge_var[eidx] as usize;
+                    let v2c = total[v] - c2v[eidx];
+                    let mag = if eidx == min_idx { min2 } else { min1 };
+                    let s_edge = if v2c < 0.0 { -sign } else { sign };
+                    let new_c2v = MIN_SUM_NORM * s_edge * mag;
+                    total[v] = v2c + new_c2v;
+                    c2v[eidx] = new_c2v;
+                }
+            }
+            for (h, l) in hard.iter_mut().zip(total.iter()) {
+                *h = (*l < 0.0) as u8;
+            }
+            if self.parity_ok(&hard) {
+                return LdpcDecodeResult {
+                    info: hard[..self.k].to_vec(),
+                    parity_ok: true,
+                    iterations: iters,
+                };
+            }
+        }
+        LdpcDecodeResult {
+            info: hard[..self.k].to_vec(),
+            parity_ok: false,
+            iterations: iters,
+        }
+    }
+}
+
+/// Result of an LDPC decode attempt.
+#[derive(Debug, Clone)]
+pub struct LdpcDecodeResult {
+    pub info: Vec<u8>,
+    /// All parity checks satisfied (necessary but not sufficient for
+    /// correctness — the CRC above this layer is authoritative).
+    pub parity_ok: bool,
+    pub iterations: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_bits(n: usize, seed: u64) -> Vec<u8> {
+        let mut rng = SimRng::new(seed);
+        (0..n).map(|_| (rng.next_u64() & 1) as u8).collect()
+    }
+
+    fn bits_to_llrs(bits: &[u8], amp: f32) -> Vec<f32> {
+        bits.iter().map(|b| if *b == 0 { amp } else { -amp }).collect()
+    }
+
+    fn add_noise(llrs: &mut [f32], snr_db: f32, seed: u64) {
+        // Model BPSK over AWGN: LLR = 2y/sigma^2 where y = ±1 + noise.
+        let mut rng = SimRng::new(seed);
+        let sigma2 = 10f32.powf(-snr_db / 10.0);
+        for l in llrs.iter_mut() {
+            let x = if *l > 0.0 { 1.0 } else { -1.0 };
+            let y = x + sigma2.sqrt() * rng.gaussian() as f32;
+            *l = 2.0 * y / sigma2;
+        }
+    }
+
+    #[test]
+    fn encode_produces_valid_codeword() {
+        let code = LdpcCode::new(128);
+        let info = random_bits(128, 1);
+        let cw = code.encode(&info);
+        assert_eq!(cw.len(), code.n());
+        assert!(code.parity_ok(&cw));
+        assert_eq!(&cw[..128], &info[..]);
+    }
+
+    #[test]
+    fn all_zero_is_codeword() {
+        let code = LdpcCode::new(64);
+        let cw = code.encode(&vec![0u8; 64]);
+        assert!(cw.iter().all(|b| *b == 0));
+        assert!(code.parity_ok(&cw));
+    }
+
+    #[test]
+    fn code_is_linear() {
+        let code = LdpcCode::new(64);
+        let a = random_bits(64, 2);
+        let b = random_bits(64, 3);
+        let x: Vec<u8> = a.iter().zip(&b).map(|(p, q)| p ^ q).collect();
+        let ca = code.encode(&a);
+        let cb = code.encode(&b);
+        let cx = code.encode(&x);
+        let sum: Vec<u8> = ca.iter().zip(&cb).map(|(p, q)| p ^ q).collect();
+        assert_eq!(cx, sum);
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = LdpcCode::new(256);
+        let b = LdpcCode::new(256);
+        let info = random_bits(256, 4);
+        assert_eq!(a.encode(&info), b.encode(&info));
+    }
+
+    #[test]
+    fn decode_noiseless() {
+        let code = LdpcCode::new(128);
+        let info = random_bits(128, 5);
+        let cw = code.encode(&info);
+        let llrs = bits_to_llrs(&cw, 8.0);
+        let res = code.decode(&llrs, 10);
+        assert!(res.parity_ok);
+        assert_eq!(res.info, info);
+        assert_eq!(res.iterations, 0, "noiseless should early-terminate");
+    }
+
+    #[test]
+    fn decode_corrects_moderate_noise() {
+        let code = LdpcCode::new(256);
+        let mut ok = 0;
+        let trials = 20;
+        for t in 0..trials {
+            let info = random_bits(256, 100 + t);
+            let cw = code.encode(&info);
+            let mut llrs = bits_to_llrs(&cw, 1.0);
+            add_noise(&mut llrs, 3.0, 200 + t);
+            let res = code.decode(&llrs, 25);
+            if res.parity_ok && res.info == info {
+                ok += 1;
+            }
+        }
+        // Rate-1/3 code at 3 dB (BPSK) should decode essentially always.
+        assert!(ok >= trials - 1, "ok={ok}/{trials}");
+    }
+
+    #[test]
+    fn decode_fails_under_heavy_noise() {
+        let code = LdpcCode::new(256);
+        let mut fails = 0;
+        for t in 0..10 {
+            let info = random_bits(256, 300 + t);
+            let cw = code.encode(&info);
+            let mut llrs = bits_to_llrs(&cw, 1.0);
+            add_noise(&mut llrs, -6.0, 400 + t);
+            let res = code.decode(&llrs, 12);
+            if !(res.parity_ok && res.info == info) {
+                fails += 1;
+            }
+        }
+        assert!(fails >= 8, "fails={fails}");
+    }
+
+    #[test]
+    fn more_iterations_decode_more() {
+        // Near the waterfall, iteration count matters — this is the
+        // paper's Fig. 11 upgrade mechanism.
+        let code = LdpcCode::new(256);
+        let trials = 40;
+        let mut ok_few = 0;
+        let mut ok_many = 0;
+        for t in 0..trials {
+            let info = random_bits(256, 500 + t);
+            let cw = code.encode(&info);
+            let mut llrs = bits_to_llrs(&cw, 1.0);
+            add_noise(&mut llrs, -0.5, 600 + t);
+            let few = code.decode(&llrs, 2);
+            let many = code.decode(&llrs, 30);
+            if few.parity_ok && few.info == info {
+                ok_few += 1;
+            }
+            if many.parity_ok && many.info == info {
+                ok_many += 1;
+            }
+        }
+        assert!(
+            ok_many > ok_few,
+            "more iterations should help: few={ok_few} many={ok_many}"
+        );
+    }
+
+    #[test]
+    fn parity_ok_rejects_corrupted_codeword() {
+        let code = LdpcCode::new(64);
+        let mut cw = code.encode(&random_bits(64, 7));
+        cw[10] ^= 1;
+        assert!(!code.parity_ok(&cw));
+    }
+
+    #[test]
+    #[should_panic]
+    fn encode_rejects_wrong_length() {
+        LdpcCode::new(64).encode(&[0u8; 32]);
+    }
+}

@@ -1,0 +1,45 @@
+//! # slingshot-phy-dsp
+//!
+//! The signal-processing substrate of the Slingshot reproduction — the
+//! parts of a 5G PHY that Intel FlexRAN provides in the paper's testbed,
+//! reimplemented from scratch so that decode success and failure emerge
+//! from real coding/modulation math under channel noise:
+//!
+//! - [`crc`]: CRC-24A / CRC-16 (TS 38.212 polynomials)
+//! - [`scramble`]: length-31 Gold sequence scrambling (TS 38.211)
+//! - [`modulation`]: Gray-mapped QPSK…256-QAM with max-log LLR demapping
+//! - [`ldpc`]: systematic staircase LDPC, normalized min-sum decoding
+//!   with a configurable iteration budget (the paper's §8.3 upgrade knob)
+//! - [`ratematch`]: circular-buffer rate matching with redundancy
+//!   versions (incremental redundancy / chase combining)
+//! - [`harq`]: soft-combining buffer pool — the inter-TTI state that
+//!   Slingshot discards during PHY migration (§4.2)
+//! - [`snr`]: pilot-based SNR estimation and the moving-average filter —
+//!   the other discarded inter-TTI state (§4.2)
+//! - [`channel`]: AWGN channel and per-UE SNR processes
+//! - [`iq`]: complex samples and O-RAN-style block-floating-point
+//!   compression used on the fronthaul
+//! - [`tbchain`]: the end-to-end transport-block encode/decode chain
+//! - [`bler`]: a calibrated closed-form BLER model for long experiments
+//!   (fidelity/runtime trade-off; see DESIGN.md)
+
+pub mod bits;
+pub mod bler;
+pub mod channel;
+pub mod crc;
+pub mod harq;
+pub mod iq;
+pub mod ldpc;
+pub mod modulation;
+pub mod ratematch;
+pub mod scramble;
+pub mod snr;
+pub mod tbchain;
+
+pub use channel::{AwgnChannel, SnrProcess, SnrProcessConfig};
+pub use harq::{HarqPool, SoftBuffer, HARQ_PROCESSES, MAX_HARQ_TX};
+pub use iq::{Cplx, SC_PER_PRB};
+pub use ldpc::LdpcCode;
+pub use modulation::Modulation;
+pub use snr::SnrFilter;
+pub use tbchain::{decode_tb, encode_tb, mother_buffer_len, TbDecodeOutcome, TbParams};

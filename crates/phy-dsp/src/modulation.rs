@@ -1,0 +1,255 @@
+//! Gray-mapped QAM modulation and max-log LLR demapping.
+//!
+//! Square constellations (QPSK, 16/64/256-QAM) are built per-axis from
+//! Gray-coded PAM, normalized to unit average power, as in TS 38.211.
+//! The demapper produces per-bit max-log LLRs with the convention that
+//! **positive LLR means bit = 0**.
+
+use crate::iq::Cplx;
+
+/// Modulation orders used by the MCS table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Modulation {
+    Qpsk,
+    Qam16,
+    Qam64,
+    Qam256,
+}
+
+impl Modulation {
+    /// Bits per modulated symbol.
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+            Modulation::Qam256 => 8,
+        }
+    }
+
+    /// Bits per axis (PAM order exponent).
+    fn bits_per_axis(self) -> usize {
+        self.bits_per_symbol() / 2
+    }
+
+    /// Per-axis amplitude normalization so E[|x|^2] = 1.
+    fn axis_scale(self) -> f32 {
+        // For M-PAM with levels ±1, ±3, …, ±(M-1): E[a^2] = (M^2 - 1)/3.
+        // Two axes double it.
+        let m = 1usize << self.bits_per_axis();
+        let e = ((m * m - 1) as f32) / 3.0 * 2.0;
+        1.0 / e.sqrt()
+    }
+}
+
+/// Gray code of `v`.
+fn gray(v: usize) -> usize {
+    v ^ (v >> 1)
+}
+
+/// PAM level (…,-3,-1,1,3,…) for a Gray-coded bit group, matching the
+/// 38.211 convention where bit 0 selects the sign.
+fn pam_level(bits: &[u8]) -> i32 {
+    // Interpret the bit group as an index whose Gray decoding yields the
+    // level rank. We build a lookup: for each rank r (level = 2r+1-M),
+    // the Gray code of r gives the bit pattern.
+    let n = bits.len();
+    let m = 1usize << n;
+    let mut idx = 0usize;
+    for &b in bits {
+        idx = (idx << 1) | b as usize;
+    }
+    // Find rank whose gray code equals idx.
+    for r in 0..m {
+        if gray(r) == idx {
+            return (2 * r as i32 + 1) - m as i32;
+        }
+    }
+    unreachable!("gray code is a bijection")
+}
+
+/// Map a bit slice to constellation symbols. `bits.len()` must be a
+/// multiple of `bits_per_symbol`.
+pub fn modulate(bits: &[u8], modulation: Modulation) -> Vec<Cplx> {
+    let bps = modulation.bits_per_symbol();
+    assert!(
+        bits.len() % bps == 0,
+        "bit count {} not a multiple of {}",
+        bits.len(),
+        bps
+    );
+    let half = bps / 2;
+    let scale = modulation.axis_scale();
+    bits.chunks(bps)
+        .map(|chunk| {
+            // Even-position bits map to I, odd-position to Q (38.211
+            // interleaves axes; any fixed convention works as long as
+            // the demapper matches).
+            let i_bits: Vec<u8> = (0..half).map(|k| chunk[2 * k]).collect();
+            let q_bits: Vec<u8> = (0..half).map(|k| chunk[2 * k + 1]).collect();
+            Cplx::new(
+                pam_level(&i_bits) as f32 * scale,
+                pam_level(&q_bits) as f32 * scale,
+            )
+        })
+        .collect()
+}
+
+/// Per-axis PAM level table: level for each rank, and the bit pattern.
+fn pam_table(bits_per_axis: usize) -> Vec<(f32, usize)> {
+    let m = 1usize << bits_per_axis;
+    (0..m)
+        .map(|r| (((2 * r + 1) as i32 - m as i32) as f32, gray(r)))
+        .collect()
+}
+
+/// Max-log LLR demap. `noise_var` is the complex noise variance (per
+/// symbol, both axes). Output has `bits_per_symbol` LLRs per input
+/// symbol; positive = bit 0 more likely.
+pub fn demodulate_llr(symbols: &[Cplx], modulation: Modulation, noise_var: f32) -> Vec<f32> {
+    let half = modulation.bits_per_axis();
+    let scale = modulation.axis_scale();
+    let table = pam_table(half);
+    // Per-axis noise variance is half the complex variance.
+    let sigma2 = (noise_var / 2.0).max(1e-9);
+    let mut out = Vec::with_capacity(symbols.len() * modulation.bits_per_symbol());
+    for s in symbols {
+        let mut axis_llrs = vec![0.0f32; 2 * half];
+        for (axis, y) in [(0usize, s.re), (1usize, s.im)] {
+            for bit in 0..half {
+                // max-log: LLR = (min over levels with bit=1 of d^2 -
+                //                 min over levels with bit=0 of d^2) / (2 sigma^2)
+                let mut best0 = f32::INFINITY;
+                let mut best1 = f32::INFINITY;
+                for (level, pattern) in &table {
+                    let d = y - level * scale;
+                    let d2 = d * d;
+                    let bit_val = (pattern >> (half - 1 - bit)) & 1;
+                    if bit_val == 0 {
+                        best0 = best0.min(d2);
+                    } else {
+                        best1 = best1.min(d2);
+                    }
+                }
+                axis_llrs[axis + 2 * bit] = (best1 - best0) / (2.0 * sigma2);
+            }
+        }
+        // Reassemble in the interleaved order used by `modulate`:
+        // chunk[2k] is I-axis bit k, chunk[2k+1] is Q-axis bit k.
+        for k in 0..half {
+            out.push(axis_llrs[2 * k]); // I axis, bit k
+            out.push(axis_llrs[1 + 2 * k]); // Q axis, bit k
+        }
+    }
+    out
+}
+
+/// Hard-decide LLRs into bits (positive LLR = 0).
+pub fn hard_decide(llrs: &[f32]) -> Vec<u8> {
+    llrs.iter().map(|l| if *l >= 0.0 { 0 } else { 1 }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slingshot_sim::SimRng;
+
+    const ALL: [Modulation; 4] = [
+        Modulation::Qpsk,
+        Modulation::Qam16,
+        Modulation::Qam64,
+        Modulation::Qam256,
+    ];
+
+    fn random_bits(n: usize, rng: &mut SimRng) -> Vec<u8> {
+        (0..n).map(|_| (rng.next_u64() & 1) as u8).collect()
+    }
+
+    #[test]
+    fn unit_average_power() {
+        let mut rng = SimRng::new(1);
+        for m in ALL {
+            let bits = random_bits(m.bits_per_symbol() * 4096, &mut rng);
+            let syms = modulate(&bits, m);
+            let p: f32 = syms.iter().map(|s| s.norm_sq()).sum::<f32>() / syms.len() as f32;
+            assert!((p - 1.0).abs() < 0.05, "{:?} power={p}", m);
+        }
+    }
+
+    #[test]
+    fn noiseless_roundtrip_all_modulations() {
+        let mut rng = SimRng::new(2);
+        for m in ALL {
+            let bits = random_bits(m.bits_per_symbol() * 256, &mut rng);
+            let syms = modulate(&bits, m);
+            let llrs = demodulate_llr(&syms, m, 0.001);
+            assert_eq!(hard_decide(&llrs), bits, "{:?}", m);
+        }
+    }
+
+    #[test]
+    fn gray_mapping_adjacent_symbols_differ_one_bit() {
+        // For QPSK per-axis: only 1 bit per axis, trivially Gray. Check
+        // 16-QAM: adjacent I levels differ in exactly one I bit.
+        let m = Modulation::Qam16;
+        let half = 2;
+        let table = pam_table(half);
+        let mut sorted = table.clone();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in sorted.windows(2) {
+            let diff = (w[0].1 ^ w[1].1).count_ones();
+            assert_eq!(diff, 1, "{:?}", m);
+        }
+    }
+
+    #[test]
+    fn llr_magnitude_scales_with_noise() {
+        let bits = vec![0, 0];
+        let syms = modulate(&bits, Modulation::Qpsk);
+        let llr_low_noise = demodulate_llr(&syms, Modulation::Qpsk, 0.01);
+        let llr_high_noise = demodulate_llr(&syms, Modulation::Qpsk, 1.0);
+        assert!(llr_low_noise[0] > llr_high_noise[0]);
+        assert!(llr_low_noise[0] > 0.0 && llr_high_noise[0] > 0.0);
+    }
+
+    #[test]
+    fn qpsk_known_constellation() {
+        // Bits (0,0) -> both axes level +? With M=2 PAM: rank 0 -> level
+        // -1, gray(0)=0; rank 1 -> +1, gray(1)=1. So bit 0 => -1.
+        let s = modulate(&[0, 0], Modulation::Qpsk);
+        let v = 1.0 / 2f32.sqrt();
+        assert!((s[0].re + v).abs() < 1e-6);
+        assert!((s[0].im + v).abs() < 1e-6);
+        let s = modulate(&[1, 1], Modulation::Qpsk);
+        assert!((s[0].re - v).abs() < 1e-6);
+        assert!((s[0].im - v).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_qpsk_mostly_correct_at_high_snr() {
+        let mut rng = SimRng::new(3);
+        let bits = random_bits(2000, &mut rng);
+        let syms = modulate(&bits, Modulation::Qpsk);
+        // 10 dB SNR => noise_var = 0.1.
+        let noisy: Vec<Cplx> = syms
+            .iter()
+            .map(|s| {
+                *s + Cplx::new(
+                    (0.05f32).sqrt() * rng.gaussian() as f32,
+                    (0.05f32).sqrt() * rng.gaussian() as f32,
+                )
+            })
+            .collect();
+        let llrs = demodulate_llr(&noisy, Modulation::Qpsk, 0.1);
+        let rx = hard_decide(&llrs);
+        let errors = rx.iter().zip(&bits).filter(|(a, b)| a != b).count();
+        // QPSK BER at 10 dB SNR ≈ Q(sqrt(10)) ≈ 8e-4.
+        assert!(errors < 20, "errors={errors}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn modulate_rejects_partial_symbol() {
+        modulate(&[0, 1, 0], Modulation::Qpsk);
+    }
+}

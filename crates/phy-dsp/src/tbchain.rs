@@ -1,0 +1,436 @@
+//! The full transport-block processing chain, tying the substrate
+//! together exactly as a 5G PHY does on PUSCH/PDSCH:
+//!
+//! ```text
+//! tx:  payload → CRC-24A → segmentation → LDPC encode → rate match (RV)
+//!        → scramble (Gold) → QAM modulate → symbols
+//! rx:  symbols → LLR demap → descramble → rate recover (soft-combine
+//!        into the HARQ buffer) → LDPC decode (min-sum, N iterations)
+//!        → CRC check → payload | failure
+//! ```
+//!
+//! The HARQ soft buffer is passed in by the caller ([`crate::harq`]),
+//! which is what lets the PHY — and Slingshot's migration — own or
+//! discard that state explicitly.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::bits::{bits_to_bytes, bytes_to_bits};
+use crate::crc::{attach_crc24a, check_crc24a};
+use crate::iq::Cplx;
+use crate::ldpc::LdpcCode;
+use crate::modulation::{demodulate_llr, modulate, Modulation};
+use crate::ratematch::{rate_match, rate_recover};
+use crate::scramble::{descramble_llrs, scramble_bits, GoldSequence};
+
+/// Maximum information bits per LDPC code block (including the share of
+/// the TB CRC). Larger transport blocks are segmented.
+pub const MAX_CB_INFO_BITS: usize = 1024;
+
+/// Default min-sum iteration budget (the "FEC iterations" knob).
+pub const DEFAULT_FEC_ITERATIONS: usize = 8;
+
+thread_local! {
+    static CODE_CACHE: RefCell<HashMap<usize, Rc<LdpcCode>>> = RefCell::new(HashMap::new());
+}
+
+fn code_for(k: usize) -> Rc<LdpcCode> {
+    CODE_CACHE.with(|c| {
+        c.borrow_mut()
+            .entry(k)
+            .or_insert_with(|| Rc::new(LdpcCode::new(k)))
+            .clone()
+    })
+}
+
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Transmission order for the circular buffer: systematic bits first,
+/// then parity bits in a strided (coprime-step) order. The stride
+/// spreads punctured parity positions across the staircase chain —
+/// contiguous tail puncturing of degree-2 parity variables would wreck
+/// the code's waterfall (the same reason 5G's circular buffer is built
+/// over a structured interleave rather than the raw codeword).
+fn tx_order(k: usize, n: usize) -> Vec<usize> {
+    let m = n - k;
+    let mut stride = ((m as f64 * 0.618) as usize) | 1;
+    while gcd(stride, m) != 1 {
+        stride += 2;
+    }
+    let mut order = Vec::with_capacity(n);
+    order.extend(0..k);
+    for i in 0..m {
+        order.push(k + (i * stride) % m);
+    }
+    order
+}
+
+/// Per-transmission parameters of a transport block.
+#[derive(Debug, Clone)]
+pub struct TbParams {
+    pub modulation: Modulation,
+    /// Total coded bits available on the air for this TB (PRBs × 12
+    /// subcarriers × data symbols × bits/symbol). Must be a multiple of
+    /// bits-per-symbol.
+    pub e_bits: usize,
+    pub rnti: u16,
+    pub cell_id: u16,
+    /// Redundancy version of this transmission (0..4).
+    pub rv: u8,
+    /// Min-sum decoder iteration budget.
+    pub fec_iterations: usize,
+}
+
+/// Deterministic segmentation of `total_bits` info bits into code
+/// blocks of at most [`MAX_CB_INFO_BITS`], each at least 8 bits.
+pub fn segment_sizes(total_bits: usize) -> Vec<usize> {
+    assert!(total_bits >= 8);
+    let nblocks = total_bits.div_ceil(MAX_CB_INFO_BITS);
+    let base = total_bits / nblocks;
+    let rem = total_bits % nblocks;
+    (0..nblocks)
+        .map(|i| if i < rem { base + 1 } else { base })
+        .collect()
+}
+
+/// Length of the concatenated mother-codeword HARQ buffer for a payload
+/// of `payload_bytes` (payload + 24-bit TB CRC, all code blocks).
+pub fn mother_buffer_len(payload_bytes: usize) -> usize {
+    let total_bits = (payload_bytes + 3) * 8;
+    segment_sizes(total_bits).iter().map(|k| 3 * k).sum()
+}
+
+/// Split the per-TB coded-bit budget across code blocks proportionally
+/// to their info sizes (exactly consuming `e_bits`).
+fn e_split(e_bits: usize, ks: &[usize]) -> Vec<usize> {
+    let total_k: usize = ks.iter().sum();
+    let mut out = Vec::with_capacity(ks.len());
+    let mut assigned = 0usize;
+    let mut acc_k = 0usize;
+    for &k in ks {
+        acc_k += k;
+        let target = e_bits * acc_k / total_k;
+        out.push(target - assigned);
+        assigned = target;
+    }
+    out
+}
+
+/// Encode a transport block into modulated symbols.
+pub fn encode_tb(payload: &[u8], p: &TbParams) -> Vec<Cplx> {
+    let bps = p.modulation.bits_per_symbol();
+    assert!(
+        p.e_bits % bps == 0,
+        "e_bits {} not a multiple of bits/symbol {}",
+        p.e_bits,
+        bps
+    );
+    let framed = attach_crc24a(payload);
+    let bits = bytes_to_bits(&framed);
+    let ks = segment_sizes(bits.len());
+    let es = e_split(p.e_bits, &ks);
+    let mut tx_bits = Vec::with_capacity(p.e_bits);
+    let mut offset = 0;
+    for (&k, &e) in ks.iter().zip(&es) {
+        let code = code_for(k);
+        let cw = code.encode(&bits[offset..offset + k]);
+        let order = tx_order(k, cw.len());
+        let buf: Vec<u8> = order.iter().map(|&i| cw[i]).collect();
+        tx_bits.extend(rate_match(&buf, e, p.rv));
+        offset += k;
+    }
+    scramble_bits(&mut tx_bits, GoldSequence::c_init_data(p.rnti, p.cell_id));
+    modulate(&tx_bits, p.modulation)
+}
+
+/// Outcome of a transport-block decode attempt.
+#[derive(Debug, Clone)]
+pub struct TbDecodeOutcome {
+    /// Decoded payload if the TB CRC checked out.
+    pub payload: Option<Vec<u8>>,
+    /// Total min-sum iterations spent across code blocks — the PHY's
+    /// compute-cost proxy for this TB.
+    pub ldpc_iterations: usize,
+    /// Whether every code block satisfied its LDPC parity checks.
+    pub all_parity_ok: bool,
+}
+
+/// Decode a transport block from received symbols, soft-combining into
+/// the caller-owned HARQ accumulator `acc` (length
+/// [`mother_buffer_len`] for this payload size; zeroed for a fresh TB).
+pub fn decode_tb(
+    acc: &mut [f32],
+    rx_symbols: &[Cplx],
+    noise_var: f32,
+    payload_bytes: usize,
+    p: &TbParams,
+) -> TbDecodeOutcome {
+    let mut llrs = demodulate_llr(rx_symbols, p.modulation, noise_var);
+    llrs.truncate(p.e_bits);
+    // Missing tail symbols (lost fronthaul packets) become erasures.
+    llrs.resize(p.e_bits, 0.0);
+    descramble_llrs(&mut llrs, GoldSequence::c_init_data(p.rnti, p.cell_id));
+
+    let total_bits = (payload_bytes + 3) * 8;
+    let ks = segment_sizes(total_bits);
+    let es = e_split(p.e_bits, &ks);
+    debug_assert_eq!(acc.len(), ks.iter().map(|k| 3 * k).sum::<usize>());
+
+    let mut info_bits = Vec::with_capacity(total_bits);
+    let mut llr_off = 0;
+    let mut acc_off = 0;
+    let mut iterations = 0;
+    let mut all_parity_ok = true;
+    for (&k, &e) in ks.iter().zip(&es) {
+        let n = 3 * k;
+        // The HARQ accumulator lives in transmission (interleaved)
+        // order; de-interleave a copy for the decoder.
+        let seg = &mut acc[acc_off..acc_off + n];
+        rate_recover(seg, &llrs[llr_off..llr_off + e], p.rv);
+        let order = tx_order(k, n);
+        let mut cw_llrs = vec![0.0f32; n];
+        for (pos, &cw_idx) in order.iter().enumerate() {
+            cw_llrs[cw_idx] = seg[pos];
+        }
+        let code = code_for(k);
+        let res = code.decode(&cw_llrs, p.fec_iterations);
+        iterations += res.iterations;
+        all_parity_ok &= res.parity_ok;
+        info_bits.extend(res.info);
+        llr_off += e;
+        acc_off += n;
+    }
+    let bytes = bits_to_bytes(&info_bits);
+    let payload = check_crc24a(&bytes).map(|p| p.to_vec());
+    TbDecodeOutcome {
+        payload,
+        ldpc_iterations: iterations,
+        all_parity_ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::AwgnChannel;
+    use slingshot_sim::SimRng;
+
+    fn params(e_bits: usize, rv: u8) -> TbParams {
+        TbParams {
+            modulation: Modulation::Qam16,
+            e_bits,
+            rnti: 0x4601,
+            cell_id: 42,
+            rv,
+            fec_iterations: DEFAULT_FEC_ITERATIONS,
+        }
+    }
+
+    fn payload(n: usize, seed: u64) -> Vec<u8> {
+        let mut rng = SimRng::new(seed);
+        (0..n).map(|_| (rng.next_u64() & 0xFF) as u8).collect()
+    }
+
+    #[test]
+    fn segment_sizes_respect_limits() {
+        for total in [8usize, 100, 1024, 1025, 5000, 30_000] {
+            let ks = segment_sizes(total);
+            assert_eq!(ks.iter().sum::<usize>(), total);
+            assert!(ks.iter().all(|k| *k <= MAX_CB_INFO_BITS && *k >= 8));
+            let max = ks.iter().max().unwrap();
+            let min = ks.iter().min().unwrap();
+            assert!(max - min <= 1, "balanced: {ks:?}");
+        }
+    }
+
+    #[test]
+    fn e_split_exact() {
+        let ks = [100, 100, 50];
+        let es = e_split(1000, &ks);
+        assert_eq!(es.iter().sum::<usize>(), 1000);
+        assert_eq!(es.len(), 3);
+        assert!(es[2] < es[0]);
+    }
+
+    #[test]
+    fn clean_channel_roundtrip_single_block() {
+        let data = payload(40, 1);
+        // (40+3)*8 = 344 info bits; rate 1/2 => ~688 coded bits, round
+        // to multiple of 4 (16-QAM).
+        let p = params(688, 0);
+        let syms = encode_tb(&data, &p);
+        assert_eq!(syms.len(), 688 / 4);
+        let mut acc = vec![0.0; mother_buffer_len(data.len())];
+        let out = decode_tb(&mut acc, &syms, 0.001, data.len(), &p);
+        assert_eq!(out.payload.as_deref(), Some(&data[..]));
+        assert!(out.all_parity_ok);
+    }
+
+    #[test]
+    fn clean_channel_roundtrip_multi_block() {
+        let data = payload(400, 2); // (400+3)*8 = 3224 bits → 4 blocks
+        let p = params(6448, 0);
+        let syms = encode_tb(&data, &p);
+        let mut acc = vec![0.0; mother_buffer_len(data.len())];
+        let out = decode_tb(&mut acc, &syms, 0.001, data.len(), &p);
+        assert_eq!(out.payload.as_deref(), Some(&data[..]));
+    }
+
+    #[test]
+    fn noisy_channel_decodes_at_reasonable_snr() {
+        let mut ch = AwgnChannel::new(SimRng::new(3));
+        let data = payload(100, 3);
+        let p = params(2472, 0); // rate ~1/3: (103*8)=824 bits, e=2472
+        let syms = encode_tb(&data, &p);
+        let (rx, nv) = ch.apply(&syms, 8.0);
+        let mut acc = vec![0.0; mother_buffer_len(data.len())];
+        let out = decode_tb(&mut acc, &rx, nv, data.len(), &p);
+        assert_eq!(out.payload.as_deref(), Some(&data[..]));
+    }
+
+    #[test]
+    fn low_snr_fails_crc() {
+        let mut ch = AwgnChannel::new(SimRng::new(4));
+        let data = payload(100, 5);
+        let p = params(1648, 0); // rate 1/2
+        let syms = encode_tb(&data, &p);
+        let (rx, nv) = ch.apply(&syms, -4.0);
+        let mut acc = vec![0.0; mother_buffer_len(data.len())];
+        let out = decode_tb(&mut acc, &rx, nv, data.len(), &p);
+        assert!(out.payload.is_none());
+    }
+
+    #[test]
+    fn harq_combining_rescues_marginal_snr() {
+        // Find behavior at an SNR where single transmissions mostly
+        // fail but two soft-combined transmissions mostly succeed.
+        let mut ch = AwgnChannel::new(SimRng::new(6));
+        let data = payload(80, 7);
+        let e = 1336; // (83*8)=664 info bits, rate ~1/2
+        let snr = 1.0;
+        let trials = 15;
+        let mut single_ok = 0;
+        let mut combined_ok = 0;
+        for _ in 0..trials {
+            let p0 = TbParams {
+                modulation: Modulation::Qpsk,
+                ..params(e, 0)
+            };
+            let syms0 = encode_tb(&data, &p0);
+            let (rx0, nv0) = ch.apply(&syms0, snr);
+            let mut acc = vec![0.0; mother_buffer_len(data.len())];
+            let out0 = decode_tb(&mut acc, &rx0, nv0, data.len(), &p0);
+            if out0.payload.is_some() {
+                single_ok += 1;
+            }
+            // Retransmission with rv=2 soft-combines into the same acc.
+            let p1 = TbParams {
+                modulation: Modulation::Qpsk,
+                ..params(e, 2)
+            };
+            let syms1 = encode_tb(&data, &p1);
+            let (rx1, nv1) = ch.apply(&syms1, snr);
+            let out1 = decode_tb(&mut acc, &rx1, nv1, data.len(), &p1);
+            if out1.payload.is_some() {
+                combined_ok += 1;
+            }
+        }
+        assert!(
+            combined_ok > single_ok,
+            "combining must help: single={single_ok} combined={combined_ok}"
+        );
+        assert!(combined_ok >= trials * 2 / 3, "combined={combined_ok}");
+    }
+
+    #[test]
+    fn discarded_harq_buffer_loses_combining_gain() {
+        // The migration scenario: if the accumulated buffer is thrown
+        // away between transmissions, the second decode sees only the
+        // second transmission's LLRs.
+        let mut ch = AwgnChannel::new(SimRng::new(8));
+        let data = payload(80, 9);
+        let e = 1336;
+        let snr = 1.5; // single transmissions essentially never decode here
+        let trials = 10;
+        let mut kept_ok = 0;
+        let mut discarded_ok = 0;
+        for _ in 0..trials {
+            let mut acc_kept = vec![0.0; mother_buffer_len(data.len())];
+            let mut first_rx = Vec::new();
+            let mut first_nv = 0.0;
+            for (i, rv) in [0u8, 2].iter().enumerate() {
+                let p = TbParams {
+                    modulation: Modulation::Qpsk,
+                    ..params(e, *rv)
+                };
+                let syms = encode_tb(&data, &p);
+                let (rx, nv) = ch.apply(&syms, snr);
+                if i == 0 {
+                    first_rx = rx.clone();
+                    first_nv = nv;
+                }
+                let out = decode_tb(&mut acc_kept, &rx, nv, data.len(), &p);
+                if i == 1 && out.payload.is_some() {
+                    kept_ok += 1;
+                }
+                let _ = (first_rx.len(), first_nv);
+            }
+            // Discarded: decode second tx alone in a fresh buffer.
+            let p = TbParams {
+                modulation: Modulation::Qpsk,
+                ..params(e, 2)
+            };
+            let syms = encode_tb(&data, &p);
+            let (rx, nv) = ch.apply(&syms, snr);
+            let mut acc_fresh = vec![0.0; mother_buffer_len(data.len())];
+            let out = decode_tb(&mut acc_fresh, &rx, nv, data.len(), &p);
+            if out.payload.is_some() {
+                discarded_ok += 1;
+            }
+        }
+        assert!(
+            kept_ok > discarded_ok,
+            "kept={kept_ok} discarded={discarded_ok}"
+        );
+    }
+
+    #[test]
+    fn wrong_rnti_fails() {
+        let data = payload(40, 10);
+        let p = params(688, 0);
+        let syms = encode_tb(&data, &p);
+        let wrong = TbParams { rnti: 0x1234, ..p };
+        let mut acc = vec![0.0; mother_buffer_len(data.len())];
+        let out = decode_tb(&mut acc, &syms, 0.001, data.len(), &wrong);
+        assert!(out.payload.is_none());
+    }
+
+    #[test]
+    fn repetition_coding_for_small_payloads() {
+        // e_bits much larger than the mother codeword: circular repeat.
+        let data = payload(16, 11);
+        let p = TbParams {
+            modulation: Modulation::Qpsk,
+            e_bits: 2048,
+            rnti: 1,
+            cell_id: 1,
+            rv: 0,
+            fec_iterations: 8,
+        };
+        let mut ch = AwgnChannel::new(SimRng::new(12));
+        let syms = encode_tb(&data, &p);
+        let (rx, nv) = ch.apply(&syms, -3.0);
+        let mut acc = vec![0.0; mother_buffer_len(data.len())];
+        let out = decode_tb(&mut acc, &rx, nv, data.len(), &p);
+        assert_eq!(out.payload.as_deref(), Some(&data[..]));
+    }
+}

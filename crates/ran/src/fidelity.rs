@@ -1,0 +1,518 @@
+//! Fidelity-aware transport-block transmission and reception.
+//!
+//! All three DSP modes (see [`crate::cell::Fidelity`] and DESIGN.md §2)
+//! share one code path:
+//!
+//! - **Full**: every code block is LDPC-encoded to symbols; the
+//!   receiver recovers the payload from decoded bits.
+//! - **Sampled**: one representative code block is physically coded at
+//!   the TB's modulation and code rate; its decode outcome gates
+//!   delivery of the "shadow" payload. All code blocks of a TB see the
+//!   same channel, so per-TB error remains channel-dominated.
+//! - **Abstract**: no IQ at all; the calibrated BLER model
+//!   ([`slingshot_phy_dsp::bler`]) draws the outcome, with HARQ modeled
+//!   as chase-combined SNR accumulation.
+
+use bytes::Bytes;
+use std::collections::HashMap;
+
+use crate::cell::Fidelity;
+use slingshot_fapi::mcs;
+use slingshot_phy_dsp::bler;
+use slingshot_phy_dsp::channel::{db_to_linear, AwgnChannel};
+use slingshot_phy_dsp::scramble::GoldSequence;
+use slingshot_phy_dsp::snr::estimate_snr_db;
+use slingshot_phy_dsp::tbchain::{decode_tb, encode_tb, mother_buffer_len, TbParams};
+use slingshot_phy_dsp::{Cplx, Modulation};
+use slingshot_sim::SimRng;
+
+/// Cap on the representative code block's payload in Sampled mode:
+/// 125 bytes + 3-byte CRC = 1024 info bits = one code block.
+const SAMPLED_PAYLOAD_CAP: usize = 125;
+
+/// A transport block as it travels over the air / fronthaul.
+#[derive(Debug, Clone)]
+pub struct TbSignal {
+    /// Known pilot symbols (clean at TX; noisy after the channel).
+    pub pilots: Vec<Cplx>,
+    /// Data symbols (empty in Abstract mode).
+    pub symbols: Vec<Cplx>,
+    /// The shadow payload (empty in Full mode).
+    pub shadow: Bytes,
+    /// SNR (dB) the signal experienced; set when the channel is
+    /// applied. NaN before.
+    pub snr_db: f64,
+}
+
+/// Radio-link parameters of one TB transmission.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkParamsTb {
+    pub modulation: Modulation,
+    pub mcs: u8,
+    pub num_prb: u16,
+    pub data_symbols: u8,
+    pub rnti: u16,
+    pub cell_id: u16,
+    pub rv: u8,
+    pub fec_iterations: usize,
+}
+
+impl LinkParamsTb {
+    pub fn from_grant(
+        mcs_idx: u8,
+        num_prb: u16,
+        data_symbols: u8,
+        rnti: u16,
+        cell_id: u16,
+        rv: u8,
+        fec_iterations: usize,
+    ) -> LinkParamsTb {
+        LinkParamsTb {
+            modulation: mcs(mcs_idx).modulation,
+            mcs: mcs_idx,
+            num_prb,
+            data_symbols,
+            rnti,
+            cell_id,
+            rv,
+            fec_iterations,
+        }
+    }
+
+    /// Coded-bit budget of the full allocation.
+    pub fn e_bits(&self) -> usize {
+        slingshot_fapi::e_bits(self.mcs, self.num_prb, self.data_symbols)
+    }
+
+    /// Pilot length: one OFDM symbol across the allocation.
+    pub fn pilot_len(&self) -> usize {
+        self.num_prb as usize * 12
+    }
+
+    fn sampled_split(&self, payload_len: usize) -> (usize, usize) {
+        let rep_bytes = payload_len.min(SAMPLED_PAYLOAD_CAP);
+        let full_info = (payload_len + 3) * 8;
+        let rep_info = (rep_bytes + 3) * 8;
+        let bps = self.modulation.bits_per_symbol();
+        let mut e_rep = self.e_bits() * rep_info / full_info;
+        e_rep -= e_rep % bps;
+        (rep_bytes, e_rep.max(bps))
+    }
+
+    fn tb_params(&self, e_bits: usize) -> TbParams {
+        TbParams {
+            modulation: self.modulation,
+            e_bits,
+            rnti: self.rnti,
+            cell_id: self.cell_id,
+            rv: self.rv,
+            fec_iterations: self.fec_iterations,
+        }
+    }
+}
+
+/// The UE-specific pilot sequence (QPSK from a Gold sequence keyed by
+/// RNTI), used by the receiver for SNR estimation.
+pub fn pilot_sequence(rnti: u16, cell_id: u16, len: usize) -> Vec<Cplx> {
+    let mut g = GoldSequence::new(GoldSequence::c_init_data(rnti ^ 0x5A5A, cell_id));
+    let bits = g.bits(2 * len);
+    let a = std::f32::consts::FRAC_1_SQRT_2;
+    (0..len)
+        .map(|i| {
+            Cplx::new(
+                if bits[2 * i] == 0 { -a } else { a },
+                if bits[2 * i + 1] == 0 { -a } else { a },
+            )
+        })
+        .collect()
+}
+
+/// Encode a TB for transmission under the given fidelity.
+pub fn encode_signal(fidelity: Fidelity, payload: &Bytes, lp: &LinkParamsTb) -> TbSignal {
+    let pilots = match fidelity {
+        Fidelity::Abstract => Vec::new(),
+        _ => pilot_sequence(lp.rnti, lp.cell_id, lp.pilot_len()),
+    };
+    let (symbols, shadow) = match fidelity {
+        Fidelity::Full => (encode_tb(payload, &lp.tb_params(lp.e_bits())), Bytes::new()),
+        Fidelity::Sampled => {
+            let (rep_bytes, e_rep) = lp.sampled_split(payload.len());
+            let rep = payload.slice(..rep_bytes);
+            (encode_tb(&rep, &lp.tb_params(e_rep)), payload.clone())
+        }
+        Fidelity::Abstract => (Vec::new(), payload.clone()),
+    };
+    TbSignal {
+        pilots,
+        symbols,
+        shadow,
+        snr_db: f64::NAN,
+    }
+}
+
+/// Pass a signal through the channel at `snr_db`.
+pub fn apply_channel(signal: &mut TbSignal, snr_db: f64, channel: &mut AwgnChannel) {
+    signal.snr_db = snr_db;
+    if !signal.pilots.is_empty() {
+        let (noisy, _) = channel.apply(&signal.pilots, snr_db);
+        signal.pilots = noisy;
+    }
+    if !signal.symbols.is_empty() {
+        let (noisy, _) = channel.apply(&signal.symbols, snr_db);
+        signal.symbols = noisy;
+    }
+}
+
+/// Per-process receiver soft state (HARQ buffer across fidelities).
+#[derive(Debug, Default)]
+struct RxProc {
+    ndi: bool,
+    llr_acc: Vec<f32>,
+    snr_acc: Vec<f64>,
+}
+
+/// Pool of receiver HARQ soft state, keyed by (RNTI, HARQ id). This is
+/// exactly the inter-TTI PHY state Slingshot discards on migration
+/// ([`RxProcessPool::clear`]).
+#[derive(Debug, Default)]
+pub struct RxProcessPool {
+    procs: HashMap<(u16, u8), RxProc>,
+}
+
+/// Result of a TB reception attempt.
+#[derive(Debug)]
+pub struct RxOutcome {
+    /// The payload, when decoding succeeded.
+    pub payload: Option<Bytes>,
+    /// Estimated (or carried) SNR in dB, for link adaptation reports.
+    pub snr_db: f64,
+    /// Decoder iterations spent (compute-cost proxy; 0 in Abstract).
+    pub iterations: usize,
+}
+
+impl RxProcessPool {
+    pub fn new() -> RxProcessPool {
+        RxProcessPool::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// Discard all soft state (PHY migration / UE detach).
+    pub fn clear(&mut self) {
+        self.procs.clear();
+    }
+
+    /// Approximate bytes of soft state held.
+    pub fn memory_bytes(&self) -> usize {
+        self.procs
+            .values()
+            .map(|p| p.llr_acc.len() * 4 + p.snr_acc.len() * 8)
+            .sum()
+    }
+
+    /// Attempt to receive one TB transmission.
+    ///
+    /// `expected_bytes` is the TB size from the grant (`tb_bytes`);
+    /// `ndi` starts a fresh HARQ series when toggled; `rng` supplies
+    /// the Abstract mode's BLER draw.
+    #[allow(clippy::too_many_arguments)]
+    pub fn receive(
+        &mut self,
+        fidelity: Fidelity,
+        signal: &TbSignal,
+        lp: &LinkParamsTb,
+        expected_bytes: usize,
+        harq_id: u8,
+        ndi: bool,
+        rng: &mut SimRng,
+    ) -> RxOutcome {
+        let proc = self.procs.entry((lp.rnti, harq_id)).or_default();
+        if proc.ndi != ndi || (proc.llr_acc.is_empty() && proc.snr_acc.is_empty()) {
+            proc.llr_acc.clear();
+            proc.snr_acc.clear();
+            proc.ndi = ndi;
+        }
+        // SNR: estimate from pilots where present, else trust the
+        // carried value (Abstract mode's stand-in for estimation).
+        let snr_db = if !signal.pilots.is_empty() {
+            estimate_snr_db(&signal.pilots, &pilot_sequence(lp.rnti, lp.cell_id, lp.pilot_len()))
+        } else {
+            signal.snr_db
+        };
+        match fidelity {
+            Fidelity::Full | Fidelity::Sampled => {
+                let (coded_bytes, e_bits) = if fidelity == Fidelity::Full {
+                    (expected_bytes, lp.e_bits())
+                } else {
+                    lp.sampled_split(expected_bytes)
+                };
+                let need = mother_buffer_len(coded_bytes);
+                if proc.llr_acc.len() != need {
+                    proc.llr_acc.clear();
+                    proc.llr_acc.resize(need, 0.0);
+                }
+                if signal.symbols.is_empty() {
+                    // Lost IQ (e.g., dropped fronthaul): nothing to
+                    // combine; decoding garbage fails.
+                    return RxOutcome {
+                        payload: None,
+                        snr_db,
+                        iterations: 0,
+                    };
+                }
+                let noise_var = (1.0 / db_to_linear(snr_db)).max(1e-6) as f32;
+                // Trim any transport padding (fronthaul PRB/chunk
+                // rounding) to the exact coded-symbol count; short
+                // bursts become erasures inside `decode_tb`.
+                let expected_syms = e_bits / lp.modulation.bits_per_symbol();
+                let symbols = &signal.symbols[..signal.symbols.len().min(expected_syms)];
+                let out = decode_tb(
+                    &mut proc.llr_acc,
+                    symbols,
+                    noise_var,
+                    coded_bytes,
+                    &lp.tb_params(e_bits),
+                );
+                let payload = out.payload.map(|p| {
+                    if fidelity == Fidelity::Full {
+                        Bytes::from(p)
+                    } else {
+                        signal.shadow.clone()
+                    }
+                });
+                if payload.is_some() {
+                    self.procs.remove(&(lp.rnti, harq_id));
+                }
+                RxOutcome {
+                    payload,
+                    snr_db,
+                    iterations: out.ldpc_iterations,
+                }
+            }
+            Fidelity::Abstract => {
+                proc.snr_acc.push(snr_db);
+                let combined = bler::combined_snr_db(&proc.snr_acc);
+                let row = mcs(lp.mcs);
+                let info_bits = (expected_bytes + 3) * 8;
+                let code_rate = info_bits as f64 / lp.e_bits() as f64;
+                let block_bits = info_bits.min(1024);
+                let p_err = bler::bler(
+                    combined,
+                    row.modulation.bits_per_symbol(),
+                    code_rate,
+                    block_bits,
+                    lp.fec_iterations,
+                );
+                let ok = !rng.chance(p_err);
+                let payload = if ok { Some(signal.shadow.clone()) } else { None };
+                if ok {
+                    self.procs.remove(&(lp.rnti, harq_id));
+                }
+                RxOutcome {
+                    payload,
+                    snr_db,
+                    iterations: 0,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slingshot_sim::SimRng;
+
+    fn lp(rv: u8) -> LinkParamsTb {
+        LinkParamsTb::from_grant(4, 24, 12, 0x4601, 1, rv, 8)
+    }
+
+    fn payload(n: usize) -> Bytes {
+        Bytes::from((0..n).map(|i| (i * 13) as u8).collect::<Vec<_>>())
+    }
+
+    /// A payload filling the grant's transport block (MCS 4, 24 PRBs),
+    /// so the effective code rate matches the MCS nominal rate.
+    fn tbs_payload() -> Bytes {
+        payload(slingshot_fapi::tbs_bytes(4, 24, 12))
+    }
+
+    fn roundtrip(fidelity: Fidelity, snr_db: f64, seed: u64) -> bool {
+        let mut ch = AwgnChannel::new(SimRng::new(seed));
+        let mut rng = SimRng::new(seed + 1);
+        let l = lp(0);
+        let data = payload(200);
+        let mut sig = encode_signal(fidelity, &data, &l);
+        apply_channel(&mut sig, snr_db, &mut ch);
+        let mut pool = RxProcessPool::new();
+        let out = pool.receive(fidelity, &sig, &l, data.len(), 0, true, &mut rng);
+        out.payload.as_ref() == Some(&data)
+    }
+
+    #[test]
+    fn full_fidelity_roundtrip_high_snr() {
+        assert!(roundtrip(Fidelity::Full, 30.0, 1));
+    }
+
+    #[test]
+    fn sampled_fidelity_roundtrip_high_snr() {
+        assert!(roundtrip(Fidelity::Sampled, 30.0, 2));
+    }
+
+    #[test]
+    fn abstract_fidelity_roundtrip_high_snr() {
+        assert!(roundtrip(Fidelity::Abstract, 30.0, 3));
+    }
+
+    #[test]
+    fn all_modes_fail_at_terrible_snr() {
+        for (f, s) in [
+            (Fidelity::Full, 4u64),
+            (Fidelity::Sampled, 5),
+            (Fidelity::Abstract, 6),
+        ] {
+            assert!(!roundtrip(f, -15.0, s), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn snr_estimate_close_to_truth() {
+        let mut ch = AwgnChannel::new(SimRng::new(7));
+        let mut rng = SimRng::new(8);
+        let l = lp(0);
+        let data = payload(100);
+        let mut sig = encode_signal(Fidelity::Full, &data, &l);
+        apply_channel(&mut sig, 15.0, &mut ch);
+        let mut pool = RxProcessPool::new();
+        let out = pool.receive(Fidelity::Full, &sig, &l, data.len(), 0, true, &mut rng);
+        assert!((out.snr_db - 15.0).abs() < 3.0, "est={}", out.snr_db);
+    }
+
+    #[test]
+    fn harq_combining_works_in_sampled_mode() {
+        // At an SNR where a single transmission usually fails, two
+        // combined transmissions should usually succeed.
+        let mut single_ok = 0;
+        let mut combined_ok = 0;
+        let trials = 12;
+        for t in 0..trials {
+            let mut ch = AwgnChannel::new(SimRng::new(100 + t));
+            let mut rng = SimRng::new(200 + t);
+            let data = tbs_payload();
+            let mut pool = RxProcessPool::new();
+            // MCS 4 (QPSK 0.59, eff 1.18) at 2.5 dB: marginal for a
+            // single transmission, comfortable after combining.
+            let snr = 2.5;
+            let l0 = lp(0);
+            let mut s0 = encode_signal(Fidelity::Sampled, &data, &l0);
+            apply_channel(&mut s0, snr, &mut ch);
+            let o0 = pool.receive(Fidelity::Sampled, &s0, &l0, data.len(), 0, true, &mut rng);
+            if o0.payload.is_some() {
+                single_ok += 1;
+                continue;
+            }
+            let l1 = lp(2);
+            let mut s1 = encode_signal(Fidelity::Sampled, &data, &l1);
+            apply_channel(&mut s1, snr, &mut ch);
+            let o1 = pool.receive(Fidelity::Sampled, &s1, &l1, data.len(), 0, true, &mut rng);
+            if o1.payload.is_some() {
+                combined_ok += 1;
+            }
+        }
+        assert!(
+            combined_ok > single_ok,
+            "single={single_ok} combined={combined_ok}"
+        );
+    }
+
+    #[test]
+    fn abstract_mode_harq_gain() {
+        // Abstract mode: repeated receives at marginal SNR should
+        // succeed more often than the first attempt alone.
+        let trials = 400;
+        let mut first_ok = 0;
+        let mut second_ok = 0;
+        let mut rng = SimRng::new(42);
+        for t in 0..trials {
+            let l = lp(0);
+            let data = tbs_payload();
+            // Effective efficiency as the receiver computes it.
+            let rate = ((data.len() + 3) * 8) as f64 / l.e_bits() as f64;
+            let sig = {
+                let mut s = encode_signal(Fidelity::Abstract, &data, &l);
+                s.snr_db = slingshot_phy_dsp::bler::threshold_db(2, rate, 8) - 1.0;
+                s
+            };
+            let mut pool = RxProcessPool::new();
+            let o1 = pool.receive(Fidelity::Abstract, &sig, &l, data.len(), 0, true, &mut rng);
+            if o1.payload.is_some() {
+                first_ok += 1;
+                continue;
+            }
+            let o2 = pool.receive(Fidelity::Abstract, &sig, &l, data.len(), 0, true, &mut rng);
+            if o2.payload.is_some() {
+                second_ok += 1;
+            }
+            let _ = t;
+        }
+        // Below threshold: first attempt fails most of the time, but a
+        // combined (+3 dB) second attempt flips the odds.
+        assert!(first_ok < trials / 2, "first={first_ok}");
+        assert!(second_ok > (trials - first_ok) / 2, "second={second_ok}");
+    }
+
+    #[test]
+    fn ndi_toggle_resets_soft_state() {
+        let mut rng = SimRng::new(9);
+        let l = lp(0);
+        let data = payload(64);
+        let mut pool = RxProcessPool::new();
+        let mut sig = encode_signal(Fidelity::Abstract, &data, &l);
+        sig.snr_db = -20.0;
+        let _ = pool.receive(Fidelity::Abstract, &sig, &l, data.len(), 3, true, &mut rng);
+        assert_eq!(pool.len(), 1);
+        // Toggled NDI → fresh state (old SNR history must not help).
+        let _ = pool.receive(Fidelity::Abstract, &sig, &l, data.len(), 3, false, &mut rng);
+        let mem = pool.memory_bytes();
+        assert!(mem <= 16, "should hold one fresh snr entry, mem={mem}");
+    }
+
+    #[test]
+    fn clear_discards_everything() {
+        let mut rng = SimRng::new(10);
+        let l = lp(0);
+        let data = payload(64);
+        let mut pool = RxProcessPool::new();
+        let mut sig = encode_signal(Fidelity::Abstract, &data, &l);
+        sig.snr_db = -20.0;
+        for h in 0..4 {
+            let _ = pool.receive(Fidelity::Abstract, &sig, &l, data.len(), h, true, &mut rng);
+        }
+        assert_eq!(pool.len(), 4);
+        pool.clear();
+        assert!(pool.is_empty());
+        assert_eq!(pool.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn lost_iq_fails_cleanly_in_full_mode() {
+        let mut rng = SimRng::new(11);
+        let l = lp(0);
+        let data = payload(100);
+        let sig = TbSignal {
+            pilots: pilot_sequence(l.rnti, l.cell_id, l.pilot_len()),
+            symbols: Vec::new(), // fronthaul lost
+            shadow: Bytes::new(),
+            snr_db: 20.0,
+        };
+        let mut pool = RxProcessPool::new();
+        let out = pool.receive(Fidelity::Full, &sig, &l, data.len(), 0, true, &mut rng);
+        assert!(out.payload.is_none());
+    }
+}

@@ -1,0 +1,30 @@
+//! # slingshot-ran
+//!
+//! The complete vRAN stack the Slingshot paper's testbed runs,
+//! re-implemented as simulation nodes: RU, PHY (FlexRAN stand-in), L2
+//! (MAC scheduler + RLC), UEs, the core-network stub, and the app
+//! server — plus the global message type and the fidelity-aware DSP
+//! paths they share.
+
+pub mod cell;
+pub mod core_net;
+pub mod fidelity;
+pub mod l2;
+pub mod msg;
+pub mod phy;
+pub mod rlc;
+pub mod ru;
+pub mod sched;
+pub mod ue;
+
+pub use cell::{CellConfig, Fidelity};
+pub use core_net::{AppServerNode, CoreNode};
+pub use fidelity::{
+    apply_channel, encode_signal, pilot_sequence, LinkParamsTb, RxOutcome, RxProcessPool, TbSignal,
+};
+pub use l2::L2Node;
+pub use msg::{CtlMsg, DlAllocation, Msg, RadioDlBurst, RadioUlBurst, UserPacket, AIR_LATENCY};
+pub use phy::{PhyConfig, PhyNode};
+pub use ru::RuNode;
+pub use sched::{Policy, Scheduler};
+pub use ue::{UeConfig, UeNode, UeState};

@@ -1,0 +1,781 @@
+//! The software PHY (L1) node — this reproduction's stand-in for Intel
+//! FlexRAN.
+//!
+//! Faithful behaviors that Slingshot depends on:
+//!
+//! - **Strict slot cadence**: per-slot processing driven by the PTP
+//!   clock; downlink C-plane packets emitted in every slot — the
+//!   "natural heartbeat" the in-switch failure detector watches.
+//! - **Crash on missing FAPI**: if slot requests stop arriving, the
+//!   PHY crashes after a few slots (valid per the FAPI spec; FlexRAN
+//!   does this — the reason Orion must feed the secondary *null* FAPI
+//!   requests rather than nothing, §6.2).
+//! - **Inter-TTI soft state only**: HARQ soft buffers and per-UE SNR
+//!   filters ([`crate::fidelity::RxProcessPool`], `SnrFilter`) — the
+//!   state Slingshot discards at migration (§4.2).
+//! - **Pipelined slot processing** (§7, Fig. 7): uplink slot N's
+//!   indications are emitted at the N+2 boundary, so a migrating
+//!   primary still produces results for pre-boundary slots afterwards.
+//! - **Null FAPI ≈ free**: per-slot CPU cost is accounted; null slots
+//!   cost ~0 (§8.5).
+
+use std::collections::{BTreeMap, HashMap};
+
+use bytes::Bytes;
+
+use slingshot_fapi::{
+    CrcEntry, CrcIndication, FapiMsg, PuschPdu, RxDataIndication, RxTb, SlotIndication,
+    UciIndication,
+};
+use slingshot_fronthaul::{
+    compress_symbol, decompress_prbs, fh_header, CPlaneMsg, CSection, DciEntry, DciMsg, Direction,
+    FhMessage, ShadowMsg, UPlaneMsg,
+};
+use slingshot_netsim::{EtherType, Frame, MacAddr};
+use slingshot_phy_dsp::snr::SnrFilter;
+use slingshot_phy_dsp::{Cplx, SC_PER_PRB};
+use slingshot_sim::{Ctx, Nanos, Node, NodeId, SimRng, SlotClock, SlotId};
+
+use crate::cell::CellConfig;
+use crate::fidelity::{encode_signal, LinkParamsTb, RxProcessPool, TbSignal};
+use crate::msg::{timer_tokens, Msg};
+use crate::ru::PRBS_PER_CHUNK;
+
+const TIMER_HEARTBEAT: u64 = timer_tokens::NODE_BASE + 1;
+
+/// PHY configuration.
+#[derive(Debug, Clone)]
+pub struct PhyConfig {
+    pub phy_id: u8,
+    /// Min-sum decoder iterations — the §8.3 upgrade knob. Overrides
+    /// the cell default.
+    pub fec_iterations: usize,
+    /// Crash after this many consecutive slots without FAPI requests.
+    pub crash_after_missing: u32,
+}
+
+impl PhyConfig {
+    pub fn new(phy_id: u8) -> PhyConfig {
+        PhyConfig {
+            phy_id,
+            fec_iterations: 8,
+            crash_after_missing: 3,
+        }
+    }
+}
+
+/// Per-slot uplink data being assembled from fronthaul.
+#[derive(Debug, Default)]
+struct UlSlotData {
+    chunks: HashMap<u16, Vec<(u8, Vec<Cplx>)>>,
+    shadows: HashMap<u16, (f64, Bytes)>,
+}
+
+/// Per-RU (carrier) PHY state.
+struct RuCtx {
+    cell_id: u16,
+    ru_mac: MacAddr,
+    started: bool,
+    /// FAPI requests by absolute slot.
+    ul_tti: HashMap<u64, Vec<PuschPdu>>,
+    dl_seen: HashMap<u64, bool>,
+    ul_data: HashMap<u64, UlSlotData>,
+    rx_pool: RxProcessPool,
+    snr_filters: HashMap<u16, SnrFilter>,
+    /// Massive-MIMO extension: per-UE channel-knowledge state —
+    /// (uplink TBs processed since (re)acquisition, last slot seen).
+    csi: HashMap<u16, (u64, u64)>,
+    /// Consecutive slots with no FAPI requests.
+    missing_streak: u32,
+    any_fapi_seen: bool,
+}
+
+/// CPU cost model constants (rough FlexRAN-like shape: decode cost
+/// dominates and scales with iterations).
+const CPU_SLOT_BASE_NS: u64 = 3_000;
+const CPU_NULL_SLOT_NS: u64 = 400;
+const CPU_ENCODE_PER_EBIT_NS: f64 = 0.25;
+const CPU_DECODE_PER_ITER_KBIT_NS: f64 = 700.0;
+
+/// The PHY node.
+pub struct PhyNode {
+    pub cfg: PhyConfig,
+    cell: CellConfig,
+    clock: SlotClock,
+    rng: SimRng,
+    mac: MacAddr,
+    switch: Option<NodeId>,
+    fapi_peer: Option<NodeId>,
+    rus: BTreeMap<u8, RuCtx>,
+    crashed: bool,
+    /// Statistics / experiment instrumentation.
+    pub crash_time: Option<Nanos>,
+    pub busy_ns_total: u64,
+    pub null_slots: u64,
+    pub work_slots: u64,
+    pub ul_tbs_decoded: u64,
+    pub ul_crc_failures: u64,
+    pub processed_ul_slots: Vec<u64>,
+    started_at: Option<Nanos>,
+    /// DL_TTI requests awaiting their TX_Data payloads.
+    pending_dl: HashMap<(u8, u64), Vec<slingshot_fapi::PdschPdu>>,
+}
+
+impl PhyNode {
+    pub fn new(cfg: PhyConfig, cell: CellConfig, clock: SlotClock, rng: SimRng) -> PhyNode {
+        let mac = MacAddr::for_phy(cfg.phy_id);
+        PhyNode {
+            cfg,
+            cell,
+            clock,
+            rng,
+            mac,
+            switch: None,
+            fapi_peer: None,
+            rus: BTreeMap::new(),
+            crashed: false,
+            crash_time: None,
+            busy_ns_total: 0,
+            null_slots: 0,
+            work_slots: 0,
+            ul_tbs_decoded: 0,
+            ul_crc_failures: 0,
+            processed_ul_slots: Vec::new(),
+            started_at: None,
+            pending_dl: HashMap::new(),
+        }
+    }
+
+    pub fn wire(&mut self, switch: NodeId, fapi_peer: NodeId) {
+        self.switch = Some(switch);
+        self.fapi_peer = Some(fapi_peer);
+    }
+
+    pub fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    /// Average CPU utilization since start (busy ns / wall ns).
+    pub fn cpu_utilization(&self, now: Nanos) -> f64 {
+        match self.started_at {
+            Some(t0) if now > t0 => self.busy_ns_total as f64 / (now - t0).0 as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Live-upgrade knob (§8.3): change the decoder iteration budget.
+    pub fn set_fec_iterations(&mut self, iters: usize) {
+        self.cfg.fec_iterations = iters;
+    }
+
+    /// Ablation hook: extract this RU's HARQ soft state (what a
+    /// hypothetical state-transferring migration would ship across).
+    /// The real Slingshot discards it.
+    pub fn take_soft_state(&mut self, ru_id: u8) -> Option<RxProcessPool> {
+        self.rus
+            .get_mut(&ru_id)
+            .map(|ru| std::mem::take(&mut ru.rx_pool))
+    }
+
+    /// Ablation hook: install transferred HARQ soft state.
+    pub fn install_soft_state(&mut self, ru_id: u8, pool: RxProcessPool) {
+        if let Some(ru) = self.rus.get_mut(&ru_id) {
+            ru.rx_pool = pool;
+        }
+    }
+
+    /// Bytes of HARQ soft state currently held for an RU.
+    pub fn soft_state_bytes(&self, ru_id: u8) -> usize {
+        self.rus
+            .get(&ru_id)
+            .map(|ru| ru.rx_pool.memory_bytes())
+            .unwrap_or(0)
+    }
+
+    fn send_fapi(&mut self, ctx: &mut Ctx<'_, Msg>, msg: FapiMsg) {
+        if let Some(peer) = self.fapi_peer {
+            ctx.send(peer, Msg::FapiShm(msg));
+        }
+    }
+
+    fn send_fh(&mut self, ctx: &mut Ctx<'_, Msg>, ru_mac: MacAddr, msg: &FhMessage) {
+        let frame = Frame::new(ru_mac, self.mac, EtherType::Ecpri, msg.to_bytes());
+        if let Some(sw) = self.switch {
+            ctx.send(sw, Msg::Eth(frame));
+        }
+    }
+
+    fn heartbeat(&mut self, ctx: &mut Ctx<'_, Msg>, slot: SlotId) {
+        let targets: Vec<(u8, MacAddr)> = self
+            .rus
+            .iter()
+            .filter(|(_, r)| r.started)
+            .map(|(id, r)| (*id, r.ru_mac))
+            .collect();
+        for (ru_id, ru_mac) in targets {
+            let msg = FhMessage::CPlane(CPlaneMsg {
+                hdr: fh_header(Direction::Downlink, slot, 0, ru_id),
+                sections: Vec::new(),
+            });
+            self.send_fh(ctx, ru_mac, &msg);
+        }
+    }
+
+    /// Process downlink work for slot `n` (requests arrived ~2 slots in
+    /// advance): encode PDSCH and emit fronthaul to the RU.
+    fn process_dl(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        ru_id: u8,
+        slot: SlotId,
+        pdsch: Vec<slingshot_fapi::PdschPdu>,
+        tbs: Vec<(u16, Bytes)>,
+    ) {
+        let Some(ru) = self.rus.get(&ru_id) else {
+            return;
+        };
+        let ru_mac = ru.ru_mac;
+        let cell_id = ru.cell_id;
+        // Alive marker: a C-plane with the scheduled sections.
+        let sections: Vec<CSection> = pdsch
+            .iter()
+            .enumerate()
+            .map(|(i, p)| CSection {
+                section_id: i as u16,
+                start_prb: p.start_prb,
+                num_prb: p.num_prb,
+                beam_id: 0,
+            })
+            .collect();
+        self.send_fh(
+            ctx,
+            ru_mac,
+            &FhMessage::CPlane(CPlaneMsg {
+                hdr: fh_header(Direction::Downlink, slot, 0, ru_id),
+                sections,
+            }),
+        );
+        if pdsch.is_empty() {
+            self.busy_ns_total += CPU_NULL_SLOT_NS;
+            self.null_slots += 1;
+            return;
+        }
+        self.work_slots += 1;
+        let payloads: HashMap<u16, Bytes> = tbs.into_iter().collect();
+        let scalar = (slot.sfn % 256) as u16 * 20 + slot.subframe as u16 * 2 + slot.slot as u16;
+        let mut dcis = Vec::new();
+        for pdu in &pdsch {
+            let Some(payload) = payloads.get(&pdu.rnti) else {
+                continue;
+            };
+            let lp = LinkParamsTb::from_grant(
+                pdu.mcs,
+                pdu.num_prb,
+                self.cell.data_symbols,
+                pdu.rnti,
+                cell_id,
+                pdu.rv,
+                self.cfg.fec_iterations,
+            );
+            let signal = encode_signal(self.cell.fidelity, payload, &lp);
+            self.busy_ns_total +=
+                CPU_SLOT_BASE_NS + (lp.e_bits() as f64 * CPU_ENCODE_PER_EBIT_NS) as u64;
+            dcis.push(DciEntry {
+                rnti: pdu.rnti,
+                uplink: false,
+                target_slot_scalar: scalar,
+                harq_id: pdu.harq_id,
+                ndi: pdu.ndi,
+                rv: pdu.rv,
+                mcs: pdu.mcs,
+                start_prb: pdu.start_prb,
+                num_prb: pdu.num_prb,
+                tb_bytes: pdu.tb_bytes,
+            });
+            self.emit_signal(ctx, ru_id, ru_mac, slot, pdu.start_prb, pdu.rnti, &signal);
+        }
+        self.send_fh(
+            ctx,
+            ru_mac,
+            &FhMessage::Dci(DciMsg {
+                hdr: fh_header(Direction::Downlink, slot, 0, ru_id),
+                entries: dcis,
+            }),
+        );
+    }
+
+    /// Serialize a TB signal into U-plane / shadow fronthaul messages.
+    fn emit_signal(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        ru_id: u8,
+        ru_mac: MacAddr,
+        slot: SlotId,
+        start_prb: u16,
+        rnti: u16,
+        signal: &TbSignal,
+    ) {
+        let mut flat = signal.pilots.clone();
+        flat.extend_from_slice(&signal.symbols);
+        while flat.len() % SC_PER_PRB != 0 {
+            flat.push(Cplx::ZERO);
+        }
+        let per_chunk = PRBS_PER_CHUNK * SC_PER_PRB;
+        for (idx, chunk) in flat.chunks(per_chunk).enumerate() {
+            let mut padded = chunk.to_vec();
+            while padded.len() % SC_PER_PRB != 0 {
+                padded.push(Cplx::ZERO);
+            }
+            self.send_fh(
+                ctx,
+                ru_mac,
+                &FhMessage::UPlane(UPlaneMsg {
+                    hdr: fh_header(Direction::Downlink, slot, idx as u8, ru_id),
+                    start_prb,
+                    prbs: compress_symbol(&padded),
+                }),
+            );
+        }
+        if !signal.shadow.is_empty() {
+            self.send_fh(
+                ctx,
+                ru_mac,
+                &FhMessage::Shadow(ShadowMsg {
+                    hdr: fh_header(Direction::Downlink, slot, 0, ru_id),
+                    rnti,
+                    snr_db_x100: 0,
+                    data: signal.shadow.clone(),
+                }),
+            );
+        }
+    }
+
+    /// Process uplink slot `abs` (its fronthaul arrived during abs+1;
+    /// we run at the abs+2 boundary — the 3-slot pipeline of Fig. 7).
+    fn process_ul(&mut self, ctx: &mut Ctx<'_, Msg>, ru_id: u8, abs: u64) {
+        let Some(ru) = self.rus.get_mut(&ru_id) else {
+            return;
+        };
+        let Some(pdus) = ru.ul_tti.remove(&abs) else {
+            return;
+        };
+        let slot = SlotId::from_absolute(abs);
+        let data = ru.ul_data.remove(&abs).unwrap_or_default();
+        if pdus.is_empty() {
+            self.busy_ns_total += CPU_NULL_SLOT_NS;
+            self.null_slots += 1;
+            return;
+        }
+        self.work_slots += 1;
+        self.processed_ul_slots.push(abs);
+        let cell_id = ru.cell_id;
+        let fidelity = self.cell.fidelity;
+        let data_symbols = self.cell.data_symbols;
+        let iters = self.cfg.fec_iterations;
+        let mut crcs = Vec::new();
+        let mut rx_tbs = Vec::new();
+        let mut busy = CPU_SLOT_BASE_NS;
+        for pdu in &pdus {
+            // Reassemble the allocation's samples.
+            let mut samples = Vec::new();
+            if let Some(mut chunks) = data.chunks.get(&pdu.start_prb).cloned() {
+                chunks.sort_by_key(|(i, _)| *i);
+                for (_, c) in chunks {
+                    samples.extend(c);
+                }
+            }
+            let lp = LinkParamsTb::from_grant(
+                pdu.mcs,
+                pdu.num_prb,
+                data_symbols,
+                pdu.rnti,
+                cell_id,
+                pdu.rv,
+                iters,
+            );
+            let pilot_len = lp.pilot_len();
+            let (pilots, symbols) = if samples.len() > pilot_len {
+                let mut p = samples;
+                let s = p.split_off(pilot_len);
+                // Trim the RU's PRB padding off the data symbols.
+                let expected = lp.e_bits() / lp.modulation.bits_per_symbol();
+                let mut s = s;
+                s.truncate(expected.max(1));
+                (p, s)
+            } else {
+                (Vec::new(), Vec::new())
+            };
+            let (snr_hint, shadow) = data
+                .shadows
+                .get(&pdu.rnti)
+                .cloned()
+                .unwrap_or((f64::NAN, Bytes::new()));
+            // Massive-MIMO extension (§10): a PHY without fresh channel
+            // knowledge for this UE operates with reduced effective SNR
+            // until its precoding/equalization state reconverges.
+            let mimo_penalty = if self.cell.mimo_reconverge_slots > 0 {
+                let entry = ru.csi.entry(pdu.rnti).or_insert((0, abs));
+                // Long silence ⇒ stale CSI: reacquire from scratch.
+                if abs.saturating_sub(entry.1) > self.cell.mimo_reconverge_slots {
+                    entry.0 = 0;
+                }
+                entry.1 = abs;
+                let progress =
+                    (entry.0 as f64 / self.cell.mimo_reconverge_slots as f64).min(1.0);
+                entry.0 += 1;
+                self.cell.mimo_cold_penalty_db * (1.0 - progress)
+            } else {
+                0.0
+            };
+            let signal = TbSignal {
+                pilots,
+                symbols,
+                shadow,
+                snr_db: snr_hint - mimo_penalty,
+            };
+            let outcome = ru.rx_pool.receive(
+                fidelity,
+                &signal,
+                &lp,
+                pdu.tb_bytes as usize,
+                pdu.harq_id,
+                pdu.ndi,
+                &mut self.rng,
+            );
+            // Decode cost scales with iterations × transport-block bits
+            // (the whole TB: in reduced-fidelity modes the representative
+            // block's iteration count stands in for all code blocks).
+            let iters_used = if outcome.iterations > 0 {
+                outcome.iterations
+            } else {
+                iters / 2 + 1
+            };
+            busy += (iters_used as f64
+                * (pdu.tb_bytes as f64 * 8.0 / 1000.0)
+                * CPU_DECODE_PER_ITER_KBIT_NS) as u64
+                + 2_000;
+            // SNR moving-average filter (§4.2 inter-TTI state).
+            let filt = ru
+                .snr_filters
+                .entry(pdu.rnti)
+                .or_insert_with(|| SnrFilter::new(0.1));
+            let reported = if outcome.snr_db.is_finite() {
+                filt.update(outcome.snr_db)
+            } else {
+                filt.value_or(-10.0)
+            };
+            let ok = outcome.payload.is_some();
+            self.ul_tbs_decoded += 1;
+            if !ok {
+                self.ul_crc_failures += 1;
+            }
+            crcs.push(CrcEntry {
+                rnti: pdu.rnti,
+                harq_id: pdu.harq_id,
+                ok,
+                snr_x10: (reported * 10.0) as i16,
+            });
+            if let Some(payload) = outcome.payload {
+                rx_tbs.push(RxTb {
+                    rnti: pdu.rnti,
+                    harq_id: pdu.harq_id,
+                    payload,
+                });
+            }
+        }
+        self.busy_ns_total += busy;
+        self.send_fapi(
+            ctx,
+            FapiMsg::CrcInd(CrcIndication {
+                ru_id,
+                slot,
+                crcs,
+            }),
+        );
+        if !rx_tbs.is_empty() {
+            self.send_fapi(
+                ctx,
+                FapiMsg::RxData(RxDataIndication {
+                    ru_id,
+                    slot,
+                    tbs: rx_tbs,
+                }),
+            );
+        }
+    }
+
+    fn crash(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.crashed = true;
+        self.crash_time = Some(ctx.now());
+        let me = ctx.id();
+        ctx.kill(me);
+    }
+
+    fn on_fapi(&mut self, ctx: &mut Ctx<'_, Msg>, msg: FapiMsg) {
+        match msg {
+            FapiMsg::Config(c) => {
+                self.rus.insert(
+                    c.ru_id,
+                    RuCtx {
+                        cell_id: c.cell_id,
+                        ru_mac: MacAddr::for_ru(c.ru_id),
+                        started: false,
+                        ul_tti: HashMap::new(),
+                        dl_seen: HashMap::new(),
+                        ul_data: HashMap::new(),
+                        rx_pool: RxProcessPool::new(),
+                        snr_filters: HashMap::new(),
+                        csi: HashMap::new(),
+                        missing_streak: 0,
+                        any_fapi_seen: false,
+                    },
+                );
+            }
+            FapiMsg::Start { ru_id } => {
+                if let Some(ru) = self.rus.get_mut(&ru_id) {
+                    ru.started = true;
+                }
+                if self.started_at.is_none() {
+                    self.started_at = Some(ctx.now());
+                }
+            }
+            FapiMsg::Stop { ru_id } => {
+                if let Some(ru) = self.rus.get_mut(&ru_id) {
+                    ru.started = false;
+                }
+            }
+            FapiMsg::UlTti(req) => {
+                let abs = self.abs_of(ctx.now(), req.slot);
+                let (ru_mac, started) = match self.rus.get_mut(&req.ru_id) {
+                    Some(ru) => {
+                        ru.any_fapi_seen = true;
+                        ru.missing_streak = 0;
+                        ru.ul_tti.insert(abs, req.pusch.clone());
+                        (ru.ru_mac, ru.started)
+                    }
+                    None => return,
+                };
+                // Emit the uplink-grant DCI over the fronthaul, carried
+                // in the (downlink-capable) slot preceding the target —
+                // DDDSU guarantees slot (n−1) is Special for UL slot n.
+                if started && !req.pusch.is_empty() && abs >= 1 {
+                    let carry = SlotId::from_absolute(abs - 1);
+                    let target_scalar = (req.slot.sfn % 256) as u16 * 20
+                        + req.slot.subframe as u16 * 2
+                        + req.slot.slot as u16;
+                    let entries = req
+                        .pusch
+                        .iter()
+                        .map(|p| DciEntry {
+                            rnti: p.rnti,
+                            uplink: true,
+                            target_slot_scalar: target_scalar,
+                            harq_id: p.harq_id,
+                            ndi: p.ndi,
+                            rv: p.rv,
+                            mcs: p.mcs,
+                            start_prb: p.start_prb,
+                            num_prb: p.num_prb,
+                            tb_bytes: p.tb_bytes,
+                        })
+                        .collect();
+                    self.send_fh(
+                        ctx,
+                        ru_mac,
+                        &FhMessage::Dci(DciMsg {
+                            hdr: fh_header(Direction::Downlink, carry, 0, req.ru_id),
+                            entries,
+                        }),
+                    );
+                }
+            }
+            FapiMsg::DlTti(req) => {
+                let abs = self.abs_of(ctx.now(), req.slot);
+                if let Some(ru) = self.rus.get_mut(&req.ru_id) {
+                    ru.any_fapi_seen = true;
+                    ru.missing_streak = 0;
+                    ru.dl_seen.insert(abs, true);
+                }
+                // Null DL still emits the slot's alive C-plane; data DL
+                // waits for TX_Data (sent immediately after DL_TTI by
+                // the L2, so pairing via a small pending map).
+                if req.pdsch.is_empty() {
+                    self.process_dl(ctx, req.ru_id, req.slot, Vec::new(), Vec::new());
+                } else {
+                    self.pending_dl.insert((req.ru_id, abs), req.pdsch);
+                }
+            }
+            FapiMsg::TxData(t) => {
+                let abs = self.abs_of(ctx.now(), t.slot);
+                if let Some(pdsch) = self.pending_dl.remove(&(t.ru_id, abs)) {
+                    self.process_dl(ctx, t.ru_id, t.slot, pdsch, t.tbs);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Map a SlotId to the nearest absolute slot relative to the
+    /// current time (SFN wraps at 1024 frames).
+    fn abs_of(&self, now: Nanos, slot: SlotId) -> u64 {
+        let now_abs = self.clock.absolute_slot(now);
+        let now_id = SlotId::from_absolute(now_abs);
+        let d = now_id.wrapping_distance(slot);
+        now_abs.saturating_add_signed(d)
+    }
+}
+
+impl Node<Msg> for PhyNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.timer_at(self.clock.next_slot_start(ctx.now()), timer_tokens::SLOT_TICK);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+        if self.crashed {
+            return;
+        }
+        match token {
+            timer_tokens::SLOT_TICK => {
+                let now = ctx.now();
+                let abs = self.clock.absolute_slot(now);
+                let slot = SlotId::from_absolute(abs);
+                // Per-slot heartbeat at the boundary...
+                self.heartbeat(ctx, slot);
+                // ...and a second one mid-slot with jitter, so a healthy
+                // PHY's max inter-packet gap stays well under the slot
+                // length (§8.6 measures 393 µs).
+                let jitter = Nanos(self.rng.below(90_000));
+                ctx.timer(Nanos(250_000) + jitter, TIMER_HEARTBEAT);
+                // Pipelined uplink: emit slot (abs-2)'s results now.
+                if abs >= 2 {
+                    let ru_ids: Vec<u8> = self.rus.keys().copied().collect();
+                    for ru_id in ru_ids {
+                        self.process_ul(ctx, ru_id, abs - 2);
+                    }
+                }
+                // SLOT.indications + FAPI liveness.
+                let ru_ids: Vec<u8> = self
+                    .rus
+                    .iter()
+                    .filter(|(_, r)| r.started)
+                    .map(|(id, _)| *id)
+                    .collect();
+                let expect = abs + self.cell.fapi_advance_slots;
+                let mut must_crash = false;
+                for ru_id in ru_ids {
+                    self.send_fapi(
+                        ctx,
+                        FapiMsg::SlotInd(SlotIndication { ru_id, slot }),
+                    );
+                    let ru = self.rus.get_mut(&ru_id).expect("ru exists");
+                    let have =
+                        ru.ul_tti.contains_key(&expect) || ru.dl_seen.contains_key(&expect);
+                    if ru.any_fapi_seen {
+                        if have {
+                            ru.missing_streak = 0;
+                        } else {
+                            ru.missing_streak += 1;
+                            if ru.missing_streak >= self.cfg.crash_after_missing {
+                                must_crash = true;
+                            }
+                        }
+                    }
+                    // GC stale per-slot maps.
+                    ru.dl_seen.retain(|k, _| *k + 8 > abs);
+                    ru.ul_data.retain(|k, _| *k + 8 > abs);
+                    ru.ul_tti.retain(|k, _| *k + 8 > abs);
+                }
+                self.busy_ns_total += CPU_NULL_SLOT_NS;
+                if must_crash {
+                    // FlexRAN aborts when the L2 stops feeding it slot
+                    // requests — the behavior that makes null FAPIs
+                    // necessary (§6.2).
+                    self.crash(ctx);
+                    return;
+                }
+                ctx.timer_at(self.clock.slot_start(abs + 1), timer_tokens::SLOT_TICK);
+            }
+            TIMER_HEARTBEAT => {
+                let slot = self.clock.slot_id(ctx.now());
+                self.heartbeat(ctx, slot);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_msg(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+        if self.crashed {
+            return;
+        }
+        match msg {
+            Msg::FapiShm(f) => self.on_fapi(ctx, f),
+            Msg::Eth(frame) => {
+                if frame.ethertype != EtherType::Ecpri || frame.dst != self.mac {
+                    return;
+                }
+                let Some(fh) = FhMessage::from_bytes(&frame.payload) else {
+                    return;
+                };
+                if fh.direction() != Direction::Uplink {
+                    return;
+                }
+                let hdr = *fh.hdr();
+                let abs = {
+                    let slot = SlotId {
+                        sfn: hdr.frame as u16,
+                        subframe: hdr.subframe,
+                        slot: hdr.slot,
+                    };
+                    // Resolve the 8-bit frame id against current time.
+                    let now_abs = self.clock.absolute_slot(ctx.now());
+                    let now_scalar = (now_abs % (256 * 20)) as i64;
+                    let pkt_scalar = hdr.slot_scalar() as i64;
+                    let mut d = pkt_scalar - now_scalar;
+                    let epoch = 256 * 20i64;
+                    if d > epoch / 2 {
+                        d -= epoch;
+                    } else if d < -epoch / 2 {
+                        d += epoch;
+                    }
+                    let _ = slot;
+                    now_abs.saturating_add_signed(d)
+                };
+                let ru_id = hdr.ru_port;
+                let Some(ru) = self.rus.get_mut(&ru_id) else {
+                    return;
+                };
+                let data = ru.ul_data.entry(abs).or_default();
+                match fh {
+                    FhMessage::UPlane(u) => {
+                        data.chunks
+                            .entry(u.start_prb)
+                            .or_default()
+                            .push((u.hdr.symbol, decompress_prbs(&u.prbs)));
+                    }
+                    FhMessage::Shadow(s) => {
+                        data.shadows
+                            .insert(s.rnti, (s.snr_db_x100 as f64 / 100.0, s.data));
+                    }
+                    FhMessage::Uci(u) => {
+                        let acks = u
+                            .entries
+                            .iter()
+                            .map(|e| slingshot_fapi::UciAck {
+                                rnti: e.rnti,
+                                harq_id: e.harq_id,
+                                ack: e.ack,
+                            })
+                            .collect();
+                        let slot = SlotId::from_absolute(abs);
+                        self.send_fapi(
+                            ctx,
+                            FapiMsg::UciInd(UciIndication { ru_id, slot, acks }),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,655 @@
+//! The MAC scheduler: link adaptation, HARQ process management, and
+//! per-slot grant construction. Pure state machines (no engine types)
+//! so they are unit-testable in isolation; the L2 node drives them.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+use slingshot_fapi::{mcs_for_snr, tbs_bytes, PdschPdu, PuschPdu};
+use slingshot_phy_dsp::MAX_HARQ_TX;
+
+/// Scheduling policy for splitting PRBs among UEs with traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Equal split among eligible UEs.
+    RoundRobin,
+    /// Weight PRBs by inverse recent throughput (proportional fair).
+    ProportionalFair,
+}
+
+/// Per-UE scheduler state.
+#[derive(Debug)]
+pub struct UeSchedState {
+    pub rnti: u16,
+    /// EWMA of PHY-reported uplink SNR (dB).
+    pub ul_snr_db: f64,
+    /// Assumed downlink SNR (dB); updated from UE measurement reports
+    /// (we reuse the uplink estimate, a common TDD reciprocity shortcut).
+    pub dl_snr_db: f64,
+    /// EWMA throughput for PF (bytes/slot).
+    pub avg_tput: f64,
+    /// Uplink HARQ processes: harq_id → in-flight transmission state.
+    ul_harq: BTreeMap<u8, HarqTxState>,
+    /// Downlink HARQ processes (payload retained for retransmission).
+    dl_harq: BTreeMap<u8, DlHarqState>,
+    /// Last NDI value used per HARQ process — persists across process
+    /// completion so the *toggle* (not the value) marks new data.
+    ul_last_ndi: BTreeMap<u8, bool>,
+    dl_last_ndi: BTreeMap<u8, bool>,
+    next_ul_harq: u8,
+    next_dl_harq: u8,
+    /// Whether the UE currently has uplink data (buffer status).
+    pub ul_backlog_hint: bool,
+}
+
+#[derive(Debug, Clone)]
+struct HarqTxState {
+    ndi: bool,
+    rv_idx: u8,
+    tx_count: u8,
+    mcs: u8,
+    tb_bytes: u32,
+    /// A transmission is in flight; hold retransmissions until its
+    /// feedback arrives (the HARQ round-trip).
+    awaiting: bool,
+    /// Slots spent awaiting feedback (expiry guard: feedback can be
+    /// lost outright when a PHY crashes mid-pipeline).
+    age: u16,
+}
+
+#[derive(Debug, Clone)]
+struct DlHarqState {
+    ndi: bool,
+    rv_idx: u8,
+    tx_count: u8,
+    mcs: u8,
+    payload: Bytes,
+    awaiting: bool,
+    age: u16,
+}
+
+/// Redundancy-version sequence used across HARQ retransmissions
+/// (38.214's usual 0, 2, 3, 1).
+pub const RV_SEQUENCE: [u8; 4] = [0, 2, 3, 1];
+
+impl UeSchedState {
+    pub fn new(rnti: u16, initial_snr_db: f64) -> UeSchedState {
+        UeSchedState {
+            rnti,
+            ul_snr_db: initial_snr_db,
+            dl_snr_db: initial_snr_db,
+            avg_tput: 1.0,
+            ul_harq: BTreeMap::new(),
+            dl_harq: BTreeMap::new(),
+            ul_last_ndi: BTreeMap::new(),
+            dl_last_ndi: BTreeMap::new(),
+            next_ul_harq: 0,
+            next_dl_harq: 0,
+            ul_backlog_hint: true,
+        }
+    }
+
+    /// Update uplink SNR from a CRC.indication report.
+    pub fn report_ul_snr(&mut self, snr_db: f64) {
+        const ALPHA: f64 = 0.1;
+        self.ul_snr_db += ALPHA * (snr_db - self.ul_snr_db);
+        self.dl_snr_db = self.ul_snr_db;
+    }
+
+    /// Number of uplink HARQ processes awaiting an outcome.
+    pub fn ul_inflight(&self) -> usize {
+        self.ul_harq.len()
+    }
+
+    pub fn dl_inflight(&self) -> usize {
+        self.dl_harq.len()
+    }
+}
+
+/// Outcome of asking the scheduler for an uplink grant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UlGrant {
+    pub pdu: PuschPdu,
+    /// True if this is a retransmission of a previous TB.
+    pub is_retx: bool,
+}
+
+/// The scheduler.
+#[derive(Debug)]
+pub struct Scheduler {
+    pub policy: Policy,
+    pub ues: BTreeMap<u16, UeSchedState>,
+    /// Link-adaptation margin (dB).
+    pub la_margin_db: f64,
+    /// Decoder iterations assumed for MCS selection.
+    pub fec_iterations: usize,
+    /// Counters.
+    pub ul_retx: u64,
+    pub ul_new_tx: u64,
+    pub dl_retx: u64,
+    pub dl_new_tx: u64,
+    /// HARQ series abandoned after MAX_HARQ_TX attempts.
+    pub ul_harq_failures: u64,
+    pub dl_harq_failures: u64,
+}
+
+impl Scheduler {
+    pub fn new(policy: Policy, la_margin_db: f64, fec_iterations: usize) -> Scheduler {
+        Scheduler {
+            policy,
+            ues: BTreeMap::new(),
+            la_margin_db,
+            fec_iterations,
+            ul_retx: 0,
+            ul_new_tx: 0,
+            dl_retx: 0,
+            dl_new_tx: 0,
+            ul_harq_failures: 0,
+            dl_harq_failures: 0,
+        }
+    }
+
+    pub fn add_ue(&mut self, rnti: u16, initial_snr_db: f64) {
+        self.ues
+            .insert(rnti, UeSchedState::new(rnti, initial_snr_db));
+    }
+
+    pub fn remove_ue(&mut self, rnti: u16) {
+        self.ues.remove(&rnti);
+    }
+
+    /// Split `total_prbs` among the given UEs according to policy.
+    /// Returns (rnti, start_prb, num_prb) triples.
+    pub fn split_prbs(&self, eligible: &[u16], total_prbs: u16) -> Vec<(u16, u16, u16)> {
+        if eligible.is_empty() || total_prbs == 0 {
+            return Vec::new();
+        }
+        let weights: Vec<f64> = eligible
+            .iter()
+            .map(|r| match self.policy {
+                Policy::RoundRobin => 1.0,
+                Policy::ProportionalFair => {
+                    let ue = &self.ues[r];
+                    // PF metric: achievable rate / average throughput.
+                    let rate = 2f64.powf(ue.dl_snr_db / 10.0).min(256.0);
+                    (rate / ue.avg_tput.max(1.0)).max(1e-6)
+                }
+            })
+            .collect();
+        let wsum: f64 = weights.iter().sum();
+        let mut out = Vec::with_capacity(eligible.len());
+        let mut start = 0u16;
+        for (i, rnti) in eligible.iter().enumerate() {
+            let share = if i + 1 == eligible.len() {
+                total_prbs - start
+            } else {
+                ((total_prbs as f64 * weights[i] / wsum).floor() as u16)
+                    .min(total_prbs - start)
+            };
+            if share > 0 {
+                out.push((*rnti, start, share));
+                start += share;
+            }
+        }
+        out
+    }
+
+    /// Build an uplink grant for a UE in a UL slot: retransmission of a
+    /// failed HARQ process if one is pending, otherwise new data sized
+    /// by link adaptation.
+    pub fn ul_grant(
+        &mut self,
+        rnti: u16,
+        start_prb: u16,
+        num_prb: u16,
+        data_symbols: u8,
+    ) -> Option<UlGrant> {
+        let la_margin = self.la_margin_db;
+        let iters = self.fec_iterations;
+        let ue = self.ues.get_mut(&rnti)?;
+        // Pending retransmission takes priority.
+        let retx_id = ue
+            .ul_harq
+            .iter()
+            .find(|(_, s)| s.rv_idx > 0 && !s.awaiting)
+            .map(|(id, _)| *id);
+        if let Some(id) = retx_id {
+            let st = ue.ul_harq.get_mut(&id).expect("retx state");
+            let pdu = PuschPdu {
+                rnti,
+                harq_id: id,
+                ndi: st.ndi,
+                rv: RV_SEQUENCE[st.rv_idx as usize % 4],
+                mcs: st.mcs,
+                start_prb,
+                num_prb,
+                tb_bytes: st.tb_bytes,
+            };
+            st.tx_count += 1;
+            st.awaiting = true;
+            st.age = 0;
+            self.ul_retx += 1;
+            return Some(UlGrant { pdu, is_retx: true });
+        }
+        // New transmission on a free HARQ process.
+        if ue.ul_harq.len() >= 8 {
+            return None; // all processes awaiting outcomes
+        }
+        let mut harq_id = ue.next_ul_harq;
+        while ue.ul_harq.contains_key(&harq_id) {
+            harq_id = (harq_id + 1) % 16;
+        }
+        ue.next_ul_harq = (harq_id + 1) % 16;
+        let mcs = mcs_for_snr(ue.ul_snr_db, la_margin, iters);
+        let tb = tbs_bytes(mcs, num_prb, data_symbols) as u32;
+        let ndi = !ue.ul_last_ndi.get(&harq_id).copied().unwrap_or(true);
+        ue.ul_last_ndi.insert(harq_id, ndi);
+        ue.ul_harq.insert(
+            harq_id,
+            HarqTxState {
+                ndi,
+                rv_idx: 0,
+                tx_count: 1,
+                mcs,
+                tb_bytes: tb,
+                awaiting: true,
+                age: 0,
+            },
+        );
+        self.ul_new_tx += 1;
+        Some(UlGrant {
+            pdu: PuschPdu {
+                rnti,
+                harq_id,
+                ndi,
+                rv: RV_SEQUENCE[0],
+                mcs,
+                start_prb,
+                num_prb,
+                tb_bytes: tb,
+            },
+            is_retx: false,
+        })
+    }
+
+    /// Handle an uplink CRC outcome. Returns `true` if the HARQ series
+    /// ended (success or abandonment).
+    pub fn on_ul_crc(&mut self, rnti: u16, harq_id: u8, ok: bool, snr_db: f64) -> bool {
+        let Some(ue) = self.ues.get_mut(&rnti) else {
+            return true;
+        };
+        ue.report_ul_snr(snr_db);
+        let Some(st) = ue.ul_harq.get_mut(&harq_id) else {
+            return true;
+        };
+        st.awaiting = false;
+        if ok {
+            ue.ul_harq.remove(&harq_id);
+            return true;
+        }
+        if st.tx_count >= MAX_HARQ_TX {
+            ue.ul_harq.remove(&harq_id);
+            self.ul_harq_failures += 1;
+            return true;
+        }
+        st.rv_idx = (st.rv_idx + 1).min(3);
+        false
+    }
+
+    /// Build a downlink assignment for a UE: retransmission if pending,
+    /// else a new TB carrying `payload` (sized by caller to the TBS).
+    pub fn dl_assign(
+        &mut self,
+        rnti: u16,
+        start_prb: u16,
+        num_prb: u16,
+        data_symbols: u8,
+        new_payload: impl FnOnce(usize) -> Option<Bytes>,
+    ) -> Option<(PdschPdu, Bytes)> {
+        let la_margin = self.la_margin_db;
+        let iters = self.fec_iterations;
+        let ue = self.ues.get_mut(&rnti)?;
+        let retx_id = ue
+            .dl_harq
+            .iter()
+            .find(|(_, s)| s.rv_idx > 0 && !s.awaiting)
+            .map(|(id, _)| *id);
+        if let Some(id) = retx_id {
+            let st = ue.dl_harq.get_mut(&id).expect("retx state");
+            st.tx_count += 1;
+            st.awaiting = true;
+            st.age = 0;
+            let pdu = PdschPdu {
+                rnti,
+                harq_id: id,
+                ndi: st.ndi,
+                rv: RV_SEQUENCE[st.rv_idx as usize % 4],
+                mcs: st.mcs,
+                start_prb,
+                num_prb,
+                tb_bytes: st.payload.len() as u32,
+            };
+            let payload = st.payload.clone();
+            self.dl_retx += 1;
+            return Some((pdu, payload));
+        }
+        if ue.dl_harq.len() >= 8 {
+            return None;
+        }
+        let mcs = mcs_for_snr(ue.dl_snr_db, la_margin, iters);
+        let tbs = tbs_bytes(mcs, num_prb, data_symbols);
+        let payload = new_payload(tbs)?;
+        debug_assert!(payload.len() <= tbs);
+        let mut harq_id = ue.next_dl_harq;
+        while ue.dl_harq.contains_key(&harq_id) {
+            harq_id = (harq_id + 1) % 16;
+        }
+        ue.next_dl_harq = (harq_id + 1) % 16;
+        let ndi = !ue.dl_last_ndi.get(&harq_id).copied().unwrap_or(true);
+        ue.dl_last_ndi.insert(harq_id, ndi);
+        ue.dl_harq.insert(
+            harq_id,
+            DlHarqState {
+                ndi,
+                rv_idx: 0,
+                tx_count: 1,
+                mcs,
+                payload: payload.clone(),
+                awaiting: true,
+                age: 0,
+            },
+        );
+        self.dl_new_tx += 1;
+        // Track throughput for PF.
+        let ue = self.ues.get_mut(&rnti).expect("just used");
+        ue.avg_tput = 0.95 * ue.avg_tput + 0.05 * payload.len() as f64;
+        Some((
+            PdschPdu {
+                rnti,
+                harq_id,
+                ndi,
+                rv: RV_SEQUENCE[0],
+                mcs,
+                start_prb,
+                num_prb,
+                tb_bytes: payload.len() as u32,
+            },
+            payload,
+        ))
+    }
+
+    /// Handle a downlink HARQ acknowledgment. Returns the abandoned
+    /// payload if the series failed (for observability).
+    pub fn on_dl_ack(&mut self, rnti: u16, harq_id: u8, ack: bool) -> Option<Bytes> {
+        let ue = self.ues.get_mut(&rnti)?;
+        let st = ue.dl_harq.get_mut(&harq_id)?;
+        st.awaiting = false;
+        if ack {
+            ue.dl_harq.remove(&harq_id);
+            return None;
+        }
+        if st.tx_count >= MAX_HARQ_TX {
+            let st = ue.dl_harq.remove(&harq_id).expect("present");
+            self.dl_harq_failures += 1;
+            return Some(st.payload);
+        }
+        st.rv_idx = (st.rv_idx + 1).min(3);
+        None
+    }
+
+    /// Advance per-slot HARQ timers: a process whose feedback has been
+    /// missing for `expiry_slots` is abandoned (its CRC/UCI indication
+    /// died with a crashed PHY). Call once per slot.
+    pub fn tick(&mut self, expiry_slots: u16) {
+        for ue in self.ues.values_mut() {
+            let mut expired_ul = Vec::new();
+            for (id, st) in ue.ul_harq.iter_mut() {
+                if st.awaiting {
+                    st.age += 1;
+                    if st.age > expiry_slots {
+                        expired_ul.push(*id);
+                    }
+                }
+            }
+            for id in expired_ul {
+                ue.ul_harq.remove(&id);
+                self.ul_harq_failures += 1;
+            }
+            let mut expired_dl = Vec::new();
+            for (id, st) in ue.dl_harq.iter_mut() {
+                if st.awaiting {
+                    st.age += 1;
+                    if st.age > expiry_slots {
+                        expired_dl.push(*id);
+                    }
+                }
+            }
+            for id in expired_dl {
+                ue.dl_harq.remove(&id);
+                self.dl_harq_failures += 1;
+            }
+        }
+    }
+
+    /// Drop every in-flight HARQ series for a UE (called on detach).
+    pub fn reset_ue(&mut self, rnti: u16) {
+        if let Some(ue) = self.ues.get_mut(&rnti) {
+            ue.ul_harq.clear();
+            ue.dl_harq.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> Scheduler {
+        let mut s = Scheduler::new(Policy::RoundRobin, 1.0, 8);
+        s.add_ue(100, 18.0);
+        s.add_ue(101, 18.0);
+        s
+    }
+
+    #[test]
+    fn split_round_robin_covers_all_prbs() {
+        let s = sched();
+        let parts = s.split_prbs(&[100, 101], 273);
+        assert_eq!(parts.len(), 2);
+        let total: u16 = parts.iter().map(|p| p.2).sum();
+        assert_eq!(total, 273);
+        // Contiguous, non-overlapping.
+        assert_eq!(parts[0].1, 0);
+        assert_eq!(parts[1].1, parts[0].2);
+    }
+
+    #[test]
+    fn split_empty_cases() {
+        let s = sched();
+        assert!(s.split_prbs(&[], 100).is_empty());
+        assert!(s.split_prbs(&[100], 0).is_empty());
+    }
+
+    #[test]
+    fn ul_grant_new_then_retx_cycle() {
+        let mut s = sched();
+        let g1 = s.ul_grant(100, 0, 100, 12).unwrap();
+        assert!(!g1.is_retx);
+        assert_eq!(g1.pdu.rv, 0);
+        // CRC fails → next grant is a retransmission with rv=2.
+        let done = s.on_ul_crc(100, g1.pdu.harq_id, false, 15.0);
+        assert!(!done);
+        let g2 = s.ul_grant(100, 0, 100, 12).unwrap();
+        assert!(g2.is_retx);
+        assert_eq!(g2.pdu.harq_id, g1.pdu.harq_id);
+        assert_eq!(g2.pdu.ndi, g1.pdu.ndi);
+        assert_eq!(g2.pdu.rv, 2);
+        assert_eq!(g2.pdu.tb_bytes, g1.pdu.tb_bytes);
+        // Success ends the series; next grant is fresh with toggled NDI.
+        assert!(s.on_ul_crc(100, g1.pdu.harq_id, true, 15.0));
+        let g3 = s.ul_grant(100, 0, 100, 12).unwrap();
+        assert!(!g3.is_retx);
+        assert_eq!(s.ul_retx, 1);
+        assert_eq!(s.ul_new_tx, 2);
+    }
+
+    #[test]
+    fn ul_harq_abandoned_after_max_tx() {
+        let mut s = sched();
+        let g = s.ul_grant(100, 0, 50, 12).unwrap();
+        let id = g.pdu.harq_id;
+        for i in 1..MAX_HARQ_TX {
+            assert!(!s.on_ul_crc(100, id, false, 10.0), "attempt {i}");
+            let r = s.ul_grant(100, 0, 50, 12).unwrap();
+            assert!(r.is_retx);
+        }
+        // Fourth failure abandons.
+        assert!(s.on_ul_crc(100, id, false, 10.0));
+        assert_eq!(s.ul_harq_failures, 1);
+        assert_eq!(s.ues[&100].ul_inflight(), 0);
+    }
+
+    #[test]
+    fn rv_sequence_order() {
+        let mut s = sched();
+        let g = s.ul_grant(100, 0, 50, 12).unwrap();
+        let id = g.pdu.harq_id;
+        let mut rvs = vec![g.pdu.rv];
+        for _ in 0..3 {
+            s.on_ul_crc(100, id, false, 10.0);
+            let r = s.ul_grant(100, 0, 50, 12).unwrap();
+            rvs.push(r.pdu.rv);
+        }
+        assert_eq!(rvs, vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn link_adaptation_follows_snr() {
+        let mut s = sched();
+        let g_good = s.ul_grant(100, 0, 100, 12).unwrap();
+        s.on_ul_crc(100, g_good.pdu.harq_id, true, 30.0);
+        for _ in 0..60 {
+            let g = s.ul_grant(100, 0, 100, 12).unwrap();
+            s.on_ul_crc(100, g.pdu.harq_id, true, 30.0);
+        }
+        let g_hi = s.ul_grant(100, 0, 100, 12).unwrap();
+        s.on_ul_crc(100, g_hi.pdu.harq_id, true, 30.0);
+        for _ in 0..60 {
+            let g = s.ul_grant(100, 0, 100, 12).unwrap();
+            s.on_ul_crc(100, g.pdu.harq_id, true, -2.0);
+        }
+        let g_lo = s.ul_grant(100, 0, 100, 12).unwrap();
+        assert!(
+            g_hi.pdu.mcs > g_lo.pdu.mcs,
+            "hi={} lo={}",
+            g_hi.pdu.mcs,
+            g_lo.pdu.mcs
+        );
+        assert!(g_hi.pdu.tb_bytes > g_lo.pdu.tb_bytes);
+    }
+
+    #[test]
+    fn dl_assign_and_ack_flow() {
+        let mut s = sched();
+        let (pdu, payload) = s
+            .dl_assign(100, 0, 100, 12, |tbs| Some(Bytes::from(vec![7u8; tbs])))
+            .unwrap();
+        assert_eq!(payload.len() as u32, pdu.tb_bytes);
+        // NACK → retransmission of the same payload.
+        assert!(s.on_dl_ack(100, pdu.harq_id, false).is_none());
+        let (pdu2, payload2) = s
+            .dl_assign(100, 0, 100, 12, |_| panic!("should retransmit"))
+            .unwrap();
+        assert_eq!(pdu2.harq_id, pdu.harq_id);
+        assert_eq!(pdu2.rv, 2);
+        assert_eq!(payload2, payload);
+        // ACK ends series.
+        assert!(s.on_dl_ack(100, pdu.harq_id, true).is_none());
+        assert_eq!(s.ues[&100].dl_inflight(), 0);
+    }
+
+    #[test]
+    fn dl_abandons_after_max_tx_and_returns_payload() {
+        let mut s = sched();
+        let (pdu, payload) = s
+            .dl_assign(100, 0, 50, 12, |tbs| Some(Bytes::from(vec![1u8; tbs])))
+            .unwrap();
+        for _ in 1..MAX_HARQ_TX {
+            assert!(s.on_dl_ack(100, pdu.harq_id, false).is_none());
+            let _ = s
+                .dl_assign(100, 0, 50, 12, |_| panic!("retx expected"))
+                .unwrap();
+        }
+        let dropped = s.on_dl_ack(100, pdu.harq_id, false);
+        assert_eq!(dropped, Some(payload));
+        assert_eq!(s.dl_harq_failures, 1);
+    }
+
+    #[test]
+    fn pf_weights_favor_starved_ue() {
+        let mut s = Scheduler::new(Policy::ProportionalFair, 1.0, 8);
+        s.add_ue(1, 20.0);
+        s.add_ue(2, 20.0);
+        s.ues.get_mut(&1).unwrap().avg_tput = 10_000.0;
+        s.ues.get_mut(&2).unwrap().avg_tput = 100.0;
+        let parts = s.split_prbs(&[1, 2], 200);
+        let p1 = parts.iter().find(|p| p.0 == 1).map(|p| p.2).unwrap_or(0);
+        let p2 = parts.iter().find(|p| p.0 == 2).map(|p| p.2).unwrap_or(0);
+        assert!(p2 > p1 * 5, "p1={p1} p2={p2}");
+    }
+
+    #[test]
+    fn stale_awaiting_processes_expire() {
+        let mut s = sched();
+        let g = s.ul_grant(100, 0, 50, 12).unwrap();
+        let _ = g;
+        let (_p, _b) = s
+            .dl_assign(100, 0, 50, 12, |tbs| Some(Bytes::from(vec![0u8; tbs])))
+            .unwrap();
+        assert_eq!(s.ues[&100].ul_inflight(), 1);
+        assert_eq!(s.ues[&100].dl_inflight(), 1);
+        // Feedback never arrives (PHY crashed): expire after 30 slots.
+        for _ in 0..=30 {
+            s.tick(30);
+        }
+        assert_eq!(s.ues[&100].ul_inflight(), 0);
+        assert_eq!(s.ues[&100].dl_inflight(), 0);
+        assert_eq!(s.ul_harq_failures, 1);
+        assert_eq!(s.dl_harq_failures, 1);
+        // And new grants flow again.
+        assert!(s.ul_grant(100, 0, 50, 12).is_some());
+    }
+
+    #[test]
+    fn tick_does_not_expire_processes_with_feedback() {
+        let mut s = sched();
+        let g = s.ul_grant(100, 0, 50, 12).unwrap();
+        for _ in 0..10 {
+            s.tick(30);
+        }
+        s.on_ul_crc(100, g.pdu.harq_id, false, 10.0); // NACK: retx pending
+        for _ in 0..100 {
+            s.tick(30); // not awaiting → no expiry
+        }
+        assert_eq!(s.ues[&100].ul_inflight(), 1, "retx still pending");
+    }
+
+    #[test]
+    fn reset_ue_clears_harq() {
+        let mut s = sched();
+        let g = s.ul_grant(100, 0, 50, 12).unwrap();
+        s.on_ul_crc(100, g.pdu.harq_id, false, 10.0);
+        assert_eq!(s.ues[&100].ul_inflight(), 1);
+        s.reset_ue(100);
+        assert_eq!(s.ues[&100].ul_inflight(), 0);
+    }
+
+    #[test]
+    fn unknown_ue_is_safe() {
+        let mut s = sched();
+        assert!(s.ul_grant(999, 0, 50, 12).is_none());
+        assert!(s.on_ul_crc(999, 0, false, 0.0));
+        assert!(s.on_dl_ack(999, 0, true).is_none());
+    }
+}

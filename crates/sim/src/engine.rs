@@ -1,0 +1,818 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns a set of [`Node`]s identified by [`NodeId`], a priority
+//! queue of pending events, and a table of point-to-point links.
+//! Nodes exchange messages of a single application-defined type `M`
+//! (an enum in the higher-level crates covering Ethernet frames, radio
+//! bursts, and control messages). Links model propagation latency,
+//! serialization delay at a configured bandwidth, FIFO queueing, and
+//! optional fault injection.
+//!
+//! Everything is single-threaded and deterministic: the same master seed
+//! and the same sequence of API calls produce byte-identical event traces
+//! (see [`Engine::trace_hash`]).
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::rng::SimRng;
+use crate::time::Nanos;
+
+/// Identifies a node registered with the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Sender id used for events injected from outside the simulation
+    /// (test harnesses, experiment scripts).
+    pub const EXTERNAL: NodeId = NodeId(usize::MAX);
+}
+
+/// Messages exchanged between nodes.
+///
+/// `wire_size` is the serialized size used to compute transmission delay
+/// on bandwidth-limited links; messages that never cross such links may
+/// keep the default. `corrupt` is invoked by the fault injector and may
+/// flip bits in the payload; the default is a no-op (the message is then
+/// dropped instead, which is the conservative interpretation).
+pub trait Message: std::fmt::Debug + 'static {
+    fn wire_size(&self) -> usize {
+        0
+    }
+
+    /// Mutate the message as in-flight corruption would. Returns `true`
+    /// if corruption was applied; if `false`, the link drops the message
+    /// instead.
+    fn corrupt(&mut self, _rng: &mut SimRng) -> bool {
+        false
+    }
+}
+
+/// A simulation participant. Nodes react to messages and timers; all
+/// side effects go through the [`Ctx`].
+pub trait Node<M: Message>: Any {
+    /// Called once when the simulation starts, before any event fires.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
+    /// A message from `from` has arrived.
+    fn on_msg(&mut self, ctx: &mut Ctx<'_, M>, from: NodeId, msg: M);
+
+    /// A timer scheduled by this node has fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, M>, _token: u64) {}
+}
+
+/// Parameters of a unidirectional point-to-point link.
+#[derive(Debug, Clone)]
+pub struct LinkParams {
+    /// One-way propagation latency.
+    pub latency: Nanos,
+    /// Bits per second; 0 means infinite (no serialization delay).
+    pub bandwidth_bps: u64,
+    /// Probability of dropping each message.
+    pub drop_chance: f64,
+    /// Probability of corrupting each message (falls back to a drop if
+    /// the message type does not implement corruption).
+    pub corrupt_chance: f64,
+    /// Additional uniformly distributed latency jitter in [0, jitter].
+    pub jitter: Nanos,
+}
+
+impl LinkParams {
+    /// An ideal link with the given latency and no bandwidth limit.
+    pub fn ideal(latency: Nanos) -> LinkParams {
+        LinkParams {
+            latency,
+            bandwidth_bps: 0,
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            jitter: Nanos::ZERO,
+        }
+    }
+
+    /// A link with latency and a finite bandwidth.
+    pub fn with_bandwidth(latency: Nanos, bandwidth_bps: u64) -> LinkParams {
+        LinkParams {
+            bandwidth_bps,
+            ..LinkParams::ideal(latency)
+        }
+    }
+
+    pub fn drop_chance(mut self, p: f64) -> LinkParams {
+        self.drop_chance = p;
+        self
+    }
+
+    pub fn corrupt_chance(mut self, p: f64) -> LinkParams {
+        self.corrupt_chance = p;
+        self
+    }
+
+    pub fn jitter(mut self, j: Nanos) -> LinkParams {
+        self.jitter = j;
+        self
+    }
+}
+
+#[derive(Debug)]
+struct Link {
+    params: LinkParams,
+    /// Time at which the link's transmitter becomes free (FIFO model).
+    busy_until: Nanos,
+    /// Counters for observability.
+    sent: u64,
+    dropped: u64,
+    corrupted: u64,
+    bytes: u64,
+}
+
+/// Per-link statistics snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    pub sent: u64,
+    pub dropped: u64,
+    pub corrupted: u64,
+    pub bytes: u64,
+}
+
+enum EventKind<M> {
+    Msg { from: NodeId, msg: M },
+    Timer { token: u64 },
+}
+
+struct QueuedEvent<M> {
+    at: Nanos,
+    seq: u64,
+    dst: NodeId,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for QueuedEvent<M> {}
+
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Engine internals shared with nodes through [`Ctx`].
+struct Core<M> {
+    now: Nanos,
+    seq: u64,
+    queue: BinaryHeap<Reverse<QueuedEvent<M>>>,
+    links: HashMap<(NodeId, NodeId), Link>,
+    alive: Vec<bool>,
+    names: Vec<String>,
+    rng: SimRng,
+    trace_hash: u64,
+    dispatched: u64,
+}
+
+impl<M: Message> Core<M> {
+    fn push(&mut self, at: Nanos, dst: NodeId, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { at, seq, dst, kind }));
+    }
+
+    fn send_via_link(&mut self, from: NodeId, dst: NodeId, msg: M) -> bool {
+        let now = self.now;
+        self.send_via_link_at(from, dst, now, msg)
+    }
+
+    /// Link transmission whose earliest departure is `depart_floor`
+    /// (models local processing completing before the NIC takes over).
+    fn send_via_link_at(
+        &mut self,
+        from: NodeId,
+        dst: NodeId,
+        depart_floor: Nanos,
+        mut msg: M,
+    ) -> bool {
+        let now = depart_floor.max(self.now);
+        let link = match self.links.get_mut(&(from, dst)) {
+            Some(l) => l,
+            None => panic!(
+                "no link {} -> {}; use connect() or send_in()",
+                self.names.get(from.0).map(String::as_str).unwrap_or("ext"),
+                self.names.get(dst.0).map(String::as_str).unwrap_or("?"),
+            ),
+        };
+        link.sent += 1;
+        let size = msg.wire_size();
+        link.bytes += size as u64;
+        // Fault injection decisions draw from the engine RNG, which keeps
+        // node-local RNG streams independent of link behavior.
+        if link.params.drop_chance > 0.0 && self.rng.chance(link.params.drop_chance) {
+            link.dropped += 1;
+            return false;
+        }
+        if link.params.corrupt_chance > 0.0 && self.rng.chance(link.params.corrupt_chance) {
+            if msg.corrupt(&mut self.rng) {
+                link.corrupted += 1;
+            } else {
+                link.dropped += 1;
+                return false;
+            }
+        }
+        let tx_time = if link.params.bandwidth_bps == 0 {
+            Nanos::ZERO
+        } else {
+            Nanos((size as u64 * 8).saturating_mul(1_000_000_000) / link.params.bandwidth_bps)
+        };
+        let depart = link.busy_until.max(now);
+        let done = depart + tx_time;
+        link.busy_until = done;
+        let mut arrive = done + link.params.latency;
+        if link.params.jitter.0 > 0 {
+            arrive += Nanos(self.rng.below(link.params.jitter.0 + 1));
+        }
+        self.push(arrive, dst, EventKind::Msg { from, msg });
+        true
+    }
+}
+
+/// Handle through which a node interacts with the engine during a
+/// callback.
+pub struct Ctx<'a, M: Message> {
+    core: &'a mut Core<M>,
+    id: NodeId,
+}
+
+impl<'a, M: Message> Ctx<'a, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.core.now
+    }
+
+    /// The id of the node being called.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Send a message over the configured link to `dst`. Returns `false`
+    /// if the link's fault injector dropped the message.
+    ///
+    /// Panics if no link `self -> dst` was configured; this catches
+    /// wiring bugs early.
+    pub fn send(&mut self, dst: NodeId, msg: M) -> bool {
+        if !self.core.alive[dst.0] {
+            // Messages to a crashed node vanish, as frames to a dead
+            // server would.
+            return false;
+        }
+        self.core.send_via_link(self.id, dst, msg)
+    }
+
+    /// Send over the configured link to `dst`, but with the departure
+    /// delayed by `delay` (local processing before the NIC): the link's
+    /// bandwidth, queueing, and fault injection still apply.
+    pub fn send_link_in(&mut self, dst: NodeId, delay: Nanos, msg: M) -> bool {
+        if !self.core.alive[dst.0] {
+            return false;
+        }
+        let depart = self.core.now + delay;
+        self.core.send_via_link_at(self.id, dst, depart, msg)
+    }
+
+    /// Deliver a message directly after `delay`, bypassing any link
+    /// (models same-host shared memory or abstract control channels).
+    pub fn send_in(&mut self, dst: NodeId, delay: Nanos, msg: M) {
+        if !self.core.alive[dst.0] {
+            return;
+        }
+        let at = self.core.now + delay;
+        self.core.push(
+            at,
+            dst,
+            EventKind::Msg {
+                from: self.id,
+                msg,
+            },
+        );
+    }
+
+    /// Schedule a timer for this node after `delay`.
+    pub fn timer(&mut self, delay: Nanos, token: u64) {
+        let at = self.core.now + delay;
+        self.core.push(at, self.id, EventKind::Timer { token });
+    }
+
+    /// Schedule a timer for this node at the absolute time `at` (clamped
+    /// to now if already past).
+    pub fn timer_at(&mut self, at: Nanos, token: u64) {
+        let at = at.max(self.core.now);
+        self.core.push(at, self.id, EventKind::Timer { token });
+    }
+
+    /// Crash another node: all its queued and future events are dropped
+    /// until it is revived. Models a fail-stop process crash (SIGKILL).
+    pub fn kill(&mut self, node: NodeId) {
+        self.core.alive[node.0] = false;
+    }
+
+    /// Bring a previously killed node back (e.g., a restarted process).
+    pub fn revive(&mut self, node: NodeId) {
+        self.core.alive[node.0] = true;
+    }
+
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.core.alive[node.0]
+    }
+
+    /// Engine-level RNG; nodes normally hold their own forked [`SimRng`]
+    /// and use this only for incidental draws.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.core.rng
+    }
+}
+
+/// The deterministic discrete-event simulation engine.
+pub struct Engine<M: Message> {
+    core: Core<M>,
+    nodes: Vec<Option<Box<dyn Node<M>>>>,
+    started: bool,
+}
+
+impl<M: Message> Engine<M> {
+    pub fn new(seed: u64) -> Engine<M> {
+        Engine {
+            core: Core {
+                now: Nanos::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                links: HashMap::new(),
+                alive: Vec::new(),
+                names: Vec::new(),
+                rng: SimRng::new(seed),
+                trace_hash: 0xcbf2_9ce4_8422_2325,
+                dispatched: 0,
+            },
+            nodes: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Register a node; the returned id is stable for the engine's life.
+    pub fn add_node(&mut self, name: &str, node: Box<dyn Node<M>>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Some(node));
+        self.core.alive.push(true);
+        self.core.names.push(name.to_string());
+        id
+    }
+
+    /// Create a unidirectional link `from -> to`.
+    pub fn connect(&mut self, from: NodeId, to: NodeId, params: LinkParams) {
+        self.core.links.insert(
+            (from, to),
+            Link {
+                params,
+                busy_until: Nanos::ZERO,
+                sent: 0,
+                dropped: 0,
+                corrupted: 0,
+                bytes: 0,
+            },
+        );
+    }
+
+    /// Create links in both directions with identical parameters.
+    pub fn connect_duplex(&mut self, a: NodeId, b: NodeId, params: LinkParams) {
+        self.connect(a, b, params.clone());
+        self.connect(b, a, params);
+    }
+
+    /// Replace the parameters of an existing link (e.g., to degrade it
+    /// mid-experiment). Panics if the link does not exist.
+    pub fn reconfigure_link(&mut self, from: NodeId, to: NodeId, params: LinkParams) {
+        let link = self
+            .core
+            .links
+            .get_mut(&(from, to))
+            .expect("reconfigure_link: no such link");
+        link.params = params;
+    }
+
+    pub fn link_stats(&self, from: NodeId, to: NodeId) -> Option<LinkStats> {
+        self.core.links.get(&(from, to)).map(|l| LinkStats {
+            sent: l.sent,
+            dropped: l.dropped,
+            corrupted: l.corrupted,
+            bytes: l.bytes,
+        })
+    }
+
+    /// Inject a message from outside the simulation.
+    pub fn post(&mut self, at: Nanos, dst: NodeId, msg: M) {
+        let at = at.max(self.core.now);
+        self.core.push(
+            at,
+            dst,
+            EventKind::Msg {
+                from: NodeId::EXTERNAL,
+                msg,
+            },
+        );
+    }
+
+    /// Kill a node from outside the simulation (the experiment script's
+    /// `SIGKILL`).
+    pub fn kill(&mut self, node: NodeId) {
+        self.core.alive[node.0] = false;
+    }
+
+    pub fn revive(&mut self, node: NodeId) {
+        self.core.alive[node.0] = true;
+    }
+
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.core.alive[node.0]
+    }
+
+    pub fn now(&self) -> Nanos {
+        self.core.now
+    }
+
+    /// Number of dispatched events so far.
+    pub fn dispatched(&self) -> u64 {
+        self.core.dispatched
+    }
+
+    /// FNV-style hash over the dispatched event stream; equal seeds and
+    /// programs produce equal hashes (the determinism regression test).
+    pub fn trace_hash(&self) -> u64 {
+        self.core.trace_hash
+    }
+
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.core.names[id.0]
+    }
+
+    /// Immutable access to a node, downcast to its concrete type.
+    pub fn node<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        let node = self.nodes[id.0].as_deref()?;
+        (node as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutable access to a node, downcast to its concrete type. Intended
+    /// for experiment setup and post-run inspection, not for use while
+    /// the engine is dispatching.
+    pub fn node_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        let node = self.nodes[id.0].as_deref_mut()?;
+        (node as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let mut node = self.nodes[i].take().expect("node missing at start");
+            {
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    id: NodeId(i),
+                };
+                node.on_start(&mut ctx);
+            }
+            self.nodes[i] = Some(node);
+        }
+    }
+
+    /// Run until the queue is empty or simulated time reaches `until`.
+    /// Afterwards `now() == until` (unless the queue emptied first, in
+    /// which case `now()` still advances to `until`).
+    pub fn run_until(&mut self, until: Nanos) {
+        self.start_if_needed();
+        loop {
+            let at = match self.core.queue.peek() {
+                Some(Reverse(ev)) if ev.at <= until => ev.at,
+                _ => break,
+            };
+            let Reverse(ev) = self.core.queue.pop().expect("peeked event vanished");
+            debug_assert!(at >= self.core.now, "time went backwards");
+            self.core.now = at;
+            let dst = ev.dst;
+            if dst.0 >= self.nodes.len() || !self.core.alive[dst.0] {
+                continue;
+            }
+            // Trace hash: mixes (time, dst, kind) for determinism checks.
+            let kind_tag: u64 = match &ev.kind {
+                EventKind::Msg { .. } => 1,
+                EventKind::Timer { .. } => 2,
+            };
+            let mut h = self.core.trace_hash;
+            for v in [at.0, dst.0 as u64, kind_tag] {
+                h ^= v;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            self.core.trace_hash = h;
+            self.core.dispatched += 1;
+
+            let mut node = self.nodes[dst.0].take().expect("node missing");
+            {
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    id: dst,
+                };
+                match ev.kind {
+                    EventKind::Msg { from, msg } => node.on_msg(&mut ctx, from, msg),
+                    EventKind::Timer { token } => node.on_timer(&mut ctx, token),
+                }
+            }
+            self.nodes[dst.0] = Some(node);
+        }
+        self.core.now = self.core.now.max(until);
+    }
+
+    /// Run for an additional duration of simulated time.
+    pub fn run_for(&mut self, d: Nanos) {
+        let until = self.core.now + d;
+        self.run_until(until);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct TestMsg(u64, usize);
+
+    impl Message for TestMsg {
+        fn wire_size(&self) -> usize {
+            self.1
+        }
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        got: Vec<(u64, Nanos)>,
+        timers: Vec<(u64, Nanos)>,
+    }
+
+    impl Node<TestMsg> for Recorder {
+        fn on_msg(&mut self, ctx: &mut Ctx<'_, TestMsg>, _from: NodeId, msg: TestMsg) {
+            self.got.push((msg.0, ctx.now()));
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, TestMsg>, token: u64) {
+            self.timers.push((token, ctx.now()));
+        }
+    }
+
+    struct Pinger {
+        peer: NodeId,
+        sent: u64,
+    }
+
+    impl Node<TestMsg> for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+            ctx.timer(Nanos(100), 0);
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, TestMsg>, _token: u64) {
+            ctx.send(self.peer, TestMsg(self.sent, 100));
+            self.sent += 1;
+            if self.sent < 5 {
+                ctx.timer(Nanos(100), 0);
+            }
+        }
+
+        fn on_msg(&mut self, _ctx: &mut Ctx<'_, TestMsg>, _from: NodeId, _msg: TestMsg) {}
+    }
+
+    fn engine() -> Engine<TestMsg> {
+        Engine::new(1)
+    }
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut e = engine();
+        let r = e.add_node("r", Box::new(Recorder::default()));
+        e.post(Nanos(300), r, TestMsg(3, 0));
+        e.post(Nanos(100), r, TestMsg(1, 0));
+        e.post(Nanos(200), r, TestMsg(2, 0));
+        e.run_until(Nanos(1000));
+        let rec = e.node::<Recorder>(r).unwrap();
+        assert_eq!(
+            rec.got,
+            vec![
+                (1, Nanos(100)),
+                (2, Nanos(200)),
+                (3, Nanos(300)),
+            ]
+        );
+    }
+
+    #[test]
+    fn simultaneous_events_fifo_by_insertion() {
+        let mut e = engine();
+        let r = e.add_node("r", Box::new(Recorder::default()));
+        e.post(Nanos(100), r, TestMsg(1, 0));
+        e.post(Nanos(100), r, TestMsg(2, 0));
+        e.run_until(Nanos(100));
+        let rec = e.node::<Recorder>(r).unwrap();
+        assert_eq!(rec.got.iter().map(|g| g.0).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn run_until_stops_at_boundary() {
+        let mut e = engine();
+        let r = e.add_node("r", Box::new(Recorder::default()));
+        e.post(Nanos(100), r, TestMsg(1, 0));
+        e.post(Nanos(201), r, TestMsg(2, 0));
+        e.run_until(Nanos(200));
+        assert_eq!(e.now(), Nanos(200));
+        assert_eq!(e.node::<Recorder>(r).unwrap().got.len(), 1);
+        e.run_until(Nanos(300));
+        assert_eq!(e.node::<Recorder>(r).unwrap().got.len(), 2);
+    }
+
+    #[test]
+    fn link_latency_and_serialization() {
+        let mut e = engine();
+        let a = e.add_node("a", Box::new(Pinger { peer: NodeId(1), sent: 0 }));
+        let r = e.add_node("r", Box::new(Recorder::default()));
+        // 100 byte msg at 1 Gbps = 800 ns serialization; latency 1000 ns.
+        e.connect(a, r, LinkParams::with_bandwidth(Nanos(1000), 1_000_000_000));
+        e.run_until(Nanos(10_000));
+        let rec = e.node::<Recorder>(r).unwrap();
+        assert_eq!(rec.got.len(), 5);
+        assert_eq!(rec.got[0].1, Nanos(100 + 800 + 1000));
+    }
+
+    #[test]
+    fn link_fifo_queueing_backlog() {
+        // Two messages sent at the same instant must serialize one after
+        // the other.
+        #[derive(Default)]
+        struct Burst {
+            peer: Option<NodeId>,
+        }
+        impl Node<TestMsg> for Burst {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+                ctx.timer(Nanos(0), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, TestMsg>, _token: u64) {
+                let peer = self.peer.unwrap();
+                ctx.send(peer, TestMsg(1, 1000));
+                ctx.send(peer, TestMsg(2, 1000));
+            }
+            fn on_msg(&mut self, _c: &mut Ctx<'_, TestMsg>, _f: NodeId, _m: TestMsg) {}
+        }
+        let mut e = engine();
+        let a = e.add_node("a", Box::new(Burst { peer: None }));
+        let r = e.add_node("r", Box::new(Recorder::default()));
+        e.node_mut::<Burst>(a).unwrap().peer = Some(r);
+        // 1000 bytes at 1 Gbps = 8000 ns each.
+        e.connect(a, r, LinkParams::with_bandwidth(Nanos(0), 1_000_000_000));
+        e.run_until(Nanos(100_000));
+        let rec = e.node::<Recorder>(r).unwrap();
+        assert_eq!(rec.got[0].1, Nanos(8_000));
+        assert_eq!(rec.got[1].1, Nanos(16_000));
+    }
+
+    #[test]
+    fn killed_node_receives_nothing() {
+        let mut e = engine();
+        let r = e.add_node("r", Box::new(Recorder::default()));
+        e.post(Nanos(100), r, TestMsg(1, 0));
+        e.post(Nanos(300), r, TestMsg(2, 0));
+        e.run_until(Nanos(150));
+        e.kill(r);
+        e.run_until(Nanos(400));
+        assert_eq!(e.node::<Recorder>(r).unwrap().got.len(), 1);
+        // Revive: future events are delivered again.
+        e.revive(r);
+        e.post(Nanos(500), r, TestMsg(3, 0));
+        e.run_until(Nanos(600));
+        assert_eq!(e.node::<Recorder>(r).unwrap().got.len(), 2);
+    }
+
+    #[test]
+    fn drop_chance_one_drops_everything() {
+        let mut e = engine();
+        let a = e.add_node("a", Box::new(Pinger { peer: NodeId(1), sent: 0 }));
+        let r = e.add_node("r", Box::new(Recorder::default()));
+        e.connect(a, r, LinkParams::ideal(Nanos(10)).drop_chance(1.0));
+        e.run_until(Nanos(10_000));
+        assert_eq!(e.node::<Recorder>(r).unwrap().got.len(), 0);
+        let stats = e.link_stats(a, r).unwrap();
+        assert_eq!(stats.sent, 5);
+        assert_eq!(stats.dropped, 5);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let mut e: Engine<TestMsg> = Engine::new(seed);
+            let a = e.add_node("a", Box::new(Pinger { peer: NodeId(1), sent: 0 }));
+            let r = e.add_node("r", Box::new(Recorder::default()));
+            e.connect(a, r, LinkParams::ideal(Nanos(17)).drop_chance(0.3));
+            e.run_until(Nanos(100_000));
+            (e.trace_hash(), e.dispatched())
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99).0, run(100).0);
+    }
+
+    #[test]
+    fn timer_tokens_roundtrip() {
+        struct T;
+        impl Node<TestMsg> for T {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+                ctx.timer(Nanos(5), 42);
+                ctx.timer_at(Nanos(3), 7);
+            }
+            fn on_msg(&mut self, _c: &mut Ctx<'_, TestMsg>, _f: NodeId, _m: TestMsg) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, TestMsg>, token: u64) {
+                if token == 42 {
+                    ctx.send_in(NodeId(1), Nanos(1), TestMsg(token, 0));
+                } else {
+                    ctx.send_in(NodeId(1), Nanos(1), TestMsg(token, 0));
+                }
+            }
+        }
+        let mut e = engine();
+        let _t = e.add_node("t", Box::new(T));
+        let r = e.add_node("r", Box::new(Recorder::default()));
+        e.run_until(Nanos(100));
+        let rec = e.node::<Recorder>(r).unwrap();
+        assert_eq!(rec.got, vec![(7, Nanos(4)), (42, Nanos(6))]);
+    }
+
+    #[test]
+    fn send_link_in_applies_link_semantics() {
+        struct Delayed {
+            peer: NodeId,
+        }
+        impl Node<TestMsg> for Delayed {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+                ctx.timer(Nanos(100), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, TestMsg>, _t: u64) {
+                // 2000 ns of local processing before the NIC sends.
+                ctx.send_link_in(self.peer, Nanos(2_000), TestMsg(1, 1000));
+            }
+            fn on_msg(&mut self, _c: &mut Ctx<'_, TestMsg>, _f: NodeId, _m: TestMsg) {}
+        }
+        let mut e = engine();
+        let a = e.add_node("a", Box::new(Delayed { peer: NodeId(1) }));
+        let r = e.add_node("r", Box::new(Recorder::default()));
+        // 1000 B at 1 Gbps = 8000 ns serialization, plus 500 ns latency.
+        e.connect(a, r, LinkParams::with_bandwidth(Nanos(500), 1_000_000_000));
+        e.run_until(Nanos(50_000));
+        let rec = e.node::<Recorder>(r).unwrap();
+        assert_eq!(rec.got, vec![(1, Nanos(100 + 2_000 + 8_000 + 500))]);
+    }
+
+    #[test]
+    fn send_link_in_subject_to_drops() {
+        struct Delayed {
+            peer: NodeId,
+        }
+        impl Node<TestMsg> for Delayed {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+                ctx.timer(Nanos(1), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, TestMsg>, _t: u64) {
+                ctx.send_link_in(self.peer, Nanos(10), TestMsg(1, 10));
+            }
+            fn on_msg(&mut self, _c: &mut Ctx<'_, TestMsg>, _f: NodeId, _m: TestMsg) {}
+        }
+        let mut e = engine();
+        let a = e.add_node("a", Box::new(Delayed { peer: NodeId(1) }));
+        let r = e.add_node("r", Box::new(Recorder::default()));
+        e.connect(a, r, LinkParams::ideal(Nanos(10)).drop_chance(1.0));
+        e.run_until(Nanos(10_000));
+        assert!(e.node::<Recorder>(r).unwrap().got.is_empty());
+        assert_eq!(e.link_stats(a, r).unwrap().dropped, 1);
+    }
+
+    #[test]
+    fn reconfigure_link_applies() {
+        let mut e = engine();
+        let a = e.add_node("a", Box::new(Pinger { peer: NodeId(1), sent: 0 }));
+        let r = e.add_node("r", Box::new(Recorder::default()));
+        e.connect(a, r, LinkParams::ideal(Nanos(10)));
+        e.run_until(Nanos(150)); // first send at t=100 arrives t=110
+        e.reconfigure_link(a, r, LinkParams::ideal(Nanos(10)).drop_chance(1.0));
+        e.run_until(Nanos(10_000));
+        assert_eq!(e.node::<Recorder>(r).unwrap().got.len(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # slingshot-sim
+//!
+//! Deterministic discrete-event simulation engine underpinning the
+//! Slingshot (SIGCOMM 2023) reproduction.
+//!
+//! The crate provides:
+//!
+//! - [`time`]: nanosecond simulated time and 5G NR slot/TTI arithmetic
+//!   (30 kHz SCS, 500 µs slots, SFN wraparound, the DDDSU TDD pattern).
+//! - [`rng`]: a self-contained xoshiro256** PRNG with labeled forking so
+//!   every component gets an independent, reproducible stream.
+//! - [`engine`]: the event queue, the [`engine::Node`] trait, and
+//!   point-to-point links with latency, bandwidth, FIFO queueing and
+//!   fault injection (drop / corrupt / jitter), in the spirit of
+//!   smoltcp's fault-injecting device wrappers.
+//! - [`stats`]: percentile samplers, 10 ms-bin throughput accounting and
+//!   online statistics used by every experiment harness.
+//!
+//! Design note: the whole stack is synchronous and single-threaded.
+//! Real vRAN software busy-polls on dedicated cores; in a simulation,
+//! an async runtime would add nondeterminism without modeling value, so
+//! (per the project's networking guides) we use event-driven synchronous
+//! code and replace wall-clock waiting with simulated time.
+
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Ctx, Engine, LinkParams, LinkStats, Message, Node, NodeId};
+pub use rng::SimRng;
+pub use stats::{OnlineStats, RateBins, Sampler};
+pub use time::{
+    Nanos, SlotClock, SlotId, SlotKind, TddPattern, SFN_MODULO, SLOTS_PER_FRAME,
+    SLOTS_PER_SUBFRAME, SLOT_DURATION, SUBFRAMES_PER_FRAME, SYMBOLS_PER_SLOT,
+};

@@ -1,0 +1,318 @@
+//! Measurement utilities shared by experiments: percentile samplers,
+//! rate bins (throughput per fixed interval, as the paper reports at
+//! 10 ms granularity), and online mean/variance.
+
+use crate::time::Nanos;
+
+/// Collects samples and answers percentile queries. Stores raw samples;
+/// fine for the volumes our experiments produce (millions).
+#[derive(Debug, Clone, Default)]
+pub struct Sampler {
+    values: Vec<u64>,
+    sorted: bool,
+}
+
+impl Sampler {
+    pub fn new() -> Sampler {
+        Sampler::default()
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    pub fn record_nanos(&mut self, v: Nanos) {
+        self.record(v.0);
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The p-th percentile (0.0 ..= 100.0) using the nearest-rank method.
+    /// Returns `None` on an empty sampler.
+    pub fn percentile(&mut self, p: f64) -> Option<u64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.values.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        let idx = rank.clamp(1, n) - 1;
+        Some(self.values[idx])
+    }
+
+    pub fn median(&mut self) -> Option<u64> {
+        self.percentile(50.0)
+    }
+
+    pub fn min(&mut self) -> Option<u64> {
+        self.ensure_sorted();
+        self.values.first().copied()
+    }
+
+    pub fn max(&mut self) -> Option<u64> {
+        self.ensure_sorted();
+        self.values.last().copied()
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().map(|v| *v as f64).sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Empirical CDF as (value, cumulative fraction) pairs, decimated to
+    /// at most `points` entries for plotting.
+    pub fn cdf(&mut self, points: usize) -> Vec<(u64, f64)> {
+        if self.values.is_empty() {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.values.len();
+        let step = (n / points.max(1)).max(1);
+        let mut out = Vec::new();
+        let mut i = step - 1;
+        while i < n {
+            out.push((self.values[i], (i + 1) as f64 / n as f64));
+            i += step;
+        }
+        if out.last().map(|l| l.1) != Some(1.0) {
+            out.push((self.values[n - 1], 1.0));
+        }
+        out
+    }
+}
+
+/// Accumulates byte (or packet) counts into fixed-width time bins and
+/// reports per-bin rates. The paper reports throughput at 10 ms bins.
+#[derive(Debug, Clone)]
+pub struct RateBins {
+    bin_width: Nanos,
+    origin: Nanos,
+    bins: Vec<u64>,
+}
+
+impl RateBins {
+    pub fn new(origin: Nanos, bin_width: Nanos) -> RateBins {
+        assert!(bin_width.0 > 0);
+        RateBins {
+            bin_width,
+            origin,
+            bins: Vec::new(),
+        }
+    }
+
+    pub fn bin_width(&self) -> Nanos {
+        self.bin_width
+    }
+
+    /// Record `amount` (bytes, packets, …) at time `t`. Times before the
+    /// origin are ignored.
+    pub fn record(&mut self, t: Nanos, amount: u64) {
+        if t < self.origin {
+            return;
+        }
+        let idx = ((t - self.origin).0 / self.bin_width.0) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0);
+        }
+        self.bins[idx] += amount;
+    }
+
+    /// Ensure bins exist through time `t` (so trailing zero bins are
+    /// reported, e.g. during a blackout at the end of a run).
+    pub fn extend_to(&mut self, t: Nanos) {
+        if t < self.origin {
+            return;
+        }
+        let idx = ((t - self.origin).0 / self.bin_width.0) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0);
+        }
+    }
+
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Per-bin Mbit/s assuming recorded amounts are bytes.
+    pub fn mbps(&self) -> Vec<f64> {
+        let secs = self.bin_width.0 as f64 / 1e9;
+        self.bins
+            .iter()
+            .map(|b| (*b as f64 * 8.0) / secs / 1e6)
+            .collect()
+    }
+
+    /// Time at the start of bin `i`.
+    pub fn bin_start(&self, i: usize) -> Nanos {
+        Nanos(self.origin.0 + i as u64 * self.bin_width.0)
+    }
+
+    /// Count of bins in `[from, to)` whose value is zero ("blackout"
+    /// intervals in the paper's Table 2).
+    pub fn zero_bins_between(&self, from: Nanos, to: Nanos) -> usize {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(i, v)| {
+                let start = self.bin_start(*i);
+                start >= from && start < to && **v == 0
+            })
+            .count()
+    }
+}
+
+/// Numerically stable online mean / variance (Welford).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    pub fn new() -> OnlineStats {
+        OnlineStats::default()
+    }
+
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = Sampler::new();
+        for v in 1..=100 {
+            s.record(v);
+        }
+        assert_eq!(s.percentile(50.0), Some(50));
+        assert_eq!(s.percentile(99.0), Some(99));
+        assert_eq!(s.percentile(100.0), Some(100));
+        assert_eq!(s.percentile(1.0), Some(1));
+        assert_eq!(s.min(), Some(1));
+        assert_eq!(s.max(), Some(100));
+        assert_eq!(s.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn percentile_empty_is_none() {
+        let mut s = Sampler::new();
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn percentile_single_value() {
+        let mut s = Sampler::new();
+        s.record(7);
+        for p in [0.0, 50.0, 99.999, 100.0] {
+            assert_eq!(s.percentile(p), Some(7));
+        }
+    }
+
+    #[test]
+    fn cdf_monotone_and_complete() {
+        let mut s = Sampler::new();
+        for v in (0..1000).rev() {
+            s.record(v);
+        }
+        let cdf = s.cdf(10);
+        assert!(cdf.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn rate_bins_basic() {
+        let mut rb = RateBins::new(Nanos::ZERO, Nanos::from_millis(10));
+        rb.record(Nanos::from_millis(1), 1000);
+        rb.record(Nanos::from_millis(9), 500);
+        rb.record(Nanos::from_millis(10), 200);
+        rb.record(Nanos::from_millis(35), 100);
+        assert_eq!(rb.bins(), &[1500, 200, 0, 100]);
+        // Bin 0: 1500 bytes / 10ms = 1.2 Mbps.
+        assert!((rb.mbps()[0] - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_bins_ignore_before_origin() {
+        let mut rb = RateBins::new(Nanos::from_millis(100), Nanos::from_millis(10));
+        rb.record(Nanos::from_millis(50), 999);
+        rb.record(Nanos::from_millis(105), 1);
+        assert_eq!(rb.bins(), &[1]);
+    }
+
+    #[test]
+    fn zero_bins_counts_blackouts() {
+        let mut rb = RateBins::new(Nanos::ZERO, Nanos::from_millis(10));
+        rb.record(Nanos::from_millis(5), 10);
+        rb.extend_to(Nanos::from_millis(59));
+        rb.record(Nanos::from_millis(45), 10);
+        // bins: [10, 0, 0, 0, 10, 0]
+        assert_eq!(
+            rb.zero_bins_between(Nanos::ZERO, Nanos::from_millis(60)),
+            4
+        );
+        assert_eq!(
+            rb.zero_bins_between(Nanos::from_millis(40), Nanos::from_millis(50)),
+            0
+        );
+    }
+
+    #[test]
+    fn online_stats_matches_direct() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let mut st = OnlineStats::new();
+        for x in xs {
+            st.record(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((st.mean() - mean).abs() < 1e-12);
+        assert!((st.variance() - var).abs() < 1e-12);
+        assert_eq!(st.count(), 5);
+    }
+}

@@ -1,0 +1,390 @@
+//! Simulated time and 5G NR slot arithmetic.
+//!
+//! Time is a monotonically increasing count of nanoseconds since the start
+//! of the simulation. The paper's cell uses 30 kHz subcarrier spacing
+//! (numerology µ=1), so a slot — synonymous with a TTI in this paper — is
+//! 500 µs long, a subframe (1 ms) holds two slots, and a radio frame
+//! (10 ms) holds twenty.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    pub const ZERO: Nanos = Nanos(0);
+
+    pub const fn from_micros(us: u64) -> Nanos {
+        Nanos(us * 1_000)
+    }
+
+    pub const fn from_millis(ms: u64) -> Nanos {
+        Nanos(ms * 1_000_000)
+    }
+
+    pub const fn from_secs(s: u64) -> Nanos {
+        Nanos(s * 1_000_000_000)
+    }
+
+    pub fn as_micros(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    pub fn as_millis(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction; useful for "time since" computations where
+    /// clock skew of zero is the correct floor.
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    pub fn min(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.min(rhs.0))
+    }
+
+    pub fn max(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.max(rhs.0))
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// Slot (TTI) duration for 30 kHz subcarrier spacing: 500 µs.
+pub const SLOT_DURATION: Nanos = Nanos::from_micros(500);
+
+/// Slots per 1 ms subframe at µ=1.
+pub const SLOTS_PER_SUBFRAME: u32 = 2;
+
+/// Subframes per 10 ms radio frame.
+pub const SUBFRAMES_PER_FRAME: u32 = 10;
+
+/// Slots per radio frame at µ=1.
+pub const SLOTS_PER_FRAME: u32 = SLOTS_PER_SUBFRAME * SUBFRAMES_PER_FRAME;
+
+/// System frame numbers wrap at 1024, as in 3GPP.
+pub const SFN_MODULO: u32 = 1024;
+
+/// OFDM symbols per slot (normal cyclic prefix).
+pub const SYMBOLS_PER_SLOT: u32 = 14;
+
+/// A fully qualified slot identity: system frame number, subframe within
+/// the frame, and slot within the subframe. This triple appears verbatim
+/// in O-RAN fronthaul packet headers and is what the in-switch middlebox
+/// parses to align migration to TTI boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotId {
+    /// System frame number, 0..1024.
+    pub sfn: u16,
+    /// Subframe within the frame, 0..10.
+    pub subframe: u8,
+    /// Slot within the subframe, 0..2 at µ=1.
+    pub slot: u8,
+}
+
+impl SlotId {
+    pub const ZERO: SlotId = SlotId {
+        sfn: 0,
+        subframe: 0,
+        slot: 0,
+    };
+
+    /// Slot identity for an absolute slot counter (slots since t=0).
+    pub fn from_absolute(abs: u64) -> SlotId {
+        let slots_per_frame = SLOTS_PER_FRAME as u64;
+        let frame = abs / slots_per_frame;
+        let in_frame = (abs % slots_per_frame) as u32;
+        SlotId {
+            sfn: (frame % SFN_MODULO as u64) as u16,
+            subframe: (in_frame / SLOTS_PER_SUBFRAME) as u8,
+            slot: (in_frame % SLOTS_PER_SUBFRAME) as u8,
+        }
+    }
+
+    /// The absolute slot index *within the current SFN epoch* (SFN wraps
+    /// at 1024 frames = 10.24 s). Comparisons across a wrap must use
+    /// [`SlotId::wrapping_distance`].
+    pub fn epoch_index(self) -> u64 {
+        self.sfn as u64 * SLOTS_PER_FRAME as u64
+            + self.subframe as u64 * SLOTS_PER_SUBFRAME as u64
+            + self.slot as u64
+    }
+
+    /// Number of slots from `self` to `other`, assuming `other` is not
+    /// more than half an SFN epoch ahead (handles SFN wraparound).
+    pub fn wrapping_distance(self, other: SlotId) -> i64 {
+        let epoch = SFN_MODULO as i64 * SLOTS_PER_FRAME as i64;
+        let mut d = other.epoch_index() as i64 - self.epoch_index() as i64;
+        if d > epoch / 2 {
+            d -= epoch;
+        } else if d < -epoch / 2 {
+            d += epoch;
+        }
+        d
+    }
+
+    /// The slot `n` slots after this one.
+    pub fn advance(self, n: u64) -> SlotId {
+        let epoch = SFN_MODULO as u64 * SLOTS_PER_FRAME as u64;
+        SlotId::from_absolute((self.epoch_index() + n) % epoch)
+    }
+}
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}", self.sfn, self.subframe, self.slot)
+    }
+}
+
+/// Converts between absolute simulated time and slot identity. All nodes
+/// in the testbed are PTP-synchronized (per the paper), which in the
+/// simulation means they share this clock exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct SlotClock {
+    /// Simulation time at which absolute slot 0 began.
+    pub origin: Nanos,
+}
+
+impl SlotClock {
+    pub fn new(origin: Nanos) -> SlotClock {
+        SlotClock { origin }
+    }
+
+    /// Absolute slot counter (not wrapped) containing time `t`.
+    pub fn absolute_slot(&self, t: Nanos) -> u64 {
+        t.saturating_sub(self.origin).0 / SLOT_DURATION.0
+    }
+
+    pub fn slot_id(&self, t: Nanos) -> SlotId {
+        SlotId::from_absolute(self.absolute_slot(t))
+    }
+
+    /// Start time of the given absolute slot.
+    pub fn slot_start(&self, abs: u64) -> Nanos {
+        Nanos(self.origin.0 + abs * SLOT_DURATION.0)
+    }
+
+    /// Start time of the next slot boundary strictly after `t`.
+    pub fn next_slot_start(&self, t: Nanos) -> Nanos {
+        self.slot_start(self.absolute_slot(t) + 1)
+    }
+
+    /// Time offset of `t` within its slot.
+    pub fn offset_in_slot(&self, t: Nanos) -> Nanos {
+        Nanos(t.saturating_sub(self.origin).0 % SLOT_DURATION.0)
+    }
+}
+
+/// TDD slot roles for the paper's "DDDSU" pattern: three downlink slots,
+/// one special (guard) slot, one uplink slot, repeating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotKind {
+    Downlink,
+    Special,
+    Uplink,
+}
+
+/// The TDD pattern used by the paper's cell ("DDDSU").
+#[derive(Debug, Clone)]
+pub struct TddPattern {
+    kinds: Vec<SlotKind>,
+}
+
+impl TddPattern {
+    /// The paper's DDDSU pattern.
+    pub fn dddsu() -> TddPattern {
+        TddPattern {
+            kinds: vec![
+                SlotKind::Downlink,
+                SlotKind::Downlink,
+                SlotKind::Downlink,
+                SlotKind::Special,
+                SlotKind::Uplink,
+            ],
+        }
+    }
+
+    /// Build an arbitrary pattern from a string of 'D', 'S', 'U'.
+    pub fn parse(s: &str) -> Option<TddPattern> {
+        let kinds = s
+            .chars()
+            .map(|c| match c {
+                'D' | 'd' => Some(SlotKind::Downlink),
+                'S' | 's' => Some(SlotKind::Special),
+                'U' | 'u' => Some(SlotKind::Uplink),
+                _ => None,
+            })
+            .collect::<Option<Vec<_>>>()?;
+        if kinds.is_empty() {
+            None
+        } else {
+            Some(TddPattern { kinds })
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    pub fn kind(&self, abs_slot: u64) -> SlotKind {
+        self.kinds[(abs_slot % self.kinds.len() as u64) as usize]
+    }
+
+    /// Fraction of slots that are uplink.
+    pub fn uplink_fraction(&self) -> f64 {
+        self.kinds.iter().filter(|k| **k == SlotKind::Uplink).count() as f64
+            / self.kinds.len() as f64
+    }
+
+    /// Fraction of slots that are downlink.
+    pub fn downlink_fraction(&self) -> f64 {
+        self.kinds
+            .iter()
+            .filter(|k| **k == SlotKind::Downlink)
+            .count() as f64
+            / self.kinds.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanos_conversions() {
+        assert_eq!(Nanos::from_micros(500).0, 500_000);
+        assert_eq!(Nanos::from_millis(3).0, 3_000_000);
+        assert_eq!(Nanos::from_secs(2).0, 2_000_000_000);
+        assert!((Nanos::from_millis(10).as_secs() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nanos_display_scales() {
+        assert_eq!(format!("{}", Nanos(12)), "12ns");
+        assert_eq!(format!("{}", Nanos::from_micros(500)), "500.000us");
+        assert_eq!(format!("{}", Nanos::from_millis(6)), "6.000ms");
+        assert_eq!(format!("{}", Nanos::from_secs(1)), "1.000s");
+    }
+
+    #[test]
+    fn slot_id_roundtrip() {
+        for abs in [0u64, 1, 19, 20, 21, 20479, 20480, 20481, 1_000_000] {
+            let id = SlotId::from_absolute(abs);
+            let epoch = SFN_MODULO as u64 * SLOTS_PER_FRAME as u64;
+            assert_eq!(id.epoch_index(), abs % epoch, "abs={abs}");
+        }
+    }
+
+    #[test]
+    fn slot_id_fields() {
+        // Slot 43 = frame 2 (40 slots per 2 frames), subframe 1, slot 1.
+        let id = SlotId::from_absolute(43);
+        assert_eq!(id.sfn, 2);
+        assert_eq!(id.subframe, 1);
+        assert_eq!(id.slot, 1);
+    }
+
+    #[test]
+    fn slot_wrapping_distance() {
+        let epoch = SFN_MODULO as u64 * SLOTS_PER_FRAME as u64;
+        let near_end = SlotId::from_absolute(epoch - 2);
+        let after_wrap = SlotId::from_absolute(1);
+        assert_eq!(near_end.wrapping_distance(after_wrap), 3);
+        assert_eq!(after_wrap.wrapping_distance(near_end), -3);
+        let a = SlotId::from_absolute(100);
+        let b = SlotId::from_absolute(107);
+        assert_eq!(a.wrapping_distance(b), 7);
+    }
+
+    #[test]
+    fn slot_advance_wraps() {
+        let epoch = SFN_MODULO as u64 * SLOTS_PER_FRAME as u64;
+        let id = SlotId::from_absolute(epoch - 1);
+        assert_eq!(id.advance(1), SlotId::ZERO);
+        assert_eq!(id.advance(2), SlotId::from_absolute(1));
+    }
+
+    #[test]
+    fn slot_clock_boundaries() {
+        let clk = SlotClock::new(Nanos::ZERO);
+        assert_eq!(clk.absolute_slot(Nanos(0)), 0);
+        assert_eq!(clk.absolute_slot(Nanos(499_999)), 0);
+        assert_eq!(clk.absolute_slot(Nanos(500_000)), 1);
+        assert_eq!(clk.next_slot_start(Nanos(0)), Nanos(500_000));
+        assert_eq!(clk.next_slot_start(Nanos(500_000)), Nanos(1_000_000));
+        assert_eq!(clk.offset_in_slot(Nanos(750_000)), Nanos(250_000));
+    }
+
+    #[test]
+    fn slot_clock_with_origin() {
+        let clk = SlotClock::new(Nanos::from_micros(100));
+        assert_eq!(clk.absolute_slot(Nanos::from_micros(99)), 0);
+        assert_eq!(clk.absolute_slot(Nanos::from_micros(600)), 1);
+        assert_eq!(clk.slot_start(2), Nanos::from_micros(1100));
+    }
+
+    #[test]
+    fn tdd_dddsu() {
+        let p = TddPattern::dddsu();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.kind(0), SlotKind::Downlink);
+        assert_eq!(p.kind(2), SlotKind::Downlink);
+        assert_eq!(p.kind(3), SlotKind::Special);
+        assert_eq!(p.kind(4), SlotKind::Uplink);
+        assert_eq!(p.kind(5), SlotKind::Downlink);
+        assert!((p.uplink_fraction() - 0.2).abs() < 1e-12);
+        assert!((p.downlink_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tdd_parse() {
+        let p = TddPattern::parse("DDSU").unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.kind(3), SlotKind::Uplink);
+        assert!(TddPattern::parse("DDX").is_none());
+        assert!(TddPattern::parse("").is_none());
+    }
+}

@@ -1,0 +1,68 @@
+//! Switch control-plane latency model.
+//!
+//! Rule updates through the control plane take milliseconds (the paper
+//! measures 29 ms at the 99.9th percentile in their testbed, §5.1) —
+//! far too slow and too loosely timed to migrate an RU at an exact TTI
+//! boundary. This model exists to (a) apply table updates with
+//! realistic latency and (b) let the ablation bench quantify *why* the
+//! data-plane migration-request mechanism is necessary.
+
+use slingshot_sim::{Nanos, SimRng};
+
+/// Latency model for one control-plane rule update, shaped to the
+/// paper's measurement: a lognormal-ish body with a millisecond-scale
+/// median and a 29 ms p99.9 tail.
+#[derive(Debug, Clone)]
+pub struct ControlPlaneModel {
+    rng: SimRng,
+    median: Nanos,
+    sigma: f64,
+}
+
+impl ControlPlaneModel {
+    pub fn new(rng: SimRng) -> ControlPlaneModel {
+        ControlPlaneModel {
+            rng,
+            // Median ~8 ms; sigma chosen so p99.9 ≈ 29 ms:
+            // exp(3.09 * sigma) ≈ 29/8 → sigma ≈ 0.417.
+            median: Nanos::from_millis(8),
+            sigma: 0.417,
+        }
+    }
+
+    /// Draw the completion latency for one rule update.
+    pub fn update_latency(&mut self) -> Nanos {
+        let z = self.rng.gaussian();
+        let factor = (self.sigma * z).exp();
+        Nanos((self.median.0 as f64 * factor) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slingshot_sim::Sampler;
+
+    #[test]
+    fn latency_distribution_matches_paper_scale() {
+        let mut m = ControlPlaneModel::new(SimRng::new(1));
+        let mut s = Sampler::new();
+        for _ in 0..100_000 {
+            s.record(m.update_latency().0);
+        }
+        let median = s.median().unwrap() as f64 / 1e6;
+        let p999 = s.percentile(99.9).unwrap() as f64 / 1e6;
+        assert!((6.0..10.0).contains(&median), "median={median}ms");
+        assert!((24.0..36.0).contains(&p999), "p999={p999}ms");
+    }
+
+    #[test]
+    fn latency_is_orders_slower_than_a_slot() {
+        let mut m = ControlPlaneModel::new(SimRng::new(2));
+        for _ in 0..1000 {
+            // Every update is far slower than a 500 µs TTI — the
+            // motivation for data-plane migration requests.
+            assert!(m.update_latency() > slingshot_sim::SLOT_DURATION);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! The switch pipeline abstraction: a program processes one frame at a
+//! time against shared switch state and emits forwarding decisions.
+//!
+//! The engine-facing node wrapper lives in the `slingshot` core crate
+//! (which knows the global message enum); this crate keeps the pure
+//! data-plane machinery so it is unit-testable in isolation.
+
+use slingshot_netsim::Frame;
+use slingshot_sim::Nanos;
+
+/// A switch port. Ports map 1:1 to attached devices (RUs, PHY servers,
+/// the L2 server, the controller CPU port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub u16);
+
+impl PortId {
+    /// The CPU/controller port (control-plane packets, failure
+    /// notifications).
+    pub const CPU: PortId = PortId(u16::MAX);
+}
+
+/// What the pipeline decided to do with a packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SwitchAction {
+    /// Emit `frame` out of `port`.
+    Forward { port: PortId, frame: Frame },
+    /// Drop (filtered).
+    Drop,
+}
+
+/// Per-pipeline-pass fixed latency: a few hundred nanoseconds on real
+/// hardware ("negligible added latency", paper §5).
+pub const PIPELINE_LATENCY: Nanos = Nanos(400);
+
+/// A data-plane program. One `process` call is one pipeline pass.
+///
+/// `on_generator_tick` is invoked by the switch's built-in packet
+/// generator (the paper emulates timers by injecting `n` generated
+/// packets per timeout period `T`, §5.2.2).
+pub trait SwitchProgram {
+    fn process(&mut self, now: Nanos, ingress: PortId, frame: Frame) -> Vec<SwitchAction>;
+
+    fn on_generator_tick(&mut self, _now: Nanos) -> Vec<SwitchAction> {
+        Vec::new()
+    }
+}
+
+/// A trivial L2 learning-free program forwarding by static destination
+/// MAC table — the "conventional RAN deployment" forwarding of §5.1,
+/// and the base behavior for non-fronthaul traffic.
+#[derive(Debug, Default)]
+pub struct StaticForwarder {
+    routes: std::collections::HashMap<slingshot_netsim::MacAddr, PortId>,
+}
+
+impl StaticForwarder {
+    pub fn new() -> StaticForwarder {
+        StaticForwarder::default()
+    }
+
+    pub fn add_route(&mut self, mac: slingshot_netsim::MacAddr, port: PortId) {
+        self.routes.insert(mac, port);
+    }
+
+    pub fn route(&self, mac: &slingshot_netsim::MacAddr) -> Option<PortId> {
+        self.routes.get(mac).copied()
+    }
+}
+
+impl SwitchProgram for StaticForwarder {
+    fn process(&mut self, _now: Nanos, _ingress: PortId, frame: Frame) -> Vec<SwitchAction> {
+        match self.routes.get(&frame.dst) {
+            Some(port) => vec![SwitchAction::Forward { port: *port, frame }],
+            None => vec![SwitchAction::Drop],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use slingshot_netsim::{EtherType, MacAddr};
+
+    fn frame(dst: MacAddr) -> Frame {
+        Frame::new(dst, MacAddr::for_ru(0), EtherType::Ipv4, Bytes::new())
+    }
+
+    #[test]
+    fn static_forwarder_routes_known_macs() {
+        let mut f = StaticForwarder::new();
+        f.add_route(MacAddr::for_phy(1), PortId(3));
+        let acts = f.process(Nanos(0), PortId(0), frame(MacAddr::for_phy(1)));
+        assert_eq!(acts.len(), 1);
+        match &acts[0] {
+            SwitchAction::Forward { port, frame } => {
+                assert_eq!(*port, PortId(3));
+                assert_eq!(frame.dst, MacAddr::for_phy(1));
+            }
+            _ => panic!("expected forward"),
+        }
+    }
+
+    #[test]
+    fn static_forwarder_drops_unknown() {
+        let mut f = StaticForwarder::new();
+        let acts = f.process(Nanos(0), PortId(0), frame(MacAddr::for_phy(9)));
+        assert_eq!(acts, vec![SwitchAction::Drop]);
+    }
+
+    #[test]
+    fn default_generator_tick_is_empty() {
+        let mut f = StaticForwarder::new();
+        assert!(f.on_generator_tick(Nanos(0)).is_empty());
+    }
+}

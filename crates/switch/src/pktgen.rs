@@ -1,0 +1,79 @@
+//! The switch's built-in packet generator.
+//!
+//! Programmable switches lack timers; the paper emulates timeout events
+//! by configuring Tofino's packet generator to inject `n` packets per
+//! timeout period `T` into the data plane (§5.2.2). With the paper's
+//! T = 450 µs and n = 50, a failed PHY is detected within T plus at
+//! most one tick (9 µs precision) — at ~50 K generated packets/s of
+//! negligible switch load.
+
+use slingshot_sim::Nanos;
+
+/// Packet generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PktGenConfig {
+    /// The timeout period being emulated.
+    pub period: Nanos,
+    /// Generated packets per period.
+    pub ticks_per_period: u32,
+}
+
+impl PktGenConfig {
+    /// The paper's failure-detector configuration: T = 450 µs, n = 50.
+    pub fn paper_default() -> PktGenConfig {
+        PktGenConfig {
+            period: Nanos::from_micros(450),
+            ticks_per_period: 50,
+        }
+    }
+
+    /// Interval between generated packets.
+    pub fn tick_interval(&self) -> Nanos {
+        Nanos(self.period.0 / self.ticks_per_period as u64)
+    }
+
+    /// Worst-case detection precision: one tick interval.
+    pub fn precision(&self) -> Nanos {
+        self.tick_interval()
+    }
+
+    /// Generated packets per second — the switch overhead.
+    pub fn packets_per_second(&self) -> f64 {
+        self.ticks_per_period as f64 / (self.period.0 as f64 / 1e9)
+    }
+
+    /// Worst-case time from actual failure (last heartbeat) to
+    /// detection: the counter must reach `n`, which takes between
+    /// `period` and `period + tick_interval`.
+    pub fn worst_case_detection(&self) -> Nanos {
+        self.period + self.tick_interval()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let c = PktGenConfig::paper_default();
+        assert_eq!(c.tick_interval(), Nanos::from_micros(9));
+        assert_eq!(c.precision(), Nanos::from_micros(9));
+        assert!((c.packets_per_second() - 111_111.1).abs() < 1.0);
+        assert_eq!(c.worst_case_detection(), Nanos::from_micros(459));
+    }
+
+    #[test]
+    fn more_ticks_better_precision() {
+        let coarse = PktGenConfig {
+            period: Nanos::from_micros(450),
+            ticks_per_period: 10,
+        };
+        let fine = PktGenConfig {
+            period: Nanos::from_micros(450),
+            ticks_per_period: 100,
+        };
+        assert!(fine.precision() < coarse.precision());
+        assert!(fine.packets_per_second() > coarse.packets_per_second());
+    }
+}

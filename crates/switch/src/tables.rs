@@ -1,0 +1,226 @@
+//! Match-action tables and stateful registers — the P4 building blocks
+//! the fronthaul middlebox is written against.
+//!
+//! The distinction between the two mirrors Tofino's: **tables** are
+//! populated only by the control plane (milliseconds), while
+//! **registers** can be read *and written* by the data plane at line
+//! rate — which is why the paper stores the RU→PHY mapping and the
+//! migration request store in registers (§5.1), so a matching fronthaul
+//! packet can retarget an RU at an exact TTI boundary without a control
+//! plane round trip.
+
+use std::collections::HashMap;
+
+/// An exact-match table: control-plane writable, data-plane readable.
+#[derive(Debug, Clone)]
+pub struct ExactTable {
+    name: String,
+    capacity: usize,
+    key_bits: u32,
+    value_bits: u32,
+    entries: HashMap<u64, u64>,
+    pub lookups: u64,
+    pub hits: u64,
+}
+
+impl ExactTable {
+    pub fn new(name: &str, capacity: usize, key_bits: u32, value_bits: u32) -> ExactTable {
+        assert!(key_bits <= 64 && value_bits <= 64);
+        ExactTable {
+            name: name.to_string(),
+            capacity,
+            key_bits,
+            value_bits,
+            entries: HashMap::new(),
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn key_bits(&self) -> u32 {
+        self.key_bits
+    }
+
+    pub fn value_bits(&self) -> u32 {
+        self.value_bits
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Control-plane insert. Fails when full (unless overwriting).
+    pub fn insert(&mut self, key: u64, value: u64) -> Result<(), TableFull> {
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            return Err(TableFull {
+                table: self.name.clone(),
+            });
+        }
+        self.entries.insert(key, value);
+        Ok(())
+    }
+
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        self.entries.remove(&key)
+    }
+
+    /// Data-plane lookup.
+    pub fn lookup(&mut self, key: u64) -> Option<u64> {
+        self.lookups += 1;
+        let v = self.entries.get(&key).copied();
+        if v.is_some() {
+            self.hits += 1;
+        }
+        v
+    }
+}
+
+/// Error returned when a table is at capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableFull {
+    pub table: String,
+}
+
+impl std::fmt::Display for TableFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "table {} is full", self.table)
+    }
+}
+
+impl std::error::Error for TableFull {}
+
+/// A register array: data-plane readable *and writable* — the mechanism
+/// behind data-plane-updatable state.
+#[derive(Debug, Clone)]
+pub struct RegisterArray {
+    name: String,
+    width_bits: u32,
+    cells: Vec<u64>,
+    pub reads: u64,
+    pub writes: u64,
+}
+
+impl RegisterArray {
+    pub fn new(name: &str, size: usize, width_bits: u32) -> RegisterArray {
+        assert!(width_bits <= 64);
+        RegisterArray {
+            name: name.to_string(),
+            width_bits,
+            cells: vec![0; size],
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn size(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn width_bits(&self) -> u32 {
+        self.width_bits
+    }
+
+    fn mask(&self) -> u64 {
+        if self.width_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width_bits) - 1
+        }
+    }
+
+    pub fn read(&mut self, idx: usize) -> u64 {
+        self.reads += 1;
+        self.cells[idx]
+    }
+
+    pub fn write(&mut self, idx: usize, value: u64) {
+        self.writes += 1;
+        self.cells[idx] = value & self.mask();
+    }
+
+    /// Read-modify-write in one pipeline pass (what a Tofino stateful
+    /// ALU does): returns the old value after applying `f`.
+    pub fn update(&mut self, idx: usize, f: impl FnOnce(u64) -> u64) -> u64 {
+        self.reads += 1;
+        self.writes += 1;
+        let old = self.cells[idx];
+        self.cells[idx] = f(old) & self.mask();
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_insert_lookup_remove() {
+        let mut t = ExactTable::new("id_dir", 4, 48, 8);
+        t.insert(0xAABB, 7).unwrap();
+        assert_eq!(t.lookup(0xAABB), Some(7));
+        assert_eq!(t.lookup(0xDEAD), None);
+        assert_eq!(t.remove(0xAABB), Some(7));
+        assert_eq!(t.lookup(0xAABB), None);
+        assert_eq!(t.lookups, 3);
+        assert_eq!(t.hits, 1);
+    }
+
+    #[test]
+    fn table_capacity_enforced() {
+        let mut t = ExactTable::new("small", 2, 8, 8);
+        t.insert(1, 1).unwrap();
+        t.insert(2, 2).unwrap();
+        assert!(t.insert(3, 3).is_err());
+        // Overwrite of existing key allowed at capacity.
+        t.insert(2, 9).unwrap();
+        assert_eq!(t.lookup(2), Some(9));
+    }
+
+    #[test]
+    fn register_read_write_masking() {
+        let mut r = RegisterArray::new("ru_to_phy", 256, 8);
+        r.write(10, 0x1FF);
+        assert_eq!(r.read(10), 0xFF, "masked to width");
+        assert_eq!(r.reads, 1);
+        assert_eq!(r.writes, 1);
+    }
+
+    #[test]
+    fn register_update_is_rmw() {
+        let mut r = RegisterArray::new("ctr", 4, 16);
+        r.write(0, 5);
+        let old = r.update(0, |v| v + 1);
+        assert_eq!(old, 5);
+        assert_eq!(r.read(0), 6);
+    }
+
+    #[test]
+    fn register_full_width() {
+        let mut r = RegisterArray::new("wide", 1, 64);
+        r.write(0, u64::MAX);
+        assert_eq!(r.read(0), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic]
+    fn register_out_of_bounds_panics() {
+        let mut r = RegisterArray::new("x", 2, 8);
+        r.read(2);
+    }
+}

@@ -1,0 +1,54 @@
+//! The application trait hosted by UE and app-server nodes.
+//!
+//! Applications are pure state machines in the smoltcp style: the host
+//! node delivers received packets and polls for packets to transmit,
+//! with simulated time passed in explicitly. This keeps every traffic
+//! model unit-testable without the simulation engine.
+
+use bytes::Bytes;
+use slingshot_sim::Nanos;
+
+/// A traffic endpoint (one side of a flow).
+///
+/// `Any` is a supertrait so hosting nodes can downcast hosted apps for
+/// post-run inspection (stats extraction in experiment harnesses).
+pub trait UserApp: std::any::Any {
+    /// A packet arrived from the network.
+    fn on_packet(&mut self, now: Nanos, payload: &[u8]);
+
+    /// Collect packets the app wants to send now.
+    fn poll_transmit(&mut self, now: Nanos) -> Vec<Bytes>;
+
+    /// The next time `poll_transmit` should be called even if nothing
+    /// is received (None = purely reactive).
+    fn next_wakeup(&self, now: Nanos) -> Option<Nanos>;
+}
+
+/// A no-op application (e.g., an idle UE).
+#[derive(Debug, Default)]
+pub struct IdleApp;
+
+impl UserApp for IdleApp {
+    fn on_packet(&mut self, _now: Nanos, _payload: &[u8]) {}
+
+    fn poll_transmit(&mut self, _now: Nanos) -> Vec<Bytes> {
+        Vec::new()
+    }
+
+    fn next_wakeup(&self, _now: Nanos) -> Option<Nanos> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_app_does_nothing() {
+        let mut a = IdleApp;
+        a.on_packet(Nanos(0), b"x");
+        assert!(a.poll_transmit(Nanos(1)).is_empty());
+        assert!(a.next_wakeup(Nanos(1)).is_none());
+    }
+}

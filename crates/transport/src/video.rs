@@ -1,0 +1,258 @@
+//! An adaptive videoconferencing model for the paper's Fig. 8: a sender
+//! streaming a compressed talking-head video at a 500 kbps target with
+//! loss-reactive rate adaptation, and a receiver reporting the average
+//! received bitrate per second (the QoE proxy the paper plots).
+
+use bytes::{Buf, BufMut, Bytes};
+use slingshot_sim::{Nanos, RateBins};
+
+use crate::app::UserApp;
+
+const VIDEO_MAGIC: u8 = 0xF3;
+const FEEDBACK_MAGIC: u8 = 0xF4;
+const HEADER: usize = 1 + 8 + 8;
+
+/// Frame interval: 30 fps.
+const FRAME_INTERVAL: Nanos = Nanos(33_333_333);
+
+/// The sending side: paced video frames, rate adapted from receiver
+/// feedback (simple loss-based AIMD like RTC congestion controllers).
+#[derive(Debug)]
+pub struct VideoSender {
+    pub target_bps: u64,
+    pub current_bps: f64,
+    next_frame: Nanos,
+    next_seq: u64,
+    pub sent_bytes: u64,
+    /// Time of last feedback; prolonged silence also triggers backoff.
+    last_feedback: Nanos,
+}
+
+impl VideoSender {
+    pub fn new(target_bps: u64, start: Nanos) -> VideoSender {
+        VideoSender {
+            target_bps,
+            current_bps: target_bps as f64,
+            next_frame: start,
+            next_seq: 0,
+            sent_bytes: 0,
+            last_feedback: start,
+        }
+    }
+}
+
+impl UserApp for VideoSender {
+    fn on_packet(&mut self, now: Nanos, payload: &[u8]) {
+        let mut buf = payload;
+        if buf.remaining() < 1 + 8 || buf.get_u8() != FEEDBACK_MAGIC {
+            return;
+        }
+        let loss_pct = buf.get_u64();
+        self.last_feedback = now;
+        if loss_pct > 5 {
+            self.current_bps *= 0.85;
+        } else {
+            self.current_bps = (self.current_bps * 1.02).min(self.target_bps as f64);
+        }
+        self.current_bps = self.current_bps.max(50_000.0);
+    }
+
+    fn poll_transmit(&mut self, now: Nanos) -> Vec<Bytes> {
+        let mut out = Vec::new();
+        // No feedback for 2 s → assume path trouble, halve rate.
+        if now.saturating_sub(self.last_feedback) > Nanos::from_secs(2) {
+            self.current_bps = (self.current_bps * 0.5).max(50_000.0);
+            self.last_feedback = now;
+        }
+        while self.next_frame <= now {
+            // One frame per interval, sized to the current rate, split
+            // into ≤1200-byte packets.
+            let frame_bytes =
+                ((self.current_bps / 8.0) * (FRAME_INTERVAL.0 as f64 / 1e9)) as usize;
+            let mut remaining = frame_bytes.max(HEADER + 1);
+            while remaining > 0 {
+                let take = remaining.min(1200);
+                let mut v = Vec::with_capacity(HEADER + take);
+                v.put_u8(VIDEO_MAGIC);
+                v.put_u64(self.next_seq);
+                v.put_u64(now.0);
+                v.resize(HEADER + take, 0);
+                self.next_seq += 1;
+                self.sent_bytes += (HEADER + take) as u64;
+                out.push(Bytes::from(v));
+                remaining -= take;
+            }
+            self.next_frame += FRAME_INTERVAL;
+        }
+        out
+    }
+
+    fn next_wakeup(&self, _now: Nanos) -> Option<Nanos> {
+        Some(self.next_frame)
+    }
+}
+
+/// The receiving side: tracks received bitrate (1 s bins, like the
+/// paper's Fig. 8) and sends periodic loss feedback.
+#[derive(Debug)]
+pub struct VideoReceiver {
+    pub bins: RateBins,
+    highest_seq: Option<u64>,
+    rx_since_report: u64,
+    lost_since_report: u64,
+    next_report: Nanos,
+    pending: Vec<Bytes>,
+    pub total_rx_bytes: u64,
+}
+
+impl VideoReceiver {
+    pub fn new(origin: Nanos) -> VideoReceiver {
+        VideoReceiver {
+            bins: RateBins::new(origin, Nanos::from_millis(1000)),
+            highest_seq: None,
+            rx_since_report: 0,
+            lost_since_report: 0,
+            next_report: origin + Nanos::from_millis(100),
+            pending: Vec::new(),
+            total_rx_bytes: 0,
+        }
+    }
+
+    /// Received bitrate per 1 s bin, kbps (the Fig. 8 series).
+    pub fn kbps_series(&self) -> Vec<f64> {
+        self.bins.mbps().iter().map(|m| m * 1000.0).collect()
+    }
+}
+
+impl UserApp for VideoReceiver {
+    fn on_packet(&mut self, now: Nanos, payload: &[u8]) {
+        let mut buf = payload;
+        if buf.remaining() < HEADER || buf.get_u8() != VIDEO_MAGIC {
+            return;
+        }
+        let seq = buf.get_u64();
+        let _ts = buf.get_u64();
+        self.bins.record(now, payload.len() as u64);
+        self.total_rx_bytes += payload.len() as u64;
+        self.rx_since_report += 1;
+        match self.highest_seq {
+            None => self.highest_seq = Some(seq),
+            Some(h) if seq > h => {
+                self.lost_since_report += seq - h - 1;
+                self.highest_seq = Some(seq);
+            }
+            _ => {}
+        }
+    }
+
+    fn poll_transmit(&mut self, now: Nanos) -> Vec<Bytes> {
+        let mut out = std::mem::take(&mut self.pending);
+        while self.next_report <= now {
+            let total = self.rx_since_report + self.lost_since_report;
+            let loss_pct = if total == 0 {
+                0
+            } else {
+                self.lost_since_report * 100 / total
+            };
+            let mut v = Vec::with_capacity(1 + 8);
+            v.put_u8(FEEDBACK_MAGIC);
+            v.put_u64(loss_pct);
+            out.push(Bytes::from(v));
+            self.rx_since_report = 0;
+            self.lost_since_report = 0;
+            self.next_report += Nanos::from_millis(100);
+        }
+        out
+    }
+
+    fn next_wakeup(&self, _now: Nanos) -> Option<Nanos> {
+        Some(self.next_report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sender_paces_to_target() {
+        let mut s = VideoSender::new(500_000, Nanos(0));
+        let mut r = VideoReceiver::new(Nanos(0));
+        for ms in 0..3000u64 {
+            let now = Nanos::from_millis(ms);
+            for p in s.poll_transmit(now) {
+                r.on_packet(now, &p);
+            }
+            for f in r.poll_transmit(now) {
+                s.on_packet(now, &f);
+            }
+        }
+        let series = r.kbps_series();
+        assert!(series.len() >= 3);
+        for (i, kbps) in series.iter().take(3).enumerate() {
+            assert!(
+                (420.0..600.0).contains(kbps),
+                "bin {i}: {kbps} kbps (target 500)"
+            );
+        }
+    }
+
+    #[test]
+    fn outage_zeroes_bitrate_then_recovers() {
+        let mut s = VideoSender::new(500_000, Nanos(0));
+        let mut r = VideoReceiver::new(Nanos(0));
+        for ms in 0..8000u64 {
+            let now = Nanos::from_millis(ms);
+            let outage = (3000..4000).contains(&ms);
+            for p in s.poll_transmit(now) {
+                if !outage {
+                    r.on_packet(now, &p);
+                }
+            }
+            for f in r.poll_transmit(now) {
+                if !outage {
+                    s.on_packet(now, &f);
+                }
+            }
+        }
+        let series = r.kbps_series();
+        assert!(series[3] < 50.0, "outage bin: {}", series[3]);
+        let tail = series[6];
+        assert!(tail > 200.0, "recovery bin: {tail}");
+    }
+
+    #[test]
+    fn loss_feedback_reduces_rate() {
+        let mut s = VideoSender::new(500_000, Nanos(0));
+        let before = s.current_bps;
+        // Feedback reporting 50% loss.
+        let mut v = vec![FEEDBACK_MAGIC];
+        v.extend_from_slice(&50u64.to_be_bytes());
+        s.on_packet(Nanos(1), &v);
+        assert!(s.current_bps < before);
+    }
+
+    #[test]
+    fn feedback_silence_backs_off() {
+        // No feedback for >2 s (e.g., the uplink is dead): the sender
+        // halves its rate instead of blasting into a black hole.
+        let mut s = VideoSender::new(500_000, Nanos(0));
+        let before = s.current_bps;
+        let _ = s.poll_transmit(Nanos::from_secs(3));
+        assert!(s.current_bps <= before * 0.6, "rate={}", s.current_bps);
+        // And recovers once feedback returns.
+        let mut v = vec![0xF4u8];
+        v.extend_from_slice(&0u64.to_be_bytes());
+        for ms in 0..2000u64 {
+            s.on_packet(Nanos::from_millis(3000 + ms), &v);
+        }
+        assert!(s.current_bps > before * 0.9);
+    }
+
+    #[test]
+    fn receiver_ignores_garbage() {
+        let mut r = VideoReceiver::new(Nanos(0));
+        r.on_packet(Nanos(0), b"junk");
+        assert_eq!(r.total_rx_bytes, 0);
+    }
+}

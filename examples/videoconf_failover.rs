@@ -1,0 +1,51 @@
+//! Videoconferencing through a PHY crash — the paper's headline demo
+//! (§8.1/Fig. 8): with Slingshot the call doesn't notice; without it
+//! (see `slingshot-baseline`) the user stares at a frozen screen for
+//! more than six seconds.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example videoconf_failover
+//! ```
+
+use slingshot::{Deployment, DeploymentConfig};
+use slingshot_ran::{CellConfig, Fidelity, UeConfig, UeNode};
+use slingshot_sim::Nanos;
+use slingshot_transport::{VideoReceiver, VideoSender};
+
+fn main() {
+    let cfg = DeploymentConfig {
+        cell: CellConfig {
+            num_prbs: 106,
+            fidelity: Fidelity::Sampled,
+            ..CellConfig::default()
+        },
+        seed: 3,
+        ..DeploymentConfig::default()
+    };
+    let mut d = Deployment::build(cfg, vec![UeConfig::new(100, 0, "caller", 22.0)]);
+
+    // A 500 kbps talking-head stream from the server to the UE, with
+    // loss-adaptive rate control (receiver reports feed back uplink).
+    d.add_flow(
+        0,
+        100,
+        Box::new(VideoReceiver::new(Nanos::ZERO)),
+        Box::new(VideoSender::new(500_000, Nanos::ZERO)),
+    );
+
+    d.kill_primary_at(Nanos::from_secs(3));
+    d.engine.run_until(Nanos::from_secs(8));
+
+    let ue = d.engine.node::<UeNode>(d.ues[0]).unwrap();
+    let rx: &VideoReceiver = ue.app(0).unwrap();
+    println!("received video bitrate per second (failure at t=3 s):");
+    for (sec, kbps) in rx.kbps_series().iter().enumerate() {
+        let marker = if sec == 3 { "  <- PHY killed here" } else { "" };
+        println!("  t={sec}s  {kbps:7.1} kbps{marker}");
+    }
+    assert_eq!(ue.rlf_count, 0);
+    println!("\nno rebuffering, no disconnect — the failover was invisible.");
+    println!("compare: slingshot-baseline's backup-vRAN failover freezes the");
+    println!("stream for ~6.2 s while the UE re-attaches (run fig8_video).");
+}

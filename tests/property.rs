@@ -1,0 +1,342 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants across the workspace: codecs must round-trip on arbitrary
+//! inputs, coding-chain invariants must hold for random payloads, and
+//! the RLC window must never duplicate, corrupt, or reorder.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use slingshot::ctl::CtlPacket;
+use slingshot_fapi as fapi;
+use slingshot_fronthaul::{
+    fh_header, CPlaneMsg, CSection, DciEntry, DciMsg, Direction, FhMessage, ShadowMsg, UciEntry,
+    UciMsg,
+};
+use slingshot_phy_dsp::bits::{bits_to_bytes, bytes_to_bits};
+use slingshot_phy_dsp::crc::{attach_crc24a, check_crc24a};
+use slingshot_phy_dsp::iq::{bfp_compress, bfp_decompress, Cplx, SC_PER_PRB};
+use slingshot_phy_dsp::ratematch::{rate_match, rate_recover};
+use slingshot_phy_dsp::scramble::scramble_bits;
+use slingshot_phy_dsp::tbchain::{decode_tb, encode_tb, mother_buffer_len, TbParams};
+use slingshot_phy_dsp::{LdpcCode, Modulation};
+use slingshot_ran::rlc::{RlcRx, RlcTx};
+use slingshot_sim::{Nanos, Sampler, SlotId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn crc24a_roundtrip_and_single_flip_detection(
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+        flip_byte in 0usize..512,
+        flip_bit in 0u8..8,
+    ) {
+        let framed = attach_crc24a(&data);
+        prop_assert_eq!(check_crc24a(&framed), Some(&data[..]));
+        let mut bad = framed.clone();
+        let idx = flip_byte % bad.len();
+        bad[idx] ^= 1 << flip_bit;
+        prop_assert!(check_crc24a(&bad).is_none());
+    }
+
+    #[test]
+    fn scrambler_is_involution(
+        mut bits in proptest::collection::vec(0u8..2, 1..2048),
+        c_init in 1u32..0x7FFF_FFFF,
+    ) {
+        let orig = bits.clone();
+        scramble_bits(&mut bits, c_init);
+        scramble_bits(&mut bits, c_init);
+        prop_assert_eq!(bits, orig);
+    }
+
+    #[test]
+    fn bits_bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(bits_to_bytes(&bytes_to_bits(&data)), data);
+    }
+
+    #[test]
+    fn ldpc_encode_emits_valid_linear_codewords(
+        a in proptest::collection::vec(0u8..2, 64..65),
+        b in proptest::collection::vec(0u8..2, 64..65),
+    ) {
+        let code = LdpcCode::new(64);
+        let ca = code.encode(&a);
+        let cb = code.encode(&b);
+        prop_assert!(code.parity_ok(&ca));
+        prop_assert!(code.parity_ok(&cb));
+        let sum: Vec<u8> = ca.iter().zip(&cb).map(|(x, y)| x ^ y).collect();
+        prop_assert!(code.parity_ok(&sum), "codewords closed under XOR");
+    }
+
+    #[test]
+    fn rate_match_recover_positions_consistent(
+        n_div in 3usize..40,
+        e_factor in 1usize..4,
+        rv in 0u8..4,
+    ) {
+        let n = n_div * 3;
+        let coded: Vec<u8> = (0..n).map(|i| ((i * 31 + 7) % 2) as u8).collect();
+        let e = n * e_factor / 2 + 1;
+        let tx = rate_match(&coded, e, rv);
+        let llrs: Vec<f32> = tx.iter().map(|b| if *b == 0 { 1.0 } else { -1.0 }).collect();
+        let mut acc = vec![0.0f32; n];
+        rate_recover(&mut acc, &llrs, rv);
+        for (i, v) in acc.iter().enumerate() {
+            if *v != 0.0 {
+                let bit = u8::from(*v < 0.0);
+                prop_assert_eq!(bit, coded[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn tb_chain_noiseless_roundtrip(
+        payload in proptest::collection::vec(any::<u8>(), 8..300),
+        mcs_idx in 0u8..20,
+    ) {
+        let row = fapi::mcs(mcs_idx);
+        let bps = row.modulation.bits_per_symbol();
+        let info_bits = (payload.len() + 3) * 8;
+        // Enough coded bits for ~the nominal rate, rounded to symbols.
+        let mut e = (info_bits as f64 / row.code_rate()) as usize + bps;
+        e -= e % bps;
+        let p = TbParams {
+            modulation: row.modulation,
+            e_bits: e,
+            rnti: 0x4601,
+            cell_id: 7,
+            rv: 0,
+            fec_iterations: 12,
+        };
+        let syms = encode_tb(&payload, &p);
+        let mut acc = vec![0.0; mother_buffer_len(payload.len())];
+        let out = decode_tb(&mut acc, &syms, 1e-3, payload.len(), &p);
+        prop_assert_eq!(out.payload.as_deref(), Some(&payload[..]));
+    }
+
+    #[test]
+    fn bfp_roundtrip_error_bounded(
+        res in proptest::collection::vec(-4.0f32..4.0, SC_PER_PRB),
+        ims in proptest::collection::vec(-4.0f32..4.0, SC_PER_PRB),
+    ) {
+        let mut s = [Cplx::ZERO; SC_PER_PRB];
+        for i in 0..SC_PER_PRB {
+            s[i] = Cplx::new(res[i], ims[i]);
+        }
+        let prb = bfp_compress(&s);
+        let d = bfp_decompress(&prb);
+        let step = (1u32 << prb.exponent) as f32 / 4096.0;
+        for (a, b) in s.iter().zip(d.iter()) {
+            prop_assert!((*a - *b).abs() <= step * 1.5);
+        }
+    }
+
+    #[test]
+    fn fronthaul_messages_roundtrip(
+        frame in any::<u16>(),
+        subframe in 0u8..10,
+        slot in 0u8..2,
+        symbol in 0u8..14,
+        ru_port in any::<u8>(),
+        sections in proptest::collection::vec((any::<u16>(), any::<u16>(), any::<u16>(), any::<u16>()), 0..8),
+        dcis in proptest::collection::vec(
+            (any::<u16>(), any::<bool>(), any::<u16>(), 0u8..16, any::<bool>(), 0u8..4, 0u8..20, any::<u16>(), any::<u16>(), any::<u32>()),
+            0..6),
+        ucis in proptest::collection::vec((any::<u16>(), 0u8..16, any::<bool>()), 0..6),
+        shadow in proptest::collection::vec(any::<u8>(), 0..128),
+        snr_x100 in -4000i32..4000,
+        shadow_rnti in any::<u16>(),
+    ) {
+        let sid = SlotId { sfn: frame % 1024, subframe, slot };
+        for dir in [Direction::Uplink, Direction::Downlink] {
+            let hdr = fh_header(dir, sid, symbol, ru_port);
+            let msgs = vec![
+                FhMessage::CPlane(CPlaneMsg {
+                    hdr,
+                    sections: sections.iter().map(|(a, b, c, d)| CSection {
+                        section_id: *a, start_prb: *b, num_prb: *c, beam_id: *d,
+                    }).collect(),
+                }),
+                FhMessage::Dci(DciMsg {
+                    hdr,
+                    entries: dcis.iter().map(|(rnti, ul, tgt, hq, ndi, rv, mcs, sp, np, tb)| DciEntry {
+                        rnti: *rnti, uplink: *ul, target_slot_scalar: *tgt, harq_id: *hq,
+                        ndi: *ndi, rv: *rv, mcs: *mcs, start_prb: *sp, num_prb: *np, tb_bytes: *tb,
+                    }).collect(),
+                }),
+                FhMessage::Uci(UciMsg {
+                    hdr,
+                    entries: ucis.iter().map(|(rnti, hq, ack)| UciEntry {
+                        rnti: *rnti, harq_id: *hq, ack: *ack,
+                    }).collect(),
+                }),
+                FhMessage::Shadow(ShadowMsg {
+                    hdr,
+                    rnti: shadow_rnti,
+                    snr_db_x100: snr_x100,
+                    data: Bytes::from(shadow.clone()),
+                }),
+            ];
+            for msg in msgs {
+                let bytes = msg.to_bytes();
+                let parsed = FhMessage::from_bytes(&bytes);
+                prop_assert_eq!(parsed.as_ref(), Some(&msg));
+                // Truncations must fail cleanly, never panic.
+                for cut in [0, 3, bytes.len() / 2, bytes.len().saturating_sub(1)] {
+                    let _ = FhMessage::from_bytes(&bytes[..cut]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fapi_codec_roundtrips_and_rejects_truncation(
+        ru_id in any::<u8>(),
+        sfn in 0u16..1024,
+        subframe in 0u8..10,
+        slot in 0u8..2,
+        pdus in proptest::collection::vec(
+            (any::<u16>(), 0u8..16, any::<bool>(), 0u8..4, 0u8..20, any::<u16>(), any::<u16>(), any::<u32>()),
+            0..5),
+        payload in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let s = SlotId { sfn, subframe, slot };
+        let msgs = vec![
+            fapi::FapiMsg::UlTti(fapi::UlTtiRequest {
+                ru_id, slot: s,
+                pusch: pdus.iter().map(|(rnti, hq, ndi, rv, mcs, sp, np, tb)| fapi::PuschPdu {
+                    rnti: *rnti, harq_id: *hq, ndi: *ndi, rv: *rv, mcs: *mcs,
+                    start_prb: *sp, num_prb: *np, tb_bytes: *tb,
+                }).collect(),
+            }),
+            fapi::FapiMsg::TxData(fapi::TxDataRequest {
+                ru_id, slot: s,
+                tbs: vec![(1, Bytes::from(payload.clone()))],
+            }),
+            fapi::FapiMsg::SlotInd(fapi::SlotIndication { ru_id, slot: s }),
+        ];
+        for msg in msgs {
+            let bytes = fapi::encode(&msg);
+            let parsed = fapi::decode(&bytes);
+            prop_assert_eq!(parsed.as_ref(), Some(&msg));
+            for cut in 0..bytes.len().min(24) {
+                let _ = fapi::decode(&bytes[..cut]);
+            }
+        }
+    }
+
+    #[test]
+    fn ctl_packet_roundtrip(ru in any::<u8>(), phy in any::<u8>(), scalar in any::<u16>()) {
+        for pkt in [
+            CtlPacket::MigrateOnSlot { ru_id: ru, dest_phy_id: phy, slot_scalar: scalar },
+            CtlPacket::FailureNotify { phy_id: phy },
+        ] {
+            prop_assert_eq!(CtlPacket::from_bytes(&pkt.to_bytes()), Some(pkt));
+        }
+    }
+
+    #[test]
+    fn rlc_lossless_under_random_budgets(
+        packets in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..300), 1..12),
+        budgets in proptest::collection::vec(30usize..400, 1..64),
+    ) {
+        let mut tx = RlcTx::new();
+        let mut rx = RlcRx::new();
+        for p in &packets {
+            tx.enqueue(Bytes::from(p.clone()));
+        }
+        let mut got: Vec<Bytes> = Vec::new();
+        let mut t = 0u64;
+        let mut i = 0usize;
+        while !tx.is_empty() {
+            let budget = budgets[i % budgets.len()];
+            i += 1;
+            t += 1;
+            if let Some(tb) = tx.build_tb(budget) {
+                got.extend(rx.on_tb(Nanos(t * 1_000_000), &tb));
+            }
+            prop_assert!(i < 10_000, "runaway");
+        }
+        let want: Vec<Bytes> = packets.iter().map(|p| Bytes::from(p.clone())).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rlc_under_loss_delivers_subset_in_order(
+        packets in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 20..200), 4..16),
+        drop_mask in proptest::collection::vec(any::<bool>(), 64),
+    ) {
+        let mut tx = RlcTx::new();
+        let mut rx = RlcRx::new();
+        for (i, p) in packets.iter().enumerate() {
+            let mut tagged = p.clone();
+            tagged[0] = i as u8; // identify packets by first byte
+            tx.enqueue(Bytes::from(tagged));
+        }
+        let mut got: Vec<Bytes> = Vec::new();
+        let mut t = 0u64;
+        let mut i = 0usize;
+        while let Some(tb) = tx.build_tb(128) {
+            t += 1;
+            let dropped = drop_mask[i % drop_mask.len()];
+            i += 1;
+            if !dropped {
+                got.extend(rx.on_tb(Nanos(t * 1_000_000), &tb));
+            }
+            if i > 10_000 { break; }
+        }
+        got.extend(rx.poll_expired(Nanos((t + 100) * 1_000_000)));
+        // Delivered packets are a subset, uncorrupted, in order.
+        let ids: Vec<u8> = got.iter().map(|p| p[0]).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(&ids, &sorted, "in order, no duplicates");
+        for p in &got {
+            let idx = p[0] as usize;
+            prop_assert!(idx < packets.len());
+            prop_assert_eq!(p.len(), packets[idx].len(), "no corruption");
+        }
+    }
+
+    #[test]
+    fn slot_id_arithmetic(abs in 0u64..20_000_000, n in 0u64..100_000) {
+        let id = SlotId::from_absolute(abs);
+        let epoch = 1024 * 20;
+        prop_assert_eq!(id.epoch_index(), abs % epoch);
+        let adv = id.advance(n);
+        prop_assert_eq!(adv.epoch_index(), (abs + n) % epoch);
+    }
+
+    #[test]
+    fn sampler_percentiles_are_order_statistics(
+        mut values in proptest::collection::vec(any::<u32>(), 1..200),
+        p in 0.1f64..100.0,
+    ) {
+        let mut s = Sampler::new();
+        for v in &values {
+            s.record(*v as u64);
+        }
+        let got = s.percentile(p).unwrap();
+        values.sort_unstable();
+        prop_assert!(values.contains(&(got as u32)));
+        prop_assert!(got >= values[0] as u64 && got <= *values.last().unwrap() as u64);
+    }
+
+    #[test]
+    fn modulation_noiseless_roundtrip_random_bits(
+        seed_bits in proptest::collection::vec(0u8..2, 24..96),
+    ) {
+        for m in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64, Modulation::Qam256] {
+            let bps = m.bits_per_symbol();
+            let n = (seed_bits.len() / bps) * bps;
+            if n == 0 { continue; }
+            let bits = &seed_bits[..n];
+            let syms = slingshot_phy_dsp::modulation::modulate(bits, m);
+            let llrs = slingshot_phy_dsp::modulation::demodulate_llr(&syms, m, 1e-3);
+            let rx = slingshot_phy_dsp::modulation::hard_decide(&llrs);
+            prop_assert_eq!(&rx[..], bits);
+        }
+    }
+}
