@@ -13,8 +13,8 @@ use slingshot::fh_mbox::FhMbox;
 use slingshot::switch_node::{ForwardingModel, SwitchNode};
 use slingshot_netsim::{EtherType, Frame, MacAddr};
 use slingshot_ran::{
-    AppServerNode, CellConfig, CoreNode, CtlMsg, L2Node, Msg, PhyConfig, PhyNode, RuNode,
-    UeConfig, UeNode,
+    AppServerNode, CellConfig, CoreNode, CtlMsg, L2Node, Msg, PhyConfig, PhyNode, RuNode, UeConfig,
+    UeNode,
 };
 use slingshot_sim::{Ctx, Engine, LinkParams, Nanos, Node, NodeId, SimRng, SlotClock};
 use slingshot_switch::{PktGenConfig, PortId};
@@ -59,7 +59,13 @@ impl StackSelector {
         }
     }
 
-    pub fn wire(&mut self, switch: NodeId, switch_mac: MacAddr, primary_l2: NodeId, backup_l2: NodeId) {
+    pub fn wire(
+        &mut self,
+        switch: NodeId,
+        switch_mac: MacAddr,
+        primary_l2: NodeId,
+        backup_l2: NodeId,
+    ) {
         self.switch = Some(switch);
         self.switch_mac = switch_mac;
         self.primary_l2 = Some(primary_l2);
@@ -88,8 +94,7 @@ impl Node<Msg> for StackSelector {
                 if frame.ethertype == EtherType::SlingshotCtl
                     && frame.dst == failover_ctl_mac() =>
             {
-                if let Some(CtlPacket::FailureNotify { .. }) =
-                    CtlPacket::from_bytes(&frame.payload)
+                if let Some(CtlPacket::FailureNotify { .. }) = CtlPacket::from_bytes(&frame.payload)
                 {
                     if self.failed_over_at.is_none() {
                         self.failed_over_at = Some(ctx.now());
@@ -124,13 +129,21 @@ impl Node<Msg> for StackSelector {
             Msg::Ctl(CtlMsg::AttachRequest { rnti }) => {
                 self.requesters.insert(rnti, from);
                 if let Some(l2) = self.active_l2() {
-                    ctx.send_in(l2, Nanos::from_micros(100), Msg::Ctl(CtlMsg::AttachRequest { rnti }));
+                    ctx.send_in(
+                        l2,
+                        Nanos::from_micros(100),
+                        Msg::Ctl(CtlMsg::AttachRequest { rnti }),
+                    );
                 }
             }
             Msg::Ctl(CtlMsg::AttachAccept { rnti }) => {
                 if let Some(ue) = self.requesters.get(&rnti) {
                     let ue = *ue;
-                    ctx.send_in(ue, Nanos::from_micros(100), Msg::Ctl(CtlMsg::AttachAccept { rnti }));
+                    ctx.send_in(
+                        ue,
+                        Nanos::from_micros(100),
+                        Msg::Ctl(CtlMsg::AttachAccept { rnti }),
+                    );
                 }
             }
             Msg::Ctl(c) => {
@@ -186,10 +199,8 @@ impl BaselineDeployment {
             )),
         );
         // Backup stack: cold UE state.
-        let backup_l2 = engine.add_node(
-            "l2-backup",
-            Box::new(L2Node::new(cell.clone(), clock, RU)),
-        );
+        let backup_l2 =
+            engine.add_node("l2-backup", Box::new(L2Node::new(cell.clone(), clock, RU)));
         let backup_phy = engine.add_node(
             "phy-backup",
             Box::new(PhyNode::new(
@@ -227,7 +238,10 @@ impl BaselineDeployment {
         let switch = engine.add_node("switch", Box::new(swn));
 
         engine.node_mut::<AppServerNode>(server).unwrap().wire(core);
-        engine.node_mut::<CoreNode>(core).unwrap().wire(selector, server);
+        engine
+            .node_mut::<CoreNode>(core)
+            .unwrap()
+            .wire(selector, server);
         engine
             .node_mut::<StackSelector>(selector)
             .unwrap()
@@ -248,7 +262,10 @@ impl BaselineDeployment {
             .node_mut::<PhyNode>(backup_phy)
             .unwrap()
             .wire(switch, backup_l2);
-        engine.node_mut::<RuNode>(ru).unwrap().wire(switch, ues.clone());
+        engine
+            .node_mut::<RuNode>(ru)
+            .unwrap()
+            .wire(switch, ues.clone());
         for ue in &ues {
             engine.node_mut::<UeNode>(*ue).unwrap().wire(ru, selector);
         }
@@ -259,15 +276,31 @@ impl BaselineDeployment {
         engine.connect_duplex(selector, primary_l2, backhaul.clone());
         engine.connect_duplex(selector, backup_l2, backhaul);
         for l2 in [primary_l2, backup_l2] {
-            engine.connect_duplex(l2, core, LinkParams::with_bandwidth(Nanos::from_millis(4), 10_000_000_000));
+            engine.connect_duplex(
+                l2,
+                core,
+                LinkParams::with_bandwidth(Nanos::from_millis(4), 10_000_000_000),
+            );
         }
         engine.connect_duplex(primary_l2, primary_phy, LinkParams::ideal(Nanos(2_000)));
         engine.connect_duplex(backup_l2, backup_phy, LinkParams::ideal(Nanos(2_000)));
-        engine.connect_duplex(ru, switch, LinkParams::with_bandwidth(Nanos(20_000), 25_000_000_000));
+        engine.connect_duplex(
+            ru,
+            switch,
+            LinkParams::with_bandwidth(Nanos(20_000), 25_000_000_000),
+        );
         for phy in [primary_phy, backup_phy] {
-            engine.connect_duplex(phy, switch, LinkParams::with_bandwidth(Nanos(2_000), 100_000_000_000));
+            engine.connect_duplex(
+                phy,
+                switch,
+                LinkParams::with_bandwidth(Nanos(2_000), 100_000_000_000),
+            );
         }
-        engine.connect_duplex(selector, switch, LinkParams::with_bandwidth(Nanos(2_000), 100_000_000_000));
+        engine.connect_duplex(
+            selector,
+            switch,
+            LinkParams::with_bandwidth(Nanos(2_000), 100_000_000_000),
+        );
 
         BaselineDeployment {
             engine,

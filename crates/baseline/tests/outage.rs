@@ -16,11 +16,7 @@ fn cell() -> CellConfig {
 
 #[test]
 fn baseline_outage_is_multiple_seconds() {
-    let mut d = BaselineDeployment::build(
-        1,
-        cell(),
-        vec![UeConfig::new(100, 0, "ue100", 22.0)],
-    );
+    let mut d = BaselineDeployment::build(1, cell(), vec![UeConfig::new(100, 0, "ue100", 22.0)]);
     d.add_flow(
         0,
         100,
@@ -58,9 +54,7 @@ fn baseline_outage_is_multiple_seconds() {
         .unwrap()
         .app(100, 0)
         .unwrap();
-    let zeros = sink
-        .bins
-        .zero_bins_between(kill_at, Nanos::from_secs(9));
+    let zeros = sink.bins.zero_bins_between(kill_at, Nanos::from_secs(9));
     assert!(zeros > 400, "blackout bins = {zeros}");
 
     // And traffic eventually resumes through the backup stack.
@@ -72,11 +66,7 @@ fn baseline_outage_is_multiple_seconds() {
 
 #[test]
 fn baseline_ru_goes_dark_between_failure_and_reroute_only() {
-    let mut d = BaselineDeployment::build(
-        2,
-        cell(),
-        vec![UeConfig::new(100, 0, "ue100", 22.0)],
-    );
+    let mut d = BaselineDeployment::build(2, cell(), vec![UeConfig::new(100, 0, "ue100", 22.0)]);
     d.kill_primary_at(Nanos::from_millis(1000));
     d.engine.run_until(Nanos::from_secs(3));
     // After the reroute the backup PHY feeds the RU, so dark slots are

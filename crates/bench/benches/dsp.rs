@@ -17,8 +17,12 @@ fn bench_crc(c: &mut Criterion) {
     let framed = attach_crc24a(&data);
     let mut g = c.benchmark_group("crc24a");
     g.throughput(Throughput::Bytes(1500));
-    g.bench_function("attach_1500B", |b| b.iter(|| attach_crc24a(std::hint::black_box(&data))));
-    g.bench_function("check_1500B", |b| b.iter(|| check_crc24a(std::hint::black_box(&framed))));
+    g.bench_function("attach_1500B", |b| {
+        b.iter(|| attach_crc24a(std::hint::black_box(&data)))
+    });
+    g.bench_function("check_1500B", |b| {
+        b.iter(|| check_crc24a(std::hint::black_box(&framed)))
+    });
     g.finish();
 }
 
@@ -71,7 +75,9 @@ fn bench_ldpc(c: &mut Criterion) {
     let llrs: Vec<f32> = noisy.iter().map(|s| 2.0 * s.re / nv).collect();
     let mut g = c.benchmark_group("ldpc_k1024");
     g.throughput(Throughput::Elements(1024));
-    g.bench_function("encode", |b| b.iter(|| code.encode(std::hint::black_box(&info))));
+    g.bench_function("encode", |b| {
+        b.iter(|| code.encode(std::hint::black_box(&info)))
+    });
     for iters in [2usize, 8, 16] {
         g.bench_function(format!("decode_{iters}iters_4dB"), |b| {
             b.iter(|| code.decode(std::hint::black_box(&llrs), iters))
@@ -95,7 +101,9 @@ fn bench_tb_chain(c: &mut Criterion) {
     let (rx, nv) = ch.apply(&syms, 25.0);
     let mut g = c.benchmark_group("tb_chain_64qam_r067");
     g.throughput(Throughput::Bytes(payload.len() as u64));
-    g.bench_function("encode_tb", |b| b.iter(|| encode_tb(std::hint::black_box(&payload), &p)));
+    g.bench_function("encode_tb", |b| {
+        b.iter(|| encode_tb(std::hint::black_box(&payload), &p))
+    });
     g.bench_function("decode_tb", |b| {
         b.iter(|| {
             let mut acc = vec![0.0f32; mother_buffer_len(payload.len())];
@@ -106,14 +114,17 @@ fn bench_tb_chain(c: &mut Criterion) {
 }
 
 fn bench_bfp(c: &mut Criterion) {
-    let samples: [Cplx; SC_PER_PRB] = std::array::from_fn(|i| {
-        Cplx::new((i as f32 * 0.4).cos(), (i as f32 * 0.4).sin())
-    });
+    let samples: [Cplx; SC_PER_PRB] =
+        std::array::from_fn(|i| Cplx::new((i as f32 * 0.4).cos(), (i as f32 * 0.4).sin()));
     let prb = bfp_compress(&samples);
     let mut g = c.benchmark_group("bfp");
     g.throughput(Throughput::Elements(SC_PER_PRB as u64));
-    g.bench_function("compress_prb", |b| b.iter(|| bfp_compress(std::hint::black_box(&samples))));
-    g.bench_function("decompress_prb", |b| b.iter(|| bfp_decompress(std::hint::black_box(&prb))));
+    g.bench_function("compress_prb", |b| {
+        b.iter(|| bfp_compress(std::hint::black_box(&samples)))
+    });
+    g.bench_function("decompress_prb", |b| {
+        b.iter(|| bfp_decompress(std::hint::black_box(&prb)))
+    });
     g.finish();
 }
 

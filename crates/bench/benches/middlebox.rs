@@ -90,7 +90,12 @@ fn bench_pipeline(c: &mut Criterion) {
         m.process(
             Nanos(0),
             PortId(999),
-            Frame::new(switch_mac, MacAddr::ZERO, EtherType::SlingshotCtl, cmd.to_bytes()),
+            Frame::new(
+                switch_mac,
+                MacAddr::ZERO,
+                EtherType::SlingshotCtl,
+                cmd.to_bytes(),
+            ),
         );
         let f = ul_frame();
         g.bench_function("uplink_with_pending_migration", |b| {

@@ -55,8 +55,8 @@ fn run(reconverge_slots: u64, seed: u64) -> (f64, f64, u64) {
         .map(|i| i as u64 * 10)
         .unwrap_or(9999);
     let rlf = d.engine.node::<UeNode>(d.ues[0]).unwrap().rlf_count;
-    let _ = worst;
-    (pre, worst, rec + rlf * 0) // rlf asserted below
+    assert_eq!(rlf, 0, "migration must not trigger a radio link failure");
+    (pre, worst, rec)
 }
 
 fn main() {

@@ -73,10 +73,7 @@ fn main() {
     }
     println!("\n# summary (Mbps):           before    after");
     for i in 0..3 {
-        println!(
-            "# {:<14} {:>10.2} {:>8.2}",
-            names[i], before[i], after[i]
-        );
+        println!("# {:<14} {:>10.2} {:>8.2}", names[i], before[i], after[i]);
     }
     let fairness = |v: &[f64]| {
         let sum: f64 = v.iter().sum();
@@ -90,7 +87,11 @@ fn main() {
     );
     for (i, ue_id) in d.ues.iter().enumerate() {
         let ue = d.engine.node::<UeNode>(*ue_id).unwrap();
-        assert_eq!(ue.rlf_count, 0, "{}: upgrade must be zero-downtime", names[i]);
+        assert_eq!(
+            ue.rlf_count, 0,
+            "{}: upgrade must be zero-downtime",
+            names[i]
+        );
     }
     println!("# zero downtime: no UE RLF during the upgrade");
 }

@@ -10,7 +10,7 @@
 //! added one-way delay per DL_TTI/TX_Data message.
 
 use slingshot::OrionCost;
-use slingshot_bench::banner;
+use slingshot_bench::{banner, BenchReport};
 use slingshot_sim::{Nanos, Sampler, SimRng, SLOT_DURATION};
 
 /// One simulated second of slot-paced FAPI traffic at a given DL rate.
@@ -64,6 +64,11 @@ fn main() {
         "Fig. 12: one-way latency added by Orion vs downlink throughput",
         "median/99th/99.999th all < 200 µs, within the 500 µs TTI FAPI budget",
     );
+    let mut report = BenchReport::new(
+        "fig12_orion_latency",
+        "Fig. 12: one-way latency added by Orion vs downlink throughput",
+        "median/99th/99.999th all < 200 µs, within the 500 µs TTI FAPI budget",
+    );
     println!(
         "{:>10} {:>12} {:>12} {:>12}",
         "DL load", "median µs", "p99 µs", "p99.999 µs"
@@ -83,6 +88,9 @@ fn main() {
             p(&mut e2e, 99.0),
             p(&mut e2e, 99.999)
         );
+        report.scalar(&format!("median_us:{label}"), p(&mut e2e, 50.0));
+        report.scalar(&format!("p99_us:{label}"), p(&mut e2e, 99.0));
+        report.scalar(&format!("p99999_us:{label}"), p(&mut e2e, 99.999));
         let max = e2e.max().unwrap() as f64 / 1e3;
         assert!(
             max < SLOT_DURATION.0 as f64 / 1e3,
@@ -90,4 +98,5 @@ fn main() {
         );
     }
     println!("\n(FlexRAN budgets one TTI, 500 µs, for FAPI transfers — §8.7)");
+    report.write();
 }

@@ -51,10 +51,7 @@ fn main() {
     {
         let mut d = BaselineDeployment::build(82, figure_cell(), vec![ue("ue", 100, 22.0)]);
         let (tx, rx) = video_flow();
-        d.engine
-            .node_mut::<UeNode>(d.ues[0])
-            .unwrap()
-            .add_app(rx);
+        d.engine.node_mut::<UeNode>(d.ues[0]).unwrap().add_app(rx);
         d.engine
             .node_mut::<AppServerNode>(d.server)
             .unwrap()

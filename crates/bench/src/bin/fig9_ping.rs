@@ -2,7 +2,7 @@
 //! every 10 ms over a ~2 s window centered at the failure: the
 //! disruption resembles natural wireless fluctuations.
 
-use slingshot_bench::{banner, figure_deployment, paper_ues};
+use slingshot_bench::{banner, figure_deployment, paper_ues, BenchReport};
 use slingshot_ran::{AppServerNode, UeNode};
 use slingshot_sim::Nanos;
 use slingshot_transport::{EchoResponder, PingApp};
@@ -12,6 +12,11 @@ fn main() {
         "Fig. 9: ping latency across PHY failover (3 UEs, 10 ms pings)",
         "latency unaffected for two UEs; ≤ ~15 ms transient for one, within normal fluctuation",
     );
+    let mut report = BenchReport::new(
+        "fig9_ping",
+        "Fig. 9: ping latency across PHY failover (3 UEs, 10 ms pings)",
+        "latency unaffected for two UEs; ≤ ~15 ms transient for one",
+    );
     let fail_at = Nanos::from_millis(1500);
     let mut d = figure_deployment(91, paper_ues());
     let rntis = [100u16, 101, 102];
@@ -20,20 +25,25 @@ fn main() {
             i,
             *rnti,
             Box::new(EchoResponder::new()),
-            Box::new(PingApp::new(Nanos::from_millis(10), Nanos::from_millis(100))),
+            Box::new(PingApp::new(
+                Nanos::from_millis(10),
+                Nanos::from_millis(100),
+            )),
         );
     }
     d.kill_primary_at(fail_at);
     d.engine.run_until(Nanos::from_millis(2700));
 
-    let orion = d
-        .engine
-        .node::<slingshot::OrionL2Node>(d.orion_l2)
-        .unwrap();
+    let orion = d.engine.node::<slingshot::OrionL2Node>(d.orion_l2).unwrap();
     println!(
         "# failure notified at t={:.6} s (killed at {:.3} s)",
         orion.last_failure_notified.unwrap().as_secs(),
         fail_at.as_secs()
+    );
+    report.scalar("killed_at_s", fail_at.as_secs());
+    report.scalar(
+        "failure_notified_s",
+        orion.last_failure_notified.unwrap().as_secs(),
     );
 
     let names = ["OnePlus-N10", "Samsung-A52s", "Raspberry-Pi"];
@@ -44,7 +54,10 @@ fn main() {
             .unwrap()
             .app(*rnti, 0)
             .unwrap();
-        println!("\n# {} — (t_seconds\trtt_ms), window ±1 s of failure", names[i]);
+        println!(
+            "\n# {} — (t_seconds\trtt_ms), window ±1 s of failure",
+            names[i]
+        );
         let win_lo = fail_at.saturating_sub(Nanos::from_millis(1000));
         let win_hi = fail_at + Nanos::from_millis(1000);
         let mut max_in_window = 0.0f64;
@@ -62,7 +75,19 @@ fn main() {
             "# {}: baseline avg {:.1} ms, max in failover window {:.1} ms, answered {}/{}",
             names[i], base_avg, max_in_window, ping.received, ping.sent
         );
+        report.series(
+            &format!("rtt_ms:{}", names[i]),
+            ping.rtts
+                .iter()
+                .map(|(sent, rtt)| (sent.as_secs(), rtt.as_millis()))
+                .collect(),
+        );
+        report.scalar(&format!("baseline_avg_ms:{}", names[i]), base_avg);
+        report.scalar(&format!("max_failover_ms:{}", names[i]), max_in_window);
+        report.scalar(&format!("answered:{}", names[i]), ping.received as f64);
+        report.scalar(&format!("sent:{}", names[i]), ping.sent as f64);
         let ue = d.engine.node::<UeNode>(d.ues[i]).unwrap();
         assert_eq!(ue.rlf_count, 0, "{} must stay connected", names[i]);
     }
+    report.write();
 }

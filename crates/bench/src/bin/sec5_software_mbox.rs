@@ -41,7 +41,10 @@ fn main() {
         "{:>22} {:>12} {:>12} {:>12}",
         "model", "median µs", "p99 µs", "p99.999 µs"
     );
-    for (label, s) in [("in-switch (Tofino)", &mut insw), ("software (DPDK)", &mut sw)] {
+    for (label, s) in [
+        ("in-switch (Tofino)", &mut insw),
+        ("software (DPDK)", &mut sw),
+    ] {
         println!(
             "{label:>22} {:>12.2} {:>12.2} {:>12.2}",
             s.median().unwrap() as f64 / 1e3,

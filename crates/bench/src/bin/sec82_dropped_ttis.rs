@@ -5,7 +5,7 @@
 
 use slingshot::OrionL2Node;
 use slingshot_baseline::{migrate_batch, VmMigrationConfig};
-use slingshot_bench::{banner, figure_deployment, ue};
+use slingshot_bench::{banner, figure_deployment, ue, BenchReport};
 use slingshot_ran::{PhyNode, UeNode};
 use slingshot_sim::{Nanos, Sampler, SLOT_DURATION};
 use slingshot_transport::{UdpCbrSource, UdpSink};
@@ -15,8 +15,15 @@ fn main() {
         "§8.2: dropped TTIs and detection latency across failovers",
         "≤ 3 dropped TTIs; detection ≤ 450 µs + 9 µs tick after the heartbeat gap",
     );
+    let mut report = BenchReport::new(
+        "sec82_dropped_ttis",
+        "§8.2: dropped TTIs and detection latency across failovers",
+        "≤ 3 dropped TTIs; detection ≤ 450 µs + 9 µs tick after the heartbeat gap",
+    );
     let mut missing_s = Sampler::new();
     let mut detect_s = Sampler::new();
+    let mut detect_series = Vec::new();
+    let mut missing_series = Vec::new();
     println!(
         "{:>5} {:>12} {:>16} {:>10}",
         "run", "kill offset", "detect µs", "lost TTIs"
@@ -47,6 +54,8 @@ fn main() {
         let expected = (slots.last().unwrap() - slots.first().unwrap()) / 5 + 1;
         let missing = expected as usize - slots.len();
         missing_s.record(missing as u64);
+        detect_series.push((i as f64, detect as f64 / 1e3));
+        missing_series.push((i as f64, missing as f64));
         println!(
             "{:>5} {:>10}µs {:>16.1} {:>10}",
             i,
@@ -81,4 +90,12 @@ fn main() {
          {}x worse",
         median_ttis / 3
     );
+    report.series("detect_us_by_run", detect_series);
+    report.series("lost_ttis_by_run", missing_series);
+    report.scalar("max_lost_ttis", missing_s.max().unwrap() as f64);
+    report.scalar("detect_us_min", detect_s.min().unwrap() as f64 / 1e3);
+    report.scalar("detect_us_median", detect_s.median().unwrap() as f64 / 1e3);
+    report.scalar("detect_us_max", detect_s.max().unwrap() as f64 / 1e3);
+    report.scalar("vm_migration_median_ttis", median_ttis as f64);
+    report.write();
 }

@@ -36,10 +36,18 @@ fn main() {
     let secondary = d.engine.node::<PhyNode>(d.secondary_phy).unwrap();
     let p_cpu = primary.cpu_utilization(now);
     let s_cpu = secondary.cpu_utilization(now);
-    println!("primary PHY:   cpu={:.3}% busy, work slots={}, null slots={}",
-        p_cpu * 100.0, primary.work_slots, primary.null_slots);
-    println!("secondary PHY: cpu={:.4}% busy, work slots={}, null slots={}",
-        s_cpu * 100.0, secondary.work_slots, secondary.null_slots);
+    println!(
+        "primary PHY:   cpu={:.3}% busy, work slots={}, null slots={}",
+        p_cpu * 100.0,
+        primary.work_slots,
+        primary.null_slots
+    );
+    println!(
+        "secondary PHY: cpu={:.4}% busy, work slots={}, null slots={}",
+        s_cpu * 100.0,
+        secondary.work_slots,
+        secondary.null_slots
+    );
     println!(
         "secondary/primary CPU ratio: {:.4} (paper: 'no significant increase')",
         s_cpu / p_cpu.max(1e-12)

@@ -19,11 +19,20 @@ fn main() {
     // (a) Resource estimate at 256 RUs / 256 PHYs.
     let usage = estimate(&FhMbox::manifest(256, 256), &ResourceBudget::default());
     println!("resource usage at 256 RUs / 256 PHYs (fraction of one pipeline):");
-    println!("  crossbar : {:>5.1}%   (paper:  5.2%)", usage.crossbar * 100.0);
+    println!(
+        "  crossbar : {:>5.1}%   (paper:  5.2%)",
+        usage.crossbar * 100.0
+    );
     println!("  ALU      : {:>5.1}%   (paper: 10.4%)", usage.alu * 100.0);
-    println!("  gateway  : {:>5.1}%   (paper: 14.1%)", usage.gateway * 100.0);
+    println!(
+        "  gateway  : {:>5.1}%   (paper: 14.1%)",
+        usage.gateway * 100.0
+    );
     println!("  SRAM     : {:>5.1}%   (paper:  5.3%)", usage.sram * 100.0);
-    println!("  hash bits: {:>5.1}%   (paper:  9.5%)", usage.hash_bits * 100.0);
+    println!(
+        "  hash bits: {:>5.1}%   (paper:  9.5%)",
+        usage.hash_bits * 100.0
+    );
     assert!(usage.fits());
     // Scaling: more RUs/PHYs mostly grow SRAM (the paper's note) —
     // visible once entry counts exceed the hash-way block floor.
@@ -40,7 +49,10 @@ fn main() {
     // (b) Inter-packet gap of a healthy PHY's downlink stream, idle and
     // busy, measured by timestamping at the switch — here via the
     // deployment's link counters + a capture of arrival times.
-    for (label, dl_bps, seed) in [("idle", 0u64, 861u64), ("busy (40 Mbps DL)", 40_000_000, 862)] {
+    for (label, dl_bps, seed) in [
+        ("idle", 0u64, 861u64),
+        ("busy (40 Mbps DL)", 40_000_000, 862),
+    ] {
         let mut d = figure_deployment(seed, vec![ue("ue", 100, 22.0)]);
         if dl_bps > 0 {
             d.add_flow(

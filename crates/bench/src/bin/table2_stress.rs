@@ -50,7 +50,8 @@ fn run(rate_per_s: u32, seed: u64) -> Row {
         );
         t += interval;
     }
-    d.engine.run_until(WARMUP + MEASURE + Nanos::from_millis(200));
+    d.engine
+        .run_until(WARMUP + MEASURE + Nanos::from_millis(200));
 
     let harq_interrupted = {
         // HARQ series the scheduler abandoned (max retransmissions) —

@@ -64,6 +64,118 @@ pub fn figure_deployment(seed: u64, ues: Vec<UeConfig>) -> Deployment {
     )
 }
 
+/// Machine-readable companion to a figure binary's stdout: scalar
+/// results and (x, y) series, written as `<name>.json` into
+/// `$BENCH_JSON_DIR` (default: the current directory). Keeps the
+/// human-readable stdout as the primary artifact while letting plot
+/// scripts and regression tooling consume the numbers directly.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    name: String,
+    title: String,
+    paper: String,
+    scalars: Vec<(String, f64)>,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl BenchReport {
+    pub fn new(name: &str, title: &str, paper: &str) -> BenchReport {
+        BenchReport {
+            name: name.to_string(),
+            title: title.to_string(),
+            paper: paper.to_string(),
+            scalars: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Record a named scalar result (e.g. `max_lost_ttis`).
+    pub fn scalar(&mut self, key: &str, value: f64) {
+        self.scalars.push((key.to_string(), value));
+    }
+
+    /// Record a named (x, y) series (e.g. a latency time series).
+    pub fn series(&mut self, key: &str, points: Vec<(f64, f64)>) {
+        self.series.push((key.to_string(), points));
+    }
+
+    /// Serialize to a JSON string (insertion order preserved).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"name\":{}", json_str(&self.name)));
+        out.push_str(&format!(",\"title\":{}", json_str(&self.title)));
+        out.push_str(&format!(",\"paper\":{}", json_str(&self.paper)));
+        out.push_str(",\"scalars\":{");
+        for (i, (k, v)) in self.scalars.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_str(k), json_num(*v)));
+        }
+        out.push_str("},\"series\":{");
+        for (i, (k, pts)) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:[", json_str(k)));
+            for (j, (x, y)) in pts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{},{}]", json_num(*x), json_num(*y)));
+            }
+            out.push(']');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Write `<name>.json` into `$BENCH_JSON_DIR` (or the current
+    /// directory) and return the path. Errors are reported, not fatal:
+    /// figure binaries should not fail because the artifact directory
+    /// is read-only.
+    pub fn write(&self) -> Option<std::path::PathBuf> {
+        let dir = std::env::var_os("BENCH_JSON_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("."));
+        let path = dir.join(format!("{}.json", self.name));
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => {
+                println!("# wrote {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("# could not write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
 /// Print a figure/table header in a uniform style.
 pub fn banner(title: &str, paper: &str) {
     println!("==============================================================");
@@ -98,5 +210,20 @@ mod tests {
     fn cells_use_full_bandwidth() {
         assert_eq!(figure_cell().num_prbs, 273);
         assert_eq!(stress_cell().fidelity, Fidelity::Abstract);
+    }
+
+    #[test]
+    fn bench_report_json_shape() {
+        let mut r = BenchReport::new("t", "A \"title\"", "ref");
+        r.scalar("a", 1.5);
+        r.scalar("bad", f64::NAN);
+        r.series("s", vec![(0.0, 1.0), (1.0, 2.5)]);
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"name\":\"t\""));
+        assert!(j.contains("A \\\"title\\\""));
+        assert!(j.contains("\"a\":1.5"));
+        assert!(j.contains("\"bad\":null"));
+        assert!(j.contains("\"s\":[[0,1],[1,2.5]]"));
     }
 }

@@ -7,8 +7,8 @@
 
 use slingshot_netsim::MacAddr;
 use slingshot_ran::{
-    AppServerNode, CellConfig, CoreNode, CtlMsg, L2Node, Msg, PhyConfig, PhyNode, RuNode,
-    UeConfig, UeNode,
+    AppServerNode, CellConfig, CoreNode, CtlMsg, L2Node, Msg, PhyConfig, PhyNode, RuNode, UeConfig,
+    UeNode,
 };
 use slingshot_sim::{Engine, LinkParams, Nanos, NodeId, SimRng, SlotClock};
 use slingshot_switch::{PktGenConfig, PortId};
@@ -109,14 +109,21 @@ impl Deployment {
             }
             PhyNode::new(pc, cfg.cell.clone(), clock, rng.fork(&format!("phy{id}")))
         };
-        let primary_phy = engine.add_node("phy-primary", Box::new(mk_phy(PRIMARY_PHY_ID, None, &mut rng)));
+        let primary_phy = engine.add_node(
+            "phy-primary",
+            Box::new(mk_phy(PRIMARY_PHY_ID, None, &mut rng)),
+        );
         let secondary_phy = engine.add_node(
             "phy-secondary",
-            Box::new(mk_phy(SECONDARY_PHY_ID, cfg.secondary_fec_iterations, &mut rng)),
+            Box::new(mk_phy(
+                SECONDARY_PHY_ID,
+                cfg.secondary_fec_iterations,
+                &mut rng,
+            )),
         );
-        let spare_phy = cfg.with_spare_phy.then(|| {
-            engine.add_node("phy-spare", Box::new(mk_phy(SPARE_PHY_ID, None, &mut rng)))
-        });
+        let spare_phy = cfg
+            .with_spare_phy
+            .then(|| engine.add_node("phy-spare", Box::new(mk_phy(SPARE_PHY_ID, None, &mut rng))));
 
         let orion_primary = engine.add_node(
             "orion-phy1",
@@ -146,15 +153,16 @@ impl Deployment {
         }
 
         // --- the switch + middlebox program ---
-        let mut mbox = FhMbox::new(
-            cfg.detector,
-            crate::orion::orion_l2_mac(L2_ID),
-        );
+        let mut mbox = FhMbox::new(cfg.detector, crate::orion::orion_l2_mac(L2_ID));
         // Ports: 1=RU, 2=primary server, 3=secondary server, 4=L2
         // server, 5=spare server.
         mbox.install_ru(RU_ID, ru_mac, PortId(1), PRIMARY_PHY_ID);
         mbox.install_phy(PRIMARY_PHY_ID, MacAddr::for_phy(PRIMARY_PHY_ID), PortId(2));
-        mbox.install_phy(SECONDARY_PHY_ID, MacAddr::for_phy(SECONDARY_PHY_ID), PortId(3));
+        mbox.install_phy(
+            SECONDARY_PHY_ID,
+            MacAddr::for_phy(SECONDARY_PHY_ID),
+            PortId(3),
+        );
         mbox.install_host(crate::orion::orion_l2_mac(L2_ID), PortId(4));
         if cfg.with_spare_phy {
             mbox.install_phy(SPARE_PHY_ID, MacAddr::for_phy(SPARE_PHY_ID), PortId(5));
@@ -219,7 +227,10 @@ impl Deployment {
                 ol2.add_spare(SPARE_PHY_ID);
             }
         }
-        engine.node_mut::<RuNode>(ru).unwrap().wire(switch, ues.clone());
+        engine
+            .node_mut::<RuNode>(ru)
+            .unwrap()
+            .wire(switch, ues.clone());
         for ue in &ues {
             engine.node_mut::<UeNode>(*ue).unwrap().wire(ru, l2);
         }
@@ -229,7 +240,13 @@ impl Deployment {
         engine.connect_duplex(core, l2, cfg.backhaul_link.clone());
         engine.connect_duplex(l2, orion_l2, LinkParams::ideal(Nanos(500)));
         engine.connect_duplex(ru, switch, cfg.fronthaul_link.clone());
-        for node in [primary_phy, secondary_phy, orion_primary, orion_secondary, orion_l2] {
+        for node in [
+            primary_phy,
+            secondary_phy,
+            orion_primary,
+            orion_secondary,
+            orion_l2,
+        ] {
             engine.connect_duplex(node, switch, cfg.server_link.clone());
         }
         if let (Some(p), Some(o)) = (spare_phy, orion_spare) {
@@ -238,7 +255,11 @@ impl Deployment {
         }
         // PHY ↔ its Orion: same-host SHM.
         engine.connect_duplex(primary_phy, orion_primary, LinkParams::ideal(Nanos(500)));
-        engine.connect_duplex(secondary_phy, orion_secondary, LinkParams::ideal(Nanos(500)));
+        engine.connect_duplex(
+            secondary_phy,
+            orion_secondary,
+            LinkParams::ideal(Nanos(500)),
+        );
         if let (Some(p), Some(o)) = (spare_phy, orion_spare) {
             engine.connect_duplex(p, o, LinkParams::ideal(Nanos(500)));
         }
@@ -278,6 +299,116 @@ impl Deployment {
             .node_mut::<AppServerNode>(self.server)
             .unwrap()
             .add_app(rnti, server_app);
+    }
+
+    /// Publish every component's counters into the engine's metrics
+    /// registry, scoped by node name, along with per-link stats.
+    /// Idempotent — values are set, not accumulated — so it can be
+    /// called at any point (or repeatedly) during a run.
+    pub fn publish_metrics(&mut self) {
+        self.engine.publish_link_metrics();
+
+        let mut counters: Vec<(String, &'static str, u64)> = Vec::new();
+        let mut gauges: Vec<(String, &'static str, i64)> = Vec::new();
+        let mut hists: Vec<(String, &'static str, slingshot_sim::LogHistogram)> = Vec::new();
+
+        {
+            let scope = self.engine.node_name(self.switch).to_string();
+            let sw = self
+                .engine
+                .node::<SwitchNode>(self.switch)
+                .expect("switch node");
+            counters.push((scope.clone(), "forwarded_frames", sw.forwarded));
+            counters.push((scope.clone(), "dropped_frames", sw.dropped));
+            counters.push((
+                scope.clone(),
+                "cp_remaps_executed",
+                sw.cp_remap_latencies.len() as u64,
+            ));
+            counters.push((
+                scope.clone(),
+                "migrations_executed",
+                sw.mbox.migrations_executed,
+            ));
+            counters.push((scope.clone(), "dl_filtered", sw.mbox.dl_filtered));
+            counters.push((
+                scope.clone(),
+                "failures_reported",
+                sw.mbox.failures_reported,
+            ));
+            counters.push((scope.clone(), "ctl_packets", sw.mbox.ctl_packets));
+            counters.push((scope, "trace_overflow", sw.mbox.trace_overflow));
+        }
+
+        let phys = [
+            Some(self.primary_phy),
+            Some(self.secondary_phy),
+            self.spare_phy,
+        ];
+        for id in phys.into_iter().flatten() {
+            let scope = self.engine.node_name(id).to_string();
+            let Some(phy) = self.engine.node::<PhyNode>(id) else {
+                continue;
+            };
+            counters.push((scope.clone(), "busy_ns_total", phy.busy_ns_total));
+            counters.push((scope.clone(), "null_slots", phy.null_slots));
+            counters.push((scope.clone(), "work_slots", phy.work_slots));
+            counters.push((scope.clone(), "ul_tbs_decoded", phy.ul_tbs_decoded));
+            counters.push((scope.clone(), "ul_crc_failures", phy.ul_crc_failures));
+            counters.push((
+                scope.clone(),
+                "processed_ul_slots",
+                phy.processed_ul_slots.len() as u64,
+            ));
+            // The PHY's own FlexRAN-style abort on missing FAPI;
+            // external kills show up as node_killed trace events.
+            gauges.push((scope, "self_crashed", phy.crash_time.is_some() as i64));
+        }
+
+        let orions = [
+            Some(self.orion_primary),
+            Some(self.orion_secondary),
+            self.orion_spare,
+        ];
+        for id in orions.into_iter().flatten() {
+            let scope = self.engine.node_name(id).to_string();
+            let Some(o) = self.engine.node::<OrionPhyNode>(id) else {
+                continue;
+            };
+            counters.push((scope.clone(), "forwarded_to_phy", o.forwarded_to_phy));
+            counters.push((scope.clone(), "forwarded_to_l2", o.forwarded_to_l2));
+            counters.push((scope.clone(), "loss_nulls_injected", o.loss_nulls_injected));
+            counters.push((scope.clone(), "rx_bytes_from_l2", o.rx_bytes_from_l2));
+            hists.push((scope, "fwd_latency_ns", o.fwd_latency.clone()));
+        }
+
+        {
+            let scope = self.engine.node_name(self.orion_l2).to_string();
+            let ol2 = self
+                .engine
+                .node::<OrionL2Node>(self.orion_l2)
+                .expect("orion-l2 node");
+            counters.push((scope.clone(), "failovers", ol2.failovers));
+            counters.push((scope.clone(), "planned_migrations", ol2.planned_migrations));
+            counters.push((
+                scope.clone(),
+                "dropped_standby_msgs",
+                ol2.dropped_standby_msgs,
+            ));
+            counters.push((scope.clone(), "drained_late_msgs", ol2.drained_late_msgs));
+            counters.push((scope, "null_fapi_sent", ol2.null_fapi_sent));
+        }
+
+        let reg = self.engine.metrics_mut();
+        for (scope, name, v) in counters {
+            reg.set_counter(&scope, name, v);
+        }
+        for (scope, name, v) in gauges {
+            reg.set_gauge(&scope, name, v);
+        }
+        for (scope, name, h) in hists {
+            *reg.histogram_mut(&scope, name) = h;
+        }
     }
 
     /// SIGKILL the primary PHY at `at` (the §8 failover trigger).

@@ -21,17 +21,42 @@
 
 use slingshot_fronthaul::{peek_headers, Direction};
 use slingshot_netsim::{EtherType, Frame, MacAddr};
+use slingshot_sim::{Nanos, SlotId, TraceEventKind};
 use slingshot_switch::{
-    ExactTable, PipelineManifest, PktGenConfig, PortId, RegisterArray, SwitchAction,
-    SwitchProgram,
+    ExactTable, PipelineManifest, PktGenConfig, PortId, RegisterArray, SwitchAction, SwitchProgram,
 };
-use slingshot_sim::Nanos;
 
 use crate::ctl::{scalar_at_or_after, CtlPacket};
 
 /// Marker in the failure counter meaning "failure already reported";
 /// prevents repeated notifications until the PHY's packets reappear.
-const COUNTER_REPORTED: u64 = u64::MAX & 0xFF;
+const COUNTER_REPORTED: u64 = 0xFF;
+
+/// Cap on queued-but-undrained trace events. The hosting node drains
+/// after every `process`/`on_generator_tick` call, so the queue only
+/// grows when the middlebox is driven directly (unit tests, benches);
+/// the cap keeps those callers allocation-bounded.
+const PENDING_TRACE_CAP: usize = 1024;
+
+/// A trace event staged inside the switch program. `SwitchProgram`
+/// callbacks have no engine context, so events queue here and the
+/// hosting [`crate::SwitchNode`] drains them into the engine trace.
+#[derive(Debug, Clone, Copy)]
+pub struct PendingTraceEvent {
+    pub kind: TraceEventKind,
+    pub a: u64,
+    pub b: u64,
+    /// Slot carried by the triggering packet, if any (else the drain
+    /// site stamps the slot derived from the current time).
+    pub slot: Option<SlotId>,
+}
+
+/// Reconstruct a representative [`SlotId`] from an on-the-wire slot
+/// scalar (the 0..5120 value the switch matches on). The scalar only
+/// covers 256 frames, so the SFN is modulo 256 — fine for display.
+fn slot_from_scalar(scalar: u16) -> SlotId {
+    SlotId::from_absolute(scalar as u64)
+}
 
 /// The middlebox program state.
 pub struct FhMbox {
@@ -71,6 +96,16 @@ pub struct FhMbox {
     pub dl_filtered: u64,
     pub failures_reported: u64,
     pub ctl_packets: u64,
+    /// Trace events staged for the hosting node to drain (see
+    /// [`PendingTraceEvent`]).
+    pending_trace: Vec<PendingTraceEvent>,
+    /// Events discarded because `pending_trace` hit its cap (only
+    /// possible when nothing drains the queue).
+    pub trace_overflow: u64,
+    /// Per-PHY scalar of the last slot a `HeartbeatSeen` event was
+    /// traced for, +1 (0 = none): heartbeats are coalesced to one trace
+    /// event per (PHY, slot) to bound trace volume.
+    hb_traced: Vec<u32>,
 }
 
 impl FhMbox {
@@ -99,19 +134,41 @@ impl FhMbox {
             dl_filtered: 0,
             failures_reported: 0,
             ctl_packets: 0,
+            pending_trace: Vec::new(),
+            trace_overflow: 0,
+            hb_traced: vec![0; 256],
         }
+    }
+
+    fn stage_trace(&mut self, kind: TraceEventKind, a: u64, b: u64, slot: Option<SlotId>) {
+        if self.pending_trace.len() >= PENDING_TRACE_CAP {
+            self.trace_overflow += 1;
+            return;
+        }
+        self.pending_trace
+            .push(PendingTraceEvent { kind, a, b, slot });
+    }
+
+    /// Take all staged trace events (called by the hosting node after
+    /// every program callback).
+    pub fn drain_trace(&mut self) -> Vec<PendingTraceEvent> {
+        std::mem::take(&mut self.pending_trace)
     }
 
     /// Control-plane installation of an RU (at deployment time).
     pub fn install_ru(&mut self, ru_id: u8, mac: MacAddr, port: PortId, initial_phy: u8) {
-        self.id_directory.insert(mac.as_u64(), ru_id as u64).unwrap();
+        self.id_directory
+            .insert(mac.as_u64(), ru_id as u64)
+            .unwrap();
         self.port_table.insert(mac.as_u64(), port.0 as u64).unwrap();
         self.ru_to_phy.write(ru_id as usize, initial_phy as u64);
     }
 
     /// Control-plane installation of a PHY server.
     pub fn install_phy(&mut self, phy_id: u8, mac: MacAddr, port: PortId) {
-        self.phy_directory.insert(mac.as_u64(), phy_id as u64).unwrap();
+        self.phy_directory
+            .insert(mac.as_u64(), phy_id as u64)
+            .unwrap();
         self.address_directory
             .insert(phy_id as u64, mac.as_u64())
             .unwrap();
@@ -145,8 +202,15 @@ impl FhMbox {
     /// Used by the migration-path ablation; the real Slingshot path is
     /// the data-plane migration request store.
     pub fn control_plane_remap(&mut self, ru_id: u8, phy_id: u8) {
+        let old = self.ru_to_phy.read(ru_id as usize);
         self.ru_to_phy.write(ru_id as usize, phy_id as u64);
         self.migration_store.write(ru_id as usize, 0);
+        self.stage_trace(
+            TraceEventKind::MapFlip,
+            ru_id as u64,
+            (old << 16) | phy_id as u64,
+            None,
+        );
     }
 
     /// The currently active PHY for an RU.
@@ -175,9 +239,16 @@ impl FhMbox {
         let dest = ((req >> 16) & 0xFF) as u8;
         let boundary = (req & 0xFFFF) as u16;
         if scalar_at_or_after(slot_scalar, boundary) {
+            let old = self.ru_to_phy.read(ru_id as usize);
             self.ru_to_phy.write(ru_id as usize, dest as u64);
             self.migration_store.write(ru_id as usize, 0);
             self.migrations_executed += 1;
+            self.stage_trace(
+                TraceEventKind::MapFlip,
+                ru_id as u64,
+                (old << 16) | dest as u64,
+                Some(slot_from_scalar(slot_scalar)),
+            );
         }
     }
 
@@ -210,9 +281,14 @@ impl SwitchProgram for FhMbox {
                     slot_scalar,
                 }) = CtlPacket::from_bytes(&frame.payload)
                 {
-                    let packed =
-                        (1u64 << 24) | ((dest_phy_id as u64) << 16) | slot_scalar as u64;
+                    let packed = (1u64 << 24) | ((dest_phy_id as u64) << 16) | slot_scalar as u64;
                     self.migration_store.write(ru_id as usize, packed);
+                    self.stage_trace(
+                        TraceEventKind::MigrateArmed,
+                        ru_id as u64,
+                        ((dest_phy_id as u64) << 16) | slot_scalar as u64,
+                        Some(slot_from_scalar(slot_scalar)),
+                    );
                 }
                 vec![SwitchAction::Drop]
             }
@@ -239,12 +315,35 @@ impl SwitchProgram for FhMbox {
                     Direction::Downlink => {
                         // PHY → RU: reset the heartbeat counter, run the
                         // migration matcher, and filter inactive PHYs.
-                        let Some(phy_id) = self.phy_directory.lookup(frame.src.as_u64())
-                        else {
+                        let Some(phy_id) = self.phy_directory.lookup(frame.src.as_u64()) else {
                             return vec![SwitchAction::Drop];
                         };
                         self.fail_counters.write(phy_id as usize, 0);
+                        if self.fail_seen.read(phy_id as usize) == 0
+                            && self.fail_enrolled.read(phy_id as usize) == 1
+                        {
+                            // First heartbeat from an enrolled PHY arms
+                            // its detector.
+                            self.stage_trace(
+                                TraceEventKind::DetectorArmed,
+                                phy_id,
+                                0,
+                                Some(slot_from_scalar(hdr.slot_scalar())),
+                            );
+                        }
                         self.fail_seen.write(phy_id as usize, 1);
+                        // Heartbeats are the highest-volume event in the
+                        // system; trace at most one per (PHY, slot).
+                        let scalar = hdr.slot_scalar();
+                        if self.hb_traced[phy_id as usize] != scalar as u32 + 1 {
+                            self.hb_traced[phy_id as usize] = scalar as u32 + 1;
+                            self.stage_trace(
+                                TraceEventKind::HeartbeatSeen,
+                                phy_id,
+                                scalar as u64,
+                                Some(slot_from_scalar(scalar)),
+                            );
+                        }
                         {
                             let (last, max_gap) = &mut self.dl_gap_stats[phy_id as usize];
                             if last.0 > 0 {
@@ -255,8 +354,7 @@ impl SwitchProgram for FhMbox {
                             }
                             *last = now;
                         }
-                        let Some(ru_id) = self.id_directory.lookup(frame.dst.as_u64())
-                        else {
+                        let Some(ru_id) = self.id_directory.lookup(frame.dst.as_u64()) else {
                             return vec![SwitchAction::Drop];
                         };
                         let ru_id = ru_id as u8;
@@ -268,6 +366,12 @@ impl SwitchProgram for FhMbox {
                             // control-plane packets from a hot-standby
                             // secondary PHY").
                             self.dl_filtered += 1;
+                            self.stage_trace(
+                                TraceEventKind::DlFiltered,
+                                phy_id,
+                                hdr.slot_scalar() as u64,
+                                Some(slot_from_scalar(hdr.slot_scalar())),
+                            );
                             return vec![SwitchAction::Drop];
                         }
                         self.forward_by_table(frame)
@@ -293,20 +397,41 @@ impl SwitchProgram for FhMbox {
             let c = c + 1;
             if c >= n.min(COUNTER_REPORTED - 1) {
                 // Saturated: the timer packet is reformatted into a
-                // failure notification (§5.2.2).
+                // failure notification (§5.2.2). The trace event carries
+                // the last heartbeat's arrival time so detection latency
+                // (= now − last heartbeat, §5.2) is derivable from the
+                // trace alone.
                 self.fail_counters.write(phy, COUNTER_REPORTED);
                 self.failures_reported += 1;
+                let last_heartbeat = self.dl_gap_stats[phy].0;
+                self.stage_trace(
+                    TraceEventKind::DetectorSaturated,
+                    phy as u64,
+                    last_heartbeat.0,
+                    None,
+                );
                 let pkt = CtlPacket::FailureNotify { phy_id: phy as u8 };
-                for mac in self.notify_macs.clone() {
+                for (i, mac) in self.notify_macs.clone().into_iter().enumerate() {
                     let frame = Frame::new(
                         mac,
                         self.switch_mac,
                         EtherType::SlingshotCtl,
                         pkt.to_bytes(),
                     );
+                    self.stage_trace(
+                        TraceEventKind::FailureNotifySent,
+                        phy as u64,
+                        i as u64,
+                        None,
+                    );
                     out.extend(self.forward_by_table(frame));
                 }
             } else {
+                // One progress event per outage, at half saturation —
+                // tracing every 9 µs tick would flood the ring.
+                if c == n / 2 {
+                    self.stage_trace(TraceEventKind::DetectorTick, phy as u64, c, None);
+                }
                 self.fail_counters.write(phy, c);
             }
         }
@@ -406,7 +531,12 @@ mod tests {
         m.process(
             Nanos(0),
             PortId(4),
-            Frame::new(switch_mac, MacAddr::for_l2(0), EtherType::SlingshotCtl, cmd.to_bytes()),
+            Frame::new(
+                switch_mac,
+                MacAddr::for_l2(0),
+                EtherType::SlingshotCtl,
+                cmd.to_bytes(),
+            ),
         );
         // Slot 99: still the old PHY.
         let acts = m.process(Nanos(0), PortId(1), ul_frame(slot(99)));
@@ -443,7 +573,12 @@ mod tests {
         m.process(
             Nanos(0),
             PortId(4),
-            Frame::new(switch_mac, MacAddr::ZERO, EtherType::SlingshotCtl, cmd.to_bytes()),
+            Frame::new(
+                switch_mac,
+                MacAddr::ZERO,
+                EtherType::SlingshotCtl,
+                cmd.to_bytes(),
+            ),
         );
         // A downlink packet from the *new* PHY for slot 50 executes the
         // migration even before any uplink packet arrives.
@@ -464,7 +599,12 @@ mod tests {
         m.process(
             Nanos(0),
             PortId(4),
-            Frame::new(switch_mac, MacAddr::ZERO, EtherType::SlingshotCtl, cmd.to_bytes()),
+            Frame::new(
+                switch_mac,
+                MacAddr::ZERO,
+                EtherType::SlingshotCtl,
+                cmd.to_bytes(),
+            ),
         );
         // Slot scalar 5118 (= before the wrap) must NOT trigger.
         let acts = m.process(Nanos(0), PortId(1), ul_frame(slot(5118)));
@@ -553,7 +693,10 @@ mod tests {
             EtherType::Ipv4,
             Bytes::from_static(b"orion udp"),
         );
-        assert_eq!(fwd_port(&m.process(Nanos(0), PortId(2), f)), Some(PortId(4)));
+        assert_eq!(
+            fwd_port(&m.process(Nanos(0), PortId(2), f)),
+            Some(PortId(4))
+        );
     }
 
     #[test]

@@ -74,11 +74,7 @@ impl DualRuDeployment {
         let mut cell_cfgs = [cfg.cell.clone(), cfg.cell.clone()];
         cell_cfgs[1].cell_id = cfg.cell.cell_id + 1;
         let mut l2s = Vec::new();
-        for (ru_id, (cell, ue_cfgs)) in cell_cfgs
-            .iter()
-            .zip([&ues_cell0, &ues_cell1])
-            .enumerate()
-        {
+        for (ru_id, (cell, ue_cfgs)) in cell_cfgs.iter().zip([&ues_cell0, &ues_cell1]).enumerate() {
             let mut l2n = L2Node::new(cell.clone(), clock, ru_id as u8);
             for u in ue_cfgs {
                 if u.preattached {
@@ -108,7 +104,10 @@ impl DualRuDeployment {
         let mut ue_ids: [Vec<NodeId>; 2] = [Vec::new(), Vec::new()];
         for (ru_id, ue_cfgs) in [&ues_cell0, &ues_cell1].into_iter().enumerate() {
             let run = RuNode::new(ru_id as u8, clock);
-            rus.push((engine.add_node(&format!("ru{ru_id}"), Box::new(run)), MacAddr::for_ru(ru_id as u8)));
+            rus.push((
+                engine.add_node(&format!("ru{ru_id}"), Box::new(run)),
+                MacAddr::for_ru(ru_id as u8),
+            ));
             for u in ue_cfgs {
                 let name = u.name.clone();
                 let node = UeNode::new(u.clone(), cell_cfgs[ru_id].clone(), clock, rng.fork(&name));
@@ -117,10 +116,8 @@ impl DualRuDeployment {
         }
 
         // Switch: notify both L2-side Orions on failures.
-        let mut mbox = FhMbox::with_notify_targets(
-            cfg.detector,
-            vec![orion_l2_mac(0), orion_l2_mac(1)],
-        );
+        let mut mbox =
+            FhMbox::with_notify_targets(cfg.detector, vec![orion_l2_mac(0), orion_l2_mac(1)]);
         mbox.install_ru(0, rus[0].1, PortId(1), PHY1);
         mbox.install_ru(1, rus[1].1, PortId(6), PHY2);
         mbox.install_phy(PHY1, MacAddr::for_phy(PHY1), PortId(2));
@@ -155,10 +152,22 @@ impl DualRuDeployment {
                 c.route_ue(u.rnti, l2s[1]);
             }
         }
-        engine.node_mut::<L2Node>(l2s[0]).unwrap().wire(orion_l2_0, core);
-        engine.node_mut::<L2Node>(l2s[1]).unwrap().wire(orion_l2_1, core);
-        engine.node_mut::<PhyNode>(phy1).unwrap().wire(switch, orion_phy1);
-        engine.node_mut::<PhyNode>(phy2).unwrap().wire(switch, orion_phy2);
+        engine
+            .node_mut::<L2Node>(l2s[0])
+            .unwrap()
+            .wire(orion_l2_0, core);
+        engine
+            .node_mut::<L2Node>(l2s[1])
+            .unwrap()
+            .wire(orion_l2_1, core);
+        engine
+            .node_mut::<PhyNode>(phy1)
+            .unwrap()
+            .wire(switch, orion_phy1);
+        engine
+            .node_mut::<PhyNode>(phy2)
+            .unwrap()
+            .wire(switch, orion_phy2);
         for op in [orion_phy1, orion_phy2] {
             let o = engine.node_mut::<OrionPhyNode>(op).unwrap();
             o.wire(switch, if op == orion_phy1 { phy1 } else { phy2 });
@@ -181,7 +190,10 @@ impl DualRuDeployment {
                 .unwrap()
                 .wire(switch, ue_ids[ru_id].clone());
             for ue in &ue_ids[ru_id] {
-                engine.node_mut::<UeNode>(*ue).unwrap().wire(*ru, l2s[ru_id]);
+                engine
+                    .node_mut::<UeNode>(*ue)
+                    .unwrap()
+                    .wire(*ru, l2s[ru_id]);
             }
         }
 

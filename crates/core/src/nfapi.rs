@@ -34,14 +34,25 @@ pub enum AssocState {
 /// Wire chunks of the model.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Chunk {
-    Init { tag: u32 },
-    InitAck { tag: u32 },
-    CookieEcho { tag: u32 },
+    Init {
+        tag: u32,
+    },
+    InitAck {
+        tag: u32,
+    },
+    CookieEcho {
+        tag: u32,
+    },
     CookieAck,
     /// Sequenced data (a FAPI message body).
-    Data { tsn: u64, payload_len: u32 },
+    Data {
+        tsn: u64,
+        payload_len: u32,
+    },
     /// Cumulative acknowledgment.
-    Sack { cum_tsn: u64 },
+    Sack {
+        cum_tsn: u64,
+    },
     Abort,
 }
 
@@ -284,7 +295,10 @@ mod tests {
         // The PHY endpoint migrates: the old association is gone.
         l2.reset();
         assert_eq!(l2.state, AssocState::Closed);
-        assert!(l2.send_data(Nanos(1), 64).is_none(), "no data until re-handshake");
+        assert!(
+            l2.send_data(Nanos(1), 64).is_none(),
+            "no data until re-handshake"
+        );
         // Re-establish with the new PHY endpoint.
         let mut new_phy = SctpLikeEndpoint::new(3);
         establish(&mut l2, &mut new_phy);
@@ -293,6 +307,9 @@ mod tests {
 
     #[test]
     fn handshake_time_is_two_rtts() {
-        assert_eq!(handshake_time(Nanos::from_micros(50)), Nanos::from_micros(200));
+        assert_eq!(
+            handshake_time(Nanos::from_micros(50)),
+            Nanos::from_micros(200)
+        );
     }
 }

@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use slingshot_fapi::{self as fapi, FapiMsg};
 use slingshot_netsim::{EtherType, Frame, MacAddr};
 use slingshot_ran::{CtlMsg, Msg};
-use slingshot_sim::{Ctx, Nanos, Node, NodeId, SlotClock, SlotId};
+use slingshot_sim::{Ctx, Nanos, Node, NodeId, SlotClock, SlotId, TraceEventKind};
 
 use crate::ctl::CtlPacket;
 
@@ -88,8 +88,11 @@ pub struct OrionPhyNode {
     /// null requests so the PHY never starves. (BTreeMap: iterated in
     /// an event-emitting path, so the order must be deterministic.)
     ru_last_slot: BTreeMap<u8, (bool, u64)>,
-    /// Latency samples: (enqueue→deliver) for L2→PHY requests.
-    pub fwd_latency: slingshot_sim::Sampler,
+    /// Latency histogram: (enqueue→deliver) for L2→PHY requests. A
+    /// log-bucketed histogram, not a raw sampler — this path records
+    /// one entry per FAPI message and would otherwise grow with the
+    /// run length.
+    pub fwd_latency: slingshot_sim::LogHistogram,
     pub forwarded_to_phy: u64,
     pub forwarded_to_l2: u64,
     /// Null requests synthesized to cover lost datagrams (§6.1).
@@ -112,7 +115,7 @@ impl OrionPhyNode {
             cost: OrionCost::default(),
             state: CostState::default(),
             ru_last_slot: BTreeMap::new(),
-            fwd_latency: slingshot_sim::Sampler::new(),
+            fwd_latency: slingshot_sim::LogHistogram::new(),
             forwarded_to_phy: 0,
             forwarded_to_l2: 0,
             loss_nulls_injected: 0,
@@ -247,16 +250,16 @@ impl Node<Msg> for OrionPhyNode {
                                 ctx.send_in(
                                     phy,
                                     Nanos(500),
-                                    Msg::FapiShm(FapiMsg::UlTti(
-                                        fapi::UlTtiRequest::null(r.ru_id, slot),
-                                    )),
+                                    Msg::FapiShm(FapiMsg::UlTti(fapi::UlTtiRequest::null(
+                                        r.ru_id, slot,
+                                    ))),
                                 );
                                 ctx.send_in(
                                     phy,
                                     Nanos(500),
-                                    Msg::FapiShm(FapiMsg::DlTti(
-                                        fapi::DlTtiRequest::null(r.ru_id, slot),
-                                    )),
+                                    Msg::FapiShm(FapiMsg::DlTti(fapi::DlTtiRequest::null(
+                                        r.ru_id, slot,
+                                    ))),
                                 );
                             }
                         }
@@ -461,7 +464,11 @@ impl OrionL2Node {
                 let abs = self.abs_of(ctx.now(), req.slot);
                 let b = self.bindings.get(&ru_id).expect("binding");
                 let owner = Self::owner_of(b, abs);
-                let other = if owner == b.primary { b.secondary } else { Some(b.primary) };
+                let other = if owner == b.primary {
+                    b.secondary
+                } else {
+                    Some(b.primary)
+                };
                 self.send_udp(ctx, self.orion_mac_of(owner), &msg);
                 if let Some(o) = other {
                     if self.duplicate_standby {
@@ -469,6 +476,7 @@ impl OrionL2Node {
                     } else {
                         let null = FapiMsg::UlTti(fapi::UlTtiRequest::null(ru_id, req.slot));
                         self.null_fapi_sent += 1;
+                        ctx.trace(TraceEventKind::NullFapiSent, ru_id as u64, abs);
                         self.send_udp(ctx, self.orion_mac_of(o), &null);
                     }
                 }
@@ -477,7 +485,11 @@ impl OrionL2Node {
                 let abs = self.abs_of(ctx.now(), req.slot);
                 let b = self.bindings.get(&ru_id).expect("binding");
                 let owner = Self::owner_of(b, abs);
-                let other = if owner == b.primary { b.secondary } else { Some(b.primary) };
+                let other = if owner == b.primary {
+                    b.secondary
+                } else {
+                    Some(b.primary)
+                };
                 self.send_udp(ctx, self.orion_mac_of(owner), &msg);
                 if let Some(o) = other {
                     if self.duplicate_standby {
@@ -485,6 +497,7 @@ impl OrionL2Node {
                     } else {
                         let null = FapiMsg::DlTti(fapi::DlTtiRequest::null(ru_id, req.slot));
                         self.null_fapi_sent += 1;
+                        ctx.trace(TraceEventKind::NullFapiSent, ru_id as u64, abs);
                         self.send_udp(ctx, self.orion_mac_of(o), &null);
                     }
                 }
@@ -493,7 +506,11 @@ impl OrionL2Node {
                 let abs = self.abs_of(ctx.now(), req.slot);
                 let b = self.bindings.get(&ru_id).expect("binding");
                 let owner = Self::owner_of(b, abs);
-                let other = if owner == b.primary { b.secondary } else { Some(b.primary) };
+                let other = if owner == b.primary {
+                    b.secondary
+                } else {
+                    Some(b.primary)
+                };
                 self.send_udp(ctx, self.orion_mac_of(owner), &msg);
                 if self.duplicate_standby {
                     if let Some(o) = other {
@@ -522,15 +539,16 @@ impl OrionL2Node {
         let Some(src_phy) = src_phy else {
             return;
         };
-        let accept = match msg.slot() {
-            Some(slot) => {
-                let abs = self.abs_of(ctx.now(), slot);
+        let slot_abs = msg.slot().map(|s| self.abs_of(ctx.now(), s));
+        let accept = match slot_abs {
+            Some(abs) => {
                 let owner = Self::owner_of(b, abs);
                 if owner == src_phy {
                     // Late result from the old primary for a
                     // pre-boundary slot?
                     if b.migrate_at.is_some_and(|m| abs < m) && src_phy == b.primary {
                         self.drained_late_msgs += 1;
+                        ctx.trace(TraceEventKind::PipelinedSlotDrained, src_phy as u64, abs);
                     }
                     true
                 } else {
@@ -547,6 +565,11 @@ impl OrionL2Node {
             }
         } else {
             self.dropped_standby_msgs += 1;
+            ctx.trace(
+                TraceEventKind::DupResponseDropped,
+                src_phy as u64,
+                slot_abs.unwrap_or(0),
+            );
         }
     }
 
@@ -635,11 +658,7 @@ impl OrionL2Node {
                     let started = b.started;
                     self.send_udp(ctx, self.orion_mac_of(new_sec), &FapiMsg::Config(cfg));
                     if started {
-                        self.send_udp(
-                            ctx,
-                            self.orion_mac_of(new_sec),
-                            &FapiMsg::Start { ru_id },
-                        );
+                        self.send_udp(ctx, self.orion_mac_of(new_sec), &FapiMsg::Start { ru_id });
                     }
                 }
             }
@@ -684,6 +703,7 @@ impl Node<Msg> for OrionL2Node {
                         {
                             let now = ctx.now();
                             self.last_failure_notified = Some(now);
+                            ctx.trace(TraceEventKind::FailureNotifyReceived, phy_id as u64, 0);
                             self.events
                                 .push((now, format!("failure notification: phy{phy_id}")));
                             // Failover every RU whose primary died: the

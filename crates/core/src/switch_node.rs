@@ -113,6 +113,17 @@ impl SwitchNode {
         self.pktgen_enabled = enabled;
     }
 
+    /// Move trace events staged inside the switch program into the
+    /// engine's event trace, preserving packet-carried slot identities.
+    fn drain_mbox_trace(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        for ev in self.mbox.drain_trace() {
+            match ev.slot {
+                Some(slot) => ctx.trace_at_slot(ev.kind, slot, ev.a, ev.b),
+                None => ctx.trace(ev.kind, ev.a, ev.b),
+            }
+        }
+    }
+
     fn apply_actions(&mut self, ctx: &mut Ctx<'_, Msg>, actions: Vec<SwitchAction>) {
         for action in actions {
             match action {
@@ -148,13 +159,17 @@ impl Node<Msg> for SwitchNode {
         match token {
             TIMER_PKTGEN => {
                 let actions = self.mbox.on_generator_tick(ctx.now());
+                self.drain_mbox_trace(ctx);
                 self.apply_actions(ctx, actions);
                 // Drive any pending control-plane remap: draw its rule-
                 // update latency once and schedule the apply.
                 if let Some((ru, phy)) = self.cp_pending.pop_front() {
                     let latency = self.cp_model.update_latency();
                     self.cp_remap_latencies.push(latency);
-                    ctx.timer(latency, TIMER_CP_REMAP + ((ru as u64) << 16) + ((phy as u64) << 32));
+                    ctx.timer(
+                        latency,
+                        TIMER_CP_REMAP + ((ru as u64) << 16) + ((phy as u64) << 32),
+                    );
                 }
                 ctx.timer(self.mbox.detector.tick_interval(), TIMER_PKTGEN);
             }
@@ -162,6 +177,7 @@ impl Node<Msg> for SwitchNode {
                 let ru = ((t >> 16) & 0xFF) as u8;
                 let phy = ((t >> 32) & 0xFF) as u8;
                 self.mbox.control_plane_remap(ru, phy);
+                self.drain_mbox_trace(ctx);
             }
             _ => {}
         }
@@ -177,6 +193,7 @@ impl Node<Msg> for SwitchNode {
             .map(|(p, _)| *p)
             .unwrap_or(PortId::CPU);
         let actions = self.mbox.process(ctx.now(), ingress, frame);
+        self.drain_mbox_trace(ctx);
         self.apply_actions(ctx, actions);
     }
 }

@@ -4,7 +4,8 @@
 
 use slingshot::{Deployment, DeploymentConfig, OrionL2Node, SwitchNode, SECONDARY_PHY_ID};
 use slingshot_ran::{CellConfig, Fidelity, PhyNode, RuNode, UeConfig, UeNode, UeState};
-use slingshot_sim::{Nanos, Sampler};
+use slingshot_sim::trace::{delivered_ul_slots, detections, dropped_ttis};
+use slingshot_sim::{Nanos, Sampler, TraceEventKind};
 use slingshot_transport::{UdpCbrSource, UdpSink};
 
 fn cfg(seed: u64) -> DeploymentConfig {
@@ -49,7 +50,11 @@ fn steady_state_traffic_flows_through_slingshot() {
     assert!(sink.loss_rate() < 0.15, "loss={}", sink.loss_rate());
     // The secondary is alive on null FAPIs, its downlink filtered.
     let sw = d.engine.node::<SwitchNode>(d.switch).unwrap();
-    assert!(sw.mbox.dl_filtered > 1000, "filtered={}", sw.mbox.dl_filtered);
+    assert!(
+        sw.mbox.dl_filtered > 1000,
+        "filtered={}",
+        sw.mbox.dl_filtered
+    );
     let sec = d.engine.node::<PhyNode>(d.secondary_phy).unwrap();
     assert!(sec.crash_time.is_none(), "standby must stay alive");
     let orion = d.engine.node::<OrionL2Node>(d.orion_l2).unwrap();
@@ -92,7 +97,10 @@ fn failover_keeps_ue_connected_and_traffic_flowing() {
     let mbps = sink.bins.mbps();
     let post: &[f64] = &mbps[60..min_idx(&mbps, 150)];
     let post_avg: f64 = post.iter().sum::<f64>() / post.len() as f64;
-    assert!((3.0..5.0).contains(&post_avg), "post-failover avg={post_avg}");
+    assert!(
+        (3.0..5.0).contains(&post_avg),
+        "post-failover avg={post_avg}"
+    );
     // Availability target: at most one zero 10 ms bin around failover.
     let zeros = sink
         .bins
@@ -191,6 +199,53 @@ fn ru_stays_lit_through_failover() {
     assert!(ru.slots_dark < 10, "dark slots = {}", ru.slots_dark);
 }
 
+/// The paper's two headline §8.2 numbers, derived from the event trace
+/// alone — not from ad-hoc counters: detection latency (detector
+/// saturation − last heartbeat) ≤ 450 µs, and ≤ 3 dropped uplink TTIs
+/// (gaps in the trace's delivered-slot sequence).
+#[test]
+fn trace_derives_detection_latency_and_dropped_ttis() {
+    let mut d = deployment_with_ul_flow(6);
+    let kill_at = Nanos::from_millis(500);
+    d.kill_primary_at(kill_at);
+    d.engine.run_until(Nanos::from_millis(1500));
+
+    let trace = d.engine.event_trace();
+
+    // Detection latency from the trace: the detector saturates at most
+    // T = 450 µs after the last heartbeat it saw (n ticks of T/n each,
+    // minus the sub-tick phase of the heartbeat's arrival).
+    let dets = detections(trace.iter());
+    assert_eq!(dets.len(), 1, "exactly one detection in the trace");
+    let det = &dets[0];
+    assert_eq!(det.phy, slingshot::PRIMARY_PHY_ID as u64);
+    assert!(det.at > kill_at, "saturation after the kill");
+    assert!(
+        det.latency() <= Nanos(450_000),
+        "detection latency {} ns exceeds the 450 µs detector timeout",
+        det.latency().0
+    );
+
+    // Dropped TTIs from the trace: UlSlotProcessed events, deduped
+    // across both PHYs, must have at most 3 holes in the stride-5
+    // (DDDSU) sequence.
+    let delivered = delivered_ul_slots(trace.iter());
+    assert!(delivered.len() > 100, "delivered {} slots", delivered.len());
+    let dropped = dropped_ttis(&delivered, 5);
+    assert!(
+        dropped <= 3,
+        "trace shows {dropped} dropped TTIs (paper: ≤ 3)"
+    );
+
+    // The full failover lifecycle appears in causal order.
+    let at_of = |kind: TraceEventKind| trace.of_kind(kind).next().map(|e| e.at);
+    let saturated = at_of(TraceEventKind::DetectorSaturated).expect("saturation");
+    let notified_rx = at_of(TraceEventKind::FailureNotifyReceived).expect("notify");
+    let armed = at_of(TraceEventKind::MigrateArmed).expect("migrate armed");
+    let flip = at_of(TraceEventKind::MapFlip).expect("map flip");
+    assert!(saturated <= notified_rx && notified_rx <= armed && armed <= flip);
+}
+
 #[test]
 fn deterministic_failover_runs() {
     let run = |seed| {
@@ -278,8 +333,11 @@ fn fronthaul_one_way_stays_within_budget() {
         .expect("captured frames");
     let ser_ru_leg = Nanos((max_frame as u64 * 8 * 1_000_000_000) / 25_000_000_000);
     let ser_phy_leg = Nanos((max_frame as u64 * 8 * 1_000_000_000) / 100_000_000_000);
-    let one_way = Nanos(20_000) + ser_ru_leg + slingshot_switch::PIPELINE_LATENCY
-        + Nanos(2_000) + ser_phy_leg;
+    let one_way = Nanos(20_000)
+        + ser_ru_leg
+        + slingshot_switch::PIPELINE_LATENCY
+        + Nanos(2_000)
+        + ser_phy_leg;
     assert!(
         one_way < Nanos::from_micros(100),
         "one-way fronthaul {} exceeds the 100 µs budget (frame {max_frame} B)",

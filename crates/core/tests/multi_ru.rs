@@ -74,10 +74,7 @@ fn one_phy_crash_fails_over_one_cell_without_disturbing_the_other() {
     d.engine.run_until(Nanos::from_millis(2000));
 
     // Cell 0 failed over to PHY 2 and stayed connected.
-    let orion0 = d
-        .engine
-        .node::<OrionL2Node>(d.cells[0].orion_l2)
-        .unwrap();
+    let orion0 = d.engine.node::<OrionL2Node>(d.cells[0].orion_l2).unwrap();
     assert_eq!(orion0.failovers, 1);
     let ue0 = d.engine.node::<UeNode>(d.cells[0].ues[0]).unwrap();
     assert_eq!(ue0.rlf_count, 0);
@@ -85,10 +82,7 @@ fn one_phy_crash_fails_over_one_cell_without_disturbing_the_other() {
 
     // Cell 1 (already on PHY 2) was never disturbed; it lost only its
     // standby.
-    let orion1 = d
-        .engine
-        .node::<OrionL2Node>(d.cells[1].orion_l2)
-        .unwrap();
+    let orion1 = d.engine.node::<OrionL2Node>(d.cells[1].orion_l2).unwrap();
     assert_eq!(orion1.failovers, 0, "cell1 must not fail over");
     let ue1 = d.engine.node::<UeNode>(d.cells[1].ues[0]).unwrap();
     assert_eq!(ue1.rlf_count, 0);

@@ -71,6 +71,8 @@ fn get_bytes(buf: &mut impl Buf) -> Option<Bytes> {
     Some(buf.copy_to_bytes(len))
 }
 
+// One parameter per wire field, in wire order.
+#[allow(clippy::too_many_arguments)]
 fn put_sched_pdu(
     buf: &mut Vec<u8>,
     rnti: u16,
@@ -141,7 +143,14 @@ pub fn encode(msg: &FapiMsg) -> Bytes {
             buf.put_u16(m.pdsch.len() as u16);
             for p in &m.pdsch {
                 put_sched_pdu(
-                    &mut buf, p.rnti, p.harq_id, p.ndi, p.rv, p.mcs, p.start_prb, p.num_prb,
+                    &mut buf,
+                    p.rnti,
+                    p.harq_id,
+                    p.ndi,
+                    p.rv,
+                    p.mcs,
+                    p.start_prb,
+                    p.num_prb,
                     p.tb_bytes,
                 );
             }
@@ -153,7 +162,14 @@ pub fn encode(msg: &FapiMsg) -> Bytes {
             buf.put_u16(m.pusch.len() as u16);
             for p in &m.pusch {
                 put_sched_pdu(
-                    &mut buf, p.rnti, p.harq_id, p.ndi, p.rv, p.mcs, p.start_prb, p.num_prb,
+                    &mut buf,
+                    p.rnti,
+                    p.harq_id,
+                    p.ndi,
+                    p.rv,
+                    p.mcs,
+                    p.start_prb,
+                    p.num_prb,
                     p.tb_bytes,
                 );
             }
@@ -388,7 +404,10 @@ mod tests {
             }),
             FapiMsg::Start { ru_id: 3 },
             FapiMsg::Stop { ru_id: 3 },
-            FapiMsg::SlotInd(SlotIndication { ru_id: 3, slot: slot() }),
+            FapiMsg::SlotInd(SlotIndication {
+                ru_id: 3,
+                slot: slot(),
+            }),
             FapiMsg::DlTti(DlTtiRequest {
                 ru_id: 3,
                 slot: slot(),
@@ -516,7 +535,10 @@ mod tests {
     fn slot_and_ru_accessors() {
         for msg in all_messages() {
             assert_eq!(msg.ru_id(), 3);
-            if !matches!(msg, FapiMsg::Config(_) | FapiMsg::Start { .. } | FapiMsg::Stop { .. }) {
+            if !matches!(
+                msg,
+                FapiMsg::Config(_) | FapiMsg::Start { .. } | FapiMsg::Stop { .. }
+            ) {
                 assert_eq!(msg.slot(), Some(slot()));
             }
         }

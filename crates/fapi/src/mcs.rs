@@ -28,26 +28,106 @@ impl McsRow {
 
 /// The MCS table (a representative subset of 38.214's 256-QAM table).
 pub const MCS_TABLE: [McsRow; 20] = [
-    McsRow { index: 0, modulation: Modulation::Qpsk, rate_x1024: 120 },
-    McsRow { index: 1, modulation: Modulation::Qpsk, rate_x1024: 193 },
-    McsRow { index: 2, modulation: Modulation::Qpsk, rate_x1024: 308 },
-    McsRow { index: 3, modulation: Modulation::Qpsk, rate_x1024: 449 },
-    McsRow { index: 4, modulation: Modulation::Qpsk, rate_x1024: 602 },
-    McsRow { index: 5, modulation: Modulation::Qam16, rate_x1024: 378 },
-    McsRow { index: 6, modulation: Modulation::Qam16, rate_x1024: 434 },
-    McsRow { index: 7, modulation: Modulation::Qam16, rate_x1024: 490 },
-    McsRow { index: 8, modulation: Modulation::Qam16, rate_x1024: 553 },
-    McsRow { index: 9, modulation: Modulation::Qam16, rate_x1024: 616 },
-    McsRow { index: 10, modulation: Modulation::Qam16, rate_x1024: 658 },
-    McsRow { index: 11, modulation: Modulation::Qam64, rate_x1024: 466 },
-    McsRow { index: 12, modulation: Modulation::Qam64, rate_x1024: 517 },
-    McsRow { index: 13, modulation: Modulation::Qam64, rate_x1024: 567 },
-    McsRow { index: 14, modulation: Modulation::Qam64, rate_x1024: 616 },
-    McsRow { index: 15, modulation: Modulation::Qam64, rate_x1024: 666 },
-    McsRow { index: 16, modulation: Modulation::Qam64, rate_x1024: 719 },
-    McsRow { index: 17, modulation: Modulation::Qam256, rate_x1024: 682 },
-    McsRow { index: 18, modulation: Modulation::Qam256, rate_x1024: 754 },
-    McsRow { index: 19, modulation: Modulation::Qam256, rate_x1024: 822 },
+    McsRow {
+        index: 0,
+        modulation: Modulation::Qpsk,
+        rate_x1024: 120,
+    },
+    McsRow {
+        index: 1,
+        modulation: Modulation::Qpsk,
+        rate_x1024: 193,
+    },
+    McsRow {
+        index: 2,
+        modulation: Modulation::Qpsk,
+        rate_x1024: 308,
+    },
+    McsRow {
+        index: 3,
+        modulation: Modulation::Qpsk,
+        rate_x1024: 449,
+    },
+    McsRow {
+        index: 4,
+        modulation: Modulation::Qpsk,
+        rate_x1024: 602,
+    },
+    McsRow {
+        index: 5,
+        modulation: Modulation::Qam16,
+        rate_x1024: 378,
+    },
+    McsRow {
+        index: 6,
+        modulation: Modulation::Qam16,
+        rate_x1024: 434,
+    },
+    McsRow {
+        index: 7,
+        modulation: Modulation::Qam16,
+        rate_x1024: 490,
+    },
+    McsRow {
+        index: 8,
+        modulation: Modulation::Qam16,
+        rate_x1024: 553,
+    },
+    McsRow {
+        index: 9,
+        modulation: Modulation::Qam16,
+        rate_x1024: 616,
+    },
+    McsRow {
+        index: 10,
+        modulation: Modulation::Qam16,
+        rate_x1024: 658,
+    },
+    McsRow {
+        index: 11,
+        modulation: Modulation::Qam64,
+        rate_x1024: 466,
+    },
+    McsRow {
+        index: 12,
+        modulation: Modulation::Qam64,
+        rate_x1024: 517,
+    },
+    McsRow {
+        index: 13,
+        modulation: Modulation::Qam64,
+        rate_x1024: 567,
+    },
+    McsRow {
+        index: 14,
+        modulation: Modulation::Qam64,
+        rate_x1024: 616,
+    },
+    McsRow {
+        index: 15,
+        modulation: Modulation::Qam64,
+        rate_x1024: 666,
+    },
+    McsRow {
+        index: 16,
+        modulation: Modulation::Qam64,
+        rate_x1024: 719,
+    },
+    McsRow {
+        index: 17,
+        modulation: Modulation::Qam256,
+        rate_x1024: 682,
+    },
+    McsRow {
+        index: 18,
+        modulation: Modulation::Qam256,
+        rate_x1024: 754,
+    },
+    McsRow {
+        index: 19,
+        modulation: Modulation::Qam256,
+        rate_x1024: 822,
+    },
 ];
 
 /// Look up an MCS row; indices past the table clamp to the top entry.
@@ -130,7 +210,10 @@ mod tests {
     fn tbs_scales_with_allocation() {
         let small = tbs_bytes(5, 10, 12);
         let big = tbs_bytes(5, 100, 12);
-        assert!(big > 9 * small && big < 11 * small, "small={small} big={big}");
+        assert!(
+            big > 9 * small && big < 11 * small,
+            "small={small} big={big}"
+        );
         assert!(tbs_bytes(19, 10, 12) > tbs_bytes(0, 10, 12));
     }
 

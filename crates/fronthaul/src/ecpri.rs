@@ -258,14 +258,39 @@ mod tests {
 
     #[test]
     fn slot_scalar_ordering_and_wrap() {
-        let a = FhHeader { frame: 0, subframe: 0, slot: 0, ..hdr() };
-        let b = FhHeader { frame: 0, subframe: 0, slot: 1, ..hdr() };
-        let c = FhHeader { frame: 0, subframe: 1, slot: 0, ..hdr() };
-        let d = FhHeader { frame: 1, subframe: 0, slot: 0, ..hdr() };
+        let a = FhHeader {
+            frame: 0,
+            subframe: 0,
+            slot: 0,
+            ..hdr()
+        };
+        let b = FhHeader {
+            frame: 0,
+            subframe: 0,
+            slot: 1,
+            ..hdr()
+        };
+        let c = FhHeader {
+            frame: 0,
+            subframe: 1,
+            slot: 0,
+            ..hdr()
+        };
+        let d = FhHeader {
+            frame: 1,
+            subframe: 0,
+            slot: 0,
+            ..hdr()
+        };
         assert!(a.slot_scalar() < b.slot_scalar());
         assert!(b.slot_scalar() < c.slot_scalar());
         assert!(c.slot_scalar() < d.slot_scalar());
-        let max = FhHeader { frame: 255, subframe: 9, slot: 1, ..hdr() };
+        let max = FhHeader {
+            frame: 255,
+            subframe: 9,
+            slot: 1,
+            ..hdr()
+        };
         assert_eq!(max.slot_scalar(), 256 * 20 - 1);
     }
 }

@@ -8,7 +8,9 @@
 use bytes::{Buf, BufMut, Bytes};
 
 use crate::ecpri::{Direction, EcpriHeader, EcpriMsgType, FhHeader};
-use slingshot_phy_dsp::iq::{bfp_compress, bfp_decompress, bfp_from_bytes, bfp_to_bytes, BfpPrb, SC_PER_PRB};
+use slingshot_phy_dsp::iq::{
+    bfp_compress, bfp_decompress, bfp_from_bytes, bfp_to_bytes, BfpPrb, SC_PER_PRB,
+};
 use slingshot_phy_dsp::Cplx;
 use slingshot_sim::SlotId;
 
@@ -337,7 +339,7 @@ pub fn fh_header(direction: Direction, slot: SlotId, symbol: u8, ru_port: u8) ->
 
 /// Compress a symbol's worth of samples (multiple of 12) into PRBs.
 pub fn compress_symbol(samples: &[Cplx]) -> Vec<BfpPrb> {
-    assert!(samples.len() % SC_PER_PRB == 0);
+    assert!(samples.len().is_multiple_of(SC_PER_PRB));
     samples
         .chunks(SC_PER_PRB)
         .map(|c| {

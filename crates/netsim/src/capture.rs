@@ -92,7 +92,12 @@ mod tests {
     use bytes::Bytes;
 
     fn frame(src: MacAddr, len: usize) -> Frame {
-        Frame::new(MacAddr::for_phy(0), src, EtherType::Ecpri, Bytes::from(vec![0; len]))
+        Frame::new(
+            MacAddr::for_phy(0),
+            src,
+            EtherType::Ecpri,
+            Bytes::from(vec![0; len]),
+        )
     }
 
     #[test]

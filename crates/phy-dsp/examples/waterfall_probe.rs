@@ -15,11 +15,23 @@ fn main() {
             let trials = 60;
             let mut fails = 0;
             for _ in 0..trials {
-                let p = TbParams { modulation: Modulation::Qpsk, e_bits, rnti: 1, cell_id: 1, rv: 0, fec_iterations: iters };
+                let p = TbParams {
+                    modulation: Modulation::Qpsk,
+                    e_bits,
+                    rnti: 1,
+                    cell_id: 1,
+                    rv: 0,
+                    fec_iterations: iters,
+                };
                 let syms = encode_tb(&payload, &p);
                 let (rx, nv) = ch.apply(&syms, snr);
                 let mut acc = vec![0.0; mother_buffer_len(payload.len())];
-                if decode_tb(&mut acc, &rx, nv, payload.len(), &p).payload.is_none() { fails += 1; }
+                if decode_tb(&mut acc, &rx, nv, payload.len(), &p)
+                    .payload
+                    .is_none()
+                {
+                    fails += 1;
+                }
             }
             print!("{snr:+.1}:{:.2} ", fails as f64 / trials as f64);
         }

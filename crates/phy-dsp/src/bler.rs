@@ -156,7 +156,7 @@ mod tests {
         let cases = [
             (Modulation::Qpsk, 2usize, 2048usize, 8usize), // rate 0.5
             (Modulation::Qam64, 6, 1536, 8),               // rate 2/3
-            (Modulation::Qam256, 8, 2048, 8),               // rate 0.5
+            (Modulation::Qam256, 8, 2048, 8),              // rate 0.5
         ];
         for (m, bps, e_raw, iters) in cases {
             let e = e_raw - e_raw % bps;
@@ -166,9 +166,7 @@ mod tests {
             let mut fails_low = 0;
             let mut fails_high = 0;
             for _ in 0..trials {
-                for (snr, fails) in
-                    [(th - 3.0, &mut fails_low), (th + 3.0, &mut fails_high)]
-                {
+                for (snr, fails) in [(th - 3.0, &mut fails_low), (th + 3.0, &mut fails_high)] {
                     let p = TbParams {
                         modulation: m,
                         e_bits: e,

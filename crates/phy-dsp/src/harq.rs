@@ -45,13 +45,7 @@ impl HarqPool {
     /// Begin or continue a HARQ series. If `ndi` differs from the stored
     /// buffer's (or no buffer exists), the buffer is reset for a new
     /// transport block of `n` mother-codeword bits. Returns the buffer.
-    pub fn buffer_for(
-        &mut self,
-        rnti: u16,
-        harq_id: u8,
-        ndi: bool,
-        n: usize,
-    ) -> &mut SoftBuffer {
+    pub fn buffer_for(&mut self, rnti: u16, harq_id: u8, ndi: bool, n: usize) -> &mut SoftBuffer {
         let entry = self
             .buffers
             .entry((rnti, harq_id))

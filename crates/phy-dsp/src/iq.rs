@@ -95,7 +95,7 @@ pub struct BfpPrb {
 impl BfpPrb {
     /// Serialized size on the wire: 1 exponent byte + 24 mantissas at 9
     /// bits, rounded up to whole bytes (matching O-RAN's packed layout).
-    pub const WIRE_BYTES: usize = 1 + (2 * SC_PER_PRB * BFP_MANTISSA_BITS as usize + 7) / 8;
+    pub const WIRE_BYTES: usize = 1 + (2 * SC_PER_PRB * BFP_MANTISSA_BITS as usize).div_ceil(8);
 }
 
 /// Compress 12 complex samples into a BFP PRB. Input amplitudes are
@@ -244,7 +244,11 @@ mod tests {
         let prb = bfp_compress(&s);
         let d = bfp_decompress(&prb);
         let sig: f32 = s.iter().map(|x| x.norm_sq()).sum();
-        let noise: f32 = s.iter().zip(d.iter()).map(|(a, b)| (*a - *b).norm_sq()).sum();
+        let noise: f32 = s
+            .iter()
+            .zip(d.iter())
+            .map(|(a, b)| (*a - *b).norm_sq())
+            .sum();
         let snr_db = 10.0 * (sig / noise.max(1e-12)).log10();
         assert!(snr_db > 40.0, "snr={snr_db}dB");
     }

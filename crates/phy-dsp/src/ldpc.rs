@@ -224,7 +224,9 @@ mod tests {
     }
 
     fn bits_to_llrs(bits: &[u8], amp: f32) -> Vec<f32> {
-        bits.iter().map(|b| if *b == 0 { amp } else { -amp }).collect()
+        bits.iter()
+            .map(|b| if *b == 0 { amp } else { -amp })
+            .collect()
     }
 
     fn add_noise(llrs: &mut [f32], snr_db: f32, seed: u64) {

@@ -73,7 +73,7 @@ fn pam_level(bits: &[u8]) -> i32 {
 pub fn modulate(bits: &[u8], modulation: Modulation) -> Vec<Cplx> {
     let bps = modulation.bits_per_symbol();
     assert!(
-        bits.len() % bps == 0,
+        bits.len().is_multiple_of(bps),
         "bit count {} not a multiple of {}",
         bits.len(),
         bps

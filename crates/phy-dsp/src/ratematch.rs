@@ -101,7 +101,10 @@ mod tests {
             for rv in 0..4u8 {
                 for e in [n / 2, n, 2 * n] {
                     let tx = rate_match(&coded, e, rv);
-                    let llrs: Vec<f32> = tx.iter().map(|b| if *b == 0 { 1.0 } else { -1.0 }).collect();
+                    let llrs: Vec<f32> = tx
+                        .iter()
+                        .map(|b| if *b == 0 { 1.0 } else { -1.0 })
+                        .collect();
                     let mut acc = vec![0.0f32; n];
                     rate_recover(&mut acc, &llrs, rv);
                     for (i, a) in acc.iter().enumerate() {

@@ -113,7 +113,10 @@ mod tests {
         scramble_bits(&mut tx, c_init);
         // Perfect channel: LLR = +5 for bit 0, -5 for bit 1 (convention:
         // positive LLR means "likely 0").
-        let mut llrs: Vec<f32> = tx.iter().map(|b| if *b == 0 { 5.0 } else { -5.0 }).collect();
+        let mut llrs: Vec<f32> = tx
+            .iter()
+            .map(|b| if *b == 0 { 5.0 } else { -5.0 })
+            .collect();
         descramble_llrs(&mut llrs, c_init);
         let rx: Vec<u8> = llrs.iter().map(|l| if *l >= 0.0 { 0 } else { 1 }).collect();
         assert_eq!(rx, bits);

@@ -5,8 +5,8 @@
 //! uses it to detect UE disconnection; Slingshot discards it during
 //! migration and lets the filter reconverge (~25 ms in the paper).
 
-use crate::iq::Cplx;
 use crate::channel::linear_to_db;
+use crate::iq::Cplx;
 
 /// Estimate SNR (dB) from received pilot symbols given the known
 /// transmitted pilots: signal power from the correlation, noise power
@@ -108,10 +108,7 @@ mod tests {
             let p = pilots(2048);
             let (rx, _) = ch.apply(&p, true_snr);
             let est = estimate_snr_db(&rx, &p);
-            assert!(
-                (est - true_snr).abs() < 1.5,
-                "true={true_snr} est={est}"
-            );
+            assert!((est - true_snr).abs() < 1.5, "true={true_snr} est={est}");
         }
     }
 
@@ -122,7 +119,7 @@ mod tests {
         let scaled: Vec<Cplx> = p.iter().map(|s| s.scale(0.5)).collect();
         // SNR of the scaled signal at noise var 0.025 => 10*log10(0.25/0.025)=10dB.
         let (rx, _) = ch.apply(&scaled, 0.0); // noise var 1.0 relative to unit power
-        // signal power 0.25, noise 1.0 → SNR = -6 dB.
+                                              // signal power 0.25, noise 1.0 → SNR = -6 dB.
         let est = estimate_snr_db(&rx, &p);
         assert!((est + 6.0).abs() < 1.5, "est={est}");
     }

@@ -129,7 +129,7 @@ fn e_split(e_bits: usize, ks: &[usize]) -> Vec<usize> {
 pub fn encode_tb(payload: &[u8], p: &TbParams) -> Vec<Cplx> {
     let bps = p.modulation.bits_per_symbol();
     assert!(
-        p.e_bits % bps == 0,
+        p.e_bits.is_multiple_of(bps),
         "e_bits {} not a multiple of bits/symbol {}",
         p.e_bits,
         bps

@@ -241,7 +241,10 @@ impl RxProcessPool {
         // SNR: estimate from pilots where present, else trust the
         // carried value (Abstract mode's stand-in for estimation).
         let snr_db = if !signal.pilots.is_empty() {
-            estimate_snr_db(&signal.pilots, &pilot_sequence(lp.rnti, lp.cell_id, lp.pilot_len()))
+            estimate_snr_db(
+                &signal.pilots,
+                &pilot_sequence(lp.rnti, lp.cell_id, lp.pilot_len()),
+            )
         } else {
             signal.snr_db
         };
@@ -310,7 +313,11 @@ impl RxProcessPool {
                     lp.fec_iterations,
                 );
                 let ok = !rng.chance(p_err);
-                let payload = if ok { Some(signal.shadow.clone()) } else { None };
+                let payload = if ok {
+                    Some(signal.shadow.clone())
+                } else {
+                    None
+                };
                 if ok {
                     self.procs.remove(&(lp.rnti, harq_id));
                 }

@@ -8,10 +8,8 @@ use std::collections::BTreeMap;
 
 use bytes::{BufMut, Bytes};
 
-use slingshot_fapi::{
-    ConfigRequest, DlTtiRequest, FapiMsg, TxDataRequest, UlTtiRequest,
-};
-use slingshot_sim::{Ctx, Node, NodeId, SlotClock, SlotId, SlotKind};
+use slingshot_fapi::{ConfigRequest, DlTtiRequest, FapiMsg, TxDataRequest, UlTtiRequest};
+use slingshot_sim::{Ctx, Node, NodeId, SlotClock, SlotId, SlotKind, TraceEventKind};
 
 use crate::cell::CellConfig;
 use crate::msg::{timer_tokens, CtlMsg, Msg, UserPacket};
@@ -179,10 +177,9 @@ impl L2Node {
                     let ue = self.ues.get_mut(&rnti).expect("backlogged ue");
                     let rlc = &mut ue.dl_rlc;
                     if let Some((pdu, payload)) =
-                        self.sched
-                            .dl_assign(rnti, start, num, data_symbols, |tbs| {
-                                Some(build_mac_pdu(rlc, tbs))
-                            })
+                        self.sched.dl_assign(rnti, start, num, data_symbols, |tbs| {
+                            Some(build_mac_pdu(rlc, tbs))
+                        })
                     {
                         dl.pdsch.push(pdu);
                         tx.tbs.push((rnti, payload));
@@ -252,7 +249,10 @@ impl Node<Msg> for L2Node {
         );
         self.send_fapi(ctx, FapiMsg::Start { ru_id: self.ru_id });
         self.started = true;
-        ctx.timer_at(self.clock.next_slot_start(ctx.now()), timer_tokens::SLOT_TICK);
+        ctx.timer_at(
+            self.clock.next_slot_start(ctx.now()),
+            timer_tokens::SLOT_TICK,
+        );
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
@@ -310,6 +310,7 @@ impl Node<Msg> for L2Node {
                     self.sched.add_ue(rnti, 15.0);
                 }
                 self.sched.reset_ue(rnti);
+                ctx.trace(TraceEventKind::HarqReset, rnti as u64, 0);
                 // Accept back over the signaling path the request came
                 // in on (RRC setup completion toward the UE).
                 if from != NodeId::EXTERNAL {
@@ -328,6 +329,7 @@ impl Node<Msg> for L2Node {
                     ue.ul_rlc = new_rlc_rx(ordered);
                 }
                 self.sched.reset_ue(rnti);
+                ctx.trace(TraceEventKind::HarqReset, rnti as u64, 0);
             }
             _ => {}
         }

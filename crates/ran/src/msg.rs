@@ -165,10 +165,7 @@ mod tests {
             payload: Bytes::from(vec![0u8; 1000]),
         };
         assert_eq!(Msg::User(p).wire_size(), 1028);
-        assert_eq!(
-            Msg::Ctl(CtlMsg::AttachRequest { rnti: 1 }).wire_size(),
-            64
-        );
+        assert_eq!(Msg::Ctl(CtlMsg::AttachRequest { rnti: 1 }).wire_size(), 64);
     }
 
     #[test]

@@ -34,7 +34,7 @@ use slingshot_fronthaul::{
 use slingshot_netsim::{EtherType, Frame, MacAddr};
 use slingshot_phy_dsp::snr::SnrFilter;
 use slingshot_phy_dsp::{Cplx, SC_PER_PRB};
-use slingshot_sim::{Ctx, Nanos, Node, NodeId, SimRng, SlotClock, SlotId};
+use slingshot_sim::{Ctx, Nanos, Node, NodeId, SimRng, SlotClock, SlotId, TraceEventKind};
 
 use crate::cell::CellConfig;
 use crate::fidelity::{encode_signal, LinkParamsTb, RxProcessPool, TbSignal};
@@ -262,7 +262,7 @@ impl PhyNode {
         }
         self.work_slots += 1;
         let payloads: HashMap<u16, Bytes> = tbs.into_iter().collect();
-        let scalar = (slot.sfn % 256) as u16 * 20 + slot.subframe as u16 * 2 + slot.slot as u16;
+        let scalar = (slot.sfn % 256) * 20 + slot.subframe as u16 * 2 + slot.slot as u16;
         let mut dcis = Vec::new();
         for pdu in &pdsch {
             let Some(payload) = payloads.get(&pdu.rnti) else {
@@ -305,6 +305,8 @@ impl PhyNode {
     }
 
     /// Serialize a TB signal into U-plane / shadow fronthaul messages.
+    // One parameter per fronthaul header field, in wire order.
+    #[allow(clippy::too_many_arguments)]
     fn emit_signal(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
@@ -317,7 +319,7 @@ impl PhyNode {
     ) {
         let mut flat = signal.pilots.clone();
         flat.extend_from_slice(&signal.symbols);
-        while flat.len() % SC_PER_PRB != 0 {
+        while !flat.len().is_multiple_of(SC_PER_PRB) {
             flat.push(Cplx::ZERO);
         }
         let per_chunk = PRBS_PER_CHUNK * SC_PER_PRB;
@@ -368,6 +370,12 @@ impl PhyNode {
         }
         self.work_slots += 1;
         self.processed_ul_slots.push(abs);
+        ctx.trace_at_slot(
+            TraceEventKind::UlSlotProcessed,
+            slot,
+            abs,
+            self.cfg.phy_id as u64,
+        );
         let cell_id = ru.cell_id;
         let fidelity = self.cell.fidelity;
         let data_symbols = self.cell.data_symbols;
@@ -420,8 +428,7 @@ impl PhyNode {
                     entry.0 = 0;
                 }
                 entry.1 = abs;
-                let progress =
-                    (entry.0 as f64 / self.cell.mimo_reconverge_slots as f64).min(1.0);
+                let progress = (entry.0 as f64 / self.cell.mimo_reconverge_slots as f64).min(1.0);
                 entry.0 += 1;
                 self.cell.mimo_cold_penalty_db * (1.0 - progress)
             } else {
@@ -484,14 +491,7 @@ impl PhyNode {
             }
         }
         self.busy_ns_total += busy;
-        self.send_fapi(
-            ctx,
-            FapiMsg::CrcInd(CrcIndication {
-                ru_id,
-                slot,
-                crcs,
-            }),
-        );
+        self.send_fapi(ctx, FapiMsg::CrcInd(CrcIndication { ru_id, slot, crcs }));
         if !rx_tbs.is_empty() {
             self.send_fapi(
                 ctx,
@@ -560,7 +560,7 @@ impl PhyNode {
                 // DDDSU guarantees slot (n−1) is Special for UL slot n.
                 if started && !req.pusch.is_empty() && abs >= 1 {
                     let carry = SlotId::from_absolute(abs - 1);
-                    let target_scalar = (req.slot.sfn % 256) as u16 * 20
+                    let target_scalar = (req.slot.sfn % 256) * 20
                         + req.slot.subframe as u16 * 2
                         + req.slot.slot as u16;
                     let entries = req
@@ -627,7 +627,10 @@ impl PhyNode {
 
 impl Node<Msg> for PhyNode {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        ctx.timer_at(self.clock.next_slot_start(ctx.now()), timer_tokens::SLOT_TICK);
+        ctx.timer_at(
+            self.clock.next_slot_start(ctx.now()),
+            timer_tokens::SLOT_TICK,
+        );
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
@@ -663,18 +666,19 @@ impl Node<Msg> for PhyNode {
                 let expect = abs + self.cell.fapi_advance_slots;
                 let mut must_crash = false;
                 for ru_id in ru_ids {
-                    self.send_fapi(
-                        ctx,
-                        FapiMsg::SlotInd(SlotIndication { ru_id, slot }),
-                    );
+                    self.send_fapi(ctx, FapiMsg::SlotInd(SlotIndication { ru_id, slot }));
                     let ru = self.rus.get_mut(&ru_id).expect("ru exists");
-                    let have =
-                        ru.ul_tti.contains_key(&expect) || ru.dl_seen.contains_key(&expect);
+                    let have = ru.ul_tti.contains_key(&expect) || ru.dl_seen.contains_key(&expect);
                     if ru.any_fapi_seen {
                         if have {
                             ru.missing_streak = 0;
                         } else {
                             ru.missing_streak += 1;
+                            ctx.trace(
+                                TraceEventKind::SlotDeadlineMiss,
+                                ru.missing_streak as u64,
+                                expect,
+                            );
                             if ru.missing_streak >= self.cfg.crash_after_missing {
                                 must_crash = true;
                             }
@@ -767,10 +771,7 @@ impl Node<Msg> for PhyNode {
                             })
                             .collect();
                         let slot = SlotId::from_absolute(abs);
-                        self.send_fapi(
-                            ctx,
-                            FapiMsg::UciInd(UciIndication { ru_id, slot, acks }),
-                        );
+                        self.send_fapi(ctx, FapiMsg::UciInd(UciIndication { ru_id, slot, acks }));
                     }
                     _ => {}
                 }

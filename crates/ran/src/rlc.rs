@@ -284,7 +284,10 @@ impl RlcRx {
             if sn < self.expected || self.delivered_set.contains(&sn) {
                 continue; // duplicate/stale (late HARQ copy)
             }
-            self.pending.entry(sn).or_insert_with(|| Asm::new(now)).add(&pdu);
+            self.pending
+                .entry(sn)
+                .or_insert_with(|| Asm::new(now))
+                .add(&pdu);
         }
         self.drain(now)
     }
@@ -332,12 +335,10 @@ impl RlcRx {
                 .find_map(|(sn, a)| a.assemble().map(|b| (*sn, b)));
             match next_complete {
                 Some((sn, b)) => {
-                    let dropped_fragments =
-                        self.pending.range(..sn).count() as u64;
+                    let dropped_fragments = self.pending.range(..sn).count() as u64;
                     let missing = (sn - self.expected) as u64;
                     self.discarded += missing.max(dropped_fragments);
-                    let stale: Vec<u32> =
-                        self.pending.range(..=sn).map(|(k, _)| *k).collect();
+                    let stale: Vec<u32> = self.pending.range(..=sn).map(|(k, _)| *k).collect();
                     for k in stale {
                         self.pending.remove(&k);
                     }
@@ -350,9 +351,7 @@ impl RlcRx {
                     let stale: Vec<u32> = self
                         .pending
                         .iter()
-                        .filter(|(_, a)| {
-                            now.saturating_sub(a.first_seen) >= self.t_reassembly
-                        })
+                        .filter(|(_, a)| now.saturating_sub(a.first_seen) >= self.t_reassembly)
                         .map(|(k, _)| *k)
                         .collect();
                     if stale.is_empty() {

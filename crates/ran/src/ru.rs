@@ -99,7 +99,7 @@ impl RuNode {
         let mut flat = burst.signal.pilots.clone();
         flat.extend_from_slice(&burst.signal.symbols);
         // Pad to a whole PRB.
-        while flat.len() % SC_PER_PRB != 0 {
+        while !flat.len().is_multiple_of(SC_PER_PRB) {
             flat.push(Cplx::ZERO);
         }
         let samples_per_chunk = PRBS_PER_CHUNK * SC_PER_PRB;
@@ -136,7 +136,7 @@ impl RuNode {
     /// Emit the over-the-air downlink burst for a slot, if the PHY fed
     /// us fronthaul for it.
     fn radiate(&mut self, ctx: &mut Ctx<'_, Msg>, slot: SlotId) {
-        let scalar = (slot.sfn % 256) as u16 * 20 + slot.subframe as u16 * 2 + slot.slot as u16;
+        let scalar = (slot.sfn % 256) * 20 + slot.subframe as u16 * 2 + slot.slot as u16;
         let Some(buf) = self.dl_slots.remove(&scalar) else {
             self.slots_dark += 1;
             return;
@@ -222,15 +222,17 @@ impl RuNode {
         // Garbage-collect stale slots (keep a window of ~64 slots).
         if self.dl_slots.len() > 256 {
             let min_keep = scalar.wrapping_sub(64);
-            self.dl_slots
-                .retain(|k, _| k.wrapping_sub(min_keep) < 128);
+            self.dl_slots.retain(|k, _| k.wrapping_sub(min_keep) < 128);
         }
     }
 }
 
 impl Node<Msg> for RuNode {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        ctx.timer_at(self.clock.next_slot_start(ctx.now()), timer_tokens::SLOT_TICK);
+        ctx.timer_at(
+            self.clock.next_slot_start(ctx.now()),
+            timer_tokens::SLOT_TICK,
+        );
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
@@ -260,10 +262,8 @@ impl Node<Msg> for RuNode {
                     }
                 }
             }
-            Msg::RadioUl(burst) => {
-                if burst.ru_id == self.ru_id {
-                    self.ul_pending.push(burst);
-                }
+            Msg::RadioUl(burst) if burst.ru_id == self.ru_id => {
+                self.ul_pending.push(burst);
             }
             _ => {}
         }

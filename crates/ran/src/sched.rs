@@ -184,8 +184,7 @@ impl Scheduler {
             let share = if i + 1 == eligible.len() {
                 total_prbs - start
             } else {
-                ((total_prbs as f64 * weights[i] / wsum).floor() as u16)
-                    .min(total_prbs - start)
+                ((total_prbs as f64 * weights[i] / wsum).floor() as u16).min(total_prbs - start)
             };
             if share > 0 {
                 out.push((*rnti, start, share));

@@ -269,13 +269,25 @@ impl UeNode {
             self.last_served = now;
         }
         // Store uplink grants for their target slots.
-        for dci in burst.dcis.iter().filter(|d| d.uplink && d.rnti == self.cfg.rnti) {
+        for dci in burst
+            .dcis
+            .iter()
+            .filter(|d| d.uplink && d.rnti == self.cfg.rnti)
+        {
             let abs = self.abs_of_slot(now, dci.target_slot_scalar);
             self.grants.entry(abs).or_default().push(*dci);
         }
         // Decode downlink assignments addressed to us.
-        for dci in burst.dcis.iter().filter(|d| !d.uplink && d.rnti == self.cfg.rnti) {
-            let Some(alloc) = burst.pdsch.iter().find(|a| a.rnti == self.cfg.rnti && a.start_prb == dci.start_prb) else {
+        for dci in burst
+            .dcis
+            .iter()
+            .filter(|d| !d.uplink && d.rnti == self.cfg.rnti)
+        {
+            let Some(alloc) = burst
+                .pdsch
+                .iter()
+                .find(|a| a.rnti == self.cfg.rnti && a.start_prb == dci.start_prb)
+            else {
                 continue;
             };
             let lp = LinkParamsTb::from_grant(
@@ -308,7 +320,8 @@ impl UeNode {
             } else {
                 self.dl_tbs_bad += 1;
             }
-            if std::env::var("SLINGSHOT_DEBUG_DL").is_ok() && self.dl_tbs_ok + self.dl_tbs_bad < 25 {
+            if std::env::var("SLINGSHOT_DEBUG_DL").is_ok() && self.dl_tbs_ok + self.dl_tbs_bad < 25
+            {
                 eprintln!("DL decode ok={ok} mcs={} rv={} ndi={} harq={} prb={} tb={} snr_est={:.1} chan={:.1} syms={} pilots={}",
                     dci.mcs, dci.rv, dci.ndi, dci.harq_id, dci.num_prb, dci.tb_bytes, out.snr_db, self.current_snr_db,
                     signal.symbols.len(), signal.pilots.len());
@@ -334,7 +347,10 @@ impl UeNode {
 
 impl Node<Msg> for UeNode {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        ctx.timer_at(self.clock.next_slot_start(ctx.now()), timer_tokens::SLOT_TICK);
+        ctx.timer_at(
+            self.clock.next_slot_start(ctx.now()),
+            timer_tokens::SLOT_TICK,
+        );
         self.last_dl_burst = ctx.now();
         self.last_served = ctx.now();
     }
@@ -369,7 +385,9 @@ impl Node<Msg> for UeNode {
                         ctx.send_in(
                             l2,
                             Nanos::from_millis(1),
-                            Msg::Ctl(CtlMsg::Detach { rnti: self.cfg.rnti }),
+                            Msg::Ctl(CtlMsg::Detach {
+                                rnti: self.cfg.rnti,
+                            }),
                         );
                     }
                 }
@@ -391,7 +409,9 @@ impl Node<Msg> for UeNode {
                             ctx.send_in(
                                 l2,
                                 Nanos::from_millis(2),
-                                Msg::Ctl(CtlMsg::AttachRequest { rnti: self.cfg.rnti }),
+                                Msg::Ctl(CtlMsg::AttachRequest {
+                                    rnti: self.cfg.rnti,
+                                }),
                             );
                         }
                     }
@@ -403,10 +423,8 @@ impl Node<Msg> for UeNode {
 
     fn on_msg(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
         match msg {
-            Msg::RadioDl(burst) => {
-                if burst.ru_id == self.cfg.ru_id {
-                    self.on_dl_burst(ctx, burst);
-                }
+            Msg::RadioDl(burst) if burst.ru_id == self.cfg.ru_id => {
+                self.on_dl_burst(ctx, burst);
             }
             Msg::Ctl(CtlMsg::AttachAccept { rnti }) if rnti == self.cfg.rnti => {
                 if matches!(self.state, UeState::Attaching(_)) {

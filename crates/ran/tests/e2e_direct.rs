@@ -74,10 +74,7 @@ fn build(seed: u64, ue_cfgs: Vec<UeConfig>, cell: CellConfig) -> Testbed {
     );
 
     // Wiring.
-    engine
-        .node_mut::<AppServerNode>(server)
-        .unwrap()
-        .wire(core);
+    engine.node_mut::<AppServerNode>(server).unwrap().wire(core);
     engine.node_mut::<CoreNode>(core).unwrap().wire(l2, server);
     engine.node_mut::<L2Node>(l2).unwrap().wire(phy, core);
     engine.node_mut::<PhyNode>(phy).unwrap().wire(sw, l2);
@@ -90,12 +87,24 @@ fn build(seed: u64, ue_cfgs: Vec<UeConfig>, cell: CellConfig) -> Testbed {
     // paper's ping experiments lives here). Fronthaul: 25 GbE, 20 µs.
     let backhaul = LinkParams::with_bandwidth(Nanos::from_millis(4), 10_000_000_000);
     engine.connect_duplex(server, core, backhaul.clone());
-    engine.connect_duplex(core, l2, LinkParams::with_bandwidth(Nanos::from_millis(4), 10_000_000_000));
+    engine.connect_duplex(
+        core,
+        l2,
+        LinkParams::with_bandwidth(Nanos::from_millis(4), 10_000_000_000),
+    );
     // L2↔PHY FAPI (co-located / SHM in this baseline).
     engine.connect_duplex(l2, phy, LinkParams::ideal(Nanos(2_000)));
     // Fronthaul legs through the switch.
-    engine.connect_duplex(phy, sw, LinkParams::with_bandwidth(Nanos(5_000), 100_000_000_000));
-    engine.connect_duplex(ru, sw, LinkParams::with_bandwidth(Nanos(20_000), 25_000_000_000));
+    engine.connect_duplex(
+        phy,
+        sw,
+        LinkParams::with_bandwidth(Nanos(5_000), 100_000_000_000),
+    );
+    engine.connect_duplex(
+        ru,
+        sw,
+        LinkParams::with_bandwidth(Nanos(20_000), 25_000_000_000),
+    );
 
     Testbed {
         engine,
@@ -127,7 +136,10 @@ fn uplink_udp_flow_delivers() {
     tb.engine
         .node_mut::<AppServerNode>(tb.server)
         .unwrap()
-        .add_app(100, Box::new(UdpSink::new(Nanos::ZERO, Nanos::from_millis(10))));
+        .add_app(
+            100,
+            Box::new(UdpSink::new(Nanos::ZERO, Nanos::from_millis(10))),
+        );
     tb.engine.run_until(Nanos::from_millis(2000));
     let sink: &UdpSink = tb
         .engine
@@ -154,7 +166,10 @@ fn downlink_udp_flow_delivers() {
     tb.engine
         .node_mut::<AppServerNode>(tb.server)
         .unwrap()
-        .add_app(100, Box::new(UdpCbrSource::new(8_000_000, 1000, Nanos::ZERO)));
+        .add_app(
+            100,
+            Box::new(UdpCbrSource::new(8_000_000, 1000, Nanos::ZERO)),
+        );
     tb.engine
         .node_mut::<UeNode>(tb.ues[0])
         .unwrap()
@@ -181,7 +196,10 @@ fn ping_rtt_matches_paper_scale() {
         .unwrap()
         .add_app(
             100,
-            Box::new(PingApp::new(Nanos::from_millis(10), Nanos::from_millis(100))),
+            Box::new(PingApp::new(
+                Nanos::from_millis(10),
+                Nanos::from_millis(100),
+            )),
         );
     tb.engine
         .node_mut::<UeNode>(tb.ues[0])
@@ -246,7 +264,12 @@ fn l2_death_crashes_phy_within_slots() {
     };
     let mut tb = build(5, one_ue(20.0), cell);
     tb.engine.run_until(Nanos::from_millis(100));
-    assert!(tb.engine.node::<PhyNode>(tb.phy).unwrap().crash_time.is_none());
+    assert!(tb
+        .engine
+        .node::<PhyNode>(tb.phy)
+        .unwrap()
+        .crash_time
+        .is_none());
     // Kill the L2: FAPI requests stop; FlexRAN-like crash follows.
     tb.engine.kill(tb.l2);
     tb.engine.run_until(Nanos::from_millis(200));
@@ -272,7 +295,10 @@ fn deterministic_across_runs() {
         tb.engine
             .node_mut::<AppServerNode>(tb.server)
             .unwrap()
-            .add_app(100, Box::new(UdpSink::new(Nanos::ZERO, Nanos::from_millis(10))));
+            .add_app(
+                100,
+                Box::new(UdpSink::new(Nanos::ZERO, Nanos::from_millis(10))),
+            );
         tb.engine.run_until(Nanos::from_millis(500));
         (tb.engine.trace_hash(), tb.engine.dispatched())
     };
@@ -292,7 +318,10 @@ fn full_fidelity_small_cell_works_end_to_end() {
     tb.engine
         .node_mut::<AppServerNode>(tb.server)
         .unwrap()
-        .add_app(100, Box::new(UdpSink::new(Nanos::ZERO, Nanos::from_millis(10))));
+        .add_app(
+            100,
+            Box::new(UdpSink::new(Nanos::ZERO, Nanos::from_millis(10))),
+        );
     tb.engine.run_until(Nanos::from_millis(800));
     let sink: &UdpSink = tb
         .engine
@@ -325,7 +354,12 @@ fn foreign_frames_ignored() {
     );
     tb.engine.run_until(Nanos::from_millis(50));
     // Nothing crashed, stack still alive.
-    assert!(tb.engine.node::<PhyNode>(tb.phy).unwrap().crash_time.is_none());
+    assert!(tb
+        .engine
+        .node::<PhyNode>(tb.phy)
+        .unwrap()
+        .crash_time
+        .is_none());
 }
 
 #[test]
@@ -340,7 +374,10 @@ fn debug_downlink_counters() {
     tb.engine
         .node_mut::<AppServerNode>(tb.server)
         .unwrap()
-        .add_app(100, Box::new(UdpCbrSource::new(8_000_000, 1000, Nanos::ZERO)));
+        .add_app(
+            100,
+            Box::new(UdpCbrSource::new(8_000_000, 1000, Nanos::ZERO)),
+        );
     tb.engine
         .node_mut::<UeNode>(tb.ues[0])
         .unwrap()
@@ -350,12 +387,22 @@ fn debug_downlink_counters() {
     let l2 = tb.engine.node::<L2Node>(tb.l2).unwrap();
     let phy = tb.engine.node::<PhyNode>(tb.phy).unwrap();
     let ru = tb.engine.node::<RuNode>(tb.ru).unwrap();
-    println!("ue: dl_ok={} dl_bad={} delivered={} grants={} state={:?}",
-        ue.dl_tbs_ok, ue.dl_tbs_bad, ue.delivered_to_apps, ue.ul_grants_served, ue.state);
-    println!("l2: dl_queued={} new_tx={} retx={} dl_harq_fail={} ",
-        l2.dl_packets_queued, l2.sched.dl_new_tx, l2.sched.dl_retx, l2.sched.dl_harq_failures);
-    println!("phy: work_slots={} null_slots={} crash={:?}", phy.work_slots, phy.null_slots, phy.crash_time);
-    println!("ru: bursts={} dark={} ulframes={}", ru.bursts_tx, ru.slots_dark, ru.ul_frames_tx);
+    println!(
+        "ue: dl_ok={} dl_bad={} delivered={} grants={} state={:?}",
+        ue.dl_tbs_ok, ue.dl_tbs_bad, ue.delivered_to_apps, ue.ul_grants_served, ue.state
+    );
+    println!(
+        "l2: dl_queued={} new_tx={} retx={} dl_harq_fail={} ",
+        l2.dl_packets_queued, l2.sched.dl_new_tx, l2.sched.dl_retx, l2.sched.dl_harq_failures
+    );
+    println!(
+        "phy: work_slots={} null_slots={} crash={:?}",
+        phy.work_slots, phy.null_slots, phy.crash_time
+    );
+    println!(
+        "ru: bursts={} dark={} ulframes={}",
+        ru.bursts_tx, ru.slots_dark, ru.ul_frames_tx
+    );
     let sink: &UdpSink = ue.app(0).unwrap();
     println!("sink rx={} lost={}", sink.total_rx, sink.total_lost);
 }
@@ -386,7 +433,10 @@ fn deep_fades_are_survived_by_link_adaptation() {
     tb.engine
         .node_mut::<AppServerNode>(tb.server)
         .unwrap()
-        .add_app(100, Box::new(UdpSink::new(Nanos::ZERO, Nanos::from_millis(10))));
+        .add_app(
+            100,
+            Box::new(UdpSink::new(Nanos::ZERO, Nanos::from_millis(10))),
+        );
     tb.engine.run_until(Nanos::from_secs(4));
     let ue = tb.engine.node::<UeNode>(tb.ues[0]).unwrap();
     assert_eq!(ue.state, UeState::Connected, "fades must not disconnect");

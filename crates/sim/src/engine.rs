@@ -16,8 +16,10 @@ use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+use crate::metrics::MetricsRegistry;
 use crate::rng::SimRng;
-use crate::time::Nanos;
+use crate::time::{Nanos, SlotId};
+use crate::trace::{TraceBuffer, TraceEventKind};
 
 /// Identifies a node registered with the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -178,6 +180,25 @@ struct Core<M> {
     rng: SimRng,
     trace_hash: u64,
     dispatched: u64,
+    trace: TraceBuffer,
+    metrics: MetricsRegistry,
+}
+
+impl<M> Core<M> {
+    /// Record a node death/revival in the event trace, only on actual
+    /// state transitions so repeated kills do not pollute the timeline.
+    fn set_alive(&mut self, node: NodeId, actor: NodeId, alive: bool) {
+        if self.alive[node.0] == alive {
+            return;
+        }
+        self.alive[node.0] = alive;
+        let kind = if alive {
+            TraceEventKind::NodeRevived
+        } else {
+            TraceEventKind::NodeKilled
+        };
+        self.trace.record(self.now, actor, kind, node.0 as u64, 0);
+    }
 }
 
 impl<M: Message> Core<M> {
@@ -227,11 +248,11 @@ impl<M: Message> Core<M> {
                 return false;
             }
         }
-        let tx_time = if link.params.bandwidth_bps == 0 {
-            Nanos::ZERO
-        } else {
-            Nanos((size as u64 * 8).saturating_mul(1_000_000_000) / link.params.bandwidth_bps)
-        };
+        // bandwidth 0 = infinite: no serialization delay.
+        let tx_time = (size as u64 * 8)
+            .saturating_mul(1_000_000_000)
+            .checked_div(link.params.bandwidth_bps)
+            .map_or(Nanos::ZERO, Nanos);
         let depart = link.busy_until.max(now);
         let done = depart + tx_time;
         link.busy_until = done;
@@ -270,7 +291,10 @@ impl<'a, M: Message> Ctx<'a, M> {
     pub fn send(&mut self, dst: NodeId, msg: M) -> bool {
         if !self.core.alive[dst.0] {
             // Messages to a crashed node vanish, as frames to a dead
-            // server would.
+            // server would — but the link records the loss.
+            if let Some(link) = self.core.links.get_mut(&(self.id, dst)) {
+                link.dropped += 1;
+            }
             return false;
         }
         self.core.send_via_link(self.id, dst, msg)
@@ -281,6 +305,9 @@ impl<'a, M: Message> Ctx<'a, M> {
     /// bandwidth, queueing, and fault injection still apply.
     pub fn send_link_in(&mut self, dst: NodeId, delay: Nanos, msg: M) -> bool {
         if !self.core.alive[dst.0] {
+            if let Some(link) = self.core.links.get_mut(&(self.id, dst)) {
+                link.dropped += 1;
+            }
             return false;
         }
         let depart = self.core.now + delay;
@@ -294,14 +321,8 @@ impl<'a, M: Message> Ctx<'a, M> {
             return;
         }
         let at = self.core.now + delay;
-        self.core.push(
-            at,
-            dst,
-            EventKind::Msg {
-                from: self.id,
-                msg,
-            },
-        );
+        self.core
+            .push(at, dst, EventKind::Msg { from: self.id, msg });
     }
 
     /// Schedule a timer for this node after `delay`.
@@ -319,13 +340,15 @@ impl<'a, M: Message> Ctx<'a, M> {
 
     /// Crash another node: all its queued and future events are dropped
     /// until it is revived. Models a fail-stop process crash (SIGKILL).
+    /// Records a `NodeKilled` trace event.
     pub fn kill(&mut self, node: NodeId) {
-        self.core.alive[node.0] = false;
+        self.core.set_alive(node, self.id, false);
     }
 
     /// Bring a previously killed node back (e.g., a restarted process).
+    /// Records a `NodeRevived` trace event.
     pub fn revive(&mut self, node: NodeId) {
-        self.core.alive[node.0] = true;
+        self.core.set_alive(node, self.id, true);
     }
 
     pub fn is_alive(&self, node: NodeId) -> bool {
@@ -336,6 +359,30 @@ impl<'a, M: Message> Ctx<'a, M> {
     /// and use this only for incidental draws.
     pub fn rng(&mut self) -> &mut SimRng {
         &mut self.core.rng
+    }
+
+    /// Record a structured trace event attributed to this node, stamped
+    /// with the slot identity derived from the current time. See
+    /// [`TraceEventKind`] for the per-kind payload conventions.
+    pub fn trace(&mut self, kind: TraceEventKind, a: u64, b: u64) {
+        let now = self.core.now;
+        self.core.trace.record(now, self.id, kind, a, b);
+    }
+
+    /// Record a trace event carrying an explicit slot identity (for
+    /// events whose slot comes from a packet header rather than the
+    /// arrival time).
+    pub fn trace_at_slot(&mut self, kind: TraceEventKind, slot: SlotId, a: u64, b: u64) {
+        let now = self.core.now;
+        self.core
+            .trace
+            .record_at_slot(now, self.id, slot, kind, a, b);
+    }
+
+    /// The engine-wide metrics registry. Scope metrics by component
+    /// name so post-run exports stay navigable.
+    pub fn metrics(&mut self) -> &mut MetricsRegistry {
+        &mut self.core.metrics
     }
 }
 
@@ -359,6 +406,8 @@ impl<M: Message> Engine<M> {
                 rng: SimRng::new(seed),
                 trace_hash: 0xcbf2_9ce4_8422_2325,
                 dispatched: 0,
+                trace: TraceBuffer::default(),
+                metrics: MetricsRegistry::new(),
             },
             nodes: Vec::new(),
             started: false,
@@ -429,13 +478,14 @@ impl<M: Message> Engine<M> {
     }
 
     /// Kill a node from outside the simulation (the experiment script's
-    /// `SIGKILL`).
+    /// `SIGKILL`). Records a `NodeKilled` trace event attributed to
+    /// [`NodeId::EXTERNAL`].
     pub fn kill(&mut self, node: NodeId) {
-        self.core.alive[node.0] = false;
+        self.core.set_alive(node, NodeId::EXTERNAL, false);
     }
 
     pub fn revive(&mut self, node: NodeId) {
-        self.core.alive[node.0] = true;
+        self.core.set_alive(node, NodeId::EXTERNAL, true);
     }
 
     pub fn is_alive(&self, node: NodeId) -> bool {
@@ -457,8 +507,61 @@ impl<M: Message> Engine<M> {
         self.core.trace_hash
     }
 
+    /// The structured event trace recorded so far (see [`crate::trace`]).
+    pub fn event_trace(&self) -> &TraceBuffer {
+        &self.core.trace
+    }
+
+    /// Mutable trace access: resize the ring, clear between phases, or
+    /// record harness-level events.
+    pub fn event_trace_mut(&mut self) -> &mut TraceBuffer {
+        &mut self.core.trace
+    }
+
+    /// The engine-wide metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.core.metrics
+    }
+
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.core.metrics
+    }
+
+    /// Copy every link's counters into the metrics registry, one scope
+    /// per link (`link:<from>-><to>`), with `sent`/`dropped`/
+    /// `corrupted`/`bytes` counters. Idempotent: counters are set, not
+    /// accumulated, so it can be called repeatedly (e.g. once per
+    /// snapshot). Iteration is sorted by node id for determinism.
+    pub fn publish_link_metrics(&mut self) {
+        let names = &self.core.names;
+        let links = &self.core.links;
+        let metrics = &mut self.core.metrics;
+        let name = |id: NodeId| -> &str {
+            names
+                .get(id.0)
+                .map(String::as_str)
+                .unwrap_or(if id == NodeId::EXTERNAL { "ext" } else { "?" })
+        };
+        let mut keys: Vec<(NodeId, NodeId)> = links.keys().copied().collect();
+        keys.sort();
+        for (from, to) in keys {
+            let link = &links[&(from, to)];
+            let scope = format!("link:{}->{}", name(from), name(to));
+            metrics.set_counter(&scope, "sent", link.sent);
+            metrics.set_counter(&scope, "dropped", link.dropped);
+            metrics.set_counter(&scope, "corrupted", link.corrupted);
+            metrics.set_counter(&scope, "bytes", link.bytes);
+        }
+    }
+
     pub fn node_name(&self, id: NodeId) -> &str {
         &self.core.names[id.0]
+    }
+
+    /// All node names, indexed by `NodeId` — the argument the trace
+    /// exporters take to label threads/scopes.
+    pub fn node_names(&self) -> &[String] {
+        &self.core.names
     }
 
     /// Immutable access to a node, downcast to its concrete type.
@@ -611,11 +714,7 @@ mod tests {
         let rec = e.node::<Recorder>(r).unwrap();
         assert_eq!(
             rec.got,
-            vec![
-                (1, Nanos(100)),
-                (2, Nanos(200)),
-                (3, Nanos(300)),
-            ]
+            vec![(1, Nanos(100)), (2, Nanos(200)), (3, Nanos(300)),]
         );
     }
 
@@ -646,7 +745,13 @@ mod tests {
     #[test]
     fn link_latency_and_serialization() {
         let mut e = engine();
-        let a = e.add_node("a", Box::new(Pinger { peer: NodeId(1), sent: 0 }));
+        let a = e.add_node(
+            "a",
+            Box::new(Pinger {
+                peer: NodeId(1),
+                sent: 0,
+            }),
+        );
         let r = e.add_node("r", Box::new(Recorder::default()));
         // 100 byte msg at 1 Gbps = 800 ns serialization; latency 1000 ns.
         e.connect(a, r, LinkParams::with_bandwidth(Nanos(1000), 1_000_000_000));
@@ -707,7 +812,13 @@ mod tests {
     #[test]
     fn drop_chance_one_drops_everything() {
         let mut e = engine();
-        let a = e.add_node("a", Box::new(Pinger { peer: NodeId(1), sent: 0 }));
+        let a = e.add_node(
+            "a",
+            Box::new(Pinger {
+                peer: NodeId(1),
+                sent: 0,
+            }),
+        );
         let r = e.add_node("r", Box::new(Recorder::default()));
         e.connect(a, r, LinkParams::ideal(Nanos(10)).drop_chance(1.0));
         e.run_until(Nanos(10_000));
@@ -721,7 +832,13 @@ mod tests {
     fn determinism_same_seed_same_trace() {
         let run = |seed| {
             let mut e: Engine<TestMsg> = Engine::new(seed);
-            let a = e.add_node("a", Box::new(Pinger { peer: NodeId(1), sent: 0 }));
+            let a = e.add_node(
+                "a",
+                Box::new(Pinger {
+                    peer: NodeId(1),
+                    sent: 0,
+                }),
+            );
             let r = e.add_node("r", Box::new(Recorder::default()));
             e.connect(a, r, LinkParams::ideal(Nanos(17)).drop_chance(0.3));
             e.run_until(Nanos(100_000));
@@ -807,7 +924,13 @@ mod tests {
     #[test]
     fn reconfigure_link_applies() {
         let mut e = engine();
-        let a = e.add_node("a", Box::new(Pinger { peer: NodeId(1), sent: 0 }));
+        let a = e.add_node(
+            "a",
+            Box::new(Pinger {
+                peer: NodeId(1),
+                sent: 0,
+            }),
+        );
         let r = e.add_node("r", Box::new(Recorder::default()));
         e.connect(a, r, LinkParams::ideal(Nanos(10)));
         e.run_until(Nanos(150)); // first send at t=100 arrives t=110

@@ -15,6 +15,13 @@
 //!   smoltcp's fault-injecting device wrappers.
 //! - [`stats`]: percentile samplers, 10 ms-bin throughput accounting and
 //!   online statistics used by every experiment harness.
+//! - [`trace`]: the slot-aware structured event trace every engine
+//!   records into — a bounded ring of `(time, node, slot, kind, payload)`
+//!   records with Chrome `trace_event` export and derived measures
+//!   (detection latency, delivered-TTI gaps). Byte-identical across
+//!   same-seed runs.
+//! - [`metrics`]: bounded-memory counters/gauges/log-bucketed histograms
+//!   scoped per component, with deterministic text and JSON exporters.
 //!
 //! Design note: the whole stack is synchronous and single-threaded.
 //! Real vRAN software busy-polls on dedicated cores; in a simulation,
@@ -23,14 +30,18 @@
 //! code and replace wall-clock waiting with simulated time.
 
 pub mod engine;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use engine::{Ctx, Engine, LinkParams, LinkStats, Message, Node, NodeId};
+pub use metrics::{HistogramSummary, LogHistogram, MetricsRegistry};
 pub use rng::SimRng;
 pub use stats::{OnlineStats, RateBins, Sampler};
 pub use time::{
     Nanos, SlotClock, SlotId, SlotKind, TddPattern, SFN_MODULO, SLOTS_PER_FRAME,
     SLOTS_PER_SUBFRAME, SLOT_DURATION, SUBFRAMES_PER_FRAME, SYMBOLS_PER_SLOT,
 };
+pub use trace::{Detection, TraceBuffer, TraceEvent, TraceEventKind};

@@ -1,0 +1,555 @@
+//! Bounded-memory metrics: counters, gauges, and log-bucketed
+//! histograms, organized in a per-engine [`MetricsRegistry`].
+//!
+//! The registry replaces ad-hoc raw-sample collection on high-volume
+//! paths: a [`LogHistogram`] holds a fixed ~8 KB bucket array no matter
+//! how many samples are recorded, so snapshotting metrics mid-run adds
+//! no heap growth proportional to sample count (an explicit acceptance
+//! criterion for this subsystem; `Sampler` keeps every sample and is
+//! reserved for low-volume paths that need exact percentiles).
+//!
+//! Metrics are keyed by `(scope, name)` where scope is typically a node
+//! name (`"switch0"`, `"orion-phy"`) or a link (`"link:ru->switch"`).
+//! Storage is `BTreeMap`, so iteration — and therefore every exporter —
+//! is deterministic. Exporters: [`MetricsRegistry::to_text`] for humans,
+//! [`MetricsRegistry::to_json`] for machine-readable `BENCH_*.json`
+//! artifacts.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of linear sub-buckets per power-of-two major bucket, as a
+/// shift: 2^4 = 16 sub-buckets ⇒ relative quantization error ≤ 1/16.
+const SUB_BITS: u32 = 4;
+const SUBS: u64 = 1 << SUB_BITS;
+/// Bucket count: values 0..16 map to exact buckets 0..16; each major
+/// power 4..=63 contributes 16 sub-buckets.
+const BUCKETS: usize = (SUBS + (64 - SUB_BITS as u64) * SUBS) as usize;
+
+/// Fixed-size histogram with logarithmic major buckets and 16 linear
+/// sub-buckets each: exact below 32, ≤ 6.25% relative error above.
+#[derive(Clone)]
+pub struct LogHistogram {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("mean", &self.mean())
+            .finish()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUBS {
+        v as usize
+    } else {
+        let major = 63 - v.leading_zeros(); // floor(log2 v), >= SUB_BITS
+        let minor = (v >> (major - SUB_BITS)) & (SUBS - 1);
+        ((major - SUB_BITS + 1) as u64 * SUBS + minor) as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket (what percentile queries report:
+/// a conservative over-estimate, never an under-estimate).
+fn bucket_upper(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUBS {
+        idx
+    } else {
+        let major = (idx / SUBS - 1) + SUB_BITS as u64;
+        let minor = idx % SUBS;
+        let lower = (1u64 << major) | (minor << (major - SUB_BITS as u64));
+        // Parenthesized so the top bucket (upper == u64::MAX) does not
+        // overflow in `lower + width` before the subtraction.
+        lower + ((1u64 << (major - SUB_BITS as u64)) - 1)
+    }
+}
+
+impl LogHistogram {
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(v)] += n;
+        self.count += n;
+        self.sum += v as u128 * n as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Nearest-rank percentile, reported as the containing bucket's
+    /// upper bound (clamped to the observed max): conservative for
+    /// latency SLO checks. `p` in (0, 100].
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper(idx).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(50.0)
+    }
+
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(99.0)
+    }
+
+    pub fn p999(&self) -> Option<u64> {
+        self.percentile(99.9)
+    }
+
+    pub fn p99999(&self) -> Option<u64> {
+        self.percentile(99.999)
+    }
+
+    /// Merge another histogram into this one (used when aggregating
+    /// per-node histograms into a deployment-wide view).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A point-in-time summary of one histogram (fixed size, no samples).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub min: u64,
+    pub max: u64,
+    pub mean: f64,
+    pub p50: u64,
+    pub p99: u64,
+    pub p999: u64,
+    pub p99999: u64,
+}
+
+/// Registry of named metrics scoped by component.
+///
+/// All maps are `BTreeMap` keyed by `(scope, name)`, so iteration order
+/// — and every exporter built on it — is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<(String, String), u64>,
+    gauges: BTreeMap<(String, String), i64>,
+    histograms: BTreeMap<(String, String), LogHistogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to a counter, creating it at zero if absent.
+    pub fn inc(&mut self, scope: &str, name: &str, delta: u64) {
+        if let Some(c) = self
+            .counters
+            .get_mut(&(scope.to_string(), name.to_string()))
+        {
+            *c += delta;
+        } else {
+            self.counters
+                .insert((scope.to_string(), name.to_string()), delta);
+        }
+    }
+
+    /// Set a counter to an absolute value (for publishing externally
+    /// maintained totals, e.g. link stats, idempotently).
+    pub fn set_counter(&mut self, scope: &str, name: &str, value: u64) {
+        self.counters
+            .insert((scope.to_string(), name.to_string()), value);
+    }
+
+    pub fn counter(&self, scope: &str, name: &str) -> u64 {
+        self.counters
+            .get(&(scope.to_string(), name.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    pub fn set_gauge(&mut self, scope: &str, name: &str, value: i64) {
+        self.gauges
+            .insert((scope.to_string(), name.to_string()), value);
+    }
+
+    pub fn gauge(&self, scope: &str, name: &str) -> Option<i64> {
+        self.gauges
+            .get(&(scope.to_string(), name.to_string()))
+            .copied()
+    }
+
+    /// Record a sample into a histogram, creating it if absent.
+    pub fn observe(&mut self, scope: &str, name: &str, value: u64) {
+        self.histograms
+            .entry((scope.to_string(), name.to_string()))
+            .or_default()
+            .record(value);
+    }
+
+    pub fn histogram(&self, scope: &str, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(&(scope.to_string(), name.to_string()))
+    }
+
+    /// Mutable handle to a histogram, creating it if absent (for hot
+    /// paths that want to avoid the per-sample key lookup).
+    pub fn histogram_mut(&mut self, scope: &str, name: &str) -> &mut LogHistogram {
+        self.histograms
+            .entry((scope.to_string(), name.to_string()))
+            .or_default()
+    }
+
+    pub fn counters(&self) -> impl Iterator<Item = (&str, &str, u64)> {
+        self.counters
+            .iter()
+            .map(|((s, n), v)| (s.as_str(), n.as_str(), *v))
+    }
+
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, &str, i64)> {
+        self.gauges
+            .iter()
+            .map(|((s, n), v)| (s.as_str(), n.as_str(), *v))
+    }
+
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &str, &LogHistogram)> {
+        self.histograms
+            .iter()
+            .map(|((s, n), h)| (s.as_str(), n.as_str(), h))
+    }
+
+    /// Fixed-size summaries of every histogram (no sample-proportional
+    /// allocation: one `HistogramSummary` per metric).
+    pub fn histogram_summaries(&self) -> Vec<(String, String, HistogramSummary)> {
+        self.histograms
+            .iter()
+            .filter(|(_, h)| !h.is_empty())
+            .map(|((s, n), h)| {
+                (
+                    s.clone(),
+                    n.clone(),
+                    HistogramSummary {
+                        count: h.count(),
+                        min: h.min().unwrap_or(0),
+                        max: h.max().unwrap_or(0),
+                        mean: h.mean().unwrap_or(0.0),
+                        p50: h.p50().unwrap_or(0),
+                        p99: h.p99().unwrap_or(0),
+                        p999: h.p999().unwrap_or(0),
+                        p99999: h.p99999().unwrap_or(0),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Merge another registry into this one: counters add, gauges take
+    /// the other's value, histograms merge.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for ((s, n), v) in &other.counters {
+            *self.counters.entry((s.clone(), n.clone())).or_insert(0) += v;
+        }
+        for ((s, n), v) in &other.gauges {
+            self.gauges.insert((s.clone(), n.clone()), *v);
+        }
+        for ((s, n), h) in &other.histograms {
+            self.histograms
+                .entry((s.clone(), n.clone()))
+                .or_default()
+                .merge(h);
+        }
+    }
+
+    /// Human-readable dump, grouped by scope, deterministic order.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_scope: Option<&str> = None;
+        let write_scope = |out: &mut String, scope: &str, last: &mut Option<&str>| {
+            if *last != Some(scope) {
+                let _ = writeln!(out, "[{scope}]");
+            }
+        };
+        for ((scope, name), v) in &self.counters {
+            write_scope(&mut out, scope, &mut last_scope);
+            last_scope = Some(scope);
+            let _ = writeln!(out, "  {name} = {v}");
+        }
+        for ((scope, name), v) in &self.gauges {
+            write_scope(&mut out, scope, &mut last_scope);
+            last_scope = Some(scope);
+            let _ = writeln!(out, "  {name} = {v} (gauge)");
+        }
+        for ((scope, name), h) in &self.histograms {
+            write_scope(&mut out, scope, &mut last_scope);
+            last_scope = Some(scope);
+            if h.is_empty() {
+                let _ = writeln!(out, "  {name}: empty histogram");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  {name}: n={} min={} p50={} p99={} p99.9={} p99.999={} max={} mean={:.1}",
+                    h.count(),
+                    h.min().unwrap_or(0),
+                    h.p50().unwrap_or(0),
+                    h.p99().unwrap_or(0),
+                    h.p999().unwrap_or(0),
+                    h.p99999().unwrap_or(0),
+                    h.max().unwrap_or(0),
+                    h.mean().unwrap_or(0.0),
+                );
+            }
+        }
+        out
+    }
+
+    /// Machine-readable JSON, deterministic key order:
+    /// `{"counters":{"scope/name":v,...},"gauges":{...},"histograms":
+    /// {"scope/name":{"count":..,"min":..,...},...}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str("\"counters\":{");
+        for (i, ((scope, name), v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}/{}\":{v}", escape(scope), escape(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, ((scope, name), v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}/{}\":{v}", escape(scope), escape(name));
+        }
+        out.push_str("},\"histograms\":{");
+        let mut first = true;
+        for ((scope, name), h) in &self.histograms {
+            if h.is_empty() {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\"{}/{}\":{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\
+                 \"p50\":{},\"p99\":{},\"p999\":{},\"p99999\":{}}}",
+                escape(scope),
+                escape(name),
+                h.count(),
+                h.min().unwrap_or(0),
+                h.max().unwrap_or(0),
+                h.mean().unwrap_or(0.0),
+                h.p50().unwrap_or(0),
+                h.p99().unwrap_or(0),
+                h.p999().unwrap_or(0),
+                h.p99999().unwrap_or(0),
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_buckets_below_32() {
+        for v in 0..32 {
+            let idx = bucket_index(v);
+            assert_eq!(bucket_upper(idx), v, "value {v} should be exact");
+        }
+    }
+
+    #[test]
+    fn bucket_error_bounded() {
+        for v in [33, 100, 1_000, 65_535, 1 << 20, u64::MAX / 2, u64::MAX] {
+            let upper = bucket_upper(bucket_index(v));
+            assert!(upper >= v, "upper bound must not underestimate {v}");
+            // Relative over-estimate ≤ 1/16.
+            let err = (upper - v) as f64 / v as f64;
+            assert!(err <= 1.0 / 16.0 + 1e-12, "v={v} upper={upper} err={err}");
+        }
+    }
+
+    #[test]
+    fn buckets_are_monotone_and_in_range() {
+        let mut prev = None;
+        for v in (0..1_000_000u64).step_by(997) {
+            let idx = bucket_index(v);
+            assert!(idx < BUCKETS);
+            if let Some(p) = prev {
+                assert!(idx >= p, "bucket index must be monotone in value");
+            }
+            prev = Some(idx);
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn histogram_percentiles_conservative() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(1000));
+        let p50 = h.p50().unwrap();
+        assert!((500..=532).contains(&p50), "p50={p50}");
+        let p99 = h.p99().unwrap();
+        assert!((990..=1000).contains(&p99), "p99={p99}");
+        assert_eq!(h.p99999(), Some(1000));
+        let mean = h.mean().unwrap();
+        assert!((mean - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_memory_is_flat() {
+        // The whole point: recording a million samples allocates nothing
+        // beyond the fixed bucket array.
+        let mut h = LogHistogram::new();
+        let before = std::mem::size_of_val(&*h.buckets);
+        for v in 0..1_000_000u64 {
+            h.record(v % 10_000);
+        }
+        let after = std::mem::size_of_val(&*h.buckets);
+        assert_eq!(before, after);
+        assert_eq!(h.count(), 1_000_000);
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let mut m = MetricsRegistry::new();
+        m.inc("switch0", "dl_filtered", 2);
+        m.inc("switch0", "dl_filtered", 3);
+        m.set_gauge("orion", "active_phy", 2);
+        m.observe("phy1", "fwd_ns", 120);
+        m.observe("phy1", "fwd_ns", 180);
+        assert_eq!(m.counter("switch0", "dl_filtered"), 5);
+        assert_eq!(m.counter("switch0", "absent"), 0);
+        assert_eq!(m.gauge("orion", "active_phy"), Some(2));
+        assert_eq!(m.histogram("phy1", "fwd_ns").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn exporters_are_deterministic() {
+        let build = || {
+            let mut m = MetricsRegistry::new();
+            // Insert in different orders; BTreeMap normalizes.
+            m.inc("b", "z", 1);
+            m.inc("a", "y", 2);
+            m.set_gauge("c", "g", -7);
+            m.observe("a", "h", 42);
+            m
+        };
+        let build2 = || {
+            let mut m = MetricsRegistry::new();
+            m.observe("a", "h", 42);
+            m.set_gauge("c", "g", -7);
+            m.inc("a", "y", 2);
+            m.inc("b", "z", 1);
+            m
+        };
+        assert_eq!(build().to_json(), build2().to_json());
+        assert_eq!(build().to_text(), build2().to_text());
+        let json = build().to_json();
+        assert!(json.contains("\"a/y\":2"));
+        assert!(json.contains("\"c/g\":-7"));
+        assert!(json.contains("\"a/h\":{\"count\":1"));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = MetricsRegistry::new();
+        a.inc("s", "c", 1);
+        a.observe("s", "h", 10);
+        let mut b = MetricsRegistry::new();
+        b.inc("s", "c", 2);
+        b.observe("s", "h", 20);
+        a.merge(&b);
+        assert_eq!(a.counter("s", "c"), 3);
+        assert_eq!(a.histogram("s", "h").unwrap().count(), 2);
+    }
+}

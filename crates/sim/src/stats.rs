@@ -58,6 +58,21 @@ impl Sampler {
         self.percentile(50.0)
     }
 
+    /// The 99th percentile (the paper's tail-latency headline figures).
+    pub fn p99(&mut self) -> Option<u64> {
+        self.percentile(99.0)
+    }
+
+    /// The 99.9th percentile.
+    pub fn p999(&mut self) -> Option<u64> {
+        self.percentile(99.9)
+    }
+
+    /// The 99.999th percentile (Fig. 12's Orion latency bound).
+    pub fn p99999(&mut self) -> Option<u64> {
+        self.percentile(99.999)
+    }
+
     pub fn min(&mut self) -> Option<u64> {
         self.ensure_sorted();
         self.values.first().copied()
@@ -292,10 +307,7 @@ mod tests {
         rb.extend_to(Nanos::from_millis(59));
         rb.record(Nanos::from_millis(45), 10);
         // bins: [10, 0, 0, 0, 10, 0]
-        assert_eq!(
-            rb.zero_bins_between(Nanos::ZERO, Nanos::from_millis(60)),
-            4
-        );
+        assert_eq!(rb.zero_bins_between(Nanos::ZERO, Nanos::from_millis(60)), 4);
         assert_eq!(
             rb.zero_bins_between(Nanos::from_millis(40), Nanos::from_millis(50)),
             0
@@ -314,5 +326,61 @@ mod tests {
         assert!((st.mean() - mean).abs() < 1e-12);
         assert!((st.variance() - var).abs() < 1e-12);
         assert_eq!(st.count(), 5);
+    }
+
+    #[test]
+    fn nearest_rank_single_sample() {
+        // With one sample, every percentile is that sample: rank
+        // ceil(p/100 * 1) clamps to 1.
+        let mut s = Sampler::new();
+        s.record(42);
+        for p in [0.0, 0.001, 50.0, 99.0, 99.9, 99.999, 100.0] {
+            assert_eq!(s.percentile(p), Some(42), "p={p}");
+        }
+        assert_eq!(s.p99(), Some(42));
+        assert_eq!(s.p999(), Some(42));
+        assert_eq!(s.p99999(), Some(42));
+    }
+
+    #[test]
+    fn nearest_rank_two_samples() {
+        // n=2: rank = ceil(p/50). p <= 50 picks the lower sample,
+        // p > 50 the upper.
+        let mut s = Sampler::new();
+        s.record(10);
+        s.record(20);
+        assert_eq!(s.percentile(50.0), Some(10));
+        assert_eq!(s.percentile(50.1), Some(20));
+        assert_eq!(s.median(), Some(10));
+        assert_eq!(s.p99(), Some(20));
+        assert_eq!(s.p999(), Some(20));
+        assert_eq!(s.p99999(), Some(20));
+    }
+
+    #[test]
+    fn nearest_rank_hundred_samples() {
+        // n=100 with values 1..=100: nearest-rank p-th percentile is
+        // exactly ceil(p) for integral p in (0, 100].
+        let mut s = Sampler::new();
+        for v in 1..=100 {
+            s.record(v);
+        }
+        assert_eq!(s.percentile(1.0), Some(1));
+        assert_eq!(s.percentile(50.0), Some(50));
+        assert_eq!(s.p99(), Some(99));
+        // Fractional percentiles round the rank up: 99.9 → rank 100.
+        assert_eq!(s.p999(), Some(100));
+        assert_eq!(s.p99999(), Some(100));
+        assert_eq!(s.percentile(100.0), Some(100));
+        // Out-of-range p is clamped, not panicking.
+        assert_eq!(s.percentile(0.0), Some(1));
+    }
+
+    #[test]
+    fn percentile_accessors_empty() {
+        let mut s = Sampler::new();
+        assert_eq!(s.p99(), None);
+        assert_eq!(s.p999(), None);
+        assert_eq!(s.p99999(), None);
     }
 }

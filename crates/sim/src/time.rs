@@ -275,7 +275,10 @@ impl TddPattern {
 
     /// Fraction of slots that are uplink.
     pub fn uplink_fraction(&self) -> f64 {
-        self.kinds.iter().filter(|k| **k == SlotKind::Uplink).count() as f64
+        self.kinds
+            .iter()
+            .filter(|k| **k == SlotKind::Uplink)
+            .count() as f64
             / self.kinds.len() as f64
     }
 

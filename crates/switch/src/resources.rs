@@ -111,9 +111,15 @@ pub struct ResourceUsage {
 impl ResourceUsage {
     /// True when every resource fits within budget.
     pub fn fits(&self) -> bool {
-        [self.crossbar, self.alu, self.gateway, self.sram, self.hash_bits]
-            .iter()
-            .all(|f| *f <= 1.0)
+        [
+            self.crossbar,
+            self.alu,
+            self.gateway,
+            self.sram,
+            self.hash_bits,
+        ]
+        .iter()
+        .all(|f| *f <= 1.0)
     }
 }
 

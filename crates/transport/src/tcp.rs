@@ -215,8 +215,10 @@ impl UserApp for TcpSender {
                 self.ssthresh = (self.in_flight() as f64 / 2.0).max((2 * MSS) as f64);
                 self.cwnd = self.ssthresh + (3 * MSS) as f64;
                 self.recover = Some(self.next_seq);
-                self.retransmit
-                    .push((self.snd_una, MSS.min((self.next_seq - self.snd_una) as usize)));
+                self.retransmit.push((
+                    self.snd_una,
+                    MSS.min((self.next_seq - self.snd_una) as usize),
+                ));
                 self.retransmissions += 1;
             } else if self.dup_acks > 3 {
                 self.cwnd += MSS as f64;
@@ -344,11 +346,7 @@ mod tests {
         for t in 0..duration_ms {
             let now = Nanos(t * MS);
             // Deliveries due this tick.
-            let due: Vec<_> = wire
-                .iter()
-                .filter(|(at, _, _)| *at == t)
-                .cloned()
-                .collect();
+            let due: Vec<_> = wire.iter().filter(|(at, _, _)| *at == t).cloned().collect();
             wire.retain(|(at, _, _)| *at != t);
             for (_, to_rcv, pkt) in due {
                 if to_rcv {

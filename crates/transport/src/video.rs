@@ -67,8 +67,7 @@ impl UserApp for VideoSender {
         while self.next_frame <= now {
             // One frame per interval, sized to the current rate, split
             // into ≤1200-byte packets.
-            let frame_bytes =
-                ((self.current_bps / 8.0) * (FRAME_INTERVAL.0 as f64 / 1e9)) as usize;
+            let frame_bytes = ((self.current_bps / 8.0) * (FRAME_INTERVAL.0 as f64 / 1e9)) as usize;
             let mut remaining = frame_bytes.max(HEADER + 1);
             while remaining > 0 {
                 let take = remaining.min(1200);
@@ -149,11 +148,9 @@ impl UserApp for VideoReceiver {
         let mut out = std::mem::take(&mut self.pending);
         while self.next_report <= now {
             let total = self.rx_since_report + self.lost_since_report;
-            let loss_pct = if total == 0 {
-                0
-            } else {
-                self.lost_since_report * 100 / total
-            };
+            let loss_pct = (self.lost_since_report * 100)
+                .checked_div(total)
+                .unwrap_or(0);
             let mut v = Vec::with_capacity(1 + 8);
             v.put_u8(FEEDBACK_MAGIC);
             v.put_u64(loss_pct);

@@ -82,7 +82,10 @@ fn three_ues_survive_repeated_planned_migrations() {
             i,
             *rnti,
             Box::new(EchoResponder::new()),
-            Box::new(PingApp::new(Nanos::from_millis(10), Nanos::from_millis(100))),
+            Box::new(PingApp::new(
+                Nanos::from_millis(10),
+                Nanos::from_millis(100),
+            )),
         );
     }
     for ms in [500u64, 900, 1300, 1700] {

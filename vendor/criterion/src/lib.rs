@@ -1,0 +1,147 @@
+//! Offline vendored subset of the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of the criterion 0.5 API its benches use: `Criterion`,
+//! `benchmark_group`, `Throughput`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! calibrate-then-time loop (wall clock, median-free) — adequate for
+//! tracking relative perf across PRs, not for statistical rigor.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group; reported alongside
+/// per-iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Top-level benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // Calibrate: grow the iteration count until one measurement
+        // batch runs long enough to trust the clock.
+        let mut iters: u64 = 1;
+        let per_iter_secs = loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let secs = b.elapsed.as_secs_f64();
+            if secs >= 0.05 || iters >= (1 << 22) {
+                break secs / iters as f64;
+            }
+            iters = if secs <= 1e-9 {
+                iters.saturating_mul(16)
+            } else {
+                let factor = (0.06 / secs).ceil().clamp(2.0, 64.0) as u64;
+                iters.saturating_mul(factor)
+            };
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:>10.1} MiB/s",
+                    n as f64 / per_iter_secs / (1024.0 * 1024.0)
+                )
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.0} elem/s", n as f64 / per_iter_secs)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{:<32} {:>12}{}",
+            self.name,
+            id,
+            format_time(per_iter_secs),
+            rate
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this batch's iteration count. The routine's
+    /// output is passed through `black_box` so it is not optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit a `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

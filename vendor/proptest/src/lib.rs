@@ -1,0 +1,434 @@
+//! Offline vendored subset of the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of the proptest API its tests use: the `proptest!` macro,
+//! `prop_assert!`/`prop_assert_eq!`, `any::<T>()`, integer/float range
+//! strategies, tuple strategies, and `collection::vec`.
+//!
+//! Differences from upstream: inputs are drawn from a generator seeded
+//! from the test's module path (deterministic across runs rather than
+//! randomized), and failing cases are reported without shrinking. Both
+//! keep this reproduction's test suite reproducible bit-for-bit.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Deterministic xoshiro256** generator used to drive input generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        let mut sm = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in [0, n) by rejection (no modulo bias).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Seed a [`TestRng`] from a test name. Deterministic across runs so
+/// test failures reproduce without a persistence file.
+pub fn test_rng(name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::new(h)
+}
+
+/// Per-test configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Error carried out of a failing property body by `prop_assert!`.
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// A value generator. Upstream proptest separates strategies from value
+/// trees (for shrinking); this subset samples directly.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy producing any value of `T` — see [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+    (A, B, C, D, E, F, G, H, I)
+    (A, B, C, D, E, F, G, H, I, J)
+    (A, B, C, D, E, F, G, H, I, J, K)
+    (A, B, C, D, E, F, G, H, I, J, K, L)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: an exact `usize` or a
+    /// half-open `Range<usize>`.
+    pub trait IntoSizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: IntoSizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Define property tests. Mirrors upstream `proptest!` syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u8..10, v in proptest::collection::vec(any::<u8>(), 0..16)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr); $(
+        $(#[$meta:meta])+
+        fn $name:ident ( $( $pat:pat_param in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $(
+                        #[allow(unused_mut)]
+                        let $pat = $crate::Strategy::sample(&($strat), &mut rng);
+                    )+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} of {} failed: {}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Fail the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} at {}:{}",
+                format_args!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+/// Fail the current property case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right` ({})\n  left: `{:?}`\n right: `{:?}`",
+            format_args!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fail the current property case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Any, Arbitrary, ProptestConfig, Strategy, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_rng("ranges");
+        for _ in 0..10_000 {
+            let v = Strategy::sample(&(3u8..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let s = Strategy::sample(&(-5i32..5), &mut rng);
+            assert!((-5..5).contains(&s));
+            let f = Strategy::sample(&(-4.0f32..4.0), &mut rng);
+            assert!((-4.0..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respected() {
+        let mut rng = crate::test_rng("vec");
+        for _ in 0..1000 {
+            let exact = Strategy::sample(&collection::vec(any::<u8>(), 7usize), &mut rng);
+            assert_eq!(exact.len(), 7);
+            let ranged = Strategy::sample(&collection::vec(any::<u8>(), 1..5), &mut rng);
+            assert!((1..5).contains(&ranged.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_binds_tuples_and_muts(
+            (a, b) in (0u16..100, any::<bool>()),
+            mut v in collection::vec(0u8..2, 1..32),
+        ) {
+            v.push(if b { 1 } else { 0 });
+            prop_assert!(a < 100);
+            prop_assert!(v.iter().all(|&x| x < 2));
+            prop_assert_eq!(v.len() >= 2, v.len() >= 2);
+        }
+    }
+}
