@@ -1,7 +1,39 @@
 #!/usr/bin/env bash
 # Local CI: the checks a change must pass before it lands.
+#
+# Usage:
+#   ./ci.sh            full gate: release build, full test suite, fmt,
+#                      clippy, and a chaos smoke (CHAOS_SEEDS seeds,
+#                      default 4, through the chaos_soak harness)
+#   ./ci.sh --quick    debug build + tier-1 tests only (fast inner loop)
+#
+# Knobs:
+#   CHAOS_SEEDS=<n>    seeds for the chaos smoke (default 4; the
+#                      nightly workflow runs 64)
 set -euo pipefail
 cd "$(dirname "$0")"
+
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+    --quick) QUICK=1 ;;
+    *)
+        echo "unknown argument: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
+
+if [[ "$QUICK" == 1 ]]; then
+    echo "==> cargo build"
+    cargo build
+
+    echo "==> cargo test -q (tier-1)"
+    cargo test -q
+
+    echo "==> OK (quick)"
+    exit 0
+fi
 
 echo "==> cargo build --release"
 cargo build --release
@@ -14,5 +46,8 @@ cargo fmt --check
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
+
+echo "==> chaos smoke (CHAOS_SEEDS=${CHAOS_SEEDS:-4})"
+CHAOS_SEEDS="${CHAOS_SEEDS:-4}" cargo run --release -p slingshot-bench --bin chaos_soak
 
 echo "==> OK"

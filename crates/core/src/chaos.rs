@@ -1,0 +1,369 @@
+//! Chaos runner: applies [`slingshot_sim::chaos`] scenarios to a live
+//! [`Deployment`].
+//!
+//! The scenario DSL is deployment-agnostic data (symbolic targets,
+//! slot-scheduled fault kinds); this module is the part that knows the
+//! Fig. 4(b) topology. Each fault expands into one or two timed
+//! primitive operations (kill, stall, link degrade + restore, process
+//! restart, control-plane post), and the runner drives the engine
+//! `run_until` each operation's instant before applying it. Symbolic
+//! targets are resolved *at apply time* — "the active PHY" after an
+//! earlier failover in the same scenario is the post-failover owner,
+//! read from the switch's own data-plane RU→PHY register.
+//!
+//! Everything is deterministic: the engine's seeded RNG covers the
+//! probabilistic link faults, and the runner itself draws no
+//! randomness, so a `(deployment seed, scenario)` pair always produces
+//! a byte-identical event trace.
+
+use std::collections::HashMap;
+
+use slingshot_ran::{CellConfig, CtlMsg, Fidelity, Msg, PhyNode, UeConfig};
+use slingshot_sim::chaos::{oracle, FaultKind, FaultTarget, Scenario};
+use slingshot_sim::{LinkParams, Nanos, NodeId, SLOT_DURATION};
+use slingshot_transport::{UdpCbrSource, UdpSink};
+
+use crate::deployment::{
+    Deployment, DeploymentConfig, PRIMARY_PHY_ID, RU_ID, SECONDARY_PHY_ID, SPARE_PHY_ID,
+};
+use crate::orion::OrionL2Node;
+use crate::switch_node::SwitchNode;
+
+/// Simulated time of an absolute slot's start (the deployment's slot
+/// clock has epoch 0).
+fn slot_time(abs_slot: u64) -> Nanos {
+    Nanos(abs_slot * SLOT_DURATION.0)
+}
+
+/// How a link-level fault rewrites a link's parameters for its window.
+#[derive(Debug, Clone, Copy)]
+enum LinkPatch {
+    /// Drop everything.
+    Partition,
+    /// Random drop with probability `p`.
+    Loss(f64),
+    /// Random payload corruption with probability `p`.
+    Corrupt(f64),
+    /// Random duplication with probability `p`.
+    Dup(f64),
+    /// Random reordering: hold a packet back by the given delay with
+    /// probability `p`.
+    Reorder(f64, Nanos),
+}
+
+impl LinkPatch {
+    fn apply(self, params: &mut LinkParams) {
+        match self {
+            LinkPatch::Partition => params.drop_chance = 1.0,
+            LinkPatch::Loss(p) => params.drop_chance = p,
+            LinkPatch::Corrupt(p) => params.corrupt_chance = p,
+            LinkPatch::Dup(p) => params.dup_chance = p,
+            LinkPatch::Reorder(p, hold) => {
+                params.reorder_chance = p;
+                params.reorder_hold = hold;
+            }
+        }
+    }
+}
+
+/// One primitive operation at one instant. `fault` indexes the
+/// originating fault in the sorted schedule so paired begin/end
+/// operations (stall/unstall, degrade/restore, kill/restart) share
+/// state resolved when the window opened.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// SIGKILL a PHY process (resolved from a symbolic target).
+    Kill(FaultTarget),
+    /// Wedge a PHY's poll loop (alive but missing every deadline).
+    Stall(FaultTarget),
+    /// Release a wedged PHY.
+    Unstall,
+    /// Save and rewrite the target's link parameters.
+    Degrade(FaultTarget, LinkPatch),
+    /// Restore the link parameters saved by the paired `Degrade`.
+    Restore,
+    /// Kill a process that will come back (Orion restart).
+    KillProcess(FaultTarget),
+    /// Revive the process killed by the paired `KillProcess`, re-running
+    /// its startup path with retained configuration.
+    RestartProcess,
+    /// Post `n` planned-migration requests to the L2-side Orion, spaced
+    /// 10 µs apart (1 = a planned migration, >1 = a request storm).
+    PostPlanned(u32),
+}
+
+/// Applies one [`Scenario`] to one [`Deployment`].
+pub struct ChaosRunner {
+    /// `(time, fault index, op)`, sorted by time then fault index.
+    ops: Vec<(Nanos, usize, Op)>,
+    /// Link parameters saved by `Degrade`, keyed by fault index.
+    saved_links: HashMap<usize, Vec<(NodeId, NodeId, LinkParams)>>,
+    /// Node wedged by `Stall`, keyed by fault index.
+    stalled: HashMap<usize, NodeId>,
+    /// Node killed by `KillProcess`, keyed by fault index.
+    downed: HashMap<usize, NodeId>,
+    /// Human-readable record of everything actually applied (targets
+    /// resolved), for failure reports.
+    pub log: Vec<(Nanos, String)>,
+}
+
+impl ChaosRunner {
+    /// Expand a scenario into its timed operation schedule.
+    pub fn new(scenario: &Scenario) -> ChaosRunner {
+        let mut ops = Vec::new();
+        for (i, f) in scenario.sorted_faults().into_iter().enumerate() {
+            let t0 = slot_time(f.at_slot);
+            let t1 = slot_time(f.at_slot + f.kind.duration_slots());
+            match f.kind {
+                FaultKind::PhyCrash => ops.push((t0, i, Op::Kill(f.target))),
+                FaultKind::PhyHang { .. } => {
+                    ops.push((t0, i, Op::Stall(f.target)));
+                    ops.push((t1, i, Op::Unstall));
+                }
+                FaultKind::LinkPartition { .. } => {
+                    ops.push((t0, i, Op::Degrade(f.target, LinkPatch::Partition)));
+                    ops.push((t1, i, Op::Restore));
+                }
+                FaultKind::BurstLoss { p, .. } => {
+                    ops.push((t0, i, Op::Degrade(f.target, LinkPatch::Loss(p))));
+                    ops.push((t1, i, Op::Restore));
+                }
+                FaultKind::IqCorrupt { p, .. } => {
+                    ops.push((t0, i, Op::Degrade(f.target, LinkPatch::Corrupt(p))));
+                    ops.push((t1, i, Op::Restore));
+                }
+                FaultKind::DupPackets { p, .. } => {
+                    ops.push((t0, i, Op::Degrade(f.target, LinkPatch::Dup(p))));
+                    ops.push((t1, i, Op::Restore));
+                }
+                FaultKind::ReorderPackets { p, hold, .. } => {
+                    ops.push((t0, i, Op::Degrade(f.target, LinkPatch::Reorder(p, hold))));
+                    ops.push((t1, i, Op::Restore));
+                }
+                FaultKind::OrionRestart { .. } => {
+                    ops.push((t0, i, Op::KillProcess(f.target)));
+                    ops.push((t1, i, Op::RestartProcess));
+                }
+                FaultKind::MigrationStorm { requests } => {
+                    ops.push((t0, i, Op::PostPlanned(requests)));
+                }
+                FaultKind::PlannedMigration => ops.push((t0, i, Op::PostPlanned(1))),
+            }
+        }
+        ops.sort_by_key(|&(t, i, _)| (t, i));
+        ChaosRunner {
+            ops,
+            saved_links: HashMap::new(),
+            stalled: HashMap::new(),
+            downed: HashMap::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Drive the deployment through every scheduled operation, then to
+    /// `horizon_slots`.
+    pub fn run(&mut self, d: &mut Deployment, horizon_slots: u64) {
+        let ops = std::mem::take(&mut self.ops);
+        for (t, fault, op) in ops {
+            d.engine.run_until(t);
+            self.apply(d, fault, op);
+        }
+        d.engine.run_until(slot_time(horizon_slots));
+    }
+
+    fn note(&mut self, at: Nanos, what: String) {
+        self.log.push((at, what));
+    }
+
+    fn apply(&mut self, d: &mut Deployment, fault: usize, op: Op) {
+        let now = d.engine.now();
+        match op {
+            Op::Kill(target) => match resolve_phy_node(d, target) {
+                Some(node) => {
+                    d.engine.kill(node);
+                    self.note(now, format!("kill {}", d.engine.node_name(node)));
+                }
+                None => self.note(now, format!("kill {target}: no such PHY, skipped")),
+            },
+            Op::Stall(target) => match resolve_phy_node(d, target) {
+                Some(node) => {
+                    if let Some(phy) = d.engine.node_mut::<PhyNode>(node) {
+                        phy.set_stalled(true);
+                        self.stalled.insert(fault, node);
+                        self.note(now, format!("stall {}", d.engine.node_name(node)));
+                    }
+                }
+                None => self.note(now, format!("stall {target}: no such PHY, skipped")),
+            },
+            Op::Unstall => {
+                if let Some(node) = self.stalled.remove(&fault) {
+                    if let Some(phy) = d.engine.node_mut::<PhyNode>(node) {
+                        phy.set_stalled(false);
+                    }
+                    self.note(now, format!("unstall {}", d.engine.node_name(node)));
+                }
+            }
+            Op::Degrade(target, patch) => {
+                let mut saved = Vec::new();
+                for (a, b) in resolve_links(d, target) {
+                    if let Some(params) = d.engine.link_params(a, b) {
+                        saved.push((a, b, params.clone()));
+                        let mut degraded = params;
+                        patch.apply(&mut degraded);
+                        d.engine.reconfigure_link(a, b, degraded);
+                    }
+                }
+                self.note(
+                    now,
+                    format!(
+                        "degrade {target} ({} link directions): {patch:?}",
+                        saved.len()
+                    ),
+                );
+                self.saved_links.insert(fault, saved);
+            }
+            Op::Restore => {
+                for (a, b, params) in self.saved_links.remove(&fault).unwrap_or_default() {
+                    d.engine.reconfigure_link(a, b, params);
+                }
+                self.note(now, "restore links".to_string());
+            }
+            Op::KillProcess(target) => match resolve_process_node(d, target) {
+                Some(node) => {
+                    d.engine.kill(node);
+                    self.downed.insert(fault, node);
+                    self.note(now, format!("down {}", d.engine.node_name(node)));
+                }
+                None => self.note(now, format!("down {target}: no such process, skipped")),
+            },
+            Op::RestartProcess => {
+                if let Some(node) = self.downed.remove(&fault) {
+                    d.engine.restart(node);
+                    self.note(now, format!("restart {}", d.engine.node_name(node)));
+                }
+            }
+            Op::PostPlanned(count) => {
+                for k in 0..count {
+                    d.engine.post(
+                        now + Nanos(10_000 * k as u64),
+                        d.orion_l2,
+                        Msg::Ctl(CtlMsg::PlannedMigration { ru_id: RU_ID }),
+                    );
+                }
+                self.note(now, format!("post {count} planned-migration request(s)"));
+            }
+        }
+    }
+}
+
+/// The engine node of the PHY currently playing the symbolic role, or
+/// `None` when the role is unfilled (e.g. standby already consumed and
+/// no spare configured).
+fn resolve_phy_node(d: &mut Deployment, target: FaultTarget) -> Option<NodeId> {
+    let phy_id = resolve_phy_id(d, target)?;
+    phy_node_of(d, phy_id)
+}
+
+/// The PHY id currently playing the symbolic role, read from the live
+/// control/data plane.
+pub fn resolve_phy_id(d: &mut Deployment, target: FaultTarget) -> Option<u8> {
+    match target {
+        // The data plane is the ground truth for who serves the RU.
+        FaultTarget::ActivePhy => {
+            Some(d.engine.node_mut::<SwitchNode>(d.switch)?.active_phy(RU_ID))
+        }
+        FaultTarget::StandbyPhy => d.engine.node::<OrionL2Node>(d.orion_l2)?.standby_of(RU_ID),
+        _ => None,
+    }
+}
+
+/// Map a PHY id of the standard single-RU deployment to its node.
+pub fn phy_node_of(d: &Deployment, phy_id: u8) -> Option<NodeId> {
+    match phy_id {
+        PRIMARY_PHY_ID => Some(d.primary_phy),
+        SECONDARY_PHY_ID => Some(d.secondary_phy),
+        SPARE_PHY_ID => d.spare_phy,
+        _ => None,
+    }
+}
+
+/// The phy-side Orion shim paired with a PHY id.
+fn orion_node_of(d: &Deployment, phy_id: u8) -> Option<NodeId> {
+    match phy_id {
+        PRIMARY_PHY_ID => Some(d.orion_primary),
+        SECONDARY_PHY_ID => Some(d.orion_secondary),
+        SPARE_PHY_ID => d.orion_spare,
+        _ => None,
+    }
+}
+
+/// The directed engine links a link-level fault covers.
+fn resolve_links(d: &mut Deployment, target: FaultTarget) -> Vec<(NodeId, NodeId)> {
+    match target {
+        FaultTarget::Fronthaul => vec![(d.ru, d.switch), (d.switch, d.ru)],
+        FaultTarget::FronthaulUplink => vec![(d.ru, d.switch)],
+        FaultTarget::FronthaulDownlink => vec![(d.switch, d.ru)],
+        FaultTarget::OrionL2 => vec![(d.orion_l2, d.switch), (d.switch, d.orion_l2)],
+        FaultTarget::ActivePhy | FaultTarget::StandbyPhy => match resolve_phy_node(d, target) {
+            Some(phy) => vec![(phy, d.switch), (d.switch, phy)],
+            None => Vec::new(),
+        },
+    }
+}
+
+/// The process an [`FaultKind::OrionRestart`] bounces: the L2-side shim
+/// for [`FaultTarget::OrionL2`], the paired PHY-side shim for PHY
+/// targets.
+fn resolve_process_node(d: &mut Deployment, target: FaultTarget) -> Option<NodeId> {
+    match target {
+        FaultTarget::OrionL2 => Some(d.orion_l2),
+        FaultTarget::ActivePhy | FaultTarget::StandbyPhy => {
+            let phy_id = resolve_phy_id(d, target)?;
+            orion_node_of(d, phy_id)
+        }
+        _ => None,
+    }
+}
+
+/// The standard chaos testbed: the full Fig. 4(b) deployment with a
+/// spare PHY (so failover scenarios can re-pair, §4.4) and a 4 Mbps
+/// uplink UDP flow from one UE — the same traffic shape as the §8
+/// failover experiments.
+pub fn chaos_deployment(seed: u64) -> Deployment {
+    let cfg = DeploymentConfig {
+        cell: CellConfig {
+            num_prbs: 51,
+            fidelity: Fidelity::Sampled,
+            ..CellConfig::default()
+        },
+        seed,
+        with_spare_phy: true,
+        ..DeploymentConfig::default()
+    };
+    let mut d = Deployment::build(cfg, vec![UeConfig::new(100, 0, "ue100", 22.0)]);
+    d.add_flow(
+        0,
+        100,
+        Box::new(UdpCbrSource::new(4_000_000, 1000, Nanos::ZERO)),
+        Box::new(UdpSink::new(Nanos::ZERO, Nanos::from_millis(10))),
+    );
+    d
+}
+
+/// Run a scenario against a deployment and judge the resulting trace
+/// with expectations derived from the injected damage.
+pub fn run_scenario(d: &mut Deployment, scenario: &Scenario) -> oracle::OracleReport {
+    let exp = oracle::Expectations::for_scenario(scenario, d.cfg.with_spare_phy);
+    run_scenario_with(d, scenario, &exp)
+}
+
+/// Run a scenario and judge against explicit expectations.
+pub fn run_scenario_with(
+    d: &mut Deployment,
+    scenario: &Scenario,
+    exp: &oracle::Expectations,
+) -> oracle::OracleReport {
+    let mut runner = ChaosRunner::new(scenario);
+    runner.run(d, scenario.horizon_slots);
+    oracle::check(d.engine.event_trace(), exp)
+}

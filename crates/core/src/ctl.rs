@@ -76,6 +76,26 @@ impl CtlPacket {
     }
 }
 
+/// Valid bit of a migration-request-store register entry.
+const MIGRATION_ENTRY_VALID: u64 = 1 << 24;
+
+/// Pack a pending `migrate_on_slot` request into the 32-bit register
+/// format the switch data plane matches against (Fig. 5): `(valid <<
+/// 24) | (dest_phy << 16) | slot_scalar`. The layout is owned here so
+/// the switch program and any inspector (tests, chaos tooling) agree.
+pub fn pack_migration_entry(dest_phy_id: u8, slot_scalar: u16) -> u64 {
+    MIGRATION_ENTRY_VALID | ((dest_phy_id as u64) << 16) | slot_scalar as u64
+}
+
+/// Decode a migration-request-store entry; `None` when the valid bit is
+/// clear (no request pending).
+pub fn unpack_migration_entry(entry: u64) -> Option<(u8, u16)> {
+    if entry & MIGRATION_ENTRY_VALID == 0 {
+        return None;
+    }
+    Some((((entry >> 16) & 0xFF) as u8, (entry & 0xFFFF) as u16))
+}
+
 /// Wrapping comparison in the 5120-slot scalar space: is `x` at or
 /// after `boundary`? (Within half an epoch, as the paper's 8-bit frame
 /// ids imply.)
@@ -113,6 +133,17 @@ mod tests {
         assert!(CtlPacket::from_bytes(&[]).is_none());
         assert!(CtlPacket::from_bytes(&[99]).is_none());
         assert!(CtlPacket::from_bytes(&[1, 2]).is_none());
+    }
+
+    #[test]
+    fn migration_entry_roundtrips() {
+        let packed = pack_migration_entry(7, 4777);
+        assert_eq!(unpack_migration_entry(packed), Some((7, 4777)));
+        // Cleared entry (the switch writes 0 after executing) decodes
+        // to "nothing pending".
+        assert_eq!(unpack_migration_entry(0), None);
+        // Stale scalar bits without the valid bit are also nothing.
+        assert_eq!(unpack_migration_entry(0x0002_1299), None);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use slingshot_switch::{
     ExactTable, PipelineManifest, PktGenConfig, PortId, RegisterArray, SwitchAction, SwitchProgram,
 };
 
-use crate::ctl::{scalar_at_or_after, CtlPacket};
+use crate::ctl::{pack_migration_entry, scalar_at_or_after, unpack_migration_entry, CtlPacket};
 
 /// Marker in the failure counter meaning "failure already reported";
 /// prevents repeated notifications until the PHY's packets reappear.
@@ -218,6 +218,12 @@ impl FhMbox {
         self.ru_to_phy.read(ru_id as usize) as u8
     }
 
+    /// The armed-but-unexecuted migration request for an RU, if any:
+    /// `(dest_phy, slot_scalar)`.
+    pub fn pending_migration(&mut self, ru_id: u8) -> Option<(u8, u16)> {
+        unpack_migration_entry(self.migration_store.read(ru_id as usize))
+    }
+
     fn forward_by_table(&mut self, frame: Frame) -> Vec<SwitchAction> {
         match self.port_table.lookup(frame.dst.as_u64()) {
             Some(port) => vec![SwitchAction::Forward {
@@ -232,12 +238,9 @@ impl FhMbox {
     /// execute the remap in the data plane if it matches (§5.1).
     fn maybe_migrate(&mut self, ru_id: u8, slot_scalar: u16) {
         let req = self.migration_store.read(ru_id as usize);
-        let valid = (req >> 24) & 1 == 1;
-        if !valid {
+        let Some((dest, boundary)) = unpack_migration_entry(req) else {
             return;
-        }
-        let dest = ((req >> 16) & 0xFF) as u8;
-        let boundary = (req & 0xFFFF) as u16;
+        };
         if scalar_at_or_after(slot_scalar, boundary) {
             let old = self.ru_to_phy.read(ru_id as usize);
             self.ru_to_phy.write(ru_id as usize, dest as u64);
@@ -281,7 +284,7 @@ impl SwitchProgram for FhMbox {
                     slot_scalar,
                 }) = CtlPacket::from_bytes(&frame.payload)
                 {
-                    let packed = (1u64 << 24) | ((dest_phy_id as u64) << 16) | slot_scalar as u64;
+                    let packed = pack_migration_entry(dest_phy_id, slot_scalar);
                     self.migration_store.write(ru_id as usize, packed);
                     self.stage_trace(
                         TraceEventKind::MigrateArmed,
@@ -488,10 +491,7 @@ mod tests {
     }
 
     fn fwd_port(actions: &[SwitchAction]) -> Option<PortId> {
-        match actions.first() {
-            Some(SwitchAction::Forward { port, .. }) => Some(*port),
-            _ => None,
-        }
+        actions.first().and_then(SwitchAction::forward_to)
     }
 
     #[test]

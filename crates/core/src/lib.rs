@@ -15,7 +15,12 @@
 //! - [`switch_node`]: the engine node hosting the middlebox program,
 //!   with in-switch vs software forwarding models (the §5 ablation).
 //! - [`deployment`]: a builder wiring the full testbed of Fig. 4(b).
+//! - [`chaos`]: the deployment-aware chaos runner — expands
+//!   `slingshot_sim::chaos` scenarios into timed kill/stall/degrade
+//!   operations against the live topology and judges the resulting
+//!   event trace with the invariant oracle.
 
+pub mod chaos;
 pub mod ctl;
 pub mod deployment;
 pub mod fh_mbox;
@@ -24,6 +29,7 @@ pub mod nfapi;
 pub mod orion;
 pub mod switch_node;
 
+pub use chaos::{chaos_deployment, run_scenario, run_scenario_with, ChaosRunner};
 pub use ctl::CtlPacket;
 pub use deployment::{
     Deployment, DeploymentConfig, L2_ID, PRIMARY_PHY_ID, RU_ID, SECONDARY_PHY_ID, SPARE_PHY_ID,

@@ -405,6 +405,24 @@ impl OrionL2Node {
         );
     }
 
+    /// The PHY currently bound as primary for `ru_id` (chaos targeting
+    /// and test assertions).
+    pub fn primary_of(&self, ru_id: u8) -> Option<u8> {
+        self.bindings.get(&ru_id).map(|b| b.primary)
+    }
+
+    /// The PHY currently bound as hot standby for `ru_id`, if any.
+    pub fn standby_of(&self, ru_id: u8) -> Option<u8> {
+        self.bindings.get(&ru_id).and_then(|b| b.secondary)
+    }
+
+    /// Whether a migration is currently in flight for `ru_id`.
+    pub fn migration_pending(&self, ru_id: u8) -> bool {
+        self.bindings
+            .get(&ru_id)
+            .is_some_and(|b| b.migrate_at.is_some())
+    }
+
     /// The PHY that owns slot `abs` for this RU.
     fn owner_of(b: &RuBinding, abs: u64) -> u8 {
         match (b.migrate_at, b.secondary) {
@@ -558,6 +576,12 @@ impl OrionL2Node {
             None => src_phy == b.primary,
         };
         if accept {
+            // Chaos-oracle checkpoint: exactly one PHY's uplink response
+            // per slot may cross into L2, failover or not. CRC.indication
+            // is the once-per-slot response the oracle keys on.
+            if let (FapiMsg::CrcInd(_), Some(abs), Some(slot)) = (&msg, slot_abs, msg.slot()) {
+                ctx.trace_at_slot(TraceEventKind::FapiToL2, slot, src_phy as u64, abs);
+            }
             let now = ctx.now();
             let done = self.state.service(now, 64, &self.cost);
             if let Some(l2) = self.l2 {

@@ -109,6 +109,14 @@ impl SwitchNode {
         self.ports.insert(port, node);
     }
 
+    /// The PHY currently serving `ru_id` per the data-plane RU→PHY
+    /// mapping. Chaos tooling resolves symbolic targets ("the active
+    /// PHY") through this at fault-apply time, so a fault scheduled
+    /// after a failover lands on the post-failover owner.
+    pub fn active_phy(&mut self, ru_id: u8) -> u8 {
+        self.mbox.active_phy(ru_id)
+    }
+
     pub fn set_pktgen(&mut self, enabled: bool) {
         self.pktgen_enabled = enabled;
     }

@@ -4,8 +4,10 @@
 //! misses real failures nor false-fires, and Orion's §6.1 loss guard
 //! keeps a starved PHY alive.
 
+use slingshot::chaos::ChaosRunner;
 use slingshot::{Deployment, DeploymentConfig, OrionL2Node, OrionPhyNode, SwitchNode};
 use slingshot_ran::{CellConfig, Fidelity, PhyNode, UeConfig, UeNode, UeState};
+use slingshot_sim::chaos::{FaultKind, FaultTarget, Scenario};
 use slingshot_sim::{LinkParams, Nanos};
 use slingshot_transport::{UdpCbrSource, UdpSink};
 
@@ -44,12 +46,18 @@ fn sink_stats(d: &Deployment) -> (u64, f64) {
 
 #[test]
 fn lossy_fronthaul_degrades_gracefully() {
+    // Expressed in the chaos DSL: 1% random loss on both fronthaul
+    // legs for the whole run (4000 slots = 2 s).
+    let scenario = Scenario::new("lossy-fh", 4000).fault(
+        0,
+        FaultTarget::Fronthaul,
+        FaultKind::BurstLoss {
+            p: 0.01,
+            slots: 4000,
+        },
+    );
     let mut d = with_flow(1);
-    // 1% random loss on both fronthaul legs.
-    let lossy = LinkParams::with_bandwidth(Nanos(20_000), 25_000_000_000).drop_chance(0.01);
-    d.engine.reconfigure_link(d.ru, d.switch, lossy.clone());
-    d.engine.reconfigure_link(d.switch, d.ru, lossy);
-    d.engine.run_until(Nanos::from_secs(2));
+    ChaosRunner::new(&scenario).run(&mut d, scenario.horizon_slots);
     let (rx, loss) = sink_stats(&d);
     assert!(rx > 500, "rx={rx}");
     assert!(loss < 0.2, "loss={loss}");
@@ -101,16 +109,20 @@ fn lossy_fapi_transport_triggers_orion_loss_guard() {
 
 #[test]
 fn failover_still_works_under_background_loss() {
+    // Chaos DSL port: 0.5% background fronthaul loss for the whole run
+    // with the active PHY crashing mid-way (slot 1600 = 800 ms).
+    let scenario = Scenario::new("loss+crash", 4000)
+        .fault(
+            0,
+            FaultTarget::Fronthaul,
+            FaultKind::BurstLoss {
+                p: 0.005,
+                slots: 4000,
+            },
+        )
+        .fault(1600, FaultTarget::ActivePhy, FaultKind::PhyCrash);
     let mut d = with_flow(4);
-    for (a, b) in [(d.ru, d.switch), (d.switch, d.ru)] {
-        d.engine.reconfigure_link(
-            a,
-            b,
-            LinkParams::with_bandwidth(Nanos(20_000), 25_000_000_000).drop_chance(0.005),
-        );
-    }
-    d.kill_primary_at(Nanos::from_millis(800));
-    d.engine.run_until(Nanos::from_secs(2));
+    ChaosRunner::new(&scenario).run(&mut d, scenario.horizon_slots);
     let orion = d.engine.node::<OrionL2Node>(d.orion_l2).unwrap();
     assert_eq!(orion.failovers, 1);
     let ue = d.engine.node::<UeNode>(d.ues[0]).unwrap();

@@ -127,6 +127,16 @@ impl Message for Msg {
             _ => false,
         }
     }
+
+    fn duplicate(&self) -> Option<Self> {
+        match self {
+            // Only wire-format frames can be duplicated by a flaky
+            // network element; SHM handles, radio bursts, and abstract
+            // control messages have no replicable wire representation.
+            Msg::Eth(f) => Some(Msg::Eth(f.clone())),
+            _ => None,
+        }
+    }
 }
 
 /// Timer tokens shared across RAN nodes. Each node's `on_timer`

@@ -108,6 +108,11 @@ pub struct PhyNode {
     fapi_peer: Option<NodeId>,
     rus: BTreeMap<u8, RuCtx>,
     crashed: bool,
+    /// Chaos hook: a stalled PHY is alive but wedged — its slot timer
+    /// still fires (the clock interrupt) yet no work is done and its
+    /// queues drop on the floor. It misses TTI deadlines without dying,
+    /// the gray failure the in-switch detector must still catch.
+    stalled: bool,
     /// Statistics / experiment instrumentation.
     pub crash_time: Option<Nanos>,
     pub busy_ns_total: u64,
@@ -134,6 +139,7 @@ impl PhyNode {
             fapi_peer: None,
             rus: BTreeMap::new(),
             crashed: false,
+            stalled: false,
             crash_time: None,
             busy_ns_total: 0,
             null_slots: 0,
@@ -166,6 +172,24 @@ impl PhyNode {
     /// Live-upgrade knob (§8.3): change the decoder iteration budget.
     pub fn set_fec_iterations(&mut self, iters: usize) {
         self.cfg.fec_iterations = iters;
+    }
+
+    /// Chaos hook: wedge or un-wedge the PHY's poll loop. While stalled
+    /// it emits no heartbeats, processes no slots, and drops every
+    /// incoming message — but stays alive. Un-stalling resumes the slot
+    /// cadence; a PHY that was failed-over-from in the meantime will be
+    /// starved of FAPI requests and crash itself cleanly a few slots
+    /// later (the FAPI-liveness rule).
+    pub fn set_stalled(&mut self, stalled: bool) {
+        self.stalled = stalled;
+    }
+
+    pub fn is_stalled(&self) -> bool {
+        self.stalled
+    }
+
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
     }
 
     /// Ablation hook: extract this RU's HARQ soft state (what a
@@ -641,6 +665,12 @@ impl Node<Msg> for PhyNode {
             timer_tokens::SLOT_TICK => {
                 let now = ctx.now();
                 let abs = self.clock.absolute_slot(now);
+                if self.stalled {
+                    // Wedged: keep the clock interrupt alive so the
+                    // cadence can resume, but do no slot work.
+                    ctx.timer_at(self.clock.slot_start(abs + 1), timer_tokens::SLOT_TICK);
+                    return;
+                }
                 let slot = SlotId::from_absolute(abs);
                 // Per-slot heartbeat at the boundary...
                 self.heartbeat(ctx, slot);
@@ -700,6 +730,9 @@ impl Node<Msg> for PhyNode {
                 ctx.timer_at(self.clock.slot_start(abs + 1), timer_tokens::SLOT_TICK);
             }
             TIMER_HEARTBEAT => {
+                if self.stalled {
+                    return;
+                }
                 let slot = self.clock.slot_id(ctx.now());
                 self.heartbeat(ctx, slot);
             }
@@ -708,7 +741,9 @@ impl Node<Msg> for PhyNode {
     }
 
     fn on_msg(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
-        if self.crashed {
+        if self.crashed || self.stalled {
+            // A wedged poll loop never drains its rings: incoming FAPI
+            // and fronthaul are lost, not deferred.
             return;
         }
         match msg {

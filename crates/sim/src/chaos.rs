@@ -1,0 +1,780 @@
+//! Deterministic chaos engineering for the simulator.
+//!
+//! This module provides the three generic pieces of the chaos subsystem
+//! (the Slingshot-aware fault *application* lives in the `core` crate,
+//! which knows the deployment topology):
+//!
+//! 1. A scenario DSL: a [`Scenario`] is a named list of slot-scheduled
+//!    [`Fault`]s (`Fault { at_slot, target, kind }`) covering the failure
+//!    modes the paper argues a resilient vRAN must survive (§2, §6) —
+//!    PHY crash, PHY hang/slowdown, link partition, burst loss, IQ
+//!    corruption, duplicated/reordered fronthaul packets, Orion restart,
+//!    and migration-request storms.
+//! 2. A seeded randomized scheduler ([`ChaosDistribution`]) that samples
+//!    fault sequences from a configurable distribution. A whole scenario
+//!    is reproducible from one `u64` seed; harnesses print the seed on
+//!    failure so any run can be replayed byte-identically.
+//! 3. A trace-driven invariant checker ([`oracle`]) that replays the
+//!    recorded event trace after a run and asserts the paper's bounds:
+//!    detection latency, dropped-TTI count, no duplicate FAPI responses
+//!    reaching L2, exactly one active PHY per slot, and eventual
+//!    re-pairing after failover.
+//!
+//! Everything here is pure data + pure functions over the trace; nothing
+//! touches the engine directly, so the same scenarios can drive future
+//! deployments (multi-RU, baseline) through their own runners.
+
+use crate::time::Nanos;
+use crate::trace::{detections, dropped_ttis, TraceBuffer, TraceEventKind};
+use crate::SimRng;
+
+/// What a fault acts on, in deployment-symbolic terms. The runner (in
+/// the `core` crate) resolves these against the live topology at the
+/// moment the fault fires, so "the active PHY" tracks failovers that
+/// earlier faults in the same scenario caused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// The PHY currently serving the RU (resolved at injection time).
+    ActivePhy,
+    /// The current standby PHY for the RU.
+    StandbyPhy,
+    /// Both directions of the RU <-> switch fronthaul link.
+    Fronthaul,
+    /// RU -> switch only (uplink IQ samples).
+    FronthaulUplink,
+    /// Switch -> RU only (downlink slot data + heartbeats).
+    FronthaulDownlink,
+    /// The L2-side Orion shim process.
+    OrionL2,
+}
+
+impl std::fmt::Display for FaultTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultTarget::ActivePhy => "active-phy",
+            FaultTarget::StandbyPhy => "standby-phy",
+            FaultTarget::Fronthaul => "fronthaul",
+            FaultTarget::FronthaulUplink => "fronthaul-ul",
+            FaultTarget::FronthaulDownlink => "fronthaul-dl",
+            FaultTarget::OrionL2 => "orion-l2",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The failure mode to inject. Durations are in slots (500 us each).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Fail-stop process crash (SIGKILL); the node never comes back on
+    /// its own — recovery, if any, comes from Slingshot's failover.
+    PhyCrash,
+    /// The PHY stays alive but misses its TTI deadlines for `slots`
+    /// slots: no heartbeats, no uplink processing (a wedged DPDK poll
+    /// loop, a long GC pause). After the window it resumes — by then the
+    /// switch has usually failed over, so the revenant's downlink is
+    /// filtered and it idles on null FAPI as an unpaired warm process
+    /// (no split brain).
+    PhyHang { slots: u64 },
+    /// Drop every packet in both directions for `slots` slots.
+    LinkPartition { slots: u64 },
+    /// Drop each packet with probability `p` for `slots` slots.
+    BurstLoss { p: f64, slots: u64 },
+    /// Corrupt each packet with probability `p` for `slots` slots
+    /// (bit-flips in IQ payloads; the FEC/CRC chain has to absorb it).
+    IqCorrupt { p: f64, slots: u64 },
+    /// Duplicate each packet with probability `p` for `slots` slots.
+    DupPackets { p: f64, slots: u64 },
+    /// With probability `p`, hold a packet back by `hold` so later
+    /// packets overtake it, for `slots` slots.
+    ReorderPackets { p: f64, hold: Nanos, slots: u64 },
+    /// Kill the target process and restart it `down_slots` later; the
+    /// restarted process re-runs its startup path with retained config
+    /// (Slingshot's Orion shim is deliberately restart-tolerant, §4.2).
+    OrionRestart { down_slots: u64 },
+    /// Fire `requests` planned-migration requests back to back — the
+    /// control plane must serialize them (one in-flight migration per
+    /// RU) without dropping TTIs.
+    MigrationStorm { requests: u32 },
+    /// A single operator-initiated planned migration (§6.2).
+    PlannedMigration,
+}
+
+impl FaultKind {
+    /// Whether this fault permanently removes a PHY from service when
+    /// aimed at a PHY target (used by the sampler to bound how much
+    /// redundancy a random scenario may burn).
+    pub fn lethal_to_phy(&self) -> bool {
+        matches!(self, FaultKind::PhyCrash | FaultKind::PhyHang { .. })
+    }
+
+    /// The window during which the fault actively degrades the system.
+    pub fn duration_slots(&self) -> u64 {
+        match *self {
+            FaultKind::PhyHang { slots }
+            | FaultKind::LinkPartition { slots }
+            | FaultKind::BurstLoss { slots, .. }
+            | FaultKind::IqCorrupt { slots, .. }
+            | FaultKind::DupPackets { slots, .. }
+            | FaultKind::ReorderPackets { slots, .. } => slots,
+            FaultKind::OrionRestart { down_slots } => down_slots,
+            FaultKind::PhyCrash
+            | FaultKind::MigrationStorm { .. }
+            | FaultKind::PlannedMigration => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FaultKind::PhyCrash => write!(f, "phy-crash"),
+            FaultKind::PhyHang { slots } => write!(f, "phy-hang({slots} slots)"),
+            FaultKind::LinkPartition { slots } => write!(f, "partition({slots} slots)"),
+            FaultKind::BurstLoss { p, slots } => write!(f, "burst-loss(p={p:.2}, {slots} slots)"),
+            FaultKind::IqCorrupt { p, slots } => write!(f, "iq-corrupt(p={p:.2}, {slots} slots)"),
+            FaultKind::DupPackets { p, slots } => write!(f, "dup(p={p:.2}, {slots} slots)"),
+            FaultKind::ReorderPackets { p, hold, slots } => {
+                write!(
+                    f,
+                    "reorder(p={p:.2}, hold={}us, {slots} slots)",
+                    hold.0 / 1_000
+                )
+            }
+            FaultKind::OrionRestart { down_slots } => {
+                write!(f, "orion-restart({down_slots} slots down)")
+            }
+            FaultKind::MigrationStorm { requests } => write!(f, "migration-storm({requests})"),
+            FaultKind::PlannedMigration => write!(f, "planned-migration"),
+        }
+    }
+}
+
+/// One scheduled fault: at absolute slot `at_slot`, apply `kind` to
+/// `target`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fault {
+    pub at_slot: u64,
+    pub target: FaultTarget,
+    pub kind: FaultKind,
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "@{} {} {}", self.at_slot, self.target, self.kind)
+    }
+}
+
+/// A named, ordered fault schedule plus the run horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    pub name: String,
+    pub faults: Vec<Fault>,
+    /// Run the simulation until this absolute slot before judging.
+    pub horizon_slots: u64,
+}
+
+impl Scenario {
+    pub fn new(name: &str, horizon_slots: u64) -> Scenario {
+        Scenario {
+            name: name.to_string(),
+            faults: Vec::new(),
+            horizon_slots,
+        }
+    }
+
+    /// Builder-style: append a fault (kept sorted by slot at run time).
+    pub fn fault(mut self, at_slot: u64, target: FaultTarget, kind: FaultKind) -> Scenario {
+        self.faults.push(Fault {
+            at_slot,
+            target,
+            kind,
+        });
+        self
+    }
+
+    /// Faults sorted by injection slot (stable for equal slots).
+    pub fn sorted_faults(&self) -> Vec<Fault> {
+        let mut f = self.faults.clone();
+        f.sort_by_key(|x| x.at_slot);
+        f
+    }
+
+    /// One-line human description, printed by harnesses on failure.
+    pub fn describe(&self) -> String {
+        let faults: Vec<String> = self.sorted_faults().iter().map(|f| f.to_string()).collect();
+        format!("{}: [{}]", self.name, faults.join(", "))
+    }
+}
+
+/// Configurable distribution over fault sequences. `sample(seed)` is a
+/// pure function: the same seed always yields the same scenario, which
+/// is what makes a failing nightly seed replayable locally.
+#[derive(Debug, Clone)]
+pub struct ChaosDistribution {
+    /// Earliest slot a fault may fire (leave room for UE attach and
+    /// traffic ramp-up).
+    pub first_fault_slot: u64,
+    /// Latest slot a new fault may fire.
+    pub last_fault_slot: u64,
+    /// Minimum spacing between fault injection slots, so one disruption
+    /// settles (failover completes, links restore) before the next hits.
+    pub min_gap_slots: u64,
+    /// Upper bound on faults per scenario (at least one is always drawn).
+    pub max_faults: usize,
+    /// Slots to keep running after the last fault before judging.
+    pub cooldown_slots: u64,
+}
+
+impl Default for ChaosDistribution {
+    fn default() -> ChaosDistribution {
+        ChaosDistribution {
+            first_fault_slot: 700,
+            last_fault_slot: 1500,
+            min_gap_slots: 250,
+            max_faults: 3,
+            cooldown_slots: 700,
+        }
+    }
+}
+
+impl ChaosDistribution {
+    /// Sample a scenario. At most one PHY-lethal fault is drawn per
+    /// scenario: a single spare only restores redundancy once, and the
+    /// oracle's bounds assume the deployment is never asked to survive
+    /// more simultaneous failures than the paper's provisioning model
+    /// (§4.4) provides for.
+    pub fn sample(&self, seed: u64) -> Scenario {
+        let mut rng = SimRng::new(seed ^ 0x5eed_c4a0_5eed_c4a0);
+        let n = 1 + rng.below(self.max_faults as u64) as usize;
+        let mut scenario = Scenario::new(&format!("rand-{seed:#x}"), 0);
+        let mut slot =
+            self.first_fault_slot + rng.below(self.last_fault_slot - self.first_fault_slot);
+        let mut lethal_used = false;
+        let mut last_slot = slot;
+        for _ in 0..n {
+            let (target, kind) = self.sample_fault(&mut rng, &mut lethal_used);
+            scenario.faults.push(Fault {
+                at_slot: slot,
+                target,
+                kind,
+            });
+            last_slot = slot + kind.duration_slots();
+            slot += self.min_gap_slots + rng.below(self.min_gap_slots);
+        }
+        scenario.horizon_slots = last_slot + self.cooldown_slots;
+        scenario
+    }
+
+    fn sample_fault(&self, rng: &mut SimRng, lethal_used: &mut bool) -> (FaultTarget, FaultKind) {
+        loop {
+            // Weighted table; weights sum to 13.
+            let draw = rng.below(13);
+            let (target, kind) = match draw {
+                0 | 1 => (FaultTarget::ActivePhy, FaultKind::PhyCrash),
+                2 | 3 => (
+                    FaultTarget::ActivePhy,
+                    FaultKind::PhyHang {
+                        slots: 10 + rng.below(50),
+                    },
+                ),
+                4 | 5 => (
+                    FaultTarget::Fronthaul,
+                    FaultKind::BurstLoss {
+                        p: 0.05 + rng.range_f64(0.0, 0.25),
+                        slots: 20 + rng.below(80),
+                    },
+                ),
+                6 => (
+                    FaultTarget::Fronthaul,
+                    FaultKind::LinkPartition {
+                        slots: 4 + rng.below(12),
+                    },
+                ),
+                7 | 8 => (
+                    FaultTarget::FronthaulUplink,
+                    FaultKind::IqCorrupt {
+                        p: 0.02 + rng.range_f64(0.0, 0.10),
+                        slots: 20 + rng.below(80),
+                    },
+                ),
+                9 => (
+                    FaultTarget::Fronthaul,
+                    FaultKind::DupPackets {
+                        p: 0.05 + rng.range_f64(0.0, 0.30),
+                        slots: 20 + rng.below(80),
+                    },
+                ),
+                10 => (
+                    FaultTarget::Fronthaul,
+                    FaultKind::ReorderPackets {
+                        p: 0.05 + rng.range_f64(0.0, 0.20),
+                        hold: Nanos(20_000 + rng.below(130_000)),
+                        slots: 20 + rng.below(80),
+                    },
+                ),
+                11 => (
+                    FaultTarget::OrionL2,
+                    FaultKind::OrionRestart {
+                        down_slots: 5 + rng.below(15),
+                    },
+                ),
+                _ => {
+                    if rng.chance(0.5) {
+                        (
+                            FaultTarget::OrionL2,
+                            FaultKind::MigrationStorm {
+                                requests: 2 + rng.below(5) as u32,
+                            },
+                        )
+                    } else {
+                        (FaultTarget::OrionL2, FaultKind::PlannedMigration)
+                    }
+                }
+            };
+            if kind.lethal_to_phy() {
+                if *lethal_used {
+                    continue; // redraw: one lethal fault per scenario
+                }
+                *lethal_used = true;
+            }
+            return (target, kind);
+        }
+    }
+}
+
+/// Trace-driven invariant checking: replay the event trace after a run
+/// and assert the paper's bounds. Each invariant cites the claim it
+/// guards (see DESIGN.md §5c).
+pub mod oracle {
+    use super::*;
+    use crate::time::SLOT_DURATION;
+
+    /// What a scenario is allowed to cost. Built per scenario by
+    /// [`Expectations::for_scenario`] so the allowance follows the
+    /// injected damage instead of being one global constant.
+    #[derive(Debug, Clone)]
+    pub struct Expectations {
+        /// Paper §5.2: in-switch detection fires within the 450 us
+        /// timeout period of the last heartbeat.
+        pub max_detection_latency: Nanos,
+        /// Paper §6.1: a PHY crash costs at most 3 dropped TTIs; link
+        /// and control-plane faults widen this budget proportionally.
+        pub max_dropped_ttis: u64,
+        /// Uplink slots per TDD cycle stride (DDDSU = every 5th slot).
+        pub tdd_stride: u64,
+        /// Whether the run must end re-paired: after the last map flip
+        /// an active PHY serves traffic *and* a standby receives
+        /// null-FAPI keep-alives (§4.3's warm standby contract).
+        pub expect_repair: bool,
+    }
+
+    impl Default for Expectations {
+        fn default() -> Expectations {
+            Expectations {
+                max_detection_latency: Nanos::from_micros(450),
+                max_dropped_ttis: 3,
+                tdd_stride: 5,
+                expect_repair: false,
+            }
+        }
+    }
+
+    impl Expectations {
+        /// Derive the damage budget for a scenario. `has_spare` is
+        /// whether the deployment keeps a spare PHY to re-pair with
+        /// after a failover consumes the standby.
+        pub fn for_scenario(scenario: &Scenario, has_spare: bool) -> Expectations {
+            let mut allowed: u64 = 0;
+            let mut lethal = false;
+            let mut flips = false;
+            for f in &scenario.faults {
+                match f.kind {
+                    FaultKind::PhyCrash => {
+                        if f.target == FaultTarget::ActivePhy {
+                            allowed += 3;
+                            lethal = true;
+                        } else {
+                            allowed += 1;
+                        }
+                    }
+                    FaultKind::PhyHang { slots } => {
+                        if f.target == FaultTarget::ActivePhy {
+                            // Detection + failover costs <= 3; a hang too
+                            // short to trip the detector instead skips up
+                            // to slots/stride TTIs outright.
+                            allowed += 3 + slots.div_ceil(5) + 1;
+                            lethal = true;
+                        } else {
+                            // A hung standby drops no traffic; it only
+                            // burns the redundancy margin.
+                            allowed += 1;
+                        }
+                    }
+                    FaultKind::LinkPartition { slots } | FaultKind::BurstLoss { slots, .. } => {
+                        allowed += slots.div_ceil(5) + 2;
+                    }
+                    FaultKind::IqCorrupt { .. } => allowed += 2,
+                    FaultKind::DupPackets { .. } | FaultKind::ReorderPackets { .. } => allowed += 1,
+                    FaultKind::OrionRestart { down_slots } => {
+                        allowed += down_slots.div_ceil(5) + 3;
+                    }
+                    FaultKind::MigrationStorm { .. } => {
+                        allowed += 1;
+                        flips = true;
+                    }
+                    FaultKind::PlannedMigration => flips = true,
+                }
+            }
+            Expectations {
+                max_dropped_ttis: allowed.max(3),
+                expect_repair: (lethal && has_spare) || (flips && !lethal),
+                ..Expectations::default()
+            }
+        }
+    }
+
+    /// A single invariant violation, with enough detail to debug from a
+    /// CI log alone.
+    #[derive(Debug, Clone)]
+    pub struct Violation {
+        pub invariant: &'static str,
+        pub detail: String,
+    }
+
+    impl std::fmt::Display for Violation {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "[{}] {}", self.invariant, self.detail)
+        }
+    }
+
+    /// The oracle's verdict plus the derived measures it judged on.
+    #[derive(Debug, Clone)]
+    pub struct OracleReport {
+        pub violations: Vec<Violation>,
+        pub detections: usize,
+        pub max_detection_latency: Nanos,
+        pub delivered_ttis: u64,
+        pub dropped_ttis: u64,
+    }
+
+    impl OracleReport {
+        pub fn ok(&self) -> bool {
+            self.violations.is_empty()
+        }
+    }
+
+    /// Replay `trace` and check every invariant against `exp`.
+    pub fn check(trace: &TraceBuffer, exp: &Expectations) -> OracleReport {
+        let mut violations = Vec::new();
+
+        // Invariant 1: detection latency (paper §5.2, Fig. 7). Every
+        // DetectorSaturated must fire within the timeout period of the
+        // last heartbeat the switch saw from the failed PHY.
+        let dets = detections(trace.iter());
+        let mut max_latency = Nanos::ZERO;
+        for d in &dets {
+            let lat = d.latency();
+            max_latency = max_latency.max(lat);
+            if lat > exp.max_detection_latency {
+                violations.push(Violation {
+                    invariant: "detection-latency",
+                    detail: format!(
+                        "phy {} detected {} us after last heartbeat (bound {} us)",
+                        d.phy,
+                        lat.0 / 1_000,
+                        exp.max_detection_latency.0 / 1_000
+                    ),
+                });
+            }
+        }
+
+        // Invariant 2: dropped-TTI budget (paper §6.1, Table 1).
+        let delivered = crate::trace::delivered_ul_slots(trace.iter());
+        let dropped = dropped_ttis(&delivered, exp.tdd_stride);
+        if dropped > exp.max_dropped_ttis {
+            violations.push(Violation {
+                invariant: "dropped-ttis",
+                detail: format!(
+                    "{} TTIs dropped (budget {}), {} delivered",
+                    dropped,
+                    exp.max_dropped_ttis,
+                    delivered.len()
+                ),
+            });
+        }
+
+        // Invariant 3: exactly one active PHY per slot (§4.3). Two PHYs
+        // completing uplink processing for the same absolute slot means
+        // the switch steered (or failed to filter) both replicas.
+        let mut per_slot: std::collections::BTreeMap<u64, Vec<u64>> = Default::default();
+        for e in trace.of_kind(TraceEventKind::UlSlotProcessed) {
+            let phys = per_slot.entry(e.a).or_default();
+            if !phys.contains(&e.b) {
+                phys.push(e.b);
+            }
+        }
+        for (slot, phys) in &per_slot {
+            if phys.len() > 1 {
+                violations.push(Violation {
+                    invariant: "one-active-phy",
+                    detail: format!("slot {slot} processed by {} PHYs: {:?}", phys.len(), phys),
+                });
+            }
+        }
+
+        // Invariant 4: no duplicate FAPI responses reaching L2 (§4.3's
+        // exactly-once delivery across failover; Orion must absorb late
+        // results from the old primary, not forward them twice).
+        let mut fapi_per_slot: std::collections::BTreeMap<u64, u64> = Default::default();
+        for e in trace.of_kind(TraceEventKind::FapiToL2) {
+            *fapi_per_slot.entry(e.b).or_insert(0) += 1;
+        }
+        for (slot, count) in &fapi_per_slot {
+            if *count > 1 {
+                violations.push(Violation {
+                    invariant: "no-dup-fapi",
+                    detail: format!("slot {slot}: {count} FAPI uplink responses reached L2"),
+                });
+            }
+        }
+
+        // Invariant 5: eventual re-pairing (§4.4). After the last map
+        // flip, traffic must flow on the new active PHY and a standby
+        // must be kept warm with null FAPI messages.
+        if exp.expect_repair {
+            let last_flip = trace.of_kind(TraceEventKind::MapFlip).map(|e| e.at).max();
+            match last_flip {
+                None => violations.push(Violation {
+                    invariant: "eventual-repair",
+                    detail: "no MapFlip recorded although the scenario requires a failover"
+                        .to_string(),
+                }),
+                Some(flip_at) => {
+                    // Give the control plane a grace window to finalize
+                    // (boundary + 4 slots) before demanding keep-alives.
+                    let settle = flip_at + Nanos(SLOT_DURATION.0 * 10);
+                    let served = trace
+                        .of_kind(TraceEventKind::UlSlotProcessed)
+                        .any(|e| e.at > settle);
+                    let kept_warm = trace
+                        .of_kind(TraceEventKind::NullFapiSent)
+                        .any(|e| e.at > settle);
+                    if !served {
+                        violations.push(Violation {
+                            invariant: "eventual-repair",
+                            detail: format!(
+                                "no uplink TTIs delivered after the last map flip at {} us",
+                                flip_at.0 / 1_000
+                            ),
+                        });
+                    }
+                    if !kept_warm {
+                        violations.push(Violation {
+                            invariant: "eventual-repair",
+                            detail: format!(
+                                "no null-FAPI keep-alives to a standby after the last map flip \
+                                 at {} us (binding did not re-pair)",
+                                flip_at.0 / 1_000
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        OracleReport {
+            violations,
+            detections: dets.len(),
+            max_detection_latency: max_latency,
+            delivered_ttis: delivered.len() as u64,
+            dropped_ttis: dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::oracle::{check, Expectations};
+    use super::*;
+    use crate::engine::NodeId;
+    use crate::time::{SlotId, SLOT_DURATION};
+    use crate::trace::TraceBuffer;
+
+    fn slot_time(abs: u64) -> Nanos {
+        Nanos(abs * SLOT_DURATION.0)
+    }
+
+    fn record(tb: &mut TraceBuffer, abs: u64, kind: TraceEventKind, a: u64, b: u64) {
+        tb.record_at_slot(
+            slot_time(abs),
+            NodeId(0),
+            SlotId::from_absolute(abs),
+            kind,
+            a,
+            b,
+        );
+    }
+
+    /// A clean trace: UL slot every 5th slot from one PHY, each slot's
+    /// FAPI response forwarded once.
+    fn healthy_trace(slots: u64) -> TraceBuffer {
+        let mut tb = TraceBuffer::new(1 << 16);
+        for abs in (0..slots).filter(|s| s % 5 == 4) {
+            record(&mut tb, abs, TraceEventKind::UlSlotProcessed, abs, 1);
+            record(&mut tb, abs, TraceEventKind::FapiToL2, 1, abs);
+        }
+        tb
+    }
+
+    #[test]
+    fn healthy_trace_passes() {
+        let tb = healthy_trace(500);
+        let rep = check(&tb, &Expectations::default());
+        assert!(rep.ok(), "unexpected violations: {:?}", rep.violations);
+        assert_eq!(rep.dropped_ttis, 0);
+    }
+
+    #[test]
+    fn split_brain_flagged() {
+        let mut tb = healthy_trace(100);
+        // Slot 44 also processed by PHY 2.
+        record(&mut tb, 44, TraceEventKind::UlSlotProcessed, 44, 2);
+        let rep = check(&tb, &Expectations::default());
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| v.invariant == "one-active-phy"));
+    }
+
+    #[test]
+    fn duplicate_fapi_flagged() {
+        let mut tb = healthy_trace(100);
+        record(&mut tb, 49, TraceEventKind::FapiToL2, 2, 49);
+        let rep = check(&tb, &Expectations::default());
+        assert!(rep.violations.iter().any(|v| v.invariant == "no-dup-fapi"));
+    }
+
+    #[test]
+    fn excess_dropped_ttis_flagged() {
+        let mut tb = TraceBuffer::new(1 << 16);
+        // UL slots 4..200 with a 6-TTI hole in the middle.
+        for abs in (0..200u64).filter(|s| s % 5 == 4) {
+            if (60..90).contains(&abs) {
+                continue;
+            }
+            record(&mut tb, abs, TraceEventKind::UlSlotProcessed, abs, 1);
+        }
+        let rep = check(&tb, &Expectations::default());
+        assert!(rep.violations.iter().any(|v| v.invariant == "dropped-ttis"));
+        assert_eq!(rep.dropped_ttis, 6);
+    }
+
+    #[test]
+    fn late_detection_flagged() {
+        let mut tb = healthy_trace(100);
+        // Saturation 600us after the last heartbeat (bound is 450us).
+        let last_hb = slot_time(50);
+        tb.record(
+            last_hb + Nanos::from_micros(600),
+            NodeId(3),
+            TraceEventKind::DetectorSaturated,
+            1,
+            last_hb.0,
+        );
+        let rep = check(&tb, &Expectations::default());
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| v.invariant == "detection-latency"));
+        assert_eq!(rep.detections, 1);
+    }
+
+    #[test]
+    fn missing_repair_flagged() {
+        let mut tb = healthy_trace(100);
+        record(&mut tb, 50, TraceEventKind::MapFlip, 7, (1 << 16) | 2);
+        let exp = Expectations {
+            expect_repair: true,
+            ..Expectations::default()
+        };
+        // Traffic continues (healthy trace covers slots > flip) but no
+        // null-FAPI keep-alive ever appears.
+        let rep = check(&tb, &exp);
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| v.invariant == "eventual-repair"));
+        // Adding the keep-alive clears it.
+        record(&mut tb, 99, TraceEventKind::NullFapiSent, 7, 99);
+        let rep = check(&tb, &exp);
+        assert!(rep.ok(), "unexpected violations: {:?}", rep.violations);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_and_seed_sensitive() {
+        let dist = ChaosDistribution::default();
+        let a = dist.sample(42);
+        let b = dist.sample(42);
+        assert_eq!(a, b);
+        let c = dist.sample(43);
+        assert_ne!(a, c);
+        assert!(!a.faults.is_empty() && a.faults.len() <= dist.max_faults);
+        assert!(a.horizon_slots > a.sorted_faults().last().unwrap().at_slot);
+    }
+
+    #[test]
+    fn sampler_draws_at_most_one_lethal_fault() {
+        let dist = ChaosDistribution::default();
+        for seed in 0..200 {
+            let s = dist.sample(seed);
+            let lethal = s.faults.iter().filter(|f| f.kind.lethal_to_phy()).count();
+            assert!(lethal <= 1, "seed {seed} drew {lethal} lethal faults");
+            for w in s.sorted_faults().windows(2) {
+                assert!(
+                    w[1].at_slot - w[0].at_slot >= dist.min_gap_slots,
+                    "seed {seed}: faults too close"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expectations_scale_with_injected_damage() {
+        let quiet = Scenario::new("quiet", 1000);
+        assert_eq!(Expectations::for_scenario(&quiet, true).max_dropped_ttis, 3);
+
+        let crash =
+            Scenario::new("crash", 2000).fault(900, FaultTarget::ActivePhy, FaultKind::PhyCrash);
+        let exp = Expectations::for_scenario(&crash, true);
+        assert_eq!(exp.max_dropped_ttis, 3);
+        assert!(exp.expect_repair);
+        let exp = Expectations::for_scenario(&crash, false);
+        assert!(!exp.expect_repair);
+
+        let storm = Scenario::new("storm", 2000).fault(
+            900,
+            FaultTarget::OrionL2,
+            FaultKind::MigrationStorm { requests: 4 },
+        );
+        let exp = Expectations::for_scenario(&storm, false);
+        assert!(exp.expect_repair, "planned migrations re-pair by swapping");
+
+        let hang = Scenario::new("hang", 2000).fault(
+            900,
+            FaultTarget::ActivePhy,
+            FaultKind::PhyHang { slots: 40 },
+        );
+        assert!(Expectations::for_scenario(&hang, true).max_dropped_ttis >= 3 + 8);
+    }
+
+    #[test]
+    fn fault_display_roundtrips_key_facts() {
+        let f = Fault {
+            at_slot: 950,
+            target: FaultTarget::ActivePhy,
+            kind: FaultKind::PhyHang { slots: 25 },
+        };
+        let s = f.to_string();
+        assert!(s.contains("950") && s.contains("active-phy") && s.contains("25"));
+    }
+}

@@ -29,6 +29,7 @@
 //! (per the project's networking guides) we use event-driven synchronous
 //! code and replace wall-clock waiting with simulated time.
 
+pub mod chaos;
 pub mod engine;
 pub mod metrics;
 pub mod rng;
@@ -36,6 +37,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use chaos::{ChaosDistribution, Fault, FaultKind, FaultTarget, Scenario};
 pub use engine::{Ctx, Engine, LinkParams, LinkStats, Message, Node, NodeId};
 pub use metrics::{HistogramSummary, LogHistogram, MetricsRegistry};
 pub use rng::SimRng;

@@ -87,6 +87,11 @@ pub enum TraceEventKind {
     /// A PHY finished uplink processing for a slot and delivered the
     /// TTI. `a` = absolute slot, `b` = PHY server node id.
     UlSlotProcessed = 17,
+    /// Orion accepted a FAPI uplink response from a PHY and forwarded it
+    /// to L2. `a` = source PHY id, `b` = absolute slot. The chaos oracle
+    /// uses this to assert that at most one PHY's response per slot ever
+    /// reaches L2 (§6.3's exactly-once delivery across failover).
+    FapiToL2 = 18,
 }
 
 impl TraceEventKind {
@@ -110,6 +115,7 @@ impl TraceEventKind {
             TraceEventKind::HarqReset => "harq_reset",
             TraceEventKind::SlotDeadlineMiss => "slot_deadline_miss",
             TraceEventKind::UlSlotProcessed => "ul_slot_processed",
+            TraceEventKind::FapiToL2 => "fapi_to_l2",
         }
     }
 
@@ -129,6 +135,7 @@ impl TraceEventKind {
                 "switch"
             }
             TraceEventKind::NodeKilled | TraceEventKind::NodeRevived => "lifecycle",
+            TraceEventKind::FapiToL2 => "orion",
             TraceEventKind::HarqReset
             | TraceEventKind::SlotDeadlineMiss
             | TraceEventKind::UlSlotProcessed => "ran",

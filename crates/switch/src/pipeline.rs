@@ -28,6 +28,16 @@ pub enum SwitchAction {
     Drop,
 }
 
+impl SwitchAction {
+    /// The egress port if this action forwards, else `None`.
+    pub fn forward_to(&self) -> Option<PortId> {
+        match self {
+            SwitchAction::Forward { port, .. } => Some(*port),
+            SwitchAction::Drop => None,
+        }
+    }
+}
+
 /// Per-pipeline-pass fixed latency: a few hundred nanoseconds on real
 /// hardware ("negligible added latency", paper §5).
 pub const PIPELINE_LATENCY: Nanos = Nanos(400);
