@@ -3,7 +3,7 @@
 //! healthy stream's maximum inter-packet gap; larger n sharpens the
 //! precision at the cost of generated-packet load.
 
-use slingshot::{Deployment, DeploymentConfig, OrionL2Node};
+use slingshot::{DeploymentBuilder, OrionL2Node};
 use slingshot_bench::{banner, figure_cell, ue};
 use slingshot_ran::UeNode;
 use slingshot_sim::Nanos;
@@ -15,15 +15,12 @@ fn run(period_us: u64, ticks: u32, kill: bool, seed: u64) -> (u64, Option<Nanos>
         period: Nanos::from_micros(period_us),
         ticks_per_period: ticks,
     };
-    let mut d = Deployment::build(
-        DeploymentConfig {
-            cell: figure_cell(),
-            seed,
-            detector: det,
-            ..DeploymentConfig::default()
-        },
-        vec![ue("ue", 100, 22.0)],
-    );
+    let mut d = DeploymentBuilder::new()
+        .seed(seed)
+        .cell(figure_cell())
+        .detector(det)
+        .ue(ue("ue", 100, 22.0))
+        .build();
     d.add_flow(
         0,
         100,

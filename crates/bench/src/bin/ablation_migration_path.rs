@@ -5,21 +5,18 @@
 //! the handover point is uncontrolled. The data-plane request store
 //! executes exactly at the requested slot.
 
-use slingshot::{Deployment, DeploymentConfig, SwitchNode, SECONDARY_PHY_ID};
+use slingshot::{Deployment, DeploymentBuilder, SwitchNode, SECONDARY_PHY_ID};
 use slingshot_bench::{banner, figure_cell, ue};
 use slingshot_ran::{PhyNode, UeNode};
 use slingshot_sim::{Nanos, Sampler};
 use slingshot_transport::{UdpCbrSource, UdpSink};
 
 fn deployment(seed: u64) -> Deployment {
-    let mut d = Deployment::build(
-        DeploymentConfig {
-            cell: figure_cell(),
-            seed,
-            ..DeploymentConfig::default()
-        },
-        vec![ue("ue", 100, 22.0)],
-    );
+    let mut d = DeploymentBuilder::new()
+        .seed(seed)
+        .cell(figure_cell())
+        .ue(ue("ue", 100, 22.0))
+        .build();
     d.add_flow(
         0,
         100,

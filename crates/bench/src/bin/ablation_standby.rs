@@ -3,7 +3,7 @@
 //! equally hot but costs ~100% of the primary's compute; null FAPIs
 //! keep it alive for ~nothing, and failover behaves identically.
 
-use slingshot::{Deployment, DeploymentConfig, OrionL2Node};
+use slingshot::{DeploymentBuilder, OrionL2Node};
 use slingshot_bench::{banner, figure_cell, ue};
 use slingshot_ran::{PhyNode, UeNode};
 use slingshot_sim::Nanos;
@@ -17,14 +17,11 @@ struct Outcome {
 }
 
 fn run(duplicate: bool, seed: u64) -> Outcome {
-    let mut d = Deployment::build(
-        DeploymentConfig {
-            cell: figure_cell(),
-            seed,
-            ..DeploymentConfig::default()
-        },
-        vec![ue("ue", 100, 22.0)],
-    );
+    let mut d = DeploymentBuilder::new()
+        .seed(seed)
+        .cell(figure_cell())
+        .ue(ue("ue", 100, 22.0))
+        .build();
     d.engine
         .node_mut::<OrionL2Node>(d.orion_l2)
         .unwrap()

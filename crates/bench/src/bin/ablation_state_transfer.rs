@@ -5,7 +5,7 @@
 //! costs: the post-migration CRC failure bump, against the bytes a
 //! transfer would have had to move within the sub-millisecond window.
 
-use slingshot::{Deployment, DeploymentConfig};
+use slingshot::DeploymentBuilder;
 use slingshot_bench::{banner, figure_cell, ue};
 use slingshot_ran::{PhyNode, RxProcessPool, UeNode};
 use slingshot_sim::Nanos;
@@ -25,14 +25,11 @@ struct Outcome {
 fn run(transfer: bool, seed: u64) -> Outcome {
     // A UE near threshold so HARQ is busy: plenty of in-flight soft
     // state to lose.
-    let mut d = Deployment::build(
-        DeploymentConfig {
-            cell: figure_cell(),
-            seed,
-            ..DeploymentConfig::default()
-        },
-        vec![ue("edge-ue", 100, 16.0)],
-    );
+    let mut d = DeploymentBuilder::new()
+        .seed(seed)
+        .cell(figure_cell())
+        .ue(ue("edge-ue", 100, 16.0))
+        .build();
     d.add_flow(
         0,
         100,

@@ -6,7 +6,7 @@
 //! small-antenna configurations of §8. This harness sweeps the
 //! reconvergence horizon and measures the post-migration dip.
 
-use slingshot::{Deployment, DeploymentConfig};
+use slingshot::DeploymentBuilder;
 use slingshot_bench::{banner, stress_cell, ue};
 use slingshot_ran::UeNode;
 use slingshot_sim::Nanos;
@@ -16,14 +16,11 @@ fn run(reconverge_slots: u64, seed: u64) -> (f64, f64, u64) {
     let mut cell = stress_cell();
     cell.mimo_reconverge_slots = reconverge_slots;
     cell.mimo_cold_penalty_db = 8.0;
-    let mut d = Deployment::build(
-        DeploymentConfig {
-            cell,
-            seed,
-            ..DeploymentConfig::default()
-        },
-        vec![ue("mimo-ue", 100, 17.0)],
-    );
+    let mut d = DeploymentBuilder::new()
+        .seed(seed)
+        .cell(cell)
+        .ue(ue("mimo-ue", 100, 17.0))
+        .build();
     d.add_flow(
         0,
         100,

@@ -5,7 +5,7 @@
 //! unfairly large share; after the zero-downtime migration, throughput
 //! improves and the UEs share bandwidth more evenly.
 
-use slingshot::{Deployment, DeploymentConfig};
+use slingshot::DeploymentBuilder;
 use slingshot_bench::{banner, figure_cell, paper_ues};
 use slingshot_ran::{AppServerNode, PhyNode, UeNode};
 use slingshot_sim::Nanos;
@@ -23,15 +23,12 @@ fn main() {
     // The scheduler (and the new PHY) assume a healthy decoder budget;
     // the *old* PHY build underperforms it.
     cell.fec_iterations = 8;
-    let mut d = Deployment::build(
-        DeploymentConfig {
-            cell,
-            seed: 111,
-            secondary_fec_iterations: Some(16),
-            ..DeploymentConfig::default()
-        },
-        paper_ues(),
-    );
+    let mut d = DeploymentBuilder::new()
+        .seed(111)
+        .cell(cell)
+        .secondary_fec_iterations(16)
+        .ues(paper_ues())
+        .build();
     // Old build: half the iterations the link adaptation assumes.
     d.engine
         .node_mut::<PhyNode>(d.primary_phy)

@@ -4,7 +4,7 @@
 //! 100 µs fronthaul budget (shrinking the serviceable radius), plus an
 //! extra NIC hop and dedicated CPU cores.
 
-use slingshot::{Deployment, DeploymentConfig, ForwardingModel};
+use slingshot::{DeploymentBuilder, ForwardingModel};
 use slingshot_bench::{banner, figure_cell, ue};
 use slingshot_sim::{Nanos, Sampler};
 use slingshot_transport::{UdpCbrSource, UdpSink};
@@ -62,15 +62,12 @@ fn main() {
         ("in-switch", ForwardingModel::InSwitch, 53u64),
         ("software", ForwardingModel::software_default(), 54),
     ] {
-        let mut d = Deployment::build(
-            DeploymentConfig {
-                cell: figure_cell(),
-                seed,
-                forwarding: model,
-                ..DeploymentConfig::default()
-            },
-            vec![ue("ue", 100, 22.0)],
-        );
+        let mut d = DeploymentBuilder::new()
+            .seed(seed)
+            .cell(figure_cell())
+            .forwarding(model)
+            .ue(ue("ue", 100, 22.0))
+            .build();
         d.add_flow(
             0,
             100,

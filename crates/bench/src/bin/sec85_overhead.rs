@@ -2,7 +2,7 @@
 //! FAPIs: marginal CPU ≈ 0, no L2 overhead, and the null-FAPI network
 //! traffic is far below 1 MB/s.
 
-use slingshot::{Deployment, DeploymentConfig, OrionL2Node};
+use slingshot::{DeploymentBuilder, OrionL2Node};
 use slingshot_bench::{banner, figure_cell, ue};
 use slingshot_ran::PhyNode;
 use slingshot_sim::Nanos;
@@ -14,14 +14,11 @@ fn main() {
         "null FAPIs make standby CPU negligible; network < 1 MB/s",
     );
     let dur = Nanos::from_secs(5);
-    let mut d = Deployment::build(
-        DeploymentConfig {
-            cell: figure_cell(),
-            seed: 851,
-            ..DeploymentConfig::default()
-        },
-        vec![ue("ue", 100, 22.0)],
-    );
+    let mut d = DeploymentBuilder::new()
+        .seed(851)
+        .cell(figure_cell())
+        .ue(ue("ue", 100, 22.0))
+        .build();
     // Real work on the primary: bidirectional traffic.
     d.add_flow(
         0,

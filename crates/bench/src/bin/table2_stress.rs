@@ -4,7 +4,7 @@
 //! throughput, max per-10 ms packet loss, interrupted HARQ sequences,
 //! and average UDP loss.
 
-use slingshot::{Deployment, DeploymentConfig};
+use slingshot::DeploymentBuilder;
 use slingshot_bench::{banner, stress_cell, ue};
 use slingshot_ran::{AppServerNode, L2Node, Msg, PhyNode, UeNode};
 use slingshot_sim::Nanos;
@@ -25,14 +25,11 @@ struct Row {
 }
 
 fn run(rate_per_s: u32, seed: u64) -> Row {
-    let mut d = Deployment::build(
-        DeploymentConfig {
-            cell: stress_cell(),
-            seed,
-            ..DeploymentConfig::default()
-        },
-        vec![ue("ue", 100, 21.0)],
-    );
+    let mut d = DeploymentBuilder::new()
+        .seed(seed)
+        .cell(stress_cell())
+        .ue(ue("ue", 100, 21.0))
+        .build();
     d.add_flow(
         0,
         100,
@@ -111,14 +108,11 @@ fn main() {
         }
     }
     // Footnote on the PHY-side soft state being discarded each time.
-    let d = Deployment::build(
-        DeploymentConfig {
-            cell: stress_cell(),
-            seed: 25,
-            ..DeploymentConfig::default()
-        },
-        vec![ue("ue", 100, 21.0)],
-    );
+    let d = DeploymentBuilder::new()
+        .seed(25)
+        .cell(stress_cell())
+        .ue(ue("ue", 100, 21.0))
+        .build();
     let _ = d.engine.node::<PhyNode>(d.primary_phy);
     println!("\n(each migration discards HARQ soft buffers and SNR filters; see §8.4)");
 }

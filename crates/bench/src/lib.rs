@@ -4,7 +4,7 @@
 //! (see DESIGN.md §4 for the index), plus Criterion micro-benchmarks.
 //! This library holds the shared scenario builders and report helpers.
 
-use slingshot::{Deployment, DeploymentConfig};
+use slingshot::{Deployment, DeploymentBuilder};
 use slingshot_phy_dsp::SnrProcessConfig;
 use slingshot_ran::{CellConfig, Fidelity, UeConfig};
 use slingshot_sim::Nanos;
@@ -54,14 +54,11 @@ pub fn stress_cell() -> CellConfig {
 
 /// Standard single-RU Slingshot deployment for figures.
 pub fn figure_deployment(seed: u64, ues: Vec<UeConfig>) -> Deployment {
-    Deployment::build(
-        DeploymentConfig {
-            cell: figure_cell(),
-            seed,
-            ..DeploymentConfig::default()
-        },
-        ues,
-    )
+    DeploymentBuilder::new()
+        .seed(seed)
+        .cell(figure_cell())
+        .ues(ues)
+        .build()
 }
 
 /// Machine-readable companion to a figure binary's stdout: scalar

@@ -340,7 +340,10 @@ pub fn chaos_deployment(seed: u64) -> Deployment {
         with_spare_phy: true,
         ..DeploymentConfig::default()
     };
-    let mut d = Deployment::build(cfg, vec![UeConfig::new(100, 0, "ue100", 22.0)]);
+    let mut d = crate::deployment::DeploymentBuilder::new()
+        .config(cfg)
+        .ue(UeConfig::new(100, 0, "ue100", 22.0))
+        .build();
     d.add_flow(
         0,
         100,

@@ -4,18 +4,36 @@
 //! a PHY-side Orion, the L2 paired with the L2-side Orion, the core
 //! network stub, the app server, and UEs. All links and latencies are
 //! configurable; defaults approximate the paper's testbed (Table 1).
+//!
+//! Entry point: [`DeploymentBuilder`] — a fluent builder that scales
+//! from the classic single-cell testbed to an N-cell deployment (each
+//! cell with its own RU, L2, and primary/secondary PHY pair behind the
+//! shared switch), optionally running slot DSP on a worker pool:
+//!
+//! ```ignore
+//! let mut d = DeploymentBuilder::new()
+//!     .seed(7)
+//!     .cells(4)
+//!     .workers(4)
+//!     .ues(ue_cfgs)
+//!     .build();
+//! ```
 
 use slingshot_netsim::MacAddr;
 use slingshot_ran::{
     AppServerNode, CellConfig, CoreNode, CtlMsg, L2Node, Msg, PhyConfig, PhyNode, RuNode, UeConfig,
     UeNode,
 };
-use slingshot_sim::{Engine, LinkParams, Nanos, NodeId, SimRng, SlotClock};
+use slingshot_sim::chaos::{oracle::OracleReport, Scenario};
+use slingshot_sim::{
+    Engine, Instrument, InstrumentSink, LinkParams, LogHistogram, Nanos, NodeId, SimRng, SlotClock,
+    WorkerPool,
+};
 use slingshot_switch::{PktGenConfig, PortId};
 use slingshot_transport::UserApp;
 
 use crate::fh_mbox::FhMbox;
-use crate::orion::{OrionL2Node, OrionPhyNode};
+use crate::orion::{orion_l2_mac, orion_phy_mac, OrionL2Node, OrionPhyNode};
 use crate::switch_node::{ForwardingModel, SwitchNode};
 
 /// Deployment-wide configuration.
@@ -56,7 +74,29 @@ impl Default for DeploymentConfig {
     }
 }
 
+/// One cell's node handles inside a [`Deployment`]: its RU, gNB stack
+/// (L2 + L2-side Orion), primary/secondary PHY pair with their
+/// PHY-side Orions, and UEs.
+#[derive(Debug, Clone)]
+pub struct CellDeployment {
+    pub ru: NodeId,
+    pub l2: NodeId,
+    pub orion_l2: NodeId,
+    pub primary_phy: NodeId,
+    pub secondary_phy: NodeId,
+    pub orion_primary: NodeId,
+    pub orion_secondary: NodeId,
+    pub ues: Vec<NodeId>,
+    pub ru_id: u8,
+    pub cell_id: u16,
+    pub primary_phy_id: u8,
+    pub secondary_phy_id: u8,
+}
+
 /// Node ids of a built deployment.
+///
+/// Cell 0's handles are mirrored in the legacy top-level fields
+/// (`ru`, `primary_phy`, …); `cells` holds every cell, in order.
 pub struct Deployment {
     pub engine: Engine<Msg>,
     pub switch: NodeId,
@@ -71,7 +111,15 @@ pub struct Deployment {
     pub l2: NodeId,
     pub core: NodeId,
     pub server: NodeId,
+    /// All UEs across all cells, flattened in cell order.
     pub ues: Vec<NodeId>,
+    /// Per-cell node handles (index = cell/RU id).
+    pub cells: Vec<CellDeployment>,
+    /// Size of the engine's DSP worker pool (1 = serial).
+    pub workers: usize,
+    /// Chaos scenario staged by [`DeploymentBuilder::chaos`], consumed
+    /// by [`Deployment::run_chaos`].
+    pub chaos: Option<Scenario>,
     pub cfg: DeploymentConfig,
 }
 
@@ -82,9 +130,189 @@ pub const SPARE_PHY_ID: u8 = 3;
 pub const RU_ID: u8 = 0;
 pub const L2_ID: u8 = 0;
 
+/// Switch-port stride between cells: cell `i` occupies ports
+/// `20i+1..20i+19` (matching the legacy single-cell numbers at i=0).
+const PORT_STRIDE: u16 = 20;
+
+/// Fluent builder for [`Deployment`] — the one entry point for every
+/// testbed shape: seed, cell count, DSP worker pool, link/detector
+/// tuning, chaos scenario staging, and trace-sink sizing.
+#[derive(Debug, Clone, Default)]
+pub struct DeploymentBuilder {
+    cfg: DeploymentConfig,
+    cells: usize,
+    workers: usize,
+    trace_capacity: Option<usize>,
+    chaos: Option<Scenario>,
+    ues: Vec<UeConfig>,
+}
+
+impl DeploymentBuilder {
+    pub fn new() -> DeploymentBuilder {
+        DeploymentBuilder {
+            cfg: DeploymentConfig::default(),
+            cells: 1,
+            workers: 1,
+            trace_capacity: None,
+            chaos: None,
+            ues: Vec::new(),
+        }
+    }
+
+    /// Engine + channel seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Number of cells (RU + L2 + primary/secondary PHY pair each).
+    /// The spare-PHY pool is only supported at `cells(1)`.
+    pub fn cells(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one cell");
+        self.cells = n;
+        self
+    }
+
+    /// Size of the engine's DSP worker pool. `1` (the default) keeps
+    /// every slot serial; `n > 1` fans per-PDU / per-code-block work
+    /// out while preserving the byte-identical event trace.
+    pub fn workers(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one worker");
+        self.workers = n;
+        self
+    }
+
+    /// Radio/cell parameters shared by every cell (cell ids increment
+    /// per cell from `cell.cell_id`).
+    pub fn cell(mut self, cell: CellConfig) -> Self {
+        self.cfg.cell = cell;
+        self
+    }
+
+    /// Failure-detector tuning.
+    pub fn detector(mut self, detector: PktGenConfig) -> Self {
+        self.cfg.detector = detector;
+        self
+    }
+
+    /// Fronthaul / server / backhaul link parameters.
+    pub fn links(
+        mut self,
+        fronthaul: LinkParams,
+        server: LinkParams,
+        backhaul: LinkParams,
+    ) -> Self {
+        self.cfg.fronthaul_link = fronthaul;
+        self.cfg.server_link = server;
+        self.cfg.backhaul_link = backhaul;
+        self
+    }
+
+    /// Middlebox forwarding model (in-switch vs software ablation).
+    pub fn forwarding(mut self, forwarding: ForwardingModel) -> Self {
+        self.cfg.forwarding = forwarding;
+        self
+    }
+
+    /// Run the secondary PHY with a different FEC iteration budget
+    /// (the Fig. 11 live-upgrade experiment).
+    pub fn secondary_fec_iterations(mut self, iters: usize) -> Self {
+        self.cfg.secondary_fec_iterations = Some(iters);
+        self
+    }
+
+    /// Register one extra spare PHY server (single-cell only).
+    pub fn spare_phy(mut self, on: bool) -> Self {
+        self.cfg.with_spare_phy = on;
+        self
+    }
+
+    /// Add one UE (its `ru_id` selects the cell).
+    pub fn ue(mut self, ue: UeConfig) -> Self {
+        self.ues.push(ue);
+        self
+    }
+
+    /// Add several UEs.
+    pub fn ues(mut self, ues: impl IntoIterator<Item = UeConfig>) -> Self {
+        self.ues.extend(ues);
+        self
+    }
+
+    /// Stage a chaos scenario to be applied by
+    /// [`Deployment::run_chaos`] after build.
+    pub fn chaos(mut self, scenario: Scenario) -> Self {
+        self.chaos = Some(scenario);
+        self
+    }
+
+    /// Size the slot-aware event-trace sink (ring capacity in events).
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Replace the whole low-level config at once (escape hatch for
+    /// presets built around [`DeploymentConfig`]).
+    pub fn config(mut self, cfg: DeploymentConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Build and wire the deployment.
+    pub fn build(self) -> Deployment {
+        let mut d = if self.cells == 1 {
+            Deployment::build_single(self.cfg, self.ues)
+        } else {
+            assert!(
+                !self.cfg.with_spare_phy,
+                "spare PHY pool is only supported for single-cell deployments"
+            );
+            Deployment::build_multi(self.cfg, self.cells, self.ues)
+        };
+        d.workers = self.workers;
+        d.engine.set_worker_pool(WorkerPool::new(self.workers));
+        if let Some(cap) = self.trace_capacity {
+            d.engine.event_trace_mut().set_capacity(cap);
+        }
+        d.chaos = self.chaos;
+        d
+    }
+}
+
+/// Collects [`Instrument`] output so it can be applied to the engine's
+/// registry after the node borrows end (set semantics — idempotent).
+#[derive(Default)]
+struct MetricsCollector {
+    counters: Vec<(String, String, u64)>,
+    gauges: Vec<(String, String, i64)>,
+    hists: Vec<(String, String, LogHistogram)>,
+}
+
+impl InstrumentSink for MetricsCollector {
+    fn counter(&mut self, scope: &str, name: &str, value: u64) {
+        self.counters
+            .push((scope.to_string(), name.to_string(), value));
+    }
+    fn gauge(&mut self, scope: &str, name: &str, value: i64) {
+        self.gauges
+            .push((scope.to_string(), name.to_string(), value));
+    }
+    fn histogram(&mut self, scope: &str, name: &str, h: &LogHistogram) {
+        self.hists
+            .push((scope.to_string(), name.to_string(), h.clone()));
+    }
+}
+
 impl Deployment {
     /// Build the standard single-RU Slingshot deployment.
+    #[deprecated(since = "0.3.0", note = "use DeploymentBuilder instead")]
     pub fn build(cfg: DeploymentConfig, ue_cfgs: Vec<UeConfig>) -> Deployment {
+        DeploymentBuilder::new().config(cfg).ues(ue_cfgs).build()
+    }
+
+    /// Single-cell construction (the classic Fig. 4(b) testbed).
+    fn build_single(cfg: DeploymentConfig, ue_cfgs: Vec<UeConfig>) -> Deployment {
         let mut engine: Engine<Msg> = Engine::new(cfg.seed);
         let clock = SlotClock::new(Nanos::ZERO);
         let mut rng = SimRng::new(cfg.seed ^ 0x5113_6507);
@@ -153,7 +381,7 @@ impl Deployment {
         }
 
         // --- the switch + middlebox program ---
-        let mut mbox = FhMbox::new(cfg.detector, crate::orion::orion_l2_mac(L2_ID));
+        let mut mbox = FhMbox::new(cfg.detector, orion_l2_mac(L2_ID));
         // Ports: 1=RU, 2=primary server, 3=secondary server, 4=L2
         // server, 5=spare server.
         mbox.install_ru(RU_ID, ru_mac, PortId(1), PRIMARY_PHY_ID);
@@ -163,20 +391,20 @@ impl Deployment {
             MacAddr::for_phy(SECONDARY_PHY_ID),
             PortId(3),
         );
-        mbox.install_host(crate::orion::orion_l2_mac(L2_ID), PortId(4));
+        mbox.install_host(orion_l2_mac(L2_ID), PortId(4));
         if cfg.with_spare_phy {
             mbox.install_phy(SPARE_PHY_ID, MacAddr::for_phy(SPARE_PHY_ID), PortId(5));
-            mbox.install_host(crate::orion::orion_phy_mac(SPARE_PHY_ID), PortId(5));
+            mbox.install_host(orion_phy_mac(SPARE_PHY_ID), PortId(5));
         }
         mbox.enroll_failure_detection(PRIMARY_PHY_ID);
         mbox.enroll_failure_detection(SECONDARY_PHY_ID);
         // The Orion processes share a physical server with their PHY
         // but are distinct traffic endpoints; give each MAC its own
         // (virtual) switch port so egress resolves to the right node.
-        mbox.install_host(crate::orion::orion_phy_mac(PRIMARY_PHY_ID), PortId(12));
-        mbox.install_host(crate::orion::orion_phy_mac(SECONDARY_PHY_ID), PortId(13));
+        mbox.install_host(orion_phy_mac(PRIMARY_PHY_ID), PortId(12));
+        mbox.install_host(orion_phy_mac(SECONDARY_PHY_ID), PortId(13));
         if cfg.with_spare_phy {
-            mbox.install_host(crate::orion::orion_phy_mac(SPARE_PHY_ID), PortId(15));
+            mbox.install_host(orion_phy_mac(SPARE_PHY_ID), PortId(15));
         }
         // Re-point the orion MACs (install_host above overrode the
         // earlier shared-port entries at ports 2/3/5).
@@ -264,6 +492,21 @@ impl Deployment {
             engine.connect_duplex(p, o, LinkParams::ideal(Nanos(500)));
         }
 
+        let cells = vec![CellDeployment {
+            ru,
+            l2,
+            orion_l2,
+            primary_phy,
+            secondary_phy,
+            orion_primary,
+            orion_secondary,
+            ues: ues.clone(),
+            ru_id: RU_ID,
+            cell_id: cfg.cell.cell_id,
+            primary_phy_id: PRIMARY_PHY_ID,
+            secondary_phy_id: SECONDARY_PHY_ID,
+        }];
+
         Deployment {
             engine,
             switch,
@@ -279,11 +522,237 @@ impl Deployment {
             core,
             server,
             ues,
+            cells,
+            workers: 1,
+            chaos: None,
             cfg,
         }
     }
 
-    /// Attach an app to a UE (by index) and its far end at the server.
+    /// N-cell construction: each cell gets its own RU, L2 (+ L2-side
+    /// Orion), and primary/secondary PHY pair (+ PHY-side Orions), all
+    /// behind the shared switch/middlebox, core, and app server. Cell
+    /// `i` uses RU id `i`, cell id `base + i`, PHY ids `2i+1`/`2i+2`,
+    /// and switch ports `20i+1..` (stride [`PORT_STRIDE`]).
+    fn build_multi(cfg: DeploymentConfig, n_cells: usize, ue_cfgs: Vec<UeConfig>) -> Deployment {
+        assert!(
+            ue_cfgs.iter().all(|u| (u.ru_id as usize) < n_cells),
+            "every UE's ru_id must address a built cell"
+        );
+        let mut engine: Engine<Msg> = Engine::new(cfg.seed);
+        let clock = SlotClock::new(Nanos::ZERO);
+        let mut rng = SimRng::new(cfg.seed ^ 0x5113_6507);
+
+        let server = engine.add_node("server", Box::new(AppServerNode::new()));
+        let core = engine.add_node("core", Box::new(CoreNode::new()));
+
+        // Per-cell UE config partitions, in cell order.
+        let mut cell_ues: Vec<Vec<UeConfig>> = vec![Vec::new(); n_cells];
+        for u in ue_cfgs {
+            cell_ues[u.ru_id as usize].push(u);
+        }
+
+        let mut mbox = FhMbox::with_notify_targets(
+            cfg.detector,
+            (0..n_cells).map(|i| orion_l2_mac(i as u8)).collect(),
+        );
+        let mut attach: Vec<(PortId, NodeId)> = Vec::new();
+        let mut cells: Vec<CellDeployment> = Vec::new();
+        let mut all_ues: Vec<NodeId> = Vec::new();
+
+        for (i, ues_cfg) in cell_ues.iter().enumerate() {
+            let ru_id = i as u8;
+            let pri_id = (2 * i + 1) as u8;
+            let sec_id = (2 * i + 2) as u8;
+            let base_port = PORT_STRIDE * i as u16;
+            let mut cell = cfg.cell.clone();
+            cell.cell_id = cfg.cell.cell_id + i as u16;
+
+            let mut l2n = L2Node::new(cell.clone(), clock, ru_id);
+            for u in ues_cfg {
+                if u.preattached {
+                    l2n.preattach_ue(u.rnti, u.snr.mean_db);
+                }
+            }
+            let l2 = engine.add_node(&format!("c{i}-l2"), Box::new(l2n));
+
+            let mk_phy = |id: u8, iters: Option<usize>, rng: &mut SimRng| {
+                let mut pc = PhyConfig::new(id);
+                pc.fec_iterations = iters.unwrap_or(cell.fec_iterations);
+                PhyNode::new(pc, cell.clone(), clock, rng.fork(&format!("phy{id}")))
+            };
+            let primary_phy = engine.add_node(
+                &format!("c{i}-phy-primary"),
+                Box::new(mk_phy(pri_id, None, &mut rng)),
+            );
+            let secondary_phy = engine.add_node(
+                &format!("c{i}-phy-secondary"),
+                Box::new(mk_phy(sec_id, cfg.secondary_fec_iterations, &mut rng)),
+            );
+            let orion_primary = engine.add_node(
+                &format!("c{i}-orion-phy{pri_id}"),
+                Box::new(OrionPhyNode::new(pri_id, ru_id)),
+            );
+            let orion_secondary = engine.add_node(
+                &format!("c{i}-orion-phy{sec_id}"),
+                Box::new(OrionPhyNode::new(sec_id, ru_id)),
+            );
+            let orion_l2 = engine.add_node(
+                &format!("c{i}-orion-l2"),
+                Box::new(OrionL2Node::new(ru_id, clock)),
+            );
+
+            let run = RuNode::new(ru_id, clock);
+            let ru_mac = run.mac();
+            let ru = engine.add_node(&format!("c{i}-ru"), Box::new(run));
+
+            let mut ues = Vec::new();
+            for u in ues_cfg.clone() {
+                let name = u.name.clone();
+                let node = UeNode::new(u, cell.clone(), clock, rng.fork(&name));
+                ues.push(engine.add_node(&name, Box::new(node)));
+            }
+
+            mbox.install_ru(ru_id, ru_mac, PortId(base_port + 1), pri_id);
+            mbox.install_phy(pri_id, MacAddr::for_phy(pri_id), PortId(base_port + 2));
+            mbox.install_phy(sec_id, MacAddr::for_phy(sec_id), PortId(base_port + 3));
+            mbox.install_host(orion_l2_mac(ru_id), PortId(base_port + 4));
+            mbox.install_host(orion_phy_mac(pri_id), PortId(base_port + 12));
+            mbox.install_host(orion_phy_mac(sec_id), PortId(base_port + 13));
+            mbox.enroll_failure_detection(pri_id);
+            mbox.enroll_failure_detection(sec_id);
+            attach.push((PortId(base_port + 1), ru));
+            attach.push((PortId(base_port + 2), primary_phy));
+            attach.push((PortId(base_port + 3), secondary_phy));
+            attach.push((PortId(base_port + 4), orion_l2));
+            attach.push((PortId(base_port + 12), orion_primary));
+            attach.push((PortId(base_port + 13), orion_secondary));
+
+            all_ues.extend(ues.iter().copied());
+            cells.push(CellDeployment {
+                ru,
+                l2,
+                orion_l2,
+                primary_phy,
+                secondary_phy,
+                orion_primary,
+                orion_secondary,
+                ues,
+                ru_id,
+                cell_id: cell.cell_id,
+                primary_phy_id: pri_id,
+                secondary_phy_id: sec_id,
+            });
+        }
+
+        let switch_mac = mbox.switch_mac;
+        let mut swn = SwitchNode::new(mbox, cfg.forwarding, rng.fork("switch"));
+        for (port, node) in attach {
+            swn.attach(port, node);
+        }
+        let switch = engine.add_node("switch", Box::new(swn));
+
+        // --- wiring ---
+        engine.node_mut::<AppServerNode>(server).unwrap().wire(core);
+        {
+            let c = engine.node_mut::<CoreNode>(core).unwrap();
+            c.wire(cells[0].l2, server);
+            for (i, cell) in cells.iter().enumerate() {
+                for u in &cell_ues[i] {
+                    c.route_ue(u.rnti, cell.l2);
+                }
+            }
+        }
+        for cell in &cells {
+            engine
+                .node_mut::<L2Node>(cell.l2)
+                .unwrap()
+                .wire(cell.orion_l2, core);
+            engine
+                .node_mut::<PhyNode>(cell.primary_phy)
+                .unwrap()
+                .wire(switch, cell.orion_primary);
+            engine
+                .node_mut::<PhyNode>(cell.secondary_phy)
+                .unwrap()
+                .wire(switch, cell.orion_secondary);
+            for (orion, phy) in [
+                (cell.orion_primary, cell.primary_phy),
+                (cell.orion_secondary, cell.secondary_phy),
+            ] {
+                let o = engine.node_mut::<OrionPhyNode>(orion).unwrap();
+                o.wire(switch, phy);
+                o.route_ru(cell.ru_id, orion_l2_mac(cell.ru_id));
+            }
+            {
+                let o = engine.node_mut::<OrionL2Node>(cell.orion_l2).unwrap();
+                o.wire(switch, cell.l2, switch_mac);
+                o.bind_ru(cell.ru_id, cell.primary_phy_id, Some(cell.secondary_phy_id));
+            }
+            engine
+                .node_mut::<RuNode>(cell.ru)
+                .unwrap()
+                .wire(switch, cell.ues.clone());
+            for ue in &cell.ues {
+                engine
+                    .node_mut::<UeNode>(*ue)
+                    .unwrap()
+                    .wire(cell.ru, cell.l2);
+            }
+        }
+
+        // --- links ---
+        engine.connect_duplex(server, core, cfg.backhaul_link.clone());
+        for cell in &cells {
+            engine.connect_duplex(core, cell.l2, cfg.backhaul_link.clone());
+            engine.connect_duplex(cell.l2, cell.orion_l2, LinkParams::ideal(Nanos(500)));
+            engine.connect_duplex(cell.ru, switch, cfg.fronthaul_link.clone());
+            for node in [
+                cell.primary_phy,
+                cell.secondary_phy,
+                cell.orion_primary,
+                cell.orion_secondary,
+                cell.orion_l2,
+            ] {
+                engine.connect_duplex(node, switch, cfg.server_link.clone());
+            }
+            engine.connect_duplex(
+                cell.primary_phy,
+                cell.orion_primary,
+                LinkParams::ideal(Nanos(500)),
+            );
+            engine.connect_duplex(
+                cell.secondary_phy,
+                cell.orion_secondary,
+                LinkParams::ideal(Nanos(500)),
+            );
+        }
+
+        let c0 = cells[0].clone();
+        Deployment {
+            engine,
+            switch,
+            ru: c0.ru,
+            primary_phy: c0.primary_phy,
+            secondary_phy: c0.secondary_phy,
+            spare_phy: None,
+            orion_primary: c0.orion_primary,
+            orion_secondary: c0.orion_secondary,
+            orion_spare: None,
+            orion_l2: c0.orion_l2,
+            l2: c0.l2,
+            core,
+            server,
+            ues: all_ues,
+            cells,
+            workers: 1,
+            chaos: None,
+            cfg,
+        }
+    }
+
+    /// Attach an app to a UE (by index into the flattened `ues` list)
+    /// and its far end at the server.
     pub fn add_flow(
         &mut self,
         ue_idx: usize,
@@ -301,113 +770,67 @@ impl Deployment {
             .add_app(rnti, server_app);
     }
 
+    /// Run the chaos scenario staged by [`DeploymentBuilder::chaos`],
+    /// consuming it. Returns `None` when no scenario was staged.
+    pub fn run_chaos(&mut self) -> Option<OracleReport> {
+        let scenario = self.chaos.take()?;
+        Some(crate::chaos::run_scenario(self, &scenario))
+    }
+
     /// Publish every component's counters into the engine's metrics
-    /// registry, scoped by node name, along with per-link stats.
-    /// Idempotent — values are set, not accumulated — so it can be
-    /// called at any point (or repeatedly) during a run.
+    /// registry, scoped by node name, along with per-link stats. Each
+    /// node reports through the [`Instrument`] trait. Idempotent —
+    /// values are set, not accumulated — so it can be called at any
+    /// point (or repeatedly) during a run.
     pub fn publish_metrics(&mut self) {
         self.engine.publish_link_metrics();
 
-        let mut counters: Vec<(String, &'static str, u64)> = Vec::new();
-        let mut gauges: Vec<(String, &'static str, i64)> = Vec::new();
-        let mut hists: Vec<(String, &'static str, slingshot_sim::LogHistogram)> = Vec::new();
+        let mut sink = MetricsCollector::default();
+        let collect_node = |engine: &Engine<Msg>, id: NodeId, sink: &mut MetricsCollector| {
+            let scope = engine.node_name(id).to_string();
+            // Every instrumented node type is tried; exactly one
+            // downcast succeeds per id.
+            if let Some(n) = engine.node::<SwitchNode>(id) {
+                n.instrument(&scope, sink);
+            } else if let Some(n) = engine.node::<PhyNode>(id) {
+                n.instrument(&scope, sink);
+            } else if let Some(n) = engine.node::<OrionPhyNode>(id) {
+                n.instrument(&scope, sink);
+            } else if let Some(n) = engine.node::<OrionL2Node>(id) {
+                n.instrument(&scope, sink);
+            } else if let Some(n) = engine.node::<UeNode>(id) {
+                n.instrument(&scope, sink);
+            }
+        };
 
-        {
-            let scope = self.engine.node_name(self.switch).to_string();
-            let sw = self
-                .engine
-                .node::<SwitchNode>(self.switch)
-                .expect("switch node");
-            counters.push((scope.clone(), "forwarded_frames", sw.forwarded));
-            counters.push((scope.clone(), "dropped_frames", sw.dropped));
-            counters.push((
-                scope.clone(),
-                "cp_remaps_executed",
-                sw.cp_remap_latencies.len() as u64,
-            ));
-            counters.push((
-                scope.clone(),
-                "migrations_executed",
-                sw.mbox.migrations_executed,
-            ));
-            counters.push((scope.clone(), "dl_filtered", sw.mbox.dl_filtered));
-            counters.push((
-                scope.clone(),
-                "failures_reported",
-                sw.mbox.failures_reported,
-            ));
-            counters.push((scope.clone(), "ctl_packets", sw.mbox.ctl_packets));
-            counters.push((scope, "trace_overflow", sw.mbox.trace_overflow));
+        collect_node(&self.engine, self.switch, &mut sink);
+        for cell in &self.cells {
+            for id in [
+                cell.primary_phy,
+                cell.secondary_phy,
+                cell.orion_primary,
+                cell.orion_secondary,
+                cell.orion_l2,
+            ] {
+                collect_node(&self.engine, id, &mut sink);
+            }
         }
-
-        let phys = [
-            Some(self.primary_phy),
-            Some(self.secondary_phy),
-            self.spare_phy,
-        ];
-        for id in phys.into_iter().flatten() {
-            let scope = self.engine.node_name(id).to_string();
-            let Some(phy) = self.engine.node::<PhyNode>(id) else {
-                continue;
-            };
-            counters.push((scope.clone(), "busy_ns_total", phy.busy_ns_total));
-            counters.push((scope.clone(), "null_slots", phy.null_slots));
-            counters.push((scope.clone(), "work_slots", phy.work_slots));
-            counters.push((scope.clone(), "ul_tbs_decoded", phy.ul_tbs_decoded));
-            counters.push((scope.clone(), "ul_crc_failures", phy.ul_crc_failures));
-            counters.push((
-                scope.clone(),
-                "processed_ul_slots",
-                phy.processed_ul_slots.len() as u64,
-            ));
-            // The PHY's own FlexRAN-style abort on missing FAPI;
-            // external kills show up as node_killed trace events.
-            gauges.push((scope, "self_crashed", phy.crash_time.is_some() as i64));
+        for id in [self.spare_phy, self.orion_spare].into_iter().flatten() {
+            collect_node(&self.engine, id, &mut sink);
         }
-
-        let orions = [
-            Some(self.orion_primary),
-            Some(self.orion_secondary),
-            self.orion_spare,
-        ];
-        for id in orions.into_iter().flatten() {
-            let scope = self.engine.node_name(id).to_string();
-            let Some(o) = self.engine.node::<OrionPhyNode>(id) else {
-                continue;
-            };
-            counters.push((scope.clone(), "forwarded_to_phy", o.forwarded_to_phy));
-            counters.push((scope.clone(), "forwarded_to_l2", o.forwarded_to_l2));
-            counters.push((scope.clone(), "loss_nulls_injected", o.loss_nulls_injected));
-            counters.push((scope.clone(), "rx_bytes_from_l2", o.rx_bytes_from_l2));
-            hists.push((scope, "fwd_latency_ns", o.fwd_latency.clone()));
-        }
-
-        {
-            let scope = self.engine.node_name(self.orion_l2).to_string();
-            let ol2 = self
-                .engine
-                .node::<OrionL2Node>(self.orion_l2)
-                .expect("orion-l2 node");
-            counters.push((scope.clone(), "failovers", ol2.failovers));
-            counters.push((scope.clone(), "planned_migrations", ol2.planned_migrations));
-            counters.push((
-                scope.clone(),
-                "dropped_standby_msgs",
-                ol2.dropped_standby_msgs,
-            ));
-            counters.push((scope.clone(), "drained_late_msgs", ol2.drained_late_msgs));
-            counters.push((scope, "null_fapi_sent", ol2.null_fapi_sent));
+        for ue in &self.ues {
+            collect_node(&self.engine, *ue, &mut sink);
         }
 
         let reg = self.engine.metrics_mut();
-        for (scope, name, v) in counters {
-            reg.set_counter(&scope, name, v);
+        for (scope, name, v) in sink.counters {
+            reg.set_counter(&scope, &name, v);
         }
-        for (scope, name, v) in gauges {
-            reg.set_gauge(&scope, name, v);
+        for (scope, name, v) in sink.gauges {
+            reg.set_gauge(&scope, &name, v);
         }
-        for (scope, name, h) in hists {
-            *reg.histogram_mut(&scope, name) = h;
+        for (scope, name, h) in sink.hists {
+            *reg.histogram_mut(&scope, &name) = h;
         }
     }
 

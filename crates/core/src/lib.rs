@@ -32,7 +32,8 @@ pub mod switch_node;
 pub use chaos::{chaos_deployment, run_scenario, run_scenario_with, ChaosRunner};
 pub use ctl::CtlPacket;
 pub use deployment::{
-    Deployment, DeploymentConfig, L2_ID, PRIMARY_PHY_ID, RU_ID, SECONDARY_PHY_ID, SPARE_PHY_ID,
+    CellDeployment, Deployment, DeploymentBuilder, DeploymentConfig, L2_ID, PRIMARY_PHY_ID, RU_ID,
+    SECONDARY_PHY_ID, SPARE_PHY_ID,
 };
 pub use fh_mbox::FhMbox;
 pub use multi_ru::{CellNodes, DualRuDeployment};

@@ -2,7 +2,9 @@
 //! the full deployment (switch middlebox + failure detector + Orion +
 //! complete vRAN stack).
 
-use slingshot::{Deployment, DeploymentConfig, OrionL2Node, SwitchNode, SECONDARY_PHY_ID};
+use slingshot::{
+    Deployment, DeploymentBuilder, DeploymentConfig, OrionL2Node, SwitchNode, SECONDARY_PHY_ID,
+};
 use slingshot_ran::{CellConfig, Fidelity, PhyNode, RuNode, UeConfig, UeNode, UeState};
 use slingshot_sim::trace::{delivered_ul_slots, detections, dropped_ttis};
 use slingshot_sim::{Nanos, Sampler, TraceEventKind};
@@ -26,7 +28,10 @@ fn one_ue() -> Vec<UeConfig> {
 
 /// Build a deployment with a 4 Mbps uplink UDP flow from the UE.
 fn deployment_with_ul_flow(seed: u64) -> Deployment {
-    let mut d = Deployment::build(cfg(seed), one_ue());
+    let mut d = DeploymentBuilder::new()
+        .config(cfg(seed))
+        .ues(one_ue())
+        .build();
     d.add_flow(
         0,
         100,

@@ -5,7 +5,9 @@
 //! keeps a starved PHY alive.
 
 use slingshot::chaos::ChaosRunner;
-use slingshot::{Deployment, DeploymentConfig, OrionL2Node, OrionPhyNode, SwitchNode};
+use slingshot::{
+    Deployment, DeploymentBuilder, DeploymentConfig, OrionL2Node, OrionPhyNode, SwitchNode,
+};
 use slingshot_ran::{CellConfig, Fidelity, PhyNode, UeConfig, UeNode, UeState};
 use slingshot_sim::chaos::{FaultKind, FaultTarget, Scenario};
 use slingshot_sim::{LinkParams, Nanos};
@@ -24,7 +26,10 @@ fn cfg(seed: u64) -> DeploymentConfig {
 }
 
 fn with_flow(seed: u64) -> Deployment {
-    let mut d = Deployment::build(cfg(seed), vec![UeConfig::new(100, 0, "ue", 22.0)]);
+    let mut d = DeploymentBuilder::new()
+        .config(cfg(seed))
+        .ue(UeConfig::new(100, 0, "ue", 22.0))
+        .build();
     d.add_flow(
         0,
         100,

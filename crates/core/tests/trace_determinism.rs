@@ -3,7 +3,7 @@
 //! the same seed must produce byte-identical traces — and a different
 //! seed must not.
 
-use slingshot::{Deployment, DeploymentConfig};
+use slingshot::DeploymentBuilder;
 use slingshot_ran::{CellConfig, Fidelity, UeConfig};
 use slingshot_sim::Nanos;
 use slingshot_transport::{UdpCbrSource, UdpSink};
@@ -11,18 +11,15 @@ use slingshot_transport::{UdpCbrSource, UdpSink};
 /// Run the failover scenario to completion and return the trace bytes
 /// plus the trace hash.
 fn run_failover(seed: u64) -> (Vec<u8>, u64) {
-    let mut d = Deployment::build(
-        DeploymentConfig {
-            cell: CellConfig {
-                num_prbs: 51,
-                fidelity: Fidelity::Sampled,
-                ..CellConfig::default()
-            },
-            seed,
-            ..DeploymentConfig::default()
-        },
-        vec![UeConfig::new(100, 0, "ue100", 22.0)],
-    );
+    let mut d = DeploymentBuilder::new()
+        .seed(seed)
+        .cell(CellConfig {
+            num_prbs: 51,
+            fidelity: Fidelity::Sampled,
+            ..CellConfig::default()
+        })
+        .ue(UeConfig::new(100, 0, "ue100", 22.0))
+        .build();
     d.add_flow(
         0,
         100,

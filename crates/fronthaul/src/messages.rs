@@ -9,7 +9,7 @@ use bytes::{Buf, BufMut, Bytes};
 
 use crate::ecpri::{Direction, EcpriHeader, EcpriMsgType, FhHeader};
 use slingshot_phy_dsp::iq::{
-    bfp_compress, bfp_decompress, bfp_from_bytes, bfp_to_bytes, BfpPrb, SC_PER_PRB,
+    bfp_compress, bfp_decompress, bfp_from_bytes, bfp_write_bytes, BfpPrb, SC_PER_PRB,
 };
 use slingshot_phy_dsp::Cplx;
 use slingshot_sim::SlotId;
@@ -141,59 +141,25 @@ impl FhMessage {
         self.hdr().direction
     }
 
+    /// Exact serialized body length (app header + payload, excluding
+    /// the eCPRI header). Every field is fixed-width, so the frame can
+    /// be written into a single exactly-sized allocation.
+    fn body_len(&self) -> usize {
+        FhHeader::WIRE_LEN
+            + match self {
+                FhMessage::CPlane(m) => 2 + m.sections.len() * CSection::WIRE_LEN,
+                FhMessage::UPlane(m) => 4 + m.prbs.len() * BfpPrb::WIRE_BYTES,
+                FhMessage::Dci(m) => 2 + m.entries.len() * 17,
+                FhMessage::Uci(m) => 2 + m.entries.len() * 4,
+                FhMessage::Shadow(m) => 10 + m.data.len(),
+            }
+    }
+
     /// Serialize to an Ethernet payload (eCPRI header + app header +
-    /// body).
+    /// body) — one exactly-sized allocation per frame; no intermediate
+    /// body buffer, and [`Bytes::from`] takes the Vec without copying.
     pub fn to_bytes(&self) -> Bytes {
-        let mut body = Vec::new();
-        match self {
-            FhMessage::CPlane(m) => {
-                m.hdr.write(&mut body);
-                body.put_u16(m.sections.len() as u16);
-                for s in &m.sections {
-                    s.write(&mut body);
-                }
-            }
-            FhMessage::UPlane(m) => {
-                m.hdr.write(&mut body);
-                body.put_u16(m.start_prb);
-                body.put_u16(m.prbs.len() as u16);
-                for p in &m.prbs {
-                    body.extend_from_slice(&bfp_to_bytes(p));
-                }
-            }
-            FhMessage::Dci(m) => {
-                m.hdr.write(&mut body);
-                body.put_u16(m.entries.len() as u16);
-                for e in &m.entries {
-                    body.put_u16(e.rnti);
-                    body.put_u8(e.uplink as u8);
-                    body.put_u16(e.target_slot_scalar);
-                    body.put_u8(e.harq_id);
-                    body.put_u8(e.ndi as u8);
-                    body.put_u8(e.rv);
-                    body.put_u8(e.mcs);
-                    body.put_u16(e.start_prb);
-                    body.put_u16(e.num_prb);
-                    body.put_u32(e.tb_bytes);
-                }
-            }
-            FhMessage::Uci(m) => {
-                m.hdr.write(&mut body);
-                body.put_u16(m.entries.len() as u16);
-                for e in &m.entries {
-                    body.put_u16(e.rnti);
-                    body.put_u8(e.harq_id);
-                    body.put_u8(e.ack as u8);
-                }
-            }
-            FhMessage::Shadow(m) => {
-                m.hdr.write(&mut body);
-                body.put_u16(m.rnti);
-                body.put_i32(m.snr_db_x100);
-                body.put_u32(m.data.len() as u32);
-                body.extend_from_slice(&m.data);
-            }
-        }
+        let body_len = self.body_len();
         let ec = EcpriHeader {
             msg_type: match self {
                 FhMessage::CPlane(_) => EcpriMsgType::RtControl,
@@ -202,11 +168,60 @@ impl FhMessage {
                 FhMessage::Uci(_) => EcpriMsgType::VendorUci,
                 FhMessage::Shadow(_) => EcpriMsgType::VendorShadow,
             },
-            payload_len: body.len() as u16,
+            payload_len: body_len as u16,
         };
-        let mut out = Vec::with_capacity(EcpriHeader::WIRE_LEN + body.len());
+        let mut out = Vec::with_capacity(EcpriHeader::WIRE_LEN + body_len);
         ec.write(&mut out);
-        out.extend_from_slice(&body);
+        match self {
+            FhMessage::CPlane(m) => {
+                m.hdr.write(&mut out);
+                out.put_u16(m.sections.len() as u16);
+                for s in &m.sections {
+                    s.write(&mut out);
+                }
+            }
+            FhMessage::UPlane(m) => {
+                m.hdr.write(&mut out);
+                out.put_u16(m.start_prb);
+                out.put_u16(m.prbs.len() as u16);
+                for p in &m.prbs {
+                    bfp_write_bytes(p, &mut out);
+                }
+            }
+            FhMessage::Dci(m) => {
+                m.hdr.write(&mut out);
+                out.put_u16(m.entries.len() as u16);
+                for e in &m.entries {
+                    out.put_u16(e.rnti);
+                    out.put_u8(e.uplink as u8);
+                    out.put_u16(e.target_slot_scalar);
+                    out.put_u8(e.harq_id);
+                    out.put_u8(e.ndi as u8);
+                    out.put_u8(e.rv);
+                    out.put_u8(e.mcs);
+                    out.put_u16(e.start_prb);
+                    out.put_u16(e.num_prb);
+                    out.put_u32(e.tb_bytes);
+                }
+            }
+            FhMessage::Uci(m) => {
+                m.hdr.write(&mut out);
+                out.put_u16(m.entries.len() as u16);
+                for e in &m.entries {
+                    out.put_u16(e.rnti);
+                    out.put_u8(e.harq_id);
+                    out.put_u8(e.ack as u8);
+                }
+            }
+            FhMessage::Shadow(m) => {
+                m.hdr.write(&mut out);
+                out.put_u16(m.rnti);
+                out.put_i32(m.snr_db_x100);
+                out.put_u32(m.data.len() as u32);
+                out.extend_from_slice(&m.data);
+            }
+        }
+        debug_assert_eq!(out.len(), EcpriHeader::WIRE_LEN + body_len);
         Bytes::from(out)
     }
 
@@ -421,6 +436,37 @@ mod tests {
                 }
             }
             _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn to_bytes_is_exactly_sized() {
+        let msgs = [
+            FhMessage::CPlane(CPlaneMsg {
+                hdr: fh_header(Direction::Downlink, slot(), 0, 1),
+                sections: vec![CSection {
+                    section_id: 1,
+                    start_prb: 0,
+                    num_prb: 100,
+                    beam_id: 0,
+                }],
+            }),
+            FhMessage::UPlane(UPlaneMsg {
+                hdr: fh_header(Direction::Uplink, slot(), 5, 0),
+                start_prb: 10,
+                prbs: compress_symbol(&samples(48)),
+            }),
+            FhMessage::Shadow(ShadowMsg {
+                hdr: fh_header(Direction::Uplink, slot(), 0, 0),
+                rnti: 100,
+                snr_db_x100: -1234,
+                data: Bytes::from(vec![9u8; 37]),
+            }),
+        ];
+        for msg in msgs {
+            let bytes = msg.to_bytes();
+            assert_eq!(bytes.len(), EcpriHeader::WIRE_LEN + msg.body_len());
+            assert_eq!(FhMessage::from_bytes(&bytes), Some(msg));
         }
     }
 

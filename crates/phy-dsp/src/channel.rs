@@ -11,7 +11,10 @@
 //! the kind of 4x variation stationary 5G UEs see in practice (§4).
 
 use crate::iq::Cplx;
-use slingshot_sim::SimRng;
+use slingshot_sim::{SimRng, WorkerPool};
+
+/// Symbols per noise-generation chunk in [`AwgnChannel::apply_with`].
+pub const CHANNEL_CHUNK: usize = 2048;
 
 /// Convert dB to linear power ratio.
 pub fn db_to_linear(db: f64) -> f64 {
@@ -49,6 +52,47 @@ impl AwgnChannel {
                 )
             })
             .collect();
+        (out, noise_var)
+    }
+
+    /// Chunked-parallel variant of [`AwgnChannel::apply`]. Noise draws
+    /// come from per-chunk streams split off one fork of the channel
+    /// RNG *in serial chunk order*, so the realization depends only on
+    /// the channel RNG state — never on the pool's worker count. The
+    /// realization differs from `apply` (different stream layout); a
+    /// caller must use one variant consistently.
+    pub fn apply_with(
+        &mut self,
+        pool: &WorkerPool,
+        symbols: &[Cplx],
+        snr_db: f64,
+    ) -> (Vec<Cplx>, f32) {
+        let noise_var = (1.0 / db_to_linear(snr_db)) as f32;
+        let per_axis = (noise_var / 2.0).sqrt();
+        let mut base = self.rng.fork("awgn-chunks");
+        let jobs: Vec<_> = symbols
+            .chunks(CHANNEL_CHUNK)
+            .enumerate()
+            .map(|(i, chunk)| {
+                let mut rng = base.split(i as u64);
+                let chunk = chunk.to_vec();
+                move || {
+                    chunk
+                        .iter()
+                        .map(|s| {
+                            *s + Cplx::new(
+                                per_axis * rng.gaussian() as f32,
+                                per_axis * rng.gaussian() as f32,
+                            )
+                        })
+                        .collect::<Vec<Cplx>>()
+                }
+            })
+            .collect();
+        let mut out = Vec::with_capacity(symbols.len());
+        for part in pool.run(jobs) {
+            out.extend(part);
+        }
         (out, noise_var)
     }
 
@@ -182,6 +226,25 @@ mod tests {
         let rx = hard_decide(&demodulate_llr(&dirty, Modulation::Qam16, nv));
         let errs_lo = rx.iter().zip(&bits).filter(|(a, b)| a != b).count();
         assert!(errs_lo > 800, "errs_lo={errs_lo}");
+    }
+
+    #[test]
+    fn apply_with_is_worker_count_independent() {
+        let symbols = vec![Cplx::new(1.0, -1.0); 3 * CHANNEL_CHUNK + 17];
+        let mut ch1 = AwgnChannel::new(SimRng::new(9));
+        let mut ch4 = AwgnChannel::new(SimRng::new(9));
+        let (a, nv_a) = ch1.apply_with(&WorkerPool::serial(), &symbols, 12.0);
+        let (b, nv_b) = ch4.apply_with(&WorkerPool::new(4), &symbols, 12.0);
+        assert_eq!(a, b);
+        assert_eq!(nv_a, nv_b);
+        // Noise power still matches the requested SNR.
+        let measured: f32 = a
+            .iter()
+            .zip(&symbols)
+            .map(|(x, s)| (*x - *s).norm_sq())
+            .sum::<f32>()
+            / a.len() as f32;
+        assert!((measured - nv_a).abs() < 0.005, "measured={measured}");
     }
 
     #[test]

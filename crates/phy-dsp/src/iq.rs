@@ -147,7 +147,16 @@ pub fn bfp_decompress(prb: &BfpPrb) -> [Cplx; SC_PER_PRB] {
 /// Serialize a BFP PRB to bytes (exponent byte, then mantissas packed as
 /// 9-bit big-endian fields).
 pub fn bfp_to_bytes(prb: &BfpPrb) -> Vec<u8> {
-    let mut out = vec![prb.exponent];
+    let mut out = Vec::with_capacity(BfpPrb::WIRE_BYTES);
+    bfp_write_bytes(prb, &mut out);
+    out
+}
+
+/// Append a PRB's wire form to an existing buffer — the allocation-free
+/// path message serialization uses to pack a whole symbol's PRBs into
+/// one frame body.
+pub fn bfp_write_bytes(prb: &BfpPrb, out: &mut Vec<u8>) {
+    out.push(prb.exponent);
     let mut acc: u32 = 0;
     let mut nbits: u32 = 0;
     for &m in &prb.mantissas {
@@ -162,7 +171,6 @@ pub fn bfp_to_bytes(prb: &BfpPrb) -> Vec<u8> {
     if nbits > 0 {
         out.push((acc << (8 - nbits)) as u8);
     }
-    out
 }
 
 /// Parse a BFP PRB from bytes.

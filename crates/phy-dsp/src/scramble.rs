@@ -38,6 +38,20 @@ impl GoldSequence {
         ((rnti as u32) << 15) + (cell_id as u32 & 0x3FF)
     }
 
+    /// Produce the next bit of c().
+    pub fn next_bit(&mut self) -> u8 {
+        self.step()
+    }
+
+    /// Advance the generator by `n` positions without producing output.
+    /// Used to position per-code-block generator clones at their block's
+    /// offset in the codeword before work fans out to a worker pool.
+    pub fn skip(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
     fn step(&mut self) -> u8 {
         let out = ((self.x1 ^ self.x2) & 1) as u8;
         // x1(n+31) = (x1(n+3) + x1(n)) mod 2
@@ -57,18 +71,29 @@ impl GoldSequence {
 
 /// Scramble a bit vector (values 0/1) in place.
 pub fn scramble_bits(bits: &mut [u8], c_init: u32) {
-    let mut g = GoldSequence::new(c_init);
+    scramble_bits_with(bits, &mut GoldSequence::new(c_init));
+}
+
+/// Scramble with an already-positioned generator (advances it by
+/// `bits.len()`). Lets a caller scramble a codeword in segments.
+pub fn scramble_bits_with(bits: &mut [u8], g: &mut GoldSequence) {
     for b in bits.iter_mut() {
-        *b ^= g.bits(1)[0];
+        *b ^= g.step();
     }
 }
 
 /// Descramble soft LLRs in place: where c(n)=1, the transmitted bit was
 /// flipped, so the LLR sign flips back.
 pub fn descramble_llrs(llrs: &mut [f32], c_init: u32) {
-    let mut g = GoldSequence::new(c_init);
+    descramble_llrs_with(llrs, &mut GoldSequence::new(c_init));
+}
+
+/// Descramble with an already-positioned generator (advances it by
+/// `llrs.len()`). Lets per-code-block jobs each descramble their own
+/// slice from a clone positioned at the block boundary.
+pub fn descramble_llrs_with(llrs: &mut [f32], g: &mut GoldSequence) {
     for l in llrs.iter_mut() {
-        if g.bits(1)[0] == 1 {
+        if g.step() == 1 {
             *l = -*l;
         }
     }
@@ -120,6 +145,32 @@ mod tests {
         descramble_llrs(&mut llrs, c_init);
         let rx: Vec<u8> = llrs.iter().map(|l| if *l >= 0.0 { 0 } else { 1 }).collect();
         assert_eq!(rx, bits);
+    }
+
+    #[test]
+    fn segmented_descramble_matches_whole() {
+        let c_init = GoldSequence::c_init_data(0x4601, 42);
+        let mut whole: Vec<f32> = (0..300).map(|i| (i as f32) - 150.0).collect();
+        let mut segmented = whole.clone();
+        descramble_llrs(&mut whole, c_init);
+        // Same work split at arbitrary boundaries with positioned clones.
+        let bounds = [0usize, 37, 120, 300];
+        let mut g = GoldSequence::new(c_init);
+        for w in bounds.windows(2) {
+            let mut local = g.clone();
+            descramble_llrs_with(&mut segmented[w[0]..w[1]], &mut local);
+            g.skip(w[1] - w[0]);
+        }
+        assert_eq!(whole, segmented);
+    }
+
+    #[test]
+    fn skip_matches_discarded_bits() {
+        let mut a = GoldSequence::new(99);
+        let mut b = GoldSequence::new(99);
+        let _ = a.bits(173);
+        b.skip(173);
+        assert_eq!(a.bits(32), b.bits(32));
     }
 
     #[test]

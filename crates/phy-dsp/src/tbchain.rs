@@ -23,7 +23,8 @@ use crate::iq::Cplx;
 use crate::ldpc::LdpcCode;
 use crate::modulation::{demodulate_llr, modulate, Modulation};
 use crate::ratematch::{rate_match, rate_recover};
-use crate::scramble::{descramble_llrs, scramble_bits, GoldSequence};
+use crate::scramble::{descramble_llrs_with, scramble_bits_with, GoldSequence};
+use slingshot_sim::WorkerPool;
 
 /// Maximum information bits per LDPC code block (including the share of
 /// the TB CRC). Larger transport blocks are segmented.
@@ -125,8 +126,27 @@ fn e_split(e_bits: usize, ks: &[usize]) -> Vec<usize> {
     out
 }
 
-/// Encode a transport block into modulated symbols.
+/// Encode a transport block into modulated symbols (serial).
 pub fn encode_tb(payload: &[u8], p: &TbParams) -> Vec<Cplx> {
+    encode_tb_with(&WorkerPool::serial(), payload, p)
+}
+
+/// Per-code-block unit of encode work, prepared serially so jobs are
+/// self-contained (owned info bits, a Gold generator clone positioned
+/// at the block's offset in the codeword).
+struct EncodeBlock {
+    k: usize,
+    e: usize,
+    bits: Vec<u8>,
+    gold: GoldSequence,
+}
+
+/// Encode a transport block, fanning per-code-block work (LDPC encode,
+/// rate match, scramble) out across `pool`. Bit-identical to the serial
+/// path for any worker count: blocks are independent, the scrambler
+/// clones are positioned in serial prepare order, and results merge in
+/// block order.
+pub fn encode_tb_with(pool: &WorkerPool, payload: &[u8], p: &TbParams) -> Vec<Cplx> {
     let bps = p.modulation.bits_per_symbol();
     assert!(
         p.e_bits.is_multiple_of(bps),
@@ -138,17 +158,43 @@ pub fn encode_tb(payload: &[u8], p: &TbParams) -> Vec<Cplx> {
     let bits = bytes_to_bits(&framed);
     let ks = segment_sizes(bits.len());
     let es = e_split(p.e_bits, &ks);
-    let mut tx_bits = Vec::with_capacity(p.e_bits);
+
+    let mut blocks = Vec::with_capacity(ks.len());
     let mut offset = 0;
+    let mut gold = GoldSequence::new(GoldSequence::c_init_data(p.rnti, p.cell_id));
     for (&k, &e) in ks.iter().zip(&es) {
-        let code = code_for(k);
-        let cw = code.encode(&bits[offset..offset + k]);
-        let order = tx_order(k, cw.len());
-        let buf: Vec<u8> = order.iter().map(|&i| cw[i]).collect();
-        tx_bits.extend(rate_match(&buf, e, p.rv));
+        blocks.push(EncodeBlock {
+            k,
+            e,
+            bits: bits[offset..offset + k].to_vec(),
+            gold: gold.clone(),
+        });
+        gold.skip(e);
         offset += k;
     }
-    scramble_bits(&mut tx_bits, GoldSequence::c_init_data(p.rnti, p.cell_id));
+
+    let rv = p.rv;
+    let segs = pool.run(
+        blocks
+            .into_iter()
+            .map(|mut b| {
+                move || {
+                    let code = code_for(b.k);
+                    let cw = code.encode(&b.bits);
+                    let order = tx_order(b.k, cw.len());
+                    let buf: Vec<u8> = order.iter().map(|&i| cw[i]).collect();
+                    let mut seg = rate_match(&buf, b.e, rv);
+                    scramble_bits_with(&mut seg, &mut b.gold);
+                    seg
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let mut tx_bits = Vec::with_capacity(p.e_bits);
+    for seg in segs {
+        tx_bits.extend(seg);
+    }
     modulate(&tx_bits, p.modulation)
 }
 
@@ -174,40 +220,119 @@ pub fn decode_tb(
     payload_bytes: usize,
     p: &TbParams,
 ) -> TbDecodeOutcome {
-    let mut llrs = demodulate_llr(rx_symbols, p.modulation, noise_var);
-    llrs.truncate(p.e_bits);
-    // Missing tail symbols (lost fronthaul packets) become erasures.
-    llrs.resize(p.e_bits, 0.0);
-    descramble_llrs(&mut llrs, GoldSequence::c_init_data(p.rnti, p.cell_id));
+    decode_tb_with(
+        &WorkerPool::serial(),
+        acc,
+        rx_symbols,
+        noise_var,
+        payload_bytes,
+        p,
+    )
+}
 
+/// Per-code-block unit of decode work: the block's symbol window, a
+/// descrambler clone positioned at its codeword offset, and its HARQ
+/// accumulator segment (moved out and merged back after the batch).
+struct DecodeBlock {
+    k: usize,
+    e: usize,
+    /// Bits of the first symbol in the window that belong to the
+    /// previous block (symbol-boundary overlap).
+    lead: usize,
+    syms: Vec<Cplx>,
+    gold: GoldSequence,
+    seg: Vec<f32>,
+}
+
+/// Decode a transport block, fanning per-code-block work (LLR demap,
+/// descramble, rate recover, LDPC decode) out across `pool`. The HARQ
+/// accumulator is split into per-block segments in serial prepare order
+/// and merged back in block order, so the result — including every f32
+/// operation — is identical to the serial path for any worker count.
+pub fn decode_tb_with(
+    pool: &WorkerPool,
+    acc: &mut [f32],
+    rx_symbols: &[Cplx],
+    noise_var: f32,
+    payload_bytes: usize,
+    p: &TbParams,
+) -> TbDecodeOutcome {
+    let bps = p.modulation.bits_per_symbol();
     let total_bits = (payload_bytes + 3) * 8;
     let ks = segment_sizes(total_bits);
     let es = e_split(p.e_bits, &ks);
     debug_assert_eq!(acc.len(), ks.iter().map(|k| 3 * k).sum::<usize>());
 
-    let mut info_bits = Vec::with_capacity(total_bits);
+    let mut blocks = Vec::with_capacity(ks.len());
     let mut llr_off = 0;
     let mut acc_off = 0;
-    let mut iterations = 0;
-    let mut all_parity_ok = true;
+    let mut gold = GoldSequence::new(GoldSequence::c_init_data(p.rnti, p.cell_id));
     for (&k, &e) in ks.iter().zip(&es) {
         let n = 3 * k;
-        // The HARQ accumulator lives in transmission (interleaved)
-        // order; de-interleave a copy for the decoder.
-        let seg = &mut acc[acc_off..acc_off + n];
-        rate_recover(seg, &llrs[llr_off..llr_off + e], p.rv);
-        let order = tx_order(k, n);
-        let mut cw_llrs = vec![0.0f32; n];
-        for (pos, &cw_idx) in order.iter().enumerate() {
-            cw_llrs[cw_idx] = seg[pos];
-        }
-        let code = code_for(k);
-        let res = code.decode(&cw_llrs, p.fec_iterations);
-        iterations += res.iterations;
-        all_parity_ok &= res.parity_ok;
-        info_bits.extend(res.info);
+        // The block's coded bits [llr_off, llr_off+e) live in symbols
+        // [s0, s1); the first symbol may straddle the block boundary.
+        let s0 = (llr_off / bps).min(rx_symbols.len());
+        let s1 = (llr_off + e).div_ceil(bps).min(rx_symbols.len());
+        blocks.push(DecodeBlock {
+            k,
+            e,
+            lead: llr_off - (llr_off / bps) * bps,
+            syms: rx_symbols[s0..s1].to_vec(),
+            gold: gold.clone(),
+            seg: acc[acc_off..acc_off + n].to_vec(),
+        });
+        gold.skip(e);
         llr_off += e;
         acc_off += n;
+    }
+
+    let rv = p.rv;
+    let fec_iterations = p.fec_iterations;
+    let modulation = p.modulation;
+    let results = pool.run(
+        blocks
+            .into_iter()
+            .map(|mut b| {
+                move || {
+                    let mut llrs = demodulate_llr(&b.syms, modulation, noise_var);
+                    if b.lead >= llrs.len() {
+                        llrs.clear();
+                    } else {
+                        llrs.drain(..b.lead);
+                    }
+                    llrs.truncate(b.e);
+                    // Missing tail symbols (lost fronthaul packets)
+                    // become erasures.
+                    llrs.resize(b.e, 0.0);
+                    descramble_llrs_with(&mut llrs, &mut b.gold);
+                    let n = 3 * b.k;
+                    // The HARQ accumulator lives in transmission
+                    // (interleaved) order; de-interleave a copy for the
+                    // decoder.
+                    rate_recover(&mut b.seg, &llrs, rv);
+                    let order = tx_order(b.k, n);
+                    let mut cw_llrs = vec![0.0f32; n];
+                    for (pos, &cw_idx) in order.iter().enumerate() {
+                        cw_llrs[cw_idx] = b.seg[pos];
+                    }
+                    let code = code_for(b.k);
+                    let res = code.decode(&cw_llrs, fec_iterations);
+                    (b.seg, res.info, res.iterations, res.parity_ok)
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let mut info_bits = Vec::with_capacity(total_bits);
+    let mut iterations = 0;
+    let mut all_parity_ok = true;
+    let mut acc_off = 0;
+    for (seg, info, iters, parity_ok) in results {
+        acc[acc_off..acc_off + seg.len()].copy_from_slice(&seg);
+        acc_off += seg.len();
+        info_bits.extend(info);
+        iterations += iters;
+        all_parity_ok &= parity_ok;
     }
     let bytes = bits_to_bytes(&info_bits);
     let payload = check_crc24a(&bytes).map(|p| p.to_vec());
@@ -365,8 +490,6 @@ mod tests {
         let mut discarded_ok = 0;
         for _ in 0..trials {
             let mut acc_kept = vec![0.0; mother_buffer_len(data.len())];
-            let mut first_rx = Vec::new();
-            let mut first_nv = 0.0;
             for (i, rv) in [0u8, 2].iter().enumerate() {
                 let p = TbParams {
                     modulation: Modulation::Qpsk,
@@ -374,15 +497,10 @@ mod tests {
                 };
                 let syms = encode_tb(&data, &p);
                 let (rx, nv) = ch.apply(&syms, snr);
-                if i == 0 {
-                    first_rx = rx.clone();
-                    first_nv = nv;
-                }
                 let out = decode_tb(&mut acc_kept, &rx, nv, data.len(), &p);
                 if i == 1 && out.payload.is_some() {
                     kept_ok += 1;
                 }
-                let _ = (first_rx.len(), first_nv);
             }
             // Discarded: decode second tx alone in a fresh buffer.
             let p = TbParams {
@@ -401,6 +519,31 @@ mod tests {
             kept_ok > discarded_ok,
             "kept={kept_ok} discarded={discarded_ok}"
         );
+    }
+
+    #[test]
+    fn parallel_encode_decode_bit_identical_to_serial() {
+        // Multi-block TB with noise and a truncated (lost-tail) symbol
+        // vector: the 4-worker path must match the serial path exactly,
+        // down to every f32 in the HARQ accumulator.
+        let pool = WorkerPool::new(4);
+        let data = payload(400, 21); // 4 code blocks
+        let p = params(6448, 0);
+        let serial_syms = encode_tb(&data, &p);
+        let par_syms = encode_tb_with(&pool, &data, &p);
+        assert_eq!(serial_syms, par_syms);
+
+        let mut ch = AwgnChannel::new(SimRng::new(22));
+        let (mut rx, nv) = ch.apply(&serial_syms, 6.0);
+        rx.truncate(rx.len() - 100); // lost fronthaul tail → erasures
+        let mut acc_serial = vec![0.0; mother_buffer_len(data.len())];
+        let mut acc_par = acc_serial.clone();
+        let out_serial = decode_tb(&mut acc_serial, &rx, nv, data.len(), &p);
+        let out_par = decode_tb_with(&pool, &mut acc_par, &rx, nv, data.len(), &p);
+        assert_eq!(acc_serial, acc_par);
+        assert_eq!(out_serial.payload, out_par.payload);
+        assert_eq!(out_serial.ldpc_iterations, out_par.ldpc_iterations);
+        assert_eq!(out_serial.all_parity_ok, out_par.all_parity_ok);
     }
 
     #[test]

@@ -22,9 +22,9 @@ use slingshot_phy_dsp::bler;
 use slingshot_phy_dsp::channel::{db_to_linear, AwgnChannel};
 use slingshot_phy_dsp::scramble::GoldSequence;
 use slingshot_phy_dsp::snr::estimate_snr_db;
-use slingshot_phy_dsp::tbchain::{decode_tb, encode_tb, mother_buffer_len, TbParams};
+use slingshot_phy_dsp::tbchain::{decode_tb_with, encode_tb_with, mother_buffer_len, TbParams};
 use slingshot_phy_dsp::{Cplx, Modulation};
-use slingshot_sim::SimRng;
+use slingshot_sim::{SimRng, WorkerPool};
 
 /// Cap on the representative code block's payload in Sampled mode:
 /// 125 bytes + 3-byte CRC = 1024 info bits = one code block.
@@ -127,18 +127,35 @@ pub fn pilot_sequence(rnti: u16, cell_id: u16, len: usize) -> Vec<Cplx> {
         .collect()
 }
 
-/// Encode a TB for transmission under the given fidelity.
+/// Encode a TB for transmission under the given fidelity (serial).
 pub fn encode_signal(fidelity: Fidelity, payload: &Bytes, lp: &LinkParamsTb) -> TbSignal {
+    encode_signal_with(&WorkerPool::serial(), fidelity, payload, lp)
+}
+
+/// Encode a TB, fanning per-code-block work out across `pool`.
+/// Bit-identical to [`encode_signal`] for any worker count.
+pub fn encode_signal_with(
+    pool: &WorkerPool,
+    fidelity: Fidelity,
+    payload: &Bytes,
+    lp: &LinkParamsTb,
+) -> TbSignal {
     let pilots = match fidelity {
         Fidelity::Abstract => Vec::new(),
         _ => pilot_sequence(lp.rnti, lp.cell_id, lp.pilot_len()),
     };
     let (symbols, shadow) = match fidelity {
-        Fidelity::Full => (encode_tb(payload, &lp.tb_params(lp.e_bits())), Bytes::new()),
+        Fidelity::Full => (
+            encode_tb_with(pool, payload, &lp.tb_params(lp.e_bits())),
+            Bytes::new(),
+        ),
         Fidelity::Sampled => {
             let (rep_bytes, e_rep) = lp.sampled_split(payload.len());
             let rep = payload.slice(..rep_bytes);
-            (encode_tb(&rep, &lp.tb_params(e_rep)), payload.clone())
+            (
+                encode_tb_with(pool, &rep, &lp.tb_params(e_rep)),
+                payload.clone(),
+            )
         }
         Fidelity::Abstract => (Vec::new(), payload.clone()),
     };
@@ -163,6 +180,27 @@ pub fn apply_channel(signal: &mut TbSignal, snr_db: f64, channel: &mut AwgnChann
     }
 }
 
+/// Pass a signal through the channel with chunk-parallel noise
+/// generation. The noise realization differs from [`apply_channel`]
+/// (per-chunk RNG streams) but is the same for any worker count; a
+/// caller must use one variant consistently.
+pub fn apply_channel_with(
+    pool: &WorkerPool,
+    signal: &mut TbSignal,
+    snr_db: f64,
+    channel: &mut AwgnChannel,
+) {
+    signal.snr_db = snr_db;
+    if !signal.pilots.is_empty() {
+        let (noisy, _) = channel.apply_with(pool, &signal.pilots, snr_db);
+        signal.pilots = noisy;
+    }
+    if !signal.symbols.is_empty() {
+        let (noisy, _) = channel.apply_with(pool, &signal.symbols, snr_db);
+        signal.symbols = noisy;
+    }
+}
+
 /// Per-process receiver soft state (HARQ buffer across fidelities).
 #[derive(Debug, Default)]
 struct RxProc {
@@ -178,6 +216,13 @@ struct RxProc {
 pub struct RxProcessPool {
     procs: HashMap<(u16, u8), RxProc>,
 }
+
+/// One HARQ process's soft state, moved out of an [`RxProcessPool`]
+/// while a (possibly pool-executed) decode owns it. Opaque: callers
+/// only shuttle it between [`RxProcessPool::take`], [`receive_into`],
+/// and [`RxProcessPool::put`].
+#[derive(Debug, Default)]
+pub struct RxSoftState(RxProc);
 
 /// Result of a TB reception attempt.
 #[derive(Debug)]
@@ -216,7 +261,24 @@ impl RxProcessPool {
             .sum()
     }
 
-    /// Attempt to receive one TB transmission.
+    /// Move a HARQ process's soft state out of the pool (a fresh,
+    /// empty state when the process has none). Pairs with
+    /// [`RxProcessPool::put`]; this is what lets a `Send` decode job
+    /// own the state while the pool stays behind.
+    pub fn take(&mut self, rnti: u16, harq_id: u8) -> RxSoftState {
+        RxSoftState(self.procs.remove(&(rnti, harq_id)).unwrap_or_default())
+    }
+
+    /// Return soft state taken with [`RxProcessPool::take`]. State
+    /// emptied by a successful decode (or never written) is dropped,
+    /// which is what retires a HARQ process.
+    pub fn put(&mut self, rnti: u16, harq_id: u8, state: RxSoftState) {
+        if !state.0.llr_acc.is_empty() || !state.0.snr_acc.is_empty() {
+            self.procs.insert((rnti, harq_id), state.0);
+        }
+    }
+
+    /// Attempt to receive one TB transmission (serial).
     ///
     /// `expected_bytes` is the TB size from the grant (`tb_bytes`);
     /// `ndi` starts a fresh HARQ series when toggled; `rng` supplies
@@ -232,100 +294,162 @@ impl RxProcessPool {
         ndi: bool,
         rng: &mut SimRng,
     ) -> RxOutcome {
-        let proc = self.procs.entry((lp.rnti, harq_id)).or_default();
-        if proc.ndi != ndi || (proc.llr_acc.is_empty() && proc.snr_acc.is_empty()) {
-            proc.llr_acc.clear();
-            proc.snr_acc.clear();
-            proc.ndi = ndi;
-        }
-        // SNR: estimate from pilots where present, else trust the
-        // carried value (Abstract mode's stand-in for estimation).
-        let snr_db = if !signal.pilots.is_empty() {
-            estimate_snr_db(
-                &signal.pilots,
-                &pilot_sequence(lp.rnti, lp.cell_id, lp.pilot_len()),
-            )
-        } else {
-            signal.snr_db
-        };
-        match fidelity {
-            Fidelity::Full | Fidelity::Sampled => {
-                let (coded_bytes, e_bits) = if fidelity == Fidelity::Full {
-                    (expected_bytes, lp.e_bits())
-                } else {
-                    lp.sampled_split(expected_bytes)
-                };
-                let need = mother_buffer_len(coded_bytes);
-                if proc.llr_acc.len() != need {
-                    proc.llr_acc.clear();
-                    proc.llr_acc.resize(need, 0.0);
-                }
-                if signal.symbols.is_empty() {
-                    // Lost IQ (e.g., dropped fronthaul): nothing to
-                    // combine; decoding garbage fails.
-                    return RxOutcome {
-                        payload: None,
-                        snr_db,
-                        iterations: 0,
-                    };
-                }
-                let noise_var = (1.0 / db_to_linear(snr_db)).max(1e-6) as f32;
-                // Trim any transport padding (fronthaul PRB/chunk
-                // rounding) to the exact coded-symbol count; short
-                // bursts become erasures inside `decode_tb`.
-                let expected_syms = e_bits / lp.modulation.bits_per_symbol();
-                let symbols = &signal.symbols[..signal.symbols.len().min(expected_syms)];
-                let out = decode_tb(
-                    &mut proc.llr_acc,
-                    symbols,
-                    noise_var,
-                    coded_bytes,
-                    &lp.tb_params(e_bits),
-                );
-                let payload = out.payload.map(|p| {
-                    if fidelity == Fidelity::Full {
-                        Bytes::from(p)
-                    } else {
-                        signal.shadow.clone()
-                    }
-                });
-                if payload.is_some() {
-                    self.procs.remove(&(lp.rnti, harq_id));
-                }
-                RxOutcome {
-                    payload,
-                    snr_db,
-                    iterations: out.ldpc_iterations,
-                }
+        self.receive_with(
+            &WorkerPool::serial(),
+            fidelity,
+            signal,
+            lp,
+            expected_bytes,
+            harq_id,
+            ndi,
+            rng,
+        )
+    }
+
+    /// [`RxProcessPool::receive`] with per-code-block decode work fanned
+    /// out across `pool`. Identical outcome for any worker count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn receive_with(
+        &mut self,
+        pool: &WorkerPool,
+        fidelity: Fidelity,
+        signal: &TbSignal,
+        lp: &LinkParamsTb,
+        expected_bytes: usize,
+        harq_id: u8,
+        ndi: bool,
+        rng: &mut SimRng,
+    ) -> RxOutcome {
+        let mut state = self.take(lp.rnti, harq_id);
+        let out = receive_into(
+            pool,
+            &mut state,
+            fidelity,
+            signal,
+            lp,
+            expected_bytes,
+            ndi,
+            rng,
+        );
+        self.put(lp.rnti, harq_id, state);
+        out
+    }
+}
+
+/// Attempt to receive one TB transmission into caller-held soft state.
+///
+/// The free-function form of [`RxProcessPool::receive_with`]: the PHY
+/// takes the state out of its pool, may run this inside a worker-pool
+/// job (everything here is `Send`-clean), and puts the state back in
+/// serial merge order. A successful decode empties the state, which is
+/// how the HARQ process retires when the caller `put`s it back.
+#[allow(clippy::too_many_arguments)]
+pub fn receive_into(
+    pool: &WorkerPool,
+    state: &mut RxSoftState,
+    fidelity: Fidelity,
+    signal: &TbSignal,
+    lp: &LinkParamsTb,
+    expected_bytes: usize,
+    ndi: bool,
+    rng: &mut SimRng,
+) -> RxOutcome {
+    let proc = &mut state.0;
+    if proc.ndi != ndi || (proc.llr_acc.is_empty() && proc.snr_acc.is_empty()) {
+        proc.llr_acc.clear();
+        proc.snr_acc.clear();
+        proc.ndi = ndi;
+    }
+    // SNR: estimate from pilots where present, else trust the
+    // carried value (Abstract mode's stand-in for estimation).
+    let snr_db = if !signal.pilots.is_empty() {
+        estimate_snr_db(
+            &signal.pilots,
+            &pilot_sequence(lp.rnti, lp.cell_id, lp.pilot_len()),
+        )
+    } else {
+        signal.snr_db
+    };
+    match fidelity {
+        Fidelity::Full | Fidelity::Sampled => {
+            let (coded_bytes, e_bits) = if fidelity == Fidelity::Full {
+                (expected_bytes, lp.e_bits())
+            } else {
+                lp.sampled_split(expected_bytes)
+            };
+            let need = mother_buffer_len(coded_bytes);
+            if proc.llr_acc.len() != need {
+                proc.llr_acc.clear();
+                proc.llr_acc.resize(need, 0.0);
             }
-            Fidelity::Abstract => {
-                proc.snr_acc.push(snr_db);
-                let combined = bler::combined_snr_db(&proc.snr_acc);
-                let row = mcs(lp.mcs);
-                let info_bits = (expected_bytes + 3) * 8;
-                let code_rate = info_bits as f64 / lp.e_bits() as f64;
-                let block_bits = info_bits.min(1024);
-                let p_err = bler::bler(
-                    combined,
-                    row.modulation.bits_per_symbol(),
-                    code_rate,
-                    block_bits,
-                    lp.fec_iterations,
-                );
-                let ok = !rng.chance(p_err);
-                let payload = if ok {
-                    Some(signal.shadow.clone())
-                } else {
-                    None
-                };
-                if ok {
-                    self.procs.remove(&(lp.rnti, harq_id));
-                }
-                RxOutcome {
-                    payload,
+            if signal.symbols.is_empty() {
+                // Lost IQ (e.g., dropped fronthaul): nothing to
+                // combine; decoding garbage fails.
+                return RxOutcome {
+                    payload: None,
                     snr_db,
                     iterations: 0,
+                };
+            }
+            let noise_var = (1.0 / db_to_linear(snr_db)).max(1e-6) as f32;
+            // Trim any transport padding (fronthaul PRB/chunk
+            // rounding) to the exact coded-symbol count; short
+            // bursts become erasures inside `decode_tb_with`.
+            let expected_syms = e_bits / lp.modulation.bits_per_symbol();
+            let symbols = &signal.symbols[..signal.symbols.len().min(expected_syms)];
+            let out = decode_tb_with(
+                pool,
+                &mut proc.llr_acc,
+                symbols,
+                noise_var,
+                coded_bytes,
+                &lp.tb_params(e_bits),
+            );
+            let payload = out.payload.map(|p| {
+                if fidelity == Fidelity::Full {
+                    Bytes::from(p)
+                } else {
+                    signal.shadow.clone()
                 }
+            });
+            if payload.is_some() {
+                proc.llr_acc.clear();
+                proc.snr_acc.clear();
+            }
+            RxOutcome {
+                payload,
+                snr_db,
+                iterations: out.ldpc_iterations,
+            }
+        }
+        Fidelity::Abstract => {
+            proc.snr_acc.push(snr_db);
+            let combined = bler::combined_snr_db(&proc.snr_acc);
+            let row = mcs(lp.mcs);
+            let info_bits = (expected_bytes + 3) * 8;
+            let code_rate = info_bits as f64 / lp.e_bits() as f64;
+            let block_bits = info_bits.min(1024);
+            let p_err = bler::bler(
+                combined,
+                row.modulation.bits_per_symbol(),
+                code_rate,
+                block_bits,
+                lp.fec_iterations,
+            );
+            let ok = !rng.chance(p_err);
+            let payload = if ok {
+                Some(signal.shadow.clone())
+            } else {
+                None
+            };
+            if ok {
+                proc.llr_acc.clear();
+                proc.snr_acc.clear();
+            }
+            RxOutcome {
+                payload,
+                snr_db,
+                iterations: 0,
             }
         }
     }

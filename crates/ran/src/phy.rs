@@ -34,10 +34,14 @@ use slingshot_fronthaul::{
 use slingshot_netsim::{EtherType, Frame, MacAddr};
 use slingshot_phy_dsp::snr::SnrFilter;
 use slingshot_phy_dsp::{Cplx, SC_PER_PRB};
-use slingshot_sim::{Ctx, Nanos, Node, NodeId, SimRng, SlotClock, SlotId, TraceEventKind};
+use slingshot_sim::{
+    Ctx, Instrument, InstrumentSink, Nanos, Node, NodeId, SimRng, SlotClock, SlotId, TraceEventKind,
+};
 
 use crate::cell::CellConfig;
-use crate::fidelity::{encode_signal, LinkParamsTb, RxProcessPool, TbSignal};
+use crate::fidelity::{
+    encode_signal_with, receive_into, LinkParamsTb, RxProcessPool, RxSoftState, TbSignal,
+};
 use crate::msg::{timer_tokens, Msg};
 use crate::ru::PRBS_PER_CHUNK;
 
@@ -287,8 +291,15 @@ impl PhyNode {
         self.work_slots += 1;
         let payloads: HashMap<u16, Bytes> = tbs.into_iter().collect();
         let scalar = (slot.sfn % 256) * 20 + slot.subframe as u16 * 2 + slot.slot as u16;
-        let mut dcis = Vec::new();
-        for pdu in &pdsch {
+        // Serial prepare: one self-contained encode job per PDU with a
+        // payload, then fan the pure DSP out to the worker pool. All
+        // sends stay in PDU order below, so worker count never changes
+        // the trace.
+        let pool = ctx.worker_pool();
+        let fidelity = self.cell.fidelity;
+        let mut picked = Vec::new();
+        let mut jobs: Vec<Box<dyn FnOnce() -> TbSignal + Send>> = Vec::new();
+        for (i, pdu) in pdsch.iter().enumerate() {
             let Some(payload) = payloads.get(&pdu.rnti) else {
                 continue;
             };
@@ -301,9 +312,19 @@ impl PhyNode {
                 pdu.rv,
                 self.cfg.fec_iterations,
             );
-            let signal = encode_signal(self.cell.fidelity, payload, &lp);
+            picked.push((i, lp.e_bits()));
+            let payload = payload.clone();
+            let job_pool = pool.clone();
+            jobs.push(Box::new(move || {
+                encode_signal_with(&job_pool, fidelity, &payload, &lp)
+            }));
+        }
+        let signals = pool.run(jobs);
+        let mut dcis = Vec::new();
+        for ((i, e_bits), signal) in picked.into_iter().zip(signals) {
+            let pdu = &pdsch[i];
             self.busy_ns_total +=
-                CPU_SLOT_BASE_NS + (lp.e_bits() as f64 * CPU_ENCODE_PER_EBIT_NS) as u64;
+                CPU_SLOT_BASE_NS + (e_bits as f64 * CPU_ENCODE_PER_EBIT_NS) as u64;
             dcis.push(DciEntry {
                 rnti: pdu.rnti,
                 uplink: false,
@@ -316,7 +337,7 @@ impl PhyNode {
                 num_prb: pdu.num_prb,
                 tb_bytes: pdu.tb_bytes,
             });
-            self.emit_signal(ctx, ru_id, ru_mac, slot, pdu.start_prb, pdu.rnti, &signal);
+            self.emit_signal(ctx, ru_id, ru_mac, slot, pdu.start_prb, pdu.rnti, signal);
         }
         self.send_fh(
             ctx,
@@ -339,30 +360,34 @@ impl PhyNode {
         slot: SlotId,
         start_prb: u16,
         rnti: u16,
-        signal: &TbSignal,
+        signal: TbSignal,
     ) {
-        let mut flat = signal.pilots.clone();
-        flat.extend_from_slice(&signal.symbols);
+        // Reuse the signal's own pilot buffer as the flat IQ scratch —
+        // the TB is consumed here, so nothing is cloned on this path.
+        let TbSignal {
+            pilots: mut flat,
+            symbols,
+            shadow,
+            ..
+        } = signal;
+        flat.extend_from_slice(&symbols);
         while !flat.len().is_multiple_of(SC_PER_PRB) {
             flat.push(Cplx::ZERO);
         }
+        // `flat` is PRB-aligned, so every chunk already is too.
         let per_chunk = PRBS_PER_CHUNK * SC_PER_PRB;
         for (idx, chunk) in flat.chunks(per_chunk).enumerate() {
-            let mut padded = chunk.to_vec();
-            while padded.len() % SC_PER_PRB != 0 {
-                padded.push(Cplx::ZERO);
-            }
             self.send_fh(
                 ctx,
                 ru_mac,
                 &FhMessage::UPlane(UPlaneMsg {
                     hdr: fh_header(Direction::Downlink, slot, idx as u8, ru_id),
                     start_prb,
-                    prbs: compress_symbol(&padded),
+                    prbs: compress_symbol(chunk),
                 }),
             );
         }
-        if !signal.shadow.is_empty() {
+        if !shadow.is_empty() {
             self.send_fh(
                 ctx,
                 ru_mac,
@@ -370,7 +395,7 @@ impl PhyNode {
                     hdr: fh_header(Direction::Downlink, slot, 0, ru_id),
                     rnti,
                     snr_db_x100: 0,
-                    data: signal.shadow.clone(),
+                    data: shadow,
                 }),
             );
         }
@@ -379,6 +404,7 @@ impl PhyNode {
     /// Process uplink slot `abs` (its fronthaul arrived during abs+1;
     /// we run at the abs+2 boundary — the 3-slot pipeline of Fig. 7).
     fn process_ul(&mut self, ctx: &mut Ctx<'_, Msg>, ru_id: u8, abs: u64) {
+        let pool = ctx.worker_pool();
         let Some(ru) = self.rus.get_mut(&ru_id) else {
             return;
         };
@@ -386,7 +412,7 @@ impl PhyNode {
             return;
         };
         let slot = SlotId::from_absolute(abs);
-        let data = ru.ul_data.remove(&abs).unwrap_or_default();
+        let mut data = ru.ul_data.remove(&abs).unwrap_or_default();
         if pdus.is_empty() {
             self.busy_ns_total += CPU_NULL_SLOT_NS;
             self.null_slots += 1;
@@ -404,13 +430,23 @@ impl PhyNode {
         let fidelity = self.cell.fidelity;
         let data_symbols = self.cell.data_symbols;
         let iters = self.cfg.fec_iterations;
-        let mut crcs = Vec::new();
-        let mut rx_tbs = Vec::new();
-        let mut busy = CPU_SLOT_BASE_NS;
+        // Serial prepare: everything that touches shared or ordered
+        // state — fronthaul reassembly, CSI bookkeeping, HARQ soft-state
+        // checkout, RNG stream splits — runs here in PDU order, so the
+        // jobs below are pure and the trace is worker-count independent.
+        struct UlJob {
+            signal: TbSignal,
+            lp: LinkParamsTb,
+            tb_bytes: usize,
+            ndi: bool,
+            state: RxSoftState,
+            rng: SimRng,
+        }
+        let mut prepped = Vec::with_capacity(pdus.len());
         for pdu in &pdus {
             // Reassemble the allocation's samples.
             let mut samples = Vec::new();
-            if let Some(mut chunks) = data.chunks.get(&pdu.start_prb).cloned() {
+            if let Some(mut chunks) = data.chunks.remove(&pdu.start_prb) {
                 chunks.sort_by_key(|(i, _)| *i);
                 for (_, c) in chunks {
                     samples.extend(c);
@@ -464,15 +500,47 @@ impl PhyNode {
                 shadow,
                 snr_db: snr_hint - mimo_penalty,
             };
-            let outcome = ru.rx_pool.receive(
-                fidelity,
-                &signal,
-                &lp,
-                pdu.tb_bytes as usize,
-                pdu.harq_id,
-                pdu.ndi,
-                &mut self.rng,
-            );
+            prepped.push(UlJob {
+                signal,
+                lp,
+                tb_bytes: pdu.tb_bytes as usize,
+                ndi: pdu.ndi,
+                state: ru.rx_pool.take(pdu.rnti, pdu.harq_id),
+                rng: self.rng.split(prepped.len() as u64),
+            });
+        }
+        // Parallel: pure per-PDU decode (itself fanning out per code
+        // block through the same pool — nested submission is safe
+        // because waiting workers help drain the queue).
+        let results = pool.run(
+            prepped
+                .into_iter()
+                .map(|mut j| {
+                    let job_pool = pool.clone();
+                    move || {
+                        let outcome = receive_into(
+                            &job_pool,
+                            &mut j.state,
+                            fidelity,
+                            &j.signal,
+                            &j.lp,
+                            j.tb_bytes,
+                            j.ndi,
+                            &mut j.rng,
+                        );
+                        (j.state, outcome)
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        // Serial merge, in PDU order: soft-state return, CPU accounting,
+        // SNR filters and FAPI indications.
+        let ru = self.rus.get_mut(&ru_id).expect("ru exists");
+        let mut crcs = Vec::new();
+        let mut rx_tbs = Vec::new();
+        let mut busy = CPU_SLOT_BASE_NS;
+        for (pdu, (state, outcome)) in pdus.iter().zip(results) {
+            ru.rx_pool.put(pdu.rnti, pdu.harq_id, state);
             // Decode cost scales with iterations × transport-block bits
             // (the whole TB: in reduced-fidelity modes the representative
             // block's iteration count stands in for all code blocks).
@@ -646,6 +714,24 @@ impl PhyNode {
         let now_id = SlotId::from_absolute(now_abs);
         let d = now_id.wrapping_distance(slot);
         now_abs.saturating_add_signed(d)
+    }
+}
+
+impl Instrument for PhyNode {
+    fn instrument(&self, scope: &str, sink: &mut dyn InstrumentSink) {
+        sink.counter(scope, "busy_ns_total", self.busy_ns_total);
+        sink.counter(scope, "null_slots", self.null_slots);
+        sink.counter(scope, "work_slots", self.work_slots);
+        sink.counter(scope, "ul_tbs_decoded", self.ul_tbs_decoded);
+        sink.counter(scope, "ul_crc_failures", self.ul_crc_failures);
+        sink.counter(
+            scope,
+            "processed_ul_slots",
+            self.processed_ul_slots.len() as u64,
+        );
+        // The PHY's own FlexRAN-style abort on missing FAPI; external
+        // kills show up as node_killed trace events instead.
+        sink.gauge(scope, "self_crashed", self.crash_time.is_some() as i64);
     }
 }
 

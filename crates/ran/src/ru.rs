@@ -95,39 +95,41 @@ impl RuNode {
         let slot = burst.slot;
         // Compressed IQ chunks (pilots ‖ data as one flat stream),
         // tagged with the allocation's absolute start PRB and a chunk
-        // index in the symbol field.
-        let mut flat = burst.signal.pilots.clone();
-        flat.extend_from_slice(&burst.signal.symbols);
-        // Pad to a whole PRB.
+        // index in the symbol field. The burst is consumed: its pilot
+        // buffer becomes the flat scratch, so nothing is cloned here.
+        let TbSignal {
+            pilots: mut flat,
+            symbols,
+            shadow,
+            snr_db,
+        } = burst.signal;
+        flat.extend_from_slice(&symbols);
+        // Pad to a whole PRB; chunk boundaries then stay PRB-aligned.
         while !flat.len().is_multiple_of(SC_PER_PRB) {
             flat.push(Cplx::ZERO);
         }
         let samples_per_chunk = PRBS_PER_CHUNK * SC_PER_PRB;
         for (idx, chunk) in flat.chunks(samples_per_chunk).enumerate() {
-            let mut padded = chunk.to_vec();
-            while padded.len() % SC_PER_PRB != 0 {
-                padded.push(Cplx::ZERO);
-            }
             let msg = FhMessage::UPlane(UPlaneMsg {
                 hdr: fh_header(Direction::Uplink, slot, idx as u8, self.ru_id),
                 start_prb: burst.start_prb,
-                prbs: compress_symbol(&padded),
+                prbs: compress_symbol(chunk),
             });
             self.send_fh(ctx, &msg);
         }
-        if !burst.signal.shadow.is_empty() {
+        if !shadow.is_empty() {
             let msg = FhMessage::Shadow(ShadowMsg {
                 hdr: fh_header(Direction::Uplink, slot, 0, self.ru_id),
                 rnti: burst.rnti,
-                snr_db_x100: (burst.signal.snr_db * 100.0) as i32,
-                data: burst.signal.shadow.clone(),
+                snr_db_x100: (snr_db * 100.0) as i32,
+                data: shadow,
             });
             self.send_fh(ctx, &msg);
         }
         if !burst.ucis.is_empty() {
             let msg = FhMessage::Uci(UciMsg {
                 hdr: fh_header(Direction::Uplink, slot, 0, self.ru_id),
-                entries: burst.ucis.clone(),
+                entries: burst.ucis,
             });
             self.send_fh(ctx, &msg);
         }
@@ -137,7 +139,7 @@ impl RuNode {
     /// us fronthaul for it.
     fn radiate(&mut self, ctx: &mut Ctx<'_, Msg>, slot: SlotId) {
         let scalar = (slot.sfn % 256) * 20 + slot.subframe as u16 * 2 + slot.slot as u16;
-        let Some(buf) = self.dl_slots.remove(&scalar) else {
+        let Some(mut buf) = self.dl_slots.remove(&scalar) else {
             self.slots_dark += 1;
             return;
         };
@@ -149,7 +151,7 @@ impl RuNode {
         for dci in buf.dcis.iter().filter(|d| !d.uplink) {
             // Reassemble this allocation's samples from its chunks.
             let mut samples = Vec::new();
-            if let Some(mut chunks) = buf.chunks.get(&dci.start_prb).cloned() {
+            if let Some(mut chunks) = buf.chunks.remove(&dci.start_prb) {
                 chunks.sort_by_key(|(idx, _)| *idx);
                 for (_, c) in chunks {
                     samples.extend(c);

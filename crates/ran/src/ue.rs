@@ -15,11 +15,13 @@ use bytes::Bytes;
 use slingshot_fronthaul::{DciEntry, UciEntry};
 use slingshot_phy_dsp::channel::AwgnChannel;
 use slingshot_phy_dsp::{SnrProcess, SnrProcessConfig};
-use slingshot_sim::{Ctx, Nanos, Node, NodeId, SimRng, SlotClock, SlotId};
+use slingshot_sim::{
+    Ctx, Instrument, InstrumentSink, Nanos, Node, NodeId, SimRng, SlotClock, SlotId,
+};
 use slingshot_transport::UserApp;
 
 use crate::cell::{CellConfig, Fidelity};
-use crate::fidelity::{apply_channel, encode_signal, LinkParamsTb, RxProcessPool};
+use crate::fidelity::{apply_channel_with, encode_signal_with, LinkParamsTb, RxProcessPool};
 use crate::l2::{build_mac_pdu, parse_mac_pdu};
 use crate::msg::{timer_tokens, CtlMsg, Msg, RadioUlBurst, AIR_LATENCY};
 use crate::rlc::{RlcRx, RlcTx};
@@ -198,6 +200,7 @@ impl UeNode {
         if self.state != UeState::Connected {
             return;
         }
+        let pool = ctx.worker_pool();
         for g in grants {
             self.ul_grants_served += 1;
             // New data or retransmission? Track NDI per HARQ process.
@@ -230,8 +233,8 @@ impl UeNode {
                 g.rv,
                 self.cell.fec_iterations,
             );
-            let mut signal = encode_signal(self.cell.fidelity, &payload, &lp);
-            apply_channel(&mut signal, self.current_snr_db, &mut self.channel);
+            let mut signal = encode_signal_with(&pool, self.cell.fidelity, &payload, &lp);
+            apply_channel_with(&pool, &mut signal, self.current_snr_db, &mut self.channel);
             if self.cell.fidelity == Fidelity::Abstract {
                 signal.snr_db = self.current_snr_db;
             }
@@ -252,6 +255,7 @@ impl UeNode {
 
     fn on_dl_burst(&mut self, ctx: &mut Ctx<'_, Msg>, burst: crate::msg::RadioDlBurst) {
         let now = ctx.now();
+        let pool = ctx.worker_pool();
         self.last_dl_burst = now;
         match self.state {
             UeState::Idle => {
@@ -301,11 +305,12 @@ impl UeNode {
             );
             // Receiver-side channel: noise applied at the UE antenna.
             let mut signal = alloc.signal.clone();
-            apply_channel(&mut signal, self.current_snr_db, &mut self.channel);
+            apply_channel_with(&pool, &mut signal, self.current_snr_db, &mut self.channel);
             if self.cell.fidelity == Fidelity::Abstract {
                 signal.snr_db = self.current_snr_db;
             }
-            let out = self.dl_pool.receive(
+            let out = self.dl_pool.receive_with(
+                &pool,
                 self.cell.fidelity,
                 &signal,
                 &lp,
@@ -342,6 +347,21 @@ impl UeNode {
                 }
             }
         }
+    }
+}
+
+impl Instrument for UeNode {
+    fn instrument(&self, scope: &str, sink: &mut dyn InstrumentSink) {
+        sink.counter(scope, "rlf_count", self.rlf_count);
+        sink.counter(scope, "dl_tbs_ok", self.dl_tbs_ok);
+        sink.counter(scope, "dl_tbs_bad", self.dl_tbs_bad);
+        sink.counter(scope, "ul_grants_served", self.ul_grants_served);
+        sink.counter(scope, "delivered_to_apps", self.delivered_to_apps);
+        sink.gauge(
+            scope,
+            "connected",
+            matches!(self.state, UeState::Connected) as i64,
+        );
     }
 }
 

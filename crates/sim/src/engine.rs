@@ -8,15 +8,20 @@
 //! serialization delay at a configured bandwidth, FIFO queueing, and
 //! optional fault injection.
 //!
-//! Everything is single-threaded and deterministic: the same master seed
-//! and the same sequence of API calls produce byte-identical event traces
-//! (see [`Engine::trace_hash`]).
+//! Event dispatch is single-threaded and deterministic: the same master
+//! seed and the same sequence of API calls produce byte-identical event
+//! traces (see [`Engine::trace_hash`]). Nodes may offload pure compute
+//! within one callback to the engine's [`WorkerPool`]
+//! ([`Ctx::worker_pool`]); because jobs carry pre-split RNG streams and
+//! results merge in submission order, the trace is independent of the
+//! pool's worker count.
 
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use crate::metrics::MetricsRegistry;
+use crate::pool::WorkerPool;
 use crate::rng::SimRng;
 use crate::time::{Nanos, SlotId};
 use crate::trace::{TraceBuffer, TraceEventKind};
@@ -229,6 +234,7 @@ struct Core<M> {
     dispatched: u64,
     trace: TraceBuffer,
     metrics: MetricsRegistry,
+    pool: WorkerPool,
 }
 
 impl<M> Core<M> {
@@ -448,6 +454,14 @@ impl<'a, M: Message> Ctx<'a, M> {
     pub fn metrics(&mut self) -> &mut MetricsRegistry {
         &mut self.core.metrics
     }
+
+    /// The engine's compute worker pool (a cheap shared handle). Pure
+    /// per-slot DSP work may fan out here; everything observable through
+    /// this `Ctx` must still happen serially, in submission order, so
+    /// worker count never changes the trace.
+    pub fn worker_pool(&self) -> WorkerPool {
+        self.core.pool.clone()
+    }
 }
 
 /// The deterministic discrete-event simulation engine.
@@ -472,10 +486,24 @@ impl<M: Message> Engine<M> {
                 dispatched: 0,
                 trace: TraceBuffer::default(),
                 metrics: MetricsRegistry::new(),
+                pool: WorkerPool::serial(),
             },
             nodes: Vec::new(),
             started: false,
         }
+    }
+
+    /// Install the compute worker pool nodes reach through
+    /// [`Ctx::worker_pool`]. Defaults to the inline serial pool; a
+    /// deployment that wants parallel slot processing installs a shared
+    /// threaded pool here before the run starts.
+    pub fn set_worker_pool(&mut self, pool: WorkerPool) {
+        self.core.pool = pool;
+    }
+
+    /// The engine's compute worker pool (a cheap shared handle).
+    pub fn worker_pool(&self) -> WorkerPool {
+        self.core.pool.clone()
     }
 
     /// Register a node; the returned id is stable for the engine's life.

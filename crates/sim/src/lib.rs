@@ -23,15 +23,20 @@
 //! - [`metrics`]: bounded-memory counters/gauges/log-bucketed histograms
 //!   scoped per component, with deterministic text and JSON exporters.
 //!
-//! Design note: the whole stack is synchronous and single-threaded.
+//! Design note: event dispatch is synchronous and single-threaded.
 //! Real vRAN software busy-polls on dedicated cores; in a simulation,
 //! an async runtime would add nondeterminism without modeling value, so
 //! (per the project's networking guides) we use event-driven synchronous
-//! code and replace wall-clock waiting with simulated time.
+//! code and replace wall-clock waiting with simulated time. Pure DSP
+//! compute *within* one event, however, may fan out across the
+//! [`pool::WorkerPool`]: jobs carry pre-split RNG streams and results
+//! merge in submission order, so worker count never changes the trace
+//! (see DESIGN.md §5d).
 
 pub mod chaos;
 pub mod engine;
 pub mod metrics;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -39,7 +44,8 @@ pub mod trace;
 
 pub use chaos::{ChaosDistribution, Fault, FaultKind, FaultTarget, Scenario};
 pub use engine::{Ctx, Engine, LinkParams, LinkStats, Message, Node, NodeId};
-pub use metrics::{HistogramSummary, LogHistogram, MetricsRegistry};
+pub use metrics::{HistogramSummary, Instrument, InstrumentSink, LogHistogram, MetricsRegistry};
+pub use pool::WorkerPool;
 pub use rng::SimRng;
 pub use stats::{OnlineStats, RateBins, Sampler};
 pub use time::{

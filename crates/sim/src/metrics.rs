@@ -417,6 +417,45 @@ impl MetricsRegistry {
     }
 }
 
+/// Where an [`Instrument`] publishes its metrics. The registry is the
+/// production sink; tests can capture with their own impl.
+///
+/// Publication uses *set* semantics (counters are absolute totals, not
+/// deltas), so publishing twice is idempotent — nodes keep their own
+/// live tallies and snapshot them through this interface.
+pub trait InstrumentSink {
+    fn counter(&mut self, scope: &str, name: &str, value: u64);
+    fn gauge(&mut self, scope: &str, name: &str, value: i64);
+    fn histogram(&mut self, scope: &str, name: &str, h: &LogHistogram);
+}
+
+impl InstrumentSink for MetricsRegistry {
+    fn counter(&mut self, scope: &str, name: &str, value: u64) {
+        self.set_counter(scope, name, value);
+    }
+
+    fn gauge(&mut self, scope: &str, name: &str, value: i64) {
+        self.set_gauge(scope, name, value);
+    }
+
+    fn histogram(&mut self, scope: &str, name: &str, h: &LogHistogram) {
+        // Replace rather than merge: publishing is a snapshot.
+        *self.histogram_mut(scope, name) = h.clone();
+    }
+}
+
+/// One entry point for a node to publish everything it measures.
+///
+/// PR 1 threaded three parallel idioms through the deployment
+/// (`set_counter` loops, gauge pokes, `histogram_mut` merges) — one
+/// hand-written block per node type. Implementing `Instrument` moves
+/// that knowledge into the node itself: the deployment just walks its
+/// nodes and calls [`Instrument::instrument`] with the node's scope.
+pub trait Instrument {
+    /// Publish all counters/gauges/histograms under `scope`.
+    fn instrument(&self, scope: &str, sink: &mut dyn InstrumentSink);
+}
+
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {

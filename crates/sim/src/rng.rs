@@ -48,6 +48,20 @@ impl SimRng {
         SimRng::new(self.next_u64() ^ h)
     }
 
+    /// Derive an independent child generator for a numbered shard (the
+    /// numeric analog of [`SimRng::fork`]). Used to pre-split per-job
+    /// streams *in serial submission order* before work fans out to a
+    /// worker pool: each job owns its stream, so the draws it makes are
+    /// independent of worker count and scheduling.
+    pub fn split(&mut self, shard: u64) -> SimRng {
+        // Mix the shard index through splitmix64 so adjacent shards land
+        // far apart in seed space, then combine with a fresh draw from
+        // the parent (as fork does with the label hash).
+        let mut sm = shard ^ 0x51C0_75EE_D051_ACED;
+        let mixed = splitmix64(&mut sm);
+        SimRng::new(self.next_u64() ^ mixed)
+    }
+
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
@@ -170,6 +184,21 @@ mod tests {
         assert_eq!(c1.next_u64(), c2.next_u64());
         // Extremely unlikely to collide if properly decorrelated.
         assert_ne!(c1.next_u64(), other.next_u64());
+    }
+
+    #[test]
+    fn split_is_decorrelated_and_deterministic() {
+        let mut parent1 = SimRng::new(11);
+        let mut parent2 = SimRng::new(11);
+        let mut a1 = parent1.split(0);
+        let mut a2 = parent2.split(0);
+        let mut b = parent1.split(1);
+        assert_eq!(a1.next_u64(), a2.next_u64());
+        assert_ne!(a1.next_u64(), b.next_u64());
+        // Splitting advances the parent, so successive splits differ
+        // even with the same shard index.
+        let mut c = parent1.split(0);
+        assert_ne!(a1.next_u64(), c.next_u64());
     }
 
     #[test]

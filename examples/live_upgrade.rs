@@ -8,7 +8,7 @@
 //! cargo run --release --example live_upgrade
 //! ```
 
-use slingshot::{Deployment, DeploymentConfig, PRIMARY_PHY_ID, SECONDARY_PHY_ID};
+use slingshot::{DeploymentBuilder, DeploymentConfig, PRIMARY_PHY_ID, SECONDARY_PHY_ID};
 use slingshot_ran::{AppServerNode, CellConfig, Fidelity, PhyNode, UeConfig, UeNode};
 use slingshot_sim::Nanos;
 use slingshot_transport::{UdpCbrSource, UdpSink};
@@ -30,7 +30,7 @@ fn main() {
     // A UE whose SNR sits near the decode threshold: it feels the
     // difference between the old and new decoder.
     let ues = vec![UeConfig::new(100, 0, "edge-ue", 16.0)];
-    let mut d = Deployment::build(cfg, ues);
+    let mut d = DeploymentBuilder::new().config(cfg).ues(ues).build();
     // The currently deployed build is older than the scheduler assumes:
     // it decodes with only 2 iterations.
     d.engine

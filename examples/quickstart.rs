@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use slingshot::{Deployment, DeploymentConfig, OrionL2Node, SwitchNode};
+use slingshot::{DeploymentBuilder, DeploymentConfig, OrionL2Node, SwitchNode};
 use slingshot_ran::{AppServerNode, CellConfig, Fidelity, UeConfig, UeNode, UeState};
 use slingshot_sim::Nanos;
 use slingshot_transport::{UdpCbrSource, UdpSink};
@@ -33,7 +33,7 @@ fn main() {
     //    middlebox + failure detector), primary + hot-standby PHY (each
     //    paired with a PHY-side Orion), L2 + L2-side Orion, core, and
     //    an application server.
-    let mut d = Deployment::build(cfg, ues);
+    let mut d = DeploymentBuilder::new().config(cfg).ues(ues).build();
 
     // 4. Attach an uplink iperf-style flow: UDP source on the UE,
     //    sink on the app server.

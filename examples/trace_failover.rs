@@ -10,7 +10,7 @@
 //! cargo run --release --example trace_failover
 //! ```
 
-use slingshot::{Deployment, DeploymentConfig};
+use slingshot::{DeploymentBuilder, DeploymentConfig};
 use slingshot_ran::{CellConfig, Fidelity, UeConfig};
 use slingshot_sim::trace::{delivered_ul_slots, detections, dropped_ttis};
 use slingshot_sim::{Nanos, TraceEventKind};
@@ -26,7 +26,10 @@ fn main() {
         seed: 8,
         ..DeploymentConfig::default()
     };
-    let mut d = Deployment::build(cfg, vec![UeConfig::new(100, 0, "ue100", 22.0)]);
+    let mut d = DeploymentBuilder::new()
+        .config(cfg)
+        .ue(UeConfig::new(100, 0, "ue100", 22.0))
+        .build();
     d.add_flow(
         0,
         100,

@@ -8,7 +8,7 @@
 //! cargo run --release --example videoconf_failover
 //! ```
 
-use slingshot::{Deployment, DeploymentConfig};
+use slingshot::{DeploymentBuilder, DeploymentConfig};
 use slingshot_ran::{CellConfig, Fidelity, UeConfig, UeNode};
 use slingshot_sim::Nanos;
 use slingshot_transport::{VideoReceiver, VideoSender};
@@ -23,7 +23,10 @@ fn main() {
         seed: 3,
         ..DeploymentConfig::default()
     };
-    let mut d = Deployment::build(cfg, vec![UeConfig::new(100, 0, "caller", 22.0)]);
+    let mut d = DeploymentBuilder::new()
+        .config(cfg)
+        .ue(UeConfig::new(100, 0, "caller", 22.0))
+        .build();
 
     // A 500 kbps talking-head stream from the server to the UE, with
     // loss-adaptive rate control (receiver reports feed back uplink).

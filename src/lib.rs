@@ -10,21 +10,20 @@
 //! primary PHY, and confirm the UE never noticed:
 //!
 //! ```
-//! use slingshot::{Deployment, DeploymentConfig, OrionL2Node};
+//! use slingshot::{DeploymentBuilder, OrionL2Node};
 //! use slingshot_ran::{CellConfig, Fidelity, UeConfig, UeNode, UeState};
 //! use slingshot_sim::Nanos;
 //! use slingshot_transport::{UdpCbrSource, UdpSink};
 //!
-//! let cfg = DeploymentConfig {
-//!     cell: CellConfig {
+//! let mut d = DeploymentBuilder::new()
+//!     .seed(1)
+//!     .cell(CellConfig {
 //!         num_prbs: 24,                 // small cell keeps the doctest fast
 //!         fidelity: Fidelity::Sampled,  // real LDPC on a representative block
 //!         ..CellConfig::default()
-//!     },
-//!     seed: 1,
-//!     ..DeploymentConfig::default()
-//! };
-//! let mut d = Deployment::build(cfg, vec![UeConfig::new(100, 0, "ue", 22.0)]);
+//!     })
+//!     .ue(UeConfig::new(100, 0, "ue", 22.0))
+//!     .build();
 //! d.add_flow(
 //!     0,
 //!     100,

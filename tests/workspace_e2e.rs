@@ -1,7 +1,7 @@
 //! Workspace-level integration tests: the public API end to end, from
 //! the root crate, exactly as a downstream user would drive it.
 
-use slingshot::{Deployment, DeploymentConfig, OrionL2Node, SwitchNode};
+use slingshot::{Deployment, DeploymentBuilder, OrionL2Node, SwitchNode};
 use slingshot_baseline::BaselineDeployment;
 use slingshot_ran::{AppServerNode, CellConfig, Fidelity, UeConfig, UeNode, UeState};
 use slingshot_sim::Nanos;
@@ -16,14 +16,11 @@ fn cell() -> CellConfig {
 }
 
 fn slingshot_deployment(seed: u64) -> Deployment {
-    Deployment::build(
-        DeploymentConfig {
-            cell: cell(),
-            seed,
-            ..DeploymentConfig::default()
-        },
-        vec![UeConfig::new(100, 0, "ue", 22.0)],
-    )
+    DeploymentBuilder::new()
+        .seed(seed)
+        .cell(cell())
+        .ue(UeConfig::new(100, 0, "ue", 22.0))
+        .build()
 }
 
 /// The headline contrast, in one test: the same crash, handled by
@@ -69,14 +66,11 @@ fn three_ues_survive_repeated_planned_migrations() {
         UeConfig::new(101, 0, "b", 18.0),
         UeConfig::new(102, 0, "c", 24.0),
     ];
-    let mut d = Deployment::build(
-        DeploymentConfig {
-            cell: cell(),
-            seed: 2,
-            ..DeploymentConfig::default()
-        },
-        ues,
-    );
+    let mut d = DeploymentBuilder::new()
+        .seed(2)
+        .cell(cell())
+        .ues(ues)
+        .build();
     for (i, rnti) in [100u16, 101, 102].iter().enumerate() {
         d.add_flow(
             i,
@@ -117,15 +111,12 @@ fn three_ues_survive_repeated_planned_migrations() {
 /// replacement-standby path of §6.3.
 #[test]
 fn spare_phy_takes_over_after_double_failure() {
-    let mut d = Deployment::build(
-        DeploymentConfig {
-            cell: cell(),
-            seed: 3,
-            with_spare_phy: true,
-            ..DeploymentConfig::default()
-        },
-        vec![UeConfig::new(100, 0, "ue", 22.0)],
-    );
+    let mut d = DeploymentBuilder::new()
+        .seed(3)
+        .cell(cell())
+        .spare_phy(true)
+        .ue(UeConfig::new(100, 0, "ue", 22.0))
+        .build();
     d.add_flow(
         0,
         100,

@@ -17,7 +17,12 @@ use std::sync::Arc;
 /// into the same allocation without copying.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    // Arc<Vec<u8>> rather than Arc<[u8]>: converting a Vec into
+    // Arc<[u8]> copies the contents into a fresh allocation, while
+    // Arc::new(vec) just takes ownership — so `Bytes::from(vec)` on the
+    // simulator's per-frame hot path is allocation-free beyond the Vec
+    // the caller already built.
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -42,7 +47,7 @@ impl Bytes {
     fn from_vec(v: Vec<u8>) -> Bytes {
         let end = v.len();
         Bytes {
-            data: Arc::from(v),
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -362,6 +367,16 @@ mod tests {
         let rest = b.copy_to_bytes(2);
         assert_eq!(&rest[..], &[9, 9]);
         assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn from_vec_is_zero_copy() {
+        let v = vec![7u8; 64];
+        let p = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ref().as_ptr(), p, "Vec buffer must be reused");
+        let c = b.clone();
+        assert_eq!(c.as_ref().as_ptr(), p);
     }
 
     #[test]
