@@ -50,4 +50,9 @@ cargo clippy --workspace -- -D warnings
 echo "==> chaos smoke (CHAOS_SEEDS=${CHAOS_SEEDS:-4})"
 CHAOS_SEEDS="${CHAOS_SEEDS:-4}" cargo run --release -p slingshot-bench --bin chaos_soak
 
+echo "==> DSP kernel throughput smoke"
+KERNEL_QUICK=1 \
+    KERNEL_BASELINE=crates/bench/baselines/kernel_bench.baseline \
+    cargo run --release -p slingshot-bench --bin kernel_bench
+
 echo "==> OK"

@@ -1,0 +1,200 @@
+//! DSP kernel throughput harness: per-kernel ops/sec for the hot
+//! baseband primitives (CRC, scrambling, LDPC encode/decode,
+//! modulate/demap), measured standalone so a kernel regression is
+//! visible before it washes out in end-to-end slot throughput.
+//!
+//! Unlike the Criterion micro-benchmarks (`cargo bench --bench dsp`),
+//! this binary is cheap enough for CI: quick mode runs in well under a
+//! second and compares against conservative floors, the same contract
+//! as `slots_per_sec`.
+//!
+//! Knobs (env):
+//!   KERNEL_QUICK=1           ~10 ms per kernel instead of ~100 ms
+//!   KERNEL_BASELINE=<path>   baseline file: `<key> <ops_per_sec>`
+//!                            lines; fail the run if any measured
+//!                            kernel drops below 80% of its floor
+//!
+//! JSON artifact: `kernel_bench.json` in `$BENCH_JSON_DIR`, scalars
+//! keyed `<kernel>_ops_per_sec` plus `<kernel>_us` per-op times.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use slingshot_bench::{banner, BenchReport};
+use slingshot_phy_dsp::crc::{attach_crc24a, crc16};
+use slingshot_phy_dsp::modulation::{demodulate_llr_into, modulate_packed_into};
+use slingshot_phy_dsp::scramble::{cached_sequence, descramble_llrs_packed, scramble_packed};
+use slingshot_phy_dsp::{BitBuf, Cplx, LdpcCode, LdpcScratch, Modulation};
+use slingshot_sim::SimRng;
+
+/// Time one kernel: repeat `op` until `budget` elapses (at least 3
+/// runs), return (ops/sec, µs/op).
+fn measure<F: FnMut()>(budget: Duration, mut op: F) -> (f64, f64) {
+    // Warm up once so lazy tables (Gold cache, mod LUTs) are built.
+    op();
+    let started = Instant::now();
+    let mut runs = 0u64;
+    while runs < 3 || started.elapsed() < budget {
+        op();
+        runs += 1;
+    }
+    let secs = started.elapsed().as_secs_f64();
+    (runs as f64 / secs, secs / runs as f64 * 1e6)
+}
+
+fn random_payload(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SimRng::new(seed);
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+fn random_bitbuf(bits: usize, seed: u64) -> BitBuf {
+    let mut rng = SimRng::new(seed);
+    let mut buf = BitBuf::with_capacity(bits);
+    for _ in 0..bits {
+        buf.push((rng.next_u64() & 1) as u8);
+    }
+    buf
+}
+
+fn load_baseline(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read KERNEL_BASELINE {path}: {e}"));
+    text.lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            let key = it.next().expect("baseline key").to_string();
+            let v: f64 = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("bad baseline line: {l:?}"));
+            (key, v)
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = std::env::var("KERNEL_QUICK").is_ok_and(|v| v != "0");
+    let budget = if quick {
+        Duration::from_millis(10)
+    } else {
+        Duration::from_millis(100)
+    };
+
+    banner(
+        "DSP kernel throughput: ops/sec per baseband primitive",
+        "word-packed kernel engineering (DESIGN.md §5e)",
+    );
+    println!(
+        "# {} mode, ≥{} ms per kernel\n",
+        if quick { "quick" } else { "full" },
+        budget.as_millis()
+    );
+
+    let mut report = BenchReport::new(
+        "kernel_bench",
+        "DSP kernel throughput (ops per second)",
+        "DESIGN.md §5e",
+    );
+    let mut measured: Vec<(String, f64)> = Vec::new();
+
+    println!("{:<28} {:>14} {:>12}", "kernel", "ops/sec", "µs/op");
+    let mut record = |key: &str, (ops, us): (f64, f64), report: &mut BenchReport| {
+        println!("{key:<28} {ops:>14.0} {us:>12.2}");
+        report.scalar(&format!("{key}_ops_per_sec"), ops);
+        report.scalar(&format!("{key}_us"), us);
+        measured.push((key.to_string(), ops));
+    };
+
+    // CRC over an MTU-sized payload.
+    let payload = random_payload(1500, 1);
+    let r = measure(budget, || {
+        black_box(attach_crc24a(black_box(&payload)));
+    });
+    record("crc24a_1500B", r, &mut report);
+    let r = measure(budget, || {
+        black_box(crc16(black_box(&payload)));
+    });
+    record("crc16_1500B", r, &mut report);
+
+    // Word-packed (de)scrambling of an 8 kbit block.
+    let seq = cached_sequence(0xC0FFEE, 8192);
+    let mut bits = random_bitbuf(8192, 2);
+    let r = measure(budget, || {
+        scramble_packed(black_box(&mut bits), &seq, 0);
+    });
+    record("scramble_8k", r, &mut report);
+    let mut llrs: Vec<f32> = {
+        let mut rng = SimRng::new(3);
+        (0..8192).map(|_| rng.gaussian() as f32).collect()
+    };
+    let r = measure(budget, || {
+        descramble_llrs_packed(black_box(&mut llrs), &seq, 0);
+    });
+    record("descramble_8k", r, &mut report);
+
+    // LDPC at the transport-block segment size.
+    let code = LdpcCode::new(1024);
+    let info = random_bitbuf(1024, 4);
+    let mut cw = BitBuf::with_capacity(code.n());
+    let r = measure(budget, || {
+        cw.clear();
+        code.encode_packed(black_box(&info), &mut cw);
+        black_box(&cw);
+    });
+    record("ldpc_encode_k1024", r, &mut report);
+    let channel_llrs: Vec<f32> = {
+        // ~4 dB BPSK LLRs so the decoder does a realistic number of
+        // min-sum iterations rather than terminating on iteration 0.
+        let mut rng = SimRng::new(5);
+        let sigma2 = 10f32.powf(-0.4);
+        (0..code.n())
+            .map(|i| {
+                let x = if cw.get(i) == 0 { 1.0 } else { -1.0 };
+                let y = x + sigma2.sqrt() * rng.gaussian() as f32;
+                2.0 * y / sigma2
+            })
+            .collect()
+    };
+    let mut scratch = LdpcScratch::default();
+    let r = measure(budget, || {
+        black_box(code.decode_into(black_box(&channel_llrs), 8, &mut scratch));
+    });
+    record("ldpc_decode_k1024", r, &mut report);
+
+    // Modulation round trip, 1k symbols of 64-QAM.
+    let mod_bits = random_bitbuf(6144, 6);
+    let mut syms: Vec<Cplx> = Vec::new();
+    let r = measure(budget, || {
+        syms.clear();
+        modulate_packed_into(black_box(&mod_bits), Modulation::Qam64, &mut syms);
+        black_box(&syms);
+    });
+    record("modulate_1k_qam64", r, &mut report);
+    let mut demod: Vec<f32> = Vec::new();
+    let r = measure(budget, || {
+        demodulate_llr_into(black_box(&syms), Modulation::Qam64, 0.05, &mut demod);
+        black_box(&demod);
+    });
+    record("demap_1k_qam64", r, &mut report);
+
+    report.write();
+
+    if let Ok(path) = std::env::var("KERNEL_BASELINE") {
+        let mut regressed = false;
+        for (key, base) in load_baseline(&path) {
+            match measured.iter().find(|(k, _)| *k == key) {
+                Some((_, got)) if *got < 0.8 * base => {
+                    eprintln!("REGRESSION: {key} = {got:.0} ops/sec, below 80% of floor {base:.0}");
+                    regressed = true;
+                }
+                Some((_, got)) => println!("# baseline {key}: {got:.0} vs floor {base:.0} ok"),
+                None => println!("# baseline {key}: not measured, skipped"),
+            }
+        }
+        if regressed {
+            std::process::exit(1);
+        }
+    }
+}

@@ -13,34 +13,71 @@ pub const CRC24A_POLY: u32 = 0x864CFB;
 /// x^16 + x^12 + x^5 + 1.
 pub const CRC16_POLY: u16 = 0x1021;
 
-/// Compute CRC-24A over a byte slice (bit order MSB-first, zero initial
-/// value, no final XOR — matching TS 38.212).
-pub fn crc24a(data: &[u8]) -> u32 {
-    let mut crc: u32 = 0;
-    for &byte in data {
-        crc ^= (byte as u32) << 16;
-        for _ in 0..8 {
+/// 256-entry table for byte-at-a-time CRC-24A: entry `b` is the CRC
+/// register contribution of shifting byte `b` through the bit-serial
+/// division (exactly the inner loop of the scalar form, precomputed).
+const CRC24A_TABLE: [u32; 256] = build_crc24a_table();
+
+const fn build_crc24a_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut crc = (b as u32) << 16;
+        let mut i = 0;
+        while i < 8 {
             crc <<= 1;
             if crc & 0x0100_0000 != 0 {
                 crc ^= CRC24A_POLY;
             }
+            i += 1;
         }
+        table[b] = crc & 0x00FF_FFFF;
+        b += 1;
     }
-    crc & 0x00FF_FFFF
+    table
 }
 
-/// Compute CRC-16 over a byte slice.
-pub fn crc16(data: &[u8]) -> u16 {
-    let mut crc: u16 = 0;
-    for &byte in data {
-        crc ^= (byte as u16) << 8;
-        for _ in 0..8 {
+/// 256-entry table for byte-at-a-time CRC-16.
+const CRC16_TABLE: [u16; 256] = build_crc16_table();
+
+const fn build_crc16_table() -> [u16; 256] {
+    let mut table = [0u16; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut crc = (b as u16) << 8;
+        let mut i = 0;
+        while i < 8 {
             let msb = crc & 0x8000 != 0;
             crc <<= 1;
             if msb {
                 crc ^= CRC16_POLY;
             }
+            i += 1;
         }
+        table[b] = crc;
+        b += 1;
+    }
+    table
+}
+
+/// Compute CRC-24A over a byte slice (bit order MSB-first, zero initial
+/// value, no final XOR — matching TS 38.212). Table-driven,
+/// byte-at-a-time; identical values to the bit-serial definition.
+pub fn crc24a(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0;
+    for &byte in data {
+        let idx = ((crc >> 16) as u8 ^ byte) as usize;
+        crc = ((crc << 8) & 0x00FF_FFFF) ^ CRC24A_TABLE[idx];
+    }
+    crc
+}
+
+/// Compute CRC-16 over a byte slice (table-driven, byte-at-a-time).
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0;
+    for &byte in data {
+        let idx = ((crc >> 8) as u8 ^ byte) as usize;
+        crc = (crc << 8) ^ CRC16_TABLE[idx];
     }
     crc
 }
@@ -95,6 +132,57 @@ pub fn check_crc16(block: &[u8]) -> Option<&[u8]> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Bit-serial reference (the retired scalar implementation).
+    fn crc24a_bitwise(data: &[u8]) -> u32 {
+        let mut crc: u32 = 0;
+        for &byte in data {
+            crc ^= (byte as u32) << 16;
+            for _ in 0..8 {
+                crc <<= 1;
+                if crc & 0x0100_0000 != 0 {
+                    crc ^= CRC24A_POLY;
+                }
+            }
+        }
+        crc & 0x00FF_FFFF
+    }
+
+    fn crc16_bitwise(data: &[u8]) -> u16 {
+        let mut crc: u16 = 0;
+        for &byte in data {
+            crc ^= (byte as u16) << 8;
+            for _ in 0..8 {
+                let msb = crc & 0x8000 != 0;
+                crc <<= 1;
+                if msb {
+                    crc ^= CRC16_POLY;
+                }
+            }
+        }
+        crc
+    }
+
+    #[test]
+    fn table_matches_bitwise_reference() {
+        let data: Vec<u8> = (0u32..2048).map(|i| (i * 151 + 17) as u8).collect();
+        for n in [0usize, 1, 2, 3, 7, 8, 255, 256, 1500, 2048] {
+            assert_eq!(crc24a(&data[..n]), crc24a_bitwise(&data[..n]), "n={n}");
+            assert_eq!(crc16(&data[..n]), crc16_bitwise(&data[..n]), "n={n}");
+        }
+    }
+
+    #[test]
+    fn known_answer_vectors() {
+        // Published check values for the standard "123456789" message:
+        // CRC-24/LTE-A (poly 0x864CFB, init 0, no xorout) and
+        // CRC-16/XMODEM (poly 0x1021, init 0, no xorout), per the CRC
+        // RevEng catalogue.
+        assert_eq!(crc24a(b"123456789"), 0xCDE703);
+        assert_eq!(crc16(b"123456789"), 0x31C3);
+        // CRC-16/XMODEM of "A" is a classic XMODEM test value.
+        assert_eq!(crc16(b"A"), 0x58E5);
+    }
 
     #[test]
     fn crc24a_known_properties() {

@@ -11,7 +11,16 @@
 //! iteration count is the "FEC iterations" knob that the paper's live
 //! upgrade experiment (§8.3, Fig. 11) turns: the upgraded PHY runs more
 //! iterations and therefore decodes at lower SNR.
+//!
+//! Both the information connections and the full Tanner-graph edge list
+//! are stored flattened (CSR) and built once at construction — the
+//! decoder previously rebuilt its edge list on every call. Decoding
+//! works entirely in an [`LdpcScratch`] so steady-state decodes
+//! allocate nothing; edge order is identical to the original per-call
+//! build, so every min-sum message (and thus every decode) is
+//! bit-identical.
 
+use crate::bits::BitBuf;
 use slingshot_sim::SimRng;
 
 /// Mother code rate: 1/3 (m = 2k parity bits). Higher rates come from
@@ -26,8 +35,30 @@ const MIN_SUM_NORM: f32 = 0.75;
 pub struct LdpcCode {
     k: usize,
     m: usize,
-    /// For each check row, the information columns participating in it.
-    row_info: Vec<Vec<usize>>,
+    /// CSR over check rows: information columns of row `i` are
+    /// `info_col[info_start[i]..info_start[i+1]]`.
+    info_start: Vec<u32>,
+    info_col: Vec<u32>,
+    /// CSR over the full Tanner graph: variables on row `i`'s edges are
+    /// `edge_var[row_start[i]..row_start[i+1]]` — info columns first,
+    /// then parity k+i, then k+i-1 for i > 0.
+    row_start: Vec<u32>,
+    edge_var: Vec<u32>,
+}
+
+/// Reusable decoder working set: check-to-variable messages, posterior
+/// LLRs and hard decisions. Sized on first use per code dimension and
+/// reused across decodes (the transport-block chain keeps one per slot
+/// scratch arena).
+#[derive(Debug, Clone, Default)]
+pub struct LdpcScratch {
+    pub c2v: Vec<f32>,
+    /// Per-edge variable-to-check messages of the current row pass,
+    /// cached in the first sweep so the update sweep reads contiguously
+    /// instead of re-deriving them from the (randomly indexed) totals.
+    pub v2c: Vec<f32>,
+    pub total: Vec<f32>,
+    pub hard: Vec<u8>,
 }
 
 impl LdpcCode {
@@ -54,7 +85,35 @@ impl LdpcCode {
                 row_info[r].push(col);
             }
         }
-        LdpcCode { k, m, row_info }
+        // Flatten to CSR, and lay out the decoder's edge list once
+        // (info edges, then parity k+i, then k+i-1 when i > 0 — the
+        // exact order the decoder used to rebuild per call).
+        let mut info_start = Vec::with_capacity(m + 1);
+        let mut info_col = Vec::with_capacity(3 * k);
+        let mut row_start = Vec::with_capacity(m + 1);
+        let mut edge_var = Vec::with_capacity(3 * k + 2 * m);
+        for (i, row) in row_info.iter().enumerate() {
+            info_start.push(info_col.len() as u32);
+            row_start.push(edge_var.len() as u32);
+            for &col in row {
+                info_col.push(col as u32);
+                edge_var.push(col as u32);
+            }
+            edge_var.push((k + i) as u32);
+            if i > 0 {
+                edge_var.push((k + i - 1) as u32);
+            }
+        }
+        info_start.push(info_col.len() as u32);
+        row_start.push(edge_var.len() as u32);
+        LdpcCode {
+            k,
+            m,
+            info_start,
+            info_col,
+            row_start,
+            edge_var,
+        }
     }
 
     pub fn k(&self) -> usize {
@@ -70,16 +129,22 @@ impl LdpcCode {
         self.k + self.m
     }
 
+    /// Information columns of check row `i`.
+    #[inline]
+    fn info_row(&self, i: usize) -> &[u32] {
+        &self.info_col[self.info_start[i] as usize..self.info_start[i + 1] as usize]
+    }
+
     /// Encode systematically: output is `info ‖ parity`.
     pub fn encode(&self, info: &[u8]) -> Vec<u8> {
         assert_eq!(info.len(), self.k, "info length mismatch");
         let mut out = Vec::with_capacity(self.n());
         out.extend_from_slice(info);
         let mut prev = 0u8;
-        for row in &self.row_info {
+        for i in 0..self.m {
             let mut acc = prev;
-            for &col in row {
-                acc ^= info[col];
+            for &col in self.info_row(i) {
+                acc ^= info[col as usize];
             }
             out.push(acc);
             prev = acc;
@@ -87,14 +152,30 @@ impl LdpcCode {
         out
     }
 
+    /// Encode a packed information block, appending `info ‖ parity` to
+    /// `out`. Bit-identical to [`LdpcCode::encode`].
+    pub fn encode_packed(&self, info: &BitBuf, out: &mut BitBuf) {
+        assert_eq!(info.len(), self.k, "info length mismatch");
+        out.append(info);
+        let mut prev = 0u8;
+        for i in 0..self.m {
+            let mut acc = prev;
+            for &col in self.info_row(i) {
+                acc ^= info.get(col as usize);
+            }
+            out.push(acc);
+            prev = acc;
+        }
+    }
+
     /// Check whether a hard-decision word satisfies all parity checks.
     pub fn parity_ok(&self, word: &[u8]) -> bool {
         debug_assert_eq!(word.len(), self.n());
         let mut prev = 0u8;
-        for (i, row) in self.row_info.iter().enumerate() {
+        for i in 0..self.m {
             let mut acc = prev ^ word[self.k + i];
-            for &col in row {
-                acc ^= word[col];
+            for &col in self.info_row(i) {
+                acc ^= word[col as usize];
             }
             if acc != 0 {
                 return false;
@@ -104,102 +185,119 @@ impl LdpcCode {
         true
     }
 
-    /// Decode from channel LLRs (length n, positive = bit 0). Runs
-    /// normalized min-sum for up to `max_iters` iterations with early
-    /// termination. Returns the decoded info bits, whether all parity
-    /// checks were satisfied, and the number of iterations executed.
-    pub fn decode(&self, channel_llrs: &[f32], max_iters: usize) -> LdpcDecodeResult {
+    /// Decode from channel LLRs into caller scratch. Runs normalized
+    /// min-sum for up to `max_iters` iterations with early termination.
+    /// On return `scratch.hard[..k]` holds the decoded info bits (and
+    /// `[k..n]` the parity decisions); returns (all parity checks
+    /// satisfied, iterations executed).
+    pub fn decode_into(
+        &self,
+        channel_llrs: &[f32],
+        max_iters: usize,
+        scratch: &mut LdpcScratch,
+    ) -> (bool, usize) {
         assert_eq!(channel_llrs.len(), self.n(), "llr length mismatch");
         let m = self.m;
-
-        // Edge layout per check row: info edges then parity edges
-        // (parity var k+i, and k+i-1 when i > 0).
-        let edge_count: usize = self
-            .row_info
-            .iter()
-            .enumerate()
-            .map(|(i, r)| r.len() + if i == 0 { 1 } else { 2 })
-            .sum();
-        let mut edge_var: Vec<u32> = Vec::with_capacity(edge_count);
-        let mut row_start: Vec<usize> = Vec::with_capacity(m + 1);
-        for (i, row) in self.row_info.iter().enumerate() {
-            row_start.push(edge_var.len());
-            for &col in row {
-                edge_var.push(col as u32);
-            }
-            edge_var.push((self.k + i) as u32);
-            if i > 0 {
-                edge_var.push((self.k + i - 1) as u32);
-            }
-        }
-        row_start.push(edge_var.len());
+        let edge_count = *self.row_start.last().unwrap() as usize;
 
         // Check-to-variable messages, initialized to zero.
-        let mut c2v: Vec<f32> = vec![0.0; edge_count];
+        scratch.c2v.clear();
+        scratch.c2v.resize(edge_count, 0.0);
+        scratch.v2c.clear();
+        scratch.v2c.resize(edge_count, 0.0);
         // Posterior (total) LLR per variable.
-        let mut total: Vec<f32> = channel_llrs.to_vec();
-        let mut hard: Vec<u8> = total.iter().map(|l| (*l < 0.0) as u8).collect();
+        scratch.total.clear();
+        scratch.total.extend_from_slice(channel_llrs);
+        scratch.hard.clear();
+        scratch
+            .hard
+            .extend(scratch.total.iter().map(|l| (*l < 0.0) as u8));
+        let c2v = &mut scratch.c2v;
+        let v2c_buf = &mut scratch.v2c;
+        let total = &mut scratch.total;
         let mut iters = 0;
 
-        if self.parity_ok(&hard) {
-            return LdpcDecodeResult {
-                info: hard[..self.k].to_vec(),
-                parity_ok: true,
-                iterations: 0,
-            };
+        if self.parity_ok(&scratch.hard) {
+            return (true, 0);
         }
 
         for it in 1..=max_iters {
             iters = it;
             for row in 0..m {
-                let (s, e) = (row_start[row], row_start[row + 1]);
+                let (s, e) = (
+                    self.row_start[row] as usize,
+                    self.row_start[row + 1] as usize,
+                );
+                let vars = &self.edge_var[s..e];
+                let vc = &mut v2c_buf[s..e];
                 // Variable-to-check messages: total minus this edge's c2v.
-                // Compute min and second-min of |v2c| and sign product.
-                let mut sign: f32 = 1.0;
+                // Compute min and second-min of |v2c| and the sign parity.
+                // The messages are cached in `vc` so the update sweep only
+                // touches `total` once per edge.
+                let mut neg_parity = 0u32;
                 let mut min1 = f32::INFINITY;
                 let mut min2 = f32::INFINITY;
-                let mut min_idx = s;
-                for eidx in s..e {
-                    let v = edge_var[eidx] as usize;
-                    let v2c = total[v] - c2v[eidx];
-                    let a = v2c.abs();
-                    if v2c < 0.0 {
-                        sign = -sign;
-                    }
-                    if a < min1 {
-                        min2 = min1;
-                        min1 = a;
-                        min_idx = eidx;
-                    } else if a < min2 {
-                        min2 = a;
+                let mut min_idx = 0usize;
+                {
+                    let msgs = &c2v[s..e];
+                    for (j, ((&v, &msg), vcj)) in
+                        vars.iter().zip(msgs.iter()).zip(vc.iter_mut()).enumerate()
+                    {
+                        let v2c = total[v as usize] - msg;
+                        *vcj = v2c;
+                        let a = v2c.abs();
+                        neg_parity ^= (v2c < 0.0) as u32;
+                        // Branchless two-smallest update (selects compile
+                        // to cmov/minss): identical results to the
+                        // `if a < min1 { .. } else if a < min2 { .. }`
+                        // chain, including NaN handling (comparisons with
+                        // NaN are false, leaving all three untouched).
+                        let smaller = a < min1;
+                        let demoted = if smaller { min1 } else { a };
+                        min1 = if smaller { a } else { min1 };
+                        min_idx = if smaller { j } else { min_idx };
+                        min2 = if demoted < min2 { demoted } else { min2 };
                     }
                 }
-                // Update c2v and totals.
-                for eidx in s..e {
-                    let v = edge_var[eidx] as usize;
-                    let v2c = total[v] - c2v[eidx];
-                    let mag = if eidx == min_idx { min2 } else { min1 };
-                    let s_edge = if v2c < 0.0 { -sign } else { sign };
-                    let new_c2v = MIN_SUM_NORM * s_edge * mag;
-                    total[v] = v2c + new_c2v;
-                    c2v[eidx] = new_c2v;
+                // Update c2v and totals. `MIN_SUM_NORM * s_edge * mag` with
+                // s_edge = ±1 is exactly ±(MIN_SUM_NORM * mag), so the
+                // normalized magnitudes are computed once per row and only
+                // the sign is applied per edge.
+                let p1 = MIN_SUM_NORM * min1;
+                let p2 = MIN_SUM_NORM * min2;
+                let msgs = &mut c2v[s..e];
+                for (j, ((&v, msg), &v2c)) in
+                    vars.iter().zip(msgs.iter_mut()).zip(vc.iter()).enumerate()
+                {
+                    let mag = if j == min_idx { p2 } else { p1 };
+                    let new_c2v = if (neg_parity ^ ((v2c < 0.0) as u32)) != 0 {
+                        -mag
+                    } else {
+                        mag
+                    };
+                    total[v as usize] = v2c + new_c2v;
+                    *msg = new_c2v;
                 }
             }
-            for (h, l) in hard.iter_mut().zip(total.iter()) {
+            for (h, l) in scratch.hard.iter_mut().zip(total.iter()) {
                 *h = (*l < 0.0) as u8;
             }
-            if self.parity_ok(&hard) {
-                return LdpcDecodeResult {
-                    info: hard[..self.k].to_vec(),
-                    parity_ok: true,
-                    iterations: iters,
-                };
+            if self.parity_ok(&scratch.hard) {
+                return (true, iters);
             }
         }
+        (false, iters)
+    }
+
+    /// Decode from channel LLRs (allocating convenience wrapper around
+    /// [`LdpcCode::decode_into`]).
+    pub fn decode(&self, channel_llrs: &[f32], max_iters: usize) -> LdpcDecodeResult {
+        let mut scratch = LdpcScratch::default();
+        let (parity_ok, iterations) = self.decode_into(channel_llrs, max_iters, &mut scratch);
         LdpcDecodeResult {
-            info: hard[..self.k].to_vec(),
-            parity_ok: false,
-            iterations: iters,
+            info: scratch.hard[..self.k].to_vec(),
+            parity_ok,
+            iterations,
         }
     }
 }
@@ -251,6 +349,20 @@ mod tests {
     }
 
     #[test]
+    fn packed_encode_matches_bytewise() {
+        let code = LdpcCode::new(128);
+        let info = random_bits(128, 21);
+        let mut packed = BitBuf::new();
+        code.encode_packed(&BitBuf::from_bits(&info), &mut packed);
+        assert_eq!(packed.to_bits(), code.encode(&info));
+        // Appending starts where the buffer ends.
+        let mut offset = BitBuf::from_bits(&[1, 0, 1]);
+        code.encode_packed(&BitBuf::from_bits(&info), &mut offset);
+        assert_eq!(offset.len(), 3 + code.n());
+        assert_eq!(offset.to_bits()[3..], code.encode(&info)[..]);
+    }
+
+    #[test]
     fn all_zero_is_codeword() {
         let code = LdpcCode::new(64);
         let cw = code.encode(&vec![0u8; 64]);
@@ -289,6 +401,25 @@ mod tests {
         assert!(res.parity_ok);
         assert_eq!(res.info, info);
         assert_eq!(res.iterations, 0, "noiseless should early-terminate");
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // One scratch across decodes of different outcomes and sizes
+        // must give the same results as fresh scratch every time.
+        let mut scratch = LdpcScratch::default();
+        for (k, snr, seed) in [(128usize, 3.0f32, 50u64), (256, -0.5, 51), (128, -6.0, 52)] {
+            let code = LdpcCode::new(k);
+            let info = random_bits(k, seed);
+            let cw = code.encode(&info);
+            let mut llrs = bits_to_llrs(&cw, 1.0);
+            add_noise(&mut llrs, snr, seed + 1000);
+            let fresh = code.decode(&llrs, 12);
+            let (ok, iters) = code.decode_into(&llrs, 12, &mut scratch);
+            assert_eq!(ok, fresh.parity_ok, "k={k} snr={snr}");
+            assert_eq!(iters, fresh.iterations, "k={k} snr={snr}");
+            assert_eq!(&scratch.hard[..k], &fresh.info[..], "k={k} snr={snr}");
+        }
     }
 
     #[test]

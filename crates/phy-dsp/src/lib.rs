@@ -33,13 +33,16 @@ pub mod ldpc;
 pub mod modulation;
 pub mod ratematch;
 pub mod scramble;
+pub mod scratch;
 pub mod snr;
 pub mod tbchain;
 
+pub use bits::BitBuf;
 pub use channel::{AwgnChannel, SnrProcess, SnrProcessConfig};
 pub use harq::{HarqPool, SoftBuffer, HARQ_PROCESSES, MAX_HARQ_TX};
 pub use iq::{Cplx, SC_PER_PRB};
-pub use ldpc::LdpcCode;
+pub use ldpc::{LdpcCode, LdpcScratch};
 pub use modulation::Modulation;
+pub use scratch::{default_scratch_pool, DspScratch, DspScratchPool};
 pub use snr::SnrFilter;
 pub use tbchain::{decode_tb, encode_tb, mother_buffer_len, TbDecodeOutcome, TbParams};

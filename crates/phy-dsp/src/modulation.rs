@@ -4,8 +4,18 @@
 //! Gray-coded PAM, normalized to unit average power, as in TS 38.211.
 //! The demapper produces per-bit max-log LLRs with the convention that
 //! **positive LLR means bit = 0**.
+//!
+//! Both directions are table-driven: the mapper indexes a per-modulation
+//! symbol LUT (one entry per bit-group, built once per process), and the
+//! demapper walks a precomputed `(level·scale, gray pattern)` table with
+//! a level-outer loop so each candidate distance is computed once and
+//! shared across the per-bit minima. Table entries are produced by the
+//! same arithmetic as the original per-symbol computation, so mapped
+//! symbols and LLRs are bit-identical to the scalar form.
 
+use crate::bits::BitBuf;
 use crate::iq::Cplx;
+use std::sync::OnceLock;
 
 /// Modulation orders used by the MCS table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -40,6 +50,15 @@ impl Modulation {
         let e = ((m * m - 1) as f32) / 3.0 * 2.0;
         1.0 / e.sqrt()
     }
+
+    fn table_index(self) -> usize {
+        match self {
+            Modulation::Qpsk => 0,
+            Modulation::Qam16 => 1,
+            Modulation::Qam64 => 2,
+            Modulation::Qam256 => 3,
+        }
+    }
 }
 
 /// Gray code of `v`.
@@ -68,6 +87,80 @@ fn pam_level(bits: &[u8]) -> i32 {
     unreachable!("gray code is a bijection")
 }
 
+/// Per-axis PAM level table: level for each rank, and the bit pattern.
+fn pam_table(bits_per_axis: usize) -> Vec<(f32, usize)> {
+    let m = 1usize << bits_per_axis;
+    (0..m)
+        .map(|r| (((2 * r + 1) as i32 - m as i32) as f32, gray(r)))
+        .collect()
+}
+
+/// Precomputed per-modulation tables.
+struct ModTables {
+    /// Symbol for each packed bit-group: index bit `j` (LSB-first) is
+    /// stream bit `j` of the symbol's chunk.
+    symbols: Vec<Cplx>,
+    /// Demap candidates per axis: (level × axis_scale, Gray pattern).
+    levels: Vec<(f32, usize)>,
+    /// For each axis bit, the level ranks whose Gray pattern has that
+    /// bit clear / set — the demapper's candidate partition, in the
+    /// same rank order as `levels`.
+    bit_zeros: [Vec<u8>; 4],
+    bit_ones: [Vec<u8>; 4],
+}
+
+fn mod_tables(modulation: Modulation) -> &'static ModTables {
+    static TABLES: [OnceLock<ModTables>; 4] = [
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+    ];
+    TABLES[modulation.table_index()].get_or_init(|| {
+        let bps = modulation.bits_per_symbol();
+        let half = modulation.bits_per_axis();
+        let scale = modulation.axis_scale();
+        let symbols = (0..1usize << bps)
+            .map(|idx| {
+                // Even stream positions map to I, odd to Q, exactly as
+                // the scalar mapper sliced its chunk.
+                let i_bits: Vec<u8> = (0..half).map(|k| ((idx >> (2 * k)) & 1) as u8).collect();
+                let q_bits: Vec<u8> = (0..half)
+                    .map(|k| ((idx >> (2 * k + 1)) & 1) as u8)
+                    .collect();
+                Cplx::new(
+                    pam_level(&i_bits) as f32 * scale,
+                    pam_level(&q_bits) as f32 * scale,
+                )
+            })
+            .collect();
+        let levels: Vec<(f32, usize)> = pam_table(half)
+            .into_iter()
+            .map(|(level, pattern)| (level * scale, pattern))
+            .collect();
+        let mut bit_zeros: [Vec<u8>; 4] = Default::default();
+        let mut bit_ones: [Vec<u8>; 4] = Default::default();
+        for (bit, (zeros, ones)) in bit_zeros.iter_mut().zip(bit_ones.iter_mut()).enumerate() {
+            if bit >= half {
+                break;
+            }
+            for (rank, &(_, pattern)) in levels.iter().enumerate() {
+                if (pattern >> (half - 1 - bit)) & 1 == 0 {
+                    zeros.push(rank as u8);
+                } else {
+                    ones.push(rank as u8);
+                }
+            }
+        }
+        ModTables {
+            symbols,
+            levels,
+            bit_zeros,
+            bit_ones,
+        }
+    })
+}
+
 /// Map a bit slice to constellation symbols. `bits.len()` must be a
 /// multiple of `bits_per_symbol`.
 pub fn modulate(bits: &[u8], modulation: Modulation) -> Vec<Cplx> {
@@ -78,58 +171,81 @@ pub fn modulate(bits: &[u8], modulation: Modulation) -> Vec<Cplx> {
         bits.len(),
         bps
     );
-    let half = bps / 2;
-    let scale = modulation.axis_scale();
+    let lut = &mod_tables(modulation).symbols;
     bits.chunks(bps)
         .map(|chunk| {
-            // Even-position bits map to I, odd-position to Q (38.211
-            // interleaves axes; any fixed convention works as long as
-            // the demapper matches).
-            let i_bits: Vec<u8> = (0..half).map(|k| chunk[2 * k]).collect();
-            let q_bits: Vec<u8> = (0..half).map(|k| chunk[2 * k + 1]).collect();
-            Cplx::new(
-                pam_level(&i_bits) as f32 * scale,
-                pam_level(&q_bits) as f32 * scale,
-            )
+            let mut idx = 0usize;
+            for (j, &b) in chunk.iter().enumerate() {
+                idx |= (b as usize & 1) << j;
+            }
+            lut[idx]
         })
         .collect()
 }
 
-/// Per-axis PAM level table: level for each rank, and the bit pattern.
-fn pam_table(bits_per_axis: usize) -> Vec<(f32, usize)> {
-    let m = 1usize << bits_per_axis;
-    (0..m)
-        .map(|r| (((2 * r + 1) as i32 - m as i32) as f32, gray(r)))
-        .collect()
+/// Map a packed bit buffer to constellation symbols, appending to `out`.
+pub fn modulate_packed_into(bits: &BitBuf, modulation: Modulation, out: &mut Vec<Cplx>) {
+    let bps = modulation.bits_per_symbol();
+    assert!(
+        bits.len().is_multiple_of(bps),
+        "bit count {} not a multiple of {}",
+        bits.len(),
+        bps
+    );
+    let lut = &mod_tables(modulation).symbols;
+    let n_syms = bits.len() / bps;
+    out.reserve(n_syms);
+    for s in 0..n_syms {
+        out.push(lut[bits.get_bits(s * bps, bps) as usize]);
+    }
 }
 
-/// Max-log LLR demap. `noise_var` is the complex noise variance (per
-/// symbol, both axes). Output has `bits_per_symbol` LLRs per input
-/// symbol; positive = bit 0 more likely.
-pub fn demodulate_llr(symbols: &[Cplx], modulation: Modulation, noise_var: f32) -> Vec<f32> {
+/// Map a packed bit buffer to constellation symbols.
+pub fn modulate_packed(bits: &BitBuf, modulation: Modulation) -> Vec<Cplx> {
+    let mut out = Vec::new();
+    modulate_packed_into(bits, modulation, &mut out);
+    out
+}
+
+/// Max-log LLR demap into a caller-provided buffer (cleared first).
+/// `noise_var` is the complex noise variance (per symbol, both axes).
+/// Output has `bits_per_symbol` LLRs per input symbol; positive = bit 0
+/// more likely.
+pub fn demodulate_llr_into(
+    symbols: &[Cplx],
+    modulation: Modulation,
+    noise_var: f32,
+    out: &mut Vec<f32>,
+) {
     let half = modulation.bits_per_axis();
-    let scale = modulation.axis_scale();
-    let table = pam_table(half);
+    let tables = mod_tables(modulation);
+    let levels = &tables.levels;
     // Per-axis noise variance is half the complex variance.
     let sigma2 = (noise_var / 2.0).max(1e-9);
-    let mut out = Vec::with_capacity(symbols.len() * modulation.bits_per_symbol());
+    out.clear();
+    out.reserve(symbols.len() * modulation.bits_per_symbol());
+    let mut axis_llrs = [0.0f32; 8];
+    let mut d2 = [0.0f32; 16];
     for s in symbols {
-        let mut axis_llrs = vec![0.0f32; 2 * half];
         for (axis, y) in [(0usize, s.re), (1usize, s.im)] {
+            // max-log: LLR = (min over levels with bit=1 of d^2 -
+            //                 min over levels with bit=0 of d^2) / (2 sigma^2)
+            // One d^2 per candidate level, then per-bit minima over the
+            // precomputed rank partition (same candidate sets in the
+            // same rank order as the retired bit-outer scalar loop, so
+            // every minimum — and thus every LLR — is bit-identical).
+            for (dd, &(ls, _)) in d2.iter_mut().zip(levels.iter()) {
+                let d = y - ls;
+                *dd = d * d;
+            }
             for bit in 0..half {
-                // max-log: LLR = (min over levels with bit=1 of d^2 -
-                //                 min over levels with bit=0 of d^2) / (2 sigma^2)
                 let mut best0 = f32::INFINITY;
+                for &rank in &tables.bit_zeros[bit] {
+                    best0 = best0.min(d2[rank as usize]);
+                }
                 let mut best1 = f32::INFINITY;
-                for (level, pattern) in &table {
-                    let d = y - level * scale;
-                    let d2 = d * d;
-                    let bit_val = (pattern >> (half - 1 - bit)) & 1;
-                    if bit_val == 0 {
-                        best0 = best0.min(d2);
-                    } else {
-                        best1 = best1.min(d2);
-                    }
+                for &rank in &tables.bit_ones[bit] {
+                    best1 = best1.min(d2[rank as usize]);
                 }
                 axis_llrs[axis + 2 * bit] = (best1 - best0) / (2.0 * sigma2);
             }
@@ -141,6 +257,12 @@ pub fn demodulate_llr(symbols: &[Cplx], modulation: Modulation, noise_var: f32) 
             out.push(axis_llrs[1 + 2 * k]); // Q axis, bit k
         }
     }
+}
+
+/// Max-log LLR demap (allocating convenience wrapper).
+pub fn demodulate_llr(symbols: &[Cplx], modulation: Modulation, noise_var: f32) -> Vec<f32> {
+    let mut out = Vec::new();
+    demodulate_llr_into(symbols, modulation, noise_var, &mut out);
     out
 }
 
@@ -163,6 +285,98 @@ mod tests {
 
     fn random_bits(n: usize, rng: &mut SimRng) -> Vec<u8> {
         (0..n).map(|_| (rng.next_u64() & 1) as u8).collect()
+    }
+
+    /// The retired scalar mapper, kept as the equivalence reference.
+    fn modulate_scalar(bits: &[u8], modulation: Modulation) -> Vec<Cplx> {
+        let bps = modulation.bits_per_symbol();
+        let half = bps / 2;
+        let scale = modulation.axis_scale();
+        bits.chunks(bps)
+            .map(|chunk| {
+                let i_bits: Vec<u8> = (0..half).map(|k| chunk[2 * k]).collect();
+                let q_bits: Vec<u8> = (0..half).map(|k| chunk[2 * k + 1]).collect();
+                Cplx::new(
+                    pam_level(&i_bits) as f32 * scale,
+                    pam_level(&q_bits) as f32 * scale,
+                )
+            })
+            .collect()
+    }
+
+    /// The retired scalar demapper, kept as the equivalence reference.
+    fn demodulate_llr_scalar(symbols: &[Cplx], modulation: Modulation, noise_var: f32) -> Vec<f32> {
+        let half = modulation.bits_per_axis();
+        let scale = modulation.axis_scale();
+        let table = pam_table(half);
+        let sigma2 = (noise_var / 2.0).max(1e-9);
+        let mut out = Vec::with_capacity(symbols.len() * modulation.bits_per_symbol());
+        for s in symbols {
+            let mut axis_llrs = vec![0.0f32; 2 * half];
+            for (axis, y) in [(0usize, s.re), (1usize, s.im)] {
+                for bit in 0..half {
+                    let mut best0 = f32::INFINITY;
+                    let mut best1 = f32::INFINITY;
+                    for (level, pattern) in &table {
+                        let d = y - level * scale;
+                        let d2 = d * d;
+                        let bit_val = (pattern >> (half - 1 - bit)) & 1;
+                        if bit_val == 0 {
+                            best0 = best0.min(d2);
+                        } else {
+                            best1 = best1.min(d2);
+                        }
+                    }
+                    axis_llrs[axis + 2 * bit] = (best1 - best0) / (2.0 * sigma2);
+                }
+            }
+            for k in 0..half {
+                out.push(axis_llrs[2 * k]);
+                out.push(axis_llrs[1 + 2 * k]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn lut_mapper_bit_identical_to_scalar() {
+        let mut rng = SimRng::new(11);
+        for m in ALL {
+            let bits = random_bits(m.bits_per_symbol() * 257, &mut rng);
+            let fast = modulate(&bits, m);
+            let slow = modulate_scalar(&bits, m);
+            assert_eq!(fast.len(), slow.len());
+            for (a, b) in fast.iter().zip(&slow) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "{m:?}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "{m:?}");
+            }
+            let packed = modulate_packed(&BitBuf::from_bits(&bits), m);
+            assert_eq!(packed.len(), slow.len());
+            for (a, b) in packed.iter().zip(&slow) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "{m:?} packed");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "{m:?} packed");
+            }
+        }
+    }
+
+    #[test]
+    fn lut_demapper_bit_identical_to_scalar() {
+        let mut rng = SimRng::new(12);
+        for m in ALL {
+            let bits = random_bits(m.bits_per_symbol() * 129, &mut rng);
+            let syms: Vec<Cplx> = modulate(&bits, m)
+                .into_iter()
+                .map(|s| s + Cplx::new(0.2 * rng.gaussian() as f32, 0.2 * rng.gaussian() as f32))
+                .collect();
+            for nv in [0.001f32, 0.1, 1.0] {
+                let fast = demodulate_llr(&syms, m, nv);
+                let slow = demodulate_llr_scalar(&syms, m, nv);
+                assert_eq!(fast.len(), slow.len());
+                for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{m:?} nv={nv} llr {i}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,30 @@ pub fn rate_match(coded: &[u8], e: usize, rv: u8) -> Vec<u8> {
     (0..e).map(|i| coded[(start + i) % n]).collect()
 }
 
+/// Packed rate matching: append `e` bits of the mother codeword to
+/// `out`, reading circularly from the RV offset. Word-at-a-time
+/// equivalent of [`rate_match`].
+pub fn rate_match_packed(
+    coded: &crate::bits::BitBuf,
+    e: usize,
+    rv: u8,
+    out: &mut crate::bits::BitBuf,
+) {
+    assert!(!coded.is_empty());
+    let n = coded.len();
+    let start = rv_start(n, rv);
+    let mut pos = start;
+    let mut rem = e;
+    // First read runs from the offset to the buffer end, then whole
+    // passes wrap from 0.
+    while rem > 0 {
+        let run = rem.min(n - pos);
+        out.append_range(coded, pos, run);
+        rem -= run;
+        pos = 0;
+    }
+}
+
 /// Accumulate received LLRs for `e` transmitted bits back into
 /// mother-codeword LLR positions. `acc` has length n and may already
 /// contain LLRs from earlier (re)transmissions.
@@ -90,6 +114,26 @@ mod tests {
         rate_recover(&mut acc, &[1.0, 1.0, 1.0, 1.0, 1.0, 1.0], 3);
         // start = 3; positions 3,0,1,2,3,0 → counts [2,1,1,2].
         assert_eq!(acc, vec![2.0, 1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn packed_match_equals_bytewise() {
+        use crate::bits::BitBuf;
+        for n in [3usize, 12, 96, 200] {
+            let coded: Vec<u8> = (0..n).map(|i| ((i * 31) % 7 % 2) as u8).collect();
+            let packed = BitBuf::from_bits(&coded);
+            for rv in 0..4u8 {
+                for e in [1usize, n / 2, n, 2 * n + 5] {
+                    let mut out = BitBuf::new();
+                    rate_match_packed(&packed, e, rv, &mut out);
+                    assert_eq!(
+                        out.to_bits(),
+                        rate_match(&coded, e, rv),
+                        "n={n} rv={rv} e={e}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

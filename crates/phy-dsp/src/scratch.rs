@@ -1,0 +1,67 @@
+//! Slot-scoped DSP scratch arenas.
+//!
+//! Every per-code-block job in the transport-block chain needs the same
+//! working set: demapped LLRs, the rate-recovered codeword view, and the
+//! LDPC decoder's message buffers. Allocating those per TB per TTI is
+//! pure churn — the sizes recur every slot — so jobs check a
+//! [`DspScratch`] out of a shared [`DspScratchPool`]
+//! ([`slingshot_sim::ScratchPool`]) and return it when done. Scratch
+//! contents never carry information between uses (every consumer clears
+//! or fully overwrites a buffer before reading it), so the pool's
+//! handout order has no effect on results and worker scheduling stays
+//! trace-invisible.
+
+use crate::bits::BitBuf;
+use crate::ldpc::LdpcScratch;
+use slingshot_sim::ScratchPool;
+
+/// Reusable per-job working set for the encode and decode chains.
+#[derive(Debug, Clone, Default)]
+pub struct DspScratch {
+    /// Demapper output for a block's symbol window.
+    pub demod_llrs: Vec<f32>,
+    /// The block's `e` coded-bit LLRs (lead-trimmed, erasure-padded).
+    pub llr_e: Vec<f32>,
+    /// De-interleaved mother-codeword LLRs fed to the LDPC decoder.
+    pub cw_llrs: Vec<f32>,
+    /// LDPC min-sum message buffers and hard decisions.
+    pub ldpc: LdpcScratch,
+    /// Packed-bit workspace (encode: the mother codeword).
+    pub bits_a: BitBuf,
+    /// Packed-bit workspace (encode: the tx-ordered circular buffer).
+    pub bits_b: BitBuf,
+}
+
+/// Shared free-list of [`DspScratch`] arenas, cloneable into worker
+/// jobs.
+pub type DspScratchPool = ScratchPool<DspScratch>;
+
+thread_local! {
+    static DEFAULT_POOL: DspScratchPool = DspScratchPool::new();
+}
+
+/// The calling thread's default scratch pool, used by the convenience
+/// wrappers (`encode_tb` / `decode_tb` / `encode_signal` / `receive`)
+/// so their signatures stay scratch-free while still reusing buffers
+/// across calls.
+pub fn default_scratch_pool() -> DspScratchPool {
+    DEFAULT_POOL.with(|p| p.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pool_is_shared_per_thread() {
+        let a = default_scratch_pool();
+        let b = default_scratch_pool();
+        let mut s = a.take();
+        s.demod_llrs.resize(1024, 0.0);
+        a.put(s);
+        // Same underlying free-list: b sees what a returned.
+        let s = b.take();
+        assert!(s.demod_llrs.capacity() >= 1024);
+        b.put(s);
+    }
+}

@@ -12,18 +12,28 @@
 //! The HARQ soft buffer is passed in by the caller ([`crate::harq`]),
 //! which is what lets the PHY — and Slingshot's migration — own or
 //! discard that state explicitly.
+//!
+//! Bits move through the chain packed 64 per word ([`BitBuf`]), the
+//! scrambling sequence comes from the per-thread
+//! [`cached_sequence`] word cache, and per-block jobs borrow their
+//! working buffers from a [`DspScratchPool`] so steady-state slots
+//! allocate almost nothing. All of it is bit-identical to the original
+//! byte-per-bit chain — same bits, same f32 operations in the same
+//! order — so traces and HARQ accumulators are unchanged.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
-use crate::bits::{bits_to_bytes, bytes_to_bits};
+use crate::bits::BitBuf;
 use crate::crc::{attach_crc24a, check_crc24a};
 use crate::iq::Cplx;
 use crate::ldpc::LdpcCode;
-use crate::modulation::{demodulate_llr, modulate, Modulation};
-use crate::ratematch::{rate_match, rate_recover};
-use crate::scramble::{descramble_llrs_with, scramble_bits_with, GoldSequence};
+use crate::modulation::{demodulate_llr_into, modulate_packed, Modulation};
+use crate::ratematch::{rate_match_packed, rate_recover};
+use crate::scramble::{cached_sequence, descramble_llrs_packed, scramble_packed, GoldSequence};
+use crate::scratch::{default_scratch_pool, DspScratchPool};
 use slingshot_sim::WorkerPool;
 
 /// Maximum information bits per LDPC code block (including the share of
@@ -33,15 +43,24 @@ pub const MAX_CB_INFO_BITS: usize = 1024;
 /// Default min-sum iteration budget (the "FEC iterations" knob).
 pub const DEFAULT_FEC_ITERATIONS: usize = 8;
 
+/// A cached LDPC code plus its transmission (interleave) order.
+type CachedCode = (Rc<LdpcCode>, Rc<Vec<u32>>);
+
 thread_local! {
-    static CODE_CACHE: RefCell<HashMap<usize, Rc<LdpcCode>>> = RefCell::new(HashMap::new());
+    static CODE_CACHE: RefCell<HashMap<usize, CachedCode>> = RefCell::new(HashMap::new());
 }
 
-fn code_for(k: usize) -> Rc<LdpcCode> {
+/// The LDPC code and its cached transmission (interleave) order for
+/// information length `k`.
+fn code_for(k: usize) -> CachedCode {
     CODE_CACHE.with(|c| {
         c.borrow_mut()
             .entry(k)
-            .or_insert_with(|| Rc::new(LdpcCode::new(k)))
+            .or_insert_with(|| {
+                let code = LdpcCode::new(k);
+                let order = tx_order(k, code.n()).iter().map(|&i| i as u32).collect();
+                (Rc::new(code), Rc::new(order))
+            })
             .clone()
     })
 }
@@ -126,27 +145,33 @@ fn e_split(e_bits: usize, ks: &[usize]) -> Vec<usize> {
     out
 }
 
-/// Encode a transport block into modulated symbols (serial).
+/// Encode a transport block into modulated symbols (serial, thread-local
+/// scratch).
 pub fn encode_tb(payload: &[u8], p: &TbParams) -> Vec<Cplx> {
-    encode_tb_with(&WorkerPool::serial(), payload, p)
+    encode_tb_with(&WorkerPool::serial(), &default_scratch_pool(), payload, p)
 }
 
 /// Per-code-block unit of encode work, prepared serially so jobs are
-/// self-contained (owned info bits, a Gold generator clone positioned
-/// at the block's offset in the codeword).
+/// self-contained (owned packed info bits and the block's bit offset
+/// into the codeword / scrambling sequence).
 struct EncodeBlock {
     k: usize,
     e: usize,
-    bits: Vec<u8>,
-    gold: GoldSequence,
+    offset_e: usize,
+    bits: BitBuf,
 }
 
 /// Encode a transport block, fanning per-code-block work (LDPC encode,
-/// rate match, scramble) out across `pool`. Bit-identical to the serial
-/// path for any worker count: blocks are independent, the scrambler
-/// clones are positioned in serial prepare order, and results merge in
-/// block order.
-pub fn encode_tb_with(pool: &WorkerPool, payload: &[u8], p: &TbParams) -> Vec<Cplx> {
+/// rate match, scramble) out across `pool` with working buffers drawn
+/// from `scratch`. Bit-identical to the serial path for any worker
+/// count: blocks are independent, scrambling offsets are fixed in
+/// serial prepare order, and results merge in block order.
+pub fn encode_tb_with(
+    pool: &WorkerPool,
+    scratch: &DspScratchPool,
+    payload: &[u8],
+    p: &TbParams,
+) -> Vec<Cplx> {
     let bps = p.modulation.bits_per_symbol();
     assert!(
         p.e_bits.is_multiple_of(bps),
@@ -155,21 +180,22 @@ pub fn encode_tb_with(pool: &WorkerPool, payload: &[u8], p: &TbParams) -> Vec<Cp
         bps
     );
     let framed = attach_crc24a(payload);
-    let bits = bytes_to_bits(&framed);
+    let bits = BitBuf::from_bytes_msb(&framed);
     let ks = segment_sizes(bits.len());
     let es = e_split(p.e_bits, &ks);
+    let seq = cached_sequence(GoldSequence::c_init_data(p.rnti, p.cell_id), p.e_bits);
 
     let mut blocks = Vec::with_capacity(ks.len());
     let mut offset = 0;
-    let mut gold = GoldSequence::new(GoldSequence::c_init_data(p.rnti, p.cell_id));
+    let mut offset_e = 0;
     for (&k, &e) in ks.iter().zip(&es) {
         blocks.push(EncodeBlock {
             k,
             e,
-            bits: bits[offset..offset + k].to_vec(),
-            gold: gold.clone(),
+            offset_e,
+            bits: bits.slice(offset, k),
         });
-        gold.skip(e);
+        offset_e += e;
         offset += k;
     }
 
@@ -177,25 +203,36 @@ pub fn encode_tb_with(pool: &WorkerPool, payload: &[u8], p: &TbParams) -> Vec<Cp
     let segs = pool.run(
         blocks
             .into_iter()
-            .map(|mut b| {
+            .map(|b| {
+                let seq = Arc::clone(&seq);
+                let spool = scratch.clone();
                 move || {
-                    let code = code_for(b.k);
-                    let cw = code.encode(&b.bits);
-                    let order = tx_order(b.k, cw.len());
-                    let buf: Vec<u8> = order.iter().map(|&i| cw[i]).collect();
-                    let mut seg = rate_match(&buf, b.e, rv);
-                    scramble_bits_with(&mut seg, &mut b.gold);
+                    let (code, order) = code_for(b.k);
+                    let mut s = spool.take();
+                    s.bits_a.clear();
+                    code.encode_packed(&b.bits, &mut s.bits_a);
+                    // Permute into transmission order: the systematic
+                    // prefix is the identity, the parity part is strided.
+                    s.bits_b.clear();
+                    s.bits_b.append_range(&s.bits_a, 0, b.k);
+                    for &idx in &order[b.k..] {
+                        s.bits_b.push(s.bits_a.get(idx as usize));
+                    }
+                    let mut seg = BitBuf::with_capacity(b.e);
+                    rate_match_packed(&s.bits_b, b.e, rv, &mut seg);
+                    scramble_packed(&mut seg, &seq, b.offset_e);
+                    spool.put(s);
                     seg
                 }
             })
             .collect::<Vec<_>>(),
     );
 
-    let mut tx_bits = Vec::with_capacity(p.e_bits);
-    for seg in segs {
-        tx_bits.extend(seg);
+    let mut tx_bits = BitBuf::with_capacity(p.e_bits);
+    for seg in &segs {
+        tx_bits.append(seg);
     }
-    modulate(&tx_bits, p.modulation)
+    modulate_packed(&tx_bits, p.modulation)
 }
 
 /// Outcome of a transport-block decode attempt.
@@ -222,6 +259,7 @@ pub fn decode_tb(
 ) -> TbDecodeOutcome {
     decode_tb_with(
         &WorkerPool::serial(),
+        &default_scratch_pool(),
         acc,
         rx_symbols,
         noise_var,
@@ -230,8 +268,8 @@ pub fn decode_tb(
     )
 }
 
-/// Per-code-block unit of decode work: the block's symbol window, a
-/// descrambler clone positioned at its codeword offset, and its HARQ
+/// Per-code-block unit of decode work: the block's symbol window, its
+/// bit offset into the codeword / scrambling sequence, and its HARQ
 /// accumulator segment (moved out and merged back after the batch).
 struct DecodeBlock {
     k: usize,
@@ -239,18 +277,20 @@ struct DecodeBlock {
     /// Bits of the first symbol in the window that belong to the
     /// previous block (symbol-boundary overlap).
     lead: usize,
+    offset_e: usize,
     syms: Vec<Cplx>,
-    gold: GoldSequence,
     seg: Vec<f32>,
 }
 
 /// Decode a transport block, fanning per-code-block work (LLR demap,
-/// descramble, rate recover, LDPC decode) out across `pool`. The HARQ
-/// accumulator is split into per-block segments in serial prepare order
-/// and merged back in block order, so the result — including every f32
-/// operation — is identical to the serial path for any worker count.
+/// descramble, rate recover, LDPC decode) out across `pool` with
+/// working buffers drawn from `scratch`. The HARQ accumulator is split
+/// into per-block segments in serial prepare order and merged back in
+/// block order, so the result — including every f32 operation — is
+/// identical to the serial path for any worker count.
 pub fn decode_tb_with(
     pool: &WorkerPool,
+    scratch: &DspScratchPool,
     acc: &mut [f32],
     rx_symbols: &[Cplx],
     noise_var: f32,
@@ -262,11 +302,11 @@ pub fn decode_tb_with(
     let ks = segment_sizes(total_bits);
     let es = e_split(p.e_bits, &ks);
     debug_assert_eq!(acc.len(), ks.iter().map(|k| 3 * k).sum::<usize>());
+    let seq = cached_sequence(GoldSequence::c_init_data(p.rnti, p.cell_id), p.e_bits);
 
     let mut blocks = Vec::with_capacity(ks.len());
     let mut llr_off = 0;
     let mut acc_off = 0;
-    let mut gold = GoldSequence::new(GoldSequence::c_init_data(p.rnti, p.cell_id));
     for (&k, &e) in ks.iter().zip(&es) {
         let n = 3 * k;
         // The block's coded bits [llr_off, llr_off+e) live in symbols
@@ -277,11 +317,10 @@ pub fn decode_tb_with(
             k,
             e,
             lead: llr_off - (llr_off / bps) * bps,
+            offset_e: llr_off,
             syms: rx_symbols[s0..s1].to_vec(),
-            gold: gold.clone(),
             seg: acc[acc_off..acc_off + n].to_vec(),
         });
-        gold.skip(e);
         llr_off += e;
         acc_off += n;
     }
@@ -293,48 +332,53 @@ pub fn decode_tb_with(
         blocks
             .into_iter()
             .map(|mut b| {
+                let seq = Arc::clone(&seq);
+                let spool = scratch.clone();
                 move || {
-                    let mut llrs = demodulate_llr(&b.syms, modulation, noise_var);
-                    if b.lead >= llrs.len() {
-                        llrs.clear();
-                    } else {
-                        llrs.drain(..b.lead);
-                    }
-                    llrs.truncate(b.e);
-                    // Missing tail symbols (lost fronthaul packets)
-                    // become erasures.
-                    llrs.resize(b.e, 0.0);
-                    descramble_llrs_with(&mut llrs, &mut b.gold);
+                    let (code, order) = code_for(b.k);
+                    let mut s = spool.take();
+                    demodulate_llr_into(&b.syms, modulation, noise_var, &mut s.demod_llrs);
+                    // Trim the lead bits belonging to the previous block
+                    // and pad missing tail symbols (lost fronthaul
+                    // packets) as erasures.
+                    let lo = b.lead.min(s.demod_llrs.len());
+                    let hi = (b.lead + b.e).min(s.demod_llrs.len());
+                    s.llr_e.clear();
+                    s.llr_e.extend_from_slice(&s.demod_llrs[lo..hi]);
+                    s.llr_e.resize(b.e, 0.0);
+                    descramble_llrs_packed(&mut s.llr_e, &seq, b.offset_e);
                     let n = 3 * b.k;
                     // The HARQ accumulator lives in transmission
-                    // (interleaved) order; de-interleave a copy for the
-                    // decoder.
-                    rate_recover(&mut b.seg, &llrs, rv);
-                    let order = tx_order(b.k, n);
-                    let mut cw_llrs = vec![0.0f32; n];
+                    // (interleaved) order; de-interleave into the
+                    // decoder's codeword view.
+                    rate_recover(&mut b.seg, &s.llr_e, rv);
+                    s.cw_llrs.clear();
+                    s.cw_llrs.resize(n, 0.0);
                     for (pos, &cw_idx) in order.iter().enumerate() {
-                        cw_llrs[cw_idx] = b.seg[pos];
+                        s.cw_llrs[cw_idx as usize] = b.seg[pos];
                     }
-                    let code = code_for(b.k);
-                    let res = code.decode(&cw_llrs, fec_iterations);
-                    (b.seg, res.info, res.iterations, res.parity_ok)
+                    let (parity_ok, iters) =
+                        code.decode_into(&s.cw_llrs, fec_iterations, &mut s.ldpc);
+                    let info = BitBuf::from_bits(&s.ldpc.hard[..b.k]);
+                    spool.put(s);
+                    (b.seg, info, iters, parity_ok)
                 }
             })
             .collect::<Vec<_>>(),
     );
 
-    let mut info_bits = Vec::with_capacity(total_bits);
+    let mut info_bits = BitBuf::with_capacity(total_bits);
     let mut iterations = 0;
     let mut all_parity_ok = true;
     let mut acc_off = 0;
     for (seg, info, iters, parity_ok) in results {
         acc[acc_off..acc_off + seg.len()].copy_from_slice(&seg);
         acc_off += seg.len();
-        info_bits.extend(info);
+        info_bits.append(&info);
         iterations += iters;
         all_parity_ok &= parity_ok;
     }
-    let bytes = bits_to_bytes(&info_bits);
+    let bytes = info_bits.to_bytes_msb();
     let payload = check_crc24a(&bytes).map(|p| p.to_vec());
     TbDecodeOutcome {
         payload,
@@ -527,10 +571,11 @@ mod tests {
         // vector: the 4-worker path must match the serial path exactly,
         // down to every f32 in the HARQ accumulator.
         let pool = WorkerPool::new(4);
+        let spool = DspScratchPool::new();
         let data = payload(400, 21); // 4 code blocks
         let p = params(6448, 0);
         let serial_syms = encode_tb(&data, &p);
-        let par_syms = encode_tb_with(&pool, &data, &p);
+        let par_syms = encode_tb_with(&pool, &spool, &data, &p);
         assert_eq!(serial_syms, par_syms);
 
         let mut ch = AwgnChannel::new(SimRng::new(22));
@@ -539,11 +584,13 @@ mod tests {
         let mut acc_serial = vec![0.0; mother_buffer_len(data.len())];
         let mut acc_par = acc_serial.clone();
         let out_serial = decode_tb(&mut acc_serial, &rx, nv, data.len(), &p);
-        let out_par = decode_tb_with(&pool, &mut acc_par, &rx, nv, data.len(), &p);
+        let out_par = decode_tb_with(&pool, &spool, &mut acc_par, &rx, nv, data.len(), &p);
         assert_eq!(acc_serial, acc_par);
         assert_eq!(out_serial.payload, out_par.payload);
         assert_eq!(out_serial.ldpc_iterations, out_par.ldpc_iterations);
         assert_eq!(out_serial.all_parity_ok, out_par.all_parity_ok);
+        // Jobs returned their arenas: the pool retains them for reuse.
+        assert!(spool.idle() >= 1);
     }
 
     #[test]

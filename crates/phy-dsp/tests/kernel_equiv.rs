@@ -1,0 +1,516 @@
+//! Property-based equivalence: every word-packed / table-driven kernel
+//! against the retired scalar implementation it replaced.
+//!
+//! The references here are deliberate re-implementations of the
+//! pre-rewrite code (bitwise CRC long division, the one-bit-per-step
+//! Gold LFSR, per-symbol PAM arithmetic, the per-call edge-list min-sum
+//! decoder), kept self-contained in this test so drift in the
+//! production kernels cannot silently drift the oracle too.
+//!
+//! Equality is exact: bits are compared as integers and every f32 is
+//! compared via `to_bits`, because the simulator's determinism contract
+//! (byte-identical traces across worker counts and releases) depends on
+//! the kernels performing the same float operations in the same order.
+
+use proptest::prelude::*;
+use slingshot_phy_dsp::bits::BitBuf;
+use slingshot_phy_dsp::crc::{attach_crc24a, check_crc24a, crc16, crc24a};
+use slingshot_phy_dsp::ldpc::{LdpcCode, LdpcScratch};
+use slingshot_phy_dsp::modulation::{demodulate_llr, modulate, modulate_packed, Modulation};
+use slingshot_phy_dsp::ratematch::{rate_match, rate_match_packed};
+use slingshot_phy_dsp::scramble::{
+    cached_sequence, descramble_llrs_packed, scramble_bits_with, scramble_packed, GoldSequence,
+};
+use slingshot_phy_dsp::Cplx;
+use slingshot_sim::SimRng;
+
+// ---------------------------------------------------------------- CRC
+
+/// Pre-rewrite CRC-24A: bit-serial long division (TS 38.212 §5.1).
+fn crc24a_ref(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0;
+    for &byte in data {
+        crc ^= (byte as u32) << 16;
+        for _ in 0..8 {
+            crc <<= 1;
+            if crc & 0x0100_0000 != 0 {
+                crc ^= 0x864CFB;
+            }
+        }
+    }
+    crc & 0x00FF_FFFF
+}
+
+/// Pre-rewrite CRC-16 (CCITT).
+fn crc16_ref(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            let msb = crc & 0x8000 != 0;
+            crc <<= 1;
+            if msb {
+                crc ^= 0x1021;
+            }
+        }
+    }
+    crc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn crc_tables_match_bitwise_reference(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        prop_assert_eq!(crc24a(&data), crc24a_ref(&data));
+        prop_assert_eq!(crc16(&data), crc16_ref(&data));
+        let attached = attach_crc24a(&data);
+        prop_assert_eq!(check_crc24a(&attached), Some(&data[..]));
+    }
+}
+
+// --------------------------------------------------------------- Gold
+
+/// Pre-rewrite Gold generator: one bit per step (TS 38.211 §5.2.1),
+/// including the Nc = 1600 fast-forward.
+struct GoldRef {
+    x1: u32,
+    x2: u32,
+}
+
+impl GoldRef {
+    fn new(c_init: u32) -> GoldRef {
+        let mut g = GoldRef {
+            x1: 1,
+            x2: c_init & 0x7FFF_FFFF,
+        };
+        for _ in 0..1600 {
+            g.step();
+        }
+        g
+    }
+
+    fn step(&mut self) -> u8 {
+        let out = ((self.x1 ^ self.x2) & 1) as u8;
+        let x1_new = ((self.x1 >> 3) ^ self.x1) & 1;
+        let x2_new = ((self.x2 >> 3) ^ (self.x2 >> 2) ^ (self.x2 >> 1) ^ self.x2) & 1;
+        self.x1 = (self.x1 >> 1) | (x1_new << 30);
+        self.x2 = (self.x2 >> 1) | (x2_new << 30);
+        out
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gold_generator_matches_reference_lfsr(c_init in any::<u32>(), n in 0usize..1200) {
+        let mut fast = GoldSequence::new(c_init);
+        let mut slow = GoldRef::new(c_init);
+        let got = fast.bits(n);
+        for (i, &b) in got.iter().enumerate() {
+            prop_assert_eq!(b, slow.step(), "bit {} of c_init {:#x}", i, c_init);
+        }
+    }
+
+    #[test]
+    fn gold_skip_matches_stepping(c_init in any::<u32>(), skip in 0usize..4000, n in 1usize..64) {
+        let mut jumped = GoldSequence::new(c_init);
+        jumped.skip(skip);
+        let mut stepped = GoldSequence::new(c_init);
+        for _ in 0..skip {
+            stepped.next_bit();
+        }
+        prop_assert_eq!(jumped.bits(n), stepped.bits(n));
+    }
+
+    #[test]
+    fn packed_scramble_matches_scalar(
+        bits in proptest::collection::vec(0u8..2, 0..1200),
+        c_init in any::<u32>(),
+        offset in 0usize..200,
+    ) {
+        // Scalar path: positioned bit-serial generator.
+        let mut expect = bits.clone();
+        let mut g = GoldSequence::new(c_init);
+        g.skip(offset);
+        scramble_bits_with(&mut expect, &mut g);
+        // Packed path: shared cached sequence plus bit offset.
+        let seq = cached_sequence(c_init, offset + bits.len());
+        let mut packed = BitBuf::from_bits(&bits);
+        scramble_packed(&mut packed, &seq, offset);
+        prop_assert_eq!(packed.to_bits(), expect);
+    }
+
+    #[test]
+    fn packed_descramble_matches_scalar(
+        llrs in proptest::collection::vec(-8.0f32..8.0, 0..1200),
+        c_init in any::<u32>(),
+        offset in 0usize..200,
+    ) {
+        let mut expect = llrs.clone();
+        let mut g = GoldSequence::new(c_init);
+        g.skip(offset);
+        slingshot_phy_dsp::scramble::descramble_llrs_with(&mut expect, &mut g);
+        let seq = cached_sequence(c_init, offset + llrs.len());
+        let mut got = llrs.clone();
+        descramble_llrs_packed(&mut got, &seq, offset);
+        for (a, b) in got.iter().zip(expect.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+// --------------------------------------------------------------- LDPC
+
+/// Pre-rewrite LDPC, nested-Vec form: the same deterministic
+/// construction (seed 0x51AC_C0DE ^ k, column weight 3), bytewise
+/// staircase encode, and the per-call edge-list min-sum decoder.
+struct LdpcRef {
+    k: usize,
+    m: usize,
+    row_info: Vec<Vec<usize>>,
+}
+
+impl LdpcRef {
+    fn new(k: usize) -> LdpcRef {
+        let m = 2 * k;
+        let mut rng = SimRng::new(0x51AC_C0DE ^ (k as u64));
+        let mut row_info: Vec<Vec<usize>> = vec![Vec::new(); m];
+        for col in 0..k {
+            let mut rows = [0usize; 3];
+            let mut chosen = 0;
+            while chosen < 3 {
+                let r = rng.below(m as u64) as usize;
+                if !rows[..chosen].contains(&r) {
+                    rows[chosen] = r;
+                    chosen += 1;
+                }
+            }
+            for r in rows {
+                row_info[r].push(col);
+            }
+        }
+        LdpcRef { k, m, row_info }
+    }
+
+    fn encode(&self, info: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.k + self.m);
+        out.extend_from_slice(info);
+        let mut prev = 0u8;
+        for row in &self.row_info {
+            let mut acc = prev;
+            for &col in row {
+                acc ^= info[col];
+            }
+            out.push(acc);
+            prev = acc;
+        }
+        out
+    }
+
+    fn parity_ok(&self, word: &[u8]) -> bool {
+        let mut prev = 0u8;
+        for (i, row) in self.row_info.iter().enumerate() {
+            let mut acc = prev ^ word[self.k + i];
+            for &col in row {
+                acc ^= word[col];
+            }
+            if acc != 0 {
+                return false;
+            }
+            prev = word[self.k + i];
+        }
+        true
+    }
+
+    /// Per-call edge-list normalized min-sum, exactly as the retired
+    /// decoder ran it. Returns (total LLRs, hard bits, parity, iters).
+    fn decode(&self, channel_llrs: &[f32], max_iters: usize) -> (Vec<f32>, Vec<u8>, bool, usize) {
+        let mut edge_var: Vec<usize> = Vec::new();
+        let mut row_start: Vec<usize> = Vec::new();
+        for (i, row) in self.row_info.iter().enumerate() {
+            row_start.push(edge_var.len());
+            edge_var.extend(row.iter().copied());
+            edge_var.push(self.k + i);
+            if i > 0 {
+                edge_var.push(self.k + i - 1);
+            }
+        }
+        row_start.push(edge_var.len());
+        let mut c2v: Vec<f32> = vec![0.0; edge_var.len()];
+        let mut total: Vec<f32> = channel_llrs.to_vec();
+        let mut hard: Vec<u8> = total.iter().map(|l| (*l < 0.0) as u8).collect();
+        if self.parity_ok(&hard) {
+            return (total, hard, true, 0);
+        }
+        let mut iters = 0;
+        for it in 1..=max_iters {
+            iters = it;
+            for row in 0..self.m {
+                let (s, e) = (row_start[row], row_start[row + 1]);
+                let mut sign: f32 = 1.0;
+                let mut min1 = f32::INFINITY;
+                let mut min2 = f32::INFINITY;
+                let mut min_idx = s;
+                for eidx in s..e {
+                    let v = edge_var[eidx];
+                    let v2c = total[v] - c2v[eidx];
+                    let a = v2c.abs();
+                    if v2c < 0.0 {
+                        sign = -sign;
+                    }
+                    if a < min1 {
+                        min2 = min1;
+                        min1 = a;
+                        min_idx = eidx;
+                    } else if a < min2 {
+                        min2 = a;
+                    }
+                }
+                for eidx in s..e {
+                    let v = edge_var[eidx];
+                    let v2c = total[v] - c2v[eidx];
+                    let mag = if eidx == min_idx { min2 } else { min1 };
+                    let s_edge = if v2c < 0.0 { -sign } else { sign };
+                    let new_c2v = 0.75 * s_edge * mag;
+                    total[v] = v2c + new_c2v;
+                    c2v[eidx] = new_c2v;
+                }
+            }
+            for (h, l) in hard.iter_mut().zip(total.iter()) {
+                *h = (*l < 0.0) as u8;
+            }
+            if self.parity_ok(&hard) {
+                return (total, hard, true, iters);
+            }
+        }
+        (total, hard, false, iters)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn ldpc_encode_matches_reference(k in 8usize..160, seed in any::<u64>()) {
+        let reference = LdpcRef::new(k);
+        let code = LdpcCode::new(k);
+        let mut rng = SimRng::new(seed);
+        let info: Vec<u8> = (0..k).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let expect = reference.encode(&info);
+        prop_assert_eq!(code.encode(&info), expect.clone());
+        let mut packed = BitBuf::new();
+        code.encode_packed(&BitBuf::from_bits(&info), &mut packed);
+        prop_assert_eq!(packed.to_bits(), expect.clone());
+        prop_assert!(code.parity_ok(&expect));
+    }
+
+    #[test]
+    fn ldpc_decode_matches_reference(
+        k in 8usize..128,
+        seed in any::<u64>(),
+        snr_db in 0.0f32..6.0,
+        max_iters in 1usize..12,
+    ) {
+        let reference = LdpcRef::new(k);
+        let code = LdpcCode::new(k);
+        let mut rng = SimRng::new(seed);
+        let info: Vec<u8> = (0..k).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let cw = reference.encode(&info);
+        // BPSK over AWGN at the drawn SNR.
+        let sigma2 = 10f32.powf(-snr_db / 10.0);
+        let llrs: Vec<f32> = cw
+            .iter()
+            .map(|&b| {
+                let x = if b == 0 { 1.0 } else { -1.0 };
+                let y = x + sigma2.sqrt() * rng.gaussian() as f32;
+                2.0 * y / sigma2
+            })
+            .collect();
+        let (ref_total, ref_hard, ref_ok, ref_iters) = reference.decode(&llrs, max_iters);
+        let mut scratch = LdpcScratch::default();
+        let (ok, iters) = code.decode_into(&llrs, max_iters, &mut scratch);
+        prop_assert_eq!(ok, ref_ok);
+        prop_assert_eq!(iters, ref_iters);
+        prop_assert_eq!(&scratch.hard, &ref_hard);
+        // The posterior LLRs must match to the bit: min-sum message
+        // order is part of the determinism contract.
+        for (i, (a, b)) in scratch.total.iter().zip(ref_total.iter()).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "total[{}] differs", i);
+        }
+    }
+}
+
+// --------------------------------------------------------- modulation
+
+fn gray(v: usize) -> usize {
+    v ^ (v >> 1)
+}
+
+fn pam_level_ref(bits: &[u8]) -> i32 {
+    let n = bits.len();
+    let m = 1usize << n;
+    let mut idx = 0usize;
+    for &b in bits {
+        idx = (idx << 1) | b as usize;
+    }
+    for r in 0..m {
+        if gray(r) == idx {
+            return (2 * r as i32 + 1) - m as i32;
+        }
+    }
+    unreachable!("gray code is a bijection")
+}
+
+fn axis_scale_ref(modulation: Modulation) -> f32 {
+    let m = 1usize << (modulation.bits_per_symbol() / 2);
+    let e = ((m * m - 1) as f32) / 3.0 * 2.0;
+    1.0 / e.sqrt()
+}
+
+/// Pre-rewrite per-symbol mapper.
+fn modulate_ref(bits: &[u8], modulation: Modulation) -> Vec<Cplx> {
+    let bps = modulation.bits_per_symbol();
+    let half = bps / 2;
+    let scale = axis_scale_ref(modulation);
+    bits.chunks(bps)
+        .map(|chunk| {
+            let i_bits: Vec<u8> = (0..half).map(|k| chunk[2 * k]).collect();
+            let q_bits: Vec<u8> = (0..half).map(|k| chunk[2 * k + 1]).collect();
+            Cplx::new(
+                pam_level_ref(&i_bits) as f32 * scale,
+                pam_level_ref(&q_bits) as f32 * scale,
+            )
+        })
+        .collect()
+}
+
+/// Pre-rewrite bit-outer max-log demapper.
+fn demodulate_llr_ref(symbols: &[Cplx], modulation: Modulation, noise_var: f32) -> Vec<f32> {
+    let half = modulation.bits_per_symbol() / 2;
+    let scale = axis_scale_ref(modulation);
+    let m = 1usize << half;
+    let table: Vec<(f32, usize)> = (0..m)
+        .map(|r| (((2 * r + 1) as i32 - m as i32) as f32, gray(r)))
+        .collect();
+    let sigma2 = (noise_var / 2.0).max(1e-9);
+    let mut out = Vec::with_capacity(symbols.len() * modulation.bits_per_symbol());
+    for s in symbols {
+        let mut axis_llrs = vec![0.0f32; 2 * half];
+        for (axis, y) in [(0usize, s.re), (1usize, s.im)] {
+            for bit in 0..half {
+                let mut best0 = f32::INFINITY;
+                let mut best1 = f32::INFINITY;
+                for (level, pattern) in &table {
+                    let d = y - level * scale;
+                    let d2 = d * d;
+                    if (pattern >> (half - 1 - bit)) & 1 == 0 {
+                        best0 = best0.min(d2);
+                    } else {
+                        best1 = best1.min(d2);
+                    }
+                }
+                axis_llrs[axis + 2 * bit] = (best1 - best0) / (2.0 * sigma2);
+            }
+        }
+        for k in 0..half {
+            out.push(axis_llrs[2 * k]);
+            out.push(axis_llrs[1 + 2 * k]);
+        }
+    }
+    out
+}
+
+const ALL_MODS: [Modulation; 4] = [
+    Modulation::Qpsk,
+    Modulation::Qam16,
+    Modulation::Qam64,
+    Modulation::Qam256,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn modulate_lut_matches_scalar(bits in proptest::collection::vec(0u8..2, 0..30)) {
+        for &m in &ALL_MODS {
+            let bps = m.bits_per_symbol();
+            let take = bits.len() / bps * bps;
+            let chunk = &bits[..take];
+            let expect = modulate_ref(chunk, m);
+            for (a, b) in modulate(chunk, m).iter().zip(expect.iter()) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+            let packed = modulate_packed(&BitBuf::from_bits(chunk), m);
+            for (a, b) in packed.iter().zip(expect.iter()) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn demap_matches_scalar(
+        raw in proptest::collection::vec((-1.5f32..1.5, -1.5f32..1.5), 0..40),
+        noise_var in 0.001f32..0.5,
+    ) {
+        let symbols: Vec<Cplx> = raw.iter().map(|&(re, im)| Cplx::new(re, im)).collect();
+        for &m in &ALL_MODS {
+            let got = demodulate_llr(&symbols, m, noise_var);
+            let expect = demodulate_llr_ref(&symbols, m, noise_var);
+            prop_assert_eq!(got.len(), expect.len());
+            for (i, (a, b)) in got.iter().zip(expect.iter()).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "llr {} of {:?}", i, m);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------- rate matching, bits
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn packed_rate_match_matches_scalar(
+        coded in proptest::collection::vec(0u8..2, 1..600),
+        e in 1usize..1500,
+        rv in 0u8..4,
+    ) {
+        let expect = rate_match(&coded, e, rv);
+        let mut packed = BitBuf::new();
+        rate_match_packed(&BitBuf::from_bits(&coded), e, rv, &mut packed);
+        prop_assert_eq!(packed.to_bits(), expect);
+    }
+
+    #[test]
+    fn bitbuf_roundtrips(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // MSB-first byte packing must invert exactly.
+        let buf = BitBuf::from_bytes_msb(&bytes);
+        prop_assert_eq!(buf.len(), bytes.len() * 8);
+        prop_assert_eq!(buf.to_bytes_msb(), bytes.clone());
+        // Bit-vector form round-trips, and random subranges agree.
+        let bits = buf.to_bits();
+        let rebuilt = BitBuf::from_bits(&bits);
+        prop_assert_eq!(rebuilt.to_bytes_msb(), bytes.clone());
+        let mut rng = SimRng::new(bytes.len() as u64);
+        for _ in 0..8 {
+            if bits.is_empty() {
+                break;
+            }
+            let start = rng.below(bits.len() as u64) as usize;
+            let len = rng.below((bits.len() - start).min(64) as u64 + 1) as usize;
+            let mut sub = BitBuf::new();
+            sub.append_range(&buf, start, len);
+            prop_assert_eq!(sub.to_bits(), bits[start..start + len].to_vec());
+            if len > 0 && len <= 64 {
+                let word = buf.get_bits(start, len);
+                for (j, &b) in bits[start..start + len].iter().enumerate() {
+                    prop_assert_eq!(((word >> j) & 1) as u8, b);
+                }
+            }
+        }
+    }
+}

@@ -14,7 +14,9 @@
 //!   as chase-combined SNR accumulation.
 
 use bytes::Bytes;
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::cell::Fidelity;
 use slingshot_fapi::mcs;
@@ -23,7 +25,7 @@ use slingshot_phy_dsp::channel::{db_to_linear, AwgnChannel};
 use slingshot_phy_dsp::scramble::GoldSequence;
 use slingshot_phy_dsp::snr::estimate_snr_db;
 use slingshot_phy_dsp::tbchain::{decode_tb_with, encode_tb_with, mother_buffer_len, TbParams};
-use slingshot_phy_dsp::{Cplx, Modulation};
+use slingshot_phy_dsp::{default_scratch_pool, Cplx, DspScratchPool, Modulation};
 use slingshot_sim::{SimRng, WorkerPool};
 
 /// Cap on the representative code block's payload in Sampled mode:
@@ -127,33 +129,75 @@ pub fn pilot_sequence(rnti: u16, cell_id: u16, len: usize) -> Vec<Cplx> {
         .collect()
 }
 
-/// Encode a TB for transmission under the given fidelity (serial).
-pub fn encode_signal(fidelity: Fidelity, payload: &Bytes, lp: &LinkParamsTb) -> TbSignal {
-    encode_signal_with(&WorkerPool::serial(), fidelity, payload, lp)
+/// Pilot cache: (RNTI, cell) → shared pilot symbol prefix.
+type PilotCache = HashMap<(u16, u16), Arc<Vec<Cplx>>>;
+
+thread_local! {
+    /// Per-thread cache of pilot sequences keyed by (RNTI, cell). The
+    /// same UE's pilots are regenerated on both the encode and the
+    /// receive path of every TB; symbol `i` depends only on Gold bits
+    /// 2i/2i+1, so a longer cached sequence serves any shorter request
+    /// as a prefix.
+    static PILOT_CACHE: RefCell<PilotCache> = RefCell::new(HashMap::new());
 }
 
-/// Encode a TB, fanning per-code-block work out across `pool`.
-/// Bit-identical to [`encode_signal`] for any worker count.
+/// Cap on cached pilot entries per thread (guards pathological RNTI
+/// churn; a deployment has a handful of active UEs).
+const PILOT_CACHE_MAX: usize = 1024;
+
+fn cached_pilots(rnti: u16, cell_id: u16, len: usize) -> Arc<Vec<Cplx>> {
+    PILOT_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some(p) = cache.get(&(rnti, cell_id)) {
+            if p.len() >= len {
+                return Arc::clone(p);
+            }
+        }
+        if cache.len() >= PILOT_CACHE_MAX {
+            cache.clear();
+        }
+        let p = Arc::new(pilot_sequence(rnti, cell_id, len));
+        cache.insert((rnti, cell_id), Arc::clone(&p));
+        p
+    })
+}
+
+/// Encode a TB for transmission under the given fidelity (serial,
+/// thread-local scratch).
+pub fn encode_signal(fidelity: Fidelity, payload: &Bytes, lp: &LinkParamsTb) -> TbSignal {
+    encode_signal_with(
+        &WorkerPool::serial(),
+        &default_scratch_pool(),
+        fidelity,
+        payload,
+        lp,
+    )
+}
+
+/// Encode a TB, fanning per-code-block work out across `pool` with
+/// working buffers drawn from `scratch`. Bit-identical to
+/// [`encode_signal`] for any worker count.
 pub fn encode_signal_with(
     pool: &WorkerPool,
+    scratch: &DspScratchPool,
     fidelity: Fidelity,
     payload: &Bytes,
     lp: &LinkParamsTb,
 ) -> TbSignal {
     let pilots = match fidelity {
         Fidelity::Abstract => Vec::new(),
-        _ => pilot_sequence(lp.rnti, lp.cell_id, lp.pilot_len()),
+        _ => cached_pilots(lp.rnti, lp.cell_id, lp.pilot_len())[..lp.pilot_len()].to_vec(),
     };
     let (symbols, shadow) = match fidelity {
         Fidelity::Full => (
-            encode_tb_with(pool, payload, &lp.tb_params(lp.e_bits())),
+            encode_tb_with(pool, scratch, payload, &lp.tb_params(lp.e_bits())),
             Bytes::new(),
         ),
         Fidelity::Sampled => {
             let (rep_bytes, e_rep) = lp.sampled_split(payload.len());
             let rep = payload.slice(..rep_bytes);
             (
-                encode_tb_with(pool, &rep, &lp.tb_params(e_rep)),
+                encode_tb_with(pool, scratch, &rep, &lp.tb_params(e_rep)),
                 payload.clone(),
             )
         }
@@ -296,6 +340,7 @@ impl RxProcessPool {
     ) -> RxOutcome {
         self.receive_with(
             &WorkerPool::serial(),
+            &default_scratch_pool(),
             fidelity,
             signal,
             lp,
@@ -307,11 +352,13 @@ impl RxProcessPool {
     }
 
     /// [`RxProcessPool::receive`] with per-code-block decode work fanned
-    /// out across `pool`. Identical outcome for any worker count.
+    /// out across `pool` and working buffers drawn from `scratch`.
+    /// Identical outcome for any worker count.
     #[allow(clippy::too_many_arguments)]
     pub fn receive_with(
         &mut self,
         pool: &WorkerPool,
+        scratch: &DspScratchPool,
         fidelity: Fidelity,
         signal: &TbSignal,
         lp: &LinkParamsTb,
@@ -323,6 +370,7 @@ impl RxProcessPool {
         let mut state = self.take(lp.rnti, harq_id);
         let out = receive_into(
             pool,
+            scratch,
             &mut state,
             fidelity,
             signal,
@@ -346,6 +394,7 @@ impl RxProcessPool {
 #[allow(clippy::too_many_arguments)]
 pub fn receive_into(
     pool: &WorkerPool,
+    scratch: &DspScratchPool,
     state: &mut RxSoftState,
     fidelity: Fidelity,
     signal: &TbSignal,
@@ -363,10 +412,8 @@ pub fn receive_into(
     // SNR: estimate from pilots where present, else trust the
     // carried value (Abstract mode's stand-in for estimation).
     let snr_db = if !signal.pilots.is_empty() {
-        estimate_snr_db(
-            &signal.pilots,
-            &pilot_sequence(lp.rnti, lp.cell_id, lp.pilot_len()),
-        )
+        let reference = cached_pilots(lp.rnti, lp.cell_id, lp.pilot_len());
+        estimate_snr_db(&signal.pilots, &reference[..lp.pilot_len()])
     } else {
         signal.snr_db
     };
@@ -399,6 +446,7 @@ pub fn receive_into(
             let symbols = &signal.symbols[..signal.symbols.len().min(expected_syms)];
             let out = decode_tb_with(
                 pool,
+                scratch,
                 &mut proc.llr_acc,
                 symbols,
                 noise_var,

@@ -33,7 +33,7 @@ use slingshot_fronthaul::{
 };
 use slingshot_netsim::{EtherType, Frame, MacAddr};
 use slingshot_phy_dsp::snr::SnrFilter;
-use slingshot_phy_dsp::{Cplx, SC_PER_PRB};
+use slingshot_phy_dsp::{Cplx, DspScratchPool, SC_PER_PRB};
 use slingshot_sim::{
     Ctx, Instrument, InstrumentSink, Nanos, Node, NodeId, SimRng, SlotClock, SlotId, TraceEventKind,
 };
@@ -128,6 +128,10 @@ pub struct PhyNode {
     started_at: Option<Nanos>,
     /// DL_TTI requests awaiting their TX_Data payloads.
     pending_dl: HashMap<(u8, u64), Vec<slingshot_fapi::PdschPdu>>,
+    /// Slot-scoped DSP scratch arenas, reused across TTIs and shared
+    /// with worker-pool jobs (contents never outlive one code block's
+    /// processing, so handout order cannot affect results).
+    scratch: DspScratchPool,
 }
 
 impl PhyNode {
@@ -153,6 +157,7 @@ impl PhyNode {
             processed_ul_slots: Vec::new(),
             started_at: None,
             pending_dl: HashMap::new(),
+            scratch: DspScratchPool::new(),
         }
     }
 
@@ -315,8 +320,9 @@ impl PhyNode {
             picked.push((i, lp.e_bits()));
             let payload = payload.clone();
             let job_pool = pool.clone();
+            let job_scratch = self.scratch.clone();
             jobs.push(Box::new(move || {
-                encode_signal_with(&job_pool, fidelity, &payload, &lp)
+                encode_signal_with(&job_pool, &job_scratch, fidelity, &payload, &lp)
             }));
         }
         let signals = pool.run(jobs);
@@ -517,9 +523,11 @@ impl PhyNode {
                 .into_iter()
                 .map(|mut j| {
                     let job_pool = pool.clone();
+                    let job_scratch = self.scratch.clone();
                     move || {
                         let outcome = receive_into(
                             &job_pool,
+                            &job_scratch,
                             &mut j.state,
                             fidelity,
                             &j.signal,

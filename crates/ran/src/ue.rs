@@ -14,7 +14,7 @@ use bytes::Bytes;
 
 use slingshot_fronthaul::{DciEntry, UciEntry};
 use slingshot_phy_dsp::channel::AwgnChannel;
-use slingshot_phy_dsp::{SnrProcess, SnrProcessConfig};
+use slingshot_phy_dsp::{DspScratchPool, SnrProcess, SnrProcessConfig};
 use slingshot_sim::{
     Ctx, Instrument, InstrumentSink, Nanos, Node, NodeId, SimRng, SlotClock, SlotId,
 };
@@ -95,6 +95,8 @@ pub struct UeNode {
     grants: HashMap<u64, Vec<DciEntry>>,
     ul_tx: HashMap<u8, UlTxProc>,
     dl_pool: RxProcessPool,
+    /// Slot-scoped DSP scratch arenas, reused across TTIs.
+    scratch: DspScratchPool,
     ul_rlc: RlcTx,
     dl_rlc: RlcRx,
     pending_ucis: Vec<UciEntry>,
@@ -139,6 +141,7 @@ impl UeNode {
             grants: HashMap::new(),
             ul_tx: HashMap::new(),
             dl_pool: RxProcessPool::new(),
+            scratch: DspScratchPool::new(),
             ul_rlc: RlcTx::new(),
             dl_rlc,
             pending_ucis: Vec::new(),
@@ -233,7 +236,8 @@ impl UeNode {
                 g.rv,
                 self.cell.fec_iterations,
             );
-            let mut signal = encode_signal_with(&pool, self.cell.fidelity, &payload, &lp);
+            let mut signal =
+                encode_signal_with(&pool, &self.scratch, self.cell.fidelity, &payload, &lp);
             apply_channel_with(&pool, &mut signal, self.current_snr_db, &mut self.channel);
             if self.cell.fidelity == Fidelity::Abstract {
                 signal.snr_db = self.current_snr_db;
@@ -311,6 +315,7 @@ impl UeNode {
             }
             let out = self.dl_pool.receive_with(
                 &pool,
+                &self.scratch,
                 self.cell.fidelity,
                 &signal,
                 &lp,

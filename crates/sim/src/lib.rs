@@ -45,7 +45,7 @@ pub mod trace;
 pub use chaos::{ChaosDistribution, Fault, FaultKind, FaultTarget, Scenario};
 pub use engine::{Ctx, Engine, LinkParams, LinkStats, Message, Node, NodeId};
 pub use metrics::{HistogramSummary, Instrument, InstrumentSink, LogHistogram, MetricsRegistry};
-pub use pool::WorkerPool;
+pub use pool::{ScratchPool, WorkerPool};
 pub use rng::SimRng;
 pub use stats::{OnlineStats, RateBins, Sampler};
 pub use time::{
