@@ -6,6 +6,10 @@
 #                      clippy, and a chaos smoke (CHAOS_SEEDS seeds,
 #                      default 4, through the chaos_soak harness)
 #   ./ci.sh --quick    debug build + tier-1 tests only (fast inner loop)
+#   ./ci.sh --coverage line-coverage gate only (scripts/coverage.sh):
+#                      enforces the per-crate floors in
+#                      crates/bench/baselines/coverage.floors; skips
+#                      cleanly if cargo-llvm-cov is not installed
 #
 # Knobs:
 #   CHAOS_SEEDS=<n>    seeds for the chaos smoke (default 4; the
@@ -14,15 +18,22 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 QUICK=0
+COVERAGE=0
 for arg in "$@"; do
     case "$arg" in
     --quick) QUICK=1 ;;
+    --coverage) COVERAGE=1 ;;
     *)
         echo "unknown argument: $arg" >&2
         exit 2
         ;;
     esac
 done
+
+if [[ "$COVERAGE" == 1 ]]; then
+    ./scripts/coverage.sh
+    exit 0
+fi
 
 if [[ "$QUICK" == 1 ]]; then
     echo "==> cargo build"

@@ -16,7 +16,7 @@
 //! Exit status is non-zero iff any invariant was violated or a replay
 //! diverged.
 
-use slingshot::chaos::{chaos_deployment, ChaosRunner};
+use slingshot::chaos::{chaos_deployment, chaos_pool_deployment, expectations_for, ChaosRunner};
 use slingshot_bench::{banner, BenchReport};
 use slingshot_sim::chaos::{oracle, ChaosDistribution, FaultKind, FaultTarget, Scenario};
 
@@ -44,6 +44,26 @@ fn fixed_scenarios() -> Vec<Scenario> {
     ]
 }
 
+/// Sequential multi-cell crash scenarios against the 4-cell / 2-spare
+/// pool deployment. Three (and then four) back-to-back crashes in
+/// distinct cells outnumber the pool, so these runs only pass if the
+/// orchestrator scrubs and recycles dead ex-primaries between failures;
+/// the oracle holds every crash to the single-failure bounds and audits
+/// the pool ledger.
+fn pool_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new("pool-3crash", 1700)
+            .fault(700, FaultTarget::ActivePhyOf(0), FaultKind::PhyCrash)
+            .fault(760, FaultTarget::ActivePhyOf(1), FaultKind::PhyCrash)
+            .fault(820, FaultTarget::ActivePhyOf(2), FaultKind::PhyCrash),
+        Scenario::new("pool-4crash", 1900)
+            .fault(700, FaultTarget::ActivePhyOf(0), FaultKind::PhyCrash)
+            .fault(760, FaultTarget::ActivePhyOf(1), FaultKind::PhyCrash)
+            .fault(820, FaultTarget::ActivePhyOf(2), FaultKind::PhyCrash)
+            .fault(880, FaultTarget::ActivePhyOf(3), FaultKind::PhyCrash),
+    ]
+}
+
 struct RunResult {
     ok: bool,
     dropped_ttis: u64,
@@ -52,8 +72,30 @@ struct RunResult {
 
 /// Run one (deployment seed, scenario) pair and report violations.
 fn run_one(deploy_seed: u64, scenario: &Scenario, chaos_seed: u64) -> RunResult {
-    let mut d = chaos_deployment(deploy_seed);
-    let exp = oracle::Expectations::for_scenario(scenario, d.cfg.with_spare_phy);
+    run_with_deployment(chaos_deployment(deploy_seed), scenario, chaos_seed, None)
+}
+
+/// Like [`run_one`] but on the shared-pool deployment, holding every
+/// crash to the per-cell single-failure TTI budget.
+fn run_one_pool(deploy_seed: u64, scenario: &Scenario, chaos_seed: u64) -> RunResult {
+    run_with_deployment(
+        chaos_pool_deployment(deploy_seed),
+        scenario,
+        chaos_seed,
+        Some(3),
+    )
+}
+
+fn run_with_deployment(
+    mut d: slingshot::Deployment,
+    scenario: &Scenario,
+    chaos_seed: u64,
+    tti_budget: Option<u64>,
+) -> RunResult {
+    let mut exp = expectations_for(&d, scenario);
+    if let Some(budget) = tti_budget {
+        exp.max_dropped_ttis = budget;
+    }
     let mut runner = ChaosRunner::new(scenario);
     runner.run(&mut d, scenario.horizon_slots);
     let report = oracle::check(d.engine.event_trace(), &exp);
@@ -67,7 +109,10 @@ fn run_one(deploy_seed: u64, scenario: &Scenario, chaos_seed: u64) -> RunResult 
         report.max_detection_latency.0 as f64 / 1e3,
     );
     if !report.ok() {
-        eprintln!("FAILING SEED: {chaos_seed} (deployment seed {deploy_seed})");
+        eprintln!(
+            "FAILING SEED: {chaos_seed} (deployment seed {})",
+            d.cfg.seed
+        );
         eprintln!("  reproduce: CHAOS_SEEDS is irrelevant; this pair is fully determined");
         eprintln!("  schedule: {}", scenario.describe());
         for v in &report.violations {
@@ -133,12 +178,13 @@ fn seed_count() -> u64 {
 fn main() {
     let seeds = seed_count();
     banner(
-        &format!("Chaos soak: {seeds} seeds x (4 fixed + 1 random) scenarios"),
-        "invariants from paper sections 5.2 (detection), 6.1 (dropped TTIs), 4.3/4.4 (exactly-one-PHY, re-pairing)",
+        &format!("Chaos soak: {seeds} seeds x (4 fixed + 2 pool + 1 random) scenarios"),
+        "invariants from paper sections 5.2 (detection), 6.1 (dropped TTIs), 4.3/4.4 (exactly-one-PHY, re-pairing + pool accounting)",
     );
 
     let dist = ChaosDistribution::default();
     let fixed = fixed_scenarios();
+    let pool = pool_scenarios();
     let mut runs = 0u64;
     let mut failures = 0u64;
     let mut replay_mismatches = 0u64;
@@ -148,6 +194,13 @@ fn main() {
     for seed in 0..seeds {
         for (idx, scenario) in fixed.iter().enumerate() {
             let r = run_one(1000 * seed + idx as u64, scenario, seed);
+            runs += 1;
+            failures += u64::from(!r.ok);
+            total_dropped += r.dropped_ttis;
+            worst_detection_us = worst_detection_us.max(r.max_detection_us);
+        }
+        for (idx, scenario) in pool.iter().enumerate() {
+            let r = run_one_pool(2000 * seed + idx as u64, scenario, seed);
             runs += 1;
             failures += u64::from(!r.ok);
             total_dropped += r.dropped_ttis;

@@ -265,46 +265,59 @@ fn resolve_phy_node(d: &mut Deployment, target: FaultTarget) -> Option<NodeId> {
 }
 
 /// The PHY id currently playing the symbolic role, read from the live
-/// control/data plane.
+/// control/data plane. `ActivePhy`/`StandbyPhy` are cell-0 aliases of
+/// the per-cell `ActivePhyOf`/`StandbyPhyOf` targets.
 pub fn resolve_phy_id(d: &mut Deployment, target: FaultTarget) -> Option<u8> {
     match target {
         // The data plane is the ground truth for who serves the RU.
-        FaultTarget::ActivePhy => {
-            Some(d.engine.node_mut::<SwitchNode>(d.switch)?.active_phy(RU_ID))
+        FaultTarget::ActivePhy => resolve_phy_id(d, FaultTarget::ActivePhyOf(RU_ID)),
+        FaultTarget::StandbyPhy => resolve_phy_id(d, FaultTarget::StandbyPhyOf(RU_ID)),
+        FaultTarget::ActivePhyOf(ru) => {
+            Some(d.engine.node_mut::<SwitchNode>(d.switch)?.active_phy(ru))
         }
-        FaultTarget::StandbyPhy => d.engine.node::<OrionL2Node>(d.orion_l2)?.standby_of(RU_ID),
+        FaultTarget::StandbyPhyOf(ru) => {
+            let orion_l2 = d.cells.get(ru as usize)?.orion_l2;
+            d.engine.node::<OrionL2Node>(orion_l2)?.standby_of(ru)
+        }
         _ => None,
     }
 }
 
-/// Map a PHY id of the standard single-RU deployment to its node.
+/// Map a PHY id to its engine node. Every cell PHY and pooled spare is
+/// in the deployment's `phy_nodes` directory; the legacy single-RU
+/// match is kept as a fallback for hand-built deployments.
 pub fn phy_node_of(d: &Deployment, phy_id: u8) -> Option<NodeId> {
-    match phy_id {
+    d.phy_nodes.get(&phy_id).copied().or(match phy_id {
         PRIMARY_PHY_ID => Some(d.primary_phy),
         SECONDARY_PHY_ID => Some(d.secondary_phy),
         SPARE_PHY_ID => d.spare_phy,
         _ => None,
-    }
+    })
 }
 
 /// The phy-side Orion shim paired with a PHY id.
 fn orion_node_of(d: &Deployment, phy_id: u8) -> Option<NodeId> {
-    match phy_id {
+    d.phy_orions.get(&phy_id).copied().or(match phy_id {
         PRIMARY_PHY_ID => Some(d.orion_primary),
         SECONDARY_PHY_ID => Some(d.orion_secondary),
         SPARE_PHY_ID => d.orion_spare,
         _ => None,
-    }
+    })
 }
 
-/// The directed engine links a link-level fault covers.
+/// The directed engine links a link-level fault covers. The undirected
+/// fronthaul targets act on cell 0's RU (per-cell PHY targets resolve
+/// through the live mapping).
 fn resolve_links(d: &mut Deployment, target: FaultTarget) -> Vec<(NodeId, NodeId)> {
     match target {
         FaultTarget::Fronthaul => vec![(d.ru, d.switch), (d.switch, d.ru)],
         FaultTarget::FronthaulUplink => vec![(d.ru, d.switch)],
         FaultTarget::FronthaulDownlink => vec![(d.switch, d.ru)],
         FaultTarget::OrionL2 => vec![(d.orion_l2, d.switch), (d.switch, d.orion_l2)],
-        FaultTarget::ActivePhy | FaultTarget::StandbyPhy => match resolve_phy_node(d, target) {
+        FaultTarget::ActivePhy
+        | FaultTarget::StandbyPhy
+        | FaultTarget::ActivePhyOf(_)
+        | FaultTarget::StandbyPhyOf(_) => match resolve_phy_node(d, target) {
             Some(phy) => vec![(phy, d.switch), (d.switch, phy)],
             None => Vec::new(),
         },
@@ -317,7 +330,10 @@ fn resolve_links(d: &mut Deployment, target: FaultTarget) -> Vec<(NodeId, NodeId
 fn resolve_process_node(d: &mut Deployment, target: FaultTarget) -> Option<NodeId> {
     match target {
         FaultTarget::OrionL2 => Some(d.orion_l2),
-        FaultTarget::ActivePhy | FaultTarget::StandbyPhy => {
+        FaultTarget::ActivePhy
+        | FaultTarget::StandbyPhy
+        | FaultTarget::ActivePhyOf(_)
+        | FaultTarget::StandbyPhyOf(_) => {
             let phy_id = resolve_phy_id(d, target)?;
             orion_node_of(d, phy_id)
         }
@@ -353,10 +369,68 @@ pub fn chaos_deployment(seed: u64) -> Deployment {
     d
 }
 
+/// The multi-cell chaos testbed: four cells sharing a two-deep spare
+/// pool behind the recovery orchestrator, each cell carrying the same
+/// 4 Mbps uplink UDP flow as the single-cell testbed. This is the
+/// deployment the sequential-crash scenarios run against: three crashes
+/// in distinct cells exceed the pool, so surviving them proves the
+/// scrub-and-recycle path, not just the initial provisioning.
+pub fn chaos_pool_deployment(seed: u64) -> Deployment {
+    let cfg = DeploymentConfig {
+        cell: CellConfig {
+            num_prbs: 51,
+            fidelity: Fidelity::Sampled,
+            ..CellConfig::default()
+        },
+        seed,
+        ..DeploymentConfig::default()
+    };
+    let mut b = crate::deployment::DeploymentBuilder::new()
+        .config(cfg)
+        .cells(4)
+        .spare_pool(2);
+    for i in 0..4u8 {
+        b = b.ue(UeConfig::new(100 + i as u16, i, &format!("ue{i}"), 22.0));
+    }
+    let mut d = b.build();
+    for i in 0..4usize {
+        d.add_flow(
+            i,
+            100 + i as u16,
+            Box::new(UdpCbrSource::new(4_000_000, 1000, Nanos::ZERO)),
+            Box::new(UdpSink::new(Nanos::ZERO, Nanos::from_millis(10))),
+        );
+    }
+    d
+}
+
+/// Damage-derived expectations for a scenario on this deployment. For
+/// multi-cell deployments the oracle is switched into per-cell mode
+/// (initial active-PHY map from the built topology) and, when a spare
+/// pool is configured, the pool-accounting invariant is armed.
+pub fn expectations_for(d: &Deployment, scenario: &Scenario) -> oracle::Expectations {
+    let has_spare = d.cfg.with_spare_phy || d.cfg.spare_pool > 0;
+    let mut exp = oracle::Expectations::for_scenario(scenario, has_spare);
+    if d.cells.len() > 1 {
+        exp.initial_active = d
+            .cells
+            .iter()
+            .map(|c| (c.ru_id as u64, c.primary_phy_id as u64))
+            .collect();
+        // Per-cell repair is checked from each cell's flip timeline, so
+        // the global any-cell variant is redundant noise in this mode.
+        exp.expect_repair = false;
+    }
+    if d.cfg.spare_pool > 0 {
+        exp.expect_pool = Some(d.cfg.spare_pool as u64);
+    }
+    exp
+}
+
 /// Run a scenario against a deployment and judge the resulting trace
 /// with expectations derived from the injected damage.
 pub fn run_scenario(d: &mut Deployment, scenario: &Scenario) -> oracle::OracleReport {
-    let exp = oracle::Expectations::for_scenario(scenario, d.cfg.with_spare_phy);
+    let exp = expectations_for(d, scenario);
     run_scenario_with(d, scenario, &exp)
 }
 

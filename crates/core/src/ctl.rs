@@ -8,6 +8,9 @@ use bytes::{Buf, BufMut, Bytes};
 
 const TAG_MIGRATE_ON_SLOT: u8 = 1;
 const TAG_FAILURE_NOTIFY: u8 = 2;
+const TAG_SPARE_REQUEST: u8 = 3;
+const TAG_SPARE_GRANT: u8 = 4;
+const TAG_INSTALL_STANDBY: u8 = 5;
 
 /// A Slingshot control message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +26,23 @@ pub enum CtlPacket {
     /// The switch detected that `phy_id` stopped emitting downlink
     /// fronthaul packets.
     FailureNotify { phy_id: u8 },
+    /// An L2-side Orion with no local standby left asks the recovery
+    /// orchestrator for a spare from the shared pool. `failed_phy_id`
+    /// is the drained ex-primary (pool-accounting breadcrumb).
+    SpareRequest { ru_id: u8, failed_phy_id: u8 },
+    /// The recovery orchestrator assigns pooled spare `phy_id` to
+    /// `ru_id`'s cell as its new hot standby.
+    SpareGrant { ru_id: u8, phy_id: u8 },
+    /// Command the switch to install spare `phy_id`'s virtual-PHY
+    /// mapping (PHY/address directories + failure-detector enrollment)
+    /// at the slot boundary `slot_scalar` — staged in the standby
+    /// request store and executed in the data plane, like
+    /// [`CtlPacket::MigrateOnSlot`].
+    InstallStandby {
+        ru_id: u8,
+        phy_id: u8,
+        slot_scalar: u16,
+    },
 }
 
 impl CtlPacket {
@@ -42,6 +62,29 @@ impl CtlPacket {
             CtlPacket::FailureNotify { phy_id } => {
                 v.put_u8(TAG_FAILURE_NOTIFY);
                 v.put_u8(*phy_id);
+            }
+            CtlPacket::SpareRequest {
+                ru_id,
+                failed_phy_id,
+            } => {
+                v.put_u8(TAG_SPARE_REQUEST);
+                v.put_u8(*ru_id);
+                v.put_u8(*failed_phy_id);
+            }
+            CtlPacket::SpareGrant { ru_id, phy_id } => {
+                v.put_u8(TAG_SPARE_GRANT);
+                v.put_u8(*ru_id);
+                v.put_u8(*phy_id);
+            }
+            CtlPacket::InstallStandby {
+                ru_id,
+                phy_id,
+                slot_scalar,
+            } => {
+                v.put_u8(TAG_INSTALL_STANDBY);
+                v.put_u8(*ru_id);
+                v.put_u8(*phy_id);
+                v.put_u16(*slot_scalar);
             }
         }
         Bytes::from(v)
@@ -69,6 +112,34 @@ impl CtlPacket {
                 }
                 Some(CtlPacket::FailureNotify {
                     phy_id: buf.get_u8(),
+                })
+            }
+            TAG_SPARE_REQUEST => {
+                if buf.remaining() < 2 {
+                    return None;
+                }
+                Some(CtlPacket::SpareRequest {
+                    ru_id: buf.get_u8(),
+                    failed_phy_id: buf.get_u8(),
+                })
+            }
+            TAG_SPARE_GRANT => {
+                if buf.remaining() < 2 {
+                    return None;
+                }
+                Some(CtlPacket::SpareGrant {
+                    ru_id: buf.get_u8(),
+                    phy_id: buf.get_u8(),
+                })
+            }
+            TAG_INSTALL_STANDBY => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                Some(CtlPacket::InstallStandby {
+                    ru_id: buf.get_u8(),
+                    phy_id: buf.get_u8(),
+                    slot_scalar: buf.get_u16(),
                 })
             }
             _ => None,
@@ -123,6 +194,19 @@ mod tests {
                 slot_scalar: 4777,
             },
             CtlPacket::FailureNotify { phy_id: 17 },
+            CtlPacket::SpareRequest {
+                ru_id: 2,
+                failed_phy_id: 5,
+            },
+            CtlPacket::SpareGrant {
+                ru_id: 2,
+                phy_id: 9,
+            },
+            CtlPacket::InstallStandby {
+                ru_id: 3,
+                phy_id: 10,
+                slot_scalar: 5119,
+            },
         ] {
             assert_eq!(CtlPacket::from_bytes(&pkt.to_bytes()), Some(pkt));
         }
@@ -133,6 +217,9 @@ mod tests {
         assert!(CtlPacket::from_bytes(&[]).is_none());
         assert!(CtlPacket::from_bytes(&[99]).is_none());
         assert!(CtlPacket::from_bytes(&[1, 2]).is_none());
+        assert!(CtlPacket::from_bytes(&[3, 1]).is_none());
+        assert!(CtlPacket::from_bytes(&[4]).is_none());
+        assert!(CtlPacket::from_bytes(&[5, 1, 2, 3]).is_none());
     }
 
     #[test]
@@ -144,6 +231,45 @@ mod tests {
         assert_eq!(unpack_migration_entry(0), None);
         // Stale scalar bits without the valid bit are also nothing.
         assert_eq!(unpack_migration_entry(0x0002_1299), None);
+    }
+
+    #[test]
+    fn migration_entry_roundtrips_extreme_slots() {
+        // Every corner of the scalar space: epoch start, epoch end, the
+        // wrap neighbors, and the half-epoch ambiguity points — plus
+        // the extreme PHY ids that share bits with the valid flag's
+        // neighborhood in the packed word.
+        for dest in [0u8, 1, 127, 128, 254, 255] {
+            for scalar in [0u16, 1, 2559, 2560, 2561, 5118, 5119] {
+                let packed = pack_migration_entry(dest, scalar);
+                assert_eq!(
+                    unpack_migration_entry(packed),
+                    Some((dest, scalar)),
+                    "dest={dest} scalar={scalar}"
+                );
+                // The packed word must fit the 32-bit register cell the
+                // switch stores it in.
+                assert!(packed <= u32::MAX as u64, "dest={dest} scalar={scalar}");
+            }
+        }
+        // A raw scalar ≥ 5120 is out of the wire epoch; packing is a
+        // pure bitfield so it still round-trips verbatim (the caller
+        // owns reduction modulo 5120).
+        let packed = pack_migration_entry(255, u16::MAX);
+        assert_eq!(unpack_migration_entry(packed), Some((255, u16::MAX)));
+    }
+
+    #[test]
+    fn scalar_comparison_extremes() {
+        // Boundary 0: everything in the first half-epoch is "after".
+        assert!(scalar_at_or_after(0, 0));
+        assert!(scalar_at_or_after(2559, 0));
+        assert!(!scalar_at_or_after(2561, 0));
+        // Boundary at epoch end.
+        assert!(scalar_at_or_after(5119, 5119));
+        assert!(scalar_at_or_after(0, 5119));
+        assert!(scalar_at_or_after(2558, 5119));
+        assert!(!scalar_at_or_after(2558, 5118));
     }
 
     #[test]

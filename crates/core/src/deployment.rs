@@ -19,6 +19,8 @@
 //!     .build();
 //! ```
 
+use std::collections::BTreeMap;
+
 use slingshot_netsim::MacAddr;
 use slingshot_ran::{
     AppServerNode, CellConfig, CoreNode, CtlMsg, L2Node, Msg, PhyConfig, PhyNode, RuNode, UeConfig,
@@ -34,6 +36,7 @@ use slingshot_transport::UserApp;
 
 use crate::fh_mbox::FhMbox;
 use crate::orion::{orion_l2_mac, orion_phy_mac, OrionL2Node, OrionPhyNode};
+use crate::recovery::{recovery_mac, RecoveryOrchestrator};
 use crate::switch_node::{ForwardingModel, SwitchNode};
 
 /// Deployment-wide configuration.
@@ -55,7 +58,14 @@ pub struct DeploymentConfig {
     /// Fig. 11 upgraded build).
     pub secondary_fec_iterations: Option<usize>,
     /// Register one extra spare PHY server (replacement standby pool).
+    ///
+    /// Single-cell legacy knob; multi-cell deployments treat it as
+    /// `spare_pool = 1`. Prefer [`DeploymentBuilder::spare_pool`].
     pub with_spare_phy: bool,
+    /// Number of shared spare PHY servers in the recovery pool, usable
+    /// by any cell. `> 0` also deploys a [`RecoveryOrchestrator`] that
+    /// re-pairs failed-over cells and scrubs/recycles dead primaries.
+    pub spare_pool: usize,
 }
 
 impl Default for DeploymentConfig {
@@ -70,6 +80,7 @@ impl Default for DeploymentConfig {
             forwarding: ForwardingModel::InSwitch,
             secondary_fec_iterations: None,
             with_spare_phy: false,
+            spare_pool: 0,
         }
     }
 }
@@ -115,6 +126,16 @@ pub struct Deployment {
     pub ues: Vec<NodeId>,
     /// Per-cell node handles (index = cell/RU id).
     pub cells: Vec<CellDeployment>,
+    /// Pooled shared spares: `(phy id, PhyNode, OrionPhyNode)` — empty
+    /// unless the deployment was built with `spare_pool(m)` at N cells.
+    pub spare_phys: Vec<(u8, NodeId, NodeId)>,
+    /// The recovery orchestrator, when a spare pool is deployed.
+    pub recovery: Option<NodeId>,
+    /// Every PHY id in the deployment → its engine node (chaos
+    /// targeting, test assertions).
+    pub phy_nodes: BTreeMap<u8, NodeId>,
+    /// Every PHY id → its PHY-side Orion node.
+    pub phy_orions: BTreeMap<u8, NodeId>,
     /// Size of the engine's DSP worker pool (1 = serial).
     pub workers: usize,
     /// Chaos scenario staged by [`DeploymentBuilder::chaos`], consumed
@@ -166,7 +187,8 @@ impl DeploymentBuilder {
     }
 
     /// Number of cells (RU + L2 + primary/secondary PHY pair each).
-    /// The spare-PHY pool is only supported at `cells(1)`.
+    /// Combine with [`DeploymentBuilder::spare_pool`] for an N-cell /
+    /// M-spare deployment with orchestrated re-pairing.
     pub fn cells(mut self, n: usize) -> Self {
         assert!(n >= 1, "at least one cell");
         self.cells = n;
@@ -221,9 +243,23 @@ impl DeploymentBuilder {
         self
     }
 
-    /// Register one extra spare PHY server (single-cell only).
+    /// Register one extra spare PHY server. Legacy knob: at `cells(1)`
+    /// this is the classic local spare; at `cells(n > 1)` it is treated
+    /// as `spare_pool(1)`. Prefer [`DeploymentBuilder::spare_pool`].
     pub fn spare_phy(mut self, on: bool) -> Self {
         self.cfg.with_spare_phy = on;
+        self
+    }
+
+    /// Provision `m` *shared* spare PHY servers usable by any cell,
+    /// plus a recovery orchestrator that, after a failover drains a
+    /// cell's standby, grants a pooled spare, installs its virtual-PHY
+    /// mapping in the switch, replays the cell's init-FAPI to it, and
+    /// re-pairs the cell — and that scrubs dead ex-primaries back into
+    /// the pool. At `cells(1)`, `spare_pool(1)` is equivalent to the
+    /// legacy `spare_phy(true)` local spare.
+    pub fn spare_pool(mut self, m: usize) -> Self {
+        self.cfg.spare_pool = m;
         self
     }
 
@@ -261,14 +297,25 @@ impl DeploymentBuilder {
 
     /// Build and wire the deployment.
     pub fn build(self) -> Deployment {
-        let mut d = if self.cells == 1 {
-            Deployment::build_single(self.cfg, self.ues)
-        } else {
+        let mut cfg = self.cfg;
+        if self.cells == 1 {
+            // Single-cell: the pool degenerates to the classic local
+            // spare (there is only one cell to re-pair).
             assert!(
-                !self.cfg.with_spare_phy,
-                "spare PHY pool is only supported for single-cell deployments"
+                cfg.spare_pool <= 1,
+                "single-cell deployments support at most one spare"
             );
-            Deployment::build_multi(self.cfg, self.cells, self.ues)
+            if cfg.spare_pool == 1 {
+                cfg.with_spare_phy = true;
+            }
+        } else if cfg.with_spare_phy && cfg.spare_pool == 0 {
+            // Legacy knob at N cells: one shared spare.
+            cfg.spare_pool = 1;
+        }
+        let mut d = if self.cells == 1 {
+            Deployment::build_single(cfg, self.ues)
+        } else {
+            Deployment::build_multi(cfg, self.cells, self.ues)
         };
         d.workers = self.workers;
         d.engine.set_worker_pool(WorkerPool::new(self.workers));
@@ -507,6 +554,19 @@ impl Deployment {
             secondary_phy_id: SECONDARY_PHY_ID,
         }];
 
+        let mut phy_nodes = BTreeMap::from([
+            (PRIMARY_PHY_ID, primary_phy),
+            (SECONDARY_PHY_ID, secondary_phy),
+        ]);
+        let mut phy_orions = BTreeMap::from([
+            (PRIMARY_PHY_ID, orion_primary),
+            (SECONDARY_PHY_ID, orion_secondary),
+        ]);
+        if let (Some(p), Some(o)) = (spare_phy, orion_spare) {
+            phy_nodes.insert(SPARE_PHY_ID, p);
+            phy_orions.insert(SPARE_PHY_ID, o);
+        }
+
         Deployment {
             engine,
             switch,
@@ -523,6 +583,10 @@ impl Deployment {
             server,
             ues,
             cells,
+            spare_phys: Vec::new(),
+            recovery: None,
+            phy_nodes,
+            phy_orions,
             workers: 1,
             chaos: None,
             cfg,
@@ -552,10 +616,14 @@ impl Deployment {
             cell_ues[u.ru_id as usize].push(u);
         }
 
-        let mut mbox = FhMbox::with_notify_targets(
-            cfg.detector,
-            (0..n_cells).map(|i| orion_l2_mac(i as u8)).collect(),
-        );
+        // Failure notifications fan out to every L2-side Orion and, when
+        // a spare pool is deployed, to the recovery orchestrator (it
+        // schedules the dead server's scrub-and-return).
+        let mut notify: Vec<MacAddr> = (0..n_cells).map(|i| orion_l2_mac(i as u8)).collect();
+        if cfg.spare_pool > 0 {
+            notify.push(recovery_mac());
+        }
+        let mut mbox = FhMbox::with_notify_targets(cfg.detector, notify);
         let mut attach: Vec<(PortId, NodeId)> = Vec::new();
         let mut cells: Vec<CellDeployment> = Vec::new();
         let mut all_ues: Vec<NodeId> = Vec::new();
@@ -645,6 +713,46 @@ impl Deployment {
             });
         }
 
+        // --- shared spare pool + recovery orchestrator ---
+        // Spares take PHY ids after every cell pair (2n+1+j) and switch
+        // ports in the region past the last cell. Each is installed as a
+        // plain host only: its virtual-PHY identity is installed by the
+        // orchestrator's InstallStandby at grant time.
+        let spare_region = PORT_STRIDE * n_cells as u16;
+        let mut spares: Vec<(u8, NodeId, NodeId)> = Vec::new();
+        for j in 0..cfg.spare_pool {
+            let id = (2 * n_cells + 1 + j) as u8;
+            let mut pc = PhyConfig::new(id);
+            pc.fec_iterations = cfg.cell.fec_iterations;
+            let phy = engine.add_node(
+                &format!("spare-phy{id}"),
+                Box::new(PhyNode::new(
+                    pc,
+                    cfg.cell.clone(),
+                    clock,
+                    rng.fork(&format!("phy{id}")),
+                )),
+            );
+            let orion = engine.add_node(
+                &format!("spare-orion-phy{id}"),
+                Box::new(OrionPhyNode::new(id, 0)),
+            );
+            let pport = spare_region + 1 + 2 * j as u16;
+            let oport = spare_region + 2 + 2 * j as u16;
+            mbox.install_host(MacAddr::for_phy(id), PortId(pport));
+            mbox.install_host(orion_phy_mac(id), PortId(oport));
+            attach.push((PortId(pport), phy));
+            attach.push((PortId(oport), orion));
+            spares.push((id, phy, orion));
+        }
+        let recovery = (cfg.spare_pool > 0).then(|| {
+            let rport = spare_region + 1 + 2 * cfg.spare_pool as u16;
+            let node = engine.add_node("recovery", Box::new(RecoveryOrchestrator::new(clock)));
+            mbox.install_host(recovery_mac(), PortId(rport));
+            attach.push((PortId(rport), node));
+            node
+        });
+
         let switch_mac = mbox.switch_mac;
         let mut swn = SwitchNode::new(mbox, cfg.forwarding, rng.fork("switch"));
         for (port, node) in attach {
@@ -700,6 +808,39 @@ impl Deployment {
                     .wire(cell.ru, cell.l2);
             }
         }
+        for (_, phy, orion) in &spares {
+            engine
+                .node_mut::<PhyNode>(*phy)
+                .unwrap()
+                .wire(switch, *orion);
+            let o = engine.node_mut::<OrionPhyNode>(*orion).unwrap();
+            o.wire(switch, *phy);
+            // A pooled spare may end up serving any cell: pre-route every
+            // RU's indications to that cell's L2-side Orion.
+            for cell in &cells {
+                o.route_ru(cell.ru_id, orion_l2_mac(cell.ru_id));
+            }
+        }
+        if let Some(rec) = recovery {
+            {
+                let r = engine.node_mut::<RecoveryOrchestrator>(rec).unwrap();
+                r.wire(switch, switch_mac);
+                for (id, phy, _) in &spares {
+                    r.add_spare(*id, *phy);
+                }
+                for cell in &cells {
+                    r.register_cell(cell.ru_id, orion_l2_mac(cell.ru_id));
+                    r.register_phy(cell.primary_phy_id, cell.primary_phy);
+                    r.register_phy(cell.secondary_phy_id, cell.secondary_phy);
+                }
+            }
+            for cell in &cells {
+                engine
+                    .node_mut::<OrionL2Node>(cell.orion_l2)
+                    .unwrap()
+                    .set_recovery_orchestrator(recovery_mac());
+            }
+        }
 
         // --- links ---
         engine.connect_duplex(server, core, cfg.backhaul_link.clone());
@@ -727,6 +868,27 @@ impl Deployment {
                 LinkParams::ideal(Nanos(500)),
             );
         }
+        for (_, phy, orion) in &spares {
+            engine.connect_duplex(*phy, switch, cfg.server_link.clone());
+            engine.connect_duplex(*orion, switch, cfg.server_link.clone());
+            engine.connect_duplex(*phy, *orion, LinkParams::ideal(Nanos(500)));
+        }
+        if let Some(rec) = recovery {
+            engine.connect_duplex(rec, switch, cfg.server_link.clone());
+        }
+
+        let mut phy_nodes = BTreeMap::new();
+        let mut phy_orions = BTreeMap::new();
+        for cell in &cells {
+            phy_nodes.insert(cell.primary_phy_id, cell.primary_phy);
+            phy_nodes.insert(cell.secondary_phy_id, cell.secondary_phy);
+            phy_orions.insert(cell.primary_phy_id, cell.orion_primary);
+            phy_orions.insert(cell.secondary_phy_id, cell.orion_secondary);
+        }
+        for (id, phy, orion) in &spares {
+            phy_nodes.insert(*id, *phy);
+            phy_orions.insert(*id, *orion);
+        }
 
         let c0 = cells[0].clone();
         Deployment {
@@ -745,6 +907,10 @@ impl Deployment {
             server,
             ues: all_ues,
             cells,
+            spare_phys: spares,
+            recovery,
+            phy_nodes,
+            phy_orions,
             workers: 1,
             chaos: None,
             cfg,
@@ -800,6 +966,8 @@ impl Deployment {
                 n.instrument(&scope, sink);
             } else if let Some(n) = engine.node::<UeNode>(id) {
                 n.instrument(&scope, sink);
+            } else if let Some(n) = engine.node::<RecoveryOrchestrator>(id) {
+                n.instrument(&scope, sink);
             }
         };
 
@@ -817,6 +985,13 @@ impl Deployment {
         }
         for id in [self.spare_phy, self.orion_spare].into_iter().flatten() {
             collect_node(&self.engine, id, &mut sink);
+        }
+        for (_, phy, orion) in &self.spare_phys {
+            collect_node(&self.engine, *phy, &mut sink);
+            collect_node(&self.engine, *orion, &mut sink);
+        }
+        if let Some(rec) = self.recovery {
+            collect_node(&self.engine, rec, &mut sink);
         }
         for ue in &self.ues {
             collect_node(&self.engine, *ue, &mut sink);

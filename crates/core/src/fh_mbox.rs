@@ -73,6 +73,12 @@ pub struct FhMbox {
     /// RU id → pending migration request, packed as
     /// (valid << 24) | (dest_phy << 16) | slot_scalar.
     migration_store: RegisterArray,
+    /// RU id → pending standby install (spare-pool re-pairing), same
+    /// packed layout as `migration_store`. At the boundary the spare's
+    /// virtual-PHY mapping goes live in the directories and the PHY is
+    /// enrolled in failure detection — the data-plane half of promoting
+    /// a pooled spare to hot standby.
+    standby_store: RegisterArray,
     /// PHY id → missed-tick counter.
     fail_counters: RegisterArray,
     /// PHY id → enrolled in failure detection (1) or not (0).
@@ -93,6 +99,7 @@ pub struct FhMbox {
     pub dl_gap_stats: Vec<(Nanos, Nanos)>,
     /// Counters for observability.
     pub migrations_executed: u64,
+    pub standby_installs: u64,
     pub dl_filtered: u64,
     pub failures_reported: u64,
     pub ctl_packets: u64,
@@ -123,6 +130,7 @@ impl FhMbox {
             port_table: ExactTable::new("port_table", 1024, 48, 16),
             ru_to_phy: RegisterArray::new("ru_to_phy", 256, 8),
             migration_store: RegisterArray::new("migration_store", 256, 32),
+            standby_store: RegisterArray::new("standby_store", 256, 32),
             fail_counters: RegisterArray::new("fail_counters", 256, 8),
             fail_enrolled: RegisterArray::new("fail_enrolled", 256, 1),
             fail_seen: RegisterArray::new("fail_seen", 256, 1),
@@ -131,6 +139,7 @@ impl FhMbox {
             switch_mac: MacAddr([0x02, 0x53, 0x57, 0, 0, 1]),
             dl_gap_stats: vec![(Nanos::ZERO, Nanos::ZERO); 256],
             migrations_executed: 0,
+            standby_installs: 0,
             dl_filtered: 0,
             failures_reported: 0,
             ctl_packets: 0,
@@ -255,6 +264,33 @@ impl FhMbox {
         }
     }
 
+    /// Check the standby request store and, at the boundary, install the
+    /// granted spare's virtual-PHY mapping: PHY/address directory
+    /// entries plus failure-detector enrollment. The RU→PHY map is NOT
+    /// touched — the spare comes up as hot standby, its downlink
+    /// filtered until a later migration makes it active.
+    fn maybe_install_standby(&mut self, ru_id: u8, slot_scalar: u16) {
+        let req = self.standby_store.read(ru_id as usize);
+        let Some((phy, boundary)) = unpack_migration_entry(req) else {
+            return;
+        };
+        if scalar_at_or_after(slot_scalar, boundary) {
+            let mac = MacAddr::for_phy(phy);
+            // ExactTable::insert overwrites on duplicate keys, so
+            // re-installing a scrubbed ex-primary is idempotent.
+            let _ = self.phy_directory.insert(mac.as_u64(), phy as u64);
+            let _ = self.address_directory.insert(phy as u64, mac.as_u64());
+            self.enroll_failure_detection(phy);
+            // A recycled ex-primary carries `fail_seen` from its previous
+            // life; clear it so the detector re-arms only on the first
+            // heartbeat of the new incarnation (no false positive while
+            // the replayed init-FAPI is still in flight).
+            self.fail_seen.write(phy as usize, 0);
+            self.standby_store.write(ru_id as usize, 0);
+            self.standby_installs += 1;
+        }
+    }
+
     /// The resource manifest of this pipeline, for the §8.6 estimate.
     pub fn manifest(rus: u32, phys: u32) -> PipelineManifest {
         PipelineManifest::default()
@@ -264,6 +300,7 @@ impl FhMbox {
             .table("port_table", rus + phys + 8, 48, 16)
             .register("ru_to_phy", rus, 8, 1)
             .register("migration_store", rus, 32, 1)
+            .register("standby_store", rus, 32, 1)
             .register("fail_counters", phys, 8, 1)
             .register("fail_enrolled", phys, 1, 1)
             .register("fail_seen", phys, 1, 1)
@@ -278,20 +315,33 @@ impl SwitchProgram for FhMbox {
         match frame.ethertype {
             EtherType::SlingshotCtl if frame.dst == self.switch_mac => {
                 self.ctl_packets += 1;
-                if let Some(CtlPacket::MigrateOnSlot {
-                    ru_id,
-                    dest_phy_id,
-                    slot_scalar,
-                }) = CtlPacket::from_bytes(&frame.payload)
-                {
-                    let packed = pack_migration_entry(dest_phy_id, slot_scalar);
-                    self.migration_store.write(ru_id as usize, packed);
-                    self.stage_trace(
-                        TraceEventKind::MigrateArmed,
-                        ru_id as u64,
-                        ((dest_phy_id as u64) << 16) | slot_scalar as u64,
-                        Some(slot_from_scalar(slot_scalar)),
-                    );
+                match CtlPacket::from_bytes(&frame.payload) {
+                    Some(CtlPacket::MigrateOnSlot {
+                        ru_id,
+                        dest_phy_id,
+                        slot_scalar,
+                    }) => {
+                        let packed = pack_migration_entry(dest_phy_id, slot_scalar);
+                        self.migration_store.write(ru_id as usize, packed);
+                        self.stage_trace(
+                            TraceEventKind::MigrateArmed,
+                            ru_id as u64,
+                            ((dest_phy_id as u64) << 16) | slot_scalar as u64,
+                            Some(slot_from_scalar(slot_scalar)),
+                        );
+                    }
+                    Some(CtlPacket::InstallStandby {
+                        ru_id,
+                        phy_id,
+                        slot_scalar,
+                    }) => {
+                        // Stage the spare's virtual-PHY install; executed
+                        // at the slot boundary by the data plane, same
+                        // mechanism as migrate_on_slot.
+                        let packed = pack_migration_entry(phy_id, slot_scalar);
+                        self.standby_store.write(ru_id as usize, packed);
+                    }
+                    _ => {}
                 }
                 vec![SwitchAction::Drop]
             }
@@ -307,6 +357,7 @@ impl SwitchProgram for FhMbox {
                         };
                         let ru_id = ru_id as u8;
                         self.maybe_migrate(ru_id, hdr.slot_scalar());
+                        self.maybe_install_standby(ru_id, hdr.slot_scalar());
                         let phy_id = self.ru_to_phy.read(ru_id as usize);
                         let Some(mac) = self.address_directory.lookup(phy_id) else {
                             return vec![SwitchAction::Drop];
@@ -362,6 +413,7 @@ impl SwitchProgram for FhMbox {
                         };
                         let ru_id = ru_id as u8;
                         self.maybe_migrate(ru_id, hdr.slot_scalar());
+                        self.maybe_install_standby(ru_id, hdr.slot_scalar());
                         let active = self.ru_to_phy.read(ru_id as usize);
                         if active != phy_id {
                             // The hot standby's downlink never reaches
@@ -663,6 +715,118 @@ mod tests {
             let _ = m.on_generator_tick(Nanos(0));
         }
         assert_eq!(m.failures_reported, 2);
+    }
+
+    #[test]
+    fn detector_saturates_at_exactly_n_ticks() {
+        // The paper's configuration: T = 450 µs emulated by n = 50
+        // ticks of 9 µs. Saturation must happen on the 50th tick after
+        // the last heartbeat — not the 49th, not the 51st.
+        let mut m = mbox();
+        let cfg = m.detector;
+        assert_eq!(cfg.ticks_per_period, 50);
+        assert_eq!(
+            Nanos(cfg.tick_interval().0 * cfg.ticks_per_period as u64),
+            Nanos::from_micros(450)
+        );
+        m.enroll_failure_detection(1);
+        m.process(Nanos(0), PortId(2), dl_frame(1, slot(1)));
+        for tick in 1..cfg.ticks_per_period {
+            assert!(
+                m.on_generator_tick(Nanos(0)).is_empty(),
+                "notified early at tick {tick}"
+            );
+        }
+        assert_eq!(m.failures_reported, 0);
+        let out = m.on_generator_tick(Nanos(0));
+        assert_eq!(m.failures_reported, 1, "must saturate exactly at n");
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn detector_reset_race_with_inflight_packet() {
+        // A heartbeat that lands one tick before saturation must fully
+        // reset the counter: the next notification needs n more ticks,
+        // not one.
+        let mut m = mbox();
+        let n = m.detector.ticks_per_period;
+        m.enroll_failure_detection(1);
+        m.process(Nanos(0), PortId(2), dl_frame(1, slot(1)));
+        for _ in 0..n - 1 {
+            assert!(m.on_generator_tick(Nanos(0)).is_empty());
+        }
+        // The in-flight packet arrives with the counter at n-1.
+        m.process(Nanos(0), PortId(2), dl_frame(1, slot(2)));
+        for _ in 0..n - 1 {
+            assert!(m.on_generator_tick(Nanos(0)).is_empty());
+        }
+        assert_eq!(m.failures_reported, 0, "reset must win the race");
+        assert!(!m.on_generator_tick(Nanos(0)).is_empty());
+        assert_eq!(m.failures_reported, 1);
+        // The mirror race: a packet that was in flight when the counter
+        // saturated arrives *after* the notification. It clears the
+        // reported marker, so a subsequent outage is detected afresh
+        // after n ticks (and not a single tick).
+        m.process(Nanos(0), PortId(2), dl_frame(1, slot(3)));
+        for _ in 0..n - 1 {
+            assert!(m.on_generator_tick(Nanos(0)).is_empty());
+        }
+        assert_eq!(m.failures_reported, 1);
+        assert!(!m.on_generator_tick(Nanos(0)).is_empty());
+        assert_eq!(m.failures_reported, 2);
+    }
+
+    #[test]
+    fn standby_install_executes_at_boundary() {
+        let mut m = mbox();
+        // PHY 3 is a pooled spare: the switch knows its port (plain
+        // host) but it has no virtual-PHY identity yet.
+        m.install_host(MacAddr::for_phy(3), PortId(5));
+        assert_eq!(
+            m.process(Nanos(0), PortId(5), dl_frame(3, slot(10))),
+            vec![SwitchAction::Drop],
+            "un-installed spare's fronthaul is unknown-source dropped"
+        );
+        assert_eq!(m.dl_filtered, 0);
+        let cmd = CtlPacket::InstallStandby {
+            ru_id: 0,
+            phy_id: 3,
+            slot_scalar: 100,
+        };
+        let switch_mac = m.switch_mac;
+        m.process(
+            Nanos(0),
+            PortId(4),
+            Frame::new(
+                switch_mac,
+                MacAddr::ZERO,
+                EtherType::SlingshotCtl,
+                cmd.to_bytes(),
+            ),
+        );
+        // Before the boundary nothing is installed.
+        m.process(Nanos(0), PortId(1), ul_frame(slot(99)));
+        assert_eq!(m.standby_installs, 0);
+        // An uplink packet at the boundary slot executes the install in
+        // the data plane.
+        m.process(Nanos(0), PortId(1), ul_frame(slot(100)));
+        assert_eq!(m.standby_installs, 1);
+        // The spare now has a virtual-PHY identity: its downlink is
+        // recognized (and standby-filtered, since RU 0 is still active
+        // on PHY 1), and the failure detector is enrolled.
+        assert_eq!(
+            m.process(Nanos(0), PortId(5), dl_frame(3, slot(101))),
+            vec![SwitchAction::Drop]
+        );
+        assert_eq!(m.dl_filtered, 1, "now filtered as hot standby, not unknown");
+        // Active mapping untouched — the spare is standby, not primary.
+        assert_eq!(m.active_phy(0), 1);
+        // Heartbeats arm its detector; silence then saturates it.
+        let n = m.detector.ticks_per_period;
+        for _ in 0..n {
+            let _ = m.on_generator_tick(Nanos(0));
+        }
+        assert_eq!(m.failures_reported, 1, "enrolled spare is monitored");
     }
 
     #[test]

@@ -27,9 +27,13 @@ pub mod fh_mbox;
 pub mod multi_ru;
 pub mod nfapi;
 pub mod orion;
+pub mod recovery;
 pub mod switch_node;
 
-pub use chaos::{chaos_deployment, run_scenario, run_scenario_with, ChaosRunner};
+pub use chaos::{
+    chaos_deployment, chaos_pool_deployment, expectations_for, run_scenario, run_scenario_with,
+    ChaosRunner,
+};
 pub use ctl::CtlPacket;
 pub use deployment::{
     CellDeployment, Deployment, DeploymentBuilder, DeploymentConfig, L2_ID, PRIMARY_PHY_ID, RU_ID,
@@ -38,4 +42,5 @@ pub use deployment::{
 pub use fh_mbox::FhMbox;
 pub use multi_ru::{CellNodes, DualRuDeployment};
 pub use orion::{orion_l2_mac, orion_phy_mac, OrionCost, OrionL2Node, OrionPhyNode};
+pub use recovery::{recovery_mac, RecoveryOrchestrator};
 pub use switch_node::{ForwardingModel, SwitchNode};

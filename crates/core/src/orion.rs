@@ -335,6 +335,12 @@ pub struct OrionL2Node {
     phy_pool: BTreeMap<u8, MacAddr>,
     /// Spare (unassigned) PHY ids available as replacement standbys.
     spares: Vec<u8>,
+    /// The shared-pool recovery orchestrator, if one is deployed: asked
+    /// for a replacement standby when the local spare list is empty.
+    recovery_mac: Option<MacAddr>,
+    /// RU id → (granted spare, absolute slot boundary at which it is
+    /// promoted to secondary and initialized).
+    pending_standby: BTreeMap<u8, (u8, u64)>,
     /// Ablation switch: duplicate the primary's *real* FAPI requests to
     /// the standby instead of null ones (the naïve hot-standby design
     /// §6.2 argues against — it doubles PHY compute).
@@ -366,6 +372,8 @@ impl OrionL2Node {
             bindings: BTreeMap::new(),
             phy_pool: BTreeMap::new(),
             spares: Vec::new(),
+            recovery_mac: None,
+            pending_standby: BTreeMap::new(),
             duplicate_standby: false,
             events: Vec::new(),
             failovers: 0,
@@ -396,6 +404,19 @@ impl OrionL2Node {
     pub fn add_spare(&mut self, phy_id: u8) {
         self.register_phy_server(phy_id);
         self.spares.push(phy_id);
+    }
+
+    /// Point this Orion at a shared-pool recovery orchestrator: when a
+    /// failover drains the last local standby, a
+    /// [`CtlPacket::SpareRequest`] is sent there instead of leaving the
+    /// cell unpaired.
+    pub fn set_recovery_orchestrator(&mut self, mac: MacAddr) {
+        self.recovery_mac = Some(mac);
+    }
+
+    /// Whether a pool grant is still waiting for its promotion boundary.
+    pub fn standby_pending(&self, ru_id: u8) -> bool {
+        self.pending_standby.contains_key(&ru_id)
     }
 
     /// Bind an RU to its primary and (optional) secondary PHY.
@@ -698,9 +719,69 @@ impl OrionL2Node {
                     }
                 }
             }
+            if failed && replacement.is_none() {
+                // Local spare list exhausted: fall back to the shared
+                // pool so the cell does not stay one-crash-from-outage.
+                if let Some(rec) = self.recovery_mac {
+                    let pkt = CtlPacket::SpareRequest {
+                        ru_id,
+                        failed_phy_id: old_primary,
+                    };
+                    let frame = Frame::new(rec, self.mac, EtherType::SlingshotCtl, pkt.to_bytes());
+                    if let Some(sw) = self.switch {
+                        ctx.send(sw, Msg::Eth(frame));
+                    }
+                    ctx.trace(
+                        TraceEventKind::SpareRequested,
+                        ru_id as u64,
+                        old_primary as u64,
+                    );
+                    self.events.push((
+                        ctx.now(),
+                        format!("ru{ru_id}: requesting pool spare (phy{old_primary} drained)"),
+                    ));
+                }
+            }
             self.events.push((
                 ctx.now(),
                 format!("ru{ru_id}: migration finalized; primary=phy{sec}"),
+            ));
+        }
+    }
+
+    /// Promote pool-granted spares whose boundary has arrived: bind as
+    /// the RU's new secondary and initialize it from the stored CONFIG
+    /// (§6.3) — the cell is survivable again once the standby's null
+    /// FAPI keepalive starts flowing.
+    fn promote_granted_standbys(&mut self, ctx: &mut Ctx<'_, Msg>, now_abs: u64) {
+        let ready: Vec<(u8, u8)> = self
+            .pending_standby
+            .iter()
+            .filter(|(_, (_, boundary))| now_abs >= *boundary)
+            .map(|(ru, (phy, _))| (*ru, *phy))
+            .collect();
+        for (ru_id, phy) in ready {
+            self.pending_standby.remove(&ru_id);
+            let Some(b) = self.bindings.get_mut(&ru_id) else {
+                continue;
+            };
+            if b.secondary.is_some() {
+                continue; // already re-paired by other means
+            }
+            b.secondary = Some(phy);
+            let cfg = b.config.clone();
+            let started = b.started;
+            self.register_phy_server(phy);
+            if let Some(cfg) = cfg {
+                self.send_udp(ctx, self.orion_mac_of(phy), &FapiMsg::Config(cfg));
+                if started {
+                    self.send_udp(ctx, self.orion_mac_of(phy), &FapiMsg::Start { ru_id });
+                }
+            }
+            ctx.trace(TraceEventKind::StandbyRepaired, ru_id as u64, phy as u64);
+            self.events.push((
+                ctx.now(),
+                format!("ru{ru_id}: re-paired with pooled phy{phy}"),
             ));
         }
     }
@@ -725,6 +806,7 @@ impl Node<Msg> for OrionL2Node {
         if token == TIMER_SLOT {
             let abs = self.clock.absolute_slot(ctx.now());
             self.finalize_migrations(ctx, abs);
+            self.promote_granted_standbys(ctx, abs);
             ctx.timer_at(self.clock.slot_start(abs + 1), TIMER_SLOT);
         }
     }
@@ -744,30 +826,43 @@ impl Node<Msg> for OrionL2Node {
                         }
                     }
                     EtherType::SlingshotCtl => {
-                        if let Some(CtlPacket::FailureNotify { phy_id }) =
-                            CtlPacket::from_bytes(&frame.payload)
-                        {
-                            let now = ctx.now();
-                            self.last_failure_notified = Some(now);
-                            ctx.trace(TraceEventKind::FailureNotifyReceived, phy_id as u64, 0);
-                            self.events
-                                .push((now, format!("failure notification: phy{phy_id}")));
-                            // Failover every RU whose primary died: the
-                            // next slot boundary is the migration point.
-                            let next_abs = self.clock.absolute_slot(now) + 1;
-                            let rus: Vec<u8> = self
-                                .bindings
-                                .iter()
-                                .filter(|(_, b)| b.primary == phy_id && b.migrate_at.is_none())
-                                .map(|(id, _)| *id)
-                                .collect();
-                            for ru_id in rus {
-                                self.failovers += 1;
-                                if let Some(b) = self.bindings.get_mut(&ru_id) {
-                                    b.failover = true;
+                        match CtlPacket::from_bytes(&frame.payload) {
+                            Some(CtlPacket::FailureNotify { phy_id }) => {
+                                let now = ctx.now();
+                                self.last_failure_notified = Some(now);
+                                ctx.trace(TraceEventKind::FailureNotifyReceived, phy_id as u64, 0);
+                                self.events
+                                    .push((now, format!("failure notification: phy{phy_id}")));
+                                // Failover every RU whose primary died: the
+                                // next slot boundary is the migration point.
+                                let next_abs = self.clock.absolute_slot(now) + 1;
+                                let rus: Vec<u8> = self
+                                    .bindings
+                                    .iter()
+                                    .filter(|(_, b)| b.primary == phy_id && b.migrate_at.is_none())
+                                    .map(|(id, _)| *id)
+                                    .collect();
+                                for ru_id in rus {
+                                    self.failovers += 1;
+                                    if let Some(b) = self.bindings.get_mut(&ru_id) {
+                                        b.failover = true;
+                                    }
+                                    self.start_migration(ctx, ru_id, next_abs);
                                 }
-                                self.start_migration(ctx, ru_id, next_abs);
                             }
+                            Some(CtlPacket::SpareGrant { ru_id, phy_id }) => {
+                                // The pool answered: promote at an aligned
+                                // boundary a couple of slots out, same
+                                // discipline as a migration.
+                                let boundary =
+                                    Self::align_boundary(self.clock.absolute_slot(ctx.now()) + 2);
+                                self.pending_standby.insert(ru_id, (phy_id, boundary));
+                                self.events.push((
+                                ctx.now(),
+                                format!("ru{ru_id}: pool granted phy{phy_id}, standby at {boundary}"),
+                            ));
+                            }
+                            _ => {}
                         }
                     }
                     _ => {}

@@ -86,6 +86,10 @@ pub enum CtlMsg {
     /// Operator/controller-initiated planned PHY migration for an RU
     /// (live upgrade, §8.3; delivered to the L2-side Orion).
     PlannedMigration { ru_id: u8 },
+    /// Recovery-orchestrator command to a (just-restarted) PHY process:
+    /// wipe all per-RU soft state and clear crash flags so the server
+    /// can be returned to the shared spare pool as a clean machine.
+    PhyScrub,
 }
 
 /// The top-level message enum.

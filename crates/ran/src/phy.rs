@@ -42,7 +42,7 @@ use crate::cell::CellConfig;
 use crate::fidelity::{
     encode_signal_with, receive_into, LinkParamsTb, RxProcessPool, RxSoftState, TbSignal,
 };
-use crate::msg::{timer_tokens, Msg};
+use crate::msg::{timer_tokens, CtlMsg, Msg};
 use crate::ru::PRBS_PER_CHUNK;
 
 const TIMER_HEARTBEAT: u64 = timer_tokens::NODE_BASE + 1;
@@ -195,6 +195,20 @@ impl PhyNode {
 
     pub fn is_stalled(&self) -> bool {
         self.stalled
+    }
+
+    /// Recovery-orchestrator scrub: drop every per-RU soft state (the
+    /// §4.2 point — nothing here is worth preserving) and clear crash
+    /// flags, returning the process to a factory-fresh spare. Called
+    /// after the engine restarted the node, so the slot-timer chain
+    /// re-armed by `on_start` resumes the cadence.
+    pub fn scrub(&mut self) {
+        self.rus.clear();
+        self.pending_dl.clear();
+        self.crashed = false;
+        self.stalled = false;
+        self.crash_time = None;
+        self.started_at = None;
     }
 
     pub fn is_crashed(&self) -> bool {
@@ -835,6 +849,13 @@ impl Node<Msg> for PhyNode {
     }
 
     fn on_msg(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+        if let Msg::Ctl(CtlMsg::PhyScrub) = msg {
+            // Recovery-orchestrator scrub: handled even while the
+            // crashed/stalled flags are set — it is exactly how a dead
+            // process is wiped before rejoining the spare pool.
+            self.scrub();
+            return;
+        }
         if self.crashed || self.stalled {
             // A wedged poll loop never drains its rings: incoming FAPI
             // and fronthaul are lost, not deferred.

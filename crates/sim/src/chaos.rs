@@ -35,9 +35,15 @@ use crate::SimRng;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultTarget {
     /// The PHY currently serving the RU (resolved at injection time).
+    /// Alias for `ActivePhyOf(0)`, kept for single-cell scenarios.
     ActivePhy,
-    /// The current standby PHY for the RU.
+    /// The current standby PHY for the RU. Alias for `StandbyPhyOf(0)`.
     StandbyPhy,
+    /// The PHY currently serving cell `ru` in a multi-cell deployment
+    /// (resolved at injection time, so it tracks earlier failovers).
+    ActivePhyOf(u8),
+    /// The current standby PHY of cell `ru`.
+    StandbyPhyOf(u8),
     /// Both directions of the RU <-> switch fronthaul link.
     Fronthaul,
     /// RU -> switch only (uplink IQ samples).
@@ -50,15 +56,16 @@ pub enum FaultTarget {
 
 impl std::fmt::Display for FaultTarget {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            FaultTarget::ActivePhy => "active-phy",
-            FaultTarget::StandbyPhy => "standby-phy",
-            FaultTarget::Fronthaul => "fronthaul",
-            FaultTarget::FronthaulUplink => "fronthaul-ul",
-            FaultTarget::FronthaulDownlink => "fronthaul-dl",
-            FaultTarget::OrionL2 => "orion-l2",
-        };
-        f.write_str(s)
+        match self {
+            FaultTarget::ActivePhy => f.write_str("active-phy"),
+            FaultTarget::StandbyPhy => f.write_str("standby-phy"),
+            FaultTarget::ActivePhyOf(ru) => write!(f, "active-phy[cell{ru}]"),
+            FaultTarget::StandbyPhyOf(ru) => write!(f, "standby-phy[cell{ru}]"),
+            FaultTarget::Fronthaul => f.write_str("fronthaul"),
+            FaultTarget::FronthaulUplink => f.write_str("fronthaul-ul"),
+            FaultTarget::FronthaulDownlink => f.write_str("fronthaul-dl"),
+            FaultTarget::OrionL2 => f.write_str("orion-l2"),
+        }
     }
 }
 
@@ -366,6 +373,20 @@ pub mod oracle {
         /// an active PHY serves traffic *and* a standby receives
         /// null-FAPI keep-alives (§4.3's warm standby contract).
         pub expect_repair: bool,
+        /// Per-cell mode: `(ru, primary phy)` at slot 0 for every cell.
+        /// When non-empty the oracle reconstructs each cell's active-PHY
+        /// ownership timeline from `MapFlip` events and judges the
+        /// dropped-TTI, one-active-PHY, duplicate-FAPI, and repair
+        /// invariants *per cell* instead of globally (a second cell
+        /// delivering the same absolute slot is normal, not split brain).
+        pub initial_active: Vec<(u64, u64)>,
+        /// Shared spare-pool size at slot 0. When set the oracle audits
+        /// the pool ledger: every `SpareGranted`/`SpareReturned` must
+        /// carry a running count consistent with this initial size, no
+        /// grant may come from an empty pool, and every `SpareRequested`
+        /// cell must eventually be granted a spare and re-paired
+        /// (`StandbyRepaired`).
+        pub expect_pool: Option<u64>,
     }
 
     impl Default for Expectations {
@@ -375,6 +396,8 @@ pub mod oracle {
                 max_dropped_ttis: 3,
                 tdd_stride: 5,
                 expect_repair: false,
+                initial_active: Vec::new(),
+                expect_pool: None,
             }
         }
     }
@@ -390,7 +413,10 @@ pub mod oracle {
             for f in &scenario.faults {
                 match f.kind {
                     FaultKind::PhyCrash => {
-                        if f.target == FaultTarget::ActivePhy {
+                        if matches!(
+                            f.target,
+                            FaultTarget::ActivePhy | FaultTarget::ActivePhyOf(_)
+                        ) {
                             allowed += 3;
                             lethal = true;
                         } else {
@@ -398,7 +424,10 @@ pub mod oracle {
                         }
                     }
                     FaultKind::PhyHang { slots } => {
-                        if f.target == FaultTarget::ActivePhy {
+                        if matches!(
+                            f.target,
+                            FaultTarget::ActivePhy | FaultTarget::ActivePhyOf(_)
+                        ) {
                             // Detection + failover costs <= 3; a hang too
                             // short to trip the detector instead skips up
                             // to slots/stride TTIs outright.
@@ -488,54 +517,64 @@ pub mod oracle {
             }
         }
 
-        // Invariant 2: dropped-TTI budget (paper §6.1, Table 1).
         let delivered = crate::trace::delivered_ul_slots(trace.iter());
+        // Global measure for the report; in per-cell mode the *checked*
+        // budgets are per cell (a cell's blackout must not be masked by
+        // its neighbours delivering the same absolute slots).
         let dropped = dropped_ttis(&delivered, exp.tdd_stride);
-        if dropped > exp.max_dropped_ttis {
-            violations.push(Violation {
-                invariant: "dropped-ttis",
-                detail: format!(
-                    "{} TTIs dropped (budget {}), {} delivered",
-                    dropped,
-                    exp.max_dropped_ttis,
-                    delivered.len()
-                ),
-            });
-        }
 
-        // Invariant 3: exactly one active PHY per slot (§4.3). Two PHYs
-        // completing uplink processing for the same absolute slot means
-        // the switch steered (or failed to filter) both replicas.
-        let mut per_slot: std::collections::BTreeMap<u64, Vec<u64>> = Default::default();
-        for e in trace.of_kind(TraceEventKind::UlSlotProcessed) {
-            let phys = per_slot.entry(e.a).or_default();
-            if !phys.contains(&e.b) {
-                phys.push(e.b);
-            }
-        }
-        for (slot, phys) in &per_slot {
-            if phys.len() > 1 {
+        if exp.initial_active.is_empty() {
+            // Invariant 2: dropped-TTI budget (paper §6.1, Table 1).
+            if dropped > exp.max_dropped_ttis {
                 violations.push(Violation {
-                    invariant: "one-active-phy",
-                    detail: format!("slot {slot} processed by {} PHYs: {:?}", phys.len(), phys),
+                    invariant: "dropped-ttis",
+                    detail: format!(
+                        "{} TTIs dropped (budget {}), {} delivered",
+                        dropped,
+                        exp.max_dropped_ttis,
+                        delivered.len()
+                    ),
                 });
             }
-        }
 
-        // Invariant 4: no duplicate FAPI responses reaching L2 (§4.3's
-        // exactly-once delivery across failover; Orion must absorb late
-        // results from the old primary, not forward them twice).
-        let mut fapi_per_slot: std::collections::BTreeMap<u64, u64> = Default::default();
-        for e in trace.of_kind(TraceEventKind::FapiToL2) {
-            *fapi_per_slot.entry(e.b).or_insert(0) += 1;
-        }
-        for (slot, count) in &fapi_per_slot {
-            if *count > 1 {
-                violations.push(Violation {
-                    invariant: "no-dup-fapi",
-                    detail: format!("slot {slot}: {count} FAPI uplink responses reached L2"),
-                });
+            // Invariant 3: exactly one active PHY per slot (§4.3). Two
+            // PHYs completing uplink processing for the same absolute
+            // slot means the switch steered (or failed to filter) both
+            // replicas.
+            let mut per_slot: std::collections::BTreeMap<u64, Vec<u64>> = Default::default();
+            for e in trace.of_kind(TraceEventKind::UlSlotProcessed) {
+                let phys = per_slot.entry(e.a).or_default();
+                if !phys.contains(&e.b) {
+                    phys.push(e.b);
+                }
             }
+            for (slot, phys) in &per_slot {
+                if phys.len() > 1 {
+                    violations.push(Violation {
+                        invariant: "one-active-phy",
+                        detail: format!("slot {slot} processed by {} PHYs: {:?}", phys.len(), phys),
+                    });
+                }
+            }
+
+            // Invariant 4: no duplicate FAPI responses reaching L2
+            // (§4.3's exactly-once delivery across failover; Orion must
+            // absorb late results from the old primary, not forward them
+            // twice).
+            let mut fapi_per_slot: std::collections::BTreeMap<u64, u64> = Default::default();
+            for e in trace.of_kind(TraceEventKind::FapiToL2) {
+                *fapi_per_slot.entry(e.b).or_insert(0) += 1;
+            }
+            for (slot, count) in &fapi_per_slot {
+                if *count > 1 {
+                    violations.push(Violation {
+                        invariant: "no-dup-fapi",
+                        detail: format!("slot {slot}: {count} FAPI uplink responses reached L2"),
+                    });
+                }
+            }
+        } else {
+            check_per_cell(trace, exp, &mut violations);
         }
 
         // Invariant 5: eventual re-pairing (§4.4). After the last map
@@ -582,12 +621,286 @@ pub mod oracle {
             }
         }
 
+        // Invariant 6: pool accounting ("eventually re-paired with pool
+        // accounting"). The recovery orchestrator's grant/return ledger
+        // must balance against the configured pool size, and every cell
+        // that asked for a spare must end up granted *and* re-paired.
+        if let Some(pool0) = exp.expect_pool {
+            check_pool_ledger(trace, pool0, &mut violations);
+        }
+
         OracleReport {
             violations,
             detections: dets.len(),
             max_detection_latency: max_latency,
             delivered_ttis: delivered.len() as u64,
             dropped_ttis: dropped,
+        }
+    }
+
+    /// Active-PHY owner of a cell at `slot`, from its flip timeline
+    /// (`[(from_slot, phy)]`, sorted by construction).
+    fn owner_at(timeline: &[(u64, u64)], slot: u64) -> u64 {
+        timeline
+            .iter()
+            .rev()
+            .find(|&&(from, _)| from <= slot)
+            .map(|&(_, phy)| phy)
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Per-cell invariants 2-4 for multi-cell deployments. Ownership is
+    /// reconstructed from `MapFlip` events (a = ru, b = old<<16 | new)
+    /// layered over `exp.initial_active`, so every `UlSlotProcessed` can
+    /// be attributed to the cell whose active PHY produced it.
+    fn check_per_cell(trace: &TraceBuffer, exp: &Expectations, violations: &mut Vec<Violation>) {
+        use std::collections::BTreeMap;
+
+        let mut timelines: BTreeMap<u64, Vec<(u64, u64)>> = exp
+            .initial_active
+            .iter()
+            .map(|&(ru, phy)| (ru, vec![(0, phy)]))
+            .collect();
+        let mut flips: Vec<_> = trace.of_kind(TraceEventKind::MapFlip).collect();
+        flips.sort_by_key(|e| e.at);
+        for e in &flips {
+            let slot = e.at.0 / SLOT_DURATION.0;
+            timelines.entry(e.a).or_default().push((slot, e.b & 0xFFFF));
+        }
+
+        // Attribute a (phy, slot) pair to the cell whose active-PHY
+        // timeline covers it; +-1 slot of grace absorbs flip-boundary
+        // races (the flip trace lands mid-slot while the old owner's
+        // last in-flight slot completes).
+        let attribute = |phy: u64, slot: u64| -> Option<u64> {
+            timelines
+                .iter()
+                .find(|(_, tl)| owner_at(tl, slot) == phy)
+                .or_else(|| {
+                    timelines.iter().find(|(_, tl)| {
+                        owner_at(tl, slot.saturating_sub(1)) == phy || owner_at(tl, slot + 1) == phy
+                    })
+                })
+                .map(|(&ru, _)| ru)
+        };
+
+        // Invariants 2 + 3, per cell: attribute every delivered UL slot,
+        // flag unattributable producers (a PHY no cell owns is serving
+        // traffic: split brain or a leaking ex-primary), then apply the
+        // dropped-TTI budget and one-active-PHY rule cell by cell.
+        let mut per_ru_delivered: BTreeMap<u64, Vec<u64>> =
+            timelines.keys().map(|&ru| (ru, Vec::new())).collect();
+        let mut per_ru_slot: BTreeMap<(u64, u64), Vec<u64>> = BTreeMap::new();
+        for e in trace.of_kind(TraceEventKind::UlSlotProcessed) {
+            match attribute(e.b, e.a) {
+                Some(ru) => {
+                    per_ru_delivered.entry(ru).or_default().push(e.a);
+                    let phys = per_ru_slot.entry((ru, e.a)).or_default();
+                    if !phys.contains(&e.b) {
+                        phys.push(e.b);
+                    }
+                }
+                None => violations.push(Violation {
+                    invariant: "one-active-phy",
+                    detail: format!(
+                        "slot {} processed by PHY {} which no cell's active mapping owns",
+                        e.a, e.b
+                    ),
+                }),
+            }
+        }
+        for (ru, slots) in &mut per_ru_delivered {
+            slots.sort_unstable();
+            slots.dedup();
+            let dropped = dropped_ttis(slots, exp.tdd_stride);
+            if dropped > exp.max_dropped_ttis {
+                violations.push(Violation {
+                    invariant: "dropped-ttis",
+                    detail: format!(
+                        "cell {}: {} TTIs dropped (budget {}), {} delivered",
+                        ru,
+                        dropped,
+                        exp.max_dropped_ttis,
+                        slots.len()
+                    ),
+                });
+            }
+        }
+        for ((ru, slot), phys) in &per_ru_slot {
+            if phys.len() > 1 {
+                violations.push(Violation {
+                    invariant: "one-active-phy",
+                    detail: format!(
+                        "cell {ru} slot {slot} processed by {} PHYs: {:?}",
+                        phys.len(),
+                        phys
+                    ),
+                });
+            }
+        }
+
+        // Invariant 4, per cell: each cell's L2-side Orion is a distinct
+        // node, so key duplicates by (forwarding node, slot).
+        let mut fapi_per_slot: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        for e in trace.of_kind(TraceEventKind::FapiToL2) {
+            *fapi_per_slot.entry((e.node.0 as u64, e.b)).or_insert(0) += 1;
+        }
+        for ((node, slot), count) in &fapi_per_slot {
+            if *count > 1 {
+                violations.push(Violation {
+                    invariant: "no-dup-fapi",
+                    detail: format!(
+                        "node {node} slot {slot}: {count} FAPI uplink responses reached L2"
+                    ),
+                });
+            }
+        }
+
+        // Per-cell eventual repair: every cell that flipped must, after
+        // its own last flip settles, both serve traffic on the new
+        // active PHY and keep a standby warm (null FAPI, a = ru).
+        for (ru, tl) in &timelines {
+            if tl.len() < 2 {
+                continue;
+            }
+            let settle = tl.last().unwrap().0 + 10;
+            let served = per_ru_delivered
+                .get(ru)
+                .is_some_and(|slots| slots.iter().any(|&s| s > settle));
+            let kept_warm = trace
+                .of_kind(TraceEventKind::NullFapiSent)
+                .any(|e| e.a == *ru && e.b > settle);
+            if !served {
+                violations.push(Violation {
+                    invariant: "eventual-repair",
+                    detail: format!(
+                        "cell {ru}: no uplink TTIs delivered after its last map flip (slot {})",
+                        tl.last().unwrap().0
+                    ),
+                });
+            }
+            if !kept_warm {
+                violations.push(Violation {
+                    invariant: "eventual-repair",
+                    detail: format!(
+                        "cell {ru}: no null-FAPI keep-alives after its last map flip (slot {}) \
+                         — the cell did not re-pair",
+                        tl.last().unwrap().0
+                    ),
+                });
+            }
+        }
+    }
+
+    /// The pool ledger: replay `SpareRequested`/`SpareGranted`/
+    /// `SpareReturned` chronologically against the configured initial
+    /// pool size, and require the request -> grant -> `StandbyRepaired`
+    /// chain to complete for every requesting cell.
+    fn check_pool_ledger(trace: &TraceBuffer, pool0: u64, violations: &mut Vec<Violation>) {
+        use std::collections::BTreeMap;
+
+        let mut ledger: Vec<_> = trace
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    TraceEventKind::SpareRequested
+                        | TraceEventKind::SpareGranted
+                        | TraceEventKind::SpareReturned
+                )
+            })
+            .collect();
+        ledger.sort_by_key(|e| e.at);
+
+        let mut running = pool0 as i64;
+        for e in &ledger {
+            match e.kind {
+                TraceEventKind::SpareGranted => {
+                    running -= 1;
+                    if running < 0 {
+                        violations.push(Violation {
+                            invariant: "pool-accounting",
+                            detail: format!(
+                                "cell {} granted a spare from an empty pool at {} us",
+                                e.a,
+                                e.at.0 / 1_000
+                            ),
+                        });
+                        running = 0;
+                    }
+                    let recorded = (e.b & 0xFFFF) as i64;
+                    if recorded != running {
+                        violations.push(Violation {
+                            invariant: "pool-accounting",
+                            detail: format!(
+                                "grant to cell {} recorded pool size {recorded}, ledger says \
+                                 {running}",
+                                e.a
+                            ),
+                        });
+                    }
+                }
+                TraceEventKind::SpareReturned => {
+                    running += 1;
+                    if running > pool0 as i64 {
+                        violations.push(Violation {
+                            invariant: "pool-accounting",
+                            detail: format!(
+                                "PHY {} returned to an already-full pool (size would be \
+                                 {running} > {pool0})",
+                                e.a
+                            ),
+                        });
+                        running = pool0 as i64;
+                    }
+                    if e.b as i64 != running {
+                        violations.push(Violation {
+                            invariant: "pool-accounting",
+                            detail: format!(
+                                "return of PHY {} recorded pool size {}, ledger says {running}",
+                                e.a, e.b
+                            ),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Chain completeness per cell: requested -> granted -> repaired.
+        let mut requested: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut granted: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut repaired: BTreeMap<u64, u64> = BTreeMap::new();
+        for e in trace.iter() {
+            match e.kind {
+                TraceEventKind::SpareRequested => *requested.entry(e.a).or_insert(0) += 1,
+                TraceEventKind::SpareGranted => *granted.entry(e.a).or_insert(0) += 1,
+                TraceEventKind::StandbyRepaired => *repaired.entry(e.a).or_insert(0) += 1,
+                _ => {}
+            }
+        }
+        for (ru, &want) in &requested {
+            let got = granted.get(ru).copied().unwrap_or(0);
+            if got < want {
+                violations.push(Violation {
+                    invariant: "pool-accounting",
+                    detail: format!(
+                        "cell {ru} requested {want} spare(s) but was granted only {got}"
+                    ),
+                });
+            }
+        }
+        for (ru, &want) in &granted {
+            let got = repaired.get(ru).copied().unwrap_or(0);
+            if got < want {
+                violations.push(Violation {
+                    invariant: "pool-accounting",
+                    detail: format!(
+                        "cell {ru} was granted {want} spare(s) but completed only {got} \
+                         re-pairing(s)"
+                    ),
+                });
+            }
         }
     }
 }
@@ -613,6 +926,44 @@ mod tests {
             a,
             b,
         );
+    }
+
+    fn record_node(
+        tb: &mut TraceBuffer,
+        abs: u64,
+        node: usize,
+        kind: TraceEventKind,
+        a: u64,
+        b: u64,
+    ) {
+        tb.record_at_slot(
+            slot_time(abs),
+            NodeId(node),
+            SlotId::from_absolute(abs),
+            kind,
+            a,
+            b,
+        );
+    }
+
+    /// Two healthy cells: cell 0 on PHY 1 (Orion node 11), cell 1 on
+    /// PHY 3 (Orion node 21). Both deliver every UL slot.
+    fn multi_cell_trace(slots: u64) -> TraceBuffer {
+        let mut tb = TraceBuffer::new(1 << 16);
+        for abs in (0..slots).filter(|s| s % 5 == 4) {
+            record_node(&mut tb, abs, 10, TraceEventKind::UlSlotProcessed, abs, 1);
+            record_node(&mut tb, abs, 11, TraceEventKind::FapiToL2, 1, abs);
+            record_node(&mut tb, abs, 20, TraceEventKind::UlSlotProcessed, abs, 3);
+            record_node(&mut tb, abs, 21, TraceEventKind::FapiToL2, 3, abs);
+        }
+        tb
+    }
+
+    fn multi_exp() -> Expectations {
+        Expectations {
+            initial_active: vec![(0, 1), (1, 3)],
+            ..Expectations::default()
+        }
     }
 
     /// A clean trace: UL slot every 5th slot from one PHY, each slot's
@@ -765,6 +1116,166 @@ mod tests {
             FaultKind::PhyHang { slots: 40 },
         );
         assert!(Expectations::for_scenario(&hang, true).max_dropped_ttis >= 3 + 8);
+    }
+
+    #[test]
+    fn multi_cell_healthy_passes_per_cell_mode() {
+        let tb = multi_cell_trace(300);
+        let rep = check(&tb, &multi_exp());
+        assert!(rep.ok(), "unexpected violations: {:?}", rep.violations);
+        // The same trace under the legacy global oracle reads as split
+        // brain — two PHYs per absolute slot — which is exactly why
+        // multi-cell runs must set `initial_active`.
+        let rep = check(&tb, &Expectations::default());
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| v.invariant == "one-active-phy"));
+    }
+
+    #[test]
+    fn unowned_phy_serving_traffic_flagged() {
+        let mut tb = multi_cell_trace(100);
+        // PHY 9 belongs to no cell's active mapping; it delivering a
+        // slot means the switch leaked uplink to a ghost replica.
+        record_node(&mut tb, 44, 30, TraceEventKind::UlSlotProcessed, 44, 9);
+        let rep = check(&tb, &multi_exp());
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| v.invariant == "one-active-phy" && v.detail.contains("PHY 9")));
+    }
+
+    #[test]
+    fn per_cell_dropped_ttis_not_masked_by_other_cells() {
+        let mut tb = TraceBuffer::new(1 << 16);
+        for abs in (0..300u64).filter(|s| s % 5 == 4) {
+            record_node(&mut tb, abs, 10, TraceEventKind::UlSlotProcessed, abs, 1);
+            // Cell 1 blacks out for 60 slots (12 TTIs, budget 3); the
+            // global measure would never see it because cell 0 keeps
+            // delivering those absolute slots.
+            if !(100..160).contains(&abs) {
+                record_node(&mut tb, abs, 20, TraceEventKind::UlSlotProcessed, abs, 3);
+            }
+        }
+        let rep = check(&tb, &multi_exp());
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| v.invariant == "dropped-ttis" && v.detail.contains("cell 1")));
+        assert!(!rep
+            .violations
+            .iter()
+            .any(|v| v.invariant == "dropped-ttis" && v.detail.contains("cell 0")));
+    }
+
+    #[test]
+    fn per_cell_repair_checked_after_flip() {
+        let mut tb = TraceBuffer::new(1 << 16);
+        // Cell 0 fails over from PHY 1 to PHY 5 at slot 100; cell 1 is
+        // untouched on PHY 3 throughout.
+        for abs in (0..250u64).filter(|s| s % 5 == 4) {
+            let cell0_phy = if abs < 100 { 1 } else { 5 };
+            if !(95..105).contains(&abs) {
+                record_node(
+                    &mut tb,
+                    abs,
+                    10,
+                    TraceEventKind::UlSlotProcessed,
+                    abs,
+                    cell0_phy,
+                );
+            }
+            record_node(&mut tb, abs, 20, TraceEventKind::UlSlotProcessed, abs, 3);
+        }
+        record_node(&mut tb, 100, 5, TraceEventKind::MapFlip, 0, (1 << 16) | 5);
+        // No null-FAPI keep-alive for cell 0 after the flip: not
+        // re-paired, and attributed to cell 0 specifically.
+        let rep = check(&tb, &multi_exp());
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| v.invariant == "eventual-repair" && v.detail.contains("cell 0")));
+        // A keep-alive addressed to cell 0 after the settle window
+        // clears it.
+        record_node(&mut tb, 150, 11, TraceEventKind::NullFapiSent, 0, 150);
+        let rep = check(&tb, &multi_exp());
+        assert!(rep.ok(), "unexpected violations: {:?}", rep.violations);
+    }
+
+    #[test]
+    fn pool_ledger_balanced_passes() {
+        let mut tb = healthy_trace(300);
+        record(&mut tb, 100, TraceEventKind::SpareRequested, 0, 1);
+        record(&mut tb, 105, TraceEventKind::SpareGranted, 0, (5 << 16) | 1);
+        record(&mut tb, 110, TraceEventKind::StandbyRepaired, 0, 5);
+        record(&mut tb, 150, TraceEventKind::SpareReturned, 1, 2);
+        let exp = Expectations {
+            expect_pool: Some(2),
+            ..Expectations::default()
+        };
+        let rep = check(&tb, &exp);
+        assert!(rep.ok(), "unexpected violations: {:?}", rep.violations);
+    }
+
+    #[test]
+    fn pool_ledger_count_mismatch_flagged() {
+        let mut tb = healthy_trace(300);
+        // Grant claims the pool still holds 2 spares; with an initial
+        // size of 2 the ledger says 1 remain after the grant.
+        record(&mut tb, 100, TraceEventKind::SpareGranted, 0, (5 << 16) | 2);
+        record(&mut tb, 110, TraceEventKind::StandbyRepaired, 0, 5);
+        let exp = Expectations {
+            expect_pool: Some(2),
+            ..Expectations::default()
+        };
+        let rep = check(&tb, &exp);
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| v.invariant == "pool-accounting" && v.detail.contains("recorded pool size")));
+    }
+
+    #[test]
+    fn over_returned_pool_flagged() {
+        let mut tb = healthy_trace(300);
+        record(&mut tb, 100, TraceEventKind::SpareReturned, 5, 3);
+        let exp = Expectations {
+            expect_pool: Some(2),
+            ..Expectations::default()
+        };
+        let rep = check(&tb, &exp);
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| v.invariant == "pool-accounting" && v.detail.contains("already-full")));
+    }
+
+    #[test]
+    fn incomplete_recovery_chain_flagged() {
+        // A request that is never granted (pool ran dry and stayed dry).
+        let mut tb = healthy_trace(300);
+        record(&mut tb, 100, TraceEventKind::SpareRequested, 2, 7);
+        let exp = Expectations {
+            expect_pool: Some(1),
+            ..Expectations::default()
+        };
+        let rep = check(&tb, &exp);
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| v.invariant == "pool-accounting" && v.detail.contains("granted only 0")));
+
+        // A grant whose re-pairing never completed (Orion never
+        // promoted the spare to secondary).
+        let mut tb = healthy_trace(300);
+        record(&mut tb, 100, TraceEventKind::SpareRequested, 2, 7);
+        record(&mut tb, 105, TraceEventKind::SpareGranted, 2, (9 << 16) | 0);
+        let rep = check(&tb, &exp);
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| v.invariant == "pool-accounting" && v.detail.contains("re-pairing")));
     }
 
     #[test]

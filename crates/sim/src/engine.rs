@@ -421,6 +421,18 @@ impl<'a, M: Message> Ctx<'a, M> {
         self.core.set_alive(node, self.id, true);
     }
 
+    /// Restart a killed node from inside the simulation (an
+    /// orchestrator node re-launching a crashed process): revive it and
+    /// re-run its `on_start` at the current time so it can re-establish
+    /// its timer chains. The node keeps its in-memory state. Only call
+    /// on dead nodes — on a live node `on_start` would fire again and
+    /// double its timer chains.
+    pub fn restart(&mut self, node: NodeId) {
+        self.core.set_alive(node, self.id, true);
+        let now = self.core.now;
+        self.core.push(now, node, EventKind::Start);
+    }
+
     pub fn is_alive(&self, node: NodeId) -> bool {
         self.core.alive[node.0]
     }

@@ -417,6 +417,80 @@ mod tests {
     }
 
     #[test]
+    fn empty_batches_are_fine_everywhere() {
+        // Serial mode.
+        let serial = WorkerPool::serial();
+        let out: Vec<u64> = serial.run(Vec::<fn() -> u64>::new());
+        assert!(out.is_empty());
+        // Threaded mode, nested: jobs that themselves submit zero-job
+        // batches (the n == 0 early-return must not touch the queue or
+        // the condvar while the outer batch is draining).
+        let pool = WorkerPool::new(2);
+        let out = pool.run(
+            (0..8u64)
+                .map(|i| {
+                    let pool = pool.clone();
+                    move || i + pool.run(Vec::<fn() -> u64>::new()).len() as u64
+                })
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(out, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner boom")]
+    fn panic_propagates_from_nested_batch() {
+        // A panic two levels down — inside an inner batch submitted by
+        // an outer job running on a worker thread — must resurface on
+        // the original caller with its payload intact, not wedge the
+        // pool or vanish into a worker.
+        let pool = WorkerPool::new(2);
+        let _ = pool.run(
+            (0..4u64)
+                .map(|i| {
+                    let pool = pool.clone();
+                    move || {
+                        let inner = pool.run(
+                            (0..4u64)
+                                .map(|j| {
+                                    move || {
+                                        if i == 1 && j == 2 {
+                                            panic!("inner boom");
+                                        }
+                                        i * 10 + j
+                                    }
+                                })
+                                .collect::<Vec<_>>(),
+                        );
+                        inner.iter().sum::<u64>()
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn single_job_batch_runs_inline_on_caller() {
+        // The n == 1 fast path skips the queue entirely: the job runs
+        // on the submitting thread, with a result identical to serial.
+        let pool = WorkerPool::new(4);
+        let caller = std::thread::current().id();
+        let out = pool.run(vec![move || std::thread::current().id() == caller]);
+        assert_eq!(out, vec![true]);
+
+        let serial = WorkerPool::serial();
+        let job = |x: u64| move || x.wrapping_mul(0x9E37_79B9).rotate_left(13);
+        assert_eq!(pool.run(vec![job(5)]), serial.run(vec![job(5)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "solo boom")]
+    fn single_job_panic_propagates_from_inline_path() {
+        let pool = WorkerPool::new(2);
+        let _ = pool.run(vec![|| -> u64 { panic!("solo boom") }]);
+    }
+
+    #[test]
     fn scratch_pool_reuses_objects() {
         let pool: ScratchPool<Vec<u8>> = ScratchPool::new();
         let mut a = pool.take();

@@ -92,6 +92,20 @@ pub enum TraceEventKind {
     /// uses this to assert that at most one PHY's response per slot ever
     /// reaches L2 (§6.3's exactly-once delivery across failover).
     FapiToL2 = 18,
+    /// An L2-side Orion exhausted its local standbys after a failover
+    /// and asked the recovery orchestrator for a spare from the shared
+    /// pool. `a` = RU id, `b` = failed (drained) PHY id.
+    SpareRequested = 19,
+    /// The recovery orchestrator granted a pooled spare to a cell.
+    /// `a` = RU id, `b` = `(phy_id << 16) | pool_size_after_grant`.
+    SpareGranted = 20,
+    /// A drained ex-primary finished its scrub cycle and rejoined the
+    /// shared spare pool. `a` = PHY id, `b` = pool size after return.
+    SpareReturned = 21,
+    /// An L2-side Orion installed a granted spare as the cell's new
+    /// standby at a slot boundary and replayed the duplicated init-FAPI
+    /// to it (§6.3) — the cell is re-paired. `a` = RU id, `b` = PHY id.
+    StandbyRepaired = 22,
 }
 
 impl TraceEventKind {
@@ -116,6 +130,10 @@ impl TraceEventKind {
             TraceEventKind::SlotDeadlineMiss => "slot_deadline_miss",
             TraceEventKind::UlSlotProcessed => "ul_slot_processed",
             TraceEventKind::FapiToL2 => "fapi_to_l2",
+            TraceEventKind::SpareRequested => "spare_requested",
+            TraceEventKind::SpareGranted => "spare_granted",
+            TraceEventKind::SpareReturned => "spare_returned",
+            TraceEventKind::StandbyRepaired => "standby_repaired",
         }
     }
 
@@ -135,6 +153,10 @@ impl TraceEventKind {
                 "switch"
             }
             TraceEventKind::NodeKilled | TraceEventKind::NodeRevived => "lifecycle",
+            TraceEventKind::SpareRequested
+            | TraceEventKind::SpareGranted
+            | TraceEventKind::SpareReturned
+            | TraceEventKind::StandbyRepaired => "recovery",
             TraceEventKind::FapiToL2 => "orion",
             TraceEventKind::HarqReset
             | TraceEventKind::SlotDeadlineMiss

