@@ -66,4 +66,9 @@ KERNEL_QUICK=1 \
     KERNEL_BASELINE=crates/bench/baselines/kernel_bench.baseline \
     cargo run --release -p slingshot-bench --bin kernel_bench
 
+echo "==> availability smoke (long-horizon SLO floors)"
+AVAIL_QUICK=1 \
+    AVAIL_BASELINE=crates/bench/baselines/availability.baseline \
+    cargo run --release -p slingshot-bench --bin availability_report
+
 echo "==> OK"

@@ -19,6 +19,7 @@
 use slingshot::chaos::{chaos_deployment, chaos_pool_deployment, expectations_for, ChaosRunner};
 use slingshot_bench::{banner, BenchReport};
 use slingshot_sim::chaos::{oracle, ChaosDistribution, FaultKind, FaultTarget, Scenario};
+use slingshot_sim::slo::{self, SloConfig};
 
 /// One scenario per major fault class, exercised under every seed's
 /// deployment (traffic timing, channel noise and link jitter all vary
@@ -68,6 +69,12 @@ struct RunResult {
     ok: bool,
     dropped_ttis: u64,
     max_detection_us: f64,
+    /// Fleet nines from the SLO analyzer over this run's trace.
+    nines: f64,
+    /// Worst per-cell dropped-TTI p99 (0 when nothing was dropped).
+    worst_cell_dropped_tti_p99: u64,
+    /// Fleet MTTR in ms (0.0 when the run had no outage).
+    mttr_ms: f64,
 }
 
 /// Run one (deployment seed, scenario) pair and report violations.
@@ -100,13 +107,23 @@ fn run_with_deployment(
     runner.run(&mut d, scenario.horizon_slots);
     let report = oracle::check(d.engine.event_trace(), &exp);
 
+    // Same trace, service-level view: nines / MTTR / dropped-TTI tails
+    // for the per-seed availability summary in the JSON report.
+    let slo_cfg = SloConfig {
+        horizon_slots: scenario.horizon_slots,
+        initial_active: exp.initial_active.clone(),
+        ..SloConfig::default()
+    };
+    let slo = slo::analyze(d.engine.event_trace(), &slo_cfg);
+
     let status = if report.ok() { "ok" } else { "VIOLATED" };
     println!(
-        "seed={chaos_seed} scenario={:<10} {status}  dropped_ttis={} detections={} max_det={:.1}us",
+        "seed={chaos_seed} scenario={:<10} {status}  dropped_ttis={} detections={} max_det={:.1}us nines={:.2}",
         scenario.name,
         report.dropped_ttis,
         report.detections,
         report.max_detection_latency.0 as f64 / 1e3,
+        slo.fleet.nines,
     );
     if !report.ok() {
         eprintln!(
@@ -127,6 +144,9 @@ fn run_with_deployment(
         ok: report.ok(),
         dropped_ttis: report.dropped_ttis,
         max_detection_us: report.max_detection_latency.0 as f64 / 1e3,
+        nines: slo.fleet.nines,
+        worst_cell_dropped_tti_p99: slo.fleet.worst_cell_dropped_tti_p99,
+        mttr_ms: slo.fleet.mttr.map_or(0.0, |m| m.0 as f64 / 1e6),
     }
 }
 
@@ -190,28 +210,61 @@ fn main() {
     let mut replay_mismatches = 0u64;
     let mut worst_detection_us = 0f64;
     let mut total_dropped = 0u64;
+    // Per-seed availability summary: the worst run of each seed, as
+    // (seed, value) series in the JSON report.
+    let mut seed_min_nines: Vec<(f64, f64)> = Vec::new();
+    let mut seed_worst_p99: Vec<(f64, f64)> = Vec::new();
+    let mut seed_max_mttr_ms: Vec<(f64, f64)> = Vec::new();
 
     for seed in 0..seeds {
+        let mut min_nines = f64::INFINITY;
+        let mut worst_p99 = 0u64;
+        let mut max_mttr_ms = 0f64;
+        let mut tally = |r: &RunResult,
+                         runs: &mut u64,
+                         failures: &mut u64,
+                         total_dropped: &mut u64,
+                         worst_detection_us: &mut f64| {
+            *runs += 1;
+            *failures += u64::from(!r.ok);
+            *total_dropped += r.dropped_ttis;
+            *worst_detection_us = worst_detection_us.max(r.max_detection_us);
+            min_nines = min_nines.min(r.nines);
+            worst_p99 = worst_p99.max(r.worst_cell_dropped_tti_p99);
+            max_mttr_ms = max_mttr_ms.max(r.mttr_ms);
+        };
         for (idx, scenario) in fixed.iter().enumerate() {
             let r = run_one(1000 * seed + idx as u64, scenario, seed);
-            runs += 1;
-            failures += u64::from(!r.ok);
-            total_dropped += r.dropped_ttis;
-            worst_detection_us = worst_detection_us.max(r.max_detection_us);
+            tally(
+                &r,
+                &mut runs,
+                &mut failures,
+                &mut total_dropped,
+                &mut worst_detection_us,
+            );
         }
         for (idx, scenario) in pool.iter().enumerate() {
             let r = run_one_pool(2000 * seed + idx as u64, scenario, seed);
-            runs += 1;
-            failures += u64::from(!r.ok);
-            total_dropped += r.dropped_ttis;
-            worst_detection_us = worst_detection_us.max(r.max_detection_us);
+            tally(
+                &r,
+                &mut runs,
+                &mut failures,
+                &mut total_dropped,
+                &mut worst_detection_us,
+            );
         }
         let random = dist.sample(seed);
         let r = run_one(seed, &random, seed);
-        runs += 1;
-        failures += u64::from(!r.ok);
-        total_dropped += r.dropped_ttis;
-        worst_detection_us = worst_detection_us.max(r.max_detection_us);
+        tally(
+            &r,
+            &mut runs,
+            &mut failures,
+            &mut total_dropped,
+            &mut worst_detection_us,
+        );
+        seed_min_nines.push((seed as f64, min_nines));
+        seed_worst_p99.push((seed as f64, worst_p99 as f64));
+        seed_max_mttr_ms.push((seed as f64, max_mttr_ms));
     }
 
     // Determinism spot check: the first two seeds' randomized runs must
@@ -243,6 +296,16 @@ fn main() {
     report.scalar("replay_mismatches", replay_mismatches as f64);
     report.scalar("worst_detection_us", worst_detection_us);
     report.scalar("total_dropped_ttis", total_dropped as f64);
+    report.scalar(
+        "min_seed_nines",
+        seed_min_nines
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::INFINITY, f64::min),
+    );
+    report.series("per_seed_min_nines", seed_min_nines);
+    report.series("per_seed_worst_cell_dropped_tti_p99", seed_worst_p99);
+    report.series("per_seed_max_mttr_ms", seed_max_mttr_ms);
     report.write();
 
     if failures > 0 || replay_mismatches > 0 {

@@ -7,7 +7,7 @@
 use slingshot::DeploymentBuilder;
 use slingshot_ran::{CellConfig, Fidelity, UeConfig};
 use slingshot_sim::chaos::{FaultKind, FaultTarget, Scenario};
-use slingshot_sim::Nanos;
+use slingshot_sim::{Nanos, SpanProfiler, SLOT_DURATION};
 use slingshot_transport::{UdpCbrSource, UdpSink};
 
 fn small_cell() -> CellConfig {
@@ -70,6 +70,57 @@ fn multi_cell_parallel_matches_serial() {
         assert_eq!(hash_1, hash_4, "trace hash diverged at seed {seed}");
         assert_eq!(bytes_1, bytes_4, "trace bytes diverged at seed {seed}");
         assert_eq!(metrics_1, metrics_4, "metrics diverged at seed {seed}");
+    }
+}
+
+/// The wall-clock profiler is a side channel: enabling it (with a tight
+/// deadline budget, so miss-counting paths run too) must not move a
+/// byte of the deterministic trace, and the registry stays clean until
+/// an explicit `publish`.
+#[test]
+fn profiler_never_perturbs_trace_or_metrics() {
+    let run_profiled = |seed: u64, workers: usize| {
+        let mut d = DeploymentBuilder::new()
+            .seed(seed)
+            .cell(small_cell())
+            .workers(workers)
+            .ue(UeConfig::new(100, 0, "ue-c0", 22.0))
+            .build();
+        d.add_flow(
+            0,
+            100,
+            Box::new(UdpCbrSource::new(3_000_000, 900, Nanos::ZERO)),
+            Box::new(UdpSink::new(Nanos::ZERO, Nanos::from_millis(10))),
+        );
+        d.engine
+            .set_profiler(SpanProfiler::with_deadline_ns(SLOT_DURATION.0));
+        d.engine.run_until(Nanos::from_millis(150));
+        d.publish_metrics();
+        let trace = d.engine.event_trace();
+        let profile = d.engine.profiler().report().expect("profiler saw slots");
+        assert!(profile.slots > 0);
+        (trace.to_bytes(), trace.hash(), d.engine.metrics().to_text())
+    };
+    for seed in [5u64, 11] {
+        let (bytes_off, hash_off, metrics_off) = run(seed, 1, 1);
+        let (bytes_on, hash_on, metrics_on) = run_profiled(seed, 1);
+        assert_eq!(
+            hash_off, hash_on,
+            "profiler changed trace hash (seed {seed})"
+        );
+        assert_eq!(
+            bytes_off, bytes_on,
+            "profiler changed trace bytes (seed {seed})"
+        );
+        assert_eq!(
+            metrics_off, metrics_on,
+            "profiler leaked into metrics without publish (seed {seed})"
+        );
+        let (bytes_w4, ..) = run_profiled(seed, 4);
+        assert_eq!(
+            bytes_off, bytes_w4,
+            "profiled 4-worker run diverged (seed {seed})"
+        );
     }
 }
 

@@ -245,6 +245,10 @@ pub struct TbDecodeOutcome {
     pub ldpc_iterations: usize,
     /// Whether every code block satisfied its LDPC parity checks.
     pub all_parity_ok: bool,
+    /// Wall-clock nanoseconds spent inside the LDPC min-sum decoder
+    /// across code blocks (host-dependent; for profiling only — never
+    /// feed it back into simulation logic).
+    pub ldpc_ns: u64,
 }
 
 /// Decode a transport block from received symbols, soft-combining into
@@ -357,11 +361,13 @@ pub fn decode_tb_with(
                     for (pos, &cw_idx) in order.iter().enumerate() {
                         s.cw_llrs[cw_idx as usize] = b.seg[pos];
                     }
+                    let ldpc_start = std::time::Instant::now();
                     let (parity_ok, iters) =
                         code.decode_into(&s.cw_llrs, fec_iterations, &mut s.ldpc);
+                    let ldpc_ns = ldpc_start.elapsed().as_nanos() as u64;
                     let info = BitBuf::from_bits(&s.ldpc.hard[..b.k]);
                     spool.put(s);
-                    (b.seg, info, iters, parity_ok)
+                    (b.seg, info, iters, parity_ok, ldpc_ns)
                 }
             })
             .collect::<Vec<_>>(),
@@ -370,13 +376,15 @@ pub fn decode_tb_with(
     let mut info_bits = BitBuf::with_capacity(total_bits);
     let mut iterations = 0;
     let mut all_parity_ok = true;
+    let mut ldpc_ns = 0u64;
     let mut acc_off = 0;
-    for (seg, info, iters, parity_ok) in results {
+    for (seg, info, iters, parity_ok, block_ldpc_ns) in results {
         acc[acc_off..acc_off + seg.len()].copy_from_slice(&seg);
         acc_off += seg.len();
         info_bits.append(&info);
         iterations += iters;
         all_parity_ok &= parity_ok;
+        ldpc_ns += block_ldpc_ns;
     }
     let bytes = info_bits.to_bytes_msb();
     let payload = check_crc24a(&bytes).map(|p| p.to_vec());
@@ -384,6 +392,7 @@ pub fn decode_tb_with(
         payload,
         ldpc_iterations: iterations,
         all_parity_ok,
+        ldpc_ns,
     }
 }
 

@@ -277,6 +277,9 @@ pub struct RxOutcome {
     pub snr_db: f64,
     /// Decoder iterations spent (compute-cost proxy; 0 in Abstract).
     pub iterations: usize,
+    /// Wall-clock nanoseconds inside the LDPC decoder (profiling only;
+    /// 0 in Abstract and on the lost-IQ path).
+    pub ldpc_ns: u64,
 }
 
 impl RxProcessPool {
@@ -436,6 +439,7 @@ pub fn receive_into(
                     payload: None,
                     snr_db,
                     iterations: 0,
+                    ldpc_ns: 0,
                 };
             }
             let noise_var = (1.0 / db_to_linear(snr_db)).max(1e-6) as f32;
@@ -468,6 +472,7 @@ pub fn receive_into(
                 payload,
                 snr_db,
                 iterations: out.ldpc_iterations,
+                ldpc_ns: out.ldpc_ns,
             }
         }
         Fidelity::Abstract => {
@@ -498,6 +503,7 @@ pub fn receive_into(
                 payload,
                 snr_db,
                 iterations: 0,
+                ldpc_ns: 0,
             }
         }
     }

@@ -315,6 +315,10 @@ impl PhyNode {
         // sends stay in PDU order below, so worker count never changes
         // the trace.
         let pool = ctx.worker_pool();
+        let profiler = ctx.profiler();
+        let abs = slot.epoch_index();
+        let slot_t0 = profiler.is_enabled().then(std::time::Instant::now);
+        let prepare_span = profiler.span("slot_prepare", abs);
         let fidelity = self.cell.fidelity;
         let mut picked = Vec::new();
         let mut jobs: Vec<Box<dyn FnOnce() -> TbSignal + Send>> = Vec::new();
@@ -335,11 +339,17 @@ impl PhyNode {
             let payload = payload.clone();
             let job_pool = pool.clone();
             let job_scratch = self.scratch.clone();
+            let job_prof = profiler.clone();
             jobs.push(Box::new(move || {
+                let _encode_span = job_prof.span("dl_encode", abs);
                 encode_signal_with(&job_pool, &job_scratch, fidelity, &payload, &lp)
             }));
         }
+        drop(prepare_span);
+        let jobs_span = profiler.span("slot_jobs", abs);
         let signals = pool.run(jobs);
+        drop(jobs_span);
+        let merge_span = profiler.span("slot_merge", abs);
         let mut dcis = Vec::new();
         for ((i, e_bits), signal) in picked.into_iter().zip(signals) {
             let pdu = &pdsch[i];
@@ -367,6 +377,10 @@ impl PhyNode {
                 entries: dcis,
             }),
         );
+        drop(merge_span);
+        if let Some(t0) = slot_t0 {
+            profiler.complete_slot(abs, t0.elapsed().as_nanos() as u64);
+        }
     }
 
     /// Serialize a TB signal into U-plane / shadow fronthaul messages.
@@ -425,6 +439,7 @@ impl PhyNode {
     /// we run at the abs+2 boundary — the 3-slot pipeline of Fig. 7).
     fn process_ul(&mut self, ctx: &mut Ctx<'_, Msg>, ru_id: u8, abs: u64) {
         let pool = ctx.worker_pool();
+        let profiler = ctx.profiler();
         let Some(ru) = self.rus.get_mut(&ru_id) else {
             return;
         };
@@ -446,6 +461,10 @@ impl PhyNode {
             abs,
             self.cfg.phy_id as u64,
         );
+        // Wall-clock TTI accounting (side channel; inert when the
+        // profiler is disabled — no clock reads on default runs).
+        let slot_t0 = profiler.is_enabled().then(std::time::Instant::now);
+        let prepare_span = profiler.span("slot_prepare", abs);
         let cell_id = ru.cell_id;
         let fidelity = self.cell.fidelity;
         let data_symbols = self.cell.data_symbols;
@@ -529,16 +548,20 @@ impl PhyNode {
                 rng: self.rng.split(prepped.len() as u64),
             });
         }
+        drop(prepare_span);
         // Parallel: pure per-PDU decode (itself fanning out per code
         // block through the same pool — nested submission is safe
         // because waiting workers help drain the queue).
+        let jobs_span = profiler.span("slot_jobs", abs);
         let results = pool.run(
             prepped
                 .into_iter()
                 .map(|mut j| {
                     let job_pool = pool.clone();
                     let job_scratch = self.scratch.clone();
+                    let job_prof = profiler.clone();
                     move || {
+                        let decode_span = job_prof.span("ul_decode", abs);
                         let outcome = receive_into(
                             &job_pool,
                             &job_scratch,
@@ -550,13 +573,19 @@ impl PhyNode {
                             j.ndi,
                             &mut j.rng,
                         );
+                        drop(decode_span);
+                        if outcome.ldpc_ns > 0 {
+                            job_prof.record_span_ns("ldpc_decode", abs, outcome.ldpc_ns);
+                        }
                         (j.state, outcome)
                     }
                 })
                 .collect::<Vec<_>>(),
         );
+        drop(jobs_span);
         // Serial merge, in PDU order: soft-state return, CPU accounting,
         // SNR filters and FAPI indications.
+        let merge_span = profiler.span("slot_merge", abs);
         let ru = self.rus.get_mut(&ru_id).expect("ru exists");
         let mut crcs = Vec::new();
         let mut rx_tbs = Vec::new();
@@ -615,6 +644,10 @@ impl PhyNode {
                     tbs: rx_tbs,
                 }),
             );
+        }
+        drop(merge_span);
+        if let Some(t0) = slot_t0 {
+            profiler.complete_slot(abs, t0.elapsed().as_nanos() as u64);
         }
     }
 

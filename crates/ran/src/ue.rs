@@ -238,7 +238,9 @@ impl UeNode {
             );
             let mut signal =
                 encode_signal_with(&pool, &self.scratch, self.cell.fidelity, &payload, &lp);
+            let channel_span = ctx.profiler().span("channel", abs);
             apply_channel_with(&pool, &mut signal, self.current_snr_db, &mut self.channel);
+            drop(channel_span);
             if self.cell.fidelity == Fidelity::Abstract {
                 signal.snr_db = self.current_snr_db;
             }
@@ -309,7 +311,9 @@ impl UeNode {
             );
             // Receiver-side channel: noise applied at the UE antenna.
             let mut signal = alloc.signal.clone();
+            let channel_span = ctx.profiler().span("channel", burst.slot.epoch_index());
             apply_channel_with(&pool, &mut signal, self.current_snr_db, &mut self.channel);
+            drop(channel_span);
             if self.cell.fidelity == Fidelity::Abstract {
                 signal.snr_db = self.current_snr_db;
             }

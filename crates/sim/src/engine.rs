@@ -22,6 +22,7 @@ use std::collections::{BinaryHeap, HashMap};
 
 use crate::metrics::MetricsRegistry;
 use crate::pool::WorkerPool;
+use crate::profiler::SpanProfiler;
 use crate::rng::SimRng;
 use crate::time::{Nanos, SlotId};
 use crate::trace::{TraceBuffer, TraceEventKind};
@@ -235,6 +236,7 @@ struct Core<M> {
     trace: TraceBuffer,
     metrics: MetricsRegistry,
     pool: WorkerPool,
+    profiler: SpanProfiler,
 }
 
 impl<M> Core<M> {
@@ -474,6 +476,15 @@ impl<'a, M: Message> Ctx<'a, M> {
     pub fn worker_pool(&self) -> WorkerPool {
         self.core.pool.clone()
     }
+
+    /// The engine's wall-clock span profiler (a cheap shared handle).
+    /// Disabled by default, in which case every span call is inert —
+    /// no clock reads, no allocation — so hot paths may call it
+    /// unconditionally. Timing lives in a side-channel buffer, never in
+    /// the deterministic trace.
+    pub fn profiler(&self) -> SpanProfiler {
+        self.core.profiler.clone()
+    }
 }
 
 /// The deterministic discrete-event simulation engine.
@@ -499,6 +510,7 @@ impl<M: Message> Engine<M> {
                 trace: TraceBuffer::default(),
                 metrics: MetricsRegistry::new(),
                 pool: WorkerPool::serial(),
+                profiler: SpanProfiler::disabled(),
             },
             nodes: Vec::new(),
             started: false,
@@ -516,6 +528,20 @@ impl<M: Message> Engine<M> {
     /// The engine's compute worker pool (a cheap shared handle).
     pub fn worker_pool(&self) -> WorkerPool {
         self.core.pool.clone()
+    }
+
+    /// Install a wall-clock span profiler nodes reach through
+    /// [`Ctx::profiler`]. Defaults to a disabled (inert) profiler;
+    /// enabling one only adds side-channel timing — the deterministic
+    /// trace, its hash, and the metrics registry are untouched unless
+    /// [`SpanProfiler::publish`] is called explicitly after the run.
+    pub fn set_profiler(&mut self, profiler: SpanProfiler) {
+        self.core.profiler = profiler;
+    }
+
+    /// The engine's span profiler handle (clones share state).
+    pub fn profiler(&self) -> SpanProfiler {
+        self.core.profiler.clone()
     }
 
     /// Register a node; the returned id is stable for the engine's life.

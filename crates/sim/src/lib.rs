@@ -21,7 +21,15 @@
 //!   (detection latency, delivered-TTI gaps). Byte-identical across
 //!   same-seed runs.
 //! - [`metrics`]: bounded-memory counters/gauges/log-bucketed histograms
-//!   scoped per component, with deterministic text and JSON exporters.
+//!   scoped per component, with deterministic text, JSON and
+//!   Prometheus-exposition exporters.
+//! - [`profiler`]: an opt-in wall-clock span profiler for the slot
+//!   pipeline (deadline budgets, per-stage histograms, Chrome-trace
+//!   spans). Strictly a side channel: it never writes to the hashed
+//!   deterministic trace, so enabling it cannot perturb determinism.
+//! - [`slo`]: long-horizon availability analysis — per-cell outage
+//!   intervals, nines, MTBF/MTTR and time-to-repair distributions
+//!   derived purely from the deterministic trace stream.
 //!
 //! Design note: event dispatch is synchronous and single-threaded.
 //! Real vRAN software busy-polls on dedicated cores; in a simulation,
@@ -37,7 +45,9 @@ pub mod chaos;
 pub mod engine;
 pub mod metrics;
 pub mod pool;
+pub mod profiler;
 pub mod rng;
+pub mod slo;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -46,7 +56,9 @@ pub use chaos::{ChaosDistribution, Fault, FaultKind, FaultTarget, Scenario};
 pub use engine::{Ctx, Engine, LinkParams, LinkStats, Message, Node, NodeId};
 pub use metrics::{HistogramSummary, Instrument, InstrumentSink, LogHistogram, MetricsRegistry};
 pub use pool::{ScratchPool, WorkerPool};
+pub use profiler::{ProfilerReport, SpanGuard, SpanProfiler, StageProfile};
 pub use rng::SimRng;
+pub use slo::{CellSlo, FleetSlo, Outage, SloConfig, SloReport};
 pub use stats::{OnlineStats, RateBins, Sampler};
 pub use time::{
     Nanos, SlotClock, SlotId, SlotKind, TddPattern, SFN_MODULO, SLOTS_PER_FRAME,

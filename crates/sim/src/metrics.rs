@@ -415,6 +415,79 @@ impl MetricsRegistry {
         out.push_str("}}");
         out
     }
+
+    /// Prometheus text exposition (format 0.0.4), deterministic order.
+    ///
+    /// Scopes become a `scope` label so each metric name is one family
+    /// with exactly one `# TYPE` line. Histograms export as summaries
+    /// (`quantile` label plus `_sum`/`_count`) rather than cumulative
+    /// buckets: the log-bucket boundaries are an implementation detail
+    /// and the registry already keeps exact count/mean/percentiles.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(s: &str) -> String {
+            let mut name: String = s
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            if name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                name.insert(0, '_');
+            }
+            name
+        }
+        let mut out = String::new();
+        let mut counters: BTreeMap<String, Vec<(&str, u64)>> = BTreeMap::new();
+        for ((scope, name), v) in &self.counters {
+            counters
+                .entry(sanitize(name))
+                .or_default()
+                .push((scope, *v));
+        }
+        for (name, samples) in &counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for (scope, v) in samples {
+                let _ = writeln!(out, "{name}{{scope=\"{}\"}} {v}", escape(scope));
+            }
+        }
+        let mut gauges: BTreeMap<String, Vec<(&str, i64)>> = BTreeMap::new();
+        for ((scope, name), v) in &self.gauges {
+            gauges.entry(sanitize(name)).or_default().push((scope, *v));
+        }
+        for (name, samples) in &gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for (scope, v) in samples {
+                let _ = writeln!(out, "{name}{{scope=\"{}\"}} {v}", escape(scope));
+            }
+        }
+        let mut hists: BTreeMap<String, Vec<(&str, &LogHistogram)>> = BTreeMap::new();
+        for ((scope, name), h) in &self.histograms {
+            if h.is_empty() {
+                continue;
+            }
+            hists.entry(sanitize(name)).or_default().push((scope, h));
+        }
+        for (name, samples) in &hists {
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for (scope, h) in samples {
+                let scope = escape(scope);
+                for (q, v) in [
+                    ("0.5", h.p50()),
+                    ("0.99", h.p99()),
+                    ("0.999", h.p999()),
+                    ("0.99999", h.p99999()),
+                ] {
+                    let _ = writeln!(
+                        out,
+                        "{name}{{scope=\"{scope}\",quantile=\"{q}\"}} {}",
+                        v.unwrap_or(0)
+                    );
+                }
+                let sum = h.mean().unwrap_or(0.0) * h.count() as f64;
+                let _ = writeln!(out, "{name}_sum{{scope=\"{scope}\"}} {sum:.0}");
+                let _ = writeln!(out, "{name}_count{{scope=\"{scope}\"}} {}", h.count());
+            }
+        }
+        out
+    }
 }
 
 /// Where an [`Instrument`] publishes its metrics. The registry is the
@@ -590,5 +663,124 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.counter("s", "c"), 3);
         assert_eq!(a.histogram("s", "h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_yields_none_everywhere() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(100.0), None);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let mut h = LogHistogram::new();
+        h.record(777);
+        for p in [0.0, 0.001, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), Some(777), "p={p}");
+        }
+        assert_eq!(h.min(), Some(777));
+        assert_eq!(h.max(), Some(777));
+        assert_eq!(h.mean(), Some(777.0));
+    }
+
+    #[test]
+    fn percentile_extremes_clamp_to_observed_range() {
+        let mut h = LogHistogram::new();
+        for v in [3, 10, 1_000, 50_000] {
+            h.record(v);
+        }
+        // p=0.0 clamps the rank to the first sample's bucket; p=100.0
+        // reports exactly the observed max, never the bucket's upper
+        // bound beyond it.
+        assert_eq!(h.percentile(0.0), Some(3));
+        assert_eq!(h.percentile(100.0), Some(50_000));
+    }
+
+    #[test]
+    fn saturation_bucket_holds_u64_max() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1);
+        // The top bucket's upper bound must not overflow, and the
+        // percentile clamp keeps reports at the observed max.
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.percentile(100.0), Some(u64::MAX));
+        assert_eq!(h.p50(), Some(u64::MAX));
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+        assert!(bucket_upper(bucket_index(u64::MAX)) >= u64::MAX - 1);
+    }
+
+    #[test]
+    fn merge_of_disjoint_ranges_combines_extremes() {
+        let mut low = LogHistogram::new();
+        for v in 1..=100u64 {
+            low.record(v);
+        }
+        let mut high = LogHistogram::new();
+        for v in 1_000_000..=1_000_100u64 {
+            high.record(v);
+        }
+        low.merge(&high);
+        assert_eq!(low.count(), 201);
+        assert_eq!(low.min(), Some(1));
+        assert_eq!(low.max(), Some(1_000_100));
+        // p25 still lands in the low range, p99 in the high range.
+        assert!(low.percentile(25.0).unwrap() <= 100);
+        assert!(low.percentile(99.0).unwrap() >= 1_000_000);
+        // Merging an empty histogram is a no-op.
+        let before = low.count();
+        low.merge(&LogHistogram::new());
+        assert_eq!(low.count(), before);
+        assert_eq!(low.min(), Some(1));
+    }
+
+    #[test]
+    fn record_n_sum_does_not_overflow_u64() {
+        let mut h = LogHistogram::new();
+        // v * n = 2^40 * 2^26 = 2^66 > u64::MAX: the u128 accumulator
+        // must keep the mean exact where a u64 sum would have wrapped.
+        let v = 1u64 << 40;
+        let n = 1u64 << 26;
+        h.record_n(v, n);
+        assert_eq!(h.count(), n);
+        assert_eq!(h.mean(), Some(v as f64));
+        assert_eq!(h.min(), Some(v));
+        assert_eq!(h.max(), Some(v));
+        // n = 0 records nothing.
+        h.record_n(123, 0);
+        assert_eq!(h.count(), n);
+        assert_eq!(h.min(), Some(v));
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut m = MetricsRegistry::new();
+        m.inc("phy1", "ul_slots", 7);
+        m.inc("phy2", "ul_slots", 9);
+        m.set_gauge("orion", "active-phy", -1);
+        m.observe("phy1", "fwd_ns", 120);
+        m.observe("phy1", "fwd_ns", 180);
+        let p = m.to_prometheus();
+        // One TYPE line per family even with two scopes.
+        assert_eq!(p.matches("# TYPE ul_slots counter").count(), 1);
+        assert!(p.contains("ul_slots{scope=\"phy1\"} 7"));
+        assert!(p.contains("ul_slots{scope=\"phy2\"} 9"));
+        // Gauge name sanitized ('-' is not a legal metric char).
+        assert!(p.contains("# TYPE active_phy gauge"));
+        assert!(p.contains("active_phy{scope=\"orion\"} -1"));
+        // Histogram exports as a summary with quantiles + sum/count.
+        assert!(p.contains("# TYPE fwd_ns summary"));
+        assert!(p.contains("fwd_ns{scope=\"phy1\",quantile=\"0.5\"}"));
+        assert!(p.contains("fwd_ns_count{scope=\"phy1\"} 2"));
+        assert!(p.contains("fwd_ns_sum{scope=\"phy1\"} 300"));
+        // Deterministic: same registry, same exposition.
+        assert_eq!(p, m.to_prometheus());
     }
 }

@@ -383,4 +383,30 @@ mod tests {
         assert_eq!(s.p999(), None);
         assert_eq!(s.p99999(), None);
     }
+
+    #[test]
+    fn percentile_sorts_unsorted_and_duplicate_input() {
+        let mut s = Sampler::new();
+        for v in [30, 10, 20, 10, 30] {
+            s.record(v);
+        }
+        // n=5, rank = ceil(p/20) over sorted [10,10,20,30,30].
+        assert_eq!(s.percentile(0.0), Some(10));
+        assert_eq!(s.percentile(40.0), Some(10));
+        assert_eq!(s.percentile(60.0), Some(20));
+        assert_eq!(s.percentile(100.0), Some(30));
+        assert_eq!(s.min(), Some(10));
+        assert_eq!(s.max(), Some(30));
+    }
+
+    #[test]
+    fn empty_extremes_and_record_nanos() {
+        let mut s = Sampler::new();
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert!(s.is_empty());
+        s.record_nanos(Nanos(450_000));
+        assert!(!s.is_empty());
+        assert_eq!(s.percentile(50.0), Some(450_000));
+    }
 }

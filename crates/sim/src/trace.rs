@@ -213,6 +213,10 @@ pub struct TraceBuffer {
     total: u64,
     /// Clock used to stamp events with their slot identity.
     clock: SlotClock,
+    /// Bitmask over [`TraceEventKind`] discriminants; a record whose
+    /// kind bit is clear is silently ignored. `!0` (the default)
+    /// records everything.
+    kind_mask: u64,
 }
 
 impl Default for TraceBuffer {
@@ -229,7 +233,24 @@ impl TraceBuffer {
             dropped_oldest: 0,
             total: 0,
             clock: SlotClock::new(Nanos::ZERO),
+            kind_mask: !0,
         }
+    }
+
+    /// Restrict recording to the given kinds; anything else is dropped
+    /// at the record call, before it can occupy ring space. Off by
+    /// default (everything is recorded). Long-horizon harnesses that
+    /// only consume the failover/delivery subset use this so a
+    /// million-slot run fits in a modest ring instead of needing
+    /// gigabytes — note that per-kind helpers over other kinds will see
+    /// nothing, and the byte stream/hash reflect only the kept kinds.
+    pub fn set_kind_filter(&mut self, kinds: &[TraceEventKind]) {
+        self.kind_mask = kinds.iter().fold(0u64, |m, k| m | 1u64 << (*k as u16));
+    }
+
+    /// Remove any kind filter; subsequent records keep everything.
+    pub fn clear_kind_filter(&mut self) {
+        self.kind_mask = !0;
     }
 
     /// Change the ring capacity, evicting oldest events if shrinking.
@@ -264,6 +285,9 @@ impl TraceBuffer {
         a: u64,
         b: u64,
     ) {
+        if self.kind_mask & (1u64 << (kind as u16)) == 0 {
+            return;
+        }
         if self.events.len() == self.capacity {
             self.events.pop_front();
             self.dropped_oldest += 1;
@@ -396,6 +420,15 @@ impl TraceBuffer {
             self.total,
             self.dropped_oldest
         )?;
+        if self.dropped_oldest > 0 {
+            writeln!(
+                w,
+                "WARNING: ring wrapped — the oldest {} events were evicted; \
+                 this summary (and anything derived from it) covers a \
+                 TRUNCATED window of the run",
+                self.dropped_oldest
+            )?;
+        }
         for ev in &self.events {
             let name = node_names.get(ev.node.0).map(String::as_str).unwrap_or(
                 if ev.node == NodeId::EXTERNAL {
@@ -537,6 +570,42 @@ mod tests {
         assert_eq!(t.dropped_oldest(), 6);
         let first = t.iter().next().unwrap();
         assert_eq!(first.a, 6, "oldest events evicted first");
+    }
+
+    #[test]
+    fn summary_warns_when_ring_wrapped() {
+        let mut t = TraceBuffer::new(4);
+        for i in 0..3 {
+            t.record(Nanos(i), NodeId(0), TraceEventKind::HeartbeatSeen, i, 0);
+        }
+        let mut out = Vec::new();
+        t.write_summary(&mut out, &[]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(!text.contains("WARNING"), "no warning before eviction");
+        for i in 3..10 {
+            t.record(Nanos(i), NodeId(0), TraceEventKind::HeartbeatSeen, i, 0);
+        }
+        let mut out = Vec::new();
+        t.write_summary(&mut out, &[]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("WARNING"), "wrapped ring must warn: {text}");
+        assert!(text.contains("TRUNCATED"));
+    }
+
+    #[test]
+    fn kind_filter_drops_unlisted_kinds_without_counting_them() {
+        let mut t = TraceBuffer::new(16);
+        t.set_kind_filter(&[TraceEventKind::MapFlip, TraceEventKind::UlSlotProcessed]);
+        t.record(Nanos(1), NodeId(0), TraceEventKind::HeartbeatSeen, 1, 0);
+        t.record(Nanos(2), NodeId(0), TraceEventKind::MapFlip, 0, 3);
+        t.record(Nanos(3), NodeId(0), TraceEventKind::UlSlotProcessed, 5, 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_recorded(), 2, "filtered events are not 'recorded'");
+        assert_eq!(t.dropped_oldest(), 0, "filtering is not eviction");
+        assert_eq!(t.of_kind(TraceEventKind::HeartbeatSeen).count(), 0);
+        t.clear_kind_filter();
+        t.record(Nanos(4), NodeId(0), TraceEventKind::HeartbeatSeen, 1, 0);
+        assert_eq!(t.of_kind(TraceEventKind::HeartbeatSeen).count(), 1);
     }
 
     #[test]

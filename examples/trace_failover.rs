@@ -5,6 +5,11 @@
 //! gap, detector saturation, failure notification, and RU→PHY map flip
 //! on one nanosecond-resolution timeline.
 //!
+//! The run also opts into the wall-clock slot profiler (a side channel
+//! that never touches the deterministic trace) and finishes with the
+//! SLO analyzer's availability report over the same trace — the full
+//! observability surface on one failover.
+//!
 //! Run with:
 //! ```sh
 //! cargo run --release --example trace_failover
@@ -12,8 +17,9 @@
 
 use slingshot::{DeploymentBuilder, DeploymentConfig};
 use slingshot_ran::{CellConfig, Fidelity, UeConfig};
+use slingshot_sim::slo::{self, SloConfig};
 use slingshot_sim::trace::{delivered_ul_slots, detections, dropped_ttis};
-use slingshot_sim::{Nanos, TraceEventKind};
+use slingshot_sim::{Nanos, SpanProfiler, TraceEventKind, SLOT_DURATION};
 use slingshot_transport::{UdpCbrSource, UdpSink};
 
 fn main() {
@@ -36,6 +42,12 @@ fn main() {
         Box::new(UdpCbrSource::new(4_000_000, 1000, Nanos::ZERO)),
         Box::new(UdpSink::new(Nanos::ZERO, Nanos::from_millis(10))),
     );
+
+    // Opt into wall-clock span profiling with the 500 µs TTI as the
+    // deadline budget. The profiler is a side channel: enabling it
+    // leaves the deterministic event trace byte-identical.
+    d.engine
+        .set_profiler(SpanProfiler::with_deadline_ns(SLOT_DURATION.0));
 
     let kill_at = Nanos::from_millis(500);
     d.kill_primary_at(kill_at);
@@ -108,6 +120,28 @@ fn main() {
     let mut summary = Vec::new();
     trace.write_summary(&mut summary, &names).unwrap();
     println!("\n{}", String::from_utf8(summary).unwrap());
+
+    // --- service-level view of the same trace ---
+    let slo_cfg = SloConfig {
+        horizon_slots: 3000, // 1500 ms at 500 µs per slot
+        ..SloConfig::default()
+    };
+    println!("availability report:");
+    println!("{}", slo::analyze(trace, &slo_cfg).to_text());
+
+    // --- wall-clock slot profile (side channel; host-dependent) ---
+    let profiler = d.engine.profiler();
+    profiler.publish(d.engine.metrics_mut());
+    if let Some(p) = profiler.report() {
+        println!("{}", p.to_text());
+    }
+    let mut spans = Vec::new();
+    profiler.write_chrome_trace(&mut spans).unwrap();
+    std::fs::write("trace_failover_profile.json", &spans).unwrap();
+    println!(
+        "wrote trace_failover_profile.json ({} bytes) — wall-clock spans for the same run\n",
+        spans.len()
+    );
 
     println!("metrics snapshot:\n{}", d.engine.metrics().to_text());
 }
