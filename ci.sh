@@ -3,26 +3,41 @@
 #
 # Usage:
 #   ./ci.sh            full gate: release build, full test suite, fmt,
-#                      clippy, and a chaos smoke (CHAOS_SEEDS seeds,
-#                      default 4, through the chaos_soak harness)
+#                      clippy, a chaos smoke, and every baseline-floored
+#                      bench (kernel, slots, availability, scale) in
+#                      quick mode
 #   ./ci.sh --quick    debug build + tier-1 tests only (fast inner loop)
+#   ./ci.sh --bench    baseline-floored benches only (kernel, slots,
+#                      availability, scale), all in quick mode against
+#                      the floors checked in under crates/bench/baselines
 #   ./ci.sh --coverage line-coverage gate only (scripts/coverage.sh):
 #                      enforces the per-crate floors in
 #                      crates/bench/baselines/coverage.floors; skips
 #                      cleanly if cargo-llvm-cov is not installed
 #
-# Knobs:
-#   CHAOS_SEEDS=<n>    seeds for the chaos smoke (default 4; the
-#                      nightly workflow runs 64)
+# Knobs (all optional; defaults shown):
+#   CHAOS_SEEDS=4      seeds for the chaos smoke (nightly workflow: 64)
+#   BENCH_JSON_DIR=    directory for bench JSON artifacts (unset: skip)
+#   KERNEL_QUICK=1     kernel_bench: ~10 ms per DSP kernel
+#   SLOTS_CELLS=2 SLOTS_WORKERS=1,4 SLOTS_MS=100
+#                      slots_per_sec: pipeline sweep for the bench gate
+#   AVAIL_QUICK=1      availability_report: short-horizon SLO sweep
+#   SCALE_QUICK=1      scale_bench: cells {16,64} x shards {1,4} sweep
+#   *_BASELINE=<path>  per-bench floor files (set below; see
+#                      crates/bench/baselines/*.baseline for the rules:
+#                      throughput floors are 80% of baseline,
+#                      max_sustainable_cells is absolute)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 QUICK=0
 COVERAGE=0
+BENCH=0
 for arg in "$@"; do
     case "$arg" in
     --quick) QUICK=1 ;;
     --coverage) COVERAGE=1 ;;
+    --bench) BENCH=1 ;;
     *)
         echo "unknown argument: $arg" >&2
         exit 2
@@ -46,6 +61,37 @@ if [[ "$QUICK" == 1 ]]; then
     exit 0
 fi
 
+run_benches() {
+    echo "==> DSP kernel throughput smoke"
+    KERNEL_QUICK=1 \
+        KERNEL_BASELINE=crates/bench/baselines/kernel_bench.baseline \
+        cargo run --release -p slingshot-bench --bin kernel_bench
+
+    echo "==> slot-pipeline throughput smoke"
+    SLOTS_CELLS="${SLOTS_CELLS:-2}" SLOTS_WORKERS="${SLOTS_WORKERS:-1,4}" \
+        SLOTS_MS="${SLOTS_MS:-100}" \
+        SLOTS_BASELINE=crates/bench/baselines/slots_per_sec.baseline \
+        cargo run --release -p slingshot-bench --bin slots_per_sec
+
+    echo "==> availability smoke (long-horizon SLO floors)"
+    AVAIL_QUICK=1 \
+        AVAIL_BASELINE=crates/bench/baselines/availability.baseline \
+        cargo run --release -p slingshot-bench --bin availability_report
+
+    echo "==> scale smoke (sharded fabric capacity floors)"
+    SCALE_QUICK=1 \
+        SCALE_BASELINE=crates/bench/baselines/scale.baseline \
+        cargo run --release -p slingshot-bench --bin scale_bench
+}
+
+if [[ "$BENCH" == 1 ]]; then
+    echo "==> cargo build --release -p slingshot-bench"
+    cargo build --release -p slingshot-bench
+    run_benches
+    echo "==> OK (bench)"
+    exit 0
+fi
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -61,14 +107,6 @@ cargo clippy --workspace -- -D warnings
 echo "==> chaos smoke (CHAOS_SEEDS=${CHAOS_SEEDS:-4})"
 CHAOS_SEEDS="${CHAOS_SEEDS:-4}" cargo run --release -p slingshot-bench --bin chaos_soak
 
-echo "==> DSP kernel throughput smoke"
-KERNEL_QUICK=1 \
-    KERNEL_BASELINE=crates/bench/baselines/kernel_bench.baseline \
-    cargo run --release -p slingshot-bench --bin kernel_bench
-
-echo "==> availability smoke (long-horizon SLO floors)"
-AVAIL_QUICK=1 \
-    AVAIL_BASELINE=crates/bench/baselines/availability.baseline \
-    cargo run --release -p slingshot-bench --bin availability_report
+run_benches
 
 echo "==> OK"

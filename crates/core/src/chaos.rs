@@ -273,7 +273,11 @@ pub fn resolve_phy_id(d: &mut Deployment, target: FaultTarget) -> Option<u8> {
         FaultTarget::ActivePhy => resolve_phy_id(d, FaultTarget::ActivePhyOf(RU_ID)),
         FaultTarget::StandbyPhy => resolve_phy_id(d, FaultTarget::StandbyPhyOf(RU_ID)),
         FaultTarget::ActivePhyOf(ru) => {
-            Some(d.engine.node_mut::<SwitchNode>(d.switch)?.active_phy(ru))
+            // In a fabric build the RU's leaf middlebox owns the
+            // RU→PHY register; single-switch builds resolve to the one
+            // shared switch.
+            let switch = d.switch_for_ru(ru);
+            Some(d.engine.node_mut::<SwitchNode>(switch)?.active_phy(ru))
         }
         FaultTarget::StandbyPhyOf(ru) => {
             let orion_l2 = d.cells.get(ru as usize)?.orion_l2;
@@ -309,16 +313,27 @@ fn orion_node_of(d: &Deployment, phy_id: u8) -> Option<NodeId> {
 /// fronthaul targets act on cell 0's RU (per-cell PHY targets resolve
 /// through the live mapping).
 fn resolve_links(d: &mut Deployment, target: FaultTarget) -> Vec<(NodeId, NodeId)> {
+    // Each endpoint's links terminate at the switch it is cabled to:
+    // its leaf in a fabric build, the shared switch otherwise.
     match target {
-        FaultTarget::Fronthaul => vec![(d.ru, d.switch), (d.switch, d.ru)],
-        FaultTarget::FronthaulUplink => vec![(d.ru, d.switch)],
-        FaultTarget::FronthaulDownlink => vec![(d.switch, d.ru)],
-        FaultTarget::OrionL2 => vec![(d.orion_l2, d.switch), (d.switch, d.orion_l2)],
+        FaultTarget::Fronthaul => {
+            let sw = d.switch_for_node(d.ru);
+            vec![(d.ru, sw), (sw, d.ru)]
+        }
+        FaultTarget::FronthaulUplink => vec![(d.ru, d.switch_for_node(d.ru))],
+        FaultTarget::FronthaulDownlink => vec![(d.switch_for_node(d.ru), d.ru)],
+        FaultTarget::OrionL2 => {
+            let sw = d.switch_for_node(d.orion_l2);
+            vec![(d.orion_l2, sw), (sw, d.orion_l2)]
+        }
         FaultTarget::ActivePhy
         | FaultTarget::StandbyPhy
         | FaultTarget::ActivePhyOf(_)
         | FaultTarget::StandbyPhyOf(_) => match resolve_phy_node(d, target) {
-            Some(phy) => vec![(phy, d.switch), (d.switch, phy)],
+            Some(phy) => {
+                let sw = d.switch_for_node(phy);
+                vec![(phy, sw), (sw, phy)]
+            }
             None => Vec::new(),
         },
     }

@@ -90,6 +90,21 @@ impl CtlPacket {
         Bytes::from(v)
     }
 
+    /// The RU (cell) a control packet concerns, when it carries one.
+    /// Used by the spine switch to route switch-addressed control
+    /// frames to the leaf that owns the cell. `FailureNotify` is
+    /// destination-addressed (sent to a specific Orion/orchestrator
+    /// MAC), so it has no routing RU and returns `None`.
+    pub fn ru_id(&self) -> Option<u8> {
+        match self {
+            CtlPacket::MigrateOnSlot { ru_id, .. }
+            | CtlPacket::SpareRequest { ru_id, .. }
+            | CtlPacket::SpareGrant { ru_id, .. }
+            | CtlPacket::InstallStandby { ru_id, .. } => Some(*ru_id),
+            CtlPacket::FailureNotify { .. } => None,
+        }
+    }
+
     pub fn from_bytes(payload: &[u8]) -> Option<CtlPacket> {
         let mut buf = payload;
         if buf.remaining() < 1 {

@@ -34,9 +34,12 @@ use slingshot_sim::{
 use slingshot_switch::{PktGenConfig, PortId};
 use slingshot_transport::UserApp;
 
+use slingshot_switch::PortSpace;
+
 use crate::fh_mbox::FhMbox;
 use crate::orion::{orion_l2_mac, orion_phy_mac, OrionL2Node, OrionPhyNode};
 use crate::recovery::{recovery_mac, RecoveryOrchestrator};
+use crate::spine::SpineSwitchNode;
 use crate::switch_node::{ForwardingModel, SwitchNode};
 
 /// Deployment-wide configuration.
@@ -141,6 +144,21 @@ pub struct Deployment {
     /// Chaos scenario staged by [`DeploymentBuilder::chaos`], consumed
     /// by [`Deployment::run_chaos`].
     pub chaos: Option<Scenario>,
+    /// Leaf switches of a fabric build, in cell-group order (empty for
+    /// the classic single-switch topologies; then `switch` is the one
+    /// middlebox). In a fabric build `switch` is the spine.
+    pub leaves: Vec<NodeId>,
+    /// The spine switch of a fabric build.
+    pub spine: Option<NodeId>,
+    /// RU id → the leaf switch whose middlebox serves that cell
+    /// (fabric builds only; use [`Deployment::switch_for_ru`]).
+    pub switch_of_ru: BTreeMap<u8, NodeId>,
+    /// Endpoint node → the switch it is cabled to (fabric builds only;
+    /// use [`Deployment::switch_for_node`]).
+    pub attached_switch: BTreeMap<NodeId, NodeId>,
+    /// Engine lane map staged by the fabric build; the builder consumes
+    /// it (after trace sizing) to install the dispatch lanes.
+    fabric_lanes: Option<(Vec<u32>, usize)>,
     pub cfg: DeploymentConfig,
 }
 
@@ -163,6 +181,8 @@ pub struct DeploymentBuilder {
     cfg: DeploymentConfig,
     cells: usize,
     workers: usize,
+    cell_groups: usize,
+    shards: Option<usize>,
     trace_capacity: Option<usize>,
     chaos: Option<Scenario>,
     ues: Vec<UeConfig>,
@@ -174,6 +194,8 @@ impl DeploymentBuilder {
             cfg: DeploymentConfig::default(),
             cells: 1,
             workers: 1,
+            cell_groups: 1,
+            shards: None,
             trace_capacity: None,
             chaos: None,
             ues: Vec::new(),
@@ -263,6 +285,32 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Partition the cells into `g` contiguous groups, each behind its
+    /// own leaf switch (a full fronthaul middlebox with a leaf-local
+    /// failure detector), joined by a spine switch that carries the
+    /// shared spare pool and the recovery orchestrator. `1` (the
+    /// default) keeps the classic single-switch topology — and its
+    /// byte-exact traces. `g ≥ 2` is a *structural* knob: it changes
+    /// the topology (and therefore the trace) and shards the engine
+    /// into `g + 1` dispatch lanes (one per leaf plus the spine
+    /// domain), synchronized at slot boundaries.
+    pub fn cell_groups(mut self, g: usize) -> Self {
+        assert!(g >= 1, "at least one cell group");
+        self.cell_groups = g;
+        self
+    }
+
+    /// How many parallel jobs the sharded engine chunks its lane set
+    /// into per slot window. Purely an *execution* knob: for any value
+    /// (and any worker count) the event trace is byte-identical — only
+    /// wall-clock changes. Defaults to the lane count; no effect on
+    /// single-switch (`cell_groups(1)`) builds.
+    pub fn shards(mut self, k: usize) -> Self {
+        assert!(k >= 1, "at least one shard");
+        self.shards = Some(k);
+        self
+    }
+
     /// Add one UE (its `ru_id` selects the cell).
     pub fn ue(mut self, ue: UeConfig) -> Self {
         self.ues.push(ue);
@@ -312,8 +360,15 @@ impl DeploymentBuilder {
             // Legacy knob at N cells: one shared spare.
             cfg.spare_pool = 1;
         }
+        let groups = self.cell_groups;
         let mut d = if self.cells == 1 {
+            assert!(
+                groups == 1,
+                "single-cell deployments have a single switch; drop cell_groups"
+            );
             Deployment::build_single(cfg, self.ues)
+        } else if groups > 1 {
+            Deployment::build_fabric(cfg, self.cells, self.ues, groups)
         } else {
             Deployment::build_multi(cfg, self.cells, self.ues)
         };
@@ -321,6 +376,14 @@ impl DeploymentBuilder {
         d.engine.set_worker_pool(WorkerPool::new(self.workers));
         if let Some(cap) = self.trace_capacity {
             d.engine.event_trace_mut().set_capacity(cap);
+        }
+        // Install dispatch lanes after trace sizing so per-lane staging
+        // buffers are forked with the final ring capacity.
+        if let Some((lane_of, lanes)) = d.fabric_lanes.take() {
+            d.engine.enable_shards(lane_of, lanes);
+            if let Some(k) = self.shards {
+                d.engine.set_exec_shards(k);
+            }
         }
         d.chaos = self.chaos;
         d
@@ -457,17 +520,20 @@ impl Deployment {
         // earlier shared-port entries at ports 2/3/5).
         let switch_mac = mbox.switch_mac;
         let mut swn = SwitchNode::new(mbox, cfg.forwarding, rng.fork("switch"));
-        swn.attach(PortId(1), ru);
-        swn.attach(PortId(2), primary_phy);
-        swn.attach(PortId(3), secondary_phy);
-        swn.attach(PortId(4), orion_l2);
-        swn.attach(PortId(12), orion_primary);
-        swn.attach(PortId(13), orion_secondary);
+        // Build-time port audit: every attachment claims its port; a
+        // duplicate claim panics here instead of corrupting forwarding.
+        let mut ports = PortSpace::new("switch");
+        swn.attach(ports.claim(PortId(1), "ru"), ru);
+        swn.attach(ports.claim(PortId(2), "phy-primary"), primary_phy);
+        swn.attach(ports.claim(PortId(3), "phy-secondary"), secondary_phy);
+        swn.attach(ports.claim(PortId(4), "orion-l2"), orion_l2);
+        swn.attach(ports.claim(PortId(12), "orion-phy1"), orion_primary);
+        swn.attach(ports.claim(PortId(13), "orion-phy2"), orion_secondary);
         if let Some(p) = spare_phy {
-            swn.attach(PortId(5), p);
+            swn.attach(ports.claim(PortId(5), "phy-spare"), p);
         }
         if let Some(o) = orion_spare {
-            swn.attach(PortId(15), o);
+            swn.attach(ports.claim(PortId(15), "orion-phy3"), o);
         }
         let switch = engine.add_node("switch", Box::new(swn));
 
@@ -589,6 +655,11 @@ impl Deployment {
             phy_orions,
             workers: 1,
             chaos: None,
+            leaves: Vec::new(),
+            spine: None,
+            switch_of_ru: BTreeMap::new(),
+            attached_switch: BTreeMap::new(),
+            fabric_lanes: None,
             cfg,
         }
     }
@@ -755,8 +826,13 @@ impl Deployment {
 
         let switch_mac = mbox.switch_mac;
         let mut swn = SwitchNode::new(mbox, cfg.forwarding, rng.fork("switch"));
+        // Build-time port audit: the stride layout wraps the u16 port
+        // space at city scale; claiming every port catches a collision
+        // here, with both claimants named, instead of silently
+        // cross-wiring cells.
+        let mut ports = PortSpace::new("switch");
         for (port, node) in attach {
-            swn.attach(port, node);
+            swn.attach(ports.claim(port, engine.node_name(node)), node);
         }
         let switch = engine.add_node("switch", Box::new(swn));
 
@@ -913,8 +989,514 @@ impl Deployment {
             phy_orions,
             workers: 1,
             chaos: None,
+            leaves: Vec::new(),
+            spine: None,
+            switch_of_ru: BTreeMap::new(),
+            attached_switch: BTreeMap::new(),
+            fabric_lanes: None,
             cfg,
         }
+    }
+
+    /// Leaf/spine fabric construction (`cell_groups(g ≥ 2)`): cells are
+    /// split into `g` contiguous near-even groups, each behind its own
+    /// leaf switch running a full fronthaul middlebox (failure
+    /// detection stays leaf-local, preserving the in-switch detection
+    /// latency). A spine switch joins the leaves to the spine-side
+    /// services — app server, core, pooled spares, and the recovery
+    /// orchestrator — forwarding by host MAC and relaying
+    /// switch-addressed control frames to the owning leaf by RU id.
+    ///
+    /// The engine is staged for `g + 1` dispatch lanes: lane 0 is the
+    /// spine domain, lane `1 + g` each leaf group. Cross-lane traffic
+    /// (backhaul, spare-pool control, leaf↔spine frames) synchronizes
+    /// at slot boundaries.
+    fn build_fabric(
+        cfg: DeploymentConfig,
+        n_cells: usize,
+        ue_cfgs: Vec<UeConfig>,
+        groups: usize,
+    ) -> Deployment {
+        assert!(groups >= 2, "fabric builds need at least two groups");
+        assert!(
+            n_cells >= groups,
+            "need at least one cell per group ({n_cells} cells, {groups} groups)"
+        );
+        assert!(
+            ue_cfgs.iter().all(|u| (u.ru_id as usize) < n_cells),
+            "every UE's ru_id must address a built cell"
+        );
+        let mut engine: Engine<Msg> = Engine::new(cfg.seed);
+        let clock = SlotClock::new(Nanos::ZERO);
+        let mut rng = SimRng::new(cfg.seed ^ 0x5113_6507);
+
+        // Contiguous near-even partition: the first `extra` groups get
+        // one extra cell.
+        let base = n_cells / groups;
+        let extra = n_cells % groups;
+        let mut group_of_cell: Vec<usize> = Vec::with_capacity(n_cells);
+        for g in 0..groups {
+            for _ in 0..base + usize::from(g < extra) {
+                group_of_cell.push(g);
+            }
+        }
+
+        // Lane tags recorded as nodes are added; lane 0 = spine domain.
+        let mut lane_tag: Vec<(NodeId, u32)> = Vec::new();
+
+        let server = engine.add_node("server", Box::new(AppServerNode::new()));
+        lane_tag.push((server, 0));
+        let core = engine.add_node("core", Box::new(CoreNode::new()));
+        lane_tag.push((core, 0));
+
+        let mut cell_ues: Vec<Vec<UeConfig>> = vec![Vec::new(); n_cells];
+        for u in ue_cfgs {
+            cell_ues[u.ru_id as usize].push(u);
+        }
+
+        // One middlebox per leaf; failure notifications fan out to the
+        // leaf's own L2-side Orions plus (via the uplink) the recovery
+        // orchestrator on the spine.
+        let mut mboxes: Vec<FhMbox> = (0..groups)
+            .map(|g| {
+                let mut notify: Vec<MacAddr> = (0..n_cells)
+                    .filter(|i| group_of_cell[*i] == g)
+                    .map(|i| orion_l2_mac(i as u8))
+                    .collect();
+                if cfg.spare_pool > 0 {
+                    notify.push(recovery_mac());
+                }
+                FhMbox::with_notify_targets(cfg.detector, notify)
+            })
+            .collect();
+        let mut leaf_ports: Vec<PortSpace> = (0..groups)
+            .map(|g| PortSpace::new(&format!("leaf{g}")))
+            .collect();
+        let mut leaf_attach: Vec<Vec<(PortId, NodeId)>> = vec![Vec::new(); groups];
+        let mut cells: Vec<CellDeployment> = Vec::new();
+        let mut all_ues: Vec<NodeId> = Vec::new();
+
+        for (i, ues_cfg) in cell_ues.iter().enumerate() {
+            let g = group_of_cell[i];
+            let lane = (1 + g) as u32;
+            let ru_id = i as u8;
+            let pri_id = (2 * i + 1) as u8;
+            let sec_id = (2 * i + 2) as u8;
+            let mut cell = cfg.cell.clone();
+            cell.cell_id = cfg.cell.cell_id + i as u16;
+
+            let mut l2n = L2Node::new(cell.clone(), clock, ru_id);
+            for u in ues_cfg {
+                if u.preattached {
+                    l2n.preattach_ue(u.rnti, u.snr.mean_db);
+                }
+            }
+            let l2 = engine.add_node(&format!("c{i}-l2"), Box::new(l2n));
+
+            let mk_phy = |id: u8, iters: Option<usize>, rng: &mut SimRng| {
+                let mut pc = PhyConfig::new(id);
+                pc.fec_iterations = iters.unwrap_or(cell.fec_iterations);
+                PhyNode::new(pc, cell.clone(), clock, rng.fork(&format!("phy{id}")))
+            };
+            let primary_phy = engine.add_node(
+                &format!("c{i}-phy-primary"),
+                Box::new(mk_phy(pri_id, None, &mut rng)),
+            );
+            let secondary_phy = engine.add_node(
+                &format!("c{i}-phy-secondary"),
+                Box::new(mk_phy(sec_id, cfg.secondary_fec_iterations, &mut rng)),
+            );
+            let orion_primary = engine.add_node(
+                &format!("c{i}-orion-phy{pri_id}"),
+                Box::new(OrionPhyNode::new(pri_id, ru_id)),
+            );
+            let orion_secondary = engine.add_node(
+                &format!("c{i}-orion-phy{sec_id}"),
+                Box::new(OrionPhyNode::new(sec_id, ru_id)),
+            );
+            let orion_l2 = engine.add_node(
+                &format!("c{i}-orion-l2"),
+                Box::new(OrionL2Node::new(ru_id, clock)),
+            );
+
+            let run = RuNode::new(ru_id, clock);
+            let ru_mac = run.mac();
+            let ru = engine.add_node(&format!("c{i}-ru"), Box::new(run));
+
+            let mut ues = Vec::new();
+            for u in ues_cfg.clone() {
+                let name = u.name.clone();
+                let node = UeNode::new(u, cell.clone(), clock, rng.fork(&name));
+                ues.push(engine.add_node(&name, Box::new(node)));
+            }
+            for id in [
+                l2,
+                primary_phy,
+                secondary_phy,
+                orion_primary,
+                orion_secondary,
+            ]
+            .into_iter()
+            .chain([orion_l2, ru])
+            .chain(ues.iter().copied())
+            {
+                lane_tag.push((id, lane));
+            }
+
+            let mbox = &mut mboxes[g];
+            let ports = &mut leaf_ports[g];
+            let p_ru = ports.alloc(&format!("c{i}-ru"));
+            let p_pri = ports.alloc(&format!("c{i}-phy-primary"));
+            let p_sec = ports.alloc(&format!("c{i}-phy-secondary"));
+            let p_ol2 = ports.alloc(&format!("c{i}-orion-l2"));
+            let p_opri = ports.alloc(&format!("c{i}-orion-phy{pri_id}"));
+            let p_osec = ports.alloc(&format!("c{i}-orion-phy{sec_id}"));
+            mbox.install_ru(ru_id, ru_mac, p_ru, pri_id);
+            mbox.install_phy(pri_id, MacAddr::for_phy(pri_id), p_pri);
+            mbox.install_phy(sec_id, MacAddr::for_phy(sec_id), p_sec);
+            mbox.install_host(orion_l2_mac(ru_id), p_ol2);
+            mbox.install_host(orion_phy_mac(pri_id), p_opri);
+            mbox.install_host(orion_phy_mac(sec_id), p_osec);
+            mbox.enroll_failure_detection(pri_id);
+            mbox.enroll_failure_detection(sec_id);
+            let la = &mut leaf_attach[g];
+            la.push((p_ru, ru));
+            la.push((p_pri, primary_phy));
+            la.push((p_sec, secondary_phy));
+            la.push((p_ol2, orion_l2));
+            la.push((p_opri, orion_primary));
+            la.push((p_osec, orion_secondary));
+
+            all_ues.extend(ues.iter().copied());
+            cells.push(CellDeployment {
+                ru,
+                l2,
+                orion_l2,
+                primary_phy,
+                secondary_phy,
+                orion_primary,
+                orion_secondary,
+                ues,
+                ru_id,
+                cell_id: cell.cell_id,
+                primary_phy_id: pri_id,
+                secondary_phy_id: sec_id,
+            });
+        }
+
+        // --- spine-side services: shared spare pool + orchestrator ---
+        let mut spares: Vec<(u8, NodeId, NodeId)> = Vec::new();
+        for j in 0..cfg.spare_pool {
+            let id = (2 * n_cells + 1 + j) as u8;
+            let mut pc = PhyConfig::new(id);
+            pc.fec_iterations = cfg.cell.fec_iterations;
+            let phy = engine.add_node(
+                &format!("spare-phy{id}"),
+                Box::new(PhyNode::new(
+                    pc,
+                    cfg.cell.clone(),
+                    clock,
+                    rng.fork(&format!("phy{id}")),
+                )),
+            );
+            let orion = engine.add_node(
+                &format!("spare-orion-phy{id}"),
+                Box::new(OrionPhyNode::new(id, 0)),
+            );
+            lane_tag.push((phy, 0));
+            lane_tag.push((orion, 0));
+            spares.push((id, phy, orion));
+        }
+        let recovery = (cfg.spare_pool > 0).then(|| {
+            let node = engine.add_node("recovery", Box::new(RecoveryOrchestrator::new(clock)));
+            lane_tag.push((node, 0));
+            node
+        });
+
+        // Leaf uplinks: every spine-side MAC a leaf's tenants talk to
+        // (the orchestrator, every pooled spare PHY and its Orion)
+        // resolves to the uplink port. This also covers post-grant
+        // forwarding: InstallStandby fills the PHY/address directories
+        // but not the port table, so the spare's MAC must already
+        // route.
+        let mut uplinks: Vec<PortId> = Vec::with_capacity(groups);
+        for g in 0..groups {
+            let up = leaf_ports[g].alloc("uplink->spine");
+            let mbox = &mut mboxes[g];
+            if cfg.spare_pool > 0 {
+                mbox.install_host(recovery_mac(), up);
+            }
+            for (id, _, _) in &spares {
+                mbox.install_host(MacAddr::for_phy(*id), up);
+                mbox.install_host(orion_phy_mac(*id), up);
+            }
+            uplinks.push(up);
+        }
+
+        // Add the leaf switch nodes, then the spine (always last, like
+        // the classic builds keep the switch last).
+        let mut leaves: Vec<NodeId> = Vec::new();
+        for (g, mbox) in mboxes.into_iter().enumerate() {
+            let swn = SwitchNode::new(mbox, cfg.forwarding, rng.fork(&format!("leaf{g}")));
+            let leaf = engine.add_node(&format!("leaf{g}"), Box::new(swn));
+            lane_tag.push((leaf, (1 + g) as u32));
+            leaves.push(leaf);
+        }
+        let mut spn = SpineSwitchNode::new(cfg.forwarding, rng.fork("spine"));
+        let mut spine_ports = PortSpace::new("spine");
+        let mut spine_attach: Vec<(PortId, NodeId)> = Vec::new();
+        for (g, leaf) in leaves.iter().enumerate() {
+            let port = spine_ports.alloc(&format!("leaf{g}"));
+            spine_attach.push((port, *leaf));
+            // Every MAC living behind this leaf routes to its port, and
+            // switch-addressed control frames for its cells relay there.
+            for cell in cells
+                .iter()
+                .filter(|c| group_of_cell[c.ru_id as usize] == g)
+            {
+                spn.install_host(MacAddr::for_ru(cell.ru_id), port);
+                spn.install_host(MacAddr::for_phy(cell.primary_phy_id), port);
+                spn.install_host(MacAddr::for_phy(cell.secondary_phy_id), port);
+                spn.install_host(orion_phy_mac(cell.primary_phy_id), port);
+                spn.install_host(orion_phy_mac(cell.secondary_phy_id), port);
+                spn.install_host(orion_l2_mac(cell.ru_id), port);
+                spn.install_ru_route(cell.ru_id, port);
+            }
+        }
+        for (id, phy, orion) in &spares {
+            let pp = spine_ports.alloc(&format!("spare-phy{id}"));
+            let op = spine_ports.alloc(&format!("spare-orion-phy{id}"));
+            spn.install_host(MacAddr::for_phy(*id), pp);
+            spn.install_host(orion_phy_mac(*id), op);
+            spine_attach.push((pp, *phy));
+            spine_attach.push((op, *orion));
+        }
+        if let Some(rec) = recovery {
+            let rp = spine_ports.alloc("recovery");
+            spn.install_host(recovery_mac(), rp);
+            spine_attach.push((rp, rec));
+        }
+        for (port, node) in spine_attach {
+            spn.attach(port, node);
+        }
+        let spine = engine.add_node("spine", Box::new(spn));
+        lane_tag.push((spine, 0));
+        for (g, leaf) in leaves.iter().enumerate() {
+            let sw = engine.node_mut::<SwitchNode>(*leaf).unwrap();
+            for (port, node) in std::mem::take(&mut leaf_attach[g]) {
+                sw.attach(port, node);
+            }
+            sw.attach(uplinks[g], spine);
+        }
+
+        // --- wiring (as build_multi, with each cell's switch = its
+        // leaf and the spine-side services on the spine) ---
+        let leaf_of = |ru_id: u8| leaves[group_of_cell[ru_id as usize]];
+        let switch_mac = FhMbox::SWITCH_MAC;
+        engine.node_mut::<AppServerNode>(server).unwrap().wire(core);
+        {
+            let c = engine.node_mut::<CoreNode>(core).unwrap();
+            c.wire(cells[0].l2, server);
+            for (i, cell) in cells.iter().enumerate() {
+                for u in &cell_ues[i] {
+                    c.route_ue(u.rnti, cell.l2);
+                }
+            }
+        }
+        for cell in &cells {
+            let leaf = leaf_of(cell.ru_id);
+            engine
+                .node_mut::<L2Node>(cell.l2)
+                .unwrap()
+                .wire(cell.orion_l2, core);
+            engine
+                .node_mut::<PhyNode>(cell.primary_phy)
+                .unwrap()
+                .wire(leaf, cell.orion_primary);
+            engine
+                .node_mut::<PhyNode>(cell.secondary_phy)
+                .unwrap()
+                .wire(leaf, cell.orion_secondary);
+            for (orion, phy) in [
+                (cell.orion_primary, cell.primary_phy),
+                (cell.orion_secondary, cell.secondary_phy),
+            ] {
+                let o = engine.node_mut::<OrionPhyNode>(orion).unwrap();
+                o.wire(leaf, phy);
+                o.route_ru(cell.ru_id, orion_l2_mac(cell.ru_id));
+            }
+            {
+                let o = engine.node_mut::<OrionL2Node>(cell.orion_l2).unwrap();
+                o.wire(leaf, cell.l2, switch_mac);
+                o.bind_ru(cell.ru_id, cell.primary_phy_id, Some(cell.secondary_phy_id));
+            }
+            engine
+                .node_mut::<RuNode>(cell.ru)
+                .unwrap()
+                .wire(leaf, cell.ues.clone());
+            for ue in &cell.ues {
+                engine
+                    .node_mut::<UeNode>(*ue)
+                    .unwrap()
+                    .wire(cell.ru, cell.l2);
+            }
+        }
+        for (_, phy, orion) in &spares {
+            engine
+                .node_mut::<PhyNode>(*phy)
+                .unwrap()
+                .wire(spine, *orion);
+            let o = engine.node_mut::<OrionPhyNode>(*orion).unwrap();
+            o.wire(spine, *phy);
+            for cell in &cells {
+                o.route_ru(cell.ru_id, orion_l2_mac(cell.ru_id));
+            }
+        }
+        if let Some(rec) = recovery {
+            {
+                let r = engine.node_mut::<RecoveryOrchestrator>(rec).unwrap();
+                r.wire(spine, switch_mac);
+                for (id, phy, _) in &spares {
+                    r.add_spare(*id, *phy);
+                }
+                for cell in &cells {
+                    r.register_cell(cell.ru_id, orion_l2_mac(cell.ru_id));
+                    r.register_phy(cell.primary_phy_id, cell.primary_phy);
+                    r.register_phy(cell.secondary_phy_id, cell.secondary_phy);
+                }
+            }
+            for cell in &cells {
+                engine
+                    .node_mut::<OrionL2Node>(cell.orion_l2)
+                    .unwrap()
+                    .set_recovery_orchestrator(recovery_mac());
+            }
+        }
+
+        // --- links ---
+        engine.connect_duplex(server, core, cfg.backhaul_link.clone());
+        for cell in &cells {
+            let leaf = leaf_of(cell.ru_id);
+            engine.connect_duplex(core, cell.l2, cfg.backhaul_link.clone());
+            engine.connect_duplex(cell.l2, cell.orion_l2, LinkParams::ideal(Nanos(500)));
+            engine.connect_duplex(cell.ru, leaf, cfg.fronthaul_link.clone());
+            for node in [
+                cell.primary_phy,
+                cell.secondary_phy,
+                cell.orion_primary,
+                cell.orion_secondary,
+                cell.orion_l2,
+            ] {
+                engine.connect_duplex(node, leaf, cfg.server_link.clone());
+            }
+            engine.connect_duplex(
+                cell.primary_phy,
+                cell.orion_primary,
+                LinkParams::ideal(Nanos(500)),
+            );
+            engine.connect_duplex(
+                cell.secondary_phy,
+                cell.orion_secondary,
+                LinkParams::ideal(Nanos(500)),
+            );
+        }
+        for (_, phy, orion) in &spares {
+            engine.connect_duplex(*phy, spine, cfg.server_link.clone());
+            engine.connect_duplex(*orion, spine, cfg.server_link.clone());
+            engine.connect_duplex(*phy, *orion, LinkParams::ideal(Nanos(500)));
+        }
+        if let Some(rec) = recovery {
+            engine.connect_duplex(rec, spine, cfg.server_link.clone());
+        }
+        for leaf in &leaves {
+            engine.connect_duplex(*leaf, spine, cfg.server_link.clone());
+        }
+
+        let mut phy_nodes = BTreeMap::new();
+        let mut phy_orions = BTreeMap::new();
+        for cell in &cells {
+            phy_nodes.insert(cell.primary_phy_id, cell.primary_phy);
+            phy_nodes.insert(cell.secondary_phy_id, cell.secondary_phy);
+            phy_orions.insert(cell.primary_phy_id, cell.orion_primary);
+            phy_orions.insert(cell.secondary_phy_id, cell.orion_secondary);
+        }
+        for (id, phy, orion) in &spares {
+            phy_nodes.insert(*id, *phy);
+            phy_orions.insert(*id, *orion);
+        }
+
+        // Lane map and fabric directories.
+        let mut lane_of = vec![0u32; lane_tag.len()];
+        for (id, lane) in &lane_tag {
+            lane_of[id.0] = *lane;
+        }
+        let mut switch_of_ru = BTreeMap::new();
+        let mut attached_switch = BTreeMap::new();
+        for cell in &cells {
+            let leaf = leaf_of(cell.ru_id);
+            switch_of_ru.insert(cell.ru_id, leaf);
+            for id in [
+                cell.ru,
+                cell.primary_phy,
+                cell.secondary_phy,
+                cell.orion_primary,
+                cell.orion_secondary,
+                cell.orion_l2,
+            ] {
+                attached_switch.insert(id, leaf);
+            }
+        }
+        for (_, phy, orion) in &spares {
+            attached_switch.insert(*phy, spine);
+            attached_switch.insert(*orion, spine);
+        }
+        if let Some(rec) = recovery {
+            attached_switch.insert(rec, spine);
+        }
+
+        let c0 = cells[0].clone();
+        Deployment {
+            engine,
+            switch: spine,
+            ru: c0.ru,
+            primary_phy: c0.primary_phy,
+            secondary_phy: c0.secondary_phy,
+            spare_phy: None,
+            orion_primary: c0.orion_primary,
+            orion_secondary: c0.orion_secondary,
+            orion_spare: None,
+            orion_l2: c0.orion_l2,
+            l2: c0.l2,
+            core,
+            server,
+            ues: all_ues,
+            cells,
+            spare_phys: spares,
+            recovery,
+            phy_nodes,
+            phy_orions,
+            workers: 1,
+            chaos: None,
+            leaves,
+            spine: Some(spine),
+            switch_of_ru,
+            attached_switch,
+            fabric_lanes: Some((lane_of, groups + 1)),
+            cfg,
+        }
+    }
+
+    /// The switch whose middlebox serves `ru_id`: its leaf in a fabric
+    /// build, the one shared switch otherwise.
+    pub fn switch_for_ru(&self, ru_id: u8) -> NodeId {
+        *self.switch_of_ru.get(&ru_id).unwrap_or(&self.switch)
+    }
+
+    /// The switch an endpoint node is cabled to: its leaf (or the
+    /// spine, for spine-side services) in a fabric build, the one
+    /// shared switch otherwise.
+    pub fn switch_for_node(&self, node: NodeId) -> NodeId {
+        *self.attached_switch.get(&node).unwrap_or(&self.switch)
     }
 
     /// Attach an app to a UE (by index into the flattened `ues` list)
@@ -958,6 +1540,8 @@ impl Deployment {
             // downcast succeeds per id.
             if let Some(n) = engine.node::<SwitchNode>(id) {
                 n.instrument(&scope, sink);
+            } else if let Some(n) = engine.node::<SpineSwitchNode>(id) {
+                n.instrument(&scope, sink);
             } else if let Some(n) = engine.node::<PhyNode>(id) {
                 n.instrument(&scope, sink);
             } else if let Some(n) = engine.node::<OrionPhyNode>(id) {
@@ -972,6 +1556,9 @@ impl Deployment {
         };
 
         collect_node(&self.engine, self.switch, &mut sink);
+        for leaf in &self.leaves {
+            collect_node(&self.engine, *leaf, &mut sink);
+        }
         for cell in &self.cells {
             for id in [
                 cell.primary_phy,

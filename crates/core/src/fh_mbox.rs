@@ -87,6 +87,12 @@ pub struct FhMbox {
     /// arms only after the first heartbeat, so a PHY that is still
     /// booting is not declared dead.
     fail_seen: RegisterArray,
+    /// Ascending PHY ids with `fail_enrolled == 1` — a software-side
+    /// index over the register array so the 9 µs generator tick scans
+    /// only enrolled PHYs instead of the whole register space. Kept in
+    /// lockstep with `fail_enrolled`; scan order (ascending) matches the
+    /// full-array scan it replaces, so behavior is identical.
+    enrolled_scan: Vec<usize>,
     /// Failure detector config (T, n).
     pub detector: PktGenConfig,
     /// Where failure notifications are sent (every L2-side Orion).
@@ -116,6 +122,13 @@ pub struct FhMbox {
 }
 
 impl FhMbox {
+    /// The well-known MAC every fronthaul middlebox answers control
+    /// packets on. Shared across leaves in a fabric build: a control
+    /// frame addressed here is handled by whichever switch first sees
+    /// it (the sender's leaf), and the spine routes switch-addressed
+    /// frames from remote senders by the RU id in the payload.
+    pub const SWITCH_MAC: MacAddr = MacAddr([0x02, 0x53, 0x57, 0, 0, 1]);
+
     pub fn new(detector: PktGenConfig, notify_mac: MacAddr) -> FhMbox {
         FhMbox::with_notify_targets(detector, vec![notify_mac])
     }
@@ -131,12 +144,13 @@ impl FhMbox {
             ru_to_phy: RegisterArray::new("ru_to_phy", 256, 8),
             migration_store: RegisterArray::new("migration_store", 256, 32),
             standby_store: RegisterArray::new("standby_store", 256, 32),
+            enrolled_scan: Vec::new(),
             fail_counters: RegisterArray::new("fail_counters", 256, 8),
             fail_enrolled: RegisterArray::new("fail_enrolled", 256, 1),
             fail_seen: RegisterArray::new("fail_seen", 256, 1),
             detector,
             notify_macs,
-            switch_mac: MacAddr([0x02, 0x53, 0x57, 0, 0, 1]),
+            switch_mac: FhMbox::SWITCH_MAC,
             dl_gap_stats: vec![(Nanos::ZERO, Nanos::ZERO); 256],
             migrations_executed: 0,
             standby_installs: 0,
@@ -189,11 +203,17 @@ impl FhMbox {
     pub fn enroll_failure_detection(&mut self, phy_id: u8) {
         self.fail_enrolled.write(phy_id as usize, 1);
         self.fail_counters.write(phy_id as usize, 0);
+        if let Err(at) = self.enrolled_scan.binary_search(&(phy_id as usize)) {
+            self.enrolled_scan.insert(at, phy_id as usize);
+        }
     }
 
     pub fn unenroll_failure_detection(&mut self, phy_id: u8) {
         self.fail_enrolled.write(phy_id as usize, 0);
         self.fail_seen.write(phy_id as usize, 0);
+        if let Ok(at) = self.enrolled_scan.binary_search(&(phy_id as usize)) {
+            self.enrolled_scan.remove(at);
+        }
     }
 
     /// Plain (non-fronthaul) host installation: servers, Orion nodes.
@@ -441,8 +461,9 @@ impl SwitchProgram for FhMbox {
     fn on_generator_tick(&mut self, _now: Nanos) -> Vec<SwitchAction> {
         let n = self.detector.ticks_per_period as u64;
         let mut out = Vec::new();
-        for phy in 0..self.fail_counters.size() {
-            if self.fail_enrolled.read(phy) == 0 || self.fail_seen.read(phy) == 0 {
+        for i in 0..self.enrolled_scan.len() {
+            let phy = self.enrolled_scan[i];
+            if self.fail_seen.read(phy) == 0 {
                 continue;
             }
             let c = self.fail_counters.read(phy);

@@ -28,6 +28,7 @@ pub mod multi_ru;
 pub mod nfapi;
 pub mod orion;
 pub mod recovery;
+pub mod spine;
 pub mod switch_node;
 
 pub use chaos::{
@@ -43,4 +44,5 @@ pub use fh_mbox::FhMbox;
 pub use multi_ru::{CellNodes, DualRuDeployment};
 pub use orion::{orion_l2_mac, orion_phy_mac, OrionCost, OrionL2Node, OrionPhyNode};
 pub use recovery::{recovery_mac, RecoveryOrchestrator};
+pub use spine::SpineSwitchNode;
 pub use switch_node::{ForwardingModel, SwitchNode};

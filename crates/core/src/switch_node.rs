@@ -37,7 +37,7 @@ impl ForwardingModel {
         }
     }
 
-    fn delay(&self, rng: &mut SimRng) -> Nanos {
+    pub(crate) fn delay(&self, rng: &mut SimRng) -> Nanos {
         match self {
             ForwardingModel::InSwitch => PIPELINE_LATENCY,
             ForwardingModel::Software { base, tail_mean } => {

@@ -4,8 +4,7 @@
 //! mechanism (a P4 program timestamping and mirroring downlink packets);
 //! our switch model mirrors into a `Capture` instead.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::frame::{EtherType, Frame};
 use crate::mac::MacAddr;
@@ -21,10 +20,12 @@ pub struct CaptureRecord {
     pub wire_size: usize,
 }
 
-/// A shared, cheaply clonable capture sink.
+/// A shared, cheaply clonable capture sink. `Send`, so a capturing node
+/// can live inside a sharded engine lane; the mutex is uncontended in
+/// practice (one switch writes, the harness reads after the run).
 #[derive(Debug, Clone, Default)]
 pub struct Capture {
-    inner: Rc<RefCell<Vec<CaptureRecord>>>,
+    inner: Arc<Mutex<Vec<CaptureRecord>>>,
 }
 
 impl Capture {
@@ -33,7 +34,7 @@ impl Capture {
     }
 
     pub fn record(&self, at: Nanos, frame: &Frame) {
-        self.inner.borrow_mut().push(CaptureRecord {
+        self.inner.lock().unwrap().push(CaptureRecord {
             at,
             src: frame.src,
             dst: frame.dst,
@@ -43,16 +44,16 @@ impl Capture {
     }
 
     pub fn len(&self) -> usize {
-        self.inner.borrow().len()
+        self.inner.lock().unwrap().len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.inner.borrow().is_empty()
+        self.inner.lock().unwrap().is_empty()
     }
 
     /// Snapshot of all records.
     pub fn records(&self) -> Vec<CaptureRecord> {
-        self.inner.borrow().clone()
+        self.inner.lock().unwrap().clone()
     }
 
     /// Inter-arrival gaps (ns) between consecutive captured frames
@@ -63,7 +64,7 @@ impl Capture {
     where
         F: Fn(&CaptureRecord) -> bool,
     {
-        let recs = self.inner.borrow();
+        let recs = self.inner.lock().unwrap();
         let times: Vec<Nanos> = recs.iter().filter(|r| pred(r)).map(|r| r.at).collect();
         times.windows(2).map(|w| (w[1] - w[0]).0).collect()
     }
@@ -74,7 +75,8 @@ impl Capture {
         F: Fn(&CaptureRecord) -> bool,
     {
         self.inner
-            .borrow()
+            .lock()
+            .unwrap()
             .iter()
             .filter(|r| pred(r))
             .map(|r| r.wire_size as u64)
@@ -82,7 +84,7 @@ impl Capture {
     }
 
     pub fn clear(&self) {
-        self.inner.borrow_mut().clear();
+        self.inner.lock().unwrap().clear();
     }
 }
 

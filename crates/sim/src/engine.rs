@@ -19,6 +19,7 @@
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 use crate::metrics::MetricsRegistry;
 use crate::pool::WorkerPool;
@@ -44,7 +45,7 @@ impl NodeId {
 /// keep the default. `corrupt` is invoked by the fault injector and may
 /// flip bits in the payload; the default is a no-op (the message is then
 /// dropped instead, which is the conservative interpretation).
-pub trait Message: std::fmt::Debug + 'static {
+pub trait Message: std::fmt::Debug + Send + 'static {
     fn wire_size(&self) -> usize {
         0
     }
@@ -72,7 +73,7 @@ pub trait Message: std::fmt::Debug + 'static {
 
 /// A simulation participant. Nodes react to messages and timers; all
 /// side effects go through the [`Ctx`].
-pub trait Node<M: Message>: Any {
+pub trait Node<M: Message>: Any + Send {
     /// Called once when the simulation starts, before any event fires.
     fn on_start(&mut self, _ctx: &mut Ctx<'_, M>) {}
 
@@ -195,6 +196,13 @@ enum EventKind<M> {
     Start,
 }
 
+/// `LaneCore::local` sentinel: node is not a member of this lane.
+const NOT_LOCAL: u32 = u32::MAX;
+/// `LaneCore::alive` states (indexed by node id).
+const MEMBER_NONE: u8 = 0;
+const MEMBER_DEAD: u8 = 1;
+const MEMBER_ALIVE: u8 = 2;
+
 struct QueuedEvent<M> {
     at: Nanos,
     seq: u64,
@@ -270,13 +278,7 @@ impl<M: Message> Core<M> {
 
     /// Link transmission whose earliest departure is `depart_floor`
     /// (models local processing completing before the NIC takes over).
-    fn send_via_link_at(
-        &mut self,
-        from: NodeId,
-        dst: NodeId,
-        depart_floor: Nanos,
-        mut msg: M,
-    ) -> bool {
+    fn send_via_link_at(&mut self, from: NodeId, dst: NodeId, depart_floor: Nanos, msg: M) -> bool {
         let now = depart_floor.max(self.now);
         let link = match self.links.get_mut(&(from, dst)) {
             Some(l) => l,
@@ -286,68 +288,258 @@ impl<M: Message> Core<M> {
                 self.names.get(dst.0).map(String::as_str).unwrap_or("?"),
             ),
         };
-        link.sent += 1;
-        let size = msg.wire_size();
-        link.bytes += size as u64;
-        // Fault injection decisions draw from the engine RNG, which keeps
-        // node-local RNG streams independent of link behavior.
-        if link.params.drop_chance > 0.0 && self.rng.chance(link.params.drop_chance) {
-            link.dropped += 1;
-            return false;
-        }
-        if link.params.corrupt_chance > 0.0 && self.rng.chance(link.params.corrupt_chance) {
-            if msg.corrupt(&mut self.rng) {
-                link.corrupted += 1;
-            } else {
-                link.dropped += 1;
-                return false;
-            }
-        }
-        // bandwidth 0 = infinite: no serialization delay.
-        let tx_time = (size as u64 * 8)
-            .saturating_mul(1_000_000_000)
-            .checked_div(link.params.bandwidth_bps)
-            .map_or(Nanos::ZERO, Nanos);
-        let depart = link.busy_until.max(now);
-        let done = depart + tx_time;
-        link.busy_until = done;
-        let params = link.params.clone();
-        let mut arrive = done + params.latency;
-        if params.jitter.0 > 0 {
-            arrive += Nanos(self.rng.below(params.jitter.0 + 1));
-        }
-        // Chaos injection: all probability draws are gated on a non-zero
-        // chance so links without faults consume no RNG state (keeps
-        // pre-existing seeds byte-identical).
-        if params.reorder_chance > 0.0 && self.rng.chance(params.reorder_chance) {
-            arrive += params.reorder_hold;
-        }
-        if params.dup_chance > 0.0 && self.rng.chance(params.dup_chance) {
-            if let Some(copy) = msg.duplicate() {
-                if let Some(link) = self.links.get_mut(&(from, dst)) {
-                    link.duplicated += 1;
+        match link_transmit(link, &mut self.rng, now, msg) {
+            LinkOutcome::Lost => false,
+            LinkOutcome::Deliver { arrive, msg, copy } => {
+                if let Some(copy) = copy {
+                    // The copy lands at the same instant; FIFO seq ordering
+                    // preserves the original/copy pair's relative order.
+                    self.push(arrive, dst, EventKind::Msg { from, msg: copy });
                 }
-                // The copy lands at the same instant; FIFO seq ordering
-                // delivers the original first.
-                self.push(arrive, dst, EventKind::Msg { from, msg: copy });
+                self.push(arrive, dst, EventKind::Msg { from, msg });
+                true
             }
         }
-        self.push(arrive, dst, EventKind::Msg { from, msg });
-        true
     }
+}
+
+/// Result of pushing one message through a link's fault and timing model.
+enum LinkOutcome<M> {
+    /// Dropped (fault injection or failed corruption).
+    Lost,
+    /// Deliver `msg` (and, for duplication faults, `copy` first) at
+    /// `arrive`.
+    Deliver {
+        arrive: Nanos,
+        msg: M,
+        copy: Option<M>,
+    },
+}
+
+/// The link model shared by the single-loop and sharded dispatch paths:
+/// FIFO serialization at the configured bandwidth, then fault injection.
+/// All probability draws come from `rng` (the domain that owns the link)
+/// and are gated on a non-zero chance so links without faults consume no
+/// RNG state — this keeps pre-existing seeds byte-identical and makes
+/// cross-shard sends shard-invariant (the sender's lane always draws).
+fn link_transmit<M: Message>(
+    link: &mut Link,
+    rng: &mut SimRng,
+    now: Nanos,
+    mut msg: M,
+) -> LinkOutcome<M> {
+    link.sent += 1;
+    let size = msg.wire_size();
+    link.bytes += size as u64;
+    if link.params.drop_chance > 0.0 && rng.chance(link.params.drop_chance) {
+        link.dropped += 1;
+        return LinkOutcome::Lost;
+    }
+    if link.params.corrupt_chance > 0.0 && rng.chance(link.params.corrupt_chance) {
+        if msg.corrupt(rng) {
+            link.corrupted += 1;
+        } else {
+            link.dropped += 1;
+            return LinkOutcome::Lost;
+        }
+    }
+    // bandwidth 0 = infinite: no serialization delay.
+    let tx_time = (size as u64 * 8)
+        .saturating_mul(1_000_000_000)
+        .checked_div(link.params.bandwidth_bps)
+        .map_or(Nanos::ZERO, Nanos);
+    let depart = link.busy_until.max(now);
+    let done = depart + tx_time;
+    link.busy_until = done;
+    let params = &link.params;
+    let mut arrive = done + params.latency;
+    if params.jitter.0 > 0 {
+        arrive += Nanos(rng.below(params.jitter.0 + 1));
+    }
+    if params.reorder_chance > 0.0 && rng.chance(params.reorder_chance) {
+        arrive += params.reorder_hold;
+    }
+    let mut copy = None;
+    if params.dup_chance > 0.0 && rng.chance(params.dup_chance) {
+        if let Some(c) = msg.duplicate() {
+            link.duplicated += 1;
+            copy = Some(c);
+        }
+    }
+    LinkOutcome::Deliver { arrive, msg, copy }
+}
+
+/// A cross-lane side effect staged during a shard window, applied
+/// serially at the next slot barrier in (lane index, emission) order.
+/// Keeping kills/restarts in the same FIFO stream as messages preserves
+/// a node's emission order across the barrier (e.g. a deferred restart's
+/// `Start` event is enqueued before a scrub message emitted right after
+/// it).
+enum Outbound<M> {
+    Msg {
+        /// Arrival computed by the sender-lane link model (or direct
+        /// delay); quantized up to the barrier instant at drain time.
+        arrive: Nanos,
+        dst: NodeId,
+        from: NodeId,
+        msg: M,
+    },
+    SetAlive {
+        node: NodeId,
+        actor: NodeId,
+        alive: bool,
+    },
+    Restart {
+        node: NodeId,
+        actor: NodeId,
+    },
+}
+
+/// Per-lane engine state for sharded dispatch: one independent event
+/// domain (queue, clock, RNG, links, liveness, staged trace) per cell
+/// group. Lanes advance in parallel between slot barriers and exchange
+/// effects only through their outboxes, drained serially at barriers —
+/// so the trace is byte-identical for any shard or worker count.
+struct LaneCore<M> {
+    now: Nanos,
+    seq: u64,
+    queue: BinaryHeap<Reverse<QueuedEvent<M>>>,
+    links: HashMap<(NodeId, NodeId), Link>,
+    /// Authoritative liveness for this lane's member nodes, indexed by
+    /// node id: `MEMBER_NONE` (not ours), `MEMBER_DEAD`, `MEMBER_ALIVE`.
+    alive: Vec<u8>,
+    /// Fleet-wide liveness snapshot, rebuilt at each barrier. Cross-lane
+    /// `is_alive`/send checks read this (stale by at most one slot); the
+    /// destination lane's dispatch-time check stays authoritative.
+    alive_view: Arc<Vec<bool>>,
+    /// Member node id -> slot in the window's node vector
+    /// (`NOT_LOCAL` for non-members). Plain index, no hashing: this is
+    /// read on every dispatched event.
+    local: Vec<u32>,
+    /// Member node ids in registration order.
+    members: Vec<usize>,
+    names: Arc<Vec<String>>,
+    rng: SimRng,
+    trace_hash: u64,
+    dispatched: u64,
+    /// Wall-clock nanoseconds this lane spent executing its windows.
+    /// Measurement only — never read by simulation logic, so it cannot
+    /// perturb determinism. Drives the scale bench's per-shard
+    /// real-time budget (a lane is sustainable when its per-slot busy
+    /// time fits within the slot duration).
+    busy_ns: u64,
+    /// Staged trace events, merged into the global buffer at barriers.
+    trace: TraceBuffer,
+    outbox: Vec<Outbound<M>>,
+    pool: WorkerPool,
+    profiler: SpanProfiler,
+}
+
+impl<M> LaneCore<M> {
+    fn owns(&self, node: NodeId) -> bool {
+        self.local.get(node.0).is_some_and(|&s| s != NOT_LOCAL)
+    }
+
+    fn node_alive(&self, node: NodeId) -> bool {
+        match self.alive.get(node.0).copied().unwrap_or(MEMBER_NONE) {
+            MEMBER_ALIVE => true,
+            MEMBER_DEAD => false,
+            _ => self.alive_view.get(node.0).copied().unwrap_or(false),
+        }
+    }
+
+    /// Record a member death/revival (transitions only), staging the
+    /// trace event for the barrier merge.
+    fn set_alive_local(&mut self, node: NodeId, actor: NodeId, alive: bool) {
+        let slot = &mut self.alive[node.0];
+        assert!(*slot != MEMBER_NONE, "not a lane member");
+        let next = if alive { MEMBER_ALIVE } else { MEMBER_DEAD };
+        if *slot == next {
+            return;
+        }
+        *slot = next;
+        let kind = if alive {
+            TraceEventKind::NodeRevived
+        } else {
+            TraceEventKind::NodeKilled
+        };
+        self.trace.record(self.now, actor, kind, node.0 as u64, 0);
+    }
+}
+
+impl<M: Message> LaneCore<M> {
+    fn push(&mut self, at: Nanos, dst: NodeId, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { at, seq, dst, kind }));
+    }
+
+    /// Send along a link owned by this lane. Same-lane deliveries go to
+    /// the local queue; cross-lane ones are staged on the outbox (the
+    /// sender's link model and RNG already ran, so the outcome does not
+    /// depend on shard count).
+    fn send_via_link_at(&mut self, from: NodeId, dst: NodeId, depart_floor: Nanos, msg: M) -> bool {
+        let now = depart_floor.max(self.now);
+        let link = match self.links.get_mut(&(from, dst)) {
+            Some(l) => l,
+            None => panic!(
+                "no link {} -> {}; use connect() or send_in()",
+                self.names.get(from.0).map(String::as_str).unwrap_or("ext"),
+                self.names.get(dst.0).map(String::as_str).unwrap_or("?"),
+            ),
+        };
+        match link_transmit(link, &mut self.rng, now, msg) {
+            LinkOutcome::Lost => false,
+            LinkOutcome::Deliver { arrive, msg, copy } => {
+                if self.owns(dst) {
+                    if let Some(copy) = copy {
+                        self.push(arrive, dst, EventKind::Msg { from, msg: copy });
+                    }
+                    self.push(arrive, dst, EventKind::Msg { from, msg });
+                } else {
+                    if let Some(copy) = copy {
+                        self.outbox.push(Outbound::Msg {
+                            arrive,
+                            dst,
+                            from,
+                            msg: copy,
+                        });
+                    }
+                    self.outbox.push(Outbound::Msg {
+                        arrive,
+                        dst,
+                        from,
+                        msg,
+                    });
+                }
+                true
+            }
+        }
+    }
+}
+
+/// Handle through which a node interacts with the engine during a
+/// callback. Backed either by the single-loop core or, in sharded mode,
+/// by the node's lane.
+enum CtxInner<'a, M: Message> {
+    Global(&'a mut Core<M>),
+    Lane(&'a mut LaneCore<M>),
 }
 
 /// Handle through which a node interacts with the engine during a
 /// callback.
 pub struct Ctx<'a, M: Message> {
-    core: &'a mut Core<M>,
+    inner: CtxInner<'a, M>,
     id: NodeId,
 }
 
 impl<'a, M: Message> Ctx<'a, M> {
     /// Current simulated time.
     pub fn now(&self) -> Nanos {
-        self.core.now
+        match &self.inner {
+            CtxInner::Global(c) => c.now,
+            CtxInner::Lane(l) => l.now,
+        }
     }
 
     /// The id of the node being called.
@@ -361,66 +553,164 @@ impl<'a, M: Message> Ctx<'a, M> {
     /// Panics if no link `self -> dst` was configured; this catches
     /// wiring bugs early.
     pub fn send(&mut self, dst: NodeId, msg: M) -> bool {
-        if !self.core.alive[dst.0] {
-            // Messages to a crashed node vanish, as frames to a dead
-            // server would — but the link records the loss.
-            if let Some(link) = self.core.links.get_mut(&(self.id, dst)) {
-                link.dropped += 1;
+        let id = self.id;
+        match &mut self.inner {
+            CtxInner::Global(core) => {
+                if !core.alive[dst.0] {
+                    // Messages to a crashed node vanish, as frames to a
+                    // dead server would — but the link records the loss.
+                    if let Some(link) = core.links.get_mut(&(id, dst)) {
+                        link.dropped += 1;
+                    }
+                    return false;
+                }
+                core.send_via_link(id, dst, msg)
             }
-            return false;
+            CtxInner::Lane(lane) => {
+                if !lane.node_alive(dst) {
+                    if let Some(link) = lane.links.get_mut(&(id, dst)) {
+                        link.dropped += 1;
+                    }
+                    return false;
+                }
+                let now = lane.now;
+                lane.send_via_link_at(id, dst, now, msg)
+            }
         }
-        self.core.send_via_link(self.id, dst, msg)
     }
 
     /// Send over the configured link to `dst`, but with the departure
     /// delayed by `delay` (local processing before the NIC): the link's
     /// bandwidth, queueing, and fault injection still apply.
     pub fn send_link_in(&mut self, dst: NodeId, delay: Nanos, msg: M) -> bool {
-        if !self.core.alive[dst.0] {
-            if let Some(link) = self.core.links.get_mut(&(self.id, dst)) {
-                link.dropped += 1;
+        let id = self.id;
+        match &mut self.inner {
+            CtxInner::Global(core) => {
+                if !core.alive[dst.0] {
+                    if let Some(link) = core.links.get_mut(&(id, dst)) {
+                        link.dropped += 1;
+                    }
+                    return false;
+                }
+                let depart = core.now + delay;
+                core.send_via_link_at(id, dst, depart, msg)
             }
-            return false;
+            CtxInner::Lane(lane) => {
+                if !lane.node_alive(dst) {
+                    if let Some(link) = lane.links.get_mut(&(id, dst)) {
+                        link.dropped += 1;
+                    }
+                    return false;
+                }
+                let depart = lane.now + delay;
+                lane.send_via_link_at(id, dst, depart, msg)
+            }
         }
-        let depart = self.core.now + delay;
-        self.core.send_via_link_at(self.id, dst, depart, msg)
     }
 
     /// Deliver a message directly after `delay`, bypassing any link
     /// (models same-host shared memory or abstract control channels).
     pub fn send_in(&mut self, dst: NodeId, delay: Nanos, msg: M) {
-        if !self.core.alive[dst.0] {
-            return;
+        let id = self.id;
+        match &mut self.inner {
+            CtxInner::Global(core) => {
+                if !core.alive[dst.0] {
+                    return;
+                }
+                let at = core.now + delay;
+                core.push(at, dst, EventKind::Msg { from: id, msg });
+            }
+            CtxInner::Lane(lane) => {
+                if !lane.node_alive(dst) {
+                    return;
+                }
+                let at = lane.now + delay;
+                if lane.owns(dst) {
+                    lane.push(at, dst, EventKind::Msg { from: id, msg });
+                } else {
+                    lane.outbox.push(Outbound::Msg {
+                        arrive: at,
+                        dst,
+                        from: id,
+                        msg,
+                    });
+                }
+            }
         }
-        let at = self.core.now + delay;
-        self.core
-            .push(at, dst, EventKind::Msg { from: self.id, msg });
     }
 
     /// Schedule a timer for this node after `delay`.
     pub fn timer(&mut self, delay: Nanos, token: u64) {
-        let at = self.core.now + delay;
-        self.core.push(at, self.id, EventKind::Timer { token });
+        let id = self.id;
+        match &mut self.inner {
+            CtxInner::Global(core) => {
+                let at = core.now + delay;
+                core.push(at, id, EventKind::Timer { token });
+            }
+            CtxInner::Lane(lane) => {
+                let at = lane.now + delay;
+                lane.push(at, id, EventKind::Timer { token });
+            }
+        }
     }
 
     /// Schedule a timer for this node at the absolute time `at` (clamped
     /// to now if already past).
     pub fn timer_at(&mut self, at: Nanos, token: u64) {
-        let at = at.max(self.core.now);
-        self.core.push(at, self.id, EventKind::Timer { token });
+        let id = self.id;
+        match &mut self.inner {
+            CtxInner::Global(core) => {
+                let at = at.max(core.now);
+                core.push(at, id, EventKind::Timer { token });
+            }
+            CtxInner::Lane(lane) => {
+                let at = at.max(lane.now);
+                lane.push(at, id, EventKind::Timer { token });
+            }
+        }
     }
 
     /// Crash another node: all its queued and future events are dropped
     /// until it is revived. Models a fail-stop process crash (SIGKILL).
-    /// Records a `NodeKilled` trace event.
+    /// Records a `NodeKilled` trace event. In sharded mode a cross-lane
+    /// kill takes effect at the next slot barrier.
     pub fn kill(&mut self, node: NodeId) {
-        self.core.set_alive(node, self.id, false);
+        let id = self.id;
+        match &mut self.inner {
+            CtxInner::Global(core) => core.set_alive(node, id, false),
+            CtxInner::Lane(lane) => {
+                if lane.owns(node) {
+                    lane.set_alive_local(node, id, false);
+                } else {
+                    lane.outbox.push(Outbound::SetAlive {
+                        node,
+                        actor: id,
+                        alive: false,
+                    });
+                }
+            }
+        }
     }
 
     /// Bring a previously killed node back (e.g., a restarted process).
-    /// Records a `NodeRevived` trace event.
+    /// Records a `NodeRevived` trace event. In sharded mode a cross-lane
+    /// revive takes effect at the next slot barrier.
     pub fn revive(&mut self, node: NodeId) {
-        self.core.set_alive(node, self.id, true);
+        let id = self.id;
+        match &mut self.inner {
+            CtxInner::Global(core) => core.set_alive(node, id, true),
+            CtxInner::Lane(lane) => {
+                if lane.owns(node) {
+                    lane.set_alive_local(node, id, true);
+                } else {
+                    lane.outbox.push(Outbound::SetAlive {
+                        node,
+                        actor: id,
+                        alive: true,
+                    });
+                }
+            }
+        }
     }
 
     /// Restart a killed node from inside the simulation (an
@@ -428,45 +718,97 @@ impl<'a, M: Message> Ctx<'a, M> {
     /// re-run its `on_start` at the current time so it can re-establish
     /// its timer chains. The node keeps its in-memory state. Only call
     /// on dead nodes — on a live node `on_start` would fire again and
-    /// double its timer chains.
+    /// double its timer chains. In sharded mode a cross-lane restart
+    /// takes effect at the next slot barrier.
     pub fn restart(&mut self, node: NodeId) {
-        self.core.set_alive(node, self.id, true);
-        let now = self.core.now;
-        self.core.push(now, node, EventKind::Start);
+        let id = self.id;
+        match &mut self.inner {
+            CtxInner::Global(core) => {
+                core.set_alive(node, id, true);
+                let now = core.now;
+                core.push(now, node, EventKind::Start);
+            }
+            CtxInner::Lane(lane) => {
+                if lane.owns(node) {
+                    lane.set_alive_local(node, id, true);
+                    let now = lane.now;
+                    lane.push(now, node, EventKind::Start);
+                } else {
+                    lane.outbox.push(Outbound::Restart { node, actor: id });
+                }
+            }
+        }
     }
 
+    /// Liveness of `node`. In sharded mode, cross-lane queries read the
+    /// barrier snapshot (stale by at most one slot); same-lane queries
+    /// are exact.
     pub fn is_alive(&self, node: NodeId) -> bool {
-        self.core.alive[node.0]
+        match &self.inner {
+            CtxInner::Global(core) => core.alive[node.0],
+            CtxInner::Lane(lane) => lane.node_alive(node),
+        }
     }
 
     /// Engine-level RNG; nodes normally hold their own forked [`SimRng`]
-    /// and use this only for incidental draws.
+    /// and use this only for incidental draws. In sharded mode this is
+    /// the lane's RNG stream (pre-split per lane, so draws stay
+    /// shard-invariant).
     pub fn rng(&mut self) -> &mut SimRng {
-        &mut self.core.rng
+        match &mut self.inner {
+            CtxInner::Global(core) => &mut core.rng,
+            CtxInner::Lane(lane) => &mut lane.rng,
+        }
     }
 
     /// Record a structured trace event attributed to this node, stamped
     /// with the slot identity derived from the current time. See
     /// [`TraceEventKind`] for the per-kind payload conventions.
     pub fn trace(&mut self, kind: TraceEventKind, a: u64, b: u64) {
-        let now = self.core.now;
-        self.core.trace.record(now, self.id, kind, a, b);
+        let id = self.id;
+        match &mut self.inner {
+            CtxInner::Global(core) => {
+                let now = core.now;
+                core.trace.record(now, id, kind, a, b);
+            }
+            CtxInner::Lane(lane) => {
+                let now = lane.now;
+                lane.trace.record(now, id, kind, a, b);
+            }
+        }
     }
 
     /// Record a trace event carrying an explicit slot identity (for
     /// events whose slot comes from a packet header rather than the
     /// arrival time).
     pub fn trace_at_slot(&mut self, kind: TraceEventKind, slot: SlotId, a: u64, b: u64) {
-        let now = self.core.now;
-        self.core
-            .trace
-            .record_at_slot(now, self.id, slot, kind, a, b);
+        let id = self.id;
+        match &mut self.inner {
+            CtxInner::Global(core) => {
+                let now = core.now;
+                core.trace.record_at_slot(now, id, slot, kind, a, b);
+            }
+            CtxInner::Lane(lane) => {
+                let now = lane.now;
+                lane.trace.record_at_slot(now, id, slot, kind, a, b);
+            }
+        }
     }
 
     /// The engine-wide metrics registry. Scope metrics by component
     /// name so post-run exports stay navigable.
+    ///
+    /// Not available during sharded dispatch (the registry is global and
+    /// lanes run in parallel); instrumented nodes publish through
+    /// [`crate::metrics::Instrument`] snapshots after the run instead.
     pub fn metrics(&mut self) -> &mut MetricsRegistry {
-        &mut self.core.metrics
+        match &mut self.inner {
+            CtxInner::Global(core) => &mut core.metrics,
+            CtxInner::Lane(_) => panic!(
+                "ctx.metrics() is unavailable during sharded dispatch; \
+                 publish Instrument snapshots after the run instead"
+            ),
+        }
     }
 
     /// The engine's compute worker pool (a cheap shared handle). Pure
@@ -474,7 +816,10 @@ impl<'a, M: Message> Ctx<'a, M> {
     /// this `Ctx` must still happen serially, in submission order, so
     /// worker count never changes the trace.
     pub fn worker_pool(&self) -> WorkerPool {
-        self.core.pool.clone()
+        match &self.inner {
+            CtxInner::Global(core) => core.pool.clone(),
+            CtxInner::Lane(lane) => lane.pool.clone(),
+        }
     }
 
     /// The engine's wall-clock span profiler (a cheap shared handle).
@@ -483,8 +828,26 @@ impl<'a, M: Message> Ctx<'a, M> {
     /// unconditionally. Timing lives in a side-channel buffer, never in
     /// the deterministic trace.
     pub fn profiler(&self) -> SpanProfiler {
-        self.core.profiler.clone()
+        match &self.inner {
+            CtxInner::Global(core) => core.profiler.clone(),
+            CtxInner::Lane(lane) => lane.profiler.clone(),
+        }
     }
+}
+
+/// Sharded-dispatch state: the lane set plus the slot-barrier cursor.
+struct Fabric<M> {
+    /// `Option` so windows can move a lane into a worker job.
+    lanes: Vec<Option<LaneCore<M>>>,
+    lane_of: Arc<Vec<u32>>,
+    /// Next absolute slot-barrier instant (multiple of the quantum).
+    next_barrier: Nanos,
+    /// Barrier spacing; [`crate::time::SLOT_DURATION`] by default.
+    quantum: Nanos,
+    /// How many parallel jobs the lane set is chunked into per window
+    /// (`shards(k)`). Purely an execution knob: any value produces the
+    /// same trace.
+    exec_shards: usize,
 }
 
 /// The deterministic discrete-event simulation engine.
@@ -492,6 +855,7 @@ pub struct Engine<M: Message> {
     core: Core<M>,
     nodes: Vec<Option<Box<dyn Node<M>>>>,
     started: bool,
+    fabric: Option<Fabric<M>>,
 }
 
 impl<M: Message> Engine<M> {
@@ -514,6 +878,7 @@ impl<M: Message> Engine<M> {
             },
             nodes: Vec::new(),
             started: false,
+            fabric: None,
         }
     }
 
@@ -555,18 +920,25 @@ impl<M: Message> Engine<M> {
 
     /// Create a unidirectional link `from -> to`.
     pub fn connect(&mut self, from: NodeId, to: NodeId, params: LinkParams) {
-        self.core.links.insert(
-            (from, to),
-            Link {
-                params,
-                busy_until: Nanos::ZERO,
-                sent: 0,
-                dropped: 0,
-                corrupted: 0,
-                duplicated: 0,
-                bytes: 0,
-            },
-        );
+        let link = Link {
+            params,
+            busy_until: Nanos::ZERO,
+            sent: 0,
+            dropped: 0,
+            corrupted: 0,
+            duplicated: 0,
+            bytes: 0,
+        };
+        if let Some(fabric) = self.fabric.as_mut() {
+            let l = fabric.lane_of[from.0] as usize;
+            fabric.lanes[l]
+                .as_mut()
+                .expect("lane in place")
+                .links
+                .insert((from, to), link);
+            return;
+        }
+        self.core.links.insert((from, to), link);
     }
 
     /// Create links in both directions with identical parameters.
@@ -575,19 +947,39 @@ impl<M: Message> Engine<M> {
         self.connect(b, a, params);
     }
 
+    /// The link `from -> to`, wherever it lives (the global table, or
+    /// the owning lane's table in sharded mode).
+    fn link(&self, from: NodeId, to: NodeId) -> Option<&Link> {
+        match &self.fabric {
+            None => self.core.links.get(&(from, to)),
+            Some(fabric) => {
+                let l = *fabric.lane_of.get(from.0)? as usize;
+                fabric.lanes[l].as_ref()?.links.get(&(from, to))
+            }
+        }
+    }
+
+    fn link_mut(&mut self, from: NodeId, to: NodeId) -> Option<&mut Link> {
+        match &mut self.fabric {
+            None => self.core.links.get_mut(&(from, to)),
+            Some(fabric) => {
+                let l = *fabric.lane_of.get(from.0)? as usize;
+                fabric.lanes[l].as_mut()?.links.get_mut(&(from, to))
+            }
+        }
+    }
+
     /// Replace the parameters of an existing link (e.g., to degrade it
     /// mid-experiment). Panics if the link does not exist.
     pub fn reconfigure_link(&mut self, from: NodeId, to: NodeId, params: LinkParams) {
         let link = self
-            .core
-            .links
-            .get_mut(&(from, to))
+            .link_mut(from, to)
             .expect("reconfigure_link: no such link");
         link.params = params;
     }
 
     pub fn link_stats(&self, from: NodeId, to: NodeId) -> Option<LinkStats> {
-        self.core.links.get(&(from, to)).map(|l| LinkStats {
+        self.link(from, to).map(|l| LinkStats {
             sent: l.sent,
             dropped: l.dropped,
             corrupted: l.corrupted,
@@ -596,33 +988,69 @@ impl<M: Message> Engine<M> {
         })
     }
 
+    /// Aggregate counters across every link in the engine (all lanes in
+    /// sharded mode) — the fabric-wide byte/drop accounting the scale
+    /// benches report per cell.
+    pub fn total_link_stats(&self) -> LinkStats {
+        let mut total = LinkStats::default();
+        let mut add = |l: &Link| {
+            total.sent += l.sent;
+            total.dropped += l.dropped;
+            total.corrupted += l.corrupted;
+            total.duplicated += l.duplicated;
+            total.bytes += l.bytes;
+        };
+        match &self.fabric {
+            None => self.core.links.values().for_each(&mut add),
+            Some(fabric) => {
+                for lane in fabric.lanes.iter().flatten() {
+                    lane.links.values().for_each(&mut add);
+                }
+            }
+        }
+        total
+    }
+
     /// The current parameters of a link, e.g. to save them before a
     /// chaos fault degrades the link and restore them afterwards.
     pub fn link_params(&self, from: NodeId, to: NodeId) -> Option<LinkParams> {
-        self.core.links.get(&(from, to)).map(|l| l.params.clone())
+        self.link(from, to).map(|l| l.params.clone())
     }
 
     /// Inject a message from outside the simulation.
     pub fn post(&mut self, at: Nanos, dst: NodeId, msg: M) {
         let at = at.max(self.core.now);
-        self.core.push(
-            at,
-            dst,
-            EventKind::Msg {
-                from: NodeId::EXTERNAL,
-                msg,
-            },
-        );
+        let kind = EventKind::Msg {
+            from: NodeId::EXTERNAL,
+            msg,
+        };
+        if let Some(fabric) = self.fabric.as_mut() {
+            let l = fabric.lane_of.get(dst.0).copied().unwrap_or(0) as usize;
+            fabric.lanes[l]
+                .as_mut()
+                .expect("lane in place")
+                .push(at, dst, kind);
+            return;
+        }
+        self.core.push(at, dst, kind);
     }
 
     /// Kill a node from outside the simulation (the experiment script's
     /// `SIGKILL`). Records a `NodeKilled` trace event attributed to
     /// [`NodeId::EXTERNAL`].
     pub fn kill(&mut self, node: NodeId) {
+        if self.fabric.is_some() {
+            self.set_alive_sharded(node, NodeId::EXTERNAL, false);
+            return;
+        }
         self.core.set_alive(node, NodeId::EXTERNAL, false);
     }
 
     pub fn revive(&mut self, node: NodeId) {
+        if self.fabric.is_some() {
+            self.set_alive_sharded(node, NodeId::EXTERNAL, true);
+            return;
+        }
         self.core.set_alive(node, NodeId::EXTERNAL, true);
     }
 
@@ -634,12 +1062,58 @@ impl<M: Message> Engine<M> {
     /// is already alive (but `on_start` still fires, so only call this on
     /// dead nodes).
     pub fn restart(&mut self, node: NodeId) {
+        if self.fabric.is_some() {
+            self.set_alive_sharded(node, NodeId::EXTERNAL, true);
+            let now = self.core.now;
+            let fabric = self.fabric.as_mut().expect("fabric");
+            let l = fabric.lane_of[node.0] as usize;
+            fabric.lanes[l]
+                .as_mut()
+                .expect("lane in place")
+                .push(now, node, EventKind::Start);
+            return;
+        }
         self.core.set_alive(node, NodeId::EXTERNAL, true);
         let now = self.core.now;
         self.core.push(now, node, EventKind::Start);
     }
 
+    /// Engine-level liveness change in sharded mode: updates the owning
+    /// lane, records the transition in the global trace, and refreshes
+    /// the fleet-wide snapshot so the next window observes it.
+    fn set_alive_sharded(&mut self, node: NodeId, actor: NodeId, alive: bool) {
+        let now = self.core.now;
+        let changed = {
+            let fabric = self.fabric.as_mut().expect("fabric");
+            let l = fabric.lane_of[node.0] as usize;
+            let lane = fabric.lanes[l].as_mut().expect("lane in place");
+            let slot = &mut lane.alive[node.0];
+            assert!(*slot != MEMBER_NONE, "not a lane member");
+            let next = if alive { MEMBER_ALIVE } else { MEMBER_DEAD };
+            if *slot == next {
+                false
+            } else {
+                *slot = next;
+                true
+            }
+        };
+        if changed {
+            let kind = if alive {
+                TraceEventKind::NodeRevived
+            } else {
+                TraceEventKind::NodeKilled
+            };
+            self.core.trace.record(now, actor, kind, node.0 as u64, 0);
+            self.refresh_alive_view();
+        }
+    }
+
     pub fn is_alive(&self, node: NodeId) -> bool {
+        if let Some(fabric) = &self.fabric {
+            let l = fabric.lane_of[node.0] as usize;
+            let lane = fabric.lanes[l].as_ref().expect("lane in place");
+            return lane.alive.get(node.0).copied().unwrap_or(MEMBER_NONE) == MEMBER_ALIVE;
+        }
         self.core.alive[node.0]
     }
 
@@ -649,13 +1123,53 @@ impl<M: Message> Engine<M> {
 
     /// Number of dispatched events so far.
     pub fn dispatched(&self) -> u64 {
-        self.core.dispatched
+        let lanes: u64 = self
+            .fabric
+            .iter()
+            .flat_map(|f| f.lanes.iter().flatten())
+            .map(|l| l.dispatched)
+            .sum();
+        self.core.dispatched + lanes
+    }
+
+    /// Per-lane dispatched-event counts, in lane order. Empty when the
+    /// engine is not sharded. A load-balance diagnostic: lane 0 is the
+    /// spine domain, lanes 1..=g the leaf groups, and parallel speedup
+    /// is bounded by the heaviest lane's share.
+    pub fn lane_loads(&self) -> Vec<u64> {
+        self.fabric
+            .iter()
+            .flat_map(|f| f.lanes.iter().flatten())
+            .map(|l| l.dispatched)
+            .collect()
+    }
+
+    /// Per-lane cumulative window execution time in wall-clock
+    /// nanoseconds, in lane order (empty when not sharded). Divide by
+    /// the simulated slot count for the per-shard per-slot cost: a
+    /// deployment holds real time on parallel hardware exactly when
+    /// every lane's per-slot cost stays under the slot duration.
+    pub fn lane_busy_ns(&self) -> Vec<u64> {
+        self.fabric
+            .iter()
+            .flat_map(|f| f.lanes.iter().flatten())
+            .map(|l| l.busy_ns)
+            .collect()
     }
 
     /// FNV-style hash over the dispatched event stream; equal seeds and
     /// programs produce equal hashes (the determinism regression test).
+    /// In sharded mode, the per-lane stream hashes are folded together
+    /// in lane order — still shard- and worker-count invariant.
     pub fn trace_hash(&self) -> u64 {
-        self.core.trace_hash
+        let mut h = self.core.trace_hash;
+        if let Some(fabric) = &self.fabric {
+            for lane in fabric.lanes.iter().flatten() {
+                h ^= lane.trace_hash;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
     }
 
     /// The structured event trace recorded so far (see [`crate::trace`]).
@@ -685,7 +1199,6 @@ impl<M: Message> Engine<M> {
     /// snapshot). Iteration is sorted by node id for determinism.
     pub fn publish_link_metrics(&mut self) {
         let names = &self.core.names;
-        let links = &self.core.links;
         let metrics = &mut self.core.metrics;
         let name = |id: NodeId| -> &str {
             names
@@ -693,10 +1206,19 @@ impl<M: Message> Engine<M> {
                 .map(String::as_str)
                 .unwrap_or(if id == NodeId::EXTERNAL { "ext" } else { "?" })
         };
-        let mut keys: Vec<(NodeId, NodeId)> = links.keys().copied().collect();
-        keys.sort();
-        for (from, to) in keys {
-            let link = &links[&(from, to)];
+        // Gather every link, wherever it lives (global table, or the
+        // lanes in sharded mode), then emit in sorted key order.
+        let mut entries: Vec<((NodeId, NodeId), &Link)> = match &self.fabric {
+            None => self.core.links.iter().map(|(k, l)| (*k, l)).collect(),
+            Some(fabric) => fabric
+                .lanes
+                .iter()
+                .flatten()
+                .flat_map(|lane| lane.links.iter().map(|(k, l)| (*k, l)))
+                .collect(),
+        };
+        entries.sort_by_key(|(k, _)| *k);
+        for ((from, to), link) in entries {
             let scope = format!("link:{}->{}", name(from), name(to));
             metrics.set_counter(&scope, "sent", link.sent);
             metrics.set_counter(&scope, "dropped", link.dropped);
@@ -735,11 +1257,36 @@ impl<M: Message> Engine<M> {
             return;
         }
         self.started = true;
+        if self.fabric.is_some() {
+            // Sharded start is serial, in node id order, through each
+            // node's lane ctx; outboxes drain after every callback so
+            // startup semantics match the single-loop path exactly.
+            for i in 0..self.nodes.len() {
+                let lane_idx = {
+                    let fabric = self.fabric.as_ref().expect("fabric");
+                    fabric.lane_of[i] as usize
+                };
+                let mut node = self.nodes[i].take().expect("node missing at start");
+                {
+                    let fabric = self.fabric.as_mut().expect("fabric");
+                    let lane = fabric.lanes[lane_idx].as_mut().expect("lane in place");
+                    let mut ctx = Ctx {
+                        inner: CtxInner::Lane(lane),
+                        id: NodeId(i),
+                    };
+                    node.on_start(&mut ctx);
+                }
+                self.nodes[i] = Some(node);
+                self.drain_outbox_of(lane_idx, Nanos::ZERO);
+            }
+            self.refresh_alive_view();
+            return;
+        }
         for i in 0..self.nodes.len() {
             let mut node = self.nodes[i].take().expect("node missing at start");
             {
                 let mut ctx = Ctx {
-                    core: &mut self.core,
+                    inner: CtxInner::Global(&mut self.core),
                     id: NodeId(i),
                 };
                 node.on_start(&mut ctx);
@@ -752,6 +1299,10 @@ impl<M: Message> Engine<M> {
     /// Afterwards `now() == until` (unless the queue emptied first, in
     /// which case `now()` still advances to `until`).
     pub fn run_until(&mut self, until: Nanos) {
+        if self.fabric.is_some() {
+            self.run_until_sharded(until);
+            return;
+        }
         self.start_if_needed();
         loop {
             let at = match self.core.queue.peek() {
@@ -782,7 +1333,7 @@ impl<M: Message> Engine<M> {
             let mut node = self.nodes[dst.0].take().expect("node missing");
             {
                 let mut ctx = Ctx {
-                    core: &mut self.core,
+                    inner: CtxInner::Global(&mut self.core),
                     id: dst,
                 };
                 match ev.kind {
@@ -801,6 +1352,409 @@ impl<M: Message> Engine<M> {
         let until = self.core.now + d;
         self.run_until(until);
     }
+
+    // ---- sharded dispatch -------------------------------------------------
+
+    /// Partition the node space into parallel dispatch lanes (cell-group
+    /// shards). `lane_of[i]` is node `i`'s lane; lane 0 is conventionally
+    /// the spine domain (core network, recovery orchestrator, spare
+    /// pool). Must be called after every node and link is registered and
+    /// before the first run.
+    ///
+    /// Lanes advance independently between slot barriers (every
+    /// [`crate::time::SLOT_DURATION`]); cross-lane messages and liveness
+    /// changes are staged on per-lane outboxes and applied serially at
+    /// the barrier, with delivery times quantized up to the barrier
+    /// instant. Because each lane owns its own event queue, RNG stream
+    /// (pre-split per lane), links, and trace staging buffer, the result
+    /// is byte-identical for every `set_exec_shards` value and every
+    /// worker count.
+    pub fn enable_shards(&mut self, lane_of: Vec<u32>, n_lanes: usize) {
+        assert!(
+            !self.started,
+            "enable_shards must be called before the first run"
+        );
+        assert!(self.fabric.is_none(), "enable_shards called twice");
+        assert_eq!(
+            lane_of.len(),
+            self.nodes.len(),
+            "lane_of must cover every node"
+        );
+        assert!(n_lanes >= 1, "need at least one lane");
+        assert!(
+            lane_of.iter().all(|&l| (l as usize) < n_lanes),
+            "lane index out of range"
+        );
+        let lane_of = Arc::new(lane_of);
+        let n_nodes = self.nodes.len();
+        let names = Arc::new(self.core.names.clone());
+        let mut lanes: Vec<LaneCore<M>> = (0..n_lanes)
+            .map(|i| LaneCore {
+                now: self.core.now,
+                seq: self.core.seq,
+                queue: BinaryHeap::new(),
+                links: HashMap::new(),
+                alive: vec![MEMBER_NONE; n_nodes],
+                alive_view: Arc::new(Vec::new()),
+                local: vec![NOT_LOCAL; n_nodes],
+                members: Vec::new(),
+                names: Arc::clone(&names),
+                rng: self.core.rng.split(i as u64),
+                trace_hash: 0xcbf2_9ce4_8422_2325,
+                dispatched: 0,
+                busy_ns: 0,
+                trace: self.core.trace.fork_staging(),
+                outbox: Vec::new(),
+                pool: self.core.pool.clone(),
+                profiler: self.core.profiler.clone(),
+            })
+            .collect();
+        for (i, &l) in lane_of.iter().enumerate() {
+            let lane = &mut lanes[l as usize];
+            lane.local[i] = lane.members.len() as u32;
+            lane.members.push(i);
+            lane.alive[i] = if self.core.alive[i] {
+                MEMBER_ALIVE
+            } else {
+                MEMBER_DEAD
+            };
+        }
+        // A link belongs to its sender's lane: the sender's clock and
+        // RNG run the link model, so fault draws stay shard-invariant.
+        for (key, link) in self.core.links.drain() {
+            let l = lane_of[key.0 .0] as usize;
+            lanes[l].links.insert(key, link);
+        }
+        // Pending events go to the destination's lane, keeping their
+        // original (at, seq) so relative order survives the handoff.
+        for Reverse(ev) in std::mem::take(&mut self.core.queue).into_iter() {
+            let l = lane_of.get(ev.dst.0).copied().unwrap_or(0) as usize;
+            lanes[l].queue.push(Reverse(ev));
+        }
+        let quantum = crate::time::SLOT_DURATION;
+        let next_barrier = Nanos((self.core.now.0 / quantum.0 + 1) * quantum.0);
+        self.fabric = Some(Fabric {
+            lanes: lanes.into_iter().map(Some).collect(),
+            lane_of,
+            next_barrier,
+            quantum,
+            exec_shards: n_lanes,
+        });
+        self.refresh_alive_view();
+    }
+
+    /// How many parallel jobs the lane set is chunked into per window.
+    /// Purely an execution knob — any value yields the same trace. No-op
+    /// unless sharding is enabled.
+    pub fn set_exec_shards(&mut self, k: usize) {
+        if let Some(fabric) = self.fabric.as_mut() {
+            fabric.exec_shards = k.max(1);
+        }
+    }
+
+    /// True when [`Engine::enable_shards`] has installed dispatch lanes.
+    pub fn is_sharded(&self) -> bool {
+        self.fabric.is_some()
+    }
+
+    fn run_until_sharded(&mut self, until: Nanos) {
+        self.start_if_needed();
+        loop {
+            let (barrier, quantum) = {
+                let fabric = self.fabric.as_ref().expect("fabric");
+                (fabric.next_barrier, fabric.quantum)
+            };
+            if barrier > until {
+                self.advance_lanes_to(until);
+                self.merge_lane_traces();
+                break;
+            }
+            self.advance_lanes_to(barrier);
+            self.barrier_sync(barrier);
+            self.fabric.as_mut().expect("fabric").next_barrier = barrier + quantum;
+            // Early exit once the whole fabric is quiescent: no queued
+            // events, no staged cross-lane traffic.
+            let idle = {
+                let fabric = self.fabric.as_ref().expect("fabric");
+                fabric
+                    .lanes
+                    .iter()
+                    .flatten()
+                    .all(|l| l.queue.is_empty() && l.outbox.is_empty())
+            };
+            if idle {
+                self.advance_lanes_to(until);
+                break;
+            }
+        }
+        self.core.now = self.core.now.max(until);
+        if let Some(fabric) = self.fabric.as_mut() {
+            for lane in fabric.lanes.iter_mut().flatten() {
+                lane.now = lane.now.max(until);
+            }
+        }
+    }
+
+    /// Advance every lane to `target`, chunked into `exec_shards`
+    /// parallel jobs on the worker pool. Each job owns its lanes' state
+    /// and node boxes for the duration of the window, so no
+    /// synchronization happens inside a window.
+    fn advance_lanes_to(&mut self, target: Nanos) {
+        let n_lanes = self.fabric.as_ref().expect("fabric").lanes.len();
+        let shards = self
+            .fabric
+            .as_ref()
+            .expect("fabric")
+            .exec_shards
+            .clamp(1, n_lanes);
+        let mut bundles: Vec<LaneBundle<M>> = Vec::with_capacity(n_lanes);
+        {
+            let fabric = self.fabric.as_mut().expect("fabric");
+            for idx in 0..n_lanes {
+                let lane = fabric.lanes[idx].take().expect("lane in place");
+                let mut nodes: Vec<Option<Box<dyn Node<M>>>> =
+                    Vec::with_capacity(lane.members.len());
+                for &m in &lane.members {
+                    nodes.push(Some(self.nodes[m].take().expect("node missing")));
+                }
+                bundles.push(LaneBundle { idx, lane, nodes });
+            }
+        }
+        // Contiguous, near-even chunks; chunk boundaries cannot affect
+        // the result because lane windows are fully independent.
+        let base = n_lanes / shards;
+        let extra = n_lanes % shards;
+        let mut jobs: Vec<Box<dyn FnOnce() -> Vec<LaneBundle<M>> + Send>> =
+            Vec::with_capacity(shards);
+        let mut rest = bundles;
+        for c in 0..shards {
+            let take = base + usize::from(c < extra);
+            let tail = rest.split_off(take.min(rest.len()));
+            let mut chunk = rest;
+            rest = tail;
+            jobs.push(Box::new(move || {
+                for b in &mut chunk {
+                    run_lane_window(&mut b.lane, &mut b.nodes, target);
+                }
+                chunk
+            }));
+        }
+        let done = self.core.pool.run(jobs);
+        let fabric = self.fabric.as_mut().expect("fabric");
+        for bundle in done.into_iter().flatten() {
+            let LaneBundle {
+                idx,
+                lane,
+                mut nodes,
+            } = bundle;
+            for (slot, &m) in lane.members.iter().enumerate() {
+                self.nodes[m] = Some(nodes[slot].take().expect("node returned"));
+            }
+            fabric.lanes[idx] = Some(lane);
+        }
+    }
+
+    /// Serial synchronization at a slot barrier: merge staged traces in
+    /// lane order, drain every outbox (lane order = deterministic), and
+    /// refresh the fleet-wide liveness snapshot.
+    fn barrier_sync(&mut self, barrier: Nanos) {
+        self.merge_lane_traces();
+        let n_lanes = self.fabric.as_ref().expect("fabric").lanes.len();
+        for idx in 0..n_lanes {
+            self.drain_outbox_of(idx, barrier);
+        }
+        self.refresh_alive_view();
+        self.core.now = barrier;
+    }
+
+    /// Apply one lane's staged cross-lane effects. `floor` is the
+    /// barrier instant: deliveries quantize up to it, and liveness
+    /// transitions are stamped with it.
+    fn drain_outbox_of(&mut self, lane_idx: usize, floor: Nanos) {
+        let ops = {
+            let fabric = self.fabric.as_mut().expect("fabric");
+            std::mem::take(
+                &mut fabric.lanes[lane_idx]
+                    .as_mut()
+                    .expect("lane in place")
+                    .outbox,
+            )
+        };
+        for op in ops {
+            match op {
+                Outbound::Msg {
+                    arrive,
+                    dst,
+                    from,
+                    msg,
+                } => {
+                    let at = arrive.max(floor);
+                    let fabric = self.fabric.as_mut().expect("fabric");
+                    let l = fabric.lane_of.get(dst.0).copied().unwrap_or(0) as usize;
+                    fabric.lanes[l].as_mut().expect("lane in place").push(
+                        at,
+                        dst,
+                        EventKind::Msg { from, msg },
+                    );
+                }
+                Outbound::SetAlive { node, actor, alive } => {
+                    self.apply_remote_alive(node, actor, alive, floor);
+                }
+                Outbound::Restart { node, actor } => {
+                    self.apply_remote_alive(node, actor, true, floor);
+                    let fabric = self.fabric.as_mut().expect("fabric");
+                    let l = fabric.lane_of[node.0] as usize;
+                    fabric.lanes[l].as_mut().expect("lane in place").push(
+                        floor,
+                        node,
+                        EventKind::Start,
+                    );
+                }
+            }
+        }
+    }
+
+    fn apply_remote_alive(&mut self, node: NodeId, actor: NodeId, alive: bool, at: Nanos) {
+        let changed = {
+            let fabric = self.fabric.as_mut().expect("fabric");
+            let l = fabric.lane_of[node.0] as usize;
+            let lane = fabric.lanes[l].as_mut().expect("lane in place");
+            let slot = &mut lane.alive[node.0];
+            assert!(*slot != MEMBER_NONE, "not a lane member");
+            let next = if alive { MEMBER_ALIVE } else { MEMBER_DEAD };
+            if *slot == next {
+                false
+            } else {
+                *slot = next;
+                true
+            }
+        };
+        if changed {
+            let kind = if alive {
+                TraceEventKind::NodeRevived
+            } else {
+                TraceEventKind::NodeKilled
+            };
+            self.core.trace.record(at, actor, kind, node.0 as u64, 0);
+        }
+    }
+
+    /// Rebuild the fleet-wide liveness snapshot every lane reads for
+    /// cross-lane queries during the next window.
+    fn refresh_alive_view(&mut self) {
+        let fabric = self.fabric.as_mut().expect("fabric");
+        let mut view = vec![false; self.nodes.len()];
+        for lane in fabric.lanes.iter().flatten() {
+            for (id, &state) in lane.alive.iter().enumerate() {
+                if state != MEMBER_NONE {
+                    view[id] = state == MEMBER_ALIVE;
+                }
+            }
+        }
+        let view = Arc::new(view);
+        for lane in fabric.lanes.iter_mut().flatten() {
+            lane.alive_view = Arc::clone(&view);
+        }
+    }
+
+    /// Move every lane's staged trace events into the global buffer,
+    /// time-sorted (stable, so lane order breaks ties — deterministic
+    /// for every shard and worker count).
+    fn merge_lane_traces(&mut self) {
+        let fabric = self.fabric.as_mut().expect("fabric");
+        let mut staged: Vec<crate::trace::TraceEvent> = Vec::new();
+        for lane in fabric.lanes.iter_mut().flatten() {
+            staged.append(&mut lane.trace.drain_events());
+            lane.trace.sync_filter_from(&self.core.trace);
+        }
+        staged.sort_by_key(|ev| ev.at);
+        for ev in staged {
+            self.core.trace.append_event(ev);
+        }
+    }
+}
+
+#[cfg(feature = "dispatch-histogram")]
+pub static DISPATCH_HISTOGRAM: std::sync::Mutex<std::collections::BTreeMap<String, u64>> =
+    std::sync::Mutex::new(std::collections::BTreeMap::new());
+
+/// One lane's movable window state: the lane core plus its member nodes
+/// (indexed by the lane's `local` map).
+struct LaneBundle<M: Message> {
+    idx: usize,
+    lane: LaneCore<M>,
+    nodes: Vec<Option<Box<dyn Node<M>>>>,
+}
+
+/// Advance a single lane to `until`: the same pop/dispatch loop as the
+/// single-loop engine, against lane-local state only. Runs inside a
+/// worker job; everything it touches is owned by the job.
+fn run_lane_window<M: Message>(
+    lane: &mut LaneCore<M>,
+    nodes: &mut [Option<Box<dyn Node<M>>>],
+    until: Nanos,
+) {
+    let window_t0 = std::time::Instant::now();
+    loop {
+        let at = match lane.queue.peek() {
+            Some(Reverse(ev)) if ev.at <= until => ev.at,
+            _ => break,
+        };
+        let Reverse(ev) = lane.queue.pop().expect("peeked event vanished");
+        debug_assert!(at >= lane.now, "time went backwards");
+        lane.now = at;
+        let dst = ev.dst;
+        let slot = match lane.local.get(dst.0).copied() {
+            Some(s) if s != NOT_LOCAL => s as usize,
+            _ => continue,
+        };
+        if lane.alive.get(dst.0).copied().unwrap_or(MEMBER_NONE) != MEMBER_ALIVE {
+            continue;
+        }
+        let kind_tag: u64 = match &ev.kind {
+            EventKind::Msg { .. } => 1,
+            EventKind::Timer { .. } => 2,
+            EventKind::Start => 3,
+        };
+        let mut h = lane.trace_hash;
+        for v in [at.0, dst.0 as u64, kind_tag] {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        lane.trace_hash = h;
+        lane.dispatched += 1;
+        #[cfg(feature = "dispatch-histogram")]
+        {
+            let name = lane.names.get(dst.0).cloned().unwrap_or_default();
+            let pfx: String = name.chars().take_while(|c| !c.is_ascii_digit()).collect();
+            let tag = match &ev.kind {
+                EventKind::Msg { .. } => "msg",
+                EventKind::Timer { .. } => "timer",
+                EventKind::Start => "start",
+            };
+            *DISPATCH_HISTOGRAM
+                .lock()
+                .unwrap()
+                .entry(format!("{pfx}/{tag}"))
+                .or_insert(0u64) += 1;
+        }
+
+        let mut node = nodes[slot].take().expect("node missing");
+        {
+            let mut ctx = Ctx {
+                inner: CtxInner::Lane(lane),
+                id: dst,
+            };
+            match ev.kind {
+                EventKind::Msg { from, msg } => node.on_msg(&mut ctx, from, msg),
+                EventKind::Timer { token } => node.on_timer(&mut ctx, token),
+                EventKind::Start => node.on_start(&mut ctx),
+            }
+        }
+        nodes[slot] = Some(node);
+    }
+    lane.now = lane.now.max(until);
+    lane.busy_ns += window_t0.elapsed().as_nanos() as u64;
 }
 
 #[cfg(test)]

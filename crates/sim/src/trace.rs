@@ -303,6 +303,48 @@ impl TraceBuffer {
         self.total += 1;
     }
 
+    /// A staging buffer sharing this buffer's clock and kind filter —
+    /// what each engine shard records into between slot barriers before
+    /// its events merge back here. Staging rings get the same capacity;
+    /// they are drained every barrier, so eviction never fires in
+    /// practice.
+    pub fn fork_staging(&self) -> TraceBuffer {
+        TraceBuffer {
+            events: std::collections::VecDeque::new(),
+            capacity: self.capacity,
+            dropped_oldest: 0,
+            total: 0,
+            clock: self.clock,
+            kind_mask: self.kind_mask,
+        }
+    }
+
+    /// Copy another buffer's kind filter (keeps staging buffers in step
+    /// with a filter installed on the global buffer mid-run).
+    pub fn sync_filter_from(&mut self, other: &TraceBuffer) {
+        self.kind_mask = other.kind_mask;
+    }
+
+    /// Take every buffered event out, preserving record order. The
+    /// `total`/`dropped_oldest` accounting is *not* reset: a staging
+    /// buffer's totals keep accumulating across drains so shard runs
+    /// report the same totals as single-loop runs.
+    pub fn drain_events(&mut self) -> Vec<TraceEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Append an already-built event (from a shard's staging buffer),
+    /// bypassing the kind filter — staging already applied it — but
+    /// honoring ring capacity.
+    pub fn append_event(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped_oldest += 1;
+        }
+        self.events.push_back(ev);
+        self.total += 1;
+    }
+
     pub fn len(&self) -> usize {
         self.events.len()
     }

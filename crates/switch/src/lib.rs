@@ -10,11 +10,13 @@
 pub mod control;
 pub mod pipeline;
 pub mod pktgen;
+pub mod ports;
 pub mod resources;
 pub mod tables;
 
 pub use control::ControlPlaneModel;
 pub use pipeline::{PortId, StaticForwarder, SwitchAction, SwitchProgram, PIPELINE_LATENCY};
 pub use pktgen::PktGenConfig;
+pub use ports::PortSpace;
 pub use resources::{estimate, PipelineManifest, ResourceBudget, ResourceUsage};
 pub use tables::{ExactTable, RegisterArray, TableFull};

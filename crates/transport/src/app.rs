@@ -12,7 +12,9 @@ use slingshot_sim::Nanos;
 ///
 /// `Any` is a supertrait so hosting nodes can downcast hosted apps for
 /// post-run inspection (stats extraction in experiment harnesses).
-pub trait UserApp: std::any::Any {
+/// `Send` because hosting nodes may live in a sharded engine lane whose
+/// window runs on a worker thread.
+pub trait UserApp: std::any::Any + Send {
     /// A packet arrived from the network.
     fn on_packet(&mut self, now: Nanos, payload: &[u8]);
 

@@ -27,8 +27,20 @@ fi
 mkdir -p "$OUT"
 LCOV="$OUT/coverage.lcov"
 
-echo "==> cargo llvm-cov --workspace (lcov -> $LCOV)"
-cargo llvm-cov --workspace --lcov --output-path "$LCOV"
+echo "==> cargo llvm-cov --workspace (tests, no report yet)"
+cargo llvm-cov --workspace --no-report
+
+# Fold a tiny scale_bench run into the same profile so the sharded
+# leaf/spine execution paths (lane windows, barrier sync, spine
+# drain) are exercised end-to-end, not only through unit tests. The
+# sweep is shrunk far below the CI gate's quick mode — this is a
+# coverage probe, not a capacity measurement, so no baseline is set.
+echo "==> scale smoke under coverage (sharded fabric paths)"
+SCALE_CELLS=8 SCALE_GROUPS=2 SCALE_SHARDS=1,2 SCALE_MS=5 SCALE_REPS=1 \
+    cargo llvm-cov run --no-report -p slingshot-bench --bin scale_bench
+
+echo "==> cargo llvm-cov report (lcov -> $LCOV)"
+cargo llvm-cov report --lcov --output-path "$LCOV"
 
 # Aggregate LCOV LF/LH records per floored path prefix. LCOV is the
 # stable interchange format; the summary table's column layout is not.
