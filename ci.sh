@@ -17,6 +17,10 @@
 #
 # Knobs (all optional; defaults shown):
 #   CHAOS_SEEDS=4      seeds for the chaos smoke (nightly workflow: 64)
+#   KERNEL_BACKEND=    DSP kernel backend (scalar|avx2|neon|detect);
+#                      the full gate runs tier-1 tests twice — native
+#                      detection and forced scalar — so SIMD kernels
+#                      and the scalar oracle are both exercised
 #   BENCH_JSON_DIR=    directory for bench JSON artifacts (unset: skip)
 #   KERNEL_QUICK=1     kernel_bench: ~10 ms per DSP kernel
 #   SLOTS_CELLS=2 SLOTS_WORKERS=1,4 SLOTS_MS=100
@@ -62,8 +66,13 @@ if [[ "$QUICK" == 1 ]]; then
 fi
 
 run_benches() {
-    echo "==> DSP kernel throughput smoke"
+    echo "==> DSP kernel throughput smoke (native backend)"
     KERNEL_QUICK=1 \
+        KERNEL_BASELINE=crates/bench/baselines/kernel_bench.baseline \
+        cargo run --release -p slingshot-bench --bin kernel_bench
+
+    echo "==> DSP kernel throughput smoke (forced scalar)"
+    KERNEL_QUICK=1 KERNEL_BACKEND=scalar \
         KERNEL_BASELINE=crates/bench/baselines/kernel_bench.baseline \
         cargo run --release -p slingshot-bench --bin kernel_bench
 
@@ -95,8 +104,13 @@ fi
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test --workspace -q"
+echo "==> cargo test --workspace -q (native kernel backend)"
 cargo test --workspace -q
+
+echo "==> cargo test --workspace -q (KERNEL_BACKEND=scalar)"
+# Forced-scalar pass: proves the scalar oracle stands on its own and
+# that golden trace hashes don't depend on the host's SIMD features.
+KERNEL_BACKEND=scalar cargo test --workspace -q
 
 echo "==> cargo fmt --check"
 cargo fmt --check

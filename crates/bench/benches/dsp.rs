@@ -5,11 +5,11 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use slingshot_phy_dsp::channel::AwgnChannel;
 use slingshot_phy_dsp::crc::{attach_crc24a, check_crc24a};
-use slingshot_phy_dsp::iq::{bfp_compress, bfp_decompress, Cplx, SC_PER_PRB};
-use slingshot_phy_dsp::modulation::{demodulate_llr, modulate, Modulation};
+use slingshot_phy_dsp::iq::{Cplx, SC_PER_PRB};
+use slingshot_phy_dsp::modulation::{modulate, Modulation};
 use slingshot_phy_dsp::scramble::{descramble_llrs, scramble_bits, GoldSequence};
-use slingshot_phy_dsp::tbchain::{decode_tb, encode_tb, mother_buffer_len, TbParams};
-use slingshot_phy_dsp::LdpcCode;
+use slingshot_phy_dsp::tbchain::{mother_buffer_len, TbParams};
+use slingshot_phy_dsp::{DspKernels, LdpcCode};
 use slingshot_sim::SimRng;
 
 fn bench_crc(c: &mut Criterion) {
@@ -42,6 +42,8 @@ fn bench_scrambler(c: &mut Criterion) {
 }
 
 fn bench_modulation(c: &mut Criterion) {
+    // Honors KERNEL_BACKEND; best available backend otherwise.
+    let kernels = DspKernels::from_env();
     let mut rng = SimRng::new(1);
     let mut g = c.benchmark_group("modulation");
     for m in [Modulation::Qpsk, Modulation::Qam64, Modulation::Qam256] {
@@ -54,7 +56,7 @@ fn bench_modulation(c: &mut Criterion) {
             b.iter(|| modulate(std::hint::black_box(&bits), m))
         });
         g.bench_function(format!("demap_llr_1k_syms_{m:?}"), |b| {
-            b.iter(|| demodulate_llr(std::hint::black_box(&syms), m, 0.05))
+            b.iter(|| kernels.demodulate_llr(std::hint::black_box(&syms), m, 0.05))
         });
     }
     g.finish();
@@ -87,6 +89,7 @@ fn bench_ldpc(c: &mut Criterion) {
 }
 
 fn bench_tb_chain(c: &mut Criterion) {
+    let kernels = DspKernels::from_env();
     let payload: Vec<u8> = (0..125u32).map(|i| i as u8).collect();
     let p = TbParams {
         modulation: Modulation::Qam64,
@@ -96,34 +99,35 @@ fn bench_tb_chain(c: &mut Criterion) {
         rv: 0,
         fec_iterations: 8,
     };
-    let syms = encode_tb(&payload, &p);
+    let syms = kernels.encode_tb(&payload, &p);
     let mut ch = AwgnChannel::new(SimRng::new(4));
     let (rx, nv) = ch.apply(&syms, 25.0);
     let mut g = c.benchmark_group("tb_chain_64qam_r067");
     g.throughput(Throughput::Bytes(payload.len() as u64));
     g.bench_function("encode_tb", |b| {
-        b.iter(|| encode_tb(std::hint::black_box(&payload), &p))
+        b.iter(|| kernels.encode_tb(std::hint::black_box(&payload), &p))
     });
     g.bench_function("decode_tb", |b| {
         b.iter(|| {
             let mut acc = vec![0.0f32; mother_buffer_len(payload.len())];
-            decode_tb(&mut acc, std::hint::black_box(&rx), nv, payload.len(), &p)
+            kernels.decode_tb(&mut acc, std::hint::black_box(&rx), nv, payload.len(), &p)
         })
     });
     g.finish();
 }
 
 fn bench_bfp(c: &mut Criterion) {
+    let kernels = DspKernels::from_env();
     let samples: [Cplx; SC_PER_PRB] =
         std::array::from_fn(|i| Cplx::new((i as f32 * 0.4).cos(), (i as f32 * 0.4).sin()));
-    let prb = bfp_compress(&samples);
+    let prb = kernels.bfp_compress(&samples);
     let mut g = c.benchmark_group("bfp");
     g.throughput(Throughput::Elements(SC_PER_PRB as u64));
     g.bench_function("compress_prb", |b| {
-        b.iter(|| bfp_compress(std::hint::black_box(&samples)))
+        b.iter(|| kernels.bfp_compress(std::hint::black_box(&samples)))
     });
     g.bench_function("decompress_prb", |b| {
-        b.iter(|| bfp_decompress(std::hint::black_box(&prb)))
+        b.iter(|| kernels.bfp_decompress(std::hint::black_box(&prb)))
     });
     g.finish();
 }

@@ -8,7 +8,8 @@ use slingshot::{CtlPacket, FhMbox};
 use slingshot_fapi::{DlTtiRequest, FapiMsg, PdschPdu};
 use slingshot_fronthaul::{fh_header, CPlaneMsg, Direction, FhMessage, UPlaneMsg};
 use slingshot_netsim::{EtherType, Frame, MacAddr};
-use slingshot_phy_dsp::iq::{bfp_compress, Cplx, SC_PER_PRB};
+use slingshot_phy_dsp::iq::{Cplx, SC_PER_PRB};
+use slingshot_phy_dsp::DspKernels;
 use slingshot_sim::{Nanos, SlotId};
 use slingshot_switch::{PktGenConfig, PortId, SwitchProgram};
 
@@ -30,7 +31,7 @@ fn ul_frame() -> Frame {
     let msg = FhMessage::UPlane(UPlaneMsg {
         hdr: fh_header(Direction::Uplink, SlotId::from_absolute(1234), 3, 0),
         start_prb: 0,
-        prbs: vec![bfp_compress(&samples); 48],
+        prbs: vec![DspKernels::from_env().bfp_compress(&samples); 48],
     });
     Frame::new(
         MacAddr::virtual_phy(0),

@@ -10,21 +10,29 @@
 //!
 //! Knobs (env):
 //!   KERNEL_QUICK=1           ~10 ms per kernel instead of ~100 ms
+//!   KERNEL_BACKEND=<b>       kernel backend: scalar | avx2 | neon |
+//!                            detect (default: best available)
 //!   KERNEL_BASELINE=<path>   baseline file: `<key> <ops_per_sec>`
 //!                            lines; fail the run if any measured
-//!                            kernel drops below 80% of its floor
+//!                            kernel drops below 80% of its floor.
+//!                            A key may carry a `@<backend>` suffix;
+//!                            suffixed floors only apply when that
+//!                            backend is the one running and take
+//!                            precedence over the bare key.
 //!
 //! JSON artifact: `kernel_bench.json` in `$BENCH_JSON_DIR`, scalars
-//! keyed `<kernel>_ops_per_sec` plus `<kernel>_us` per-op times.
+//! keyed `<kernel>_ops_per_sec` plus `<kernel>_us` per-op times; the
+//! `labels.backend` field records which kernel backend ran.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 use slingshot_bench::{banner, BenchReport};
 use slingshot_phy_dsp::crc::{attach_crc24a, crc16};
-use slingshot_phy_dsp::modulation::{demodulate_llr_into, modulate_packed_into};
+use slingshot_phy_dsp::iq::SC_PER_PRB;
+use slingshot_phy_dsp::modulation::modulate_packed_into;
 use slingshot_phy_dsp::scramble::{cached_sequence, descramble_llrs_packed, scramble_packed};
-use slingshot_phy_dsp::{BitBuf, Cplx, LdpcCode, LdpcScratch, Modulation};
+use slingshot_phy_dsp::{BitBuf, Cplx, DspKernels, LdpcCode, LdpcScratch, Modulation};
 use slingshot_sim::SimRng;
 
 /// Time one kernel: repeat `op` until `budget` elapses (at least 3
@@ -82,21 +90,26 @@ fn main() {
         Duration::from_millis(100)
     };
 
+    // Honors KERNEL_BACKEND; best available backend otherwise.
+    let kernels = DspKernels::from_env();
+
     banner(
         "DSP kernel throughput: ops/sec per baseband primitive",
-        "word-packed kernel engineering (DESIGN.md §5e)",
+        "word-packed kernel engineering (DESIGN.md §5e, §5h)",
     );
     println!(
-        "# {} mode, ≥{} ms per kernel\n",
+        "# {} mode, ≥{} ms per kernel, backend={}\n",
         if quick { "quick" } else { "full" },
-        budget.as_millis()
+        budget.as_millis(),
+        kernels.name(),
     );
 
     let mut report = BenchReport::new(
         "kernel_bench",
         "DSP kernel throughput (ops per second)",
-        "DESIGN.md §5e",
+        "DESIGN.md §5e, §5h",
     );
+    report.label("backend", kernels.name());
     let mut measured: Vec<(String, f64)> = Vec::new();
 
     println!("{:<28} {:>14} {:>12}", "kernel", "ops/sec", "µs/op");
@@ -159,7 +172,7 @@ fn main() {
     };
     let mut scratch = LdpcScratch::default();
     let r = measure(budget, || {
-        black_box(code.decode_into(black_box(&channel_llrs), 8, &mut scratch));
+        black_box(kernels.ldpc_decode_into(&code, black_box(&channel_llrs), 8, &mut scratch));
     });
     record("ldpc_decode_k1024", r, &mut report);
 
@@ -174,23 +187,61 @@ fn main() {
     record("modulate_1k_qam64", r, &mut report);
     let mut demod: Vec<f32> = Vec::new();
     let r = measure(budget, || {
-        demodulate_llr_into(black_box(&syms), Modulation::Qam64, 0.05, &mut demod);
+        kernels.demodulate_llr_into(black_box(&syms), Modulation::Qam64, 0.05, &mut demod);
         black_box(&demod);
     });
     record("demap_1k_qam64", r, &mut report);
 
+    // BFP fronthaul compression, one PRB each way.
+    let prb_samples: [Cplx; SC_PER_PRB] =
+        std::array::from_fn(|i| Cplx::new((i as f32 * 0.4).cos(), (i as f32 * 0.4).sin()));
+    let r = measure(budget, || {
+        black_box(kernels.bfp_compress(black_box(&prb_samples)));
+    });
+    record("bfp_compress_prb", r, &mut report);
+    let prb = kernels.bfp_compress(&prb_samples);
+    let r = measure(budget, || {
+        black_box(kernels.bfp_decompress(black_box(&prb)));
+    });
+    record("bfp_decompress_prb", r, &mut report);
+
     report.write();
 
     if let Ok(path) = std::env::var("KERNEL_BASELINE") {
+        let backend = kernels.name();
+        let baseline = load_baseline(&path);
         let mut regressed = false;
-        for (key, base) in load_baseline(&path) {
-            match measured.iter().find(|(k, _)| *k == key) {
+        for (raw_key, base) in &baseline {
+            // `<kernel>@<backend>` floors apply only when that backend
+            // ran; a bare key is a floor for every backend unless a
+            // backend-specific floor shadows it.
+            let (key, floor_backend) = match raw_key.split_once('@') {
+                Some((k, b)) => (k, Some(b)),
+                None => (raw_key.as_str(), None),
+            };
+            match floor_backend {
+                Some(b) if b != backend => {
+                    println!("# baseline {raw_key}: backend {b} not running, skipped");
+                    continue;
+                }
+                None if baseline
+                    .iter()
+                    .any(|(other, _)| *other == format!("{key}@{backend}")) =>
+                {
+                    println!("# baseline {raw_key}: shadowed by {key}@{backend}");
+                    continue;
+                }
+                _ => {}
+            }
+            match measured.iter().find(|(k, _)| k == key) {
                 Some((_, got)) if *got < 0.8 * base => {
-                    eprintln!("REGRESSION: {key} = {got:.0} ops/sec, below 80% of floor {base:.0}");
+                    eprintln!(
+                        "REGRESSION: {key}@{backend} = {got:.0} ops/sec, below 80% of floor {base:.0}"
+                    );
                     regressed = true;
                 }
-                Some((_, got)) => println!("# baseline {key}: {got:.0} vs floor {base:.0} ok"),
-                None => println!("# baseline {key}: not measured, skipped"),
+                Some((_, got)) => println!("# baseline {raw_key}: {got:.0} vs floor {base:.0} ok"),
+                None => println!("# baseline {raw_key}: not measured, skipped"),
             }
         }
         if regressed {

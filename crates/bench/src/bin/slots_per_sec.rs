@@ -14,19 +14,25 @@
 //!   SLOTS_WORKERS=1,4      worker-pool sizes to sweep
 //!   SLOTS_MS=200           simulated milliseconds per run
 //!   SLOTS_PRBS=51          cell bandwidth in PRBs
+//!   KERNEL_BACKEND=<b>     DSP kernel backend: scalar | avx2 | neon |
+//!                          detect (default: best available)
 //!   SLOTS_BASELINE=<path>  baseline file: `<key> <slots_per_sec>`
 //!                          lines; fail the run if any measured config
-//!                          drops below 80% of its baseline
+//!                          drops below 80% of its baseline. A key may
+//!                          carry a `@<backend>` suffix; suffixed
+//!                          floors only apply when that backend runs
+//!                          and take precedence over the bare key.
 //!
 //! JSON artifact: `slots_per_sec.json` in `$BENCH_JSON_DIR`, scalars
-//! keyed `c{cells}_w{workers}` plus `speedup_c{cells}` ratios.
+//! keyed `c{cells}_w{workers}` plus `speedup_c{cells}` ratios; the
+//! `labels.backend` field records which kernel backend ran.
 
 use std::time::Instant;
 
 use slingshot::DeploymentBuilder;
 use slingshot_bench::{banner, BenchReport};
 use slingshot_ran::{CellConfig, Fidelity, UeConfig};
-use slingshot_sim::{Nanos, SLOT_DURATION};
+use slingshot_sim::{KernelConfig, Nanos, SLOT_DURATION};
 use slingshot_transport::{UdpCbrSource, UdpSink};
 
 fn env_usize_list(name: &str, default: &[usize]) -> Vec<usize> {
@@ -117,17 +123,25 @@ fn main() {
     let sim_ms = env_u64("SLOTS_MS", 200);
     let prbs = env_u64("SLOTS_PRBS", 51) as u16;
 
+    // The engine picks this up from KERNEL_BACKEND / auto-detection;
+    // resolve it here too so the report can label the run.
+    let backend = KernelConfig::from_env().backend.name();
+
     banner(
         "slot-pipeline throughput: cell-slots/sec over cells × workers",
-        "deterministic parallel slot pipeline (DESIGN.md §5d)",
+        "deterministic parallel slot pipeline (DESIGN.md §5d, §5h)",
     );
-    println!("# Fidelity::Full, {prbs} PRBs, {sim_ms} ms simulated, one 12 Mbps UL UE per cell\n");
+    println!(
+        "# Fidelity::Full, {prbs} PRBs, {sim_ms} ms simulated, one 12 Mbps UL UE per cell, \
+         kernel backend {backend}\n"
+    );
 
     let mut report = BenchReport::new(
         "slots_per_sec",
         "Slot-pipeline throughput (cell-slots per wall-clock second)",
-        "DESIGN.md §5d",
+        "DESIGN.md §5d, §5h",
     );
+    report.label("backend", backend);
     let mut measured: Vec<(String, f64)> = Vec::new();
     let mut determinism_ok = true;
 
@@ -177,19 +191,42 @@ fn main() {
     }
 
     if let Ok(path) = std::env::var("SLOTS_BASELINE") {
+        let baseline = load_baseline(&path);
         let mut regressed = false;
-        for (key, base) in load_baseline(&path) {
-            match measured.iter().find(|(k, _)| *k == key) {
+        for (raw_key, base) in &baseline {
+            // `<key>@<backend>` floors apply only when that backend is
+            // running; a bare key covers every backend unless a
+            // backend-specific floor shadows it.
+            let (key, floor_backend) = match raw_key.split_once('@') {
+                Some((k, b)) => (k, Some(b)),
+                None => (raw_key.as_str(), None),
+            };
+            match floor_backend {
+                Some(b) if b != backend => {
+                    println!("# baseline {raw_key}: backend {b} not running, skipped");
+                    continue;
+                }
+                None if baseline
+                    .iter()
+                    .any(|(other, _)| *other == format!("{key}@{backend}")) =>
+                {
+                    println!("# baseline {raw_key}: shadowed by {key}@{backend}");
+                    continue;
+                }
+                _ => {}
+            }
+            match measured.iter().find(|(k, _)| k == key) {
                 Some((_, got)) if *got < 0.8 * base => {
                     eprintln!(
-                        "REGRESSION: {key} = {got:.1} slots/sec, below 80% of baseline {base:.1}"
+                        "REGRESSION: {key}@{backend} = {got:.1} slots/sec, below 80% of \
+                         baseline {base:.1}"
                     );
                     regressed = true;
                 }
                 Some((_, got)) => {
-                    println!("# baseline {key}: {got:.1} vs {base:.1} ok");
+                    println!("# baseline {raw_key}: {got:.1} vs {base:.1} ok");
                 }
-                None => println!("# baseline {key}: not measured in this sweep, skipped"),
+                None => println!("# baseline {raw_key}: not measured in this sweep, skipped"),
             }
         }
         if regressed {

@@ -71,6 +71,7 @@ pub struct BenchReport {
     name: String,
     title: String,
     paper: String,
+    labels: Vec<(String, String)>,
     scalars: Vec<(String, f64)>,
     series: Vec<(String, Vec<(f64, f64)>)>,
 }
@@ -81,9 +82,17 @@ impl BenchReport {
             name: name.to_string(),
             title: title.to_string(),
             paper: paper.to_string(),
+            labels: Vec::new(),
             scalars: Vec::new(),
             series: Vec::new(),
         }
+    }
+
+    /// Record a named string label (e.g. `backend: "avx2"`) — run
+    /// configuration that downstream tooling needs to interpret the
+    /// scalars, kept separate so numbers stay numbers.
+    pub fn label(&mut self, key: &str, value: &str) {
+        self.labels.push((key.to_string(), value.to_string()));
     }
 
     /// Record a named scalar result (e.g. `max_lost_ttis`).
@@ -102,7 +111,14 @@ impl BenchReport {
         out.push_str(&format!("\"name\":{}", json_str(&self.name)));
         out.push_str(&format!(",\"title\":{}", json_str(&self.title)));
         out.push_str(&format!(",\"paper\":{}", json_str(&self.paper)));
-        out.push_str(",\"scalars\":{");
+        out.push_str(",\"labels\":{");
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_str(k), json_str(v)));
+        }
+        out.push_str("},\"scalars\":{");
         for (i, (k, v)) in self.scalars.iter().enumerate() {
             if i > 0 {
                 out.push(',');

@@ -28,8 +28,8 @@ use slingshot_ran::{
 };
 use slingshot_sim::chaos::{oracle::OracleReport, Scenario};
 use slingshot_sim::{
-    Engine, Instrument, InstrumentSink, LinkParams, LogHistogram, Nanos, NodeId, SimRng, SlotClock,
-    WorkerPool,
+    Engine, Instrument, InstrumentSink, KernelBackend, KernelConfig, LinkParams, LogHistogram,
+    Nanos, NodeId, SimRng, SlotClock, WorkerPool,
 };
 use slingshot_switch::{PktGenConfig, PortId};
 use slingshot_transport::UserApp;
@@ -186,6 +186,7 @@ pub struct DeploymentBuilder {
     trace_capacity: Option<usize>,
     chaos: Option<Scenario>,
     ues: Vec<UeConfig>,
+    kernels: Option<KernelConfig>,
 }
 
 impl DeploymentBuilder {
@@ -199,6 +200,7 @@ impl DeploymentBuilder {
             trace_capacity: None,
             chaos: None,
             ues: Vec::new(),
+            kernels: None,
         }
     }
 
@@ -223,6 +225,27 @@ impl DeploymentBuilder {
     pub fn workers(mut self, n: usize) -> Self {
         assert!(n >= 1, "at least one worker");
         self.workers = n;
+        self
+    }
+
+    /// Pin the DSP kernel backend for every node in the deployment.
+    /// Falls back to scalar when the requested backend is not available
+    /// on this host. The default (no call) honors the `KERNEL_BACKEND`
+    /// env var and otherwise auto-detects the best backend — which is
+    /// trace-identical to scalar for every always-exact kernel, so the
+    /// golden hashes don't depend on the host CPU.
+    pub fn kernel_backend(mut self, backend: KernelBackend) -> Self {
+        self.kernels = Some(KernelConfig::forced(backend));
+        self
+    }
+
+    /// Full kernel configuration (backend + AWGN tolerance knob) for
+    /// callers that opt into tolerance-gated SIMD orderings. With a
+    /// nonzero tolerance the AWGN kernel may use a vectorized sampler
+    /// whose noise stream differs from scalar's — trace hashes then
+    /// legitimately diverge from the scalar golden set.
+    pub fn kernel_config(mut self, kernels: KernelConfig) -> Self {
+        self.kernels = Some(kernels);
         self
     }
 
@@ -374,6 +397,9 @@ impl DeploymentBuilder {
         };
         d.workers = self.workers;
         d.engine.set_worker_pool(WorkerPool::new(self.workers));
+        if let Some(kernels) = self.kernels {
+            d.engine.set_kernel_config(kernels);
+        }
         if let Some(cap) = self.trace_capacity {
             d.engine.event_trace_mut().set_capacity(cap);
         }

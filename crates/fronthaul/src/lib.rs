@@ -10,7 +10,9 @@ pub mod ecpri;
 pub mod messages;
 
 pub use ecpri::{peek_headers, Direction, EcpriHeader, EcpriMsgType, FhHeader};
+#[allow(deprecated)]
+pub use messages::{compress_symbol, decompress_prbs};
 pub use messages::{
-    compress_symbol, decompress_prbs, fh_header, CPlaneMsg, CSection, DciEntry, DciMsg, FhMessage,
-    ShadowMsg, UPlaneMsg, UciEntry, UciMsg,
+    compress_symbol_with, decompress_prbs_with, fh_header, CPlaneMsg, CSection, DciEntry, DciMsg,
+    FhMessage, ShadowMsg, UPlaneMsg, UciEntry, UciMsg,
 };

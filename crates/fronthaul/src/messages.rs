@@ -8,10 +8,8 @@
 use bytes::{Buf, BufMut, Bytes};
 
 use crate::ecpri::{Direction, EcpriHeader, EcpriMsgType, FhHeader};
-use slingshot_phy_dsp::iq::{
-    bfp_compress, bfp_decompress, bfp_from_bytes, bfp_write_bytes, BfpPrb, SC_PER_PRB,
-};
-use slingshot_phy_dsp::Cplx;
+use slingshot_phy_dsp::iq::{bfp_from_bytes, bfp_write_bytes, BfpPrb, SC_PER_PRB};
+use slingshot_phy_dsp::{Cplx, DspKernels};
 use slingshot_sim::SlotId;
 
 /// A C-plane section: one scheduled region of the resource grid.
@@ -353,25 +351,39 @@ pub fn fh_header(direction: Direction, slot: SlotId, symbol: u8, ru_port: u8) ->
 }
 
 /// Compress a symbol's worth of samples (multiple of 12) into PRBs.
-pub fn compress_symbol(samples: &[Cplx]) -> Vec<BfpPrb> {
+///
+/// Bit-exact across kernel backends (the BFP kernels are part of the
+/// always-on exactness contract), so the choice of `kernels` never
+/// changes the wire bytes — only how fast they are produced.
+pub fn compress_symbol_with(kernels: DspKernels, samples: &[Cplx]) -> Vec<BfpPrb> {
     assert!(samples.len().is_multiple_of(SC_PER_PRB));
     samples
         .chunks(SC_PER_PRB)
         .map(|c| {
             let mut arr = [Cplx::ZERO; SC_PER_PRB];
             arr.copy_from_slice(c);
-            bfp_compress(&arr)
+            kernels.bfp_compress(&arr)
         })
         .collect()
 }
 
 /// Decompress PRBs back into a flat sample vector.
-pub fn decompress_prbs(prbs: &[BfpPrb]) -> Vec<Cplx> {
+pub fn decompress_prbs_with(kernels: DspKernels, prbs: &[BfpPrb]) -> Vec<Cplx> {
     let mut out = Vec::with_capacity(prbs.len() * SC_PER_PRB);
     for p in prbs {
-        out.extend_from_slice(&bfp_decompress(p));
+        out.extend_from_slice(&kernels.bfp_decompress(p));
     }
     out
+}
+
+#[deprecated(note = "use compress_symbol_with(DspKernels, ..) — backend-dispatched")]
+pub fn compress_symbol(samples: &[Cplx]) -> Vec<BfpPrb> {
+    compress_symbol_with(DspKernels::scalar(), samples)
+}
+
+#[deprecated(note = "use decompress_prbs_with(DspKernels, ..) — backend-dispatched")]
+pub fn decompress_prbs(prbs: &[BfpPrb]) -> Vec<Cplx> {
+    decompress_prbs_with(DspKernels::scalar(), prbs)
 }
 
 #[cfg(test)]
@@ -391,6 +403,17 @@ mod tests {
         (0..n)
             .map(|i| Cplx::new((i as f32 * 0.3).cos(), (i as f32 * 0.3).sin()))
             .collect()
+    }
+
+    /// Shadow the deprecated free functions with handle-backed helpers;
+    /// `detect()` exercises the SIMD path where the host supports it
+    /// (bit-exact with scalar by contract).
+    fn compress_symbol(s: &[Cplx]) -> Vec<BfpPrb> {
+        compress_symbol_with(DspKernels::detect(), s)
+    }
+
+    fn decompress_prbs(prbs: &[BfpPrb]) -> Vec<Cplx> {
+        decompress_prbs_with(DspKernels::detect(), prbs)
     }
 
     #[test]

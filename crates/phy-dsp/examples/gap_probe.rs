@@ -1,10 +1,12 @@
 //! Dev probe: 50%-BLER gap from Shannon vs (code rate, modulation, iters).
 use slingshot_phy_dsp::channel::AwgnChannel;
 use slingshot_phy_dsp::modulation::Modulation;
-use slingshot_phy_dsp::tbchain::{decode_tb, encode_tb, mother_buffer_len, TbParams};
+use slingshot_phy_dsp::tbchain::{mother_buffer_len, TbParams};
+use slingshot_phy_dsp::DspKernels;
 use slingshot_sim::SimRng;
 
 fn bler_at(
+    kernels: DspKernels,
     m: Modulation,
     e: usize,
     snr: f64,
@@ -23,10 +25,11 @@ fn bler_at(
             rv: 0,
             fec_iterations: iters,
         };
-        let syms = encode_tb(payload, &p);
+        let syms = kernels.encode_tb(payload, &p);
         let (rx, nv) = ch.apply(&syms, snr);
         let mut acc = vec![0.0; mother_buffer_len(payload.len())];
-        if decode_tb(&mut acc, &rx, nv, payload.len(), &p)
+        if kernels
+            .decode_tb(&mut acc, &rx, nv, payload.len(), &p)
             .payload
             .is_none()
         {
@@ -37,6 +40,8 @@ fn bler_at(
 }
 
 fn main() {
+    // Honors KERNEL_BACKEND; detect() otherwise.
+    let kernels = DspKernels::from_env();
     let payload: Vec<u8> = (0..125u32).map(|i| (i * 11) as u8).collect();
     let mut ch = AwgnChannel::new(SimRng::new(42));
     for iters in [4usize, 8, 16] {
@@ -56,7 +61,7 @@ fn main() {
                 let (mut lo, mut hi) = (shannon, shannon + 14.0);
                 for _ in 0..9 {
                     let mid = (lo + hi) / 2.0;
-                    if bler_at(m, e, mid, iters, &mut ch, &payload) > 0.5 {
+                    if bler_at(kernels, m, e, mid, iters, &mut ch, &payload) > 0.5 {
                         lo = mid;
                     } else {
                         hi = mid;

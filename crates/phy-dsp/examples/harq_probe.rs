@@ -1,10 +1,13 @@
 //! Dev probe: HARQ combining success rates for test calibration.
 use slingshot_phy_dsp::channel::AwgnChannel;
 use slingshot_phy_dsp::modulation::Modulation;
-use slingshot_phy_dsp::tbchain::{decode_tb, encode_tb, mother_buffer_len, TbParams};
+use slingshot_phy_dsp::tbchain::{mother_buffer_len, TbParams};
+use slingshot_phy_dsp::DspKernels;
 use slingshot_sim::SimRng;
 
 fn main() {
+    // Honors KERNEL_BACKEND; detect() otherwise.
+    let kernels = DspKernels::from_env();
     let data: Vec<u8> = (0..80u32).map(|i| (i * 7) as u8).collect();
     let e = 1336usize;
     let mut ch = AwgnChannel::new(SimRng::new(9));
@@ -21,10 +24,11 @@ fn main() {
                 rv: 0,
                 fec_iterations: 8,
             };
-            let syms0 = encode_tb(&data, &p0);
+            let syms0 = kernels.encode_tb(&data, &p0);
             let (rx0, nv0) = ch.apply(&syms0, snr);
             let mut acc = vec![0.0; mother_buffer_len(data.len())];
-            if decode_tb(&mut acc, &rx0, nv0, data.len(), &p0)
+            if kernels
+                .decode_tb(&mut acc, &rx0, nv0, data.len(), &p0)
                 .payload
                 .is_some()
             {
@@ -34,19 +38,21 @@ fn main() {
                 rv: 2,
                 ..p0.clone()
             };
-            let syms1 = encode_tb(&data, &p1);
+            let syms1 = kernels.encode_tb(&data, &p1);
             let (rx1, nv1) = ch.apply(&syms1, snr);
-            if decode_tb(&mut acc, &rx1, nv1, data.len(), &p1)
+            if kernels
+                .decode_tb(&mut acc, &rx1, nv1, data.len(), &p1)
                 .payload
                 .is_some()
             {
                 c_ok += 1;
             }
             // discarded buffer: decode 2nd tx alone
-            let syms2 = encode_tb(&data, &p1);
+            let syms2 = kernels.encode_tb(&data, &p1);
             let (rx2, nv2) = ch.apply(&syms2, snr);
             let mut fresh = vec![0.0; mother_buffer_len(data.len())];
-            if decode_tb(&mut fresh, &rx2, nv2, data.len(), &p1)
+            if kernels
+                .decode_tb(&mut fresh, &rx2, nv2, data.len(), &p1)
                 .payload
                 .is_some()
             {

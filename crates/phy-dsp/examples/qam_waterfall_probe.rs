@@ -2,10 +2,13 @@
 //! k=1024-bit blocks, to calibrate the BLER model's per-modulation loss.
 use slingshot_phy_dsp::channel::AwgnChannel;
 use slingshot_phy_dsp::modulation::Modulation;
-use slingshot_phy_dsp::tbchain::{decode_tb, encode_tb, mother_buffer_len, TbParams};
+use slingshot_phy_dsp::tbchain::{mother_buffer_len, TbParams};
+use slingshot_phy_dsp::DspKernels;
 use slingshot_sim::SimRng;
 
 fn main() {
+    // Honors KERNEL_BACKEND; detect() otherwise.
+    let kernels = DspKernels::from_env();
     let payload: Vec<u8> = (0..125u32).map(|i| (i * 11) as u8).collect(); // 1024 info bits
     let mut ch = AwgnChannel::new(SimRng::new(42));
     for (m, bps) in [
@@ -33,10 +36,11 @@ fn main() {
                     rv: 0,
                     fec_iterations: 8,
                 };
-                let syms = encode_tb(&payload, &p);
+                let syms = kernels.encode_tb(&payload, &p);
                 let (rx, nv) = ch.apply(&syms, snr);
                 let mut acc = vec![0.0; mother_buffer_len(payload.len())];
-                if decode_tb(&mut acc, &rx, nv, payload.len(), &p)
+                if kernels
+                    .decode_tb(&mut acc, &rx, nv, payload.len(), &p)
                     .payload
                     .is_none()
                 {

@@ -1,10 +1,13 @@
 //! Dev probe: measure the full-chain waterfall to calibrate tests/model.
 use slingshot_phy_dsp::channel::AwgnChannel;
 use slingshot_phy_dsp::modulation::Modulation;
-use slingshot_phy_dsp::tbchain::{decode_tb, encode_tb, mother_buffer_len, TbParams};
+use slingshot_phy_dsp::tbchain::{mother_buffer_len, TbParams};
+use slingshot_phy_dsp::DspKernels;
 use slingshot_sim::SimRng;
 
 fn main() {
+    // Honors KERNEL_BACKEND; detect() otherwise.
+    let kernels = DspKernels::from_env();
     let payload: Vec<u8> = (0..80u32).map(|i| (i * 11) as u8).collect();
     let e_bits = 1336usize;
     let mut ch = AwgnChannel::new(SimRng::new(42));
@@ -23,10 +26,11 @@ fn main() {
                     rv: 0,
                     fec_iterations: iters,
                 };
-                let syms = encode_tb(&payload, &p);
+                let syms = kernels.encode_tb(&payload, &p);
                 let (rx, nv) = ch.apply(&syms, snr);
                 let mut acc = vec![0.0; mother_buffer_len(payload.len())];
-                if decode_tb(&mut acc, &rx, nv, payload.len(), &p)
+                if kernels
+                    .decode_tb(&mut acc, &rx, nv, payload.len(), &p)
                     .payload
                     .is_none()
                 {

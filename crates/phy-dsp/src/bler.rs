@@ -147,9 +147,24 @@ mod tests {
     #[test]
     fn bler_calibration_against_full_chain() {
         use crate::channel::AwgnChannel;
+        use crate::dispatch::DspKernels;
         use crate::modulation::Modulation;
-        use crate::tbchain::{decode_tb, encode_tb, mother_buffer_len, TbParams};
+        use crate::tbchain::{mother_buffer_len, TbDecodeOutcome, TbParams};
         use slingshot_sim::SimRng;
+
+        // Handle-backed stand-ins for the deprecated free functions.
+        fn encode_tb(payload: &[u8], p: &TbParams) -> Vec<crate::Cplx> {
+            DspKernels::detect().encode_tb(payload, p)
+        }
+        fn decode_tb(
+            acc: &mut [f32],
+            rx: &[crate::Cplx],
+            nv: f32,
+            bytes: usize,
+            p: &TbParams,
+        ) -> TbDecodeOutcome {
+            DspKernels::detect().decode_tb(acc, rx, nv, bytes, p)
+        }
 
         let payload: Vec<u8> = (0..125u32).map(|i| (i * 11) as u8).collect(); // 1024 bits
         let mut ch = AwgnChannel::new(SimRng::new(77));

@@ -1,0 +1,361 @@
+//! Runtime-dispatched DSP kernel handle.
+//!
+//! [`DspKernels`] is the single seam through which every hot kernel in
+//! this crate is invoked: LDPC min-sum decode, max-log demapping, AWGN
+//! generation and BFP pack/unpack. It is a tiny `Copy` handle wrapping
+//! the engine-carried [`KernelConfig`], constructed once per deployment
+//! (`DeploymentBuilder::kernel_backend(...)` → `Engine` → `Ctx`) and
+//! handed down the call chain like the worker pool.
+//!
+//! ## Exactness contract
+//!
+//! The scalar implementations are the oracle. The AVX2 variants of
+//! LDPC, demap and BFP are **bit-exact**: every f32/integer result is
+//! identical to scalar, so backend selection can never change a golden
+//! trace hash (`tests/kernel_equiv.rs` proves this per available
+//! backend). AWGN is the one **tolerance-gated** kernel: its vector
+//! form is a different (statistically identical) noise realization, so
+//! it only engages when [`KernelConfig::tolerance`] is explicitly
+//! raised above zero — the default keeps AWGN scalar on every backend.
+//!
+//! NEON is detected, parsed and reported, but its kernels currently
+//! delegate to the scalar oracle (bit-exact by construction). The
+//! dispatch methods below are the drop-in seam for a real NEON
+//! implementation; this workspace's CI runs on x86-64, so shipping
+//! untestable aarch64 intrinsics would be worse than honest delegation.
+
+use crate::channel::AwgnChannel;
+use crate::iq::{BfpPrb, Cplx, SC_PER_PRB};
+use crate::ldpc::{LdpcCode, LdpcScratch};
+use crate::modulation::Modulation;
+use crate::scratch::default_scratch_pool;
+use crate::tbchain::{self, TbDecodeOutcome, TbParams};
+use slingshot_sim::{KernelBackend, KernelConfig, WorkerPool};
+
+/// Backend-dispatched entry points for the four hot DSP kernels.
+///
+/// Cheap to copy (two words); capture it by value in worker closures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DspKernels {
+    cfg: KernelConfig,
+}
+
+impl DspKernels {
+    /// The best backend this host supports (bit-exact kernels only).
+    pub fn detect() -> DspKernels {
+        DspKernels {
+            cfg: KernelConfig::detect(),
+        }
+    }
+
+    /// The portable scalar oracle.
+    pub fn scalar() -> DspKernels {
+        DspKernels {
+            cfg: KernelConfig::scalar(),
+        }
+    }
+
+    /// A specific backend; falls back to scalar if the host cannot
+    /// execute it (same results either way, by the exactness contract).
+    pub fn forced(backend: KernelBackend) -> DspKernels {
+        DspKernels {
+            cfg: KernelConfig::forced(backend),
+        }
+    }
+
+    /// Honor the `KERNEL_BACKEND` env override, else detect.
+    pub fn from_env() -> DspKernels {
+        DspKernels {
+            cfg: KernelConfig::from_env(),
+        }
+    }
+
+    /// Wrap an engine-carried config. The backend is re-validated
+    /// against this host (configs may be built from parsed strings or
+    /// cross a process boundary), falling back to scalar if needed.
+    pub fn from_config(cfg: KernelConfig) -> DspKernels {
+        DspKernels {
+            cfg: KernelConfig::forced(cfg.backend).with_tolerance(cfg.tolerance),
+        }
+    }
+
+    /// Permit tolerance-gated SIMD variants (currently: AWGN) up to
+    /// `tol` relative deviation. Opts out of byte-identical traces.
+    pub fn with_tolerance(mut self, tol: f32) -> DspKernels {
+        self.cfg.tolerance = tol;
+        self
+    }
+
+    pub fn backend(&self) -> KernelBackend {
+        self.cfg.backend
+    }
+
+    pub fn config(&self) -> KernelConfig {
+        self.cfg
+    }
+
+    /// Stable lowercase backend name for reports and baseline keys.
+    pub fn name(&self) -> &'static str {
+        self.cfg.backend.name()
+    }
+
+    #[inline]
+    fn use_avx2(&self) -> bool {
+        self.cfg.backend == KernelBackend::Avx2
+    }
+
+    /// LDPC normalized min-sum decode (bit-exact across backends). See
+    /// [`LdpcCode::decode_into`] for semantics.
+    pub fn ldpc_decode_into(
+        &self,
+        code: &LdpcCode,
+        channel_llrs: &[f32],
+        max_iters: usize,
+        scratch: &mut LdpcScratch,
+    ) -> (bool, usize) {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_avx2() {
+            // SAFETY: backend is only Avx2 when the feature was detected.
+            return unsafe { code.decode_into_avx2(channel_llrs, max_iters, scratch) };
+        }
+        code.decode_into(channel_llrs, max_iters, scratch)
+    }
+
+    /// Max-log LLR demap into `out` (cleared first; bit-exact across
+    /// backends). Positive LLR means bit 0.
+    pub fn demodulate_llr_into(
+        &self,
+        symbols: &[Cplx],
+        modulation: Modulation,
+        noise_var: f32,
+        out: &mut Vec<f32>,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_avx2() {
+            // SAFETY: backend is only Avx2 when the feature was detected.
+            unsafe {
+                crate::modulation::avx2::demodulate_llr_into(symbols, modulation, noise_var, out)
+            };
+            return;
+        }
+        crate::modulation::demod_scalar_into(symbols, modulation, noise_var, out);
+    }
+
+    /// Max-log LLR demap (allocating convenience wrapper).
+    pub fn demodulate_llr(
+        &self,
+        symbols: &[Cplx],
+        modulation: Modulation,
+        noise_var: f32,
+    ) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.demodulate_llr_into(symbols, modulation, noise_var, &mut out);
+        out
+    }
+
+    /// BFP-compress one PRB of samples (bit-exact across backends).
+    pub fn bfp_compress(&self, samples: &[Cplx; SC_PER_PRB]) -> BfpPrb {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_avx2() {
+            // SAFETY: backend is only Avx2 when the feature was detected.
+            return unsafe { crate::iq::avx2::bfp_compress(samples) };
+        }
+        crate::iq::bfp_compress_scalar(samples)
+    }
+
+    /// Decompress one BFP PRB (bit-exact across backends).
+    pub fn bfp_decompress(&self, prb: &BfpPrb) -> [Cplx; SC_PER_PRB] {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_avx2() {
+            // SAFETY: backend is only Avx2 when the feature was detected.
+            return unsafe { crate::iq::avx2::bfp_decompress(prb) };
+        }
+        crate::iq::bfp_decompress_scalar(prb)
+    }
+
+    /// AWGN at `snr_db` (serial). Tolerance-gated: the vector variant
+    /// is a different noise realization, so it only runs when this
+    /// handle's tolerance is above zero; otherwise scalar, regardless
+    /// of backend.
+    pub fn awgn_apply(
+        &self,
+        channel: &mut AwgnChannel,
+        symbols: &[Cplx],
+        snr_db: f64,
+    ) -> (Vec<Cplx>, f32) {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_avx2() && self.cfg.tolerance > 0.0 {
+            return channel.apply_avx2(symbols, snr_db);
+        }
+        channel.apply(symbols, snr_db)
+    }
+
+    /// AWGN at `snr_db`, chunk-parallel over `pool` (worker-count
+    /// independent). Same tolerance gating as [`DspKernels::awgn_apply`].
+    pub fn awgn_apply_with(
+        &self,
+        channel: &mut AwgnChannel,
+        pool: &WorkerPool,
+        symbols: &[Cplx],
+        snr_db: f64,
+    ) -> (Vec<Cplx>, f32) {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_avx2() && self.cfg.tolerance > 0.0 {
+            return channel.apply_with_avx2(pool, symbols, snr_db);
+        }
+        channel.apply_with(pool, symbols, snr_db)
+    }
+
+    /// Encode a transport block (serial, thread-local scratch).
+    pub fn encode_tb(&self, payload: &[u8], p: &TbParams) -> Vec<Cplx> {
+        tbchain::encode_tb_with(
+            *self,
+            &WorkerPool::serial(),
+            &default_scratch_pool(),
+            payload,
+            p,
+        )
+    }
+
+    /// Decode a transport block (serial, thread-local scratch),
+    /// soft-combining into the caller-owned HARQ accumulator.
+    pub fn decode_tb(
+        &self,
+        acc: &mut [f32],
+        rx_symbols: &[Cplx],
+        noise_var: f32,
+        payload_bytes: usize,
+        p: &TbParams,
+    ) -> TbDecodeOutcome {
+        tbchain::decode_tb_with(
+            *self,
+            &WorkerPool::serial(),
+            &default_scratch_pool(),
+            acc,
+            rx_symbols,
+            noise_var,
+            payload_bytes,
+            p,
+        )
+    }
+}
+
+impl Default for DspKernels {
+    /// Engine default: `KERNEL_BACKEND` env override, else detect.
+    fn default() -> DspKernels {
+        DspKernels::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slingshot_sim::SimRng;
+
+    #[test]
+    fn forced_backend_validates_availability() {
+        for b in [KernelBackend::Avx2, KernelBackend::Neon] {
+            let k = DspKernels::forced(b);
+            assert!(k.backend().available());
+            if !b.available() {
+                assert_eq!(k.backend(), KernelBackend::Scalar);
+            }
+        }
+        assert_eq!(DspKernels::scalar().name(), "scalar");
+    }
+
+    #[test]
+    fn from_config_revalidates() {
+        // A hand-built config naming an unavailable backend must land
+        // on scalar with the tolerance preserved.
+        let cfg = KernelConfig {
+            backend: KernelBackend::Neon,
+            tolerance: 0.25,
+        };
+        let k = DspKernels::from_config(cfg);
+        assert!(k.backend().available());
+        assert_eq!(k.config().tolerance, 0.25);
+    }
+
+    #[test]
+    fn demap_bit_exact_across_available_backends() {
+        let mut rng = SimRng::new(77);
+        let syms: Vec<Cplx> = (0..97)
+            .map(|_| Cplx::new(rng.gaussian() as f32 * 0.9, rng.gaussian() as f32 * 0.9))
+            .collect();
+        let oracle = DspKernels::scalar().demodulate_llr(&syms, Modulation::Qam64, 0.2);
+        for b in KernelBackend::all_available() {
+            let got = DspKernels::forced(b).demodulate_llr(&syms, Modulation::Qam64, 0.2);
+            assert_eq!(oracle.len(), got.len());
+            for (i, (a, g)) in oracle.iter().zip(&got).enumerate() {
+                assert_eq!(a.to_bits(), g.to_bits(), "backend {b} llr {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bfp_bit_exact_across_available_backends() {
+        let mut rng = SimRng::new(78);
+        for trial in 0..50 {
+            let mut prb = [Cplx::ZERO; SC_PER_PRB];
+            for s in prb.iter_mut() {
+                let amp = if trial % 5 == 0 { 3000.0 } else { 1.5 };
+                *s = Cplx::new(rng.gaussian() as f32 * amp, rng.gaussian() as f32 * amp);
+            }
+            let oracle = DspKernels::scalar().bfp_compress(&prb);
+            for b in KernelBackend::all_available() {
+                let k = DspKernels::forced(b);
+                let got = k.bfp_compress(&prb);
+                assert_eq!(oracle.exponent, got.exponent, "backend {b}");
+                assert_eq!(oracle.mantissas, got.mantissas, "backend {b}");
+                let back_oracle = DspKernels::scalar().bfp_decompress(&oracle);
+                let back = k.bfp_decompress(&got);
+                for (a, g) in back_oracle.iter().zip(&back) {
+                    assert_eq!(a.re.to_bits(), g.re.to_bits(), "backend {b}");
+                    assert_eq!(a.im.to_bits(), g.im.to_bits(), "backend {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn awgn_stays_scalar_without_tolerance() {
+        // Same RNG seed: with tolerance 0 every backend must produce
+        // the scalar byte-identical realization.
+        let syms = vec![Cplx::new(0.7, -0.7); 1000];
+        let oracle = {
+            let mut ch = AwgnChannel::new(SimRng::new(5));
+            DspKernels::scalar().awgn_apply(&mut ch, &syms, 8.0).0
+        };
+        for b in KernelBackend::all_available() {
+            let mut ch = AwgnChannel::new(SimRng::new(5));
+            let got = DspKernels::forced(b).awgn_apply(&mut ch, &syms, 8.0).0;
+            assert_eq!(oracle, got, "backend {b}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn awgn_tolerance_engages_simd_realization() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return; // skip-clean
+        }
+        let syms = vec![Cplx::new(0.7, -0.7); 1000];
+        let mk = || AwgnChannel::new(SimRng::new(5));
+        let scalar = DspKernels::scalar().awgn_apply(&mut mk(), &syms, 8.0).0;
+        let simd = DspKernels::forced(KernelBackend::Avx2)
+            .with_tolerance(1e-3)
+            .awgn_apply(&mut mk(), &syms, 8.0)
+            .0;
+        assert_ne!(scalar, simd, "tolerance should switch realizations");
+        // Still the right noise power.
+        let p: f32 = simd
+            .iter()
+            .zip(&syms)
+            .map(|(a, b)| (*a - *b).norm_sq())
+            .sum::<f32>()
+            / syms.len() as f32;
+        let nv = 10f32.powf(-0.8);
+        assert!((p - nv).abs() < 0.03 * nv.max(1.0), "p={p} nv={nv}");
+    }
+}

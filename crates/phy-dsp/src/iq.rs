@@ -9,6 +9,11 @@
 use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 
 /// A complex baseband sample.
+///
+/// `repr(C)` so slices of samples are guaranteed to be interleaved
+/// `re, im, re, im, …` f32 words in memory — the layout the SIMD
+/// kernels load and deinterleave directly.
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Cplx {
     pub re: f32,
@@ -98,21 +103,29 @@ impl BfpPrb {
     pub const WIRE_BYTES: usize = 1 + (2 * SC_PER_PRB * BFP_MANTISSA_BITS as usize).div_ceil(8);
 }
 
-/// Compress 12 complex samples into a BFP PRB. Input amplitudes are
-/// expected to be "sane" baseband values (|x| < ~2^15 after the fixed
-/// scaling below); values beyond that saturate.
-pub fn bfp_compress(samples: &[Cplx; SC_PER_PRB]) -> BfpPrb {
-    // Fixed-point reference scale: map float 1.0 to 2^12. This leaves
-    // headroom for constellation peaks and channel gain.
-    const SCALE: f32 = 4096.0;
+/// Fixed-point reference scale: map float 1.0 to 2^12. This leaves
+/// headroom for constellation peaks and channel gain.
+const SCALE: f32 = 4096.0;
+
+/// Compress 12 complex samples into a BFP PRB (scalar oracle). Input
+/// amplitudes are expected to be "sane" baseband values (|x| < ~2^15
+/// after the fixed scaling); values beyond that saturate.
+pub(crate) fn bfp_compress_scalar(samples: &[Cplx; SC_PER_PRB]) -> BfpPrb {
     let mut fixed = [0i64; 2 * SC_PER_PRB];
-    let mut max_abs: i64 = 0;
     for (i, s) in samples.iter().enumerate() {
-        let re = (s.re as f64 * SCALE as f64).round() as i64;
-        let im = (s.im as f64 * SCALE as f64).round() as i64;
-        fixed[2 * i] = re;
-        fixed[2 * i + 1] = im;
-        max_abs = max_abs.max(re.abs()).max(im.abs());
+        fixed[2 * i] = (s.re as f64 * SCALE as f64).round() as i64;
+        fixed[2 * i + 1] = (s.im as f64 * SCALE as f64).round() as i64;
+    }
+    bfp_pack_fixed(&fixed)
+}
+
+/// Exponent selection and mantissa quantization shared by the scalar
+/// and SIMD compressors (both produce the same fixed-point words, so
+/// everything downstream of this point is common, integer-exact code).
+fn bfp_pack_fixed(fixed: &[i64; 2 * SC_PER_PRB]) -> BfpPrb {
+    let mut max_abs: i64 = 0;
+    for f in fixed {
+        max_abs = max_abs.max(f.abs());
     }
     // Choose the smallest exponent such that max_abs >> exp fits in the
     // signed mantissa range. Exponent is capped at the wire field's
@@ -132,9 +145,14 @@ pub fn bfp_compress(samples: &[Cplx; SC_PER_PRB]) -> BfpPrb {
     }
 }
 
-/// Decompress a BFP PRB back to float samples.
-pub fn bfp_decompress(prb: &BfpPrb) -> [Cplx; SC_PER_PRB] {
-    const SCALE: f32 = 4096.0;
+/// Compress 12 complex samples into a BFP PRB.
+#[deprecated(note = "use DspKernels::bfp_compress — backend-dispatched, scalar-bit-exact")]
+pub fn bfp_compress(samples: &[Cplx; SC_PER_PRB]) -> BfpPrb {
+    bfp_compress_scalar(samples)
+}
+
+/// Decompress a BFP PRB back to float samples (scalar oracle).
+pub(crate) fn bfp_decompress_scalar(prb: &BfpPrb) -> [Cplx; SC_PER_PRB] {
     let mut out = [Cplx::ZERO; SC_PER_PRB];
     for (i, o) in out.iter_mut().enumerate() {
         let re = (prb.mantissas[2 * i] as i64) << prb.exponent.min(40);
@@ -142,6 +160,88 @@ pub fn bfp_decompress(prb: &BfpPrb) -> [Cplx; SC_PER_PRB] {
         *o = Cplx::new(re as f32 / SCALE, im as f32 / SCALE);
     }
     out
+}
+
+/// Decompress a BFP PRB back to float samples.
+#[deprecated(note = "use DspKernels::bfp_decompress — backend-dispatched, scalar-bit-exact")]
+pub fn bfp_decompress(prb: &BfpPrb) -> [Cplx; SC_PER_PRB] {
+    bfp_decompress_scalar(prb)
+}
+
+/// AVX2 BFP pack/unpack. Bit-exact versus the scalar oracle: the
+/// float→fixed rounding is done in f64 exactly as the scalar path
+/// (`round()` = half-away-from-zero, reproduced as
+/// `trunc(y + copysign(0.5, y))`, which is exact for every `f32 × 4096`
+/// value in the fast-path range), and everything after the fixed-point
+/// conversion is shared integer code. Inputs outside ±2^19 (where the
+/// product no longer fits the vector i32 path) or non-finite fall back
+/// to the scalar compressor, which defines saturation behavior.
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2 {
+    use super::{bfp_pack_fixed, BfpPrb, Cplx, SCALE, SC_PER_PRB};
+    use std::arch::x86_64::*;
+
+    /// Fast-path amplitude bound: |x| < 2^19 keeps |x·4096| < 2^31.
+    const FAST_ABS_LIMIT: f32 = 524_288.0;
+
+    /// # Safety
+    /// Requires AVX2 (caller checks `is_x86_feature_detected!`).
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn bfp_compress(samples: &[Cplx; SC_PER_PRB]) -> BfpPrb {
+        let p = samples.as_ptr() as *const f32;
+        let absmask = _mm256_set1_ps(f32::from_bits(0x7FFF_FFFF));
+        let lim = _mm256_set1_ps(FAST_ABS_LIMIT);
+        let mut in_range = 0xFFu32;
+        for k in 0..3 {
+            let v = _mm256_loadu_ps(p.add(8 * k));
+            let ok = _mm256_cmp_ps::<_CMP_LT_OQ>(_mm256_and_ps(v, absmask), lim);
+            in_range &= _mm256_movemask_ps(ok) as u32;
+        }
+        if in_range != 0xFF {
+            // Huge or non-finite samples: the scalar path defines
+            // saturation, so let it handle the whole PRB.
+            return super::bfp_compress_scalar(samples);
+        }
+        let scale = _mm256_set1_pd(SCALE as f64);
+        let half = _mm256_set1_pd(0.5);
+        let signmask = _mm256_set1_pd(f64::from_bits(0x8000_0000_0000_0000));
+        let mut fixed32 = [0i32; 2 * SC_PER_PRB];
+        for k in 0..6 {
+            let q = _mm256_cvtps_pd(_mm_loadu_ps(p.add(4 * k)));
+            let y = _mm256_mul_pd(q, scale);
+            // round half away from zero, exactly as f64::round().
+            let bias = _mm256_or_pd(_mm256_and_pd(y, signmask), half);
+            let t = _mm256_round_pd::<{ _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC }>(_mm256_add_pd(
+                y, bias,
+            ));
+            let i = _mm256_cvttpd_epi32(t);
+            _mm_storeu_si128(fixed32.as_mut_ptr().add(4 * k) as *mut __m128i, i);
+        }
+        let mut fixed = [0i64; 2 * SC_PER_PRB];
+        for (w, f) in fixed.iter_mut().zip(fixed32.iter()) {
+            *w = *f as i64;
+        }
+        bfp_pack_fixed(&fixed)
+    }
+
+    /// # Safety
+    /// Requires AVX2 (caller checks `is_x86_feature_detected!`).
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn bfp_decompress(prb: &BfpPrb) -> [Cplx; SC_PER_PRB] {
+        // mantissa · 2^(exp-12): an exact power-of-two scaling of a
+        // 9-bit integer, identical to the scalar `(m << e) as f32 / 4096`.
+        let exp = prb.exponent.min(40) as i32;
+        let scale = _mm256_set1_ps(f32::from_bits(((127 + exp - 12) as u32) << 23));
+        let mut out = [Cplx::ZERO; SC_PER_PRB];
+        let dst = out.as_mut_ptr() as *mut f32;
+        for k in 0..3 {
+            let m16 = _mm_loadu_si128(prb.mantissas.as_ptr().add(8 * k) as *const __m128i);
+            let m32 = _mm256_cvtepi16_epi32(m16);
+            let f = _mm256_mul_ps(_mm256_cvtepi32_ps(m32), scale);
+            _mm256_storeu_ps(dst.add(8 * k), f);
+        }
+        out
+    }
 }
 
 /// Serialize a BFP PRB to bytes (exponent byte, then mantissas packed as
@@ -208,6 +308,17 @@ pub fn bfp_from_bytes(b: &[u8]) -> Option<BfpPrb> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Shadow the deprecated free functions with handle-backed ones;
+    /// `detect()` runs the SIMD path on capable hosts (bit-exact with
+    /// scalar by contract, so every assertion below is backend-free).
+    fn bfp_compress(s: &[Cplx; SC_PER_PRB]) -> BfpPrb {
+        crate::DspKernels::detect().bfp_compress(s)
+    }
+
+    fn bfp_decompress(prb: &BfpPrb) -> [Cplx; SC_PER_PRB] {
+        crate::DspKernels::detect().bfp_decompress(prb)
+    }
 
     fn sample_prb(scale: f32) -> [Cplx; SC_PER_PRB] {
         let mut s = [Cplx::ZERO; SC_PER_PRB];

@@ -27,6 +27,7 @@ pub mod bits;
 pub mod bler;
 pub mod channel;
 pub mod crc;
+pub mod dispatch;
 pub mod harq;
 pub mod iq;
 pub mod ldpc;
@@ -39,10 +40,15 @@ pub mod tbchain;
 
 pub use bits::BitBuf;
 pub use channel::{AwgnChannel, SnrProcess, SnrProcessConfig};
+pub use dispatch::DspKernels;
 pub use harq::{HarqPool, SoftBuffer, HARQ_PROCESSES, MAX_HARQ_TX};
 pub use iq::{Cplx, SC_PER_PRB};
 pub use ldpc::{LdpcCode, LdpcScratch};
 pub use modulation::Modulation;
 pub use scratch::{default_scratch_pool, DspScratch, DspScratchPool};
 pub use snr::SnrFilter;
+// Kernel backend selection originates in the sim crate (the engine
+// carries it); re-export so DSP callers have one import surface.
+pub use slingshot_sim::{KernelBackend, KernelConfig};
+#[allow(deprecated)]
 pub use tbchain::{decode_tb, encode_tb, mother_buffer_len, TbDecodeOutcome, TbParams};

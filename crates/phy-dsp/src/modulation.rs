@@ -207,11 +207,10 @@ pub fn modulate_packed(bits: &BitBuf, modulation: Modulation) -> Vec<Cplx> {
     out
 }
 
-/// Max-log LLR demap into a caller-provided buffer (cleared first).
-/// `noise_var` is the complex noise variance (per symbol, both axes).
-/// Output has `bits_per_symbol` LLRs per input symbol; positive = bit 0
-/// more likely.
-pub fn demodulate_llr_into(
+/// Scalar max-log demap, appending to `out` without clearing — the
+/// bit-exactness oracle shared by the public entry point and the SIMD
+/// tail handler.
+pub(crate) fn demod_scalar_append(
     symbols: &[Cplx],
     modulation: Modulation,
     noise_var: f32,
@@ -222,7 +221,6 @@ pub fn demodulate_llr_into(
     let levels = &tables.levels;
     // Per-axis noise variance is half the complex variance.
     let sigma2 = (noise_var / 2.0).max(1e-9);
-    out.clear();
     out.reserve(symbols.len() * modulation.bits_per_symbol());
     let mut axis_llrs = [0.0f32; 8];
     let mut d2 = [0.0f32; 16];
@@ -259,11 +257,115 @@ pub fn demodulate_llr_into(
     }
 }
 
+/// Scalar max-log demap into a caller-provided buffer (cleared first).
+pub(crate) fn demod_scalar_into(
+    symbols: &[Cplx],
+    modulation: Modulation,
+    noise_var: f32,
+    out: &mut Vec<f32>,
+) {
+    out.clear();
+    demod_scalar_append(symbols, modulation, noise_var, out);
+}
+
+/// Max-log LLR demap into a caller-provided buffer (cleared first).
+/// `noise_var` is the complex noise variance (per symbol, both axes).
+/// Output has `bits_per_symbol` LLRs per input symbol; positive = bit 0
+/// more likely.
+#[deprecated(note = "use DspKernels::demodulate_llr_into — backend-dispatched, scalar-bit-exact")]
+pub fn demodulate_llr_into(
+    symbols: &[Cplx],
+    modulation: Modulation,
+    noise_var: f32,
+    out: &mut Vec<f32>,
+) {
+    demod_scalar_into(symbols, modulation, noise_var, out);
+}
+
 /// Max-log LLR demap (allocating convenience wrapper).
+#[deprecated(note = "use DspKernels::demodulate_llr — backend-dispatched, scalar-bit-exact")]
 pub fn demodulate_llr(symbols: &[Cplx], modulation: Modulation, noise_var: f32) -> Vec<f32> {
     let mut out = Vec::new();
-    demodulate_llr_into(symbols, modulation, noise_var, &mut out);
+    demod_scalar_into(symbols, modulation, noise_var, &mut out);
     out
+}
+
+/// AVX2 max-log demapper: 8 symbols per iteration. Bit-identical to the
+/// scalar oracle: per-level squared distances use the same subtract/
+/// multiply per lane, the per-bit minima fold in the same rank order
+/// with `_mm256_min_ps(d2, best)` (whose NaN/zero semantics match
+/// `best.min(d2)` for these operands), and the final LLR uses a true
+/// IEEE `vdivps` by the identical `2·sigma²` denominator. Tail symbols
+/// (< 8) run through the scalar appender.
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2 {
+    use super::{demod_scalar_append, mod_tables, Cplx, Modulation};
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Requires AVX2 (caller checks `is_x86_feature_detected!`).
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn demodulate_llr_into(
+        symbols: &[Cplx],
+        modulation: Modulation,
+        noise_var: f32,
+        out: &mut Vec<f32>,
+    ) {
+        let half = modulation.bits_per_axis();
+        let tables = mod_tables(modulation);
+        let levels = &tables.levels;
+        let sigma2 = (noise_var / 2.0).max(1e-9);
+        let denom = _mm256_set1_ps(2.0 * sigma2);
+        out.clear();
+        out.reserve(symbols.len() * modulation.bits_per_symbol());
+        let chunks = symbols.len() / 8;
+        // `Cplx` is repr(C), so symbols are interleaved re/im f32 words.
+        let base = symbols.as_ptr() as *const f32;
+        let inf = _mm256_set1_ps(f32::INFINITY);
+        let mut d2 = [_mm256_setzero_ps(); 16];
+        let mut lanes = [[0.0f32; 8]; 8]; // [axis + 2·bit][symbol]
+        for c in 0..chunks {
+            let v0 = _mm256_loadu_ps(base.add(16 * c));
+            let v1 = _mm256_loadu_ps(base.add(16 * c + 8));
+            // Deinterleave re/im: gather same-128-bit-lane pairs, then
+            // pick even (re) / odd (im) words.
+            let p0 = _mm256_permute2f128_ps::<0x20>(v0, v1);
+            let p1 = _mm256_permute2f128_ps::<0x31>(v0, v1);
+            let ys = [
+                _mm256_shuffle_ps::<0b10_00_10_00>(p0, p1), // I axis, 8 symbols
+                _mm256_shuffle_ps::<0b11_01_11_01>(p0, p1), // Q axis, 8 symbols
+            ];
+            for (axis, &y) in ys.iter().enumerate() {
+                for (dd, &(ls, _)) in d2.iter_mut().zip(levels.iter()) {
+                    let d = _mm256_sub_ps(y, _mm256_set1_ps(ls));
+                    *dd = _mm256_mul_ps(d, d);
+                }
+                for bit in 0..half {
+                    let mut best0 = inf;
+                    for &rank in &tables.bit_zeros[bit] {
+                        best0 = _mm256_min_ps(d2[rank as usize], best0);
+                    }
+                    let mut best1 = inf;
+                    for &rank in &tables.bit_ones[bit] {
+                        best1 = _mm256_min_ps(d2[rank as usize], best1);
+                    }
+                    let llr = _mm256_div_ps(_mm256_sub_ps(best1, best0), denom);
+                    _mm256_storeu_ps(lanes[axis + 2 * bit].as_mut_ptr(), llr);
+                }
+            }
+            // Re-interleave in modulate's bit order: chunk[2k] is I-axis
+            // bit k, chunk[2k+1] is Q-axis bit k. `s` walks the lane
+            // dimension across several `lanes` rows at once.
+            #[allow(clippy::needless_range_loop)]
+            for s in 0..8 {
+                for k in 0..half {
+                    out.push(lanes[2 * k][s]);
+                    out.push(lanes[1 + 2 * k][s]);
+                }
+            }
+        }
+        demod_scalar_append(&symbols[chunks * 8..], modulation, noise_var, out);
+    }
 }
 
 /// Hard-decide LLRs into bits (positive LLR = 0).
@@ -274,7 +376,14 @@ pub fn hard_decide(llrs: &[f32]) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dispatch::DspKernels;
     use slingshot_sim::SimRng;
+
+    /// Demap through the dispatch handle with the host's best backend,
+    /// so these oracles also exercise the SIMD path where available.
+    fn demod(symbols: &[Cplx], modulation: Modulation, noise_var: f32) -> Vec<f32> {
+        DspKernels::detect().demodulate_llr(symbols, modulation, noise_var)
+    }
 
     const ALL: [Modulation; 4] = [
         Modulation::Qpsk,
@@ -369,7 +478,7 @@ mod tests {
                 .map(|s| s + Cplx::new(0.2 * rng.gaussian() as f32, 0.2 * rng.gaussian() as f32))
                 .collect();
             for nv in [0.001f32, 0.1, 1.0] {
-                let fast = demodulate_llr(&syms, m, nv);
+                let fast = demod(&syms, m, nv);
                 let slow = demodulate_llr_scalar(&syms, m, nv);
                 assert_eq!(fast.len(), slow.len());
                 for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
@@ -396,7 +505,7 @@ mod tests {
         for m in ALL {
             let bits = random_bits(m.bits_per_symbol() * 256, &mut rng);
             let syms = modulate(&bits, m);
-            let llrs = demodulate_llr(&syms, m, 0.001);
+            let llrs = demod(&syms, m, 0.001);
             assert_eq!(hard_decide(&llrs), bits, "{:?}", m);
         }
     }
@@ -420,8 +529,8 @@ mod tests {
     fn llr_magnitude_scales_with_noise() {
         let bits = vec![0, 0];
         let syms = modulate(&bits, Modulation::Qpsk);
-        let llr_low_noise = demodulate_llr(&syms, Modulation::Qpsk, 0.01);
-        let llr_high_noise = demodulate_llr(&syms, Modulation::Qpsk, 1.0);
+        let llr_low_noise = demod(&syms, Modulation::Qpsk, 0.01);
+        let llr_high_noise = demod(&syms, Modulation::Qpsk, 1.0);
         assert!(llr_low_noise[0] > llr_high_noise[0]);
         assert!(llr_low_noise[0] > 0.0 && llr_high_noise[0] > 0.0);
     }
@@ -454,7 +563,7 @@ mod tests {
                 )
             })
             .collect();
-        let llrs = demodulate_llr(&noisy, Modulation::Qpsk, 0.1);
+        let llrs = demod(&noisy, Modulation::Qpsk, 0.1);
         let rx = hard_decide(&llrs);
         let errors = rx.iter().zip(&bits).filter(|(a, b)| a != b).count();
         // QPSK BER at 10 dB SNR ≈ Q(sqrt(10)) ≈ 8e-4.

@@ -28,12 +28,13 @@ use std::sync::Arc;
 
 use crate::bits::BitBuf;
 use crate::crc::{attach_crc24a, check_crc24a};
+use crate::dispatch::DspKernels;
 use crate::iq::Cplx;
 use crate::ldpc::LdpcCode;
-use crate::modulation::{demodulate_llr_into, modulate_packed, Modulation};
+use crate::modulation::{modulate_packed, Modulation};
 use crate::ratematch::{rate_match_packed, rate_recover};
 use crate::scramble::{cached_sequence, descramble_llrs_packed, scramble_packed, GoldSequence};
-use crate::scratch::{default_scratch_pool, DspScratchPool};
+use crate::scratch::DspScratchPool;
 use slingshot_sim::WorkerPool;
 
 /// Maximum information bits per LDPC code block (including the share of
@@ -147,8 +148,9 @@ fn e_split(e_bits: usize, ks: &[usize]) -> Vec<usize> {
 
 /// Encode a transport block into modulated symbols (serial, thread-local
 /// scratch).
+#[deprecated(note = "use DspKernels::encode_tb — backend-dispatched, scalar-bit-exact")]
 pub fn encode_tb(payload: &[u8], p: &TbParams) -> Vec<Cplx> {
-    encode_tb_with(&WorkerPool::serial(), &default_scratch_pool(), payload, p)
+    DspKernels::scalar().encode_tb(payload, p)
 }
 
 /// Per-code-block unit of encode work, prepared serially so jobs are
@@ -166,7 +168,12 @@ struct EncodeBlock {
 /// from `scratch`. Bit-identical to the serial path for any worker
 /// count: blocks are independent, scrambling offsets are fixed in
 /// serial prepare order, and results merge in block order.
+///
+/// `_kernels` keeps the entry point uniform with the decode chain; the
+/// encode path is integer/LUT work with no SIMD variant today, so every
+/// backend runs the same code.
 pub fn encode_tb_with(
+    _kernels: DspKernels,
     pool: &WorkerPool,
     scratch: &DspScratchPool,
     payload: &[u8],
@@ -254,6 +261,7 @@ pub struct TbDecodeOutcome {
 /// Decode a transport block from received symbols, soft-combining into
 /// the caller-owned HARQ accumulator `acc` (length
 /// [`mother_buffer_len`] for this payload size; zeroed for a fresh TB).
+#[deprecated(note = "use DspKernels::decode_tb — backend-dispatched, scalar-bit-exact")]
 pub fn decode_tb(
     acc: &mut [f32],
     rx_symbols: &[Cplx],
@@ -261,15 +269,7 @@ pub fn decode_tb(
     payload_bytes: usize,
     p: &TbParams,
 ) -> TbDecodeOutcome {
-    decode_tb_with(
-        &WorkerPool::serial(),
-        &default_scratch_pool(),
-        acc,
-        rx_symbols,
-        noise_var,
-        payload_bytes,
-        p,
-    )
+    DspKernels::scalar().decode_tb(acc, rx_symbols, noise_var, payload_bytes, p)
 }
 
 /// Per-code-block unit of decode work: the block's symbol window, its
@@ -292,7 +292,9 @@ struct DecodeBlock {
 /// into per-block segments in serial prepare order and merged back in
 /// block order, so the result — including every f32 operation — is
 /// identical to the serial path for any worker count.
+#[allow(clippy::too_many_arguments)]
 pub fn decode_tb_with(
+    kernels: DspKernels,
     pool: &WorkerPool,
     scratch: &DspScratchPool,
     acc: &mut [f32],
@@ -341,7 +343,7 @@ pub fn decode_tb_with(
                 move || {
                     let (code, order) = code_for(b.k);
                     let mut s = spool.take();
-                    demodulate_llr_into(&b.syms, modulation, noise_var, &mut s.demod_llrs);
+                    kernels.demodulate_llr_into(&b.syms, modulation, noise_var, &mut s.demod_llrs);
                     // Trim the lead bits belonging to the previous block
                     // and pad missing tail symbols (lost fronthaul
                     // packets) as erasures.
@@ -363,7 +365,7 @@ pub fn decode_tb_with(
                     }
                     let ldpc_start = std::time::Instant::now();
                     let (parity_ok, iters) =
-                        code.decode_into(&s.cw_llrs, fec_iterations, &mut s.ldpc);
+                        kernels.ldpc_decode_into(&code, &s.cw_llrs, fec_iterations, &mut s.ldpc);
                     let ldpc_ns = ldpc_start.elapsed().as_nanos() as u64;
                     let info = BitBuf::from_bits(&s.ldpc.hard[..b.k]);
                     spool.put(s);
@@ -401,6 +403,24 @@ mod tests {
     use super::*;
     use crate::channel::AwgnChannel;
     use slingshot_sim::SimRng;
+
+    /// Chain entry points through the dispatch handle with the host's
+    /// best backend — these shadow the deprecated free functions, so
+    /// the whole test battery exercises the SIMD path where available
+    /// (bit-exact with scalar by the dispatch contract).
+    fn encode_tb(payload: &[u8], p: &TbParams) -> Vec<Cplx> {
+        DspKernels::detect().encode_tb(payload, p)
+    }
+
+    fn decode_tb(
+        acc: &mut [f32],
+        rx_symbols: &[Cplx],
+        noise_var: f32,
+        payload_bytes: usize,
+        p: &TbParams,
+    ) -> TbDecodeOutcome {
+        DspKernels::detect().decode_tb(acc, rx_symbols, noise_var, payload_bytes, p)
+    }
 
     fn params(e_bits: usize, rv: u8) -> TbParams {
         TbParams {
@@ -584,7 +604,7 @@ mod tests {
         let data = payload(400, 21); // 4 code blocks
         let p = params(6448, 0);
         let serial_syms = encode_tb(&data, &p);
-        let par_syms = encode_tb_with(&pool, &spool, &data, &p);
+        let par_syms = encode_tb_with(DspKernels::detect(), &pool, &spool, &data, &p);
         assert_eq!(serial_syms, par_syms);
 
         let mut ch = AwgnChannel::new(SimRng::new(22));
@@ -593,7 +613,16 @@ mod tests {
         let mut acc_serial = vec![0.0; mother_buffer_len(data.len())];
         let mut acc_par = acc_serial.clone();
         let out_serial = decode_tb(&mut acc_serial, &rx, nv, data.len(), &p);
-        let out_par = decode_tb_with(&pool, &spool, &mut acc_par, &rx, nv, data.len(), &p);
+        let out_par = decode_tb_with(
+            DspKernels::detect(),
+            &pool,
+            &spool,
+            &mut acc_par,
+            &rx,
+            nv,
+            data.len(),
+            &p,
+        );
         assert_eq!(acc_serial, acc_par);
         assert_eq!(out_serial.payload, out_par.payload);
         assert_eq!(out_serial.ldpc_iterations, out_par.ldpc_iterations);

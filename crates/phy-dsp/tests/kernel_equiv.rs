@@ -14,14 +14,17 @@
 
 use proptest::prelude::*;
 use slingshot_phy_dsp::bits::BitBuf;
+use slingshot_phy_dsp::channel::AwgnChannel;
 use slingshot_phy_dsp::crc::{attach_crc24a, check_crc24a, crc16, crc24a};
+use slingshot_phy_dsp::iq::SC_PER_PRB;
 use slingshot_phy_dsp::ldpc::{LdpcCode, LdpcScratch};
-use slingshot_phy_dsp::modulation::{demodulate_llr, modulate, modulate_packed, Modulation};
+use slingshot_phy_dsp::modulation::{modulate, modulate_packed, Modulation};
 use slingshot_phy_dsp::ratematch::{rate_match, rate_match_packed};
 use slingshot_phy_dsp::scramble::{
     cached_sequence, descramble_llrs_packed, scramble_bits_with, scramble_packed, GoldSequence,
 };
 use slingshot_phy_dsp::Cplx;
+use slingshot_phy_dsp::{DspKernels, KernelBackend};
 use slingshot_sim::SimRng;
 
 // ---------------------------------------------------------------- CRC
@@ -458,7 +461,7 @@ proptest! {
     ) {
         let symbols: Vec<Cplx> = raw.iter().map(|&(re, im)| Cplx::new(re, im)).collect();
         for &m in &ALL_MODS {
-            let got = demodulate_llr(&symbols, m, noise_var);
+            let got = DspKernels::scalar().demodulate_llr(&symbols, m, noise_var);
             let expect = demodulate_llr_ref(&symbols, m, noise_var);
             prop_assert_eq!(got.len(), expect.len());
             for (i, (a, b)) in got.iter().zip(expect.iter()).enumerate() {
@@ -511,6 +514,172 @@ proptest! {
                     prop_assert_eq!(((word >> j) & 1) as u8, b);
                 }
             }
+        }
+    }
+}
+
+// ------------------------------------------- SIMD backend equivalence
+//
+// The runtime-dispatched backends (DESIGN.md §5h) against the scalar
+// oracle, via `DspKernels::forced`. `KernelBackend::all_available()`
+// returns only backends this host can run, so on a machine without
+// AVX2 these properties degenerate to scalar-vs-scalar and pass
+// vacuously — skip-clean by construction. LDPC, demap and BFP are part
+// of the always-on exactness contract, so every f32 is compared via
+// `to_bits`; AWGN is compared bytewise at tolerance 0 (where SIMD must
+// stay disengaged) and statistically under a nonzero tolerance.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn ldpc_decode_bit_exact_across_backends(
+        k in 8usize..128,
+        seed in any::<u64>(),
+        snr_db in 0.0f32..6.0,
+        max_iters in 1usize..12,
+    ) {
+        let code = LdpcCode::new(k);
+        let mut rng = SimRng::new(seed);
+        let info: Vec<u8> = (0..k).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let cw = code.encode(&info);
+        let sigma2 = 10f32.powf(-snr_db / 10.0);
+        let llrs: Vec<f32> = cw
+            .iter()
+            .map(|&b| {
+                let x = if b == 0 { 1.0 } else { -1.0 };
+                let y = x + sigma2.sqrt() * rng.gaussian() as f32;
+                2.0 * y / sigma2
+            })
+            .collect();
+        let mut ref_scratch = LdpcScratch::default();
+        let (ref_ok, ref_iters) =
+            DspKernels::scalar().ldpc_decode_into(&code, &llrs, max_iters, &mut ref_scratch);
+        for backend in KernelBackend::all_available() {
+            let kernels = DspKernels::forced(backend);
+            let mut scratch = LdpcScratch::default();
+            let (ok, iters) = kernels.ldpc_decode_into(&code, &llrs, max_iters, &mut scratch);
+            prop_assert_eq!(ok, ref_ok, "parity outcome on {}", backend);
+            prop_assert_eq!(iters, ref_iters, "iteration count on {}", backend);
+            prop_assert_eq!(&scratch.hard, &ref_scratch.hard, "hard bits on {}", backend);
+            for (i, (a, b)) in scratch.total.iter().zip(ref_scratch.total.iter()).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "total[{}] differs on {}",
+                    i,
+                    backend
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn demap_bit_exact_across_backends(
+        raw in proptest::collection::vec((-1.5f32..1.5, -1.5f32..1.5), 0..64),
+        noise_var in 0.001f32..0.5,
+    ) {
+        let symbols: Vec<Cplx> = raw.iter().map(|&(re, im)| Cplx::new(re, im)).collect();
+        for m in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64, Modulation::Qam256] {
+            let expect = DspKernels::scalar().demodulate_llr(&symbols, m, noise_var);
+            for backend in KernelBackend::all_available() {
+                let got = DspKernels::forced(backend).demodulate_llr(&symbols, m, noise_var);
+                prop_assert_eq!(got.len(), expect.len());
+                for (i, (a, b)) in got.iter().zip(expect.iter()).enumerate() {
+                    prop_assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "llr {} of {:?} on {}",
+                        i,
+                        m,
+                        backend
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bfp_bit_exact_across_backends(
+        raw in proptest::collection::vec((-4.0f32..4.0, -4.0f32..4.0), SC_PER_PRB),
+        amp in 0.01f32..3000.0,
+    ) {
+        // `amp` sweeps the block through every exponent regime,
+        // including the saturating range the AVX2 fast path must punt
+        // to scalar on.
+        let mut samples = [Cplx::ZERO; SC_PER_PRB];
+        for (s, &(re, im)) in samples.iter_mut().zip(raw.iter()) {
+            *s = Cplx::new(re * amp, im * amp);
+        }
+        let ref_prb = DspKernels::scalar().bfp_compress(&samples);
+        let ref_out = DspKernels::scalar().bfp_decompress(&ref_prb);
+        for backend in KernelBackend::all_available() {
+            let kernels = DspKernels::forced(backend);
+            let prb = kernels.bfp_compress(&samples);
+            prop_assert_eq!(prb, ref_prb, "compressed PRB differs on {}", backend);
+            let out = kernels.bfp_decompress(&prb);
+            for (i, (a, b)) in out.iter().zip(ref_out.iter()).enumerate() {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits(), "re[{}] on {}", i, backend);
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits(), "im[{}] on {}", i, backend);
+            }
+        }
+    }
+
+    #[test]
+    fn awgn_byte_exact_across_backends_at_zero_tolerance(
+        seed in any::<u64>(),
+        snr_db in -2.0f64..30.0,
+        n in 1usize..600,
+    ) {
+        let symbols: Vec<Cplx> = (0..n)
+            .map(|i| Cplx::new((i as f32 * 0.37).cos(), (i as f32 * 0.37).sin()))
+            .collect();
+        let mut ref_ch = AwgnChannel::new(SimRng::new(seed));
+        let (ref_out, ref_nv) = DspKernels::scalar().awgn_apply(&mut ref_ch, &symbols, snr_db);
+        for backend in KernelBackend::all_available() {
+            // tolerance defaults to 0.0: the SIMD sampler must stay
+            // disengaged so the noise stream is the golden one.
+            let kernels = DspKernels::forced(backend);
+            let mut ch = AwgnChannel::new(SimRng::new(seed));
+            let (out, nv) = kernels.awgn_apply(&mut ch, &symbols, snr_db);
+            prop_assert_eq!(nv.to_bits(), ref_nv.to_bits(), "noise var on {}", backend);
+            for (i, (a, b)) in out.iter().zip(ref_out.iter()).enumerate() {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits(), "re[{}] on {}", i, backend);
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits(), "im[{}] on {}", i, backend);
+            }
+        }
+    }
+
+    #[test]
+    fn awgn_tolerance_realization_is_statistically_equivalent(
+        seed in any::<u64>(),
+        snr_db in 3.0f64..20.0,
+    ) {
+        // Under a nonzero tolerance each backend may use its own
+        // sampler; the contract weakens from bitwise to statistical.
+        // 16k samples put the empirical noise power within a few
+        // percent of E[|n|^2] = nv with overwhelming probability.
+        let n = 8192;
+        let symbols = vec![Cplx::ZERO; n];
+        for backend in KernelBackend::all_available() {
+            let kernels = DspKernels::forced(backend).with_tolerance(0.05);
+            let mut ch = AwgnChannel::new(SimRng::new(seed));
+            let (out, nv) = kernels.awgn_apply(&mut ch, &symbols, snr_db);
+            let power: f64 = out.iter().map(|s| s.norm_sq() as f64).sum::<f64>() / n as f64;
+            let mean_re: f64 = out.iter().map(|s| s.re as f64).sum::<f64>() / n as f64;
+            prop_assert!(
+                (power / nv as f64 - 1.0).abs() < 0.1,
+                "noise power {} vs nv {} on {}",
+                power,
+                nv,
+                backend
+            );
+            prop_assert!(
+                mean_re.abs() < 0.05 * (nv as f64).sqrt().max(1e-6),
+                "DC bias {} on {}",
+                mean_re,
+                backend
+            );
         }
     }
 }

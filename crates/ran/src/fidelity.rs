@@ -25,7 +25,7 @@ use slingshot_phy_dsp::channel::{db_to_linear, AwgnChannel};
 use slingshot_phy_dsp::scramble::GoldSequence;
 use slingshot_phy_dsp::snr::estimate_snr_db;
 use slingshot_phy_dsp::tbchain::{decode_tb_with, encode_tb_with, mother_buffer_len, TbParams};
-use slingshot_phy_dsp::{default_scratch_pool, Cplx, DspScratchPool, Modulation};
+use slingshot_phy_dsp::{default_scratch_pool, Cplx, DspKernels, DspScratchPool, Modulation};
 use slingshot_sim::{SimRng, WorkerPool};
 
 /// Cap on the representative code block's payload in Sampled mode:
@@ -164,8 +164,14 @@ fn cached_pilots(rnti: u16, cell_id: u16, len: usize) -> Arc<Vec<Cplx>> {
 
 /// Encode a TB for transmission under the given fidelity (serial,
 /// thread-local scratch).
-pub fn encode_signal(fidelity: Fidelity, payload: &Bytes, lp: &LinkParamsTb) -> TbSignal {
+pub fn encode_signal(
+    kernels: DspKernels,
+    fidelity: Fidelity,
+    payload: &Bytes,
+    lp: &LinkParamsTb,
+) -> TbSignal {
     encode_signal_with(
+        kernels,
         &WorkerPool::serial(),
         &default_scratch_pool(),
         fidelity,
@@ -178,6 +184,7 @@ pub fn encode_signal(fidelity: Fidelity, payload: &Bytes, lp: &LinkParamsTb) -> 
 /// working buffers drawn from `scratch`. Bit-identical to
 /// [`encode_signal`] for any worker count.
 pub fn encode_signal_with(
+    kernels: DspKernels,
     pool: &WorkerPool,
     scratch: &DspScratchPool,
     fidelity: Fidelity,
@@ -190,14 +197,14 @@ pub fn encode_signal_with(
     };
     let (symbols, shadow) = match fidelity {
         Fidelity::Full => (
-            encode_tb_with(pool, scratch, payload, &lp.tb_params(lp.e_bits())),
+            encode_tb_with(kernels, pool, scratch, payload, &lp.tb_params(lp.e_bits())),
             Bytes::new(),
         ),
         Fidelity::Sampled => {
             let (rep_bytes, e_rep) = lp.sampled_split(payload.len());
             let rep = payload.slice(..rep_bytes);
             (
-                encode_tb_with(pool, scratch, &rep, &lp.tb_params(e_rep)),
+                encode_tb_with(kernels, pool, scratch, &rep, &lp.tb_params(e_rep)),
                 payload.clone(),
             )
         }
@@ -211,15 +218,22 @@ pub fn encode_signal_with(
     }
 }
 
-/// Pass a signal through the channel at `snr_db`.
-pub fn apply_channel(signal: &mut TbSignal, snr_db: f64, channel: &mut AwgnChannel) {
+/// Pass a signal through the channel at `snr_db`. AWGN generation is
+/// dispatched through `kernels` (tolerance-gated: SIMD noise only when
+/// the handle's tolerance is raised; the default stays scalar).
+pub fn apply_channel(
+    kernels: DspKernels,
+    signal: &mut TbSignal,
+    snr_db: f64,
+    channel: &mut AwgnChannel,
+) {
     signal.snr_db = snr_db;
     if !signal.pilots.is_empty() {
-        let (noisy, _) = channel.apply(&signal.pilots, snr_db);
+        let (noisy, _) = kernels.awgn_apply(channel, &signal.pilots, snr_db);
         signal.pilots = noisy;
     }
     if !signal.symbols.is_empty() {
-        let (noisy, _) = channel.apply(&signal.symbols, snr_db);
+        let (noisy, _) = kernels.awgn_apply(channel, &signal.symbols, snr_db);
         signal.symbols = noisy;
     }
 }
@@ -229,6 +243,7 @@ pub fn apply_channel(signal: &mut TbSignal, snr_db: f64, channel: &mut AwgnChann
 /// (per-chunk RNG streams) but is the same for any worker count; a
 /// caller must use one variant consistently.
 pub fn apply_channel_with(
+    kernels: DspKernels,
     pool: &WorkerPool,
     signal: &mut TbSignal,
     snr_db: f64,
@@ -236,11 +251,11 @@ pub fn apply_channel_with(
 ) {
     signal.snr_db = snr_db;
     if !signal.pilots.is_empty() {
-        let (noisy, _) = channel.apply_with(pool, &signal.pilots, snr_db);
+        let (noisy, _) = kernels.awgn_apply_with(channel, pool, &signal.pilots, snr_db);
         signal.pilots = noisy;
     }
     if !signal.symbols.is_empty() {
-        let (noisy, _) = channel.apply_with(pool, &signal.symbols, snr_db);
+        let (noisy, _) = kernels.awgn_apply_with(channel, pool, &signal.symbols, snr_db);
         signal.symbols = noisy;
     }
 }
@@ -333,6 +348,7 @@ impl RxProcessPool {
     #[allow(clippy::too_many_arguments)]
     pub fn receive(
         &mut self,
+        kernels: DspKernels,
         fidelity: Fidelity,
         signal: &TbSignal,
         lp: &LinkParamsTb,
@@ -342,6 +358,7 @@ impl RxProcessPool {
         rng: &mut SimRng,
     ) -> RxOutcome {
         self.receive_with(
+            kernels,
             &WorkerPool::serial(),
             &default_scratch_pool(),
             fidelity,
@@ -360,6 +377,7 @@ impl RxProcessPool {
     #[allow(clippy::too_many_arguments)]
     pub fn receive_with(
         &mut self,
+        kernels: DspKernels,
         pool: &WorkerPool,
         scratch: &DspScratchPool,
         fidelity: Fidelity,
@@ -372,6 +390,7 @@ impl RxProcessPool {
     ) -> RxOutcome {
         let mut state = self.take(lp.rnti, harq_id);
         let out = receive_into(
+            kernels,
             pool,
             scratch,
             &mut state,
@@ -396,6 +415,7 @@ impl RxProcessPool {
 /// how the HARQ process retires when the caller `put`s it back.
 #[allow(clippy::too_many_arguments)]
 pub fn receive_into(
+    kernels: DspKernels,
     pool: &WorkerPool,
     scratch: &DspScratchPool,
     state: &mut RxSoftState,
@@ -449,6 +469,7 @@ pub fn receive_into(
             let expected_syms = e_bits / lp.modulation.bits_per_symbol();
             let symbols = &signal.symbols[..signal.symbols.len().min(expected_syms)];
             let out = decode_tb_with(
+                kernels,
                 pool,
                 scratch,
                 &mut proc.llr_acc,
@@ -514,6 +535,12 @@ mod tests {
     use super::*;
     use slingshot_sim::SimRng;
 
+    /// The host's best backend — bit-exact with scalar by contract, so
+    /// every outcome below is backend-independent.
+    fn kern() -> DspKernels {
+        DspKernels::detect()
+    }
+
     fn lp(rv: u8) -> LinkParamsTb {
         LinkParamsTb::from_grant(4, 24, 12, 0x4601, 1, rv, 8)
     }
@@ -533,10 +560,10 @@ mod tests {
         let mut rng = SimRng::new(seed + 1);
         let l = lp(0);
         let data = payload(200);
-        let mut sig = encode_signal(fidelity, &data, &l);
-        apply_channel(&mut sig, snr_db, &mut ch);
+        let mut sig = encode_signal(kern(), fidelity, &data, &l);
+        apply_channel(kern(), &mut sig, snr_db, &mut ch);
         let mut pool = RxProcessPool::new();
-        let out = pool.receive(fidelity, &sig, &l, data.len(), 0, true, &mut rng);
+        let out = pool.receive(kern(), fidelity, &sig, &l, data.len(), 0, true, &mut rng);
         out.payload.as_ref() == Some(&data)
     }
 
@@ -572,10 +599,19 @@ mod tests {
         let mut rng = SimRng::new(8);
         let l = lp(0);
         let data = payload(100);
-        let mut sig = encode_signal(Fidelity::Full, &data, &l);
-        apply_channel(&mut sig, 15.0, &mut ch);
+        let mut sig = encode_signal(kern(), Fidelity::Full, &data, &l);
+        apply_channel(kern(), &mut sig, 15.0, &mut ch);
         let mut pool = RxProcessPool::new();
-        let out = pool.receive(Fidelity::Full, &sig, &l, data.len(), 0, true, &mut rng);
+        let out = pool.receive(
+            kern(),
+            Fidelity::Full,
+            &sig,
+            &l,
+            data.len(),
+            0,
+            true,
+            &mut rng,
+        );
         assert!((out.snr_db - 15.0).abs() < 3.0, "est={}", out.snr_db);
     }
 
@@ -595,17 +631,35 @@ mod tests {
             // single transmission, comfortable after combining.
             let snr = 2.5;
             let l0 = lp(0);
-            let mut s0 = encode_signal(Fidelity::Sampled, &data, &l0);
-            apply_channel(&mut s0, snr, &mut ch);
-            let o0 = pool.receive(Fidelity::Sampled, &s0, &l0, data.len(), 0, true, &mut rng);
+            let mut s0 = encode_signal(kern(), Fidelity::Sampled, &data, &l0);
+            apply_channel(kern(), &mut s0, snr, &mut ch);
+            let o0 = pool.receive(
+                kern(),
+                Fidelity::Sampled,
+                &s0,
+                &l0,
+                data.len(),
+                0,
+                true,
+                &mut rng,
+            );
             if o0.payload.is_some() {
                 single_ok += 1;
                 continue;
             }
             let l1 = lp(2);
-            let mut s1 = encode_signal(Fidelity::Sampled, &data, &l1);
-            apply_channel(&mut s1, snr, &mut ch);
-            let o1 = pool.receive(Fidelity::Sampled, &s1, &l1, data.len(), 0, true, &mut rng);
+            let mut s1 = encode_signal(kern(), Fidelity::Sampled, &data, &l1);
+            apply_channel(kern(), &mut s1, snr, &mut ch);
+            let o1 = pool.receive(
+                kern(),
+                Fidelity::Sampled,
+                &s1,
+                &l1,
+                data.len(),
+                0,
+                true,
+                &mut rng,
+            );
             if o1.payload.is_some() {
                 combined_ok += 1;
             }
@@ -630,17 +684,35 @@ mod tests {
             // Effective efficiency as the receiver computes it.
             let rate = ((data.len() + 3) * 8) as f64 / l.e_bits() as f64;
             let sig = {
-                let mut s = encode_signal(Fidelity::Abstract, &data, &l);
+                let mut s = encode_signal(kern(), Fidelity::Abstract, &data, &l);
                 s.snr_db = slingshot_phy_dsp::bler::threshold_db(2, rate, 8) - 1.0;
                 s
             };
             let mut pool = RxProcessPool::new();
-            let o1 = pool.receive(Fidelity::Abstract, &sig, &l, data.len(), 0, true, &mut rng);
+            let o1 = pool.receive(
+                kern(),
+                Fidelity::Abstract,
+                &sig,
+                &l,
+                data.len(),
+                0,
+                true,
+                &mut rng,
+            );
             if o1.payload.is_some() {
                 first_ok += 1;
                 continue;
             }
-            let o2 = pool.receive(Fidelity::Abstract, &sig, &l, data.len(), 0, true, &mut rng);
+            let o2 = pool.receive(
+                kern(),
+                Fidelity::Abstract,
+                &sig,
+                &l,
+                data.len(),
+                0,
+                true,
+                &mut rng,
+            );
             if o2.payload.is_some() {
                 second_ok += 1;
             }
@@ -658,12 +730,30 @@ mod tests {
         let l = lp(0);
         let data = payload(64);
         let mut pool = RxProcessPool::new();
-        let mut sig = encode_signal(Fidelity::Abstract, &data, &l);
+        let mut sig = encode_signal(kern(), Fidelity::Abstract, &data, &l);
         sig.snr_db = -20.0;
-        let _ = pool.receive(Fidelity::Abstract, &sig, &l, data.len(), 3, true, &mut rng);
+        let _ = pool.receive(
+            kern(),
+            Fidelity::Abstract,
+            &sig,
+            &l,
+            data.len(),
+            3,
+            true,
+            &mut rng,
+        );
         assert_eq!(pool.len(), 1);
         // Toggled NDI → fresh state (old SNR history must not help).
-        let _ = pool.receive(Fidelity::Abstract, &sig, &l, data.len(), 3, false, &mut rng);
+        let _ = pool.receive(
+            kern(),
+            Fidelity::Abstract,
+            &sig,
+            &l,
+            data.len(),
+            3,
+            false,
+            &mut rng,
+        );
         let mem = pool.memory_bytes();
         assert!(mem <= 16, "should hold one fresh snr entry, mem={mem}");
     }
@@ -674,10 +764,19 @@ mod tests {
         let l = lp(0);
         let data = payload(64);
         let mut pool = RxProcessPool::new();
-        let mut sig = encode_signal(Fidelity::Abstract, &data, &l);
+        let mut sig = encode_signal(kern(), Fidelity::Abstract, &data, &l);
         sig.snr_db = -20.0;
         for h in 0..4 {
-            let _ = pool.receive(Fidelity::Abstract, &sig, &l, data.len(), h, true, &mut rng);
+            let _ = pool.receive(
+                kern(),
+                Fidelity::Abstract,
+                &sig,
+                &l,
+                data.len(),
+                h,
+                true,
+                &mut rng,
+            );
         }
         assert_eq!(pool.len(), 4);
         pool.clear();
@@ -697,7 +796,16 @@ mod tests {
             snr_db: 20.0,
         };
         let mut pool = RxProcessPool::new();
-        let out = pool.receive(Fidelity::Full, &sig, &l, data.len(), 0, true, &mut rng);
+        let out = pool.receive(
+            kern(),
+            Fidelity::Full,
+            &sig,
+            &l,
+            data.len(),
+            0,
+            true,
+            &mut rng,
+        );
         assert!(out.payload.is_none());
     }
 }

@@ -28,12 +28,12 @@ use slingshot_fapi::{
     UciIndication,
 };
 use slingshot_fronthaul::{
-    compress_symbol, decompress_prbs, fh_header, CPlaneMsg, CSection, DciEntry, DciMsg, Direction,
-    FhMessage, ShadowMsg, UPlaneMsg,
+    compress_symbol_with, decompress_prbs_with, fh_header, CPlaneMsg, CSection, DciEntry, DciMsg,
+    Direction, FhMessage, ShadowMsg, UPlaneMsg,
 };
 use slingshot_netsim::{EtherType, Frame, MacAddr};
 use slingshot_phy_dsp::snr::SnrFilter;
-use slingshot_phy_dsp::{Cplx, DspScratchPool, SC_PER_PRB};
+use slingshot_phy_dsp::{Cplx, DspKernels, DspScratchPool, SC_PER_PRB};
 use slingshot_sim::{
     Ctx, Instrument, InstrumentSink, Nanos, Node, NodeId, SimRng, SlotClock, SlotId, TraceEventKind,
 };
@@ -315,6 +315,7 @@ impl PhyNode {
         // sends stay in PDU order below, so worker count never changes
         // the trace.
         let pool = ctx.worker_pool();
+        let kernels = DspKernels::from_config(ctx.kernel_config());
         let profiler = ctx.profiler();
         let abs = slot.epoch_index();
         let slot_t0 = profiler.is_enabled().then(std::time::Instant::now);
@@ -342,7 +343,7 @@ impl PhyNode {
             let job_prof = profiler.clone();
             jobs.push(Box::new(move || {
                 let _encode_span = job_prof.span("dl_encode", abs);
-                encode_signal_with(&job_pool, &job_scratch, fidelity, &payload, &lp)
+                encode_signal_with(kernels, &job_pool, &job_scratch, fidelity, &payload, &lp)
             }));
         }
         drop(prepare_span);
@@ -409,6 +410,7 @@ impl PhyNode {
             flat.push(Cplx::ZERO);
         }
         // `flat` is PRB-aligned, so every chunk already is too.
+        let kernels = DspKernels::from_config(ctx.kernel_config());
         let per_chunk = PRBS_PER_CHUNK * SC_PER_PRB;
         for (idx, chunk) in flat.chunks(per_chunk).enumerate() {
             self.send_fh(
@@ -417,7 +419,7 @@ impl PhyNode {
                 &FhMessage::UPlane(UPlaneMsg {
                     hdr: fh_header(Direction::Downlink, slot, idx as u8, ru_id),
                     start_prb,
-                    prbs: compress_symbol(chunk),
+                    prbs: compress_symbol_with(kernels, chunk),
                 }),
             );
         }
@@ -439,6 +441,7 @@ impl PhyNode {
     /// we run at the abs+2 boundary — the 3-slot pipeline of Fig. 7).
     fn process_ul(&mut self, ctx: &mut Ctx<'_, Msg>, ru_id: u8, abs: u64) {
         let pool = ctx.worker_pool();
+        let kernels = DspKernels::from_config(ctx.kernel_config());
         let profiler = ctx.profiler();
         let Some(ru) = self.rus.get_mut(&ru_id) else {
             return;
@@ -563,6 +566,7 @@ impl PhyNode {
                     move || {
                         let decode_span = job_prof.span("ul_decode", abs);
                         let outcome = receive_into(
+                            kernels,
                             &job_pool,
                             &job_scratch,
                             &mut j.state,
@@ -934,10 +938,13 @@ impl Node<Msg> for PhyNode {
                 let data = ru.ul_data.entry(abs).or_default();
                 match fh {
                     FhMessage::UPlane(u) => {
-                        data.chunks
-                            .entry(u.start_prb)
-                            .or_default()
-                            .push((u.hdr.symbol, decompress_prbs(&u.prbs)));
+                        data.chunks.entry(u.start_prb).or_default().push((
+                            u.hdr.symbol,
+                            decompress_prbs_with(
+                                DspKernels::from_config(ctx.kernel_config()),
+                                &u.prbs,
+                            ),
+                        ));
                     }
                     FhMessage::Shadow(s) => {
                         data.shadows

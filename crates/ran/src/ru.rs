@@ -10,8 +10,8 @@
 use std::collections::HashMap;
 
 use slingshot_fronthaul::{
-    compress_symbol, decompress_prbs, fh_header, CPlaneMsg, DciEntry, Direction, FhMessage,
-    ShadowMsg, UPlaneMsg, UciMsg,
+    compress_symbol_with, decompress_prbs_with, fh_header, CPlaneMsg, DciEntry, Direction,
+    FhMessage, ShadowMsg, UPlaneMsg, UciMsg,
 };
 use slingshot_netsim::{EtherType, Frame, MacAddr};
 use slingshot_phy_dsp::{Cplx, SC_PER_PRB};
@@ -19,6 +19,7 @@ use slingshot_sim::{Ctx, Node, NodeId, SlotClock, SlotId, SLOT_DURATION};
 
 use crate::fidelity::TbSignal;
 use crate::msg::{timer_tokens, DlAllocation, Msg, RadioDlBurst, RadioUlBurst, AIR_LATENCY};
+use slingshot_phy_dsp::DspKernels;
 
 /// PRBs per U-plane message chunk (keeps frames under typical MTU:
 /// 48 × 28 B ≈ 1.3 KB).
@@ -108,12 +109,13 @@ impl RuNode {
         while !flat.len().is_multiple_of(SC_PER_PRB) {
             flat.push(Cplx::ZERO);
         }
+        let kernels = DspKernels::from_config(ctx.kernel_config());
         let samples_per_chunk = PRBS_PER_CHUNK * SC_PER_PRB;
         for (idx, chunk) in flat.chunks(samples_per_chunk).enumerate() {
             let msg = FhMessage::UPlane(UPlaneMsg {
                 hdr: fh_header(Direction::Uplink, slot, idx as u8, self.ru_id),
                 start_prb: burst.start_prb,
-                prbs: compress_symbol(chunk),
+                prbs: compress_symbol_with(kernels, chunk),
             });
             self.send_fh(ctx, &msg);
         }
@@ -202,7 +204,7 @@ impl RuNode {
         }
     }
 
-    fn on_dl_fronthaul(&mut self, msg: FhMessage) {
+    fn on_dl_fronthaul(&mut self, kernels: DspKernels, msg: FhMessage) {
         let scalar = msg.hdr().slot_scalar();
         let buf = self.dl_slots.entry(scalar).or_default();
         buf.alive = true;
@@ -213,7 +215,7 @@ impl RuNode {
                 buf.chunks
                     .entry(u.start_prb)
                     .or_default()
-                    .push((u.hdr.symbol, decompress_prbs(&u.prbs)));
+                    .push((u.hdr.symbol, decompress_prbs_with(kernels, &u.prbs)));
             }
             FhMessage::Shadow(s) => {
                 buf.shadows
@@ -252,7 +254,7 @@ impl Node<Msg> for RuNode {
         ctx.timer(SLOT_DURATION, timer_tokens::SLOT_TICK);
     }
 
-    fn on_msg(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
         match msg {
             Msg::Eth(frame) => {
                 if frame.ethertype != EtherType::Ecpri || frame.dst != self.mac {
@@ -260,7 +262,8 @@ impl Node<Msg> for RuNode {
                 }
                 if let Some(fh) = FhMessage::from_bytes(&frame.payload) {
                     if fh.direction() == Direction::Downlink {
-                        self.on_dl_fronthaul(fh);
+                        let kernels = DspKernels::from_config(ctx.kernel_config());
+                        self.on_dl_fronthaul(kernels, fh);
                     }
                 }
             }

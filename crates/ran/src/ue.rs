@@ -25,6 +25,7 @@ use crate::fidelity::{apply_channel_with, encode_signal_with, LinkParamsTb, RxPr
 use crate::l2::{build_mac_pdu, parse_mac_pdu};
 use crate::msg::{timer_tokens, CtlMsg, Msg, RadioUlBurst, AIR_LATENCY};
 use crate::rlc::{RlcRx, RlcTx};
+use slingshot_phy_dsp::DspKernels;
 
 const TIMER_ATTACH_DONE: u64 = timer_tokens::NODE_BASE + 1;
 
@@ -204,6 +205,7 @@ impl UeNode {
             return;
         }
         let pool = ctx.worker_pool();
+        let kernels = DspKernels::from_config(ctx.kernel_config());
         for g in grants {
             self.ul_grants_served += 1;
             // New data or retransmission? Track NDI per HARQ process.
@@ -236,10 +238,22 @@ impl UeNode {
                 g.rv,
                 self.cell.fec_iterations,
             );
-            let mut signal =
-                encode_signal_with(&pool, &self.scratch, self.cell.fidelity, &payload, &lp);
+            let mut signal = encode_signal_with(
+                kernels,
+                &pool,
+                &self.scratch,
+                self.cell.fidelity,
+                &payload,
+                &lp,
+            );
             let channel_span = ctx.profiler().span("channel", abs);
-            apply_channel_with(&pool, &mut signal, self.current_snr_db, &mut self.channel);
+            apply_channel_with(
+                kernels,
+                &pool,
+                &mut signal,
+                self.current_snr_db,
+                &mut self.channel,
+            );
             drop(channel_span);
             if self.cell.fidelity == Fidelity::Abstract {
                 signal.snr_db = self.current_snr_db;
@@ -262,6 +276,7 @@ impl UeNode {
     fn on_dl_burst(&mut self, ctx: &mut Ctx<'_, Msg>, burst: crate::msg::RadioDlBurst) {
         let now = ctx.now();
         let pool = ctx.worker_pool();
+        let kernels = DspKernels::from_config(ctx.kernel_config());
         self.last_dl_burst = now;
         match self.state {
             UeState::Idle => {
@@ -312,12 +327,19 @@ impl UeNode {
             // Receiver-side channel: noise applied at the UE antenna.
             let mut signal = alloc.signal.clone();
             let channel_span = ctx.profiler().span("channel", burst.slot.epoch_index());
-            apply_channel_with(&pool, &mut signal, self.current_snr_db, &mut self.channel);
+            apply_channel_with(
+                kernels,
+                &pool,
+                &mut signal,
+                self.current_snr_db,
+                &mut self.channel,
+            );
             drop(channel_span);
             if self.cell.fidelity == Fidelity::Abstract {
                 signal.snr_db = self.current_snr_db;
             }
             let out = self.dl_pool.receive_with(
+                kernels,
                 &pool,
                 &self.scratch,
                 self.cell.fidelity,

@@ -21,6 +21,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
+use crate::kernels::KernelConfig;
 use crate::metrics::MetricsRegistry;
 use crate::pool::WorkerPool;
 use crate::profiler::SpanProfiler;
@@ -245,6 +246,7 @@ struct Core<M> {
     metrics: MetricsRegistry,
     pool: WorkerPool,
     profiler: SpanProfiler,
+    kernels: KernelConfig,
 }
 
 impl<M> Core<M> {
@@ -433,6 +435,7 @@ struct LaneCore<M> {
     outbox: Vec<Outbound<M>>,
     pool: WorkerPool,
     profiler: SpanProfiler,
+    kernels: KernelConfig,
 }
 
 impl<M> LaneCore<M> {
@@ -822,6 +825,17 @@ impl<'a, M: Message> Ctx<'a, M> {
         }
     }
 
+    /// The engine's kernel backend selection (a `Copy` config). Nodes
+    /// build their DSP dispatch handle from this once per callback, so
+    /// every kernel in the deployment runs the same implementation
+    /// family and forced-scalar runs stay trace-identical.
+    pub fn kernel_config(&self) -> KernelConfig {
+        match &self.inner {
+            CtxInner::Global(core) => core.kernels,
+            CtxInner::Lane(lane) => lane.kernels,
+        }
+    }
+
     /// The engine's wall-clock span profiler (a cheap shared handle).
     /// Disabled by default, in which case every span call is inert —
     /// no clock reads, no allocation — so hot paths may call it
@@ -875,6 +889,7 @@ impl<M: Message> Engine<M> {
                 metrics: MetricsRegistry::new(),
                 pool: WorkerPool::serial(),
                 profiler: SpanProfiler::disabled(),
+                kernels: KernelConfig::from_env(),
             },
             nodes: Vec::new(),
             started: false,
@@ -893,6 +908,19 @@ impl<M: Message> Engine<M> {
     /// The engine's compute worker pool (a cheap shared handle).
     pub fn worker_pool(&self) -> WorkerPool {
         self.core.pool.clone()
+    }
+
+    /// Install the kernel backend selection nodes reach through
+    /// [`Ctx::kernel_config`]. Defaults to [`KernelConfig::from_env`]
+    /// (the `KERNEL_BACKEND` override if set, else runtime detection);
+    /// deployments pin it explicitly through the builder.
+    pub fn set_kernel_config(&mut self, kernels: KernelConfig) {
+        self.core.kernels = kernels;
+    }
+
+    /// The engine's kernel backend selection.
+    pub fn kernel_config(&self) -> KernelConfig {
+        self.core.kernels
     }
 
     /// Install a wall-clock span profiler nodes reach through
@@ -1407,6 +1435,7 @@ impl<M: Message> Engine<M> {
                 outbox: Vec::new(),
                 pool: self.core.pool.clone(),
                 profiler: self.core.profiler.clone(),
+                kernels: self.core.kernels,
             })
             .collect();
         for (i, &l) in lane_of.iter().enumerate() {

@@ -43,6 +43,7 @@
 
 pub mod chaos;
 pub mod engine;
+pub mod kernels;
 pub mod metrics;
 pub mod pool;
 pub mod profiler;
@@ -54,6 +55,7 @@ pub mod trace;
 
 pub use chaos::{ChaosDistribution, Fault, FaultKind, FaultTarget, Scenario};
 pub use engine::{Ctx, Engine, LinkParams, LinkStats, Message, Node, NodeId};
+pub use kernels::{KernelBackend, KernelConfig};
 pub use metrics::{HistogramSummary, Instrument, InstrumentSink, LogHistogram, MetricsRegistry};
 pub use pool::{ScratchPool, WorkerPool};
 pub use profiler::{ProfilerReport, SpanGuard, SpanProfiler, StageProfile};

@@ -17,10 +17,11 @@ use proptest::prelude::*;
 
 use slingshot_fapi as fapi;
 use slingshot_fronthaul::{
-    compress_symbol, fh_header, peek_headers, CPlaneMsg, CSection, DciEntry, DciMsg, Direction,
-    EcpriHeader, FhHeader, FhMessage, ShadowMsg, UPlaneMsg, UciEntry, UciMsg,
+    compress_symbol_with, fh_header, peek_headers, CPlaneMsg, CSection, DciEntry, DciMsg,
+    Direction, EcpriHeader, FhHeader, FhMessage, ShadowMsg, UPlaneMsg, UciEntry, UciMsg,
 };
 use slingshot_phy_dsp::iq::Cplx;
+use slingshot_phy_dsp::DspKernels;
 use slingshot_sim::SlotId;
 
 /// Exercise every decoder on one byte string; returns whether any of
@@ -231,7 +232,7 @@ proptest! {
             FhMessage::UPlane(UPlaneMsg {
                 hdr,
                 start_prb,
-                prbs: compress_symbol(&samples),
+                prbs: compress_symbol_with(DspKernels::detect(), &samples),
             }),
             FhMessage::Dci(DciMsg {
                 hdr,

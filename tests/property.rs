@@ -14,11 +14,30 @@ use slingshot_fronthaul::{
 };
 use slingshot_phy_dsp::bits::{bits_to_bytes, bytes_to_bits};
 use slingshot_phy_dsp::crc::{attach_crc24a, check_crc24a};
-use slingshot_phy_dsp::iq::{bfp_compress, bfp_decompress, Cplx, SC_PER_PRB};
+use slingshot_phy_dsp::iq::{BfpPrb, Cplx, SC_PER_PRB};
 use slingshot_phy_dsp::ratematch::{rate_match, rate_recover};
 use slingshot_phy_dsp::scramble::scramble_bits;
-use slingshot_phy_dsp::tbchain::{decode_tb, encode_tb, mother_buffer_len, TbParams};
-use slingshot_phy_dsp::{LdpcCode, Modulation};
+use slingshot_phy_dsp::tbchain::{mother_buffer_len, TbDecodeOutcome, TbParams};
+use slingshot_phy_dsp::{DspKernels, LdpcCode, Modulation};
+
+// Handle-backed stand-ins for the deprecated free functions; `detect()`
+// exercises the SIMD path on capable hosts (bit-exact with scalar by
+// contract, so every property below is backend-independent).
+fn bfp_compress(s: &[Cplx; SC_PER_PRB]) -> BfpPrb {
+    DspKernels::detect().bfp_compress(s)
+}
+
+fn bfp_decompress(prb: &BfpPrb) -> [Cplx; SC_PER_PRB] {
+    DspKernels::detect().bfp_decompress(prb)
+}
+
+fn encode_tb(payload: &[u8], p: &TbParams) -> Vec<Cplx> {
+    DspKernels::detect().encode_tb(payload, p)
+}
+
+fn decode_tb(acc: &mut [f32], rx: &[Cplx], nv: f32, bytes: usize, p: &TbParams) -> TbDecodeOutcome {
+    DspKernels::detect().decode_tb(acc, rx, nv, bytes, p)
+}
 use slingshot_ran::rlc::{RlcRx, RlcTx};
 use slingshot_sim::{Nanos, Sampler, SlotId};
 
@@ -334,7 +353,7 @@ proptest! {
             if n == 0 { continue; }
             let bits = &seed_bits[..n];
             let syms = slingshot_phy_dsp::modulation::modulate(bits, m);
-            let llrs = slingshot_phy_dsp::modulation::demodulate_llr(&syms, m, 1e-3);
+            let llrs = DspKernels::detect().demodulate_llr(&syms, m, 1e-3);
             let rx = slingshot_phy_dsp::modulation::hard_decide(&llrs);
             prop_assert_eq!(&rx[..], bits);
         }
